@@ -1,0 +1,91 @@
+//! Experiment E10: encode / decode / repair throughput of the code
+//! implementations (MBR, MSR, Reed–Solomon) at several value sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lds_codes::mbr::ProductMatrixMbr;
+use lds_codes::msr::ProductMatrixMsr;
+use lds_codes::rs::ReedSolomon;
+use lds_codes::{ErasureCode, RegeneratingCode};
+
+fn sample_value(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for &size in &[4 * 1024usize, 64 * 1024] {
+        let value = sample_value(size);
+        group.throughput(Throughput::Bytes(size as u64));
+
+        let mbr = ProductMatrixMbr::with_dimensions(20, 8, 10).unwrap();
+        group.bench_with_input(BenchmarkId::new("mbr_n20_k8_d10", size), &value, |b, v| {
+            b.iter(|| mbr.encode(v).unwrap())
+        });
+
+        let msr = ProductMatrixMsr::with_dimensions(20, 8).unwrap();
+        group.bench_with_input(BenchmarkId::new("msr_n20_k8", size), &value, |b, v| {
+            b.iter(|| msr.encode(v).unwrap())
+        });
+
+        let rs = ReedSolomon::with_dimensions(20, 8).unwrap();
+        group.bench_with_input(BenchmarkId::new("rs_n20_k8", size), &value, |b, v| {
+            b.iter(|| rs.encode(v).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    let size = 64 * 1024;
+    let value = sample_value(size);
+    group.throughput(Throughput::Bytes(size as u64));
+
+    let mbr = ProductMatrixMbr::with_dimensions(20, 8, 10).unwrap();
+    let mbr_shares = mbr.encode(&value).unwrap();
+    group.bench_function("mbr_from_k_shares", |b| {
+        b.iter(|| mbr.decode(&mbr_shares[4..12]).unwrap())
+    });
+
+    let msr = ProductMatrixMsr::with_dimensions(20, 8).unwrap();
+    let msr_shares = msr.encode(&value).unwrap();
+    group.bench_function("msr_from_k_shares", |b| {
+        b.iter(|| msr.decode(&msr_shares[4..12]).unwrap())
+    });
+
+    let rs = ReedSolomon::with_dimensions(20, 8).unwrap();
+    let rs_shares = rs.encode(&value).unwrap();
+    group.bench_function("rs_from_k_shares", |b| b.iter(|| rs.decode(&rs_shares[4..12]).unwrap()));
+    group.finish();
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair");
+    let size = 64 * 1024;
+    let value = sample_value(size);
+    group.throughput(Throughput::Bytes(size as u64));
+
+    // MBR repair: d helpers each ship alpha/d of a share.
+    let mbr = ProductMatrixMbr::with_dimensions(20, 8, 10).unwrap();
+    let shares = mbr.encode(&value).unwrap();
+    let helpers: Vec<_> = (1..11).map(|h| mbr.helper_data(&shares[h], 0).unwrap()).collect();
+    group.bench_function("mbr_regenerate_one_share", |b| {
+        b.iter(|| mbr.repair(0, &helpers).unwrap())
+    });
+
+    // RS naive repair: k helpers ship full shares and the value is re-encoded.
+    let rs = ReedSolomon::with_dimensions(20, 8).unwrap();
+    let rs_shares = rs.encode(&value).unwrap();
+    let rs_helpers: Vec<_> = (1..9).map(|h| rs.helper_data(&rs_shares[h], 0).unwrap()).collect();
+    group.bench_function("rs_naive_repair_one_share", |b| {
+        b.iter(|| rs.repair(0, &rs_helpers).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encode, bench_decode, bench_repair
+}
+criterion_main!(benches);

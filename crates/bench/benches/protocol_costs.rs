@@ -1,0 +1,40 @@
+//! End-to-end protocol benchmarks: one full simulated write / read operation
+//! (including all message routing and coding work) on a small two-layer
+//! deployment, for each back-end code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lds_core::backend::BackendKind;
+use lds_core::params::SystemParams;
+use lds_workload::runner::{RunnerConfig, SimRunner};
+
+fn run_write_and_read(backend: BackendKind, value_size: usize) {
+    let params = SystemParams::for_failures(1, 1, 3, 5).unwrap(); // n1=5, n2=7
+    let mut runner = SimRunner::new(RunnerConfig::new(params).backend(backend).seed(1));
+    let w = runner.add_writer();
+    let r = runner.add_reader();
+    runner.invoke_write(w, 0.0, vec![0xAB; value_size]);
+    runner.invoke_read(r, 200.0);
+    let report = runner.run();
+    assert_eq!(report.history.len(), 2);
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_write_read");
+    for &backend in &[BackendKind::Mbr, BackendKind::MsrPoint, BackendKind::Replication] {
+        for &size in &[1024usize, 16 * 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{backend}"), size),
+                &size,
+                |b, &size| b.iter(|| run_write_and_read(backend, size)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_protocol
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Experiment E1–E3: write cost, read cost (δ = 0 and δ > 0) and per-object
+//! L2 storage cost versus the system size, measured against Lemmas V.2–V.3.
+//!
+//! The sweep keeps the paper's asymptotic regime `n1 = n2`, `f1 = f2 = n/10`
+//! (so `k = d = 0.8·n`), exactly the regime of Fig. 6.
+
+use lds_bench::{fmt3, print_table};
+use lds_core::backend::BackendKind;
+use lds_core::costs;
+use lds_core::params::SystemParams;
+use lds_workload::measure::measure_costs;
+
+fn main() {
+    let sizes = [10usize, 20, 30, 40, 60, 80, 100];
+    let mu = 10.0;
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let f = (n / 10).max(1);
+        let params = SystemParams::symmetric(n, f).expect("valid sweep parameters");
+        let report = measure_costs(params, BackendKind::Mbr, mu);
+        rows.push(vec![
+            n.to_string(),
+            params.k().to_string(),
+            params.d().to_string(),
+            fmt3(report.write_cost.measured),
+            fmt3(report.write_cost.predicted),
+            fmt3(report.read_cost_idle.measured),
+            fmt3(report.read_cost_idle.predicted),
+            fmt3(report.read_cost_concurrent.measured),
+            fmt3(report.read_cost_concurrent.predicted),
+            fmt3(report.l2_storage.measured),
+            fmt3(report.l2_storage.predicted),
+        ]);
+    }
+
+    print_table(
+        "E1-E3: communication & storage costs vs system size (MBR back-end, n1 = n2 = n, value-size units)",
+        &[
+            "n", "k", "d",
+            "write meas", "write pred",
+            "read(d=0) meas", "read(d=0) pred",
+            "read(d>0) meas", "read(d>0) pred",
+            "L2 store meas", "L2 store pred",
+        ],
+        &rows,
+    );
+
+    println!();
+    println!("Expected shape (paper, Lemmas V.2-V.3): write cost grows linearly in n1;");
+    println!("read cost at delta=0 stays Theta(1); read cost at delta>0 gains an n1 term;");
+    println!("per-object L2 storage stays Theta(1) (~2.5 for k = d = 0.8n).");
+
+    let first = SystemParams::symmetric(sizes[0], 1).unwrap();
+    let last = SystemParams::symmetric(*sizes.last().unwrap(), sizes.last().unwrap() / 10).unwrap();
+    println!(
+        "\npredicted write-cost growth {}x vs n growth {}x; predicted read-cost(d=0) growth {}x",
+        fmt3(costs::write_cost(&last) / costs::write_cost(&first)),
+        fmt3(*sizes.last().unwrap() as f64 / sizes[0] as f64),
+        fmt3(costs::read_cost(&last, 0) / costs::read_cost(&first, 0)),
+    );
+}

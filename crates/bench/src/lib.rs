@@ -1,0 +1,77 @@
+//! # lds-bench
+//!
+//! The benchmark harness reproducing every figure and analytical result of
+//! the LDS paper's evaluation (§V). See `DESIGN.md` at the repository root
+//! for the experiment index (E1–E10).
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Experiment binaries** (`cargo run -p lds-bench --bin exp_*`) print the
+//!   paper's tables/series as aligned text tables, comparing measured values
+//!   from the simulator against the closed-form predictions:
+//!   - `exp_costs` — write/read communication cost and L2 storage cost versus
+//!     `n1` (Lemmas V.2, V.3);
+//!   - `exp_latency` — operation latencies versus `µ = τ2/τ1` (Lemma V.4);
+//!   - `exp_fig6` — L1/L2 storage versus the number of objects `N` (Fig. 6 /
+//!     Lemma V.5), including the replication-in-L2 comparison;
+//!   - `exp_mbr_vs_msr` — the MBR / MSR-point ablation (Remarks 1, 2);
+//!   - `exp_baselines` — LDS versus the single-layer ABD and CAS baselines.
+//! * **Criterion benches** (`cargo bench -p lds-bench`) measure raw code
+//!   throughput (encode / decode / repair) and end-to-end simulated protocol
+//!   operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints an aligned text table: a header row followed by data rows.
+///
+/// Used by every experiment binary so the output format is uniform and easy
+/// to diff against `EXPERIMENTS.md`.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    println!("\n== {title} ==");
+    let header_strings: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let row_strings: Vec<Vec<String>> =
+        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
+    let cols = header_strings.len();
+    let mut widths: Vec<usize> = header_strings.iter().map(String::len).collect();
+    for row in &row_strings {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> =
+            cells.iter().enumerate().map(|(i, c)| format!("{:>width$}", c, width = widths[i])).collect();
+        println!("  {}", line.join("  "));
+    };
+    print_row(&header_strings);
+    print_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in &row_strings {
+        print_row(row);
+    }
+}
+
+/// Formats a float with three decimal places (the precision used in the
+/// experiment tables).
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(fmt3(2.0), "2.000");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_input() {
+        print_table("test", &["a", "b"], &[vec!["1".to_string(), "2".to_string()]]);
+        print_table::<&str, String>("empty", &["x"], &[]);
+    }
+}

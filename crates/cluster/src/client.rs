@@ -1,0 +1,255 @@
+//! Synchronous client handles for the thread-based cluster.
+
+use crate::node::Cluster;
+use crate::router::Envelope;
+use crossbeam::channel::Receiver;
+use lds_core::messages::{LdsMessage, ProtocolEvent};
+use lds_core::reader::ReaderClient;
+use lds_core::tag::{ClientId, ObjectId, Tag};
+use lds_core::value::Value;
+use lds_core::writer::WriterClient;
+use lds_sim::{Context, Process, ProcessId};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors returned by cluster client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The operation did not complete within the client's timeout — with
+    /// more than `f1` / `f2` servers killed this is the expected outcome.
+    Timeout,
+    /// The cluster channels were disconnected (cluster already shut down).
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Timeout => write!(f, "operation timed out"),
+            ClientError::Disconnected => write!(f, "cluster is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A synchronous client of a running [`Cluster`].
+///
+/// Internally the handle hosts the writer and reader automata from
+/// `lds-core` and pumps their messages over the cluster's channels; `write`
+/// and `read` block until the corresponding operation completes.
+pub struct ClusterClient {
+    cluster: Arc<Cluster>,
+    pid: ProcessId,
+    inbox: Receiver<Envelope>,
+    writer: WriterClient,
+    reader: ReaderClient,
+    timeout: Duration,
+    /// Completed operations (tag of the last one), useful for assertions.
+    last_tag: Option<Tag>,
+}
+
+impl ClusterClient {
+    pub(crate) fn new(
+        cluster: Arc<Cluster>,
+        id: ClientId,
+        pid: ProcessId,
+        inbox: Receiver<Envelope>,
+    ) -> Self {
+        let writer = WriterClient::new(id, cluster.params(), cluster.membership().clone());
+        let reader =
+            ReaderClient::new(id, cluster.params(), cluster.membership().clone(), cluster.backend());
+        ClusterClient {
+            cluster,
+            pid,
+            inbox,
+            writer,
+            reader,
+            timeout: Duration::from_secs(10),
+            last_tag: None,
+        }
+    }
+
+    /// Sets the per-operation timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// The tag of this client's most recently completed operation.
+    pub fn last_tag(&self) -> Option<Tag> {
+        self.last_tag
+    }
+
+    /// Writes `value` to object `obj`, blocking until the write is atomic-
+    /// committed (acknowledged by `f1 + k` L1 servers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Timeout`] if the operation does not complete in
+    /// time (e.g. too many servers were killed) and
+    /// [`ClientError::Disconnected`] after shutdown.
+    pub fn write(&mut self, obj: u64, value: Vec<u8>) -> Result<Tag, ClientError> {
+        let invoke =
+            LdsMessage::InvokeWrite { obj: ObjectId(obj), value: Value::new(value) };
+        let event = self.drive(true, invoke)?;
+        match event {
+            ProtocolEvent::WriteCompleted { tag, .. } => {
+                self.last_tag = Some(tag);
+                Ok(tag)
+            }
+            other => unreachable!("writer emitted a read completion: {other:?}"),
+        }
+    }
+
+    /// Reads object `obj`, blocking until the read completes, and returns the
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Timeout`] or [`ClientError::Disconnected`] as
+    /// for [`ClusterClient::write`].
+    pub fn read(&mut self, obj: u64) -> Result<Vec<u8>, ClientError> {
+        let invoke = LdsMessage::InvokeRead { obj: ObjectId(obj) };
+        let event = self.drive(false, invoke)?;
+        match event {
+            ProtocolEvent::ReadCompleted { tag, value, .. } => {
+                self.last_tag = Some(tag);
+                Ok(value.as_bytes().to_vec())
+            }
+            other => unreachable!("reader emitted a write completion: {other:?}"),
+        }
+    }
+
+    /// Feeds `invoke` into the appropriate automaton and pumps messages until
+    /// it emits a completion event.
+    fn drive(
+        &mut self,
+        is_write: bool,
+        invoke: LdsMessage,
+    ) -> Result<ProtocolEvent, ClientError> {
+        let deadline = std::time::Instant::now() + self.timeout;
+        let mut pending = vec![(ProcessId::EXTERNAL, invoke)];
+        loop {
+            // Step the automaton with everything we have buffered.
+            for (from, msg) in pending.drain(..) {
+                let mut outgoing = Vec::new();
+                let mut events = Vec::new();
+                let now = self.cluster.elapsed();
+                let mut ctx = Context::standalone(self.pid, now, &mut outgoing, &mut events);
+                if is_write {
+                    self.writer.on_message(from, msg, &mut ctx);
+                } else {
+                    self.reader.on_message(from, msg, &mut ctx);
+                }
+                for (to, out) in outgoing {
+                    self.cluster.router().send(self.pid, to, out);
+                }
+                if let Some((_, _, event)) = events.into_iter().next() {
+                    return Ok(event);
+                }
+            }
+            // Wait for the next message from the cluster.
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(ClientError::Timeout)?;
+            match self.inbox.recv_timeout(remaining) {
+                Ok(Envelope::Protocol { from, msg }) => pending.push((from, msg)),
+                Ok(Envelope::Stop) => return Err(ClientError::Disconnected),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    return Err(ClientError::Timeout)
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(ClientError::Disconnected)
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ClusterClient {
+    fn drop(&mut self) {
+        self.cluster.router().deregister(self.pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_core::backend::BackendKind;
+    use lds_core::params::SystemParams;
+
+    fn small_cluster() -> Arc<Cluster> {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        Cluster::start(params, BackendKind::Mbr)
+    }
+
+    #[test]
+    fn write_then_read_over_threads() {
+        let cluster = small_cluster();
+        let mut writer = cluster.client();
+        let mut reader = cluster.client();
+        let tag = writer.write(0, b"threaded".to_vec()).unwrap();
+        assert_eq!(writer.last_tag(), Some(tag));
+        let value = reader.read(0).unwrap();
+        assert_eq!(value, b"threaded");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sequential_writes_are_ordered_by_tags() {
+        let cluster = small_cluster();
+        let mut client = cluster.client();
+        let t1 = client.write(0, b"one".to_vec()).unwrap();
+        let t2 = client.write(0, b"two".to_vec()).unwrap();
+        assert!(t2 > t1);
+        assert_eq!(client.read(0).unwrap(), b"two");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tolerates_allowed_failures() {
+        let cluster = small_cluster();
+        let mut client = cluster.client();
+        cluster.kill_l1(0);
+        cluster.kill_l2(4);
+        client.write(3, b"still alive".to_vec()).unwrap();
+        assert_eq!(client.read(3).unwrap(), b"still alive");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn too_many_failures_time_out() {
+        let cluster = small_cluster();
+        let mut client = cluster.client();
+        client.set_timeout(Duration::from_millis(300));
+        // f1 = 1 but we kill 3 of the 4 L1 servers: quorums are unreachable.
+        cluster.kill_l1(0);
+        cluster.kill_l1(1);
+        cluster.kill_l1(2);
+        assert_eq!(client.write(0, b"doomed".to_vec()), Err(ClientError::Timeout));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_from_multiple_threads() {
+        let cluster = small_cluster();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let cluster = Arc::clone(&cluster);
+            handles.push(std::thread::spawn(move || {
+                let mut client = cluster.client();
+                for i in 0..5u64 {
+                    let value = format!("writer-{t}-{i}").into_bytes();
+                    client.write(0, value).unwrap();
+                    let read = client.read(0).unwrap();
+                    assert!(!read.is_empty());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        cluster.shutdown();
+    }
+}

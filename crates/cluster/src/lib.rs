@@ -1,0 +1,40 @@
+//! # lds-cluster
+//!
+//! A thread-based, in-process cluster runtime for the LDS protocol.
+//!
+//! The protocol automata in `lds-core` are sans-IO state machines; this crate
+//! drives the *same* implementations used by the simulator over real OS
+//! threads and crossbeam channels, giving a deployment with genuine
+//! concurrency and non-deterministic message interleavings:
+//!
+//! * every L1 and L2 server runs on its own thread with an unbounded inbox;
+//! * clients are synchronous handles ([`ClusterClient`]) usable from any
+//!   thread: `write()` / `read()` block until the operation completes;
+//! * servers can be killed at runtime to exercise crash-fault tolerance.
+//!
+//! # Example
+//!
+//! ```rust
+//! use lds_cluster::Cluster;
+//! use lds_core::{params::SystemParams, BackendKind};
+//!
+//! let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+//! let cluster = Cluster::start(params, BackendKind::Mbr);
+//! let mut alice = cluster.client();
+//! let mut bob = cluster.client();
+//!
+//! alice.write(0, b"hello from a real thread".to_vec()).unwrap();
+//! let value = bob.read(0).unwrap();
+//! assert_eq!(value, b"hello from a real thread");
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod node;
+pub mod router;
+
+pub use client::{ClientError, ClusterClient};
+pub use node::Cluster;

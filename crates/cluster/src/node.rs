@@ -1,0 +1,194 @@
+//! Server node threads and the [`Cluster`] handle.
+
+use crate::client::ClusterClient;
+use crate::router::{Envelope, Router};
+use lds_core::backend::{make_backend, BackendCodec, BackendKind};
+use lds_core::membership::Membership;
+use lds_core::messages::{LdsMessage, ProtocolEvent};
+use lds_core::params::SystemParams;
+use lds_core::server1::{L1Options, L1Server};
+use lds_core::server2::L2Server;
+use lds_core::tag::ClientId;
+use lds_sim::{Context, Process, ProcessId, SimTime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Drives one server automaton from its inbox until a stop request arrives.
+fn run_node<P>(
+    mut process: P,
+    pid: ProcessId,
+    router: Router,
+    inbox: crossbeam::channel::Receiver<Envelope>,
+    started: Instant,
+) where
+    P: Process<LdsMessage, ProtocolEvent>,
+{
+    while let Ok(envelope) = inbox.recv() {
+        match envelope {
+            Envelope::Stop => break,
+            Envelope::Protocol { from, msg } => {
+                let mut outgoing = Vec::new();
+                let mut events = Vec::new();
+                let now = SimTime::new(started.elapsed().as_secs_f64());
+                let mut ctx = Context::standalone(pid, now, &mut outgoing, &mut events);
+                process.on_message(from, msg, &mut ctx);
+                for (to, msg) in outgoing {
+                    router.send(pid, to, msg);
+                }
+                // Server automata do not emit client events.
+            }
+        }
+    }
+    router.deregister(pid);
+}
+
+/// A running in-process LDS cluster: `n1 + n2` server threads plus any number
+/// of synchronous clients created through [`Cluster::client`].
+pub struct Cluster {
+    params: SystemParams,
+    membership: Membership,
+    backend: Arc<dyn BackendCodec>,
+    router: Router,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    next_client: AtomicU64,
+    started: Instant,
+}
+
+impl Cluster {
+    /// Starts the cluster: spawns one thread per L1 and L2 server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend cannot be constructed for `params`.
+    pub fn start(params: SystemParams, backend_kind: BackendKind) -> Arc<Cluster> {
+        let backend = make_backend(backend_kind, &params)
+            .expect("backend construction for validated parameters");
+        let l1: Vec<ProcessId> = (0..params.n1()).map(ProcessId).collect();
+        let l2: Vec<ProcessId> = (params.n1()..params.n1() + params.n2()).map(ProcessId).collect();
+        let membership = Membership::new(l1.clone(), l2.clone());
+        let router = Router::new();
+        let started = Instant::now();
+        let mut handles = Vec::with_capacity(params.n1() + params.n2());
+
+        for (j, &pid) in l1.iter().enumerate() {
+            let inbox = router.register(pid);
+            let server = L1Server::new(
+                j,
+                params,
+                membership.clone(),
+                Arc::clone(&backend),
+                L1Options::default(),
+            );
+            let router = router.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lds-l1-{j}"))
+                    .spawn(move || run_node(server, pid, router, inbox, started))
+                    .expect("spawn L1 thread"),
+            );
+        }
+        for (i, &pid) in l2.iter().enumerate() {
+            let inbox = router.register(pid);
+            let server = L2Server::new(i, membership.clone(), Arc::clone(&backend));
+            let router = router.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lds-l2-{i}"))
+                    .spawn(move || run_node(server, pid, router, inbox, started))
+                    .expect("spawn L2 thread"),
+            );
+        }
+
+        Arc::new(Cluster {
+            params,
+            membership,
+            backend,
+            router,
+            handles: Mutex::new(handles),
+            next_client: AtomicU64::new(1),
+            started,
+        })
+    }
+
+    /// The cluster's system parameters.
+    pub fn params(&self) -> SystemParams {
+        self.params
+    }
+
+    /// The cluster's membership.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    pub(crate) fn router(&self) -> &Router {
+        &self.router
+    }
+
+    pub(crate) fn backend(&self) -> Arc<dyn BackendCodec> {
+        Arc::clone(&self.backend)
+    }
+
+    pub(crate) fn elapsed(&self) -> SimTime {
+        SimTime::new(self.started.elapsed().as_secs_f64())
+    }
+
+    /// Creates a synchronous client handle (usable for both reads and
+    /// writes). Each client gets a fresh client id and its own inbox.
+    pub fn client(self: &Arc<Self>) -> ClusterClient {
+        let client_number = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let client_id = ClientId(client_number);
+        // Client process ids live above all server ids.
+        let pid = ProcessId(self.params.n1() + self.params.n2() + client_number as usize);
+        let inbox = self.router.register(pid);
+        ClusterClient::new(Arc::clone(self), client_id, pid, inbox)
+    }
+
+    /// Kills the L1 server with code index `index` (crash failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn kill_l1(&self, index: usize) {
+        self.router.send_stop(self.membership.l1[index]);
+    }
+
+    /// Kills the L2 server with index `index` (crash failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn kill_l2(&self, index: usize) {
+        self.router.send_stop(self.membership.l2[index]);
+    }
+
+    /// Stops every server thread and waits for them to exit.
+    pub fn shutdown(&self) {
+        for &pid in self.membership.l1.iter().chain(self.membership.l2.iter()) {
+            self.router.send_stop(pid);
+        }
+        let mut handles = self.handles.lock();
+        for handle in handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_starts_and_shuts_down() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let cluster = Cluster::start(params, BackendKind::Mbr);
+        assert_eq!(cluster.params().n1(), 4);
+        assert_eq!(cluster.membership().n2(), 5);
+        assert_eq!(cluster.router().len(), 9);
+        cluster.shutdown();
+        // All server inboxes are deregistered after shutdown.
+        assert_eq!(cluster.router().len(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Message routing between cluster threads.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lds_core::messages::LdsMessage;
+use lds_sim::ProcessId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A message in flight inside the cluster.
+#[derive(Debug, Clone)]
+pub enum Envelope {
+    /// A protocol message from `from`.
+    Protocol {
+        /// Sending process.
+        from: ProcessId,
+        /// The message.
+        msg: LdsMessage,
+    },
+    /// Ask the receiving node thread to stop (used for shutdown and for
+    /// simulating crash failures).
+    Stop,
+}
+
+/// Routes envelopes to per-process inboxes.
+///
+/// The router is shared by all node threads and clients; registration happens
+/// before threads start, but clients may also register later (each client
+/// gets its own inbox).
+#[derive(Clone, Default)]
+pub struct Router {
+    inner: Arc<RwLock<HashMap<ProcessId, Sender<Envelope>>>>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Registers a process and returns the receiving end of its inbox.
+    pub fn register(&self, pid: ProcessId) -> Receiver<Envelope> {
+        let (tx, rx) = unbounded();
+        self.inner.write().insert(pid, tx);
+        rx
+    }
+
+    /// Removes a process from the routing table (messages to it are dropped
+    /// afterwards, matching the crash-failure model).
+    pub fn deregister(&self, pid: ProcessId) {
+        self.inner.write().remove(&pid);
+    }
+
+    /// Sends a protocol message; silently drops it if the destination is not
+    /// registered (crashed), which matches the reliable-channel-to-live-
+    /// destination model.
+    pub fn send(&self, from: ProcessId, to: ProcessId, msg: LdsMessage) {
+        let guard = self.inner.read();
+        if let Some(tx) = guard.get(&to) {
+            let _ = tx.send(Envelope::Protocol { from, msg });
+        }
+    }
+
+    /// Sends a stop request to a process.
+    pub fn send_stop(&self, to: ProcessId) {
+        let guard = self.inner.read();
+        if let Some(tx) = guard.get(&to) {
+            let _ = tx.send(Envelope::Stop);
+        }
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether no processes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lds_core::tag::ObjectId;
+
+    #[test]
+    fn register_send_and_deregister() {
+        let router = Router::new();
+        assert!(router.is_empty());
+        let rx = router.register(ProcessId(1));
+        assert_eq!(router.len(), 1);
+
+        router.send(ProcessId(2), ProcessId(1), LdsMessage::InvokeRead { obj: ObjectId(0) });
+        match rx.recv().unwrap() {
+            Envelope::Protocol { from, msg } => {
+                assert_eq!(from, ProcessId(2));
+                assert!(matches!(msg, LdsMessage::InvokeRead { .. }));
+            }
+            Envelope::Stop => panic!("unexpected stop"),
+        }
+
+        router.deregister(ProcessId(1));
+        // Sends to a deregistered (crashed) process are dropped, not errors.
+        router.send(ProcessId(2), ProcessId(1), LdsMessage::InvokeRead { obj: ObjectId(0) });
+        assert!(router.is_empty());
+    }
+
+    #[test]
+    fn stop_envelope_is_delivered() {
+        let router = Router::new();
+        let rx = router.register(ProcessId(7));
+        router.send_stop(ProcessId(7));
+        assert!(matches!(rx.recv().unwrap(), Envelope::Stop));
+    }
+}

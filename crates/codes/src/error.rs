@@ -1,0 +1,82 @@
+//! Error type shared by every code in this crate.
+
+use std::fmt;
+
+/// Errors returned by erasure- and regenerating-code operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// The requested `(n, k, d)` parameters are invalid for this code family.
+    InvalidParameters(String),
+    /// A decode or repair call was given fewer inputs than the code requires.
+    NotEnoughShares {
+        /// Number of shares/helpers the operation requires.
+        needed: usize,
+        /// Number of distinct, usable shares/helpers supplied.
+        got: usize,
+    },
+    /// A share's index is outside `0..n`.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The code length `n`.
+        n: usize,
+    },
+    /// A share or helper payload is malformed (wrong length, duplicated index,
+    /// inconsistent symbol size, or mismatched failed-node index).
+    MalformedShare(String),
+    /// The decoded payload failed structural validation (bad length header).
+    CorruptPayload(String),
+    /// An internal linear-algebra step failed; indicates inconsistent inputs.
+    LinearAlgebra(String),
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParameters(msg) => write!(f, "invalid code parameters: {msg}"),
+            CodeError::NotEnoughShares { needed, got } => {
+                write!(f, "not enough shares: needed {needed}, got {got}")
+            }
+            CodeError::IndexOutOfRange { index, n } => {
+                write!(f, "share index {index} out of range for code length {n}")
+            }
+            CodeError::MalformedShare(msg) => write!(f, "malformed share: {msg}"),
+            CodeError::CorruptPayload(msg) => write!(f, "corrupt payload: {msg}"),
+            CodeError::LinearAlgebra(msg) => write!(f, "linear algebra failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+impl From<lds_gf::matrix::MatrixError> for CodeError {
+    fn from(err: lds_gf::matrix::MatrixError) -> Self {
+        CodeError::LinearAlgebra(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<CodeError> = vec![
+            CodeError::InvalidParameters("k > n".into()),
+            CodeError::NotEnoughShares { needed: 4, got: 2 },
+            CodeError::IndexOutOfRange { index: 9, n: 5 },
+            CodeError::MalformedShare("bad length".into()),
+            CodeError::CorruptPayload("length header".into()),
+            CodeError::LinearAlgebra("singular".into()),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn matrix_error_converts() {
+        let e: CodeError = lds_gf::matrix::MatrixError::Singular.into();
+        assert!(matches!(e, CodeError::LinearAlgebra(_)));
+    }
+}

@@ -1,0 +1,301 @@
+//! Linear combinations of symbol buffers.
+//!
+//! Codes in this crate express every operation (encode, decode, helper
+//! computation, repair) as multiplication of a small coefficient matrix over
+//! GF(2^8) with a vector or matrix of *symbol buffers* (byte strings of equal
+//! length). [`BufMatrix`] is that matrix-of-buffers, with just the operations
+//! the product-matrix constructions need.
+
+use crate::error::CodeError;
+use lds_gf::{Gf256, Matrix};
+
+/// Computes `Σ_i coeffs[i] · inputs[i]` over byte buffers of length
+/// `symbol_len`.
+///
+/// # Errors
+///
+/// Returns [`CodeError::MalformedShare`] if input lengths disagree with
+/// `symbol_len` or the number of coefficients differs from the number of
+/// inputs.
+pub fn combine(coeffs: &[Gf256], inputs: &[&[u8]], symbol_len: usize) -> Result<Vec<u8>, CodeError> {
+    if coeffs.len() != inputs.len() {
+        return Err(CodeError::MalformedShare(format!(
+            "coefficient count {} does not match input count {}",
+            coeffs.len(),
+            inputs.len()
+        )));
+    }
+    let mut out = vec![0u8; symbol_len];
+    for (c, buf) in coeffs.iter().zip(inputs) {
+        if buf.len() != symbol_len {
+            return Err(CodeError::MalformedShare(format!(
+                "input buffer of {} bytes, expected {symbol_len}",
+                buf.len()
+            )));
+        }
+        Gf256::mul_acc_slice(*c, buf, &mut out);
+    }
+    Ok(out)
+}
+
+/// A dense matrix whose entries are equal-length byte buffers (symbols).
+///
+/// Conceptually each buffer is a column vector of `symbol_len` independent
+/// GF(2^8) elements; all arithmetic is applied elementwise across buffers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufMatrix {
+    rows: usize,
+    cols: usize,
+    symbol_len: usize,
+    data: Vec<Vec<u8>>,
+}
+
+impl BufMatrix {
+    /// Creates a matrix of zero-filled buffers.
+    pub fn zero(rows: usize, cols: usize, symbol_len: usize) -> Self {
+        BufMatrix { rows, cols, symbol_len, data: vec![vec![0u8; symbol_len]; rows * cols] }
+    }
+
+    /// Creates a matrix from row-major buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::MalformedShare`] if the number of buffers or any
+    /// buffer length is inconsistent.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Vec<u8>>) -> Result<Self, CodeError> {
+        if data.len() != rows * cols {
+            return Err(CodeError::MalformedShare(format!(
+                "expected {} buffers, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        let symbol_len = data.first().map(Vec::len).unwrap_or(0);
+        if data.iter().any(|b| b.len() != symbol_len) {
+            return Err(CodeError::MalformedShare("buffers have differing lengths".into()));
+        }
+        Ok(BufMatrix { rows, cols, symbol_len, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Length of each buffer.
+    pub fn symbol_len(&self) -> usize {
+        self.symbol_len
+    }
+
+    /// Borrows the buffer at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> &[u8] {
+        assert!(r < self.rows && c < self.cols, "BufMatrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+
+    /// Mutably borrows the buffer at `(r, c)`.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut Vec<u8> {
+        assert!(r < self.rows && c < self.cols, "BufMatrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Replaces the buffer at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length differs from the matrix symbol length.
+    pub fn set(&mut self, r: usize, c: usize, buf: Vec<u8>) {
+        assert_eq!(buf.len(), self.symbol_len, "buffer length mismatch");
+        *self.get_mut(r, c) = buf;
+    }
+
+    /// Consumes the matrix and returns its row-major buffers.
+    pub fn into_rows(self) -> Vec<Vec<u8>> {
+        self.data
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> BufMatrix {
+        let mut out = BufMatrix::zero(self.cols, self.rows, self.symbol_len);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c).to_vec());
+            }
+        }
+        out
+    }
+
+    /// Elementwise XOR (addition in GF(2^8)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::MalformedShare`] on dimension mismatch.
+    pub fn add(&self, other: &BufMatrix) -> Result<BufMatrix, CodeError> {
+        if self.rows != other.rows || self.cols != other.cols || self.symbol_len != other.symbol_len {
+            return Err(CodeError::MalformedShare("BufMatrix addition dimension mismatch".into()));
+        }
+        let mut out = self.clone();
+        for (dst, src) in out.data.iter_mut().zip(&other.data) {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Left-multiplication by a coefficient matrix: `coeffs (m×r) · self (r×c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::MalformedShare`] if `coeffs.cols() != self.rows()`.
+    pub fn left_mul(&self, coeffs: &Matrix) -> Result<BufMatrix, CodeError> {
+        if coeffs.cols() != self.rows {
+            return Err(CodeError::MalformedShare(format!(
+                "coefficient matrix has {} columns but BufMatrix has {} rows",
+                coeffs.cols(),
+                self.rows
+            )));
+        }
+        let mut out = BufMatrix::zero(coeffs.rows(), self.cols, self.symbol_len);
+        for r in 0..coeffs.rows() {
+            for k in 0..self.rows {
+                let c = coeffs[(r, k)];
+                if c.is_zero() {
+                    continue;
+                }
+                for col in 0..self.cols {
+                    let src = &self.data[k * self.cols + col];
+                    let dst = &mut out.data[r * self.cols + col];
+                    Gf256::mul_acc_slice(c, src, dst);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Right-multiplication by a coefficient matrix: `self (r×c) · coeffs (c×m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::MalformedShare`] if `self.cols() != coeffs.rows()`.
+    pub fn right_mul(&self, coeffs: &Matrix) -> Result<BufMatrix, CodeError> {
+        if coeffs.rows() != self.cols {
+            return Err(CodeError::MalformedShare(format!(
+                "coefficient matrix has {} rows but BufMatrix has {} columns",
+                coeffs.rows(),
+                self.cols
+            )));
+        }
+        let mut out = BufMatrix::zero(self.rows, coeffs.cols(), self.symbol_len);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let src = &self.data[r * self.cols + k];
+                for c in 0..coeffs.cols() {
+                    let coeff = coeffs[(k, c)];
+                    if coeff.is_zero() {
+                        continue;
+                    }
+                    let dst = &mut out.data[r * coeffs.cols() + c];
+                    Gf256::mul_acc_slice(coeff, src, dst);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize, symbol_len: usize, seed: u8) -> BufMatrix {
+        let data: Vec<Vec<u8>> = (0..rows * cols)
+            .map(|i| (0..symbol_len).map(|j| (i as u8).wrapping_mul(7) ^ (j as u8) ^ seed).collect())
+            .collect();
+        BufMatrix::from_rows(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn combine_matches_manual() {
+        let a = vec![1u8, 2, 3];
+        let b = vec![4u8, 5, 6];
+        let coeffs = vec![Gf256::new(3), Gf256::new(7)];
+        let out = combine(&coeffs, &[&a, &b], 3).unwrap();
+        for i in 0..3 {
+            let expected = Gf256::new(3) * Gf256::new(a[i]) + Gf256::new(7) * Gf256::new(b[i]);
+            assert_eq!(out[i], expected.value());
+        }
+    }
+
+    #[test]
+    fn combine_validates_inputs() {
+        let a = vec![1u8, 2, 3];
+        assert!(combine(&[Gf256::ONE], &[&a, &a], 3).is_err());
+        assert!(combine(&[Gf256::ONE, Gf256::ONE], &[&a, &a[..2]], 3).is_err());
+    }
+
+    #[test]
+    fn left_mul_by_identity_is_noop() {
+        let m = sample(4, 3, 16, 0x55);
+        let id = Matrix::identity(4);
+        assert_eq!(m.left_mul(&id).unwrap(), m);
+    }
+
+    #[test]
+    fn right_mul_by_identity_is_noop() {
+        let m = sample(4, 3, 16, 0x21);
+        let id = Matrix::identity(3);
+        assert_eq!(m.right_mul(&id).unwrap(), m);
+    }
+
+    #[test]
+    fn left_mul_then_inverse_roundtrips() {
+        let m = sample(4, 2, 8, 0x10);
+        let coeffs = Matrix::vandermonde(4, 4);
+        let encoded = m.left_mul(&coeffs).unwrap();
+        let decoded = encoded.left_mul(&coeffs.inverse().unwrap()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn left_mul_associates_with_coefficient_product() {
+        let m = sample(3, 2, 8, 0x01); // 3 rows of buffers
+        let b = Matrix::vandermonde(4, 3); // 4x3
+        let a = Matrix::vandermonde(2, 4); // 2x4
+        let left = m.left_mul(&b).unwrap().left_mul(&a).unwrap();
+        let right = m.left_mul(&a.checked_mul(&b).unwrap()).unwrap();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample(3, 5, 4, 0x77);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn add_is_xor() {
+        let a = sample(2, 2, 4, 0x0f);
+        let b = sample(2, 2, 4, 0xf0);
+        let sum = a.add(&b).unwrap();
+        assert_eq!(sum.add(&b).unwrap(), a, "adding twice cancels in GF(2^8)");
+    }
+
+    #[test]
+    fn dimension_mismatches_rejected() {
+        let m = sample(3, 2, 4, 0);
+        let bad = Matrix::identity(2);
+        assert!(m.left_mul(&bad).is_err());
+        let bad_right = Matrix::identity(3);
+        assert!(m.right_mul(&bad_right).is_err());
+        let other = sample(3, 3, 4, 0);
+        assert!(m.add(&other).is_err());
+        assert!(BufMatrix::from_rows(2, 2, vec![vec![0; 2]; 3]).is_err());
+        assert!(BufMatrix::from_rows(1, 2, vec![vec![0; 2], vec![0; 3]]).is_err());
+    }
+}

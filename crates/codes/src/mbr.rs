@@ -1,0 +1,514 @@
+//! Product-matrix **minimum bandwidth regenerating (MBR)** codes.
+//!
+//! This is the exact-repair construction of Rashmi, Shah and Kumar
+//! ("Optimal exact-regenerating codes for distributed storage at the MSR and
+//! MBR points via a product-matrix construction", IEEE Trans. IT 2011 — the
+//! paper's reference [25]), valid for all `k ≤ d < n`.
+//!
+//! # Construction
+//!
+//! * The file of `B = kd − k(k−1)/2` symbols is arranged into a `d × d`
+//!   symmetric *message matrix*
+//!   `M = [[S, T], [Tᵗ, 0]]` where `S` is `k × k` symmetric (holding
+//!   `k(k+1)/2` symbols) and `T` is `k × (d−k)` (holding `k(d−k)` symbols).
+//! * The *encoding matrix* `Ψ` is the `n × d` Vandermonde matrix; node `i`
+//!   stores `ψᵢ M` (`α = d` symbols).
+//! * **Repair** of node `f`: helper `i` sends the single symbol
+//!   `ψᵢ M ψ_fᵗ`; any `d` helpers give `Ψ_rep (M ψ_fᵗ)` with `Ψ_rep`
+//!   invertible, and `M ψ_fᵗ` transposed is exactly node `f`'s content
+//!   (because `M` is symmetric). The helper needs to know only `f`, not the
+//!   identity of the other helpers — the property the LDS protocol requires.
+//! * **Data collection** from any `k` nodes: with `Ψ_K = [Φ_K Δ_K]`, the
+//!   collected rows are `[Φ_K S + Δ_K Tᵗ, Φ_K T]`; `Φ_K` is invertible, so
+//!   first recover `T`, then `S`.
+
+use crate::error::CodeError;
+use crate::linear::{combine, BufMatrix};
+use crate::params::{CodeKind, CodeParams};
+use crate::share::{HelperData, Share};
+use crate::striping::{frame, symbol, unframe, Framed};
+use crate::traits::{dedup_by_index, dedup_helpers, ErasureCode, RegeneratingCode};
+use lds_gf::{Gf256, Matrix};
+
+/// A product-matrix MBR code instance.
+#[derive(Debug, Clone)]
+pub struct ProductMatrixMbr {
+    params: CodeParams,
+    /// `n × d` Vandermonde encoding matrix Ψ.
+    psi: Matrix,
+}
+
+impl ProductMatrixMbr {
+    /// Creates an MBR code from validated [`CodeParams::mbr`] parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] if `params` is not an MBR
+    /// parameter set.
+    pub fn new(params: CodeParams) -> Result<Self, CodeError> {
+        if params.kind() != CodeKind::Mbr {
+            return Err(CodeError::InvalidParameters(format!(
+                "expected MBR parameters, got {params}"
+            )));
+        }
+        let psi = Matrix::vandermonde(params.n(), params.d());
+        Ok(ProductMatrixMbr { params, psi })
+    }
+
+    /// Convenience constructor from `(n, k, d)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn with_dimensions(n: usize, k: usize, d: usize) -> Result<Self, CodeError> {
+        Self::new(CodeParams::mbr(n, k, d)?)
+    }
+
+    /// The encoding matrix row for node `index` (1 × d coefficients).
+    fn psi_row(&self, index: usize) -> &[Gf256] {
+        self.psi.row(index)
+    }
+
+    fn check_index(&self, index: usize) -> Result<(), CodeError> {
+        if index >= self.params.n() {
+            Err(CodeError::IndexOutOfRange { index, n: self.params.n() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Maps a position of the `d × d` message matrix to the index of the
+    /// message symbol stored there (`None` for the zero block).
+    fn message_index(&self, r: usize, c: usize) -> Option<usize> {
+        let k = self.params.k();
+        let d = self.params.d();
+        debug_assert!(r < d && c < d);
+        let (lo, hi) = if r <= c { (r, c) } else { (c, r) };
+        if lo < k && hi < k {
+            // Upper triangle (including diagonal) of S, row-major: rows
+            // 0..lo contribute k, k-1, ... entries, i.e. lo(2k - lo + 1)/2.
+            Some(lo * (2 * k - lo + 1) / 2 + (hi - lo))
+        } else if lo < k {
+            // T block: row `lo` of S-side, column `hi - k` of T.
+            Some(k * (k + 1) / 2 + lo * (d - k) + (hi - k))
+        } else {
+            None
+        }
+    }
+
+    /// Builds the `d × d` message matrix as buffers over the framed value.
+    fn message_matrix(&self, framed: &Framed) -> BufMatrix {
+        let d = self.params.d();
+        let mut m = BufMatrix::zero(d, d, framed.symbol_len);
+        for r in 0..d {
+            for c in 0..d {
+                if let Some(idx) = self.message_index(r, c) {
+                    m.set(r, c, symbol(framed, idx).to_vec());
+                }
+            }
+        }
+        m
+    }
+
+    /// Reassembles the padded value buffer from the recovered `S` (k×k) and
+    /// `T` (k×(d−k)) blocks.
+    fn reassemble(&self, s: &BufMatrix, t: Option<&BufMatrix>) -> Vec<u8> {
+        let k = self.params.k();
+        let d = self.params.d();
+        let symbol_len = s.symbol_len();
+        let mut padded = Vec::with_capacity(self.params.file_size() * symbol_len);
+        for r in 0..k {
+            for c in r..k {
+                padded.extend_from_slice(s.get(r, c));
+            }
+        }
+        if let Some(t) = t {
+            for r in 0..k {
+                for c in 0..(d - k) {
+                    padded.extend_from_slice(t.get(r, c));
+                }
+            }
+        }
+        padded
+    }
+
+    /// Splits Ψ restricted to rows `indices` into `(Φ_K, Δ_K)` — the first
+    /// `k` and remaining `d − k` columns.
+    fn split_psi(&self, indices: &[usize]) -> (Matrix, Option<Matrix>) {
+        let k = self.params.k();
+        let d = self.params.d();
+        let rows = self.psi.select_rows(indices);
+        let phi = rows.select_cols(&(0..k).collect::<Vec<_>>());
+        let delta = if d > k {
+            Some(rows.select_cols(&(k..d).collect::<Vec<_>>()))
+        } else {
+            None
+        };
+        (phi, delta)
+    }
+}
+
+impl ErasureCode for ProductMatrixMbr {
+    fn params(&self) -> &CodeParams {
+        &self.params
+    }
+
+    fn encode(&self, data: &[u8]) -> Result<Vec<Share>, CodeError> {
+        let framed = frame(data, self.params.file_size());
+        let m = self.message_matrix(&framed);
+        let encoded = m.left_mul(&self.psi)?;
+        Ok((0..self.params.n())
+            .map(|i| {
+                let mut buf = Vec::with_capacity(self.params.alpha() * framed.symbol_len);
+                for a in 0..self.params.alpha() {
+                    buf.extend_from_slice(encoded.get(i, a));
+                }
+                Share::new(i, buf)
+            })
+            .collect())
+    }
+
+    fn encode_share(&self, data: &[u8], index: usize) -> Result<Share, CodeError> {
+        self.check_index(index)?;
+        let framed = frame(data, self.params.file_size());
+        let m = self.message_matrix(&framed);
+        let row = Matrix::from_vec(1, self.params.d(), self.psi_row(index).to_vec());
+        let encoded = m.left_mul(&row)?;
+        let mut buf = Vec::with_capacity(self.params.alpha() * framed.symbol_len);
+        for a in 0..self.params.alpha() {
+            buf.extend_from_slice(encoded.get(0, a));
+        }
+        Ok(Share::new(index, buf))
+    }
+
+    fn decode(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
+        let k = self.params.k();
+        let d = self.params.d();
+        let alpha = self.params.alpha();
+        let usable = dedup_by_index(shares);
+        if usable.len() < k {
+            return Err(CodeError::NotEnoughShares { needed: k, got: usable.len() });
+        }
+        let chosen = &usable[..k];
+        for s in chosen {
+            self.check_index(s.index)?;
+            if s.data.is_empty() || s.data.len() % alpha != 0 {
+                return Err(CodeError::MalformedShare(format!(
+                    "share {} has length {} not divisible by alpha={alpha}",
+                    s.index,
+                    s.data.len()
+                )));
+            }
+        }
+        let symbol_len = chosen[0].data.len() / alpha;
+        if chosen.iter().any(|s| s.data.len() != alpha * symbol_len) {
+            return Err(CodeError::MalformedShare("MBR shares must have equal length".into()));
+        }
+
+        // Y = Ψ_K M, one row per chosen share.
+        let mut y_rows = Vec::with_capacity(k * d);
+        for s in chosen {
+            for a in 0..alpha {
+                y_rows.push(s.symbol(a, alpha).to_vec());
+            }
+        }
+        let y = BufMatrix::from_rows(k, d, y_rows)?;
+
+        let indices: Vec<usize> = chosen.iter().map(|s| s.index).collect();
+        let (phi_k, delta_k) = self.split_psi(&indices);
+        let phi_inv = phi_k.inverse()?;
+
+        let y1 = {
+            // First k columns of Y.
+            let mut rows = Vec::with_capacity(k * k);
+            for r in 0..k {
+                for c in 0..k {
+                    rows.push(y.get(r, c).to_vec());
+                }
+            }
+            BufMatrix::from_rows(k, k, rows)?
+        };
+
+        let (s_block, t_block) = if let Some(delta_k) = &delta_k {
+            let y2 = {
+                let mut rows = Vec::with_capacity(k * (d - k));
+                for r in 0..k {
+                    for c in k..d {
+                        rows.push(y.get(r, c).to_vec());
+                    }
+                }
+                BufMatrix::from_rows(k, d - k, rows)?
+            };
+            // T = Φ_K^{-1} Y2.
+            let t = y2.left_mul(&phi_inv)?;
+            // S = Φ_K^{-1} (Y1 + Δ_K Tᵗ)   (characteristic 2: + is −).
+            let delta_tt = t.transpose().left_mul(delta_k)?;
+            let s = y1.add(&delta_tt)?.left_mul(&phi_inv)?;
+            (s, Some(t))
+        } else {
+            // d == k: M = S, Y = Φ_K S.
+            (y1.left_mul(&phi_inv)?, None)
+        };
+
+        let padded = self.reassemble(&s_block, t_block.as_ref());
+        unframe(&padded)
+    }
+}
+
+impl RegeneratingCode for ProductMatrixMbr {
+    fn helper_data(&self, helper: &Share, failed_index: usize) -> Result<HelperData, CodeError> {
+        self.check_index(helper.index)?;
+        self.check_index(failed_index)?;
+        let alpha = self.params.alpha();
+        if helper.data.is_empty() || helper.data.len() % alpha != 0 {
+            return Err(CodeError::MalformedShare(format!(
+                "helper share has length {} not divisible by alpha={alpha}",
+                helper.data.len()
+            )));
+        }
+        let symbol_len = helper.data.len() / alpha;
+        // h = (ψ_helper M) ψ_fᵗ = Σ_a content[a] · ψ_f[a].
+        let coeffs = self.psi_row(failed_index);
+        let inputs: Vec<&[u8]> = (0..alpha).map(|a| helper.symbol(a, alpha)).collect();
+        let data = combine(coeffs, &inputs, symbol_len)?;
+        Ok(HelperData::new(helper.index, failed_index, data))
+    }
+
+    fn repair(&self, failed_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
+        self.check_index(failed_index)?;
+        let d = self.params.d();
+        let usable = dedup_helpers(helpers);
+        if usable.len() < d {
+            return Err(CodeError::NotEnoughShares { needed: d, got: usable.len() });
+        }
+        let chosen = &usable[..d];
+        for h in chosen {
+            self.check_index(h.helper_index)?;
+            if h.failed_index != failed_index {
+                return Err(CodeError::MalformedShare(
+                    "helper payloads disagree on the failed node index".into(),
+                ));
+            }
+        }
+        let symbol_len = chosen[0].data.len();
+        if symbol_len == 0 || chosen.iter().any(|h| h.data.len() != symbol_len) {
+            return Err(CodeError::MalformedShare("helper payloads must have equal length".into()));
+        }
+
+        // Ψ_rep (M ψ_fᵗ) = h  ⇒  M ψ_fᵗ = Ψ_rep^{-1} h.
+        let indices: Vec<usize> = chosen.iter().map(|h| h.helper_index).collect();
+        let psi_rep = self.psi.select_rows(&indices);
+        let inv = psi_rep.inverse()?;
+        let h_rows: Vec<Vec<u8>> = chosen.iter().map(|h| h.data.clone()).collect();
+        let h = BufMatrix::from_rows(d, 1, h_rows)?;
+        let x = h.left_mul(&inv)?; // d × 1 = M ψ_fᵗ
+
+        // Node content ψ_f M = (M ψ_fᵗ)ᵗ because M is symmetric.
+        let mut buf = Vec::with_capacity(d * symbol_len);
+        for a in 0..d {
+            buf.extend_from_slice(x.get(a, 0));
+        }
+        Ok(Share::new(failed_index, buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_value(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 197 % 256) as u8).collect()
+    }
+
+    #[test]
+    fn message_index_covers_exactly_file_size() {
+        let code = ProductMatrixMbr::with_dimensions(12, 4, 6).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..6 {
+            for c in 0..6 {
+                if let Some(i) = code.message_index(r, c) {
+                    seen.insert(i);
+                    // Symmetry of the map.
+                    assert_eq!(code.message_index(r, c), code.message_index(c, r));
+                } else {
+                    assert!(r >= 4 && c >= 4, "zero block only in bottom-right");
+                }
+            }
+        }
+        assert_eq!(seen.len(), code.params().file_size());
+        assert_eq!(*seen.iter().max().unwrap(), code.params().file_size() - 1);
+    }
+
+    #[test]
+    fn encode_share_matches_bulk_encode() {
+        let code = ProductMatrixMbr::with_dimensions(10, 3, 5).unwrap();
+        let value = sample_value(123);
+        let shares = code.encode(&value).unwrap();
+        for i in 0..10 {
+            assert_eq!(code.encode_share(&value, i).unwrap(), shares[i]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_from_any_k_shares() {
+        let code = ProductMatrixMbr::with_dimensions(10, 3, 5).unwrap();
+        let value = sample_value(500);
+        let shares = code.encode(&value).unwrap();
+        for subset in [[0usize, 1, 2], [7, 8, 9], [0, 4, 9], [2, 5, 7]] {
+            let chosen: Vec<Share> = subset.iter().map(|&i| shares[i].clone()).collect();
+            assert_eq!(code.decode(&chosen).unwrap(), value, "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_when_k_equals_d() {
+        // d == k exercises the "no T block" path (used by the paper's
+        // symmetric-system analysis where k = d).
+        let code = ProductMatrixMbr::with_dimensions(9, 4, 4).unwrap();
+        let value = sample_value(257);
+        let shares = code.encode(&value).unwrap();
+        assert_eq!(code.decode(&shares[5..9]).unwrap(), value);
+    }
+
+    #[test]
+    fn exact_repair_from_any_d_helpers() {
+        let code = ProductMatrixMbr::with_dimensions(12, 4, 6).unwrap();
+        let value = sample_value(777);
+        let shares = code.encode(&value).unwrap();
+        for failed in [0usize, 5, 11] {
+            let helper_ids: Vec<usize> = (0..12).filter(|&i| i != failed).take(6).collect();
+            let helpers: Vec<HelperData> = helper_ids
+                .iter()
+                .map(|&h| code.helper_data(&shares[h], failed).unwrap())
+                .collect();
+            let repaired = code.repair(failed, &helpers).unwrap();
+            assert_eq!(repaired, shares[failed], "failed node {failed}");
+        }
+    }
+
+    #[test]
+    fn repair_works_with_any_helper_subset() {
+        let code = ProductMatrixMbr::with_dimensions(10, 3, 5).unwrap();
+        let value = sample_value(64);
+        let shares = code.encode(&value).unwrap();
+        let failed = 2;
+        // Use the *last* 5 nodes as helpers, then a mixed subset.
+        for helper_ids in [vec![5, 6, 7, 8, 9], vec![0, 3, 4, 8, 9]] {
+            let helpers: Vec<HelperData> = helper_ids
+                .iter()
+                .map(|&h| code.helper_data(&shares[h], failed).unwrap())
+                .collect();
+            assert_eq!(code.repair(failed, &helpers).unwrap(), shares[failed]);
+        }
+    }
+
+    #[test]
+    fn helper_payload_is_beta_sized() {
+        // β = 1 symbol: the helper payload is 1/α of a share — the bandwidth
+        // saving that makes the paper's Θ(1) read cost possible.
+        let code = ProductMatrixMbr::with_dimensions(12, 4, 6).unwrap();
+        let value = sample_value(6000);
+        let shares = code.encode(&value).unwrap();
+        let helper = code.helper_data(&shares[0], 3).unwrap();
+        assert_eq!(helper.data.len() * code.params().alpha(), shares[0].data.len());
+    }
+
+    #[test]
+    fn helper_does_not_depend_on_other_helpers() {
+        // The same helper payload must be usable in any d-subset containing it
+        // (paper §II-c: helpers cannot know who else participates).
+        let code = ProductMatrixMbr::with_dimensions(9, 3, 4).unwrap();
+        let value = sample_value(100);
+        let shares = code.encode(&value).unwrap();
+        let failed = 1;
+        let payload_from_0 = code.helper_data(&shares[0], failed).unwrap();
+        for others in [[2, 3, 4], [5, 6, 7], [4, 6, 8]] {
+            let mut helpers = vec![payload_from_0.clone()];
+            helpers.extend(others.iter().map(|&h| code.helper_data(&shares[h], failed).unwrap()));
+            assert_eq!(code.repair(failed, &helpers).unwrap(), shares[failed]);
+        }
+    }
+
+    #[test]
+    fn decode_input_validation() {
+        let code = ProductMatrixMbr::with_dimensions(8, 3, 4).unwrap();
+        let value = sample_value(40);
+        let shares = code.encode(&value).unwrap();
+        assert!(matches!(
+            code.decode(&shares[..2]),
+            Err(CodeError::NotEnoughShares { needed: 3, got: 2 })
+        ));
+        let mut bad = shares.clone();
+        bad[0].data.pop();
+        assert!(matches!(code.decode(&bad[..3]), Err(CodeError::MalformedShare(_))));
+        // Duplicated indices do not count towards k.
+        let dup = vec![shares[0].clone(), shares[0].clone(), shares[1].clone()];
+        assert!(matches!(code.decode(&dup), Err(CodeError::NotEnoughShares { .. })));
+    }
+
+    #[test]
+    fn repair_input_validation() {
+        let code = ProductMatrixMbr::with_dimensions(8, 3, 4).unwrap();
+        let value = sample_value(40);
+        let shares = code.encode(&value).unwrap();
+        let failed = 0;
+        let helpers: Vec<HelperData> =
+            (1..5).map(|h| code.helper_data(&shares[h], failed).unwrap()).collect();
+        assert!(matches!(
+            code.repair(failed, &helpers[..3]),
+            Err(CodeError::NotEnoughShares { needed: 4, got: 3 })
+        ));
+        let mut wrong = helpers.clone();
+        wrong[2].failed_index = 5;
+        assert!(matches!(code.repair(failed, &wrong), Err(CodeError::MalformedShare(_))));
+        assert!(code.repair(9, &helpers).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let p = CodeParams::reed_solomon(8, 3).unwrap();
+        assert!(ProductMatrixMbr::new(p).is_err());
+    }
+
+    #[test]
+    fn storage_matches_alpha_over_b() {
+        // Per-node storage is α/B of the value (plus framing), the quantity
+        // behind Lemma V.3's 2d·n2/(k(2d−k+1)).
+        let code = ProductMatrixMbr::with_dimensions(20, 8, 10).unwrap();
+        let params = code.params();
+        let value = sample_value(8 * 1024);
+        let shares = code.encode(&value).unwrap();
+        let per_node = shares[0].data.len() as f64;
+        let expected = (value.len() as f64) * params.storage_overhead_per_node();
+        // Within 5% (framing + padding overhead only).
+        assert!((per_node - expected).abs() / expected < 0.05, "per_node={per_node} expected={expected}");
+    }
+
+    #[test]
+    fn large_and_tiny_values_roundtrip() {
+        let code = ProductMatrixMbr::with_dimensions(10, 4, 6).unwrap();
+        for len in [0usize, 1, 5, 17, 1024, 10_000] {
+            let value = sample_value(len);
+            let shares = code.encode(&value).unwrap();
+            assert_eq!(code.decode(&shares[..4]).unwrap(), value, "len={len}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_parameters_work() {
+        // Fig. 6 uses n1 = n2 = 100, k = d = 80: the full code C spans
+        // n = n1 + n2 = 200 nodes.
+        let code = ProductMatrixMbr::with_dimensions(200, 80, 80).unwrap();
+        let value = sample_value(2000);
+        let shares = code.encode(&value).unwrap();
+        // Read path: decode from the first k shares of the "L1" half.
+        assert_eq!(code.decode(&shares[..80]).unwrap(), value);
+        // Repair path: regenerate an L1 node's symbol from 80 helpers in the
+        // "L2" half (indices 100..180).
+        let failed = 7;
+        let helpers: Vec<HelperData> = (100..180)
+            .map(|h| code.helper_data(&shares[h], failed).unwrap())
+            .collect();
+        assert_eq!(code.repair(failed, &helpers).unwrap(), shares[failed]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Framing of arbitrary byte strings into code symbols.
+//!
+//! A code with file size `B` (symbols) stores values whose length is exactly
+//! `B` field symbols. Real values are arbitrary byte strings, so we frame
+//! them: an 8-byte little-endian length header is prepended and the result is
+//! zero-padded up to a multiple of `B`. The padded buffer is then viewed as
+//! `B` *message symbols*, each a contiguous run of `symbol_len` bytes
+//! (`symbol_len = padded_len / B`), and the code operates on those buffers.
+
+use crate::error::CodeError;
+
+/// Length of the framing header in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// A framed value: the padded buffer plus the derived symbol length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Framed {
+    /// Padded buffer of length `file_size * symbol_len`.
+    pub padded: Vec<u8>,
+    /// Length in bytes of each message symbol.
+    pub symbol_len: usize,
+}
+
+/// Frames `data` for a code with `file_size` message symbols.
+///
+/// The result always has at least one byte per symbol, so zero-length values
+/// are representable.
+///
+/// # Panics
+///
+/// Panics if `file_size == 0`.
+pub fn frame(data: &[u8], file_size: usize) -> Framed {
+    assert!(file_size > 0, "file_size must be positive");
+    let total = HEADER_LEN + data.len();
+    let symbol_len = total.div_ceil(file_size).max(1);
+    let padded_len = symbol_len * file_size;
+    let mut padded = Vec::with_capacity(padded_len);
+    padded.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    padded.extend_from_slice(data);
+    padded.resize(padded_len, 0);
+    Framed { padded, symbol_len }
+}
+
+/// Inverse of [`frame`]: strips the header and padding.
+///
+/// # Errors
+///
+/// Returns [`CodeError::CorruptPayload`] if the buffer is too short or the
+/// header describes a length that does not fit in the buffer.
+pub fn unframe(padded: &[u8]) -> Result<Vec<u8>, CodeError> {
+    if padded.len() < HEADER_LEN {
+        return Err(CodeError::CorruptPayload(format!(
+            "framed buffer of {} bytes is shorter than the {HEADER_LEN}-byte header",
+            padded.len()
+        )));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&padded[..HEADER_LEN]);
+    let len = u64::from_le_bytes(header) as usize;
+    if HEADER_LEN + len > padded.len() {
+        return Err(CodeError::CorruptPayload(format!(
+            "length header {len} exceeds framed buffer of {} bytes",
+            padded.len()
+        )));
+    }
+    Ok(padded[HEADER_LEN..HEADER_LEN + len].to_vec())
+}
+
+/// Borrows message symbol `m` (of `file_size`) from a framed buffer.
+pub fn symbol(framed: &Framed, m: usize) -> &[u8] {
+    &framed.padded[m * framed.symbol_len..(m + 1) * framed.symbol_len]
+}
+
+/// Borrows all `file_size` message symbols as a vector of slices.
+pub fn symbols(framed: &Framed, file_size: usize) -> Vec<&[u8]> {
+    (0..file_size).map(|m| symbol(framed, m)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for file_size in [1usize, 3, 10, 36, 100] {
+            for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+                let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+                let framed = frame(&data, file_size);
+                assert_eq!(framed.padded.len(), file_size * framed.symbol_len);
+                assert_eq!(unframe(&framed.padded).unwrap(), data, "fs={file_size} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_slicing_covers_buffer() {
+        let data = vec![7u8; 100];
+        let framed = frame(&data, 9);
+        let syms = symbols(&framed, 9);
+        assert_eq!(syms.len(), 9);
+        let total: usize = syms.iter().map(|s| s.len()).sum();
+        assert_eq!(total, framed.padded.len());
+        assert!(syms.iter().all(|s| s.len() == framed.symbol_len));
+    }
+
+    #[test]
+    fn unframe_rejects_short_buffers() {
+        assert!(matches!(unframe(&[1, 2, 3]), Err(CodeError::CorruptPayload(_))));
+    }
+
+    #[test]
+    fn unframe_rejects_bad_length_header() {
+        let mut framed = frame(b"abc", 4).padded;
+        framed[0] = 0xff;
+        framed[1] = 0xff;
+        assert!(matches!(unframe(&framed), Err(CodeError::CorruptPayload(_))));
+    }
+
+    #[test]
+    fn empty_value_is_representable() {
+        let framed = frame(&[], 5);
+        assert!(framed.symbol_len >= 1);
+        assert_eq!(unframe(&framed.padded).unwrap(), Vec::<u8>::new());
+    }
+}

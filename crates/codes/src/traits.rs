@@ -1,0 +1,108 @@
+//! The [`ErasureCode`] and [`RegeneratingCode`] traits.
+
+use crate::error::CodeError;
+use crate::params::CodeParams;
+use crate::share::{HelperData, Share};
+
+/// An erasure code mapping a value (arbitrary bytes) to `n` coded shares such
+/// that any `k` of them recover the value.
+pub trait ErasureCode: Send + Sync {
+    /// The `(n, k, d)(α, β)` parameters of this code instance.
+    fn params(&self) -> &CodeParams;
+
+    /// Encodes a value into all `n` shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value cannot be framed for this code.
+    fn encode(&self, data: &[u8]) -> Result<Vec<Share>, CodeError> {
+        (0..self.params().n()).map(|i| self.encode_share(data, i)).collect()
+    }
+
+    /// Encodes only the share for node `index`. Used by L1 servers, which
+    /// compute coded elements for individual L2 servers on demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::IndexOutOfRange`] if `index >= n`.
+    fn encode_share(&self, data: &[u8], index: usize) -> Result<Share, CodeError>;
+
+    /// Decodes the value from at least `k` distinct shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShares`] when fewer than `k` distinct
+    /// shares are supplied, or [`CodeError::MalformedShare`] /
+    /// [`CodeError::CorruptPayload`] for inconsistent inputs.
+    fn decode(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError>;
+}
+
+/// A regenerating code: an erasure code that additionally supports repair of
+/// a single node from `β`-sized helper payloads computed by any `d` survivors.
+pub trait RegeneratingCode: ErasureCode {
+    /// Computes the helper payload that node `helper.index` contributes to
+    /// repairing `failed_index`.
+    ///
+    /// The product-matrix constructions guarantee this depends only on the
+    /// helper's own content and the failed index (not on the identity of the
+    /// other helpers) — the property required by the LDS `regenerate-from-L2`
+    /// operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::IndexOutOfRange`] or [`CodeError::MalformedShare`]
+    /// on invalid inputs.
+    fn helper_data(&self, helper: &Share, failed_index: usize) -> Result<HelperData, CodeError>;
+
+    /// Reconstructs the exact content of node `failed_index` from `d` helper
+    /// payloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShares`] when fewer than `d` distinct
+    /// helpers are supplied, or [`CodeError::MalformedShare`] when helper
+    /// payloads are inconsistent.
+    fn repair(&self, failed_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError>;
+}
+
+/// Deduplicates shares by index, preserving first occurrence order.
+pub(crate) fn dedup_by_index(shares: &[Share]) -> Vec<&Share> {
+    let mut seen = std::collections::HashSet::new();
+    shares.iter().filter(|s| seen.insert(s.index)).collect()
+}
+
+/// Deduplicates helpers by helper index, preserving first occurrence order.
+pub(crate) fn dedup_helpers(helpers: &[HelperData]) -> Vec<&HelperData> {
+    let mut seen = std::collections::HashSet::new();
+    helpers.iter().filter(|h| seen.insert(h.helper_index)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_by_index_keeps_first() {
+        let shares = vec![
+            Share::new(1, vec![1]),
+            Share::new(2, vec![2]),
+            Share::new(1, vec![3]),
+            Share::new(3, vec![4]),
+        ];
+        let deduped = dedup_by_index(&shares);
+        assert_eq!(deduped.len(), 3);
+        assert_eq!(deduped[0].data, vec![1]);
+    }
+
+    #[test]
+    fn dedup_helpers_keeps_first() {
+        let helpers = vec![
+            HelperData::new(5, 0, vec![1]),
+            HelperData::new(5, 0, vec![2]),
+            HelperData::new(6, 0, vec![3]),
+        ];
+        let deduped = dedup_helpers(&helpers);
+        assert_eq!(deduped.len(), 2);
+        assert_eq!(deduped[0].data, vec![1]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the erasure / regenerating code invariants that
+//! the LDS protocol relies on.
+
+use lds_codes::mbr::ProductMatrixMbr;
+use lds_codes::msr::ProductMatrixMsr;
+use lds_codes::replication::Replication;
+use lds_codes::rs::ReedSolomon;
+use lds_codes::{ErasureCode, HelperData, RegeneratingCode, Share};
+use proptest::prelude::*;
+
+/// Strategy yielding small but varied MBR parameters and a value.
+fn mbr_case() -> impl Strategy<Value = (usize, usize, usize, Vec<u8>)> {
+    (2usize..=5, 0usize..=3, 1usize..=4, proptest::collection::vec(any::<u8>(), 0..300)).prop_map(
+        |(k, extra_d, extra_n, value)| {
+            let d = k + extra_d;
+            let n = d + 1 + extra_n;
+            (n, k, d, value)
+        },
+    )
+}
+
+fn msr_case() -> impl Strategy<Value = (usize, usize, Vec<u8>)> {
+    (2usize..=5, 1usize..=4, proptest::collection::vec(any::<u8>(), 0..300)).prop_map(
+        |(k, extra_n, value)| {
+            let d = 2 * k - 2;
+            let n = d + 1 + extra_n;
+            (n, k, value)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mbr_decode_from_random_k_subset((n, k, d, value) in mbr_case(), seed in any::<u64>()) {
+        let code = ProductMatrixMbr::with_dimensions(n, k, d).unwrap();
+        let shares = code.encode(&value).unwrap();
+        let subset = pick_subset(n, k, seed);
+        let chosen: Vec<Share> = subset.iter().map(|&i| shares[i].clone()).collect();
+        prop_assert_eq!(code.decode(&chosen).unwrap(), value);
+    }
+
+    #[test]
+    fn mbr_exact_repair_from_random_d_subset((n, k, d, value) in mbr_case(), seed in any::<u64>()) {
+        let code = ProductMatrixMbr::with_dimensions(n, k, d).unwrap();
+        let shares = code.encode(&value).unwrap();
+        let failed = (seed as usize) % n;
+        let helpers_ids = pick_subset_excluding(n, d, failed, seed ^ 0xdead_beef);
+        let helpers: Vec<HelperData> = helpers_ids
+            .iter()
+            .map(|&h| code.helper_data(&shares[h], failed).unwrap())
+            .collect();
+        prop_assert_eq!(code.repair(failed, &helpers).unwrap(), shares[failed].clone());
+    }
+
+    #[test]
+    fn mbr_repaired_share_still_decodes((n, k, d, value) in mbr_case(), seed in any::<u64>()) {
+        // After repairing a node, a decode that includes the repaired share
+        // must still return the original value (exact repair end-to-end).
+        let code = ProductMatrixMbr::with_dimensions(n, k, d).unwrap();
+        let shares = code.encode(&value).unwrap();
+        let failed = (seed as usize) % n;
+        let helper_ids = pick_subset_excluding(n, d, failed, seed);
+        let helpers: Vec<HelperData> = helper_ids
+            .iter()
+            .map(|&h| code.helper_data(&shares[h], failed).unwrap())
+            .collect();
+        let repaired = code.repair(failed, &helpers).unwrap();
+        let mut pool: Vec<Share> = vec![repaired];
+        pool.extend(pick_subset_excluding(n, k - 1, failed, seed ^ 1).into_iter().map(|i| shares[i].clone()));
+        prop_assert_eq!(code.decode(&pool).unwrap(), value);
+    }
+
+    #[test]
+    fn msr_decode_and_repair((n, k, value) in msr_case(), seed in any::<u64>()) {
+        let code = match ProductMatrixMsr::with_dimensions(n, k) {
+            Ok(c) => c,
+            Err(_) => return Ok(()), // lambda-collision limit; skip
+        };
+        let d = 2 * k - 2;
+        let shares = code.encode(&value).unwrap();
+        let subset = pick_subset(n, k, seed);
+        let chosen: Vec<Share> = subset.iter().map(|&i| shares[i].clone()).collect();
+        prop_assert_eq!(code.decode(&chosen).unwrap(), value.clone());
+
+        let failed = (seed as usize) % n;
+        let helper_ids = pick_subset_excluding(n, d, failed, seed ^ 7);
+        let helpers: Vec<HelperData> = helper_ids
+            .iter()
+            .map(|&h| code.helper_data(&shares[h], failed).unwrap())
+            .collect();
+        prop_assert_eq!(code.repair(failed, &helpers).unwrap(), shares[failed].clone());
+    }
+
+    #[test]
+    fn rs_decode_from_random_subset(
+        n in 3usize..12,
+        k_frac in 1usize..=10,
+        value in proptest::collection::vec(any::<u8>(), 0..400),
+        seed in any::<u64>(),
+    ) {
+        let k = (k_frac * n / 12).clamp(1, n);
+        let code = ReedSolomon::with_dimensions(n, k).unwrap();
+        let shares = code.encode(&value).unwrap();
+        let subset = pick_subset(n, k, seed);
+        let chosen: Vec<Share> = subset.iter().map(|&i| shares[i].clone()).collect();
+        prop_assert_eq!(code.decode(&chosen).unwrap(), value);
+    }
+
+    #[test]
+    fn replication_any_share_decodes(
+        n in 1usize..10,
+        value in proptest::collection::vec(any::<u8>(), 0..200),
+        pick in any::<usize>(),
+    ) {
+        let code = Replication::with_replicas(n).unwrap();
+        let shares = code.encode(&value).unwrap();
+        let one = shares[pick % n].clone();
+        prop_assert_eq!(code.decode(&[one]).unwrap(), value);
+    }
+
+    #[test]
+    fn mbr_share_sizes_respect_mbr_point((n, k, d, value) in mbr_case()) {
+        // alpha = d * beta: per-node storage equals total repair download.
+        let code = ProductMatrixMbr::with_dimensions(n, k, d).unwrap();
+        let shares = code.encode(&value).unwrap();
+        let helper = code.helper_data(&shares[0], (1) % n).unwrap();
+        prop_assert_eq!(shares[0].data.len(), d * helper.data.len());
+    }
+}
+
+/// Deterministically picks `count` distinct indices out of `0..n` from a seed.
+fn pick_subset(n: usize, count: usize, seed: u64) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut state = seed | 1;
+    for i in (1..indices.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        indices.swap(i, j);
+    }
+    indices.truncate(count);
+    indices
+}
+
+fn pick_subset_excluding(n: usize, count: usize, excluded: usize, seed: u64) -> Vec<usize> {
+    let mut v = pick_subset(n, n, seed);
+    v.retain(|&i| i != excluded);
+    v.truncate(count);
+    v
+}

@@ -1,0 +1,198 @@
+//! Closed-form performance costs from §V of the paper (Lemmas V.2–V.5 and
+//! Lemma V.4's latency bounds).
+//!
+//! All communication and storage costs are normalised by the value size, as
+//! in the paper. The benchmark harness compares these predictions against
+//! measured values from the simulator.
+
+use crate::params::SystemParams;
+
+/// Communication cost of a write operation (Lemma V.2):
+/// `n1 + n1·n2·2d / (k(2d − k + 1))`, which is `Θ(n1)`.
+pub fn write_cost(params: &SystemParams) -> f64 {
+    let (n1, n2, k, d) =
+        (params.n1() as f64, params.n2() as f64, params.k() as f64, params.d() as f64);
+    n1 + n1 * n2 * 2.0 * d / (k * (2.0 * d - k + 1.0))
+}
+
+/// Communication cost of a successful read operation (Lemma V.2):
+/// `n1·(1 + n2/d)·2d / (k(2d − k + 1)) + n1·I(δ > 0)`, which is
+/// `Θ(1) + n1·I(δ > 0)`.
+pub fn read_cost(params: &SystemParams, concurrency_delta: usize) -> f64 {
+    let (n1, n2, k, d) =
+        (params.n1() as f64, params.n2() as f64, params.k() as f64, params.d() as f64);
+    let base = n1 * (1.0 + n2 / d) * 2.0 * d / (k * (2.0 * d - k + 1.0));
+    base + if concurrency_delta > 0 { n1 } else { 0.0 }
+}
+
+/// Permanent (L2) storage cost for a single object (Lemma V.3):
+/// `2·d·n2 / (k(2d − k + 1))`, which is `Θ(1)`.
+pub fn l2_storage_cost(params: &SystemParams) -> f64 {
+    let (n2, k, d) = (params.n2() as f64, params.k() as f64, params.d() as f64);
+    2.0 * d * n2 / (k * (2.0 * d - k + 1.0))
+}
+
+/// Permanent (L2) storage cost for a single object if replication were used
+/// instead of the MBR code (the comparison made below Fig. 6): `n2`.
+pub fn l2_storage_cost_replication(params: &SystemParams) -> f64 {
+    params.n2() as f64
+}
+
+/// Permanent (L2) storage cost for a single object at the MSR point
+/// (Remark 2): `n2 / k`.
+pub fn l2_storage_cost_msr(params: &SystemParams) -> f64 {
+    params.n2() as f64 / params.k() as f64
+}
+
+/// Worst-case temporary (L1) storage cost in the multi-object system of
+/// Lemma V.5: `⌈5 + 2µ⌉·θ·n1`, where `µ = τ2/τ1` and `θ` bounds the number of
+/// concurrent extended writes per `τ1` interval. (Assumes the lemma's
+/// symmetric configuration `n1 = n2`, `f1 = f2`, `τ0 = τ1`.)
+pub fn l1_storage_bound_multi_object(params: &SystemParams, theta: f64, mu: f64) -> f64 {
+    (5.0 + 2.0 * mu).ceil() * theta * params.n1() as f64
+}
+
+/// Permanent (L2) storage cost for `n_objects` objects in the symmetric
+/// configuration of Lemma V.5 (`k = d`): `2·N·n2 / (k + 1)`.
+pub fn l2_storage_bound_multi_object(params: &SystemParams, n_objects: usize) -> f64 {
+    2.0 * n_objects as f64 * params.n2() as f64 / (params.k() as f64 + 1.0)
+}
+
+/// The threshold on the write rate θ below which permanent storage dominates
+/// (Lemma V.5): `θ << N·n2·k / (n1·µ)`.
+pub fn theta_threshold(params: &SystemParams, n_objects: usize, mu: f64) -> f64 {
+    n_objects as f64 * params.n2() as f64 * params.k() as f64 / (params.n1() as f64 * mu)
+}
+
+/// Link-latency bounds (τ0, τ1, τ2) used by the latency analysis of §V-A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBounds {
+    /// Bound on L1 ↔ L1 links.
+    pub tau0: f64,
+    /// Bound on client ↔ L1 links.
+    pub tau1: f64,
+    /// Bound on L1 ↔ L2 links.
+    pub tau2: f64,
+}
+
+impl LatencyBounds {
+    /// Creates a bound set.
+    pub fn new(tau0: f64, tau1: f64, tau2: f64) -> Self {
+        LatencyBounds { tau0, tau1, tau2 }
+    }
+
+    /// The ratio `µ = τ2 / τ1`.
+    pub fn mu(&self) -> f64 {
+        self.tau2 / self.tau1
+    }
+
+    /// Upper bound on the duration of a successful write (Lemma V.4):
+    /// `4·τ1 + 2·τ0`.
+    pub fn write_latency_bound(&self) -> f64 {
+        4.0 * self.tau1 + 2.0 * self.tau0
+    }
+
+    /// Upper bound on the duration of the *extended* write (Lemma V.4):
+    /// `max(3·τ1 + 2·τ0 + 2·τ2, 4·τ1 + 2·τ0)`.
+    pub fn extended_write_latency_bound(&self) -> f64 {
+        (3.0 * self.tau1 + 2.0 * self.tau0 + 2.0 * self.tau2)
+            .max(4.0 * self.tau1 + 2.0 * self.tau0)
+    }
+
+    /// Upper bound on the duration of a successful read (Lemma V.4):
+    /// `max(6·τ1 + 2·τ2, 6·τ1 + 2·τ0 + τ2)`.
+    ///
+    /// The paper states the bound as `max(6τ1 + 2τ2, 5τ1 + 2τ0 + τ2)` in the
+    /// lemma and derives `max(4τ1 + 2τ2, 4τ1 + τ2 + 2τ0) + 2τ1` in the
+    /// appendix; we use the (slightly looser) appendix form, which is the one
+    /// the proof actually establishes.
+    pub fn read_latency_bound(&self) -> f64 {
+        (6.0 * self.tau1 + 2.0 * self.tau2).max(6.0 * self.tau1 + 2.0 * self.tau0 + self.tau2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_params() -> SystemParams {
+        // Fig. 6 configuration: n1 = n2 = 100, k = d = 80.
+        SystemParams::symmetric(100, 10).unwrap()
+    }
+
+    #[test]
+    fn write_cost_is_theta_n1() {
+        // With n1 = Θ(n2), k = Θ(n2), d = Θ(n2), the second term is Θ(1)·n1's
+        // order; check the formula value and the linear growth in n1.
+        let small = SystemParams::symmetric(20, 2).unwrap();
+        let large = SystemParams::symmetric(100, 10).unwrap();
+        let ratio = write_cost(&large) / write_cost(&small);
+        assert!(ratio > 3.0 && ratio < 7.0, "write cost should scale roughly with n1, got {ratio}");
+        // Explicit value for the paper configuration.
+        let p = paper_params();
+        let expected = 100.0 + 100.0 * 100.0 * 160.0 / (80.0 * 81.0);
+        assert!((write_cost(&p) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_cost_is_constant_without_concurrency() {
+        // δ = 0: the read cost should not grow with n1.
+        let costs: Vec<f64> = [20usize, 60, 100]
+            .iter()
+            .map(|&n| read_cost(&SystemParams::symmetric(n, n / 10).unwrap(), 0))
+            .collect();
+        let spread = costs.iter().cloned().fold(f64::MIN, f64::max)
+            - costs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1.5, "read cost at delta=0 is Θ(1), spread was {spread}: {costs:?}");
+        // δ > 0 adds n1.
+        let p = paper_params();
+        assert!((read_cost(&p, 3) - read_cost(&p, 0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_storage_cost_matches_lemma() {
+        let p = paper_params();
+        // 2 d n2 / (k (2d - k + 1)) = 2*80*100 / (80 * 81) = 200/81 ≈ 2.47.
+        assert!((l2_storage_cost(&p) - 200.0 / 81.0).abs() < 1e-9);
+        // The paper highlights this is < 3 per object, vs 100 for replication.
+        assert!(l2_storage_cost(&p) < 3.0);
+        assert_eq!(l2_storage_cost_replication(&p), 100.0);
+        assert!((l2_storage_cost_msr(&p) - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_object_bounds_match_figure_6() {
+        let p = paper_params();
+        let theta = 100.0;
+        let mu = 10.0;
+        // L1 bound: ceil(5 + 20) * 100 * 100 = 250_000, independent of N.
+        assert!((l1_storage_bound_multi_object(&p, theta, mu) - 250_000.0).abs() < 1e-6);
+        // L2 bound grows linearly in N: 2*N*100/81.
+        let at_1000 = l2_storage_bound_multi_object(&p, 1000);
+        let at_2000 = l2_storage_bound_multi_object(&p, 2000);
+        assert!((at_2000 / at_1000 - 2.0).abs() < 1e-9);
+        assert!((at_1000 - 2000.0 * 100.0 / 81.0).abs() < 1e-6);
+        // Crossover: for very large N the L2 cost dominates (the L1 bound is
+        // independent of N, so the linear L2 term overtakes it eventually —
+        // here around N ≈ 101k).
+        assert!(
+            l2_storage_bound_multi_object(&p, 200_000) > l1_storage_bound_multi_object(&p, theta, mu)
+        );
+        assert!(l2_storage_bound_multi_object(&p, 10_000) < l1_storage_bound_multi_object(&p, theta, mu));
+        assert!(theta_threshold(&p, 10_000, mu) > theta);
+    }
+
+    #[test]
+    fn latency_bounds() {
+        let b = LatencyBounds::new(1.0, 1.0, 10.0);
+        assert_eq!(b.mu(), 10.0);
+        assert_eq!(b.write_latency_bound(), 6.0);
+        assert_eq!(b.extended_write_latency_bound(), 25.0);
+        assert_eq!(b.read_latency_bound(), 26.0);
+        // τ2 dominates in edge settings: read latency grows with τ2, write
+        // latency does not (the key benefit of the layered design).
+        let far = LatencyBounds::new(1.0, 1.0, 100.0);
+        assert_eq!(far.write_latency_bound(), b.write_latency_bound());
+        assert!(far.read_latency_bound() > b.read_latency_bound());
+    }
+}

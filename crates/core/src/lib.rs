@@ -1,0 +1,60 @@
+//! # lds-core
+//!
+//! The **Layered Data Storage (LDS)** algorithm of Konwar, Prakash, Lynch and
+//! Médard (PODC 2017): a two-layer erasure-coded fault-tolerant distributed
+//! storage system providing multi-writer multi-reader **atomic** (linearizable)
+//! read/write access.
+//!
+//! * Clients (writers and readers) talk only to the first layer **L1** (the
+//!   "edge"), which provides fast, temporary storage.
+//! * L1 servers talk to the second layer **L2** (the "back-end"), which
+//!   provides permanent storage as coded elements of a **minimum bandwidth
+//!   regenerating (MBR)** code.
+//! * The algorithm tolerates `f1 < n1/2` crashes in L1 and `f2 < n2/3`
+//!   crashes in L2.
+//!
+//! The protocol automata (writer, reader, L1 server, L2 server) are
+//! implemented as [`lds_sim::Process`]es so they can be driven by the
+//! deterministic simulator in `lds-sim`, by the thread-based cluster runtime
+//! in `lds-cluster`, or by any other driver.
+//!
+//! The crate also contains:
+//!
+//! * [`backend`] — the pluggable back-end codec (MBR / MSR / Reed–Solomon /
+//!   replication) used for L2 storage, enabling the paper's ablations;
+//! * [`baselines`] — single-layer baselines: the replication-based ABD
+//!   algorithm and a Reed–Solomon-coded CAS-style algorithm;
+//! * [`consistency`] — operation histories and atomicity (linearizability)
+//!   checkers;
+//! * [`costs`] — the closed-form cost expressions of §V (Lemmas V.2–V.5),
+//!   used by the benchmark harness to compare measured against predicted
+//!   values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod baselines;
+pub mod consistency;
+pub mod costs;
+pub mod membership;
+pub mod messages;
+pub mod params;
+pub mod reader;
+pub mod server1;
+pub mod server2;
+pub mod tag;
+pub mod value;
+pub mod writer;
+
+pub use backend::{BackendCodec, BackendKind};
+pub use consistency::{History, Operation, OperationKind};
+pub use membership::Membership;
+pub use messages::{LdsMessage, ProtocolEvent, ReadPayload};
+pub use params::SystemParams;
+pub use reader::ReaderClient;
+pub use server1::L1Server;
+pub use server2::L2Server;
+pub use tag::{ClientId, ObjectId, OpId, Tag};
+pub use value::Value;
+pub use writer::WriterClient;

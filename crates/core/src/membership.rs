@@ -1,0 +1,83 @@
+//! Static membership of a two-layer LDS deployment.
+
+use lds_sim::ProcessId;
+
+/// Process group used for client processes (readers and writers) when
+/// spawning into a simulation; link latencies to L1 use τ1.
+pub const CLIENT_GROUP: u8 = 0;
+/// Process group used for L1 (edge) servers; L1↔L1 links use τ0.
+pub const L1_GROUP: u8 = 1;
+/// Process group used for L2 (back-end) servers; L1↔L2 links use τ2.
+pub const L2_GROUP: u8 = 2;
+
+/// The process ids of all servers, in layer order.
+///
+/// The LDS model is static: the sets of L1 and L2 servers are fixed for the
+/// whole execution and known to every client and server.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Membership {
+    /// L1 (edge) servers `s_1 … s_{n1}`, in code-index order.
+    pub l1: Vec<ProcessId>,
+    /// L2 (back-end) servers `s_{n1+1} … s_{n1+n2}`, in code-index order.
+    pub l2: Vec<ProcessId>,
+}
+
+impl Membership {
+    /// Creates a membership from the two server lists.
+    pub fn new(l1: Vec<ProcessId>, l2: Vec<ProcessId>) -> Self {
+        Membership { l1, l2 }
+    }
+
+    /// Number of L1 servers.
+    pub fn n1(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Number of L2 servers.
+    pub fn n2(&self) -> usize {
+        self.l2.len()
+    }
+
+    /// The code index (0-based position) of an L1 server process.
+    pub fn l1_index_of(&self, pid: ProcessId) -> Option<usize> {
+        self.l1.iter().position(|&p| p == pid)
+    }
+
+    /// The code index (0-based position) of an L2 server process.
+    pub fn l2_index_of(&self, pid: ProcessId) -> Option<usize> {
+        self.l2.iter().position(|&p| p == pid)
+    }
+
+    /// The fixed relay set `S_{f1+1}` used by the metadata broadcast
+    /// primitive: the first `f1 + 1` L1 servers.
+    pub fn broadcast_relays(&self, f1: usize) -> &[ProcessId] {
+        &self.l1[..(f1 + 1).min(self.l1.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(range: std::ops::Range<usize>) -> Vec<ProcessId> {
+        range.map(ProcessId).collect()
+    }
+
+    #[test]
+    fn index_lookup() {
+        let m = Membership::new(pids(0..5), pids(5..12));
+        assert_eq!(m.n1(), 5);
+        assert_eq!(m.n2(), 7);
+        assert_eq!(m.l1_index_of(ProcessId(3)), Some(3));
+        assert_eq!(m.l1_index_of(ProcessId(9)), None);
+        assert_eq!(m.l2_index_of(ProcessId(5)), Some(0));
+        assert_eq!(m.l2_index_of(ProcessId(11)), Some(6));
+    }
+
+    #[test]
+    fn relay_set_is_first_f1_plus_one() {
+        let m = Membership::new(pids(0..5), pids(5..8));
+        assert_eq!(m.broadcast_relays(1), &[ProcessId(0), ProcessId(1)]);
+        assert_eq!(m.broadcast_relays(10).len(), 5, "relay set never exceeds n1");
+    }
+}

@@ -1,0 +1,377 @@
+//! Protocol messages and harness events.
+//!
+//! One message enum covers all four automata (writer, reader, L1 server, L2
+//! server) plus the harness commands that start client operations. Message
+//! names follow the paper's pseudocode (Figs. 1–3).
+//!
+//! The [`lds_sim::DataSize`] implementation encodes the paper's cost model
+//! (§II-d): only object data (values, coded elements, helper payloads) counts;
+//! tags, counters and other metadata are free.
+
+use crate::tag::{ObjectId, OpId, Tag};
+use crate::value::Value;
+use lds_codes::{HelperData, Share};
+use lds_sim::{DataSize, ProcessId, SimTime};
+
+/// Payload of a server's response to a reader's `QUERY-DATA` (or of a late
+/// response sent while serving a registered reader).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadPayload {
+    /// A full `(tag, value)` pair served from the server's temporary list.
+    Value(Value),
+    /// A `(tag, coded-element)` pair regenerated from L2.
+    Coded(Share),
+    /// `(⊥, ⊥)` — regeneration failed at this server.
+    None,
+}
+
+/// All LDS protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LdsMessage {
+    // ------------------------------------------------------------------
+    // Harness commands (injected from `ProcessId::EXTERNAL`, no link cost).
+    // ------------------------------------------------------------------
+    /// Ask a writer client to perform a write operation.
+    InvokeWrite {
+        /// Target object.
+        obj: ObjectId,
+        /// Value to write.
+        value: Value,
+    },
+    /// Ask a reader client to perform a read operation.
+    InvokeRead {
+        /// Target object.
+        obj: ObjectId,
+    },
+
+    // ------------------------------------------------------------------
+    // Writer <-> L1 (Fig. 1 / Fig. 2).
+    // ------------------------------------------------------------------
+    /// Writer `get-tag` query.
+    QueryTag {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id.
+        op: OpId,
+    },
+    /// Server response to [`LdsMessage::QueryTag`]: the maximum tag in its
+    /// list.
+    TagResp {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id echoed back.
+        op: OpId,
+        /// Maximum tag in the server's list.
+        tag: Tag,
+    },
+    /// Writer `put-data`: the new `(tag, value)` pair.
+    PutData {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id.
+        op: OpId,
+        /// The new tag.
+        tag: Tag,
+        /// The value being written.
+        value: Value,
+    },
+    /// Server acknowledgment of a write (sent from `put-data-resp` when the
+    /// tag is stale, or from `broadcast-resp` once enough COMMIT-TAG
+    /// broadcasts have been consumed).
+    AckPutData {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id echoed back.
+        op: OpId,
+        /// The written tag.
+        tag: Tag,
+    },
+
+    // ------------------------------------------------------------------
+    // Metadata broadcast primitive among L1 servers (§III, from ref. [17]).
+    // ------------------------------------------------------------------
+    /// First hop: the broadcasting server sends to the fixed relay set
+    /// `S_{f1+1}`.
+    BcastSend {
+        /// Target object.
+        obj: ObjectId,
+        /// The committed tag being announced.
+        tag: Tag,
+        /// The server that initiated this broadcast.
+        origin: ProcessId,
+    },
+    /// Second hop: a relay forwards to every L1 server; consuming this
+    /// message triggers the `broadcast-resp` action.
+    BcastDeliver {
+        /// Target object.
+        obj: ObjectId,
+        /// The committed tag being announced.
+        tag: Tag,
+        /// The server that initiated this broadcast.
+        origin: ProcessId,
+    },
+
+    // ------------------------------------------------------------------
+    // Reader <-> L1 (Fig. 1 / Fig. 2).
+    // ------------------------------------------------------------------
+    /// Reader `get-committed-tag` query.
+    QueryCommTag {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id.
+        op: OpId,
+    },
+    /// Server response to [`LdsMessage::QueryCommTag`]: its committed tag.
+    CommTagResp {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id echoed back.
+        op: OpId,
+        /// The server's committed tag `t_c`.
+        tag: Tag,
+    },
+    /// Reader `get-data` request for tag at least `treq`.
+    QueryData {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id.
+        op: OpId,
+        /// The requested tag.
+        treq: Tag,
+    },
+    /// Server response to [`LdsMessage::QueryData`] — possibly sent later
+    /// than the request if the reader was registered and served during a
+    /// subsequent `broadcast-resp` / `put-tag-resp`.
+    DataResp {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id echoed back.
+        op: OpId,
+        /// Tag of the payload (`None` encodes the paper's `⊥`).
+        tag: Option<Tag>,
+        /// The payload.
+        payload: ReadPayload,
+    },
+    /// Reader `put-tag` write-back (tag only — no value, which is what keeps
+    /// the read cost low).
+    PutTag {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id.
+        op: OpId,
+        /// The tag being written back.
+        tag: Tag,
+    },
+    /// Server acknowledgment of a [`LdsMessage::PutTag`].
+    AckPutTag {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id echoed back.
+        op: OpId,
+    },
+
+    // ------------------------------------------------------------------
+    // L1 <-> L2 internal operations (Fig. 2 / Fig. 3).
+    // ------------------------------------------------------------------
+    /// `write-to-L2`: an L1 server offloads a coded element to an L2 server.
+    WriteCodeElem {
+        /// Target object.
+        obj: ObjectId,
+        /// Tag of the value the element encodes.
+        tag: Tag,
+        /// The coded element `c_{n1+i}`.
+        element: Share,
+    },
+    /// L2 acknowledgment of a [`LdsMessage::WriteCodeElem`].
+    AckCodeElem {
+        /// Target object.
+        obj: ObjectId,
+        /// The acknowledged tag.
+        tag: Tag,
+    },
+    /// `regenerate-from-L2`: an L1 server asks an L2 server for helper data
+    /// on behalf of reader `reader` / operation `op`.
+    QueryCodeElem {
+        /// Target object.
+        obj: ObjectId,
+        /// The reader being served (metadata, used to key the helper set).
+        reader: ProcessId,
+        /// The reader's operation id.
+        op: OpId,
+    },
+    /// L2 response to [`LdsMessage::QueryCodeElem`]: helper data computed
+    /// from its stored coded element.
+    SendHelperElem {
+        /// Target object.
+        obj: ObjectId,
+        /// The reader being served.
+        reader: ProcessId,
+        /// The reader's operation id.
+        op: OpId,
+        /// Tag of the stored element the helper data was computed from.
+        tag: Tag,
+        /// The helper payload `h_{n1+i, j}`.
+        helper: HelperData,
+    },
+}
+
+impl DataSize for LdsMessage {
+    fn data_size(&self) -> usize {
+        match self {
+            LdsMessage::PutData { value, .. } => value.len(),
+            LdsMessage::InvokeWrite { value, .. } => value.len(),
+            LdsMessage::DataResp { payload, .. } => match payload {
+                ReadPayload::Value(v) => v.len(),
+                ReadPayload::Coded(share) => share.data.len(),
+                ReadPayload::None => 0,
+            },
+            LdsMessage::WriteCodeElem { element, .. } => element.data.len(),
+            LdsMessage::SendHelperElem { helper, .. } => helper.data.len(),
+            // Everything else is metadata (tags, acks, queries, broadcasts).
+            _ => 0,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            LdsMessage::InvokeWrite { .. } => "INVOKE-WRITE",
+            LdsMessage::InvokeRead { .. } => "INVOKE-READ",
+            LdsMessage::QueryTag { .. } => "QUERY-TAG",
+            LdsMessage::TagResp { .. } => "TAG-RESP",
+            LdsMessage::PutData { .. } => "PUT-DATA",
+            LdsMessage::AckPutData { .. } => "ACK-PUT-DATA",
+            LdsMessage::BcastSend { .. } => "BCAST-SEND",
+            LdsMessage::BcastDeliver { .. } => "COMMIT-TAG",
+            LdsMessage::QueryCommTag { .. } => "QUERY-COMM-TAG",
+            LdsMessage::CommTagResp { .. } => "COMM-TAG-RESP",
+            LdsMessage::QueryData { .. } => "QUERY-DATA",
+            LdsMessage::DataResp { .. } => "DATA-RESP",
+            LdsMessage::PutTag { .. } => "PUT-TAG",
+            LdsMessage::AckPutTag { .. } => "ACK-PUT-TAG",
+            LdsMessage::WriteCodeElem { .. } => "WRITE-CODE-ELEM",
+            LdsMessage::AckCodeElem { .. } => "ACK-CODE-ELEM",
+            LdsMessage::QueryCodeElem { .. } => "QUERY-CODE-ELEM",
+            LdsMessage::SendHelperElem { .. } => "SEND-HELPER-ELEM",
+        }
+    }
+}
+
+/// Events emitted by client automata to the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolEvent {
+    /// A write operation completed.
+    WriteCompleted {
+        /// Operation id.
+        op: OpId,
+        /// Target object.
+        obj: ObjectId,
+        /// The tag the writer created.
+        tag: Tag,
+        /// The written value.
+        value: Value,
+        /// Invocation time.
+        invoked_at: SimTime,
+    },
+    /// A read operation completed.
+    ReadCompleted {
+        /// Operation id.
+        op: OpId,
+        /// Target object.
+        obj: ObjectId,
+        /// The tag associated with the returned value.
+        tag: Tag,
+        /// The returned value.
+        value: Value,
+        /// Invocation time.
+        invoked_at: SimTime,
+    },
+}
+
+impl ProtocolEvent {
+    /// The operation id of the completed operation.
+    pub fn op(&self) -> OpId {
+        match self {
+            ProtocolEvent::WriteCompleted { op, .. } | ProtocolEvent::ReadCompleted { op, .. } => {
+                *op
+            }
+        }
+    }
+
+    /// The object the operation acted on.
+    pub fn object(&self) -> ObjectId {
+        match self {
+            ProtocolEvent::WriteCompleted { obj, .. } | ProtocolEvent::ReadCompleted { obj, .. } => {
+                *obj
+            }
+        }
+    }
+
+    /// The tag associated with the operation.
+    pub fn tag(&self) -> Tag {
+        match self {
+            ProtocolEvent::WriteCompleted { tag, .. } | ProtocolEvent::ReadCompleted { tag, .. } => {
+                *tag
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::ClientId;
+
+    #[test]
+    fn data_sizes_follow_cost_model() {
+        let obj = ObjectId(0);
+        let op = OpId::new(ClientId(1), 0);
+        let tag = Tag::initial();
+        let value = Value::new(vec![0u8; 100]);
+
+        let put = LdsMessage::PutData { obj, op, tag, value: value.clone() };
+        assert_eq!(put.data_size(), 100);
+        assert_eq!(put.kind(), "PUT-DATA");
+
+        let query = LdsMessage::QueryTag { obj, op };
+        assert_eq!(query.data_size(), 0, "metadata is free");
+
+        let coded = LdsMessage::DataResp {
+            obj,
+            op,
+            tag: Some(tag),
+            payload: ReadPayload::Coded(Share::new(0, vec![1; 25])),
+        };
+        assert_eq!(coded.data_size(), 25);
+
+        let miss = LdsMessage::DataResp { obj, op, tag: None, payload: ReadPayload::None };
+        assert_eq!(miss.data_size(), 0);
+
+        let helper = LdsMessage::SendHelperElem {
+            obj,
+            reader: ProcessId(9),
+            op,
+            tag,
+            helper: HelperData::new(5, 1, vec![0; 7]),
+        };
+        assert_eq!(helper.data_size(), 7);
+        assert_eq!(helper.kind(), "SEND-HELPER-ELEM");
+
+        let bcast = LdsMessage::BcastDeliver { obj, tag, origin: ProcessId(2) };
+        assert_eq!(bcast.data_size(), 0);
+        assert_eq!(bcast.kind(), "COMMIT-TAG");
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = ProtocolEvent::WriteCompleted {
+            op: OpId::new(ClientId(3), 7),
+            obj: ObjectId(2),
+            tag: Tag::new(4, ClientId(3)),
+            value: Value::from("x"),
+            invoked_at: SimTime::ZERO,
+        };
+        assert_eq!(e.op(), OpId::new(ClientId(3), 7));
+        assert_eq!(e.object(), ObjectId(2));
+        assert_eq!(e.tag(), Tag::new(4, ClientId(3)));
+    }
+}

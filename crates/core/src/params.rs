@@ -1,0 +1,228 @@
+//! System parameters of a two-layer LDS deployment.
+
+use std::fmt;
+
+/// Errors produced when validating [`SystemParams`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidParams(pub String);
+
+impl fmt::Display for InvalidParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid LDS system parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParams {}
+
+/// Validated parameters of the two-layer system.
+///
+/// The paper fixes the relations `n1 = 2·f1 + k` and `n2 = 2·f2 + d`, where
+/// `k` and `d` are the reconstruction threshold and repair degree of the
+/// regenerating code `C`, `f1 < n1/2` is the L1 fault tolerance and
+/// `f2 < n2/3` the L2 fault tolerance (the latter requires `d > f2`).
+///
+/// ```rust
+/// use lds_core::params::SystemParams;
+/// // 5 edge servers tolerating 1 crash, 7 back-end servers tolerating 1 crash.
+/// let p = SystemParams::for_failures(1, 1, 3, 5).unwrap();
+/// assert_eq!((p.n1(), p.n2(), p.k(), p.d()), (5, 7, 3, 5));
+/// assert_eq!(p.write_quorum(), 4);    // f1 + k
+/// assert_eq!(p.l2_quorum(), 6);       // f2 + d = n2 - f2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemParams {
+    n1: usize,
+    n2: usize,
+    f1: usize,
+    f2: usize,
+    k: usize,
+    d: usize,
+}
+
+impl SystemParams {
+    /// Builds parameters from layer sizes and fault tolerances, deriving
+    /// `k = n1 − 2·f1` and `d = n2 − 2·f2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] unless `f1 < n1/2`, `f2 < n2/3`,
+    /// `1 ≤ k ≤ d` and `f2 < d`.
+    pub fn new(n1: usize, n2: usize, f1: usize, f2: usize) -> Result<Self, InvalidParams> {
+        if n1 == 0 || n2 == 0 {
+            return Err(InvalidParams("both layers need at least one server".into()));
+        }
+        if 2 * f1 >= n1 {
+            return Err(InvalidParams(format!("need f1 < n1/2 (got f1={f1}, n1={n1})")));
+        }
+        if 3 * f2 >= n2 {
+            return Err(InvalidParams(format!("need f2 < n2/3 (got f2={f2}, n2={n2})")));
+        }
+        let k = n1 - 2 * f1;
+        let d = n2 - 2 * f2;
+        if k == 0 {
+            return Err(InvalidParams("derived k = n1 - 2*f1 must be at least 1".into()));
+        }
+        if k > d {
+            return Err(InvalidParams(format!(
+                "the MBR code requires k <= d, but n1 - 2*f1 = {k} > n2 - 2*f2 = {d}"
+            )));
+        }
+        if d <= f2 {
+            return Err(InvalidParams(format!("need d > f2 (got d={d}, f2={f2})")));
+        }
+        Ok(SystemParams { n1, n2, f1, f2, k, d })
+    }
+
+    /// Builds parameters from fault tolerances and code parameters, deriving
+    /// `n1 = 2·f1 + k` and `n2 = 2·f2 + d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] under the same conditions as
+    /// [`SystemParams::new`].
+    pub fn for_failures(f1: usize, f2: usize, k: usize, d: usize) -> Result<Self, InvalidParams> {
+        Self::new(2 * f1 + k, 2 * f2 + d, f1, f2)
+    }
+
+    /// A small symmetric configuration convenient for tests: `n1 = n2 = n`,
+    /// `f1 = f2 = f` (which forces `k = d = n − 2f`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParams`] if the constraints cannot be met.
+    pub fn symmetric(n: usize, f: usize) -> Result<Self, InvalidParams> {
+        Self::new(n, n, f, f)
+    }
+
+    /// Number of L1 (edge) servers.
+    pub fn n1(&self) -> usize {
+        self.n1
+    }
+
+    /// Number of L2 (back-end) servers.
+    pub fn n2(&self) -> usize {
+        self.n2
+    }
+
+    /// L1 crash-fault tolerance.
+    pub fn f1(&self) -> usize {
+        self.f1
+    }
+
+    /// L2 crash-fault tolerance.
+    pub fn f2(&self) -> usize {
+        self.f2
+    }
+
+    /// Reconstruction threshold of the code (`k = n1 − 2·f1`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Repair degree of the code (`d = n2 − 2·f2`).
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Total code length `n = n1 + n2` of the code `C`.
+    pub fn code_length(&self) -> usize {
+        self.n1 + self.n2
+    }
+
+    /// Quorum of L1 responses a writer waits for in both phases (`f1 + k`).
+    pub fn write_quorum(&self) -> usize {
+        self.f1 + self.k
+    }
+
+    /// Quorum of L1 responses a reader waits for in all three phases
+    /// (`f1 + k`).
+    pub fn read_quorum(&self) -> usize {
+        self.f1 + self.k
+    }
+
+    /// Number of distinct COMMIT-TAG broadcasts a server must consume before
+    /// acknowledging a write (`f1 + k`).
+    pub fn commit_quorum(&self) -> usize {
+        self.f1 + self.k
+    }
+
+    /// Number of L2 responses an L1 server waits for during `write-to-L2`
+    /// and `regenerate-from-L2` (`f2 + d = n2 − f2`).
+    pub fn l2_quorum(&self) -> usize {
+        self.f2 + self.d
+    }
+
+    /// Size of the relay set used by the metadata broadcast primitive
+    /// (`f1 + 1`).
+    pub fn broadcast_relays(&self) -> usize {
+        self.f1 + 1
+    }
+}
+
+impl fmt::Display for SystemParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LDS {{ n1={}, n2={}, f1={}, f2={}, k={}, d={} }}",
+            self.n1, self.n2, self.f1, self.f2, self.k, self.d
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivations_match_paper_relations() {
+        let p = SystemParams::new(10, 12, 3, 2).unwrap();
+        assert_eq!(p.k(), 10 - 6);
+        assert_eq!(p.d(), 12 - 4);
+        assert_eq!(p.write_quorum(), 3 + 4);
+        assert_eq!(p.l2_quorum(), 12 - 2);
+        assert_eq!(p.code_length(), 22);
+        assert_eq!(p.broadcast_relays(), 4);
+
+        let q = SystemParams::for_failures(3, 2, 4, 8).unwrap();
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn symmetric_configuration() {
+        let p = SystemParams::symmetric(10, 2).unwrap();
+        assert_eq!(p.n1(), 10);
+        assert_eq!(p.n2(), 10);
+        assert_eq!(p.k(), 6);
+        assert_eq!(p.d(), 6);
+    }
+
+    #[test]
+    fn fault_bounds_enforced() {
+        // f1 >= n1/2.
+        assert!(SystemParams::new(4, 9, 2, 1).is_err());
+        // f2 >= n2/3.
+        assert!(SystemParams::new(5, 9, 1, 3).is_err());
+        // k > d.
+        assert!(SystemParams::new(9, 5, 1, 1).is_err());
+        // Empty layers.
+        assert!(SystemParams::new(0, 5, 0, 1).is_err());
+        assert!(SystemParams::new(5, 0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn paper_figure_6_parameters_are_valid() {
+        // Fig. 6: n1 = n2 = 100, k = d = 80 ⇒ f1 = f2 = 10.
+        let p = SystemParams::symmetric(100, 10).unwrap();
+        assert_eq!(p.k(), 80);
+        assert_eq!(p.d(), 80);
+        assert_eq!(p.write_quorum(), 90);
+        assert_eq!(p.l2_quorum(), 90);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = SystemParams::symmetric(6, 1).unwrap();
+        assert!(p.to_string().contains("n1=6"));
+        assert!(InvalidParams("x".into()).to_string().contains("invalid"));
+    }
+}

@@ -1,0 +1,512 @@
+//! The reader client automaton — right column of Fig. 1.
+//!
+//! A read is three phases, all against L1 only:
+//!
+//! 1. **get-committed-tag**: collect committed tags from `f1 + k` servers and
+//!    set `t_req` to their maximum.
+//! 2. **get-data**: send `t_req` to all L1 servers and wait for responses
+//!    from `f1 + k` distinct servers such that at least one is a
+//!    `(tag, value)` pair, or at least `k` are `(tag, coded-element)` pairs
+//!    for a common tag (in which case the value is decoded with the code
+//!    `C1`). The pair with the highest tag is selected.
+//! 3. **put-tag**: write back the selected tag (not the value) to `f1 + k`
+//!    servers, then return the value.
+
+use crate::backend::BackendCodec;
+use crate::membership::Membership;
+use crate::messages::{LdsMessage, ProtocolEvent, ReadPayload};
+use crate::params::SystemParams;
+use crate::tag::{ClientId, ObjectId, OpId, Tag};
+use crate::value::Value;
+use lds_codes::Share;
+use lds_sim::{Context, Process, ProcessId, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ReadPhase {
+    GetCommittedTag,
+    GetData,
+    PutTag,
+}
+
+struct ReadOp {
+    op: OpId,
+    obj: ObjectId,
+    invoked_at: SimTime,
+    phase: ReadPhase,
+    comm_tags: HashMap<ProcessId, Tag>,
+    treq: Tag,
+    /// Distinct servers that have responded in the get-data phase.
+    responders: HashSet<ProcessId>,
+    /// Full (tag, value) responses received.
+    value_responses: BTreeMap<Tag, Value>,
+    /// Coded responses received, grouped by tag and deduplicated by share
+    /// index.
+    coded_responses: BTreeMap<Tag, HashMap<usize, Share>>,
+    /// The selected result, fixed when entering put-tag.
+    result: Option<(Tag, Value)>,
+    put_tag_acks: HashSet<ProcessId>,
+}
+
+/// The reader client automaton.
+///
+/// Readers are *well-formed*: a new [`LdsMessage::InvokeRead`] must not be
+/// injected before the previous read completed.
+pub struct ReaderClient {
+    id: ClientId,
+    params: SystemParams,
+    membership: Membership,
+    backend: Arc<dyn BackendCodec>,
+    next_seq: u64,
+    current: Option<ReadOp>,
+    completed: u64,
+    /// Number of completed reads that were served purely from L1 value
+    /// responses (no coded decode needed) — useful for cache-hit style
+    /// statistics in the examples.
+    served_from_l1: u64,
+}
+
+impl ReaderClient {
+    /// Creates a reader with the given client id.
+    pub fn new(
+        id: ClientId,
+        params: SystemParams,
+        membership: Membership,
+        backend: Arc<dyn BackendCodec>,
+    ) -> Self {
+        assert_eq!(membership.n1(), params.n1(), "membership/params n1 mismatch");
+        ReaderClient {
+            id,
+            params,
+            membership,
+            backend,
+            next_seq: 0,
+            current: None,
+            completed: 0,
+            served_from_l1: 0,
+        }
+    }
+
+    /// The reader's client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Whether a read is currently in progress.
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Number of reads completed by this client.
+    pub fn completed_ops(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of completed reads that did not require decoding coded
+    /// elements.
+    pub fn reads_served_from_l1(&self) -> u64 {
+        self.served_from_l1
+    }
+
+    fn start_read(&mut self, obj: ObjectId, ctx: &mut Context<'_, LdsMessage, ProtocolEvent>) {
+        assert!(
+            self.current.is_none(),
+            "reader {} received a new invocation while busy (clients must be well-formed)",
+            self.id
+        );
+        let op = OpId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        self.current = Some(ReadOp {
+            op,
+            obj,
+            invoked_at: ctx.now(),
+            phase: ReadPhase::GetCommittedTag,
+            comm_tags: HashMap::new(),
+            treq: Tag::initial(),
+            responders: HashSet::new(),
+            value_responses: BTreeMap::new(),
+            coded_responses: BTreeMap::new(),
+            result: None,
+            put_tag_acks: HashSet::new(),
+        });
+        ctx.send_all(self.membership.l1.iter().copied(), LdsMessage::QueryCommTag { obj, op });
+    }
+
+    fn on_comm_tag_resp(
+        &mut self,
+        from: ProcessId,
+        op: OpId,
+        tag: Tag,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let quorum = self.params.read_quorum();
+        let membership = self.membership.l1.clone();
+        let Some(current) = self.current.as_mut() else { return };
+        if current.op != op || current.phase != ReadPhase::GetCommittedTag {
+            return;
+        }
+        current.comm_tags.insert(from, tag);
+        if current.comm_tags.len() < quorum {
+            return;
+        }
+        current.treq = current.comm_tags.values().max().copied().unwrap_or_else(Tag::initial);
+        current.phase = ReadPhase::GetData;
+        let msg = LdsMessage::QueryData { obj: current.obj, op: current.op, treq: current.treq };
+        ctx.send_all(membership, msg);
+    }
+
+    fn on_data_resp(
+        &mut self,
+        from: ProcessId,
+        op: OpId,
+        tag: Option<Tag>,
+        payload: ReadPayload,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let quorum = self.params.read_quorum();
+        let decode_threshold = self.backend.decode_threshold();
+        let backend = Arc::clone(&self.backend);
+        let membership = self.membership.l1.clone();
+        let Some(current) = self.current.as_mut() else { return };
+        if current.op != op || current.phase != ReadPhase::GetData {
+            return;
+        }
+        current.responders.insert(from);
+        match (tag, payload) {
+            (Some(t), ReadPayload::Value(v)) => {
+                current.value_responses.insert(t, v);
+            }
+            (Some(t), ReadPayload::Coded(share)) => {
+                current.coded_responses.entry(t).or_default().insert(share.index, share);
+            }
+            _ => {} // (⊥, ⊥): counts towards the responder set only
+        }
+
+        if current.responders.len() < quorum {
+            return;
+        }
+        // Candidate from full values.
+        let mut best: Option<(Tag, Value, bool)> = current
+            .value_responses
+            .iter()
+            .next_back()
+            .map(|(t, v)| (*t, v.clone(), true));
+        // Candidate from coded elements: highest tag with >= k distinct shares.
+        for (t, shares) in current.coded_responses.iter().rev() {
+            if best.as_ref().is_some_and(|(bt, _, _)| bt >= t) {
+                break;
+            }
+            if shares.len() >= decode_threshold {
+                let share_vec: Vec<Share> = shares.values().cloned().collect();
+                if let Ok(bytes) = backend.decode_from_l1(&share_vec) {
+                    best = Some((*t, Value::new(bytes), false));
+                    break;
+                }
+            }
+        }
+        let Some((tag, value, from_l1_value)) = best else {
+            return; // condition not yet satisfied; keep waiting for responses
+        };
+        if tag < current.treq {
+            // Should be impossible (servers filter on treq); wait for more.
+            return;
+        }
+        current.result = Some((tag, value));
+        current.phase = ReadPhase::PutTag;
+        let (obj, op) = (current.obj, current.op);
+        if from_l1_value {
+            self.served_from_l1 += 1;
+        }
+        ctx.send_all(membership, LdsMessage::PutTag { obj, op, tag });
+    }
+
+    fn on_ack_put_tag(
+        &mut self,
+        from: ProcessId,
+        op: OpId,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let quorum = self.params.read_quorum();
+        let Some(current) = self.current.as_mut() else { return };
+        if current.op != op || current.phase != ReadPhase::PutTag {
+            return;
+        }
+        current.put_tag_acks.insert(from);
+        if current.put_tag_acks.len() < quorum {
+            return;
+        }
+        let finished = self.current.take().expect("checked above");
+        let (tag, value) = finished.result.expect("result fixed before put-tag");
+        self.completed += 1;
+        ctx.emit(ProtocolEvent::ReadCompleted {
+            op: finished.op,
+            obj: finished.obj,
+            tag,
+            value,
+            invoked_at: finished.invoked_at,
+        });
+    }
+}
+
+impl Process<LdsMessage, ProtocolEvent> for ReaderClient {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: LdsMessage,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        match msg {
+            LdsMessage::InvokeRead { obj } => self.start_read(obj, ctx),
+            LdsMessage::CommTagResp { op, tag, .. } => self.on_comm_tag_resp(from, op, tag, ctx),
+            LdsMessage::DataResp { op, tag, payload, .. } => {
+                self.on_data_resp(from, op, tag, payload, ctx)
+            }
+            LdsMessage::AckPutTag { op, .. } => self.on_ack_put_tag(from, op, ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{make_backend, BackendKind};
+
+    fn setup() -> (SystemParams, Membership, Arc<dyn BackendCodec>) {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap(); // n1=4, n2=5, k=2, d=3
+        let l1: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let l2: Vec<ProcessId> = (4..9).map(ProcessId).collect();
+        let membership = Membership::new(l1, l2);
+        let backend = make_backend(BackendKind::Mbr, &params).unwrap();
+        (params, membership, backend)
+    }
+
+    fn step(
+        r: &mut ReaderClient,
+        from: ProcessId,
+        msg: LdsMessage,
+    ) -> (Vec<(ProcessId, LdsMessage)>, Vec<ProtocolEvent>) {
+        let mut outgoing = Vec::new();
+        let mut events = Vec::new();
+        let mut ctx =
+            Context::standalone(ProcessId(50), SimTime::ZERO, &mut outgoing, &mut events);
+        r.on_message(from, msg, &mut ctx);
+        (outgoing, events.into_iter().map(|(_, _, e)| e).collect())
+    }
+
+    fn start_and_reach_get_data(r: &mut ReaderClient, treq: Tag) -> OpId {
+        let (out, _) = step(r, ProcessId::EXTERNAL, LdsMessage::InvokeRead { obj: ObjectId(0) });
+        assert_eq!(out.len(), 4);
+        let op = match &out[0].1 {
+            LdsMessage::QueryCommTag { op, .. } => *op,
+            _ => unreachable!(),
+        };
+        let mut query_data_sent = false;
+        for i in 0..3 {
+            let (out, _) = step(r, ProcessId(i), LdsMessage::CommTagResp {
+                obj: ObjectId(0),
+                op,
+                tag: treq,
+            });
+            if !out.is_empty() {
+                assert!(out.iter().all(|(_, m)| matches!(m, LdsMessage::QueryData { .. })));
+                query_data_sent = true;
+            }
+        }
+        assert!(query_data_sent);
+        op
+    }
+
+    #[test]
+    fn read_served_by_value_responses() {
+        let (params, membership, backend) = setup();
+        let mut r = ReaderClient::new(ClientId(5), params, membership, backend);
+        let treq = Tag::new(2, ClientId(1));
+        let op = start_and_reach_get_data(&mut r, treq);
+
+        // Two servers answer with (tag, value) pairs for different tags, one
+        // answers (⊥, ⊥); after 3 distinct responders with at least one value
+        // the reader picks the highest tag and writes it back.
+        step(&mut r, ProcessId(0), LdsMessage::DataResp {
+            obj: ObjectId(0),
+            op,
+            tag: Some(Tag::new(2, ClientId(1))),
+            payload: ReadPayload::Value(Value::from("older")),
+        });
+        step(&mut r, ProcessId(1), LdsMessage::DataResp {
+            obj: ObjectId(0),
+            op,
+            tag: None,
+            payload: ReadPayload::None,
+        });
+        let (out, _) = step(&mut r, ProcessId(2), LdsMessage::DataResp {
+            obj: ObjectId(0),
+            op,
+            tag: Some(Tag::new(3, ClientId(2))),
+            payload: ReadPayload::Value(Value::from("newest")),
+        });
+        assert_eq!(out.len(), 4);
+        match &out[0].1 {
+            LdsMessage::PutTag { tag, .. } => assert_eq!(*tag, Tag::new(3, ClientId(2))),
+            other => panic!("expected PUT-TAG, got {other:?}"),
+        }
+
+        // Three ACK-PUT-TAG responses complete the read.
+        let mut events = Vec::new();
+        for i in 0..3 {
+            let (_, evs) =
+                step(&mut r, ProcessId(i), LdsMessage::AckPutTag { obj: ObjectId(0), op });
+            events = evs;
+        }
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            ProtocolEvent::ReadCompleted { tag, value, .. } => {
+                assert_eq!(*tag, Tag::new(3, ClientId(2)));
+                assert_eq!(value.as_bytes(), b"newest");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(r.completed_ops(), 1);
+        assert_eq!(r.reads_served_from_l1(), 1);
+        assert!(!r.is_busy());
+    }
+
+    #[test]
+    fn read_decodes_from_coded_elements() {
+        let (params, membership, backend) = setup();
+        let mut r =
+            ReaderClient::new(ClientId(6), params, membership, Arc::clone(&backend));
+        let tag = Tag::new(4, ClientId(2));
+        let op = start_and_reach_get_data(&mut r, tag);
+
+        // Regenerate the value's C1 elements for servers 0 and 1 (k = 2).
+        let value = Value::from("decoded from the back-end layer");
+        let mut c1_shares = Vec::new();
+        for l1 in 0..2 {
+            let helpers: Vec<_> = (0..3)
+                .map(|i| {
+                    let elem = backend.encode_l2_element(&value, i).unwrap();
+                    backend.helper_for_l1(&elem, i, l1).unwrap()
+                })
+                .collect();
+            c1_shares.push(backend.regenerate_l1(l1, &helpers).unwrap());
+        }
+
+        step(&mut r, ProcessId(2), LdsMessage::DataResp {
+            obj: ObjectId(0),
+            op,
+            tag: None,
+            payload: ReadPayload::None,
+        });
+        step(&mut r, ProcessId(0), LdsMessage::DataResp {
+            obj: ObjectId(0),
+            op,
+            tag: Some(tag),
+            payload: ReadPayload::Coded(c1_shares[0].clone()),
+        });
+        let (out, _) = step(&mut r, ProcessId(1), LdsMessage::DataResp {
+            obj: ObjectId(0),
+            op,
+            tag: Some(tag),
+            payload: ReadPayload::Coded(c1_shares[1].clone()),
+        });
+        assert!(
+            out.iter().all(|(_, m)| matches!(m, LdsMessage::PutTag { .. })) && out.len() == 4,
+            "decoding k coded elements moves the reader to put-tag"
+        );
+
+        let mut events = Vec::new();
+        for i in 0..3 {
+            let (_, evs) =
+                step(&mut r, ProcessId(i), LdsMessage::AckPutTag { obj: ObjectId(0), op });
+            events = evs;
+        }
+        match &events[0] {
+            ProtocolEvent::ReadCompleted { value: v, tag: t, .. } => {
+                assert_eq!(v.as_bytes(), value.as_bytes());
+                assert_eq!(*t, tag);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(r.reads_served_from_l1(), 0);
+    }
+
+    #[test]
+    fn insufficient_responses_keep_waiting() {
+        let (params, membership, backend) = setup();
+        let mut r = ReaderClient::new(ClientId(7), params, membership, backend);
+        let op = start_and_reach_get_data(&mut r, Tag::initial());
+
+        // Three (⊥,⊥) responses: responder quorum reached but no usable data,
+        // so the read must not progress.
+        for i in 0..3 {
+            let (out, _) = step(&mut r, ProcessId(i), LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: None,
+                payload: ReadPayload::None,
+            });
+            assert!(out.is_empty());
+        }
+        assert!(r.is_busy());
+
+        // A late value response finally unblocks it.
+        let (out, _) = step(&mut r, ProcessId(0), LdsMessage::DataResp {
+            obj: ObjectId(0),
+            op,
+            tag: Some(Tag::new(1, ClientId(1))),
+            payload: ReadPayload::Value(Value::from("late")),
+        });
+        assert!(out.iter().any(|(_, m)| matches!(m, LdsMessage::PutTag { .. })));
+    }
+
+    #[test]
+    fn coded_elements_for_distinct_tags_do_not_combine() {
+        let (params, membership, backend) = setup();
+        let mut r =
+            ReaderClient::new(ClientId(8), params, membership, Arc::clone(&backend));
+        let op = start_and_reach_get_data(&mut r, Tag::initial());
+
+        let value = Value::from("v");
+        let helpers: Vec<_> = (0..3)
+            .map(|i| {
+                let elem = backend.encode_l2_element(&value, i).unwrap();
+                backend.helper_for_l1(&elem, i, 0).unwrap()
+            })
+            .collect();
+        let share0 = backend.regenerate_l1(0, &helpers).unwrap();
+
+        // Two coded responses with *different* tags: even with responder
+        // quorum, k distinct shares for a common tag are missing.
+        step(&mut r, ProcessId(0), LdsMessage::DataResp {
+            obj: ObjectId(0),
+            op,
+            tag: Some(Tag::new(1, ClientId(1))),
+            payload: ReadPayload::Coded(share0.clone()),
+        });
+        step(&mut r, ProcessId(1), LdsMessage::DataResp {
+            obj: ObjectId(0),
+            op,
+            tag: Some(Tag::new(2, ClientId(1))),
+            payload: ReadPayload::Coded(share0.clone()),
+        });
+        let (out, _) = step(&mut r, ProcessId(2), LdsMessage::DataResp {
+            obj: ObjectId(0),
+            op,
+            tag: None,
+            payload: ReadPayload::None,
+        });
+        assert!(out.is_empty());
+        assert!(r.is_busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "well-formed")]
+    fn overlapping_reads_panic() {
+        let (params, membership, backend) = setup();
+        let mut r = ReaderClient::new(ClientId(9), params, membership, backend);
+        step(&mut r, ProcessId::EXTERNAL, LdsMessage::InvokeRead { obj: ObjectId(0) });
+        step(&mut r, ProcessId::EXTERNAL, LdsMessage::InvokeRead { obj: ObjectId(0) });
+    }
+}

@@ -1,0 +1,956 @@
+//! The L1 (edge) server automaton — Fig. 2 of the paper.
+//!
+//! An L1 server `s_j` provides temporary storage for values being written,
+//! answers client queries, participates in the metadata broadcast primitive,
+//! and performs the two internal operations against the back-end layer:
+//! `write-to-L2` (offloading coded elements) and `regenerate-from-L2`
+//! (repairing its own coded element `c_j` from helper data).
+//!
+//! One server process hosts the per-object state of every object it has seen,
+//! so a multi-object system (paper §V-A.1) runs on the same `n1 + n2`
+//! processes.
+
+use crate::backend::BackendCodec;
+use crate::membership::Membership;
+use crate::messages::{LdsMessage, ProtocolEvent, ReadPayload};
+use crate::params::SystemParams;
+use crate::tag::{ObjectId, OpId, Tag};
+use crate::value::Value;
+use lds_codes::HelperData;
+use lds_sim::{Context, Process, ProcessId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Tuning options for an L1 server.
+#[derive(Debug, Clone, Copy)]
+pub struct L1Options {
+    /// If true, the COMMIT-TAG broadcast is sent directly to all L1 servers
+    /// instead of through the `f1 + 1` relay set. This loses tolerance to the
+    /// broadcaster crashing mid-broadcast but reduces the metadata message
+    /// count from `O(f1·n1)` to `O(n1)` per write — useful for large sweeps.
+    pub direct_broadcast: bool,
+}
+
+impl Default for L1Options {
+    fn default() -> Self {
+        L1Options { direct_broadcast: false }
+    }
+}
+
+/// A reader registered in Γ, waiting to be served.
+#[derive(Debug, Clone)]
+struct RegisteredReader {
+    reader: ProcessId,
+    op: OpId,
+    treq: Tag,
+}
+
+/// State of one outstanding `regenerate-from-L2` operation (the paper's
+/// per-reader `readCounter[r]` and key-value set `K[r]`).
+#[derive(Debug, Clone)]
+struct RegenState {
+    treq: Tag,
+    respondents: HashSet<ProcessId>,
+    responses: Vec<(Tag, HelperData)>,
+}
+
+/// Per-object server state (the paper's `L`, `Γ`, `t_c` and counters).
+#[derive(Debug, Clone)]
+struct ObjectState {
+    /// The list `L`: tag → value (`None` represents `⊥`).
+    list: BTreeMap<Tag, Option<Value>>,
+    /// Registered readers Γ.
+    gamma: Vec<RegisteredReader>,
+    /// Committed tag `t_c`.
+    tc: Tag,
+    /// `commitCounter[t]`: number of distinct COMMIT-TAG broadcasts consumed.
+    commit_count: HashMap<Tag, usize>,
+    /// Tags already acknowledged to their writer by this server.
+    acked: HashSet<Tag>,
+    /// For each tag received via PUT-DATA, the writer process and op to ack.
+    pending_write: HashMap<Tag, (ProcessId, OpId)>,
+    /// `writeCounter[t]`: ACK-CODE-ELEM responses received from L2.
+    write_counter: HashMap<Tag, usize>,
+    /// Tags for which this server already initiated `write-to-L2`.
+    offloaded: HashSet<Tag>,
+    /// Outstanding regenerate-from-L2 operations keyed by (reader, op).
+    regen: HashMap<(ProcessId, OpId), RegenState>,
+}
+
+impl ObjectState {
+    fn new() -> Self {
+        let mut list = BTreeMap::new();
+        list.insert(Tag::initial(), None);
+        ObjectState {
+            list,
+            gamma: Vec::new(),
+            tc: Tag::initial(),
+            commit_count: HashMap::new(),
+            acked: HashSet::new(),
+            pending_write: HashMap::new(),
+            write_counter: HashMap::new(),
+            offloaded: HashSet::new(),
+            regen: HashMap::new(),
+        }
+    }
+
+    fn max_list_tag(&self) -> Tag {
+        *self.list.keys().next_back().expect("list always contains t0")
+    }
+
+    /// Replaces the value of every entry with tag `< below` by `⊥`.
+    fn gc_below(&mut self, below: Tag) {
+        for (_, v) in self.list.range_mut(..below) {
+            *v = None;
+        }
+    }
+
+    /// The highest tag strictly below `below` whose value is still present.
+    fn latest_value_below(&self, below: Tag) -> Option<(Tag, Value)> {
+        self.list
+            .range(..below)
+            .rev()
+            .find_map(|(t, v)| v.as_ref().map(|v| (*t, v.clone())))
+    }
+}
+
+/// The L1 server automaton.
+pub struct L1Server {
+    /// This server's code index `j` (0-based position in the L1 list).
+    index: usize,
+    params: SystemParams,
+    membership: Membership,
+    backend: Arc<dyn BackendCodec>,
+    options: L1Options,
+    objects: HashMap<ObjectId, ObjectState>,
+    /// Broadcast relays: (object, tag, origin) triples already forwarded.
+    relayed: HashSet<(ObjectId, Tag, ProcessId)>,
+    /// Broadcast consumption dedup: triples already counted.
+    consumed: HashSet<(ObjectId, Tag, ProcessId)>,
+}
+
+impl L1Server {
+    /// Creates the L1 server with code index `index`.
+    pub fn new(
+        index: usize,
+        params: SystemParams,
+        membership: Membership,
+        backend: Arc<dyn BackendCodec>,
+        options: L1Options,
+    ) -> Self {
+        assert!(index < params.n1(), "L1 index out of range");
+        assert_eq!(membership.n1(), params.n1(), "membership/params n1 mismatch");
+        assert_eq!(membership.n2(), params.n2(), "membership/params n2 mismatch");
+        L1Server {
+            index,
+            params,
+            membership,
+            backend,
+            options,
+            objects: HashMap::new(),
+            relayed: HashSet::new(),
+            consumed: HashSet::new(),
+        }
+    }
+
+    /// This server's code index `j`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The committed tag for an object (t0 if the object is unknown).
+    pub fn committed_tag(&self, obj: ObjectId) -> Tag {
+        self.objects.get(&obj).map(|s| s.tc).unwrap_or_else(Tag::initial)
+    }
+
+    /// Total bytes of values currently held in temporary storage across all
+    /// objects (the paper's L1 storage cost, un-normalised).
+    pub fn temporary_storage_bytes(&self) -> usize {
+        self.objects
+            .values()
+            .flat_map(|s| s.list.values())
+            .filter_map(|v| v.as_ref().map(Value::len))
+            .sum()
+    }
+
+    /// Number of (tag, value) entries whose value is still present, across
+    /// all objects.
+    pub fn live_list_entries(&self) -> usize {
+        self.objects
+            .values()
+            .flat_map(|s| s.list.values())
+            .filter(|v| v.is_some())
+            .count()
+    }
+
+    /// Number of readers currently registered in Γ across all objects.
+    pub fn registered_readers(&self) -> usize {
+        self.objects.values().map(|s| s.gamma.len()).sum()
+    }
+
+    fn state(&mut self, obj: ObjectId) -> &mut ObjectState {
+        self.objects.entry(obj).or_insert_with(ObjectState::new)
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast primitive.
+    // ------------------------------------------------------------------
+
+    fn broadcast_commit(
+        &mut self,
+        obj: ObjectId,
+        tag: Tag,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let origin = ctx.id();
+        if self.options.direct_broadcast {
+            let msg = LdsMessage::BcastDeliver { obj, tag, origin };
+            ctx.send_all(self.membership.l1.iter().copied(), msg);
+        } else {
+            let relays: Vec<ProcessId> =
+                self.membership.broadcast_relays(self.params.f1()).to_vec();
+            ctx.send_all(relays, LdsMessage::BcastSend { obj, tag, origin });
+        }
+    }
+
+    fn on_bcast_send(
+        &mut self,
+        obj: ObjectId,
+        tag: Tag,
+        origin: ProcessId,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        // Relay role: forward to every L1 server on first reception.
+        if self.relayed.insert((obj, tag, origin)) {
+            let msg = LdsMessage::BcastDeliver { obj, tag, origin };
+            ctx.send_all(self.membership.l1.iter().copied(), msg);
+        }
+    }
+
+    fn on_bcast_deliver(
+        &mut self,
+        obj: ObjectId,
+        tag: Tag,
+        origin: ProcessId,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        // Consume each (object, tag, origin) broadcast exactly once.
+        if !self.consumed.insert((obj, tag, origin)) {
+            return;
+        }
+        let commit_quorum = self.params.commit_quorum();
+        let st = self.state(obj);
+        let count = st.commit_count.entry(tag).or_insert(0);
+        *count += 1;
+        let count = *count;
+
+        // ACK the writer once enough broadcasts were consumed and the pair is
+        // (still) in the list — i.e. this server received the PUT-DATA.
+        if st.list.contains_key(&tag) && count >= commit_quorum && !st.acked.contains(&tag) {
+            if let Some(&(writer, op)) = st.pending_write.get(&tag) {
+                st.acked.insert(tag);
+                ctx.send(writer, LdsMessage::AckPutData { obj, op, tag });
+            }
+        }
+
+        if tag > st.tc {
+            self.advance_committed_tag(obj, tag, false, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Committed-tag advancement (shared by broadcast-resp and put-tag-resp).
+    // ------------------------------------------------------------------
+
+    /// Updates `t_c` to `new_tc` and performs the accompanying steps: serving
+    /// registered readers, garbage collection and (when the value is
+    /// available) the internal `write-to-L2`.
+    fn advance_committed_tag(
+        &mut self,
+        obj: ObjectId,
+        new_tc: Tag,
+        via_put_tag: bool,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let st = self.state(obj);
+        debug_assert!(new_tc > st.tc);
+        st.tc = new_tc;
+        let value = st.list.get(&new_tc).cloned().flatten();
+
+        match value {
+            Some(v) => {
+                // Serve every registered reader whose requested tag is covered.
+                Self::serve_registered(st, obj, new_tc, &v, ctx);
+                st.gc_below(new_tc);
+                self.write_to_l2(obj, new_tc, &v, ctx);
+            }
+            None => {
+                if via_put_tag {
+                    // The server sees the tag for the first time: record it as
+                    // (t_c, ⊥) and serve readers with the newest value it still
+                    // holds, if any covers their request.
+                    st.list.entry(new_tc).or_insert(None);
+                    if let Some((t_bar, v_bar)) = st.latest_value_below(new_tc) {
+                        Self::serve_registered(st, obj, t_bar, &v_bar, ctx);
+                    }
+                }
+                st.gc_below(new_tc);
+            }
+        }
+    }
+
+    fn serve_registered(
+        st: &mut ObjectState,
+        obj: ObjectId,
+        tag: Tag,
+        value: &Value,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let mut remaining = Vec::with_capacity(st.gamma.len());
+        for reg in st.gamma.drain(..) {
+            if tag >= reg.treq {
+                ctx.send(
+                    reg.reader,
+                    LdsMessage::DataResp {
+                        obj,
+                        op: reg.op,
+                        tag: Some(tag),
+                        payload: ReadPayload::Value(value.clone()),
+                    },
+                );
+            } else {
+                remaining.push(reg);
+            }
+        }
+        st.gamma = remaining;
+    }
+
+    // ------------------------------------------------------------------
+    // Internal write-to-L2.
+    // ------------------------------------------------------------------
+
+    fn write_to_l2(
+        &mut self,
+        obj: ObjectId,
+        tag: Tag,
+        value: &Value,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        {
+            let st = self.state(obj);
+            if !st.offloaded.insert(tag) {
+                return; // already initiated for this tag
+            }
+            st.write_counter.entry(tag).or_insert(0);
+        }
+        for (i, &l2) in self.membership.l2.clone().iter().enumerate() {
+            match self.backend.encode_l2_element(value, i) {
+                Ok(element) => ctx.send(l2, LdsMessage::WriteCodeElem { obj, tag, element }),
+                Err(err) => {
+                    // Encoding failures indicate misconfiguration; surface in
+                    // debug builds, skip in release (the write to this L2
+                    // server is simply lost, like a crashed link endpoint).
+                    debug_assert!(false, "write-to-L2 encoding failure: {err}");
+                }
+            }
+        }
+    }
+
+    fn on_ack_code_elem(&mut self, obj: ObjectId, tag: Tag) {
+        let quorum = self.params.l2_quorum();
+        let st = self.state(obj);
+        let counter = st.write_counter.entry(tag).or_insert(0);
+        *counter += 1;
+        if *counter == quorum {
+            // write-to-L2 complete: garbage-collect the value (keep the tag).
+            if let Some(entry) = st.list.get_mut(&tag) {
+                *entry = None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writer-facing actions.
+    // ------------------------------------------------------------------
+
+    fn on_query_tag(
+        &mut self,
+        from: ProcessId,
+        obj: ObjectId,
+        op: OpId,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let tag = self.state(obj).max_list_tag();
+        ctx.send(from, LdsMessage::TagResp { obj, op, tag });
+    }
+
+    fn on_put_data(
+        &mut self,
+        from: ProcessId,
+        obj: ObjectId,
+        op: OpId,
+        tag: Tag,
+        value: Value,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        {
+            let st = self.state(obj);
+            st.pending_write.insert(tag, (from, op));
+        }
+        // Announce the tag to all L1 servers (metadata broadcast).
+        self.broadcast_commit(obj, tag, ctx);
+        let st = self.state(obj);
+        if tag > st.tc {
+            st.list.insert(tag, Some(value));
+        } else {
+            // The tag is already outdated here; acknowledge immediately.
+            st.acked.insert(tag);
+            ctx.send(from, LdsMessage::AckPutData { obj, op, tag });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reader-facing actions.
+    // ------------------------------------------------------------------
+
+    fn on_query_comm_tag(
+        &mut self,
+        from: ProcessId,
+        obj: ObjectId,
+        op: OpId,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let tag = self.state(obj).tc;
+        ctx.send(from, LdsMessage::CommTagResp { obj, op, tag });
+    }
+
+    fn on_query_data(
+        &mut self,
+        from: ProcessId,
+        obj: ObjectId,
+        op: OpId,
+        treq: Tag,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let (serve, register) = {
+            let st = self.state(obj);
+            if let Some(Some(v)) = st.list.get(&treq) {
+                (Some((treq, v.clone())), false)
+            } else if st.tc > treq {
+                match st.list.get(&st.tc) {
+                    Some(Some(v)) => (Some((st.tc, v.clone())), false),
+                    _ => (None, true),
+                }
+            } else {
+                (None, true)
+            }
+        };
+
+        if let Some((tag, value)) = serve {
+            ctx.send(
+                from,
+                LdsMessage::DataResp { obj, op, tag: Some(tag), payload: ReadPayload::Value(value) },
+            );
+            return;
+        }
+        if register {
+            let st = self.state(obj);
+            st.gamma.push(RegisteredReader { reader: from, op, treq });
+            st.regen.insert(
+                (from, op),
+                RegenState { treq, respondents: HashSet::new(), responses: Vec::new() },
+            );
+            // regenerate-from-L2: ask every L2 server for helper data.
+            let msg = LdsMessage::QueryCodeElem { obj, reader: from, op };
+            ctx.send_all(self.membership.l2.iter().copied(), msg);
+        }
+    }
+
+    fn on_send_helper_elem(
+        &mut self,
+        from: ProcessId,
+        obj: ObjectId,
+        reader: ProcessId,
+        op: OpId,
+        tag: Tag,
+        helper: HelperData,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let quorum = self.params.l2_quorum();
+        let repair_threshold = self.backend.repair_threshold();
+        let my_index = self.index;
+        let backend = Arc::clone(&self.backend);
+
+        let st = self.state(obj);
+        let Some(regen) = st.regen.get_mut(&(reader, op)) else {
+            return; // stale helper response for an already-completed regenerate
+        };
+        if !regen.respondents.insert(from) {
+            return;
+        }
+        regen.responses.push((tag, helper));
+        if regen.respondents.len() < quorum {
+            return;
+        }
+        // n2 - f2 responses received: attempt regeneration of c_j with the
+        // highest tag that has at least `repair_threshold` helper payloads.
+        let regen = st.regen.remove(&(reader, op)).expect("checked above");
+        let mut by_tag: BTreeMap<Tag, Vec<HelperData>> = BTreeMap::new();
+        for (t, h) in regen.responses {
+            by_tag.entry(t).or_default().push(h);
+        }
+        let mut regenerated = None;
+        for (t, helpers) in by_tag.iter().rev() {
+            if helpers.len() >= repair_threshold {
+                if let Ok(share) = backend.regenerate_l1(my_index, helpers) {
+                    regenerated = Some((*t, share));
+                    break;
+                }
+            }
+        }
+
+        // Only respond if this reader is still registered (it may have been
+        // served — and unregistered — by a concurrent commit in the meantime).
+        let still_registered = st.gamma.iter().any(|g| g.reader == reader && g.op == op);
+        if !still_registered {
+            return;
+        }
+        match regenerated {
+            Some((t, share)) if t >= regen.treq => ctx.send(
+                reader,
+                LdsMessage::DataResp { obj, op, tag: Some(t), payload: ReadPayload::Coded(share) },
+            ),
+            _ => ctx.send(
+                reader,
+                LdsMessage::DataResp { obj, op, tag: None, payload: ReadPayload::None },
+            ),
+        }
+        // Note: the reader stays registered; it may still be served later with
+        // a full (tag, value) pair.
+    }
+
+    fn on_put_tag(
+        &mut self,
+        from: ProcessId,
+        obj: ObjectId,
+        op: OpId,
+        tag: Tag,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        {
+            let st = self.state(obj);
+            // Unregister the reader (all registrations from this reader).
+            st.gamma.retain(|g| g.reader != from);
+        }
+        let needs_advance = {
+            let st = self.state(obj);
+            tag > st.tc
+        };
+        if needs_advance {
+            self.advance_committed_tag(obj, tag, true, ctx);
+        }
+        ctx.send(from, LdsMessage::AckPutTag { obj, op });
+    }
+}
+
+impl Process<LdsMessage, ProtocolEvent> for L1Server {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: LdsMessage,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        match msg {
+            LdsMessage::QueryTag { obj, op } => self.on_query_tag(from, obj, op, ctx),
+            LdsMessage::PutData { obj, op, tag, value } => {
+                self.on_put_data(from, obj, op, tag, value, ctx)
+            }
+            LdsMessage::BcastSend { obj, tag, origin } => self.on_bcast_send(obj, tag, origin, ctx),
+            LdsMessage::BcastDeliver { obj, tag, origin } => {
+                self.on_bcast_deliver(obj, tag, origin, ctx)
+            }
+            LdsMessage::QueryCommTag { obj, op } => self.on_query_comm_tag(from, obj, op, ctx),
+            LdsMessage::QueryData { obj, op, treq } => {
+                self.on_query_data(from, obj, op, treq, ctx)
+            }
+            LdsMessage::PutTag { obj, op, tag } => self.on_put_tag(from, obj, op, tag, ctx),
+            LdsMessage::AckCodeElem { obj, tag } => self.on_ack_code_elem(obj, tag),
+            LdsMessage::SendHelperElem { obj, reader, op, tag, helper } => {
+                self.on_send_helper_elem(from, obj, reader, op, tag, helper, ctx)
+            }
+            // Messages not addressed to an L1 server are ignored (they can
+            // only appear through harness misconfiguration).
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{make_backend, BackendKind};
+
+    fn setup() -> (SystemParams, Membership, Arc<dyn BackendCodec>) {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap(); // n1=4, n2=5
+        let l1: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let l2: Vec<ProcessId> = (4..9).map(ProcessId).collect();
+        let membership = Membership::new(l1, l2);
+        let backend = make_backend(BackendKind::Mbr, &params).unwrap();
+        (params, membership, backend)
+    }
+
+    fn make_server(index: usize) -> L1Server {
+        let (params, membership, backend) = setup();
+        L1Server::new(index, params, membership, backend, L1Options::default())
+    }
+
+    /// Drives one message into the server and returns the outgoing messages.
+    fn step(
+        server: &mut L1Server,
+        from: ProcessId,
+        msg: LdsMessage,
+    ) -> Vec<(ProcessId, LdsMessage)> {
+        let mut outgoing = Vec::new();
+        let mut events = Vec::new();
+        let mut ctx = Context::standalone(
+            ProcessId(server.index),
+            lds_sim::SimTime::ZERO,
+            &mut outgoing,
+            &mut events,
+        );
+        server.on_message(from, msg, &mut ctx);
+        outgoing
+    }
+
+    #[test]
+    fn query_tag_returns_max_list_tag() {
+        let mut s = make_server(0);
+        let out = step(
+            &mut s,
+            ProcessId(100),
+            LdsMessage::QueryTag { obj: ObjectId(0), op: OpId::default() },
+        );
+        assert_eq!(out.len(), 1);
+        match &out[0].1 {
+            LdsMessage::TagResp { tag, .. } => assert_eq!(*tag, Tag::initial()),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_data_with_new_tag_stores_and_broadcasts() {
+        let mut s = make_server(0);
+        let tag = Tag::new(1, crate::tag::ClientId(7));
+        let out = step(
+            &mut s,
+            ProcessId(100),
+            LdsMessage::PutData {
+                obj: ObjectId(0),
+                op: OpId::default(),
+                tag,
+                value: Value::from("v"),
+            },
+        );
+        // No immediate ACK (tag is fresh); broadcasts go to the f1+1 = 2 relays.
+        assert!(out.iter().all(|(_, m)| !matches!(m, LdsMessage::AckPutData { .. })));
+        let relays: Vec<_> =
+            out.iter().filter(|(_, m)| matches!(m, LdsMessage::BcastSend { .. })).collect();
+        assert_eq!(relays.len(), 2);
+        assert_eq!(s.live_list_entries(), 1);
+        assert_eq!(s.temporary_storage_bytes(), 1);
+    }
+
+    #[test]
+    fn put_data_with_stale_tag_acks_immediately() {
+        let mut s = make_server(0);
+        let obj = ObjectId(0);
+        let t1 = Tag::new(5, crate::tag::ClientId(1));
+        // Commit a higher tag first via direct consumption of broadcasts.
+        for origin in 0..4 {
+            step(&mut s, ProcessId(origin), LdsMessage::BcastDeliver {
+                obj,
+                tag: t1,
+                origin: ProcessId(origin),
+            });
+        }
+        assert_eq!(s.committed_tag(obj), t1);
+        // Now a PUT-DATA with an older tag must be acked straight away.
+        let stale = Tag::new(2, crate::tag::ClientId(1));
+        let out = step(&mut s, ProcessId(50), LdsMessage::PutData {
+            obj,
+            op: OpId::default(),
+            tag: stale,
+            value: Value::from("old"),
+        });
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == ProcessId(50) && matches!(m, LdsMessage::AckPutData { .. })));
+    }
+
+    #[test]
+    fn commit_quorum_triggers_ack_and_offload() {
+        let mut s = make_server(0);
+        let obj = ObjectId(0);
+        let tag = Tag::new(1, crate::tag::ClientId(3));
+        let writer = ProcessId(77);
+        step(&mut s, writer, LdsMessage::PutData {
+            obj,
+            op: OpId::default(),
+            tag,
+            value: Value::from("value!"),
+        });
+        // Consume commit_quorum = f1 + k = 3 distinct broadcasts.
+        let mut all_out = Vec::new();
+        for origin in 0..3 {
+            all_out.extend(step(&mut s, ProcessId(origin), LdsMessage::BcastDeliver {
+                obj,
+                tag,
+                origin: ProcessId(origin),
+            }));
+        }
+        // ACK to the writer.
+        assert!(all_out
+            .iter()
+            .any(|(to, m)| *to == writer && matches!(m, LdsMessage::AckPutData { .. })));
+        // write-to-L2 initiated: one WRITE-CODE-ELEM per L2 server.
+        let writes: Vec<_> = all_out
+            .iter()
+            .filter(|(_, m)| matches!(m, LdsMessage::WriteCodeElem { .. }))
+            .collect();
+        assert_eq!(writes.len(), 5);
+        assert_eq!(s.committed_tag(obj), tag);
+
+        // Value is garbage collected only after n2 - f2 = 4 ACKs from L2.
+        for _ in 0..3 {
+            step(&mut s, ProcessId(4), LdsMessage::AckCodeElem { obj, tag });
+        }
+        assert_eq!(s.live_list_entries(), 1);
+        step(&mut s, ProcessId(5), LdsMessage::AckCodeElem { obj, tag });
+        assert_eq!(s.live_list_entries(), 0, "value gc'ed after write-to-L2 completes");
+        assert_eq!(s.temporary_storage_bytes(), 0);
+    }
+
+    #[test]
+    fn query_data_served_from_list_when_possible() {
+        let mut s = make_server(1);
+        let obj = ObjectId(0);
+        let tag = Tag::new(1, crate::tag::ClientId(1));
+        step(&mut s, ProcessId(70), LdsMessage::PutData {
+            obj,
+            op: OpId::default(),
+            tag,
+            value: Value::from("cached"),
+        });
+        let out = step(&mut s, ProcessId(80), LdsMessage::QueryData {
+            obj,
+            op: OpId::default(),
+            treq: tag,
+        });
+        assert_eq!(out.len(), 1);
+        match &out[0].1 {
+            LdsMessage::DataResp { tag: Some(t), payload: ReadPayload::Value(v), .. } => {
+                assert_eq!(*t, tag);
+                assert_eq!(v.as_bytes(), b"cached");
+            }
+            other => panic!("expected value response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_data_registers_reader_and_queries_l2_on_miss() {
+        let mut s = make_server(2);
+        let obj = ObjectId(0);
+        let out = step(&mut s, ProcessId(90), LdsMessage::QueryData {
+            obj,
+            op: OpId::default(),
+            treq: Tag::initial(),
+        });
+        // One QUERY-CODE-ELEM per L2 server, no direct response.
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|(_, m)| matches!(m, LdsMessage::QueryCodeElem { .. })));
+        assert_eq!(s.registered_readers(), 1);
+    }
+
+    #[test]
+    fn put_tag_unregisters_and_advances_commit() {
+        let mut s = make_server(0);
+        let obj = ObjectId(0);
+        let reader = ProcessId(90);
+        step(&mut s, reader, LdsMessage::QueryData { obj, op: OpId::default(), treq: Tag::initial() });
+        assert_eq!(s.registered_readers(), 1);
+        let t = Tag::new(3, crate::tag::ClientId(2));
+        let out = step(&mut s, reader, LdsMessage::PutTag { obj, op: OpId::default(), tag: t });
+        assert_eq!(s.registered_readers(), 0);
+        assert_eq!(s.committed_tag(obj), t);
+        assert!(out.iter().any(|(to, m)| *to == reader && matches!(m, LdsMessage::AckPutTag { .. })));
+    }
+
+    #[test]
+    fn late_commit_serves_registered_reader() {
+        let mut s = make_server(0);
+        let obj = ObjectId(0);
+        let reader = ProcessId(91);
+        // Reader registers (nothing in the list yet).
+        step(&mut s, reader, LdsMessage::QueryData { obj, op: OpId::default(), treq: Tag::initial() });
+        // A concurrent write arrives and commits.
+        let tag = Tag::new(1, crate::tag::ClientId(4));
+        step(&mut s, ProcessId(60), LdsMessage::PutData {
+            obj,
+            op: OpId::default(),
+            tag,
+            value: Value::from("fresh"),
+        });
+        let mut served = Vec::new();
+        for origin in 0..3 {
+            served.extend(step(&mut s, ProcessId(origin), LdsMessage::BcastDeliver {
+                obj,
+                tag,
+                origin: ProcessId(origin),
+            }));
+        }
+        let to_reader: Vec<_> = served.iter().filter(|(to, _)| *to == reader).collect();
+        assert_eq!(to_reader.len(), 1, "registered reader is served exactly once");
+        match &to_reader[0].1 {
+            LdsMessage::DataResp { payload: ReadPayload::Value(v), .. } => {
+                assert_eq!(v.as_bytes(), b"fresh")
+            }
+            other => panic!("expected value response, got {other:?}"),
+        }
+        assert_eq!(s.registered_readers(), 0);
+    }
+
+    #[test]
+    fn helper_responses_regenerate_coded_element() {
+        // Build a full complement of L2 elements for a known value, feed the
+        // helper payloads to the server and check the regenerated response.
+        let (params, membership, backend) = setup();
+        let mut s = L1Server::new(
+            1,
+            params,
+            membership.clone(),
+            Arc::clone(&backend),
+            L1Options::default(),
+        );
+        let obj = ObjectId(0);
+        let reader = ProcessId(90);
+        let op = OpId::default();
+        // Register the reader.
+        step(&mut s, reader, LdsMessage::QueryData { obj, op, treq: Tag::initial() });
+
+        let value = Value::from("regenerate me");
+        let tag = Tag::new(1, crate::tag::ClientId(1));
+        let mut responses = Vec::new();
+        for i in 0..5 {
+            let elem = backend.encode_l2_element(&value, i).unwrap();
+            let helper = backend.helper_for_l1(&elem, i, 1).unwrap();
+            responses.extend(step(&mut s, membership.l2[i], LdsMessage::SendHelperElem {
+                obj,
+                reader,
+                op,
+                tag,
+                helper,
+            }));
+        }
+        // After n2 - f2 = 4 responses the server regenerates and replies; the
+        // fifth helper is stale and ignored.
+        let to_reader: Vec<_> = responses.iter().filter(|(to, _)| *to == reader).collect();
+        assert_eq!(to_reader.len(), 1);
+        match &to_reader[0].1 {
+            LdsMessage::DataResp { tag: Some(t), payload: ReadPayload::Coded(share), .. } => {
+                assert_eq!(*t, tag);
+                assert_eq!(share.index, 1);
+                // The regenerated element matches a direct encoding of c_1.
+                let direct = {
+                    let full = lds_codes::mbr::ProductMatrixMbr::with_dimensions(9, 2, 3)
+                        .unwrap();
+                    lds_codes::ErasureCode::encode_share(&full, value.as_bytes(), 1).unwrap()
+                };
+                assert_eq!(share.data, direct.data);
+            }
+            other => panic!("expected coded response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_tag_helpers_fail_regeneration_gracefully() {
+        let (params, membership, backend) = setup();
+        let mut s =
+            L1Server::new(3, params, membership.clone(), Arc::clone(&backend), L1Options::default());
+        let obj = ObjectId(0);
+        let reader = ProcessId(91);
+        let op = OpId::default();
+        step(&mut s, reader, LdsMessage::QueryData { obj, op, treq: Tag::new(9, crate::tag::ClientId(9)) });
+
+        // Four helpers, each for a *different* tag: no common tag reaches the
+        // repair threshold, so the server answers (⊥, ⊥).
+        let value = Value::from("x");
+        let mut responses = Vec::new();
+        for i in 0..4 {
+            let elem = backend.encode_l2_element(&value, i).unwrap();
+            let helper = backend.helper_for_l1(&elem, i, 3).unwrap();
+            responses.extend(step(&mut s, membership.l2[i], LdsMessage::SendHelperElem {
+                obj,
+                reader,
+                op,
+                tag: Tag::new(i as u64 + 1, crate::tag::ClientId(1)),
+                helper,
+            }));
+        }
+        let to_reader: Vec<_> = responses.iter().filter(|(to, _)| *to == reader).collect();
+        assert_eq!(to_reader.len(), 1);
+        assert!(matches!(
+            &to_reader[0].1,
+            LdsMessage::DataResp { tag: None, payload: ReadPayload::None, .. }
+        ));
+    }
+
+    #[test]
+    fn direct_broadcast_option_skips_relays() {
+        let (params, membership, backend) = setup();
+        let mut s = L1Server::new(
+            0,
+            params,
+            membership,
+            backend,
+            L1Options { direct_broadcast: true },
+        );
+        let out = step(&mut s, ProcessId(100), LdsMessage::PutData {
+            obj: ObjectId(0),
+            op: OpId::default(),
+            tag: Tag::new(1, crate::tag::ClientId(1)),
+            value: Value::from("v"),
+        });
+        let delivers =
+            out.iter().filter(|(_, m)| matches!(m, LdsMessage::BcastDeliver { .. })).count();
+        assert_eq!(delivers, 4, "direct mode sends COMMIT-TAG to all n1 servers");
+        assert_eq!(
+            out.iter().filter(|(_, m)| matches!(m, LdsMessage::BcastSend { .. })).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn multi_object_state_is_independent() {
+        let mut s = make_server(0);
+        let t = Tag::new(1, crate::tag::ClientId(1));
+        step(&mut s, ProcessId(100), LdsMessage::PutData {
+            obj: ObjectId(7),
+            op: OpId::default(),
+            tag: t,
+            value: Value::from("seven"),
+        });
+        assert_eq!(s.committed_tag(ObjectId(7)), Tag::initial());
+        assert_eq!(s.committed_tag(ObjectId(8)), Tag::initial());
+        assert_eq!(s.live_list_entries(), 1);
+        // Committing on object 7 does not touch object 8.
+        for origin in 0..3 {
+            step(&mut s, ProcessId(origin), LdsMessage::BcastDeliver {
+                obj: ObjectId(7),
+                tag: t,
+                origin: ProcessId(origin),
+            });
+        }
+        assert_eq!(s.committed_tag(ObjectId(7)), t);
+        assert_eq!(s.committed_tag(ObjectId(8)), Tag::initial());
+    }
+}

@@ -1,0 +1,218 @@
+//! The L2 (back-end) server automaton — Fig. 3 of the paper.
+//!
+//! An L2 server stores, for each object, exactly one `(tag, coded-element)`
+//! pair: the element of the code `C2` for the highest tag it has seen. It
+//! answers two kinds of requests from L1 servers: `WRITE-CODE-ELEM` (part of
+//! an internal `write-to-L2`) and `QUERY-CODE-ELEM` (part of an internal
+//! `regenerate-from-L2`, for which it computes MBR helper data).
+
+use crate::backend::BackendCodec;
+use crate::membership::Membership;
+use crate::messages::{LdsMessage, ProtocolEvent};
+use crate::tag::{ObjectId, Tag};
+use lds_codes::Share;
+use lds_sim::{Context, Process, ProcessId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The L2 server automaton.
+pub struct L2Server {
+    /// This server's index `i` (0-based position in the L2 list; its code
+    /// symbol index is `n1 + i`).
+    index: usize,
+    membership: Membership,
+    backend: Arc<dyn BackendCodec>,
+    /// Per-object `(tag, coded element)` — exactly one pair per object.
+    objects: HashMap<ObjectId, (Tag, Share)>,
+}
+
+impl L2Server {
+    /// Creates the L2 server with layer index `index`.
+    pub fn new(index: usize, membership: Membership, backend: Arc<dyn BackendCodec>) -> Self {
+        assert!(index < membership.n2(), "L2 index out of range");
+        L2Server { index, membership, backend, objects: HashMap::new() }
+    }
+
+    /// This server's index within L2.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The tag of the element currently stored for `obj` (the initial tag if
+    /// the object was never written).
+    pub fn stored_tag(&self, obj: ObjectId) -> Tag {
+        self.objects.get(&obj).map(|(t, _)| *t).unwrap_or_else(Tag::initial)
+    }
+
+    /// Bytes of coded data stored across all objects (the paper's permanent
+    /// storage cost, un-normalised). Objects that were never written are
+    /// counted with their initial (empty value) element.
+    pub fn storage_bytes(&self) -> usize {
+        self.objects.values().map(|(_, share)| share.data.len()).sum()
+    }
+
+    /// Number of objects for which this server holds an element.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn entry(&mut self, obj: ObjectId) -> &mut (Tag, Share) {
+        let index = self.index;
+        let backend = Arc::clone(&self.backend);
+        self.objects
+            .entry(obj)
+            .or_insert_with(|| (Tag::initial(), backend.initial_l2_element(index)))
+    }
+}
+
+impl Process<LdsMessage, ProtocolEvent> for L2Server {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: LdsMessage,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        match msg {
+            // write-to-L2-resp: keep the element for the highest tag seen.
+            LdsMessage::WriteCodeElem { obj, tag, element } => {
+                let entry = self.entry(obj);
+                if tag > entry.0 {
+                    *entry = (tag, element);
+                }
+                ctx.send(from, LdsMessage::AckCodeElem { obj, tag });
+            }
+            // regenerate-from-L2-resp: compute helper data for the requesting
+            // L1 server's code index and send it back with the stored tag.
+            LdsMessage::QueryCodeElem { obj, reader, op } => {
+                let Some(l1_index) = self.membership.l1_index_of(from) else {
+                    return; // not an L1 server; ignore
+                };
+                let (tag, element) = self.entry(obj).clone();
+                match self.backend.helper_for_l1(&element, self.index, l1_index) {
+                    Ok(helper) => ctx.send(
+                        from,
+                        LdsMessage::SendHelperElem { obj, reader, op, tag, helper },
+                    ),
+                    Err(err) => {
+                        debug_assert!(false, "helper computation failed: {err}");
+                    }
+                }
+            }
+            // Anything else is not addressed to an L2 server.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{make_backend, BackendKind};
+    use crate::params::SystemParams;
+    use crate::tag::ClientId;
+    use crate::value::Value;
+
+    fn setup() -> (Membership, Arc<dyn BackendCodec>) {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap(); // n1=4, n2=5
+        let l1: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let l2: Vec<ProcessId> = (4..9).map(ProcessId).collect();
+        (Membership::new(l1, l2), make_backend(BackendKind::Mbr, &params).unwrap())
+    }
+
+    fn step(
+        server: &mut L2Server,
+        from: ProcessId,
+        msg: LdsMessage,
+    ) -> Vec<(ProcessId, LdsMessage)> {
+        let mut outgoing = Vec::new();
+        let mut events = Vec::new();
+        let mut ctx = Context::standalone(
+            ProcessId(100 + server.index),
+            lds_sim::SimTime::ZERO,
+            &mut outgoing,
+            &mut events,
+        );
+        server.on_message(from, msg, &mut ctx);
+        outgoing
+    }
+
+    #[test]
+    fn stores_only_the_highest_tag() {
+        let (membership, backend) = setup();
+        let mut s = L2Server::new(0, membership, Arc::clone(&backend));
+        let obj = ObjectId(0);
+        let v1 = Value::from("first");
+        let v2 = Value::from("second");
+        let t1 = Tag::new(1, ClientId(1));
+        let t2 = Tag::new(2, ClientId(1));
+
+        let e1 = backend.encode_l2_element(&v1, 0).unwrap();
+        let e2 = backend.encode_l2_element(&v2, 0).unwrap();
+
+        // Deliver the higher tag first, then the lower one.
+        let out = step(&mut s, ProcessId(1), LdsMessage::WriteCodeElem { obj, tag: t2, element: e2.clone() });
+        assert!(matches!(out[0].1, LdsMessage::AckCodeElem { tag, .. } if tag == t2));
+        let out = step(&mut s, ProcessId(1), LdsMessage::WriteCodeElem { obj, tag: t1, element: e1 });
+        // Still acknowledges (the protocol always acks) but keeps t2.
+        assert!(matches!(out[0].1, LdsMessage::AckCodeElem { tag, .. } if tag == t1));
+        assert_eq!(s.stored_tag(obj), t2);
+        assert_eq!(s.storage_bytes(), e2.data.len());
+        assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn helper_data_is_computed_for_the_requesting_l1_server() {
+        let (membership, backend) = setup();
+        let mut s = L2Server::new(2, membership.clone(), Arc::clone(&backend));
+        let obj = ObjectId(3);
+        let value = Value::from("helper source");
+        let tag = Tag::new(4, ClientId(2));
+        let element = backend.encode_l2_element(&value, 2).unwrap();
+        step(&mut s, membership.l1[1], LdsMessage::WriteCodeElem { obj, tag, element: element.clone() });
+
+        let reader = ProcessId(50);
+        let out = step(&mut s, membership.l1[1], LdsMessage::QueryCodeElem {
+            obj,
+            reader,
+            op: crate::tag::OpId::default(),
+        });
+        assert_eq!(out.len(), 1);
+        match &out[0].1 {
+            LdsMessage::SendHelperElem { tag: t, helper, .. } => {
+                assert_eq!(*t, tag);
+                let expected = backend.helper_for_l1(&element, 2, 1).unwrap();
+                assert_eq!(helper.data, expected.data);
+                assert_eq!(helper.failed_index, 1);
+            }
+            other => panic!("expected helper response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_objects_answer_with_initial_element() {
+        let (membership, backend) = setup();
+        let mut s = L2Server::new(1, membership.clone(), backend);
+        let out = step(&mut s, membership.l1[0], LdsMessage::QueryCodeElem {
+            obj: ObjectId(42),
+            reader: ProcessId(60),
+            op: crate::tag::OpId::default(),
+        });
+        assert_eq!(out.len(), 1);
+        match &out[0].1 {
+            LdsMessage::SendHelperElem { tag, .. } => assert_eq!(*tag, Tag::initial()),
+            other => panic!("expected helper response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queries_from_non_l1_processes_are_ignored() {
+        let (membership, backend) = setup();
+        let mut s = L2Server::new(1, membership, backend);
+        let out = step(&mut s, ProcessId(999), LdsMessage::QueryCodeElem {
+            obj: ObjectId(0),
+            reader: ProcessId(60),
+            op: crate::tag::OpId::default(),
+        });
+        assert!(out.is_empty());
+    }
+}

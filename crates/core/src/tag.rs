@@ -1,0 +1,155 @@
+//! Tags, object identifiers and operation identifiers.
+
+use std::fmt;
+
+/// Identifier of a stored object.
+///
+/// The LDS algorithm implements one atomic object per instance; a multi-object
+/// system runs `N` independent instances (paper §V-A.1). Messages carry the
+/// object id so that one physical server process can host many instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Identifier of a client (writer or reader).
+///
+/// Client ids are totally ordered; they break ties between tags with equal
+/// integer part, exactly as in the paper (`t2 > t1` iff `t2.z > t1.z`, or
+/// `t2.z = t1.z` and `t2.w > t1.w`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a single client operation, unique across the execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct OpId {
+    /// The invoking client.
+    pub client: ClientId,
+    /// Per-client sequence number (clients are well-formed, so this counts
+    /// their operations in order).
+    pub seq: u64,
+}
+
+impl OpId {
+    /// Creates an operation id.
+    pub fn new(client: ClientId, seq: u64) -> Self {
+        OpId { client, seq }
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.client, self.seq)
+    }
+}
+
+/// A version tag `(z, w)`: a natural number paired with the writer id.
+///
+/// Tags are totally ordered lexicographically and provide the version control
+/// at the heart of the algorithm.
+///
+/// ```rust
+/// use lds_core::tag::{ClientId, Tag};
+/// let t0 = Tag::initial();
+/// let w = ClientId(3);
+/// let t1 = t0.next(w);
+/// assert!(t1 > t0);
+/// assert_eq!(t1.next(ClientId(1)).z, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tag {
+    /// The integer component.
+    pub z: u64,
+    /// The writer that created this tag.
+    pub writer: ClientId,
+}
+
+impl Tag {
+    /// The distinguished initial tag `t0` associated with the initial value
+    /// `v0`.
+    pub fn initial() -> Self {
+        Tag { z: 0, writer: ClientId(0) }
+    }
+
+    /// Creates a tag.
+    pub fn new(z: u64, writer: ClientId) -> Self {
+        Tag { z, writer }
+    }
+
+    /// The tag a writer creates after observing `self` as the maximum tag:
+    /// `(z + 1, writer)`.
+    pub fn next(&self, writer: ClientId) -> Tag {
+        Tag { z: self.z + 1, writer }
+    }
+
+    /// Whether this is the initial tag.
+    pub fn is_initial(&self) -> bool {
+        *self == Tag::initial()
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.z, self.writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_ordering_is_lexicographic() {
+        let a = Tag::new(1, ClientId(5));
+        let b = Tag::new(2, ClientId(1));
+        let c = Tag::new(2, ClientId(3));
+        assert!(a < b, "higher integer wins regardless of writer id");
+        assert!(b < c, "equal integers break ties by writer id");
+        assert!(a < c);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn next_increments_integer_and_sets_writer() {
+        let t = Tag::new(7, ClientId(2));
+        let n = t.next(ClientId(9));
+        assert_eq!(n.z, 8);
+        assert_eq!(n.writer, ClientId(9));
+        assert!(n > t);
+    }
+
+    #[test]
+    fn initial_tag_is_smallest_created() {
+        let t0 = Tag::initial();
+        assert!(t0.is_initial());
+        assert!(!t0.next(ClientId(0)).is_initial());
+        // Any tag produced by a writer is strictly larger than t0.
+        assert!(t0 < t0.next(ClientId(0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Tag::new(3, ClientId(1)).to_string(), "(3, c1)");
+        assert_eq!(ObjectId(4).to_string(), "obj4");
+        assert_eq!(OpId::new(ClientId(2), 9).to_string(), "c2#9");
+    }
+
+    #[test]
+    fn op_ids_order_by_client_then_sequence() {
+        let a = OpId::new(ClientId(1), 5);
+        let b = OpId::new(ClientId(1), 6);
+        let c = OpId::new(ClientId(2), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

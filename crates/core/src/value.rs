@@ -1,0 +1,102 @@
+//! Object values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An object value: an immutable byte string with cheap clones.
+///
+/// Values are cloned along many protocol paths (temporary storage on every L1
+/// server, responses to registered readers, …), so the bytes are held behind
+/// an [`Arc`]. Equality and hashing compare contents.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Value(Arc<Vec<u8>>);
+
+impl Value {
+    /// The distinguished initial value `v0` (empty).
+    pub fn initial() -> Self {
+        Value::default()
+    }
+
+    /// Creates a value from bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Value(Arc::new(bytes))
+    }
+
+    /// The value's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length in bytes — the unit the paper's costs are normalised by.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Value({} bytes)", self.0.len())
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(bytes: Vec<u8>) -> Self {
+        Value::new(bytes)
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(bytes: &[u8]) -> Self {
+        Value::new(bytes.to_vec())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::new(s.as_bytes().to_vec())
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = Value::new(vec![1, 2, 3]);
+        assert_eq!(v.as_bytes(), &[1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert!(Value::initial().is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage_and_compare_by_content() {
+        let a = Value::from("hello");
+        let b = a.clone();
+        let c = Value::from("hello");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(a, Value::from("world"));
+    }
+
+    #[test]
+    fn conversions() {
+        let from_slice: Value = b"xy".as_slice().into();
+        let from_vec: Value = vec![b'x', b'y'].into();
+        assert_eq!(from_slice, from_vec);
+        assert_eq!(from_slice.as_ref(), b"xy");
+        assert!(format!("{from_slice:?}").contains("2 bytes"));
+    }
+}

@@ -1,0 +1,346 @@
+//! The writer client automaton — left column of Fig. 1.
+//!
+//! A write is two phases, both against L1 only:
+//!
+//! 1. **get-tag**: query all L1 servers for the maximum tag in their lists,
+//!    wait for `f1 + k` responses, pick the maximum `t` and form the new tag
+//!    `t_w = (t.z + 1, w)`.
+//! 2. **put-data**: send `(t_w, v)` to all L1 servers and wait for `f1 + k`
+//!    acknowledgments.
+//!
+//! The write completes without waiting for any interaction with L2 — that is
+//! the key latency property of the layered design.
+
+use crate::membership::Membership;
+use crate::messages::{LdsMessage, ProtocolEvent};
+use crate::params::SystemParams;
+use crate::tag::{ClientId, ObjectId, OpId, Tag};
+use crate::value::Value;
+use lds_sim::{Context, Process, ProcessId, SimTime};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WritePhase {
+    GetTag,
+    PutData,
+}
+
+#[derive(Debug, Clone)]
+struct WriteOp {
+    op: OpId,
+    obj: ObjectId,
+    value: Value,
+    invoked_at: SimTime,
+    phase: WritePhase,
+    tag_responses: HashMap<ProcessId, Tag>,
+    tag: Option<Tag>,
+    acks: HashSet<ProcessId>,
+}
+
+/// The writer client automaton.
+///
+/// Writers are *well-formed*: the harness must not inject a new
+/// [`LdsMessage::InvokeWrite`] before the previous write completed (a
+/// completion is signalled by a [`ProtocolEvent::WriteCompleted`] event).
+pub struct WriterClient {
+    id: ClientId,
+    params: SystemParams,
+    membership: Membership,
+    next_seq: u64,
+    current: Option<WriteOp>,
+    completed: u64,
+}
+
+impl WriterClient {
+    /// Creates a writer with the given client id.
+    pub fn new(id: ClientId, params: SystemParams, membership: Membership) -> Self {
+        assert_eq!(membership.n1(), params.n1(), "membership/params n1 mismatch");
+        WriterClient { id, params, membership, next_seq: 0, current: None, completed: 0 }
+    }
+
+    /// The writer's client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Whether a write is currently in progress.
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Number of writes completed by this client.
+    pub fn completed_ops(&self) -> u64 {
+        self.completed
+    }
+
+    fn start_write(
+        &mut self,
+        obj: ObjectId,
+        value: Value,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        assert!(
+            self.current.is_none(),
+            "writer {} received a new invocation while busy (clients must be well-formed)",
+            self.id
+        );
+        let op = OpId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        self.current = Some(WriteOp {
+            op,
+            obj,
+            value,
+            invoked_at: ctx.now(),
+            phase: WritePhase::GetTag,
+            tag_responses: HashMap::new(),
+            tag: None,
+            acks: HashSet::new(),
+        });
+        ctx.send_all(self.membership.l1.iter().copied(), LdsMessage::QueryTag { obj, op });
+    }
+
+    fn on_tag_resp(
+        &mut self,
+        from: ProcessId,
+        op: OpId,
+        tag: Tag,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let quorum = self.params.write_quorum();
+        let id = self.id;
+        let membership = self.membership.l1.clone();
+        let Some(current) = self.current.as_mut() else { return };
+        if current.op != op || current.phase != WritePhase::GetTag {
+            return;
+        }
+        current.tag_responses.insert(from, tag);
+        if current.tag_responses.len() < quorum {
+            return;
+        }
+        // Quorum reached: create the new tag and move to put-data.
+        let max_tag =
+            current.tag_responses.values().max().copied().unwrap_or_else(Tag::initial);
+        let new_tag = max_tag.next(id);
+        current.tag = Some(new_tag);
+        current.phase = WritePhase::PutData;
+        let msg = LdsMessage::PutData {
+            obj: current.obj,
+            op: current.op,
+            tag: new_tag,
+            value: current.value.clone(),
+        };
+        ctx.send_all(membership, msg);
+    }
+
+    fn on_ack_put_data(
+        &mut self,
+        from: ProcessId,
+        op: OpId,
+        tag: Tag,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let quorum = self.params.write_quorum();
+        let Some(current) = self.current.as_mut() else { return };
+        if current.op != op || current.phase != WritePhase::PutData || current.tag != Some(tag) {
+            return;
+        }
+        current.acks.insert(from);
+        if current.acks.len() < quorum {
+            return;
+        }
+        let finished = self.current.take().expect("checked above");
+        self.completed += 1;
+        ctx.emit(ProtocolEvent::WriteCompleted {
+            op: finished.op,
+            obj: finished.obj,
+            tag: finished.tag.expect("tag chosen before put-data"),
+            value: finished.value,
+            invoked_at: finished.invoked_at,
+        });
+    }
+}
+
+impl Process<LdsMessage, ProtocolEvent> for WriterClient {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: LdsMessage,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        match msg {
+            LdsMessage::InvokeWrite { obj, value } => self.start_write(obj, value, ctx),
+            LdsMessage::TagResp { op, tag, .. } => self.on_tag_resp(from, op, tag, ctx),
+            LdsMessage::AckPutData { op, tag, .. } => self.on_ack_put_data(from, op, tag, ctx),
+            // Writers ignore everything else (e.g. stray reader messages).
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SystemParams, Membership) {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap(); // n1=4, quorum 3
+        let l1: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let l2: Vec<ProcessId> = (4..9).map(ProcessId).collect();
+        (params, Membership::new(l1, l2))
+    }
+
+    fn step(
+        w: &mut WriterClient,
+        from: ProcessId,
+        msg: LdsMessage,
+    ) -> (Vec<(ProcessId, LdsMessage)>, Vec<ProtocolEvent>) {
+        let mut outgoing = Vec::new();
+        let mut events = Vec::new();
+        let mut ctx =
+            Context::standalone(ProcessId(42), SimTime::ZERO, &mut outgoing, &mut events);
+        w.on_message(from, msg, &mut ctx);
+        (outgoing, events.into_iter().map(|(_, _, e)| e).collect())
+    }
+
+    #[test]
+    fn full_write_happy_path() {
+        let (params, membership) = setup();
+        let mut w = WriterClient::new(ClientId(9), params, membership);
+        assert!(!w.is_busy());
+
+        // Invocation broadcasts QUERY-TAG to all 4 L1 servers.
+        let (out, _) = step(&mut w, ProcessId::EXTERNAL, LdsMessage::InvokeWrite {
+            obj: ObjectId(0),
+            value: Value::from("hello"),
+        });
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|(_, m)| matches!(m, LdsMessage::QueryTag { .. })));
+        assert!(w.is_busy());
+        let op = match &out[0].1 {
+            LdsMessage::QueryTag { op, .. } => *op,
+            _ => unreachable!(),
+        };
+
+        // Three TAG-RESP messages (quorum) trigger PUT-DATA with tag (6, 9).
+        let mut put_data = Vec::new();
+        for (i, z) in [2u64, 5, 3].iter().enumerate() {
+            let (out, _) = step(&mut w, ProcessId(i), LdsMessage::TagResp {
+                obj: ObjectId(0),
+                op,
+                tag: Tag::new(*z, ClientId(1)),
+            });
+            put_data = out;
+        }
+        assert_eq!(put_data.len(), 4);
+        match &put_data[0].1 {
+            LdsMessage::PutData { tag, .. } => assert_eq!(*tag, Tag::new(6, ClientId(9))),
+            other => panic!("expected PUT-DATA, got {other:?}"),
+        }
+
+        // Three ACKs complete the write and emit the completion event.
+        let tag = Tag::new(6, ClientId(9));
+        let mut events = Vec::new();
+        for i in 0..3 {
+            let (_, evs) =
+                step(&mut w, ProcessId(i), LdsMessage::AckPutData { obj: ObjectId(0), op, tag });
+            events = evs;
+        }
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            ProtocolEvent::WriteCompleted { tag: t, value, .. } => {
+                assert_eq!(*t, tag);
+                assert_eq!(value.as_bytes(), b"hello");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(!w.is_busy());
+        assert_eq!(w.completed_ops(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_stale_responses_are_ignored() {
+        let (params, membership) = setup();
+        let mut w = WriterClient::new(ClientId(2), params, membership);
+        let (out, _) = step(&mut w, ProcessId::EXTERNAL, LdsMessage::InvokeWrite {
+            obj: ObjectId(0),
+            value: Value::from("x"),
+        });
+        let op = match &out[0].1 {
+            LdsMessage::QueryTag { op, .. } => *op,
+            _ => unreachable!(),
+        };
+        // The same server responding repeatedly does not advance the quorum.
+        for _ in 0..5 {
+            let (out, _) = step(&mut w, ProcessId(0), LdsMessage::TagResp {
+                obj: ObjectId(0),
+                op,
+                tag: Tag::initial(),
+            });
+            assert!(out.is_empty());
+        }
+        // A response for a different op id is ignored too.
+        let other_op = OpId::new(ClientId(2), 99);
+        let (out, _) = step(&mut w, ProcessId(1), LdsMessage::TagResp {
+            obj: ObjectId(0),
+            op: other_op,
+            tag: Tag::initial(),
+        });
+        assert!(out.is_empty());
+        // Acks during the get-tag phase are ignored.
+        let (out, _) = step(&mut w, ProcessId(1), LdsMessage::AckPutData {
+            obj: ObjectId(0),
+            op,
+            tag: Tag::new(1, ClientId(2)),
+        });
+        assert!(out.is_empty());
+        assert!(w.is_busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "well-formed")]
+    fn overlapping_invocations_panic() {
+        let (params, membership) = setup();
+        let mut w = WriterClient::new(ClientId(2), params, membership);
+        let invoke = LdsMessage::InvokeWrite { obj: ObjectId(0), value: Value::from("x") };
+        step(&mut w, ProcessId::EXTERNAL, invoke.clone());
+        step(&mut w, ProcessId::EXTERNAL, invoke);
+    }
+
+    #[test]
+    fn tag_grows_monotonically_across_writes() {
+        let (params, membership) = setup();
+        let mut w = WriterClient::new(ClientId(3), params, membership);
+        let mut last_tag = Tag::initial();
+        for round in 0..3u64 {
+            let (out, _) = step(&mut w, ProcessId::EXTERNAL, LdsMessage::InvokeWrite {
+                obj: ObjectId(0),
+                value: Value::from("v"),
+            });
+            let op = match &out[0].1 {
+                LdsMessage::QueryTag { op, .. } => *op,
+                _ => unreachable!(),
+            };
+            assert_eq!(op.seq, round);
+            let mut new_tag = Tag::initial();
+            for i in 0..3 {
+                let (out, _) = step(&mut w, ProcessId(i), LdsMessage::TagResp {
+                    obj: ObjectId(0),
+                    op,
+                    tag: last_tag,
+                });
+                if let Some((_, LdsMessage::PutData { tag, .. })) = out.first() {
+                    new_tag = *tag;
+                }
+            }
+            assert!(new_tag > last_tag);
+            for i in 0..3 {
+                step(&mut w, ProcessId(i), LdsMessage::AckPutData {
+                    obj: ObjectId(0),
+                    op,
+                    tag: new_tag,
+                });
+            }
+            last_tag = new_tag;
+        }
+        assert_eq!(w.completed_ops(), 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the GF(2^8) field and matrix algebra.
+
+use lds_gf::{Gf256, Matrix};
+use proptest::prelude::*;
+
+fn gf() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+fn nonzero_gf() -> impl Strategy<Value = Gf256> {
+    (1..=255u8).prop_map(Gf256::new)
+}
+
+proptest! {
+    #[test]
+    fn addition_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributivity(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in gf()) {
+        prop_assert_eq!(a + a, Gf256::ZERO);
+        prop_assert_eq!(a - a, Gf256::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in nonzero_gf()) {
+        prop_assert_eq!(a * a.inverse(), Gf256::ONE);
+    }
+
+    #[test]
+    fn division_is_multiplication_by_inverse(a in gf(), b in nonzero_gf()) {
+        prop_assert_eq!(a / b, a * b.inverse());
+        prop_assert_eq!((a * b) / b, a);
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in nonzero_gf(), e1 in 0usize..60, e2 in 0usize..60) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn mul_acc_slice_is_linear(
+        src in proptest::collection::vec(any::<u8>(), 1..128),
+        c1 in gf(),
+        c2 in gf(),
+    ) {
+        // Applying (c1 + c2) at once equals applying c1 then c2.
+        let mut once = vec![0u8; src.len()];
+        Gf256::mul_acc_slice(c1 + c2, &src, &mut once);
+
+        let mut twice = vec![0u8; src.len()];
+        Gf256::mul_acc_slice(c1, &src, &mut twice);
+        Gf256::mul_acc_slice(c2, &src, &mut twice);
+
+        prop_assert_eq!(once, twice);
+    }
+}
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(any::<u8>(), rows * cols)
+        .prop_map(move |bytes| Matrix::from_bytes(rows, cols, &bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matrix_mul_associative(a in small_matrix(3, 4), b in small_matrix(4, 2), c in small_matrix(2, 5)) {
+        let left = (&a * &b).checked_mul(&c).unwrap();
+        let right = a.checked_mul(&(&b * &c)).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn matrix_transpose_of_product(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+        let lhs = (&a * &b).transpose();
+        let rhs = &b.transpose() * &a.transpose();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn inverse_roundtrips_when_invertible(a in small_matrix(4, 4)) {
+        if let Ok(inv) = a.inverse() {
+            prop_assert_eq!(&a * &inv, Matrix::identity(4));
+            prop_assert_eq!(&inv * &a, Matrix::identity(4));
+            prop_assert_eq!(a.rank(), 4);
+        } else {
+            prop_assert!(a.rank() < 4);
+        }
+    }
+
+    #[test]
+    fn solve_recovers_solution(a in small_matrix(3, 3), x in small_matrix(3, 2)) {
+        if a.rank() == 3 {
+            let b = &a * &x;
+            let solved = a.solve(&b).unwrap();
+            prop_assert_eq!(solved, x);
+        }
+    }
+
+    #[test]
+    fn rank_bounded_by_dimensions(a in small_matrix(3, 5)) {
+        prop_assert!(a.rank() <= 3);
+    }
+}

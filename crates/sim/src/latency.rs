@@ -1,0 +1,170 @@
+//! Link-latency models.
+//!
+//! The paper's system model is asynchronous (arbitrary finite delays); its
+//! latency analysis (§V-A) additionally assumes per-link-class upper bounds:
+//! τ1 for client↔L1 links, τ0 for L1↔L1 links and τ2 for L1↔L2 links, with
+//! τ2 typically much larger. Processes are assigned small integer *groups*
+//! when spawned (e.g. clients, L1 servers, L2 servers) and the latency model
+//! maps a `(from_group, to_group)` pair to a delay distribution.
+
+use rand::Rng;
+
+/// A delay distribution for one link class: uniform in `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Minimum delay.
+    pub min: f64,
+    /// Maximum delay (inclusive upper bound used by the bounded-latency
+    /// analysis).
+    pub max: f64,
+}
+
+impl LinkSpec {
+    /// A fixed (deterministic) delay.
+    pub fn fixed(delay: f64) -> Self {
+        LinkSpec { min: delay, max: delay }
+    }
+
+    /// A uniformly distributed delay in `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= min <= max` and both are finite.
+    pub fn uniform(min: f64, max: f64) -> Self {
+        assert!(
+            min.is_finite() && max.is_finite() && min >= 0.0 && min <= max,
+            "invalid latency range [{min}, {max}]"
+        );
+        LinkSpec { min, max }
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        if self.max > self.min {
+            // `&mut dyn RngCore` is itself a sized `Rng`, so range sampling works
+            // through the reference.
+            (&mut *rng).gen_range(self.min..=self.max)
+        } else {
+            self.min
+        }
+    }
+}
+
+/// Maps a pair of process groups to a message delay.
+pub trait LatencyModel: Send {
+    /// Returns the delay for a message sent from a process in `from_group`
+    /// to a process in `to_group`.
+    fn delay(&self, from_group: u8, to_group: u8, rng: &mut dyn rand::RngCore) -> f64;
+
+    /// The worst-case delay between the two groups (used by bounded-latency
+    /// analyses and by experiment harnesses to size timeouts).
+    fn upper_bound(&self, from_group: u8, to_group: u8) -> f64;
+}
+
+/// The same delay on every link.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLatency(pub f64);
+
+impl LatencyModel for FixedLatency {
+    fn delay(&self, _from: u8, _to: u8, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.0
+    }
+    fn upper_bound(&self, _from: u8, _to: u8) -> f64 {
+        self.0
+    }
+}
+
+/// Per-group-pair latency table with a default.
+///
+/// Lookups are symmetric-agnostic: the entry for `(a, b)` is used for
+/// messages from group `a` to group `b`; if absent, the entry for `(b, a)`
+/// is tried; if that is absent too, the default applies.
+#[derive(Debug, Clone)]
+pub struct ClassLatency {
+    default: LinkSpec,
+    table: Vec<((u8, u8), LinkSpec)>,
+}
+
+impl ClassLatency {
+    /// Creates a model where every unspecified link uses `default`.
+    pub fn new(default: LinkSpec) -> Self {
+        ClassLatency { default, table: Vec::new() }
+    }
+
+    /// Sets the delay distribution for messages between `a` and `b` (both
+    /// directions).
+    pub fn with_link(mut self, a: u8, b: u8, spec: LinkSpec) -> Self {
+        self.table.retain(|((x, y), _)| !((*x, *y) == (a, b) || (*x, *y) == (b, a)));
+        self.table.push(((a, b), spec));
+        self
+    }
+
+    fn lookup(&self, from: u8, to: u8) -> LinkSpec {
+        self.table
+            .iter()
+            .find(|((a, b), _)| (*a, *b) == (from, to) || (*a, *b) == (to, from))
+            .map(|(_, spec)| *spec)
+            .unwrap_or(self.default)
+    }
+}
+
+impl LatencyModel for ClassLatency {
+    fn delay(&self, from_group: u8, to_group: u8, rng: &mut dyn rand::RngCore) -> f64 {
+        self.lookup(from_group, to_group).sample(rng)
+    }
+    fn upper_bound(&self, from_group: u8, to_group: u8) -> f64 {
+        self.lookup(from_group, to_group).max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_latency_is_constant() {
+        let model = FixedLatency(2.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(model.delay(0, 1, &mut rng), 2.5);
+        assert_eq!(model.upper_bound(0, 1), 2.5);
+    }
+
+    #[test]
+    fn class_latency_lookup_and_symmetry() {
+        let model = ClassLatency::new(LinkSpec::fixed(1.0))
+            .with_link(0, 1, LinkSpec::fixed(5.0))
+            .with_link(1, 1, LinkSpec::fixed(0.5));
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(model.delay(0, 1, &mut rng), 5.0);
+        assert_eq!(model.delay(1, 0, &mut rng), 5.0, "reverse direction uses the same spec");
+        assert_eq!(model.delay(1, 1, &mut rng), 0.5);
+        assert_eq!(model.delay(0, 2, &mut rng), 1.0, "unspecified pair falls back to default");
+        assert_eq!(model.upper_bound(1, 0), 5.0);
+    }
+
+    #[test]
+    fn with_link_overrides_previous_entry() {
+        let model = ClassLatency::new(LinkSpec::fixed(1.0))
+            .with_link(0, 1, LinkSpec::fixed(5.0))
+            .with_link(1, 0, LinkSpec::fixed(9.0));
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(model.delay(0, 1, &mut rng), 9.0);
+    }
+
+    #[test]
+    fn uniform_sampling_stays_in_range() {
+        let spec = LinkSpec::uniform(1.0, 3.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let s = spec.sample(&mut rng);
+            assert!((1.0..=3.0).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid latency range")]
+    fn invalid_range_rejected() {
+        let _ = LinkSpec::uniform(3.0, 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! # lds-sim
+//!
+//! A deterministic discrete-event simulation of the asynchronous
+//! message-passing system model used by the LDS paper (§II):
+//!
+//! * processes communicate over **reliable point-to-point channels** — every
+//!   message sent to a non-faulty destination is eventually delivered;
+//! * processes fail by **crashing** and take no further steps afterwards;
+//! * a sender may crash after placing a message in a channel; delivery
+//!   depends only on the destination being alive;
+//! * message delays are arbitrary (asynchrony) or bounded per link class
+//!   (τ0 / τ1 / τ2 in the paper's latency analysis of §V-A).
+//!
+//! The simulation is seeded and fully deterministic: the same seed, processes
+//! and schedule produce the same execution, which makes protocol bugs
+//! reproducible.
+//!
+//! Processes implement the [`Process`] trait and exchange messages of a
+//! user-defined type `M` implementing [`DataSize`] (used for the paper's
+//! communication-cost accounting, which counts payload bytes and ignores
+//! metadata). Processes may emit typed events `E` (e.g. operation
+//! completions) that the experiment harness collects.
+//!
+//! # Example
+//!
+//! ```rust
+//! use lds_sim::{Simulation, SimConfig, Process, Context, ProcessId, DataSize};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping(u32);
+//! impl DataSize for Ping {
+//!     fn data_size(&self) -> usize { 4 }
+//!     fn kind(&self) -> &'static str { "PING" }
+//! }
+//!
+//! /// Bounces a counter back and forth with a peer until it reaches 4.
+//! struct Echo { peer: Option<ProcessId> }
+//! impl Process<Ping, ()> for Echo {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, Ping, ()>) {
+//!         if let Some(peer) = self.peer { ctx.send(peer, Ping(0)); }
+//!     }
+//!     fn on_message(&mut self, from: ProcessId, msg: Ping, ctx: &mut Context<'_, Ping, ()>) {
+//!         if msg.0 < 3 { ctx.send(from, Ping(msg.0 + 1)); }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(SimConfig::default());
+//! let a = sim.spawn(Echo { peer: None }, 0);
+//! let b = sim.spawn(Echo { peer: Some(a) }, 0);
+//! sim.run();
+//! assert_eq!(sim.metrics().messages_delivered(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod metrics;
+pub mod network;
+pub mod process;
+pub mod time;
+pub mod trace;
+
+pub use latency::{ClassLatency, FixedLatency, LatencyModel, LinkSpec};
+pub use metrics::NetworkMetrics;
+pub use network::{SimConfig, Simulation};
+pub use process::{Context, DataSize, Process, ProcessId};
+pub use time::SimTime;

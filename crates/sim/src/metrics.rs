@@ -1,0 +1,166 @@
+//! Communication-cost accounting.
+//!
+//! The paper (§II-d) measures the communication cost of an operation as the
+//! worst-case total *data* transmitted in messages sent on its behalf,
+//! ignoring metadata, normalised by the size of the value. The simulation
+//! counts messages and data bytes, grouped by message kind and by
+//! `(from_group, to_group)` link class; experiment harnesses normalise by the
+//! value size to produce the paper's unitless costs.
+
+use std::collections::BTreeMap;
+
+/// Counters describing all traffic observed by a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkMetrics {
+    messages_sent: u64,
+    messages_delivered: u64,
+    messages_dropped: u64,
+    data_bytes_sent: u64,
+    by_kind: BTreeMap<&'static str, KindCounter>,
+    by_link: BTreeMap<(u8, u8), KindCounter>,
+}
+
+/// Message count and data-byte count for one grouping key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounter {
+    /// Number of messages.
+    pub messages: u64,
+    /// Total data bytes (metadata excluded).
+    pub data_bytes: u64,
+}
+
+impl NetworkMetrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_send(
+        &mut self,
+        kind: &'static str,
+        data_bytes: usize,
+        from_group: u8,
+        to_group: u8,
+    ) {
+        self.messages_sent += 1;
+        self.data_bytes_sent += data_bytes as u64;
+        let e = self.by_kind.entry(kind).or_default();
+        e.messages += 1;
+        e.data_bytes += data_bytes as u64;
+        let l = self.by_link.entry((from_group, to_group)).or_default();
+        l.messages += 1;
+        l.data_bytes += data_bytes as u64;
+    }
+
+    pub(crate) fn record_delivery(&mut self) {
+        self.messages_delivered += 1;
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    /// Total messages placed into channels.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total messages delivered to live processes.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Messages dropped because the destination had crashed.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// Total data bytes placed into channels (metadata excluded).
+    pub fn data_bytes_sent(&self) -> u64 {
+        self.data_bytes_sent
+    }
+
+    /// Per-message-kind counters, ordered by kind name.
+    pub fn by_kind(&self) -> &BTreeMap<&'static str, KindCounter> {
+        &self.by_kind
+    }
+
+    /// Per-link-class counters keyed by `(from_group, to_group)`.
+    pub fn by_link(&self) -> &BTreeMap<(u8, u8), KindCounter> {
+        &self.by_link
+    }
+
+    /// Data bytes sent for one message kind.
+    pub fn data_bytes_for_kind(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).map(|c| c.data_bytes).unwrap_or(0)
+    }
+
+    /// Data bytes sent on one link class (both directions summed).
+    pub fn data_bytes_between_groups(&self, a: u8, b: u8) -> u64 {
+        self.by_link.get(&(a, b)).map(|c| c.data_bytes).unwrap_or(0)
+            + if a != b { self.by_link.get(&(b, a)).map(|c| c.data_bytes).unwrap_or(0) } else { 0 }
+    }
+
+    /// Returns the difference `self - earlier`, used to attribute traffic to
+    /// a window of the execution (e.g. a single operation).
+    pub fn delta_since(&self, earlier: &NetworkMetrics) -> NetworkMetrics {
+        let mut out = self.clone();
+        out.messages_sent -= earlier.messages_sent;
+        out.messages_delivered -= earlier.messages_delivered;
+        out.messages_dropped -= earlier.messages_dropped;
+        out.data_bytes_sent -= earlier.data_bytes_sent;
+        for (kind, c) in &earlier.by_kind {
+            let e = out.by_kind.entry(kind).or_default();
+            e.messages -= c.messages;
+            e.data_bytes -= c.data_bytes;
+        }
+        for (link, c) in &earlier.by_link {
+            let e = out.by_link.entry(*link).or_default();
+            e.messages -= c.messages;
+            e.data_bytes -= c.data_bytes;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = NetworkMetrics::new();
+        m.record_send("PUT-DATA", 100, 0, 1);
+        m.record_send("PUT-DATA", 100, 0, 1);
+        m.record_send("QUERY-TAG", 0, 0, 1);
+        m.record_send("WRITE-CODE-ELEM", 10, 1, 2);
+        m.record_delivery();
+        m.record_drop();
+
+        assert_eq!(m.messages_sent(), 4);
+        assert_eq!(m.messages_delivered(), 1);
+        assert_eq!(m.messages_dropped(), 1);
+        assert_eq!(m.data_bytes_sent(), 210);
+        assert_eq!(m.data_bytes_for_kind("PUT-DATA"), 200);
+        assert_eq!(m.data_bytes_for_kind("QUERY-TAG"), 0);
+        assert_eq!(m.data_bytes_for_kind("missing"), 0);
+        assert_eq!(m.by_kind().len(), 3);
+        assert_eq!(m.data_bytes_between_groups(0, 1), 200);
+        assert_eq!(m.data_bytes_between_groups(1, 2), 10);
+        assert_eq!(m.data_bytes_between_groups(2, 1), 10);
+    }
+
+    #[test]
+    fn delta_attribution() {
+        let mut m = NetworkMetrics::new();
+        m.record_send("A", 5, 0, 0);
+        let snapshot = m.clone();
+        m.record_send("A", 7, 0, 0);
+        m.record_send("B", 3, 0, 1);
+        let delta = m.delta_since(&snapshot);
+        assert_eq!(delta.messages_sent(), 2);
+        assert_eq!(delta.data_bytes_sent(), 10);
+        assert_eq!(delta.data_bytes_for_kind("A"), 7);
+        assert_eq!(delta.data_bytes_for_kind("B"), 3);
+    }
+}

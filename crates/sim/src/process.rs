@@ -1,0 +1,194 @@
+//! Process identities, the [`Process`] trait and the [`Context`] handed to
+//! processes when they take a step.
+
+use crate::time::SimTime;
+use std::any::Any;
+use std::fmt;
+
+/// Identifier of a process in the simulation.
+///
+/// Ids are assigned densely in spawn order. The special
+/// [`ProcessId::EXTERNAL`] id denotes the experiment harness itself, used as
+/// the source of injected messages (client operation invocations).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The pseudo-process representing the outside world / harness.
+    pub const EXTERNAL: ProcessId = ProcessId(usize::MAX);
+
+    /// Returns the numeric id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the external pseudo-process.
+    pub fn is_external(self) -> bool {
+        self == ProcessId::EXTERNAL
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_external() {
+            write!(f, "ext")
+        } else {
+            write!(f, "p{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Size accounting for messages, mirroring the paper's cost model (§II-d):
+/// only object data counts, metadata (tags, counters, ids) is free.
+pub trait DataSize {
+    /// Number of *data* bytes carried by the message (0 for pure metadata).
+    fn data_size(&self) -> usize;
+    /// A short, static label used to group metrics by message type
+    /// (e.g. `"PUT-DATA"`, `"SEND-HELPER-ELEM"`).
+    fn kind(&self) -> &'static str;
+}
+
+impl DataSize for () {
+    fn data_size(&self) -> usize {
+        0
+    }
+    fn kind(&self) -> &'static str {
+        "unit"
+    }
+}
+
+/// The interface every simulated process implements.
+///
+/// `M` is the message type, `E` the event type emitted to the harness
+/// (operation completions, diagnostics, …).
+pub trait Process<M, E>: Any {
+    /// Called once when the simulation starts (before any delivery).
+    fn on_start(&mut self, ctx: &mut Context<'_, M, E>) {
+        let _ = ctx;
+    }
+
+    /// Called for every delivered message. `from` is the sending process or
+    /// [`ProcessId::EXTERNAL`] for harness-injected commands.
+    fn on_message(&mut self, from: ProcessId, msg: M, ctx: &mut Context<'_, M, E>);
+}
+
+/// Blanket helper that lets the simulation downcast stored processes back to
+/// their concrete type (used by experiment probes to read server state, e.g.
+/// storage occupancy).
+pub(crate) trait AnyProcess<M, E>: Process<M, E> {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M: 'static, E: 'static, T: Process<M, E> + Any> AnyProcess<M, E> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Execution context passed to a process while it takes a step.
+///
+/// Sends are buffered and released into the network when the step finishes
+/// (an I/O-automaton style atomic action, as assumed by the paper's proofs).
+pub struct Context<'a, M, E> {
+    pub(crate) self_id: ProcessId,
+    pub(crate) now: SimTime,
+    pub(crate) outgoing: &'a mut Vec<(ProcessId, M)>,
+    pub(crate) events: &'a mut Vec<(SimTime, ProcessId, E)>,
+}
+
+impl<'a, M, E> Context<'a, M, E> {
+    /// Creates a context that is not attached to a running simulation.
+    ///
+    /// Outgoing messages and emitted events are appended to the provided
+    /// buffers. This is how alternative drivers (unit tests, the thread-based
+    /// cluster runtime) step the same process implementations outside the
+    /// simulator.
+    pub fn standalone(
+        self_id: ProcessId,
+        now: SimTime,
+        outgoing: &'a mut Vec<(ProcessId, M)>,
+        events: &'a mut Vec<(SimTime, ProcessId, E)>,
+    ) -> Self {
+        Context { self_id, now, outgoing, events }
+    }
+
+    /// The id of the process taking the step.
+    pub fn id(&self) -> ProcessId {
+        self.self_id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `to` over the (reliable, asynchronous) channel.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outgoing.push((to, msg));
+    }
+
+    /// Sends the same message to every process in `targets`.
+    pub fn send_all(&mut self, targets: impl IntoIterator<Item = ProcessId>, msg: M)
+    where
+        M: Clone,
+    {
+        for t in targets {
+            self.send(t, msg.clone());
+        }
+    }
+
+    /// Emits an event to the experiment harness.
+    pub fn emit(&mut self, event: E) {
+        self.events.push((self.now, self.self_id, event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(format!("{}", ProcessId(3)), "p3");
+        assert_eq!(format!("{}", ProcessId::EXTERNAL), "ext");
+        assert!(ProcessId::EXTERNAL.is_external());
+        assert!(!ProcessId(0).is_external());
+        assert_eq!(ProcessId(7).index(), 7);
+    }
+
+    #[test]
+    fn context_buffers_sends_and_events() {
+        let mut outgoing = Vec::new();
+        let mut events = Vec::new();
+        let mut ctx: Context<'_, u32, &'static str> = Context {
+            self_id: ProcessId(1),
+            now: SimTime::new(2.0),
+            outgoing: &mut outgoing,
+            events: &mut events,
+        };
+        ctx.send(ProcessId(2), 42);
+        ctx.send_all([ProcessId(3), ProcessId(4)], 7);
+        ctx.emit("done");
+        assert_eq!(ctx.id(), ProcessId(1));
+        assert_eq!(ctx.now(), SimTime::new(2.0));
+        assert_eq!(outgoing, vec![(ProcessId(2), 42), (ProcessId(3), 7), (ProcessId(4), 7)]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].2, "done");
+    }
+
+    #[test]
+    fn unit_message_data_size() {
+        assert_eq!(().data_size(), 0);
+        assert_eq!(().kind(), "unit");
+    }
+}

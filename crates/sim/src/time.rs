@@ -1,0 +1,126 @@
+//! Simulated time.
+//!
+//! Time is a non-negative, finite `f64` in abstract "latency units"; the
+//! paper's bounded-latency analysis expresses everything in multiples of the
+//! link delays τ0, τ1, τ2, so a unitless float is the natural representation.
+//! [`SimTime`] wraps the float to provide the total order the event queue
+//! needs while rejecting NaN at construction.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero: the start of every execution.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN or negative.
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "SimTime must be finite and non-negative, got {t}");
+        SimTime(t)
+    }
+
+    /// The underlying float value.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(t: f64) -> Self {
+        SimTime::new(t)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Construction guarantees the values are never NaN.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.5);
+        assert!(a < b);
+        assert_eq!(b - a, 1.5);
+        assert_eq!(a + 1.5, b);
+        let mut c = a;
+        c += 1.5;
+        assert_eq!(c, b);
+        assert_eq!(SimTime::ZERO.as_f64(), 0.0);
+    }
+
+    #[test]
+    fn conversion_and_display() {
+        let t: SimTime = 3.25.into();
+        assert_eq!(t.as_f64(), 3.25);
+        assert_eq!(format!("{t}"), "3.250");
+        assert!(format!("{t:?}").contains("3.250"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_time_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+}

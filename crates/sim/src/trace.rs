@@ -1,0 +1,114 @@
+//! Bounded execution trace for debugging protocol runs.
+//!
+//! Tracing is off by default; when enabled the simulation records one
+//! [`TraceRecord`] per delivery / crash, up to a configurable cap so that
+//! long experiments do not exhaust memory.
+
+use crate::process::ProcessId;
+use crate::time::SimTime;
+
+/// One traced simulation step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A message was delivered.
+    Deliver {
+        /// Delivery time.
+        time: SimTime,
+        /// Sender (or [`ProcessId::EXTERNAL`]).
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Message kind label.
+        kind: &'static str,
+        /// Data bytes in the message.
+        data_bytes: usize,
+    },
+    /// A message was dropped because the destination had crashed.
+    Drop {
+        /// Time at which delivery would have happened.
+        time: SimTime,
+        /// Intended receiver.
+        to: ProcessId,
+        /// Message kind label.
+        kind: &'static str,
+    },
+    /// A process crashed.
+    Crash {
+        /// Crash time.
+        time: SimTime,
+        /// The crashed process.
+        process: ProcessId,
+    },
+}
+
+/// A bounded in-memory trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    records: Vec<TraceRecord>,
+    truncated: bool,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn disabled() -> Self {
+        Trace { enabled: false, cap: 0, records: Vec::new(), truncated: false }
+    }
+
+    /// Creates an enabled trace that keeps at most `cap` records.
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace { enabled: true, cap, records: Vec::new(), truncated: false }
+    }
+
+    /// Whether tracing is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether records were discarded because the cap was reached.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The recorded steps, oldest first.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    pub(crate) fn push(&mut self, record: TraceRecord) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() >= self.cap {
+            self.truncated = true;
+            return;
+        }
+        self.records.push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(TraceRecord::Crash { time: SimTime::ZERO, process: ProcessId(0) });
+        assert!(t.records().is_empty());
+        assert!(!t.is_enabled());
+        assert!(!t.is_truncated());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.push(TraceRecord::Crash { time: SimTime::new(i as f64), process: ProcessId(i) });
+        }
+        assert_eq!(t.records().len(), 2);
+        assert!(t.is_truncated());
+        assert!(t.is_enabled());
+    }
+}

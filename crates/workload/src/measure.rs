@@ -1,0 +1,224 @@
+//! Single-number cost measurements used to reproduce Lemmas V.2–V.4.
+//!
+//! Communication costs are measured by attributing message kinds to
+//! operations — exactly the decomposition the paper uses:
+//!
+//! * **write cost** = value transfers to L1 (`PUT-DATA`) plus the internal
+//!   `write-to-L2` transfers (`WRITE-CODE-ELEM`), normalised by value size;
+//! * **read cost** = responses to the reader (`DATA-RESP`) plus the
+//!   regeneration traffic (`SEND-HELPER-ELEM`), normalised by value size.
+//!
+//! Latencies are measured as invocation-to-response durations under the
+//! deterministic bounded-latency model.
+
+use crate::runner::{RunnerConfig, SimRunner};
+use lds_core::backend::BackendKind;
+use lds_core::costs::LatencyBounds;
+use lds_core::params::SystemParams;
+
+/// A measured-vs-predicted comparison for one cost metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostMeasurement {
+    /// Value measured from the simulated execution.
+    pub measured: f64,
+    /// Closed-form prediction from the paper (§V).
+    pub predicted: f64,
+}
+
+impl CostMeasurement {
+    /// Measured / predicted ratio.
+    pub fn ratio(&self) -> f64 {
+        self.measured / self.predicted
+    }
+}
+
+/// Full cost report for one parameter point.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// System parameters used.
+    pub params: SystemParams,
+    /// Back-end code used.
+    pub backend: BackendKind,
+    /// Write communication cost (value-size units).
+    pub write_cost: CostMeasurement,
+    /// Read communication cost with no concurrency (δ = 0).
+    pub read_cost_idle: CostMeasurement,
+    /// Read communication cost under concurrency (δ > 0).
+    pub read_cost_concurrent: CostMeasurement,
+    /// Per-object permanent storage cost in L2 (value-size units).
+    pub l2_storage: CostMeasurement,
+    /// Write latency (time units) against the Lemma V.4 bound.
+    pub write_latency: CostMeasurement,
+    /// Read latency (time units) against the Lemma V.4 bound.
+    pub read_latency: CostMeasurement,
+}
+
+/// Size of values used by the measurement runs. Large enough that framing
+/// overhead (8-byte header + padding) is negligible relative to the value.
+pub const MEASURE_VALUE_SIZE: usize = 1 << 15;
+
+/// Measures every cost of [`CostReport`] for one configuration.
+///
+/// The runs use the deterministic bounded-latency model with
+/// `τ0 = τ1 = 1, τ2 = mu`.
+pub fn measure_costs(params: SystemParams, backend: BackendKind, mu: f64) -> CostReport {
+    let value_size = MEASURE_VALUE_SIZE;
+    let bounds = LatencyBounds::new(1.0, 1.0, mu);
+
+    // --- Write cost and latency: a single write on an idle system. ---
+    let (write_cost, write_latency) = {
+        let mut runner =
+            SimRunner::new(RunnerConfig::new(params).backend(backend).latencies(1.0, 1.0, mu));
+        let w = runner.add_writer();
+        runner.invoke_write(w, 0.0, vec![0xA5; value_size]);
+        let report = runner.run();
+        let bytes = report.metrics.data_bytes_for_kind("PUT-DATA")
+            + report.metrics.data_bytes_for_kind("WRITE-CODE-ELEM");
+        let op = &report.history.operations()[0];
+        let latency = op.completed_at - op.invoked_at;
+        (bytes as f64 / value_size as f64, latency)
+    };
+
+    // --- Read cost / latency with δ = 0: write, quiesce, then read. ---
+    let (read_cost_idle, read_latency) = {
+        let mut runner =
+            SimRunner::new(RunnerConfig::new(params).backend(backend).latencies(1.0, 1.0, mu));
+        let w = runner.add_writer();
+        let r = runner.add_reader();
+        runner.invoke_write(w, 0.0, vec![0x3C; value_size]);
+        // Leave plenty of time for the extended write to finish.
+        let read_start = 100.0 * (1.0 + mu);
+        runner.invoke_read(r, read_start);
+        let report = runner.run();
+        let bytes = report.metrics.data_bytes_for_kind("DATA-RESP")
+            + report.metrics.data_bytes_for_kind("SEND-HELPER-ELEM");
+        let read = report
+            .history
+            .operations()
+            .iter()
+            .find(|o| !o.is_write())
+            .expect("read completed");
+        (bytes as f64 / value_size as f64, read.completed_at - read.invoked_at)
+    };
+
+    // --- Read cost with δ > 0: the read overlaps an in-flight write. ---
+    let read_cost_concurrent = {
+        let mut runner =
+            SimRunner::new(RunnerConfig::new(params).backend(backend).latencies(1.0, 1.0, mu));
+        let w = runner.add_writer();
+        let r = runner.add_reader();
+        runner.invoke_write(w, 0.0, vec![0x77; value_size]);
+        // Start the read right after the write's put-data messages land, so
+        // temporary storage still holds the value.
+        runner.invoke_read(r, 3.0);
+        let report = runner.run();
+        let bytes = report.metrics.data_bytes_for_kind("DATA-RESP")
+            + report.metrics.data_bytes_for_kind("SEND-HELPER-ELEM");
+        bytes as f64 / value_size as f64
+    };
+
+    // --- L2 storage per object. ---
+    let l2_storage = {
+        let mut runner =
+            SimRunner::new(RunnerConfig::new(params).backend(backend).latencies(1.0, 1.0, mu));
+        let w = runner.add_writer();
+        runner.invoke_write(w, 0.0, vec![0x11; value_size]);
+        let report = runner.run();
+        report.l2_storage_bytes as f64 / value_size as f64
+    };
+
+    let predicted_l2 = match backend {
+        BackendKind::Mbr => lds_core::costs::l2_storage_cost(&params),
+        BackendKind::Replication => lds_core::costs::l2_storage_cost_replication(&params),
+        BackendKind::MsrPoint | BackendKind::ProductMatrixMsr => {
+            lds_core::costs::l2_storage_cost_msr(&params)
+        }
+    };
+
+    CostReport {
+        params,
+        backend,
+        write_cost: CostMeasurement {
+            measured: write_cost,
+            predicted: lds_core::costs::write_cost(&params),
+        },
+        read_cost_idle: CostMeasurement {
+            measured: read_cost_idle,
+            predicted: lds_core::costs::read_cost(&params, 0),
+        },
+        read_cost_concurrent: CostMeasurement {
+            measured: read_cost_concurrent,
+            predicted: lds_core::costs::read_cost(&params, 1),
+        },
+        l2_storage: CostMeasurement { measured: l2_storage, predicted: predicted_l2 },
+        write_latency: CostMeasurement {
+            measured: write_latency,
+            predicted: bounds.write_latency_bound(),
+        },
+        read_latency: CostMeasurement {
+            measured: read_latency,
+            predicted: bounds.read_latency_bound(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_costs_track_the_paper_formulas() {
+        let params = SystemParams::for_failures(2, 2, 4, 6).unwrap(); // n1=8, n2=10
+        let report = measure_costs(params, BackendKind::Mbr, 10.0);
+
+        // Write cost: measured should be close to the prediction (framing
+        // overhead only). Allow 15% slack.
+        assert!(
+            (report.write_cost.ratio() - 1.0).abs() < 0.15,
+            "write cost ratio {:?}",
+            report.write_cost
+        );
+        // Idle read cost: matches the Lemma V.2 formula and is far below the
+        // write cost (which is Θ(n1)).
+        assert!(
+            (report.read_cost_idle.ratio() - 1.0).abs() < 0.3,
+            "idle read cost ratio {:?}",
+            report.read_cost_idle
+        );
+        assert!(
+            report.read_cost_idle.measured < 0.5 * report.write_cost.measured,
+            "idle read cost {:?} should be far below the write cost {:?}",
+            report.read_cost_idle,
+            report.write_cost
+        );
+        // Concurrent read cost jumps by roughly n1 (value served from L1).
+        assert!(
+            report.read_cost_concurrent.measured > report.read_cost_idle.measured,
+            "concurrency must increase the read cost"
+        );
+        // Storage cost matches Lemma V.3.
+        assert!(
+            (report.l2_storage.ratio() - 1.0).abs() < 0.15,
+            "storage ratio {:?}",
+            report.l2_storage
+        );
+        // Latencies respect the Lemma V.4 bounds.
+        assert!(report.write_latency.measured <= report.write_latency.predicted + 1e-9);
+        assert!(report.read_latency.measured <= report.read_latency.predicted + 1e-9);
+    }
+
+    #[test]
+    fn replication_backend_inflates_l2_storage() {
+        // n1 = n2 = 10, k = d = 6: MBR stores ≈ 2.86 per object, replication
+        // stores n2 = 10.
+        let params = SystemParams::symmetric(10, 2).unwrap();
+        let mbr = measure_costs(params, BackendKind::Mbr, 5.0);
+        let rep = measure_costs(params, BackendKind::Replication, 5.0);
+        assert!(
+            rep.l2_storage.measured > 2.0 * mbr.l2_storage.measured,
+            "replication L2 storage {} should far exceed MBR {}",
+            rep.l2_storage.measured,
+            mbr.l2_storage.measured
+        );
+    }
+}

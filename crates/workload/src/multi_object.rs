@@ -1,0 +1,172 @@
+//! The multi-object storage experiment behind Lemma V.5 and Fig. 6.
+//!
+//! `N` objects are implemented by `N` independent LDS instances hosted on the
+//! same `n1 + n2` servers. A write workload with bounded concurrency `θ`
+//! (concurrent writes per τ1 interval) runs for a while; we then measure the
+//! peak temporary (L1) storage and the final permanent (L2) storage, both
+//! normalised by the value size, and compare against the paper's bounds.
+
+use crate::generator::ValueGenerator;
+use crate::runner::{RunnerConfig, SimRunner};
+use lds_core::params::SystemParams;
+use lds_core::tag::ObjectId;
+
+/// Configuration of one multi-object run.
+#[derive(Debug, Clone)]
+pub struct MultiObjectConfig {
+    /// System parameters.
+    pub params: SystemParams,
+    /// Number of objects `N`.
+    pub objects: usize,
+    /// Number of writer clients issuing concurrent writes (this bounds θ).
+    pub concurrent_writers: usize,
+    /// Writes performed by each writer.
+    pub writes_per_writer: usize,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// The τ2 / τ1 ratio µ.
+    pub mu: f64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl MultiObjectConfig {
+    /// A small default suitable for tests.
+    pub fn small(params: SystemParams, objects: usize) -> Self {
+        MultiObjectConfig {
+            params,
+            objects,
+            concurrent_writers: 2,
+            writes_per_writer: 2,
+            value_size: 256,
+            mu: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a multi-object run, in value-size units.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiObjectReport {
+    /// Number of objects written.
+    pub objects: usize,
+    /// Peak temporary storage observed in L1 during the run.
+    pub peak_l1_storage: f64,
+    /// Final permanent storage in L2 after quiescence.
+    pub final_l2_storage: f64,
+    /// The paper's bound on L1 storage (Lemma V.5): `⌈5 + 2µ⌉·θ·n1`.
+    pub l1_bound: f64,
+    /// The paper's L2 storage value (Lemma V.5): `2·N·n2 / (k + 1)` for the
+    /// symmetric configuration.
+    pub l2_bound: f64,
+}
+
+/// Runs the multi-object write workload and measures storage.
+///
+/// Writers issue writes round-robin over the `N` objects; the simulation is
+/// stepped in small increments so the peak L1 occupancy is observed rather
+/// than just the final state.
+pub fn run_multi_object(config: &MultiObjectConfig) -> MultiObjectReport {
+    let runner_config = RunnerConfig::new(config.params)
+        .seed(config.seed)
+        .latencies(1.0, 1.0, config.mu);
+    let mut runner = SimRunner::new(runner_config);
+    let writers: Vec<_> = (0..config.concurrent_writers).map(|_| runner.add_writer()).collect();
+
+    let mut values = ValueGenerator::new(config.value_size, config.seed);
+    // Schedule writes: each writer performs its writes back-to-back with a
+    // conservative spacing larger than the extended-write latency bound, so
+    // clients stay well-formed without a closed loop.
+    let spacing = 8.0 + 4.0 * config.mu;
+    let mut next_obj = 0u64;
+    for round in 0..config.writes_per_writer {
+        for &w in &writers {
+            let obj = ObjectId(next_obj % config.objects as u64);
+            next_obj += 1;
+            runner.invoke_write_obj(w, round as f64 * spacing, obj, values.next_value());
+        }
+    }
+
+    // Step the simulation and record the peak L1 occupancy.
+    let horizon = (config.writes_per_writer as f64 + 2.0) * spacing + 20.0 * config.mu;
+    let mut peak_l1 = 0usize;
+    let mut t = 0.0;
+    while t < horizon {
+        t += 1.0;
+        runner.run_until(t);
+        peak_l1 = peak_l1.max(runner.l1_storage_bytes());
+    }
+    let report = runner.run();
+    let vs = config.value_size as f64;
+
+    // θ: writes that can overlap within a τ1 window is at most the number of
+    // concurrent writers in this workload.
+    let theta = config.concurrent_writers as f64;
+    MultiObjectReport {
+        objects: config.objects,
+        peak_l1_storage: peak_l1 as f64 / vs,
+        final_l2_storage: report.l2_storage_bytes as f64 / vs,
+        l1_bound: lds_core::costs::l1_storage_bound_multi_object(&config.params, theta, config.mu),
+        l2_bound: lds_core::costs::l2_storage_bound_multi_object(&config.params, config.objects),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_stays_within_paper_bounds() {
+        let params = SystemParams::symmetric(6, 1).unwrap(); // n1 = n2 = 6, k = d = 4
+        let config = MultiObjectConfig {
+            objects: 4,
+            writes_per_writer: 2,
+            concurrent_writers: 2,
+            value_size: 512,
+            mu: 3.0,
+            seed: 2,
+            params,
+        };
+        let report = run_multi_object(&config);
+        assert!(report.peak_l1_storage > 0.0, "writes must pass through L1");
+        assert!(
+            report.peak_l1_storage <= report.l1_bound,
+            "peak L1 storage {} exceeded the Lemma V.5 bound {}",
+            report.peak_l1_storage,
+            report.l1_bound
+        );
+        // Final L2 storage: every written object stores 2/(k+1) per server →
+        // 2 n2 / (k+1) per object; unwritten objects may contribute nothing.
+        assert!(report.final_l2_storage > 0.0);
+        assert!(
+            report.final_l2_storage <= report.l2_bound * 1.1,
+            "final L2 storage {} exceeded the bound {}",
+            report.final_l2_storage,
+            report.l2_bound
+        );
+        // After quiescence, L1 temporary storage is empty again.
+    }
+
+    #[test]
+    fn l2_storage_grows_linearly_with_objects() {
+        let params = SystemParams::symmetric(6, 1).unwrap();
+        let run = |objects| {
+            let config = MultiObjectConfig {
+                objects,
+                writes_per_writer: objects, // ensure every object is written
+                concurrent_writers: 1,
+                value_size: 256,
+                mu: 2.0,
+                seed: 3,
+                params,
+            };
+            run_multi_object(&config).final_l2_storage
+        };
+        let two = run(2);
+        let four = run(4);
+        assert!(
+            (four / two - 2.0).abs() < 0.3,
+            "L2 storage should scale linearly with N: {two} vs {four}"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # lds-storage
+//!
+//! Umbrella crate for the reproduction of *"A Layered Architecture for
+//! Erasure-Coded Consistent Distributed Storage"* (Konwar, Prakash, Lynch,
+//! Médard — PODC 2017).
+//!
+//! The implementation is split into focused crates; this crate re-exports them
+//! under stable module names so applications can depend on a single crate.
+//!
+//! * [`gf`] — GF(2^8) arithmetic and linear algebra.
+//! * [`codes`] — Reed–Solomon, product-matrix MBR / MSR regenerating codes and
+//!   replication.
+//! * [`sim`] — deterministic discrete-event simulation of an asynchronous
+//!   message-passing network with crash faults.
+//! * [`core`] — the LDS protocol (writer / reader / L1 / L2 automata), the ABD
+//!   and CAS baselines, the atomicity checker and the analytical cost model.
+//! * [`cluster`] — a thread-based in-process cluster runtime driving the same
+//!   state machines over real channels.
+//! * [`workload`] — workload generators and experiment runners.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use lds_storage::core::params::SystemParams;
+//! use lds_storage::workload::runner::{SimRunner, RunnerConfig};
+//!
+//! // A small two-layer system: 5 edge servers (f1 = 1), 7 back-end servers (f2 = 1).
+//! let params = SystemParams::for_failures(1, 1, 3, 5).expect("valid parameters");
+//! let mut runner = SimRunner::new(RunnerConfig::new(params).seed(7));
+//! let w = runner.add_writer();
+//! let r = runner.add_reader();
+//! runner.invoke_write(w, 0.0, b"hello edge".to_vec());
+//! runner.invoke_read(r, 50.0);
+//! let report = runner.run();
+//! assert!(report.history.check_atomicity().is_ok());
+//! ```
+
+pub use lds_codes as codes;
+pub use lds_core as core;
+pub use lds_cluster as cluster;
+pub use lds_gf as gf;
+pub use lds_sim as sim;
+pub use lds_workload as workload;

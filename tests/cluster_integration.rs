@@ -1,0 +1,115 @@
+//! Integration tests for the thread-based cluster runtime: the same automata
+//! that run in the simulator provide atomic storage over real threads and
+//! channels, under concurrency and crash failures.
+
+use lds_cluster::{ClientError, Cluster};
+use lds_core::backend::BackendKind;
+use lds_core::params::SystemParams;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn params() -> SystemParams {
+    SystemParams::for_failures(1, 1, 2, 3).unwrap()
+}
+
+#[test]
+fn read_your_writes_across_clients() {
+    let cluster = Cluster::start(params(), BackendKind::Mbr);
+    let mut a = cluster.client();
+    let mut b = cluster.client();
+    for i in 0..10u64 {
+        let value = format!("generation {i}").into_bytes();
+        a.write(0, value.clone()).unwrap();
+        assert_eq!(b.read(0).unwrap(), value, "a completed write is visible to every later read");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn monotonic_reads_under_concurrent_writers() {
+    let cluster = Cluster::start(params(), BackendKind::Mbr);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    // Two writers race on the same object with self-describing values.
+    let mut writer_handles = Vec::new();
+    for w in 0..2u64 {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        writer_handles.push(std::thread::spawn(move || {
+            let mut client = cluster.client();
+            let mut i = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) && i < 30 {
+                let value = format!("{:020}:{w}", i).into_bytes();
+                client.write(0, value).unwrap();
+                i += 1;
+            }
+        }));
+    }
+
+    // A reader checks that the observed sequence numbers never go backwards
+    // (a consequence of atomicity for sequential reads by one client).
+    let reader_cluster = Arc::clone(&cluster);
+    let reader = std::thread::spawn(move || {
+        let mut client = reader_cluster.client();
+        let mut last = -1i64;
+        for _ in 0..40 {
+            let value = client.read(0).unwrap();
+            if value.is_empty() {
+                continue; // initial value
+            }
+            let text = String::from_utf8(value).unwrap();
+            let seq: i64 = text.split(':').next().unwrap().parse().unwrap();
+            assert!(seq >= last, "observed sequence went backwards: {seq} < {last}");
+            last = seq;
+        }
+    });
+
+    reader.join().unwrap();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for handle in writer_handles {
+        handle.join().unwrap();
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn operations_survive_tolerated_crashes_but_not_more() {
+    let cluster = Cluster::start(params(), BackendKind::Mbr);
+    let mut client = cluster.client();
+    client.write(5, b"before crashes".to_vec()).unwrap();
+
+    // Tolerated: f1 = 1, f2 = 1.
+    cluster.kill_l1(1);
+    cluster.kill_l2(0);
+    client.write(5, b"after tolerated crashes".to_vec()).unwrap();
+    assert_eq!(client.read(5).unwrap(), b"after tolerated crashes");
+
+    // One more L1 crash exceeds f1: quorums of f1 + k = 3 out of the 2
+    // remaining servers are impossible, so operations time out.
+    cluster.kill_l1(2);
+    client.set_timeout(Duration::from_millis(300));
+    assert_eq!(client.write(5, b"doomed".to_vec()), Err(ClientError::Timeout));
+
+    cluster.shutdown();
+}
+
+#[test]
+fn distinct_objects_are_independent() {
+    let cluster = Cluster::start(params(), BackendKind::Mbr);
+    let mut handles = Vec::new();
+    for obj in 0..4u64 {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            let mut client = cluster.client();
+            for i in 0..5u64 {
+                client.write(obj, format!("obj{obj}-v{i}").into_bytes()).unwrap();
+            }
+            client.read(obj).unwrap()
+        }));
+    }
+    for (obj, handle) in handles.into_iter().enumerate() {
+        let final_value = handle.join().unwrap();
+        assert_eq!(final_value, format!("obj{obj}-v4").into_bytes());
+    }
+    cluster.shutdown();
+}

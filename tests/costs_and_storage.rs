@@ -1,0 +1,131 @@
+//! Integration tests for the paper's quantitative claims (§V): measured
+//! communication, storage and latency costs track the closed-form lemmas.
+
+use lds_core::backend::BackendKind;
+use lds_core::costs;
+use lds_core::params::SystemParams;
+use lds_workload::measure::measure_costs;
+use lds_workload::multi_object::{run_multi_object, MultiObjectConfig};
+
+#[test]
+fn lemma_v2_write_cost_scales_linearly_and_read_cost_stays_flat() {
+    // Two sizes in the same asymptotic regime (k = d = 0.8 n).
+    let small = SystemParams::symmetric(10, 1).unwrap();
+    let large = SystemParams::symmetric(30, 3).unwrap();
+    let small_report = measure_costs(small, BackendKind::Mbr, 10.0);
+    let large_report = measure_costs(large, BackendKind::Mbr, 10.0);
+
+    // Write cost grows roughly with n1 (×3 here, allow generous tolerance).
+    let write_growth = large_report.write_cost.measured / small_report.write_cost.measured;
+    assert!(
+        (2.0..4.5).contains(&write_growth),
+        "write cost should scale ~linearly with n1, grew {write_growth}x"
+    );
+
+    // Idle read cost stays Θ(1): it must grow far slower than n1.
+    let read_growth = large_report.read_cost_idle.measured / small_report.read_cost_idle.measured;
+    assert!(
+        read_growth < 1.6,
+        "idle read cost should be ~constant in n1, grew {read_growth}x"
+    );
+
+    // Concurrent reads pay the extra n1 term.
+    assert!(
+        large_report.read_cost_concurrent.measured
+            > large_report.read_cost_idle.measured + 0.5 * large.n1() as f64,
+        "concurrent read cost should include an n1-sized term"
+    );
+
+    // Measured values stay close to the formulas.
+    for report in [&small_report, &large_report] {
+        assert!((report.write_cost.ratio() - 1.0).abs() < 0.2, "{:?}", report.write_cost);
+        assert!((report.read_cost_idle.ratio() - 1.0).abs() < 0.3, "{:?}", report.read_cost_idle);
+    }
+}
+
+#[test]
+fn lemma_v3_l2_storage_is_constant_per_object() {
+    let small = SystemParams::symmetric(10, 1).unwrap();
+    let large = SystemParams::symmetric(30, 3).unwrap();
+    let s = measure_costs(small, BackendKind::Mbr, 5.0).l2_storage;
+    let l = measure_costs(large, BackendKind::Mbr, 5.0).l2_storage;
+    assert!((s.ratio() - 1.0).abs() < 0.15, "{s:?}");
+    assert!((l.ratio() - 1.0).abs() < 0.15, "{l:?}");
+    // Θ(1): tripling the system size must not triple the storage cost.
+    assert!(l.measured / s.measured < 1.5);
+}
+
+#[test]
+fn lemma_v4_latencies_respect_bounds_and_write_is_mu_independent() {
+    let params = SystemParams::symmetric(12, 1).unwrap();
+    let near = measure_costs(params, BackendKind::Mbr, 2.0);
+    let far = measure_costs(params, BackendKind::Mbr, 40.0);
+
+    for report in [&near, &far] {
+        assert!(report.write_latency.measured <= report.write_latency.predicted + 1e-9);
+        assert!(report.read_latency.measured <= report.read_latency.predicted + 1e-9);
+    }
+    // Writes never wait on the back-end: their latency is unchanged when the
+    // back-end moves 20x further away.
+    assert!((near.write_latency.measured - far.write_latency.measured).abs() < 1e-9);
+    // Cold reads do pay for the extra distance.
+    assert!(far.read_latency.measured > near.read_latency.measured);
+}
+
+#[test]
+fn remark_1_and_2_mbr_vs_msr_point_tradeoff() {
+    let params = SystemParams::symmetric(20, 2).unwrap();
+    let mbr = measure_costs(params, BackendKind::Mbr, 10.0);
+    let msr = measure_costs(params, BackendKind::MsrPoint, 10.0);
+
+    // Remark 1: at k = d the MSR-point read cost is Ω(n1) — much larger than
+    // the MBR read cost.
+    assert!(
+        msr.read_cost_idle.measured > 3.0 * mbr.read_cost_idle.measured,
+        "MSR-point idle read {} should dwarf MBR {}",
+        msr.read_cost_idle.measured,
+        mbr.read_cost_idle.measured
+    );
+    // Remark 2: MBR storage is at most 2x MSR storage.
+    assert!(mbr.l2_storage.measured <= 2.2 * msr.l2_storage.measured);
+    assert!(msr.l2_storage.measured < mbr.l2_storage.measured);
+}
+
+#[test]
+fn figure_6_replication_comparison() {
+    let params = SystemParams::symmetric(10, 1).unwrap();
+    let mbr = measure_costs(params, BackendKind::Mbr, 5.0);
+    let replication = measure_costs(params, BackendKind::Replication, 5.0);
+    // Replication stores ~n2 value units per object; MBR stores ~2n2/(k+1).
+    assert!((replication.l2_storage.measured - params.n2() as f64).abs() < 0.5);
+    assert!(replication.l2_storage.measured > 3.0 * mbr.l2_storage.measured);
+    // Prediction formulas agree with what was measured.
+    assert!((mbr.l2_storage.predicted - costs::l2_storage_cost(&params)).abs() < 1e-12);
+}
+
+#[test]
+fn lemma_v5_temporary_storage_bounded_and_l2_linear_in_objects() {
+    let params = SystemParams::symmetric(8, 1).unwrap();
+    let mut l2_values = Vec::new();
+    for objects in [2usize, 4, 8] {
+        let report = run_multi_object(&MultiObjectConfig {
+            params,
+            objects,
+            concurrent_writers: 2,
+            writes_per_writer: objects,
+            value_size: 512,
+            mu: 5.0,
+            seed: 6,
+        });
+        assert!(
+            report.peak_l1_storage <= report.l1_bound,
+            "peak L1 {} must stay below the Lemma V.5 bound {}",
+            report.peak_l1_storage,
+            report.l1_bound
+        );
+        l2_values.push(report.final_l2_storage);
+    }
+    // Permanent storage grows roughly linearly with the number of objects.
+    assert!((l2_values[1] / l2_values[0] - 2.0).abs() < 0.4, "{l2_values:?}");
+    assert!((l2_values[2] / l2_values[1] - 2.0).abs() < 0.4, "{l2_values:?}");
+}
