@@ -1,91 +1,162 @@
-//! Experiment E10: encode / decode / repair throughput of the code
-//! implementations (MBR, MSR, Reed–Solomon) at several value sizes.
+//! Experiment E10: throughput of the coding pipeline, before and after the
+//! bulk-kernel refactor.
+//!
+//! Three benchmark groups:
+//!
+//! * `mbr_scalar_vs_bulk` — the product-matrix MBR code's encode / decode /
+//!   repair on the byte-at-a-time scalar oracle ([`lds_codes::scalar`], the
+//!   seed's execution strategy: `Gf256` operator loops and a fresh matrix
+//!   inversion per decode) versus the plan-cached bulk pipeline, across
+//!   payloads from 1 KiB to 1 MiB.
+//! * `codes_bulk` — the bulk pipeline for the MSR and RS codes.
+//! * `backend` — the four [`BackendKind`]s driven through the
+//!   [`lds_core::backend::BackendCodec`] interface the protocol uses
+//!   (`encode_l2_element_into` and `decode_from_l1`).
+//!
+//! Recording results: run
+//! `CRITERION_JSON=/tmp/bench_codes.jsonl cargo bench -p lds-bench --bench codes`
+//! and post-process the JSON lines into `BENCH_CODES.json` (see that file's
+//! `_meta` entry for the exact jq command used).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lds_codes::mbr::ProductMatrixMbr;
 use lds_codes::msr::ProductMatrixMsr;
 use lds_codes::rs::ReedSolomon;
+use lds_codes::scalar::ScalarMbr;
 use lds_codes::{ErasureCode, RegeneratingCode};
+use lds_core::backend::{make_backend, BackendKind};
+use lds_core::params::SystemParams;
+use lds_core::value::Value;
+
+const SIZES: &[usize] = &[1024, 64 * 1024, 1024 * 1024];
 
 fn sample_value(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i * 31 % 251) as u8).collect()
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode");
-    for &size in &[4 * 1024usize, 64 * 1024] {
+fn bench_mbr_scalar_vs_bulk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mbr_scalar_vs_bulk");
+    let scalar = ScalarMbr::with_dimensions(20, 8, 10).unwrap();
+    let bulk = ProductMatrixMbr::with_dimensions(20, 8, 10).unwrap();
+
+    for &size in SIZES {
         let value = sample_value(size);
         group.throughput(Throughput::Bytes(size as u64));
 
-        let mbr = ProductMatrixMbr::with_dimensions(20, 8, 10).unwrap();
-        group.bench_with_input(BenchmarkId::new("mbr_n20_k8_d10", size), &value, |b, v| {
-            b.iter(|| mbr.encode(v).unwrap())
+        group.bench_with_input(BenchmarkId::new("encode_scalar", size), &value, |b, v| {
+            b.iter(|| scalar.encode(v).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("encode_bulk", size), &value, |b, v| {
+            b.iter(|| bulk.encode(v).unwrap())
         });
 
-        let msr = ProductMatrixMsr::with_dimensions(20, 8).unwrap();
-        group.bench_with_input(BenchmarkId::new("msr_n20_k8", size), &value, |b, v| {
-            b.iter(|| msr.encode(v).unwrap())
+        let shares = bulk.encode(&value).unwrap();
+        group.bench_with_input(BenchmarkId::new("decode_scalar", size), &shares, |b, s| {
+            b.iter(|| scalar.decode(&s[4..12]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("decode_bulk", size), &shares, |b, s| {
+            b.iter(|| bulk.decode(&s[4..12]).unwrap())
         });
 
-        let rs = ReedSolomon::with_dimensions(20, 8).unwrap();
-        group.bench_with_input(BenchmarkId::new("rs_n20_k8", size), &value, |b, v| {
-            b.iter(|| rs.encode(v).unwrap())
+        let helpers: Vec<_> = (1..11)
+            .map(|h| bulk.helper_data(&shares[h], 0).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("repair_scalar", size), &helpers, |b, h| {
+            b.iter(|| scalar.repair(0, h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("repair_bulk", size), &helpers, |b, h| {
+            b.iter(|| bulk.repair(0, h).unwrap())
         });
     }
     group.finish();
 }
 
-fn bench_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decode");
-    let size = 64 * 1024;
-    let value = sample_value(size);
-    group.throughput(Throughput::Bytes(size as u64));
-
-    let mbr = ProductMatrixMbr::with_dimensions(20, 8, 10).unwrap();
-    let mbr_shares = mbr.encode(&value).unwrap();
-    group.bench_function("mbr_from_k_shares", |b| {
-        b.iter(|| mbr.decode(&mbr_shares[4..12]).unwrap())
-    });
-
+fn bench_codes_bulk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codes_bulk");
     let msr = ProductMatrixMsr::with_dimensions(20, 8).unwrap();
-    let msr_shares = msr.encode(&value).unwrap();
-    group.bench_function("msr_from_k_shares", |b| {
-        b.iter(|| msr.decode(&msr_shares[4..12]).unwrap())
-    });
-
     let rs = ReedSolomon::with_dimensions(20, 8).unwrap();
-    let rs_shares = rs.encode(&value).unwrap();
-    group.bench_function("rs_from_k_shares", |b| b.iter(|| rs.decode(&rs_shares[4..12]).unwrap()));
+
+    for &size in SIZES {
+        let value = sample_value(size);
+        group.throughput(Throughput::Bytes(size as u64));
+
+        group.bench_with_input(BenchmarkId::new("msr_encode", size), &value, |b, v| {
+            b.iter(|| msr.encode(v).unwrap())
+        });
+        let msr_shares = msr.encode(&value).unwrap();
+        group.bench_with_input(BenchmarkId::new("msr_decode", size), &msr_shares, |b, s| {
+            b.iter(|| msr.decode(&s[4..12]).unwrap())
+        });
+
+        group.bench_with_input(BenchmarkId::new("rs_encode", size), &value, |b, v| {
+            b.iter(|| rs.encode(v).unwrap())
+        });
+        let rs_shares = rs.encode(&value).unwrap();
+        group.bench_with_input(BenchmarkId::new("rs_decode", size), &rs_shares, |b, s| {
+            b.iter(|| rs.decode(&s[4..12]).unwrap())
+        });
+    }
     group.finish();
 }
 
-fn bench_repair(c: &mut Criterion) {
-    let mut group = c.benchmark_group("repair");
-    let size = 64 * 1024;
-    let value = sample_value(size);
-    group.throughput(Throughput::Bytes(size as u64));
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend");
+    let params = SystemParams::for_failures(1, 1, 3, 5).unwrap(); // n1=5, n2=7
+    let kinds = [
+        BackendKind::Mbr,
+        BackendKind::MsrPoint,
+        BackendKind::ProductMatrixMsr,
+        BackendKind::Replication,
+    ];
+    for kind in kinds {
+        let backend = make_backend(kind, &params).unwrap();
+        backend.warm_plans();
+        for &size in SIZES {
+            let value = Value::new(sample_value(size));
+            group.throughput(Throughput::Bytes(size as u64));
 
-    // MBR repair: d helpers each ship alpha/d of a share.
-    let mbr = ProductMatrixMbr::with_dimensions(20, 8, 10).unwrap();
-    let shares = mbr.encode(&value).unwrap();
-    let helpers: Vec<_> = (1..11).map(|h| mbr.helper_data(&shares[h], 0).unwrap()).collect();
-    group.bench_function("mbr_regenerate_one_share", |b| {
-        b.iter(|| mbr.repair(0, &helpers).unwrap())
-    });
+            // write-to-L2: encode every L2 element into a reused buffer.
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}_encode_l2"), size),
+                &value,
+                |b, v| {
+                    let mut buf = Vec::new();
+                    b.iter(|| {
+                        for i in 0..7 {
+                            backend.encode_l2_element_into(v, i, &mut buf).unwrap();
+                        }
+                    })
+                },
+            );
 
-    // RS naive repair: k helpers ship full shares and the value is re-encoded.
-    let rs = ReedSolomon::with_dimensions(20, 8).unwrap();
-    let rs_shares = rs.encode(&value).unwrap();
-    let rs_helpers: Vec<_> = (1..9).map(|h| rs.helper_data(&rs_shares[h], 0).unwrap()).collect();
-    group.bench_function("rs_naive_repair_one_share", |b| {
-        b.iter(|| rs.repair(0, &rs_helpers).unwrap())
-    });
+            // read path: decode from decode_threshold regenerated C1 elements.
+            let c1: Vec<_> = (0..backend.decode_threshold())
+                .map(|l1| {
+                    let helpers: Vec<_> = (0..backend.repair_threshold())
+                        .map(|i| {
+                            let elem = backend.encode_l2_element(&value, i).unwrap();
+                            backend.helper_for_l1(&elem, i, l1).unwrap()
+                        })
+                        .collect();
+                    backend.regenerate_l1(l1, &helpers).unwrap()
+                })
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}_decode_l1"), size),
+                &c1,
+                |b, shares| {
+                    let mut out = Vec::new();
+                    b.iter(|| backend.decode_from_l1_into(shares, &mut out).unwrap())
+                },
+            );
+        }
+    }
     group.finish();
 }
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_encode, bench_decode, bench_repair
+    config = Criterion::default().sample_size(10);
+    targets = bench_mbr_scalar_vs_bulk, bench_codes_bulk, bench_backends
 }
 criterion_main!(benches);

@@ -20,7 +20,11 @@ fn run_write_and_read(backend: BackendKind, value_size: usize) {
 
 fn bench_protocol(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol_write_read");
-    for &backend in &[BackendKind::Mbr, BackendKind::MsrPoint, BackendKind::Replication] {
+    for &backend in &[
+        BackendKind::Mbr,
+        BackendKind::MsrPoint,
+        BackendKind::Replication,
+    ] {
         for &size in &[1024usize, 16 * 1024] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{backend}"), size),

@@ -42,24 +42,42 @@ fn run_baseline(kind: &str, n: usize, k: usize) -> (f64, f64, f64) {
             sim.spawn(CasClient::new(ClientId(2), servers.clone(), k), 0),
         ),
     };
-    sim.inject_at(0.0, writer, BaselineMessage::InvokeWrite {
-        obj: ObjectId(0),
-        value: Value::new(vec![0x42; value_size]),
-    });
+    sim.inject_at(
+        0.0,
+        writer,
+        BaselineMessage::InvokeWrite {
+            obj: ObjectId(0),
+            value: Value::new(vec![0x42; value_size]),
+        },
+    );
     sim.run_until(1_000.0);
     let write_bytes = sim.metrics().data_bytes_sent();
-    sim.inject_at(1_000.0, reader, BaselineMessage::InvokeRead { obj: ObjectId(0) });
+    sim.inject_at(
+        1_000.0,
+        reader,
+        BaselineMessage::InvokeRead { obj: ObjectId(0) },
+    );
     sim.run();
     let read_bytes = sim.metrics().data_bytes_sent() - write_bytes;
     let storage_bytes: usize = servers
         .iter()
         .map(|&s| match kind {
-            "abd" => sim.process_ref::<AbdServer>(s).map(|p| p.storage_bytes()).unwrap_or(0),
-            _ => sim.process_ref::<CasServer>(s).map(|p| p.storage_bytes()).unwrap_or(0),
+            "abd" => sim
+                .process_ref::<AbdServer>(s)
+                .map(|p| p.storage_bytes())
+                .unwrap_or(0),
+            _ => sim
+                .process_ref::<CasServer>(s)
+                .map(|p| p.storage_bytes())
+                .unwrap_or(0),
         })
         .sum();
     let vs = value_size as f64;
-    (write_bytes as f64 / vs, read_bytes as f64 / vs, storage_bytes as f64 / vs)
+    (
+        write_bytes as f64 / vs,
+        read_bytes as f64 / vs,
+        storage_bytes as f64 / vs,
+    )
 }
 
 fn main() {
@@ -91,9 +109,15 @@ fn main() {
         "E8: LDS vs single-layer baselines (ABD replication, CAS with RS code); value-size units",
         &[
             "n",
-            "write LDS", "write ABD", "write CAS",
-            "read LDS", "read ABD", "read CAS",
-            "store LDS(L2)", "store ABD", "store CAS",
+            "write LDS",
+            "write ABD",
+            "write CAS",
+            "read LDS",
+            "read ABD",
+            "read CAS",
+            "store LDS(L2)",
+            "store ABD",
+            "store CAS",
         ],
         &rows,
     );

@@ -65,7 +65,13 @@ fn main() {
     }
     print_table(
         "E5/E7 (paper scale, n1 = n2 = 100, k = d = 80, theta = 100, mu = 10): Fig. 6 series",
-        &["N", "L1 bound", "L2 (MBR)", "L2 (replication)", "L2 per object (MBR)"],
+        &[
+            "N",
+            "L1 bound",
+            "L2 (MBR)",
+            "L2 (replication)",
+            "L2 per object (MBR)",
+        ],
         &rows,
     );
 

@@ -32,8 +32,10 @@ use std::fmt::Display;
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
     println!("\n== {title} ==");
     let header_strings: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    let row_strings: Vec<Vec<String>> =
-        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
+    let row_strings: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
     let cols = header_strings.len();
     let mut widths: Vec<usize> = header_strings.iter().map(String::len).collect();
     for row in &row_strings {
@@ -42,8 +44,11 @@ pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[V
         }
     }
     let print_row = |cells: &[String]| {
-        let line: Vec<String> =
-            cells.iter().enumerate().map(|(i, c)| format!("{:>width$}", c, width = widths[i])).collect();
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
         println!("  {}", line.join("  "));
     };
     print_row(&header_strings);
@@ -71,7 +76,11 @@ mod tests {
 
     #[test]
     fn print_table_does_not_panic_on_ragged_input() {
-        print_table("test", &["a", "b"], &[vec!["1".to_string(), "2".to_string()]]);
+        print_table(
+            "test",
+            &["a", "b"],
+            &[vec!["1".to_string(), "2".to_string()]],
+        );
         print_table::<&str, String>("empty", &["x"], &[]);
     }
 }

@@ -58,8 +58,12 @@ impl ClusterClient {
         inbox: Receiver<Envelope>,
     ) -> Self {
         let writer = WriterClient::new(id, cluster.params(), cluster.membership().clone());
-        let reader =
-            ReaderClient::new(id, cluster.params(), cluster.membership().clone(), cluster.backend());
+        let reader = ReaderClient::new(
+            id,
+            cluster.params(),
+            cluster.membership().clone(),
+            cluster.backend(),
+        );
         ClusterClient {
             cluster,
             pid,
@@ -90,8 +94,10 @@ impl ClusterClient {
     /// time (e.g. too many servers were killed) and
     /// [`ClientError::Disconnected`] after shutdown.
     pub fn write(&mut self, obj: u64, value: Vec<u8>) -> Result<Tag, ClientError> {
-        let invoke =
-            LdsMessage::InvokeWrite { obj: ObjectId(obj), value: Value::new(value) };
+        let invoke = LdsMessage::InvokeWrite {
+            obj: ObjectId(obj),
+            value: Value::new(value),
+        };
         let event = self.drive(true, invoke)?;
         match event {
             ProtocolEvent::WriteCompleted { tag, .. } => {
@@ -123,11 +129,7 @@ impl ClusterClient {
 
     /// Feeds `invoke` into the appropriate automaton and pumps messages until
     /// it emits a completion event.
-    fn drive(
-        &mut self,
-        is_write: bool,
-        invoke: LdsMessage,
-    ) -> Result<ProtocolEvent, ClientError> {
+    fn drive(&mut self, is_write: bool, invoke: LdsMessage) -> Result<ProtocolEvent, ClientError> {
         let deadline = std::time::Instant::now() + self.timeout;
         let mut pending = vec![(ProcessId::EXTERNAL, invoke)];
         loop {
@@ -227,7 +229,10 @@ mod tests {
         cluster.kill_l1(0);
         cluster.kill_l1(1);
         cluster.kill_l1(2);
-        assert_eq!(client.write(0, b"doomed".to_vec()), Err(ClientError::Timeout));
+        assert_eq!(
+            client.write(0, b"doomed".to_vec()),
+            Err(ClientError::Timeout)
+        );
         cluster.shutdown();
     }
 

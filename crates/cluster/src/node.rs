@@ -66,8 +66,14 @@ impl Cluster {
     pub fn start(params: SystemParams, backend_kind: BackendKind) -> Arc<Cluster> {
         let backend = make_backend(backend_kind, &params)
             .expect("backend construction for validated parameters");
+        // Pre-warm the codec's memoized plans (decode / repair inversions for
+        // the canonical quorums) so the first client operation runs at
+        // steady-state speed.
+        backend.warm_plans();
         let l1: Vec<ProcessId> = (0..params.n1()).map(ProcessId).collect();
-        let l2: Vec<ProcessId> = (params.n1()..params.n1() + params.n2()).map(ProcessId).collect();
+        let l2: Vec<ProcessId> = (params.n1()..params.n1() + params.n2())
+            .map(ProcessId)
+            .collect();
         let membership = Membership::new(l1.clone(), l2.clone());
         let router = Router::new();
         let started = Instant::now();

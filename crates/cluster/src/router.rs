@@ -92,7 +92,11 @@ mod tests {
         let rx = router.register(ProcessId(1));
         assert_eq!(router.len(), 1);
 
-        router.send(ProcessId(2), ProcessId(1), LdsMessage::InvokeRead { obj: ObjectId(0) });
+        router.send(
+            ProcessId(2),
+            ProcessId(1),
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
         match rx.recv().unwrap() {
             Envelope::Protocol { from, msg } => {
                 assert_eq!(from, ProcessId(2));
@@ -103,7 +107,11 @@ mod tests {
 
         router.deregister(ProcessId(1));
         // Sends to a deregistered (crashed) process are dropped, not errors.
-        router.send(ProcessId(2), ProcessId(1), LdsMessage::InvokeRead { obj: ObjectId(0) });
+        router.send(
+            ProcessId(2),
+            ProcessId(1),
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
         assert!(router.is_empty());
     }
 

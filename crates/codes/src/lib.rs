@@ -20,6 +20,32 @@
 //! multiple of the code's file size `B`, and each code symbol becomes a
 //! buffer of `symbol_len` bytes.
 //!
+//! # Execution model: bulk kernels + memoized plans
+//!
+//! Every operation is expressed as *coefficient matrix × striped payload*
+//! and executed by the fused slice kernels in [`lds_gf::bulk`] (vectorized
+//! nibble-table multiply on x86-64, four-way fused table lookups elsewhere):
+//!
+//! * **encode** — each node's *expanded generator* (the `α × B` map from
+//!   message symbols to that node's coded symbols) is memoized per node; a
+//!   share is one [`linear::apply_into`] over the framed value.
+//! * **decode** — plans are memoized per **sorted survivor set**
+//!   ([`plan::PlanCache`]). For MBR the whole pipeline (Φ_K⁻¹, the Δ_K
+//!   correction and the T-block transposition) is flattened into a single
+//!   `B × kα` matrix at plan-build time, so a steady-state decode is one
+//!   fused pass over the collected symbols with no inversion and no
+//!   intermediate buffers. For RS and MSR the per-set inverses are cached
+//!   and the data path runs on flat [`linear::BufMatrix`] storage.
+//! * **repair** — `Ψ_rep⁻¹` is memoized per sorted helper set; helper
+//!   payloads and regenerated shares are single fused passes.
+//!
+//! The byte-at-a-time reference implementation is kept in [`scalar`] as the
+//! property-test oracle (bulk results are asserted byte-identical) and as
+//! the baseline for `BENCH_CODES.json`. The `*_into` trait methods
+//! ([`traits::ErasureCode::encode_share_into`],
+//! [`traits::ErasureCode::decode_into`]) expose the buffer-reuse entry
+//! points the storage layers build on.
+//!
 //! # Example
 //!
 //! ```rust
@@ -52,8 +78,10 @@ pub mod linear;
 pub mod mbr;
 pub mod msr;
 pub mod params;
+pub mod plan;
 pub mod replication;
 pub mod rs;
+pub mod scalar;
 pub mod share;
 pub mod striping;
 pub mod traits;

@@ -3,11 +3,15 @@
 //! Codes in this crate express every operation (encode, decode, helper
 //! computation, repair) as multiplication of a small coefficient matrix over
 //! GF(2^8) with a vector or matrix of *symbol buffers* (byte strings of equal
-//! length). [`BufMatrix`] is that matrix-of-buffers, with just the operations
-//! the product-matrix constructions need.
+//! length). [`BufMatrix`] is that matrix-of-buffers; since the bulk-kernel
+//! refactor it stores all buffers in one contiguous row-major allocation, so
+//! a whole row of buffers can be fed to the fused kernels in
+//! [`lds_gf::bulk`] as a single slice, and [`BufMatrix::left_mul_into`] /
+//! [`combine_into`] write into caller-provided storage without temporary
+//! allocations.
 
 use crate::error::CodeError;
-use lds_gf::{Gf256, Matrix};
+use lds_gf::{bulk, Gf256, Matrix};
 
 /// Computes `Σ_i coeffs[i] · inputs[i]` over byte buffers of length
 /// `symbol_len`.
@@ -17,7 +21,43 @@ use lds_gf::{Gf256, Matrix};
 /// Returns [`CodeError::MalformedShare`] if input lengths disagree with
 /// `symbol_len` or the number of coefficients differs from the number of
 /// inputs.
-pub fn combine(coeffs: &[Gf256], inputs: &[&[u8]], symbol_len: usize) -> Result<Vec<u8>, CodeError> {
+pub fn combine(
+    coeffs: &[Gf256],
+    inputs: &[&[u8]],
+    symbol_len: usize,
+) -> Result<Vec<u8>, CodeError> {
+    let mut out = vec![0u8; symbol_len];
+    combine_into(coeffs, inputs, &mut out)?;
+    Ok(out)
+}
+
+/// Computes `Σ_i coeffs[i] · inputs[i]` into a caller-provided buffer, which
+/// is overwritten. Zero coefficients are skipped, and the remaining terms are
+/// applied through the fused multi-source kernel.
+///
+/// # Errors
+///
+/// Returns [`CodeError::MalformedShare`] if input lengths disagree with
+/// `out.len()` or the number of coefficients differs from the number of
+/// inputs.
+pub fn combine_into(coeffs: &[Gf256], inputs: &[&[u8]], out: &mut [u8]) -> Result<(), CodeError> {
+    let mut scratch = Vec::with_capacity(coeffs.len());
+    combine_into_scratch(coeffs, inputs, out, &mut scratch)
+}
+
+/// [`combine_into`] with a caller-provided term-list scratch, so hot loops
+/// that combine once per output symbol (decode, repair) allocate the list
+/// once per operation instead of once per symbol.
+///
+/// # Errors
+///
+/// As for [`combine_into`].
+pub fn combine_into_scratch<'a>(
+    coeffs: &[Gf256],
+    inputs: &[&'a [u8]],
+    out: &mut [u8],
+    scratch: &mut Vec<(Gf256, &'a [u8])>,
+) -> Result<(), CodeError> {
     if coeffs.len() != inputs.len() {
         return Err(CodeError::MalformedShare(format!(
             "coefficient count {} does not match input count {}",
@@ -25,35 +65,52 @@ pub fn combine(coeffs: &[Gf256], inputs: &[&[u8]], symbol_len: usize) -> Result<
             inputs.len()
         )));
     }
-    let mut out = vec![0u8; symbol_len];
-    for (c, buf) in coeffs.iter().zip(inputs) {
-        if buf.len() != symbol_len {
+    for buf in inputs {
+        if buf.len() != out.len() {
             return Err(CodeError::MalformedShare(format!(
-                "input buffer of {} bytes, expected {symbol_len}",
-                buf.len()
+                "input buffer of {} bytes, expected {}",
+                buf.len(),
+                out.len()
             )));
         }
-        Gf256::mul_acc_slice(*c, buf, &mut out);
     }
-    Ok(out)
+    out.fill(0);
+    scratch.clear();
+    scratch.extend(
+        coeffs
+            .iter()
+            .zip(inputs)
+            .filter(|(c, _)| !c.is_zero())
+            .map(|(c, s)| (*c, *s)),
+    );
+    bulk::mul_add_slices(scratch, out);
+    Ok(())
 }
 
 /// A dense matrix whose entries are equal-length byte buffers (symbols).
 ///
 /// Conceptually each buffer is a column vector of `symbol_len` independent
 /// GF(2^8) elements; all arithmetic is applied elementwise across buffers.
+/// Storage is one flat row-major allocation: buffer `(r, c)` occupies bytes
+/// `[(r·cols + c)·symbol_len, (r·cols + c + 1)·symbol_len)`, and the buffers
+/// of row `r` are contiguous.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufMatrix {
     rows: usize,
     cols: usize,
     symbol_len: usize,
-    data: Vec<Vec<u8>>,
+    data: Vec<u8>,
 }
 
 impl BufMatrix {
     /// Creates a matrix of zero-filled buffers.
     pub fn zero(rows: usize, cols: usize, symbol_len: usize) -> Self {
-        BufMatrix { rows, cols, symbol_len, data: vec![vec![0u8; symbol_len]; rows * cols] }
+        BufMatrix {
+            rows,
+            cols,
+            symbol_len,
+            data: vec![0u8; rows * cols * symbol_len],
+        }
     }
 
     /// Creates a matrix from row-major buffers.
@@ -72,9 +129,20 @@ impl BufMatrix {
         }
         let symbol_len = data.first().map(Vec::len).unwrap_or(0);
         if data.iter().any(|b| b.len() != symbol_len) {
-            return Err(CodeError::MalformedShare("buffers have differing lengths".into()));
+            return Err(CodeError::MalformedShare(
+                "buffers have differing lengths".into(),
+            ));
         }
-        Ok(BufMatrix { rows, cols, symbol_len, data })
+        let mut flat = Vec::with_capacity(rows * cols * symbol_len);
+        for buf in &data {
+            flat.extend_from_slice(buf);
+        }
+        Ok(BufMatrix {
+            rows,
+            cols,
+            symbol_len,
+            data: flat,
+        })
     }
 
     /// Number of rows.
@@ -92,30 +160,54 @@ impl BufMatrix {
         self.symbol_len
     }
 
+    #[inline]
+    fn offset(&self, r: usize, c: usize) -> usize {
+        assert!(
+            r < self.rows && c < self.cols,
+            "BufMatrix index out of bounds"
+        );
+        (r * self.cols + c) * self.symbol_len
+    }
+
     /// Borrows the buffer at `(r, c)`.
     pub fn get(&self, r: usize, c: usize) -> &[u8] {
-        assert!(r < self.rows && c < self.cols, "BufMatrix index out of bounds");
-        &self.data[r * self.cols + c]
+        let o = self.offset(r, c);
+        &self.data[o..o + self.symbol_len]
     }
 
     /// Mutably borrows the buffer at `(r, c)`.
-    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut Vec<u8> {
-        assert!(r < self.rows && c < self.cols, "BufMatrix index out of bounds");
-        &mut self.data[r * self.cols + c]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut [u8] {
+        let o = self.offset(r, c);
+        &mut self.data[o..o + self.symbol_len]
     }
 
-    /// Replaces the buffer at `(r, c)`.
+    /// Overwrites the buffer at `(r, c)`.
     ///
     /// # Panics
     ///
     /// Panics if the buffer length differs from the matrix symbol length.
-    pub fn set(&mut self, r: usize, c: usize, buf: Vec<u8>) {
+    pub fn set(&mut self, r: usize, c: usize, buf: &[u8]) {
         assert_eq!(buf.len(), self.symbol_len, "buffer length mismatch");
-        *self.get_mut(r, c) = buf;
+        self.get_mut(r, c).copy_from_slice(buf);
     }
 
-    /// Consumes the matrix and returns its row-major buffers.
-    pub fn into_rows(self) -> Vec<Vec<u8>> {
+    /// Borrows all of row `r`'s buffers as one contiguous slice of
+    /// `cols · symbol_len` bytes.
+    pub fn row_bytes(&self, r: usize) -> &[u8] {
+        assert!(r < self.rows, "BufMatrix row out of bounds");
+        let w = self.cols * self.symbol_len;
+        &self.data[r * w..(r + 1) * w]
+    }
+
+    /// Mutable borrow of row `r`'s contiguous bytes.
+    pub fn row_bytes_mut(&mut self, r: usize) -> &mut [u8] {
+        assert!(r < self.rows, "BufMatrix row out of bounds");
+        let w = self.cols * self.symbol_len;
+        &mut self.data[r * w..(r + 1) * w]
+    }
+
+    /// Consumes the matrix and returns its flat row-major bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
         self.data
     }
 
@@ -124,7 +216,7 @@ impl BufMatrix {
         let mut out = BufMatrix::zero(self.cols, self.rows, self.symbol_len);
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out.set(c, r, self.get(r, c).to_vec());
+                out.set(c, r, self.get(r, c));
             }
         }
         out
@@ -136,16 +228,25 @@ impl BufMatrix {
     ///
     /// Returns [`CodeError::MalformedShare`] on dimension mismatch.
     pub fn add(&self, other: &BufMatrix) -> Result<BufMatrix, CodeError> {
-        if self.rows != other.rows || self.cols != other.cols || self.symbol_len != other.symbol_len {
-            return Err(CodeError::MalformedShare("BufMatrix addition dimension mismatch".into()));
-        }
         let mut out = self.clone();
-        for (dst, src) in out.data.iter_mut().zip(&other.data) {
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= s;
-            }
-        }
+        out.add_assign(other)?;
         Ok(out)
+    }
+
+    /// In-place elementwise XOR: `self ^= other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::MalformedShare`] on dimension mismatch.
+    pub fn add_assign(&mut self, other: &BufMatrix) -> Result<(), CodeError> {
+        if self.rows != other.rows || self.cols != other.cols || self.symbol_len != other.symbol_len
+        {
+            return Err(CodeError::MalformedShare(
+                "BufMatrix addition dimension mismatch".into(),
+            ));
+        }
+        bulk::xor_slice(&other.data, &mut self.data);
+        Ok(())
     }
 
     /// Left-multiplication by a coefficient matrix: `coeffs (m×r) · self (r×c)`.
@@ -154,6 +255,22 @@ impl BufMatrix {
     ///
     /// Returns [`CodeError::MalformedShare`] if `coeffs.cols() != self.rows()`.
     pub fn left_mul(&self, coeffs: &Matrix) -> Result<BufMatrix, CodeError> {
+        let mut out = BufMatrix::zero(coeffs.rows(), self.cols, self.symbol_len);
+        self.left_mul_into(coeffs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Left-multiplication into a caller-provided matrix (overwritten).
+    ///
+    /// Because each input row's buffers are contiguous, row `r` of the output
+    /// is computed as a single fused multi-source accumulation over whole
+    /// input rows — one pass over `cols · symbol_len` bytes per group of four
+    /// coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::MalformedShare`] if dimensions disagree.
+    pub fn left_mul_into(&self, coeffs: &Matrix, out: &mut BufMatrix) -> Result<(), CodeError> {
         if coeffs.cols() != self.rows {
             return Err(CodeError::MalformedShare(format!(
                 "coefficient matrix has {} columns but BufMatrix has {} rows",
@@ -161,21 +278,25 @@ impl BufMatrix {
                 self.rows
             )));
         }
-        let mut out = BufMatrix::zero(coeffs.rows(), self.cols, self.symbol_len);
+        if out.rows != coeffs.rows() || out.cols != self.cols || out.symbol_len != self.symbol_len {
+            return Err(CodeError::MalformedShare(
+                "left_mul_into output dimension mismatch".into(),
+            ));
+        }
+        out.data.fill(0);
+        let mut terms: Vec<(Gf256, &[u8])> = Vec::with_capacity(self.rows);
         for r in 0..coeffs.rows() {
+            terms.clear();
             for k in 0..self.rows {
                 let c = coeffs[(r, k)];
-                if c.is_zero() {
-                    continue;
-                }
-                for col in 0..self.cols {
-                    let src = &self.data[k * self.cols + col];
-                    let dst = &mut out.data[r * self.cols + col];
-                    Gf256::mul_acc_slice(c, src, dst);
+                if !c.is_zero() {
+                    terms.push((c, self.row_bytes(k)));
                 }
             }
+            let w = self.cols * self.symbol_len;
+            bulk::mul_add_slices(&terms, &mut out.data[r * w..(r + 1) * w]);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Right-multiplication by a coefficient matrix: `self (r×c) · coeffs (c×m)`.
@@ -192,21 +313,64 @@ impl BufMatrix {
             )));
         }
         let mut out = BufMatrix::zero(self.rows, coeffs.cols(), self.symbol_len);
+        let mut terms: Vec<(Gf256, &[u8])> = Vec::with_capacity(self.cols);
         for r in 0..self.rows {
-            for k in 0..self.cols {
-                let src = &self.data[r * self.cols + k];
-                for c in 0..coeffs.cols() {
+            for c in 0..coeffs.cols() {
+                terms.clear();
+                for k in 0..self.cols {
                     let coeff = coeffs[(k, c)];
-                    if coeff.is_zero() {
-                        continue;
+                    if !coeff.is_zero() {
+                        terms.push((coeff, self.get(r, k)));
                     }
-                    let dst = &mut out.data[r * coeffs.cols() + c];
-                    Gf256::mul_acc_slice(coeff, src, dst);
                 }
+                let o = (r * coeffs.cols() + c) * self.symbol_len;
+                bulk::mul_add_slices(&terms, &mut out.data[o..o + self.symbol_len]);
             }
         }
         Ok(out)
     }
+}
+
+/// Applies a coefficient matrix to a flat buffer of `coeffs.cols()` symbols:
+/// `dst` receives `coeffs.rows()` symbols, where output symbol `r` is
+/// `Σ_m coeffs[r][m] · src_symbol(m)`. `dst` is overwritten.
+///
+/// This is the steady-state data path of the plan-cached codecs: the source
+/// is a framed value (or a set of collected share symbols flattened by the
+/// caller) and no intermediate buffers are created.
+///
+/// # Errors
+///
+/// Returns [`CodeError::MalformedShare`] if `src` / `dst` lengths do not
+/// match `coeffs.cols() · symbol_len` / `coeffs.rows() · symbol_len`.
+pub fn apply_into(
+    coeffs: &Matrix,
+    src: &[u8],
+    symbol_len: usize,
+    dst: &mut [u8],
+) -> Result<(), CodeError> {
+    if src.len() != coeffs.cols() * symbol_len || dst.len() != coeffs.rows() * symbol_len {
+        return Err(CodeError::MalformedShare(format!(
+            "apply_into dimension mismatch: {}x{} coefficients, {} source bytes, \
+             {} destination bytes, symbol_len {symbol_len}",
+            coeffs.rows(),
+            coeffs.cols(),
+            src.len(),
+            dst.len()
+        )));
+    }
+    dst.fill(0);
+    let mut terms: Vec<(Gf256, &[u8])> = Vec::with_capacity(coeffs.cols());
+    for (r, out) in dst.chunks_exact_mut(symbol_len).enumerate() {
+        terms.clear();
+        for (m, &c) in coeffs.row(r).iter().enumerate() {
+            if !c.is_zero() {
+                terms.push((c, &src[m * symbol_len..(m + 1) * symbol_len]));
+            }
+        }
+        bulk::mul_add_slices(&terms, out);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -215,7 +379,11 @@ mod tests {
 
     fn sample(rows: usize, cols: usize, symbol_len: usize, seed: u8) -> BufMatrix {
         let data: Vec<Vec<u8>> = (0..rows * cols)
-            .map(|i| (0..symbol_len).map(|j| (i as u8).wrapping_mul(7) ^ (j as u8) ^ seed).collect())
+            .map(|i| {
+                (0..symbol_len)
+                    .map(|j| (i as u8).wrapping_mul(7) ^ (j as u8) ^ seed)
+                    .collect()
+            })
             .collect();
         BufMatrix::from_rows(rows, cols, data).unwrap()
     }
@@ -237,6 +405,14 @@ mod tests {
         let a = vec![1u8, 2, 3];
         assert!(combine(&[Gf256::ONE], &[&a, &a], 3).is_err());
         assert!(combine(&[Gf256::ONE, Gf256::ONE], &[&a, &a[..2]], 3).is_err());
+    }
+
+    #[test]
+    fn combine_into_overwrites_destination() {
+        let a = vec![9u8; 4];
+        let mut out = vec![0xFF; 4];
+        combine_into(&[Gf256::ONE], &[&a], &mut out).unwrap();
+        assert_eq!(out, a);
     }
 
     #[test]
@@ -284,6 +460,41 @@ mod tests {
         let b = sample(2, 2, 4, 0xf0);
         let sum = a.add(&b).unwrap();
         assert_eq!(sum.add(&b).unwrap(), a, "adding twice cancels in GF(2^8)");
+    }
+
+    #[test]
+    fn row_bytes_is_contiguous_row() {
+        let m = sample(3, 4, 5, 0x31);
+        let row = m.row_bytes(1);
+        for c in 0..4 {
+            assert_eq!(&row[c * 5..(c + 1) * 5], m.get(1, c));
+        }
+    }
+
+    #[test]
+    fn apply_into_matches_left_mul() {
+        let symbol_len = 9;
+        let cols = 5;
+        let src: Vec<u8> = (0..cols * symbol_len)
+            .map(|i| (i * 37 % 251) as u8)
+            .collect();
+        let coeffs = Matrix::vandermonde(3, cols);
+        let mut dst = vec![0u8; 3 * symbol_len];
+        apply_into(&coeffs, &src, symbol_len, &mut dst).unwrap();
+
+        // Reference: the same product through BufMatrix.
+        let rows: Vec<Vec<u8>> = src.chunks_exact(symbol_len).map(|s| s.to_vec()).collect();
+        let m = BufMatrix::from_rows(cols, 1, rows).unwrap();
+        let product = m.left_mul(&coeffs).unwrap();
+        for r in 0..3 {
+            assert_eq!(
+                &dst[r * symbol_len..(r + 1) * symbol_len],
+                product.get(r, 0)
+            );
+        }
+
+        let mut wrong = vec![0u8; 2 * symbol_len];
+        assert!(apply_into(&coeffs, &src, symbol_len, &mut wrong).is_err());
     }
 
     #[test]

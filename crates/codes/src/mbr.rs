@@ -21,14 +21,43 @@
 //! * **Data collection** from any `k` nodes: with `Ψ_K = [Φ_K Δ_K]`, the
 //!   collected rows are `[Φ_K S + Δ_K Tᵗ, Φ_K T]`; `Φ_K` is invertible, so
 //!   first recover `T`, then `S`.
+//!
+//! # Bulk-kernel execution
+//!
+//! All three operations run as single fused matrix-×-striped-payload
+//! applications over [`lds_gf::bulk`] kernels, driven by memoized plans:
+//!
+//! * **encode**: the per-node *expanded generator* `G_i` (`α × B`,
+//!   `G_i[a][m] = Σ_{j : msgidx(j,a)=m} ψ_i[j]`) maps the framed value's `B`
+//!   message symbols straight to the node's `α` coded symbols. `G_i` is
+//!   memoized per node.
+//! * **decode**: for each sorted survivor set the whole linear map from the
+//!   `k·α` collected symbols back to the `B` message symbols is flattened
+//!   into one `B × kα` matrix (composing `Φ_K⁻¹`, `Δ_K` and the `T`
+//!   transposition at the coefficient level) and memoized, so steady-state
+//!   decodes perform no inversion and allocate nothing but the output.
+//! * **repair**: `Ψ_rep⁻¹` is memoized per sorted helper set.
 
 use crate::error::CodeError;
-use crate::linear::{combine, BufMatrix};
+use crate::linear::{apply_into, combine, combine_into_scratch};
 use crate::params::{CodeKind, CodeParams};
+use crate::plan::PlanCache;
 use crate::share::{HelperData, Share};
-use crate::striping::{frame, symbol, unframe, Framed};
+use crate::striping::{frame, unframe_into};
 use crate::traits::{dedup_by_index, dedup_helpers, ErasureCode, RegeneratingCode};
-use lds_gf::{Gf256, Matrix};
+use lds_gf::{bulk, Gf256, Matrix};
+use std::sync::Arc;
+
+/// Memoized plans shared by all clones of one code instance.
+#[derive(Debug, Default)]
+struct MbrPlans {
+    /// Node index → expanded generator `G_i` (`α × B`).
+    encode: PlanCache<Matrix>,
+    /// Sorted survivor set → flattened decode matrix (`B × k·α`).
+    decode: PlanCache<Matrix>,
+    /// Sorted helper set → `Ψ_rep⁻¹` (`d × d`).
+    repair: PlanCache<Matrix>,
+}
 
 /// A product-matrix MBR code instance.
 #[derive(Debug, Clone)]
@@ -36,6 +65,7 @@ pub struct ProductMatrixMbr {
     params: CodeParams,
     /// `n × d` Vandermonde encoding matrix Ψ.
     psi: Matrix,
+    plans: Arc<MbrPlans>,
 }
 
 impl ProductMatrixMbr {
@@ -52,7 +82,11 @@ impl ProductMatrixMbr {
             )));
         }
         let psi = Matrix::vandermonde(params.n(), params.d());
-        Ok(ProductMatrixMbr { params, psi })
+        Ok(ProductMatrixMbr {
+            params,
+            psi,
+            plans: Arc::new(MbrPlans::default()),
+        })
     }
 
     /// Convenience constructor from `(n, k, d)`.
@@ -64,14 +98,79 @@ impl ProductMatrixMbr {
         Self::new(CodeParams::mbr(n, k, d)?)
     }
 
-    /// The encoding matrix row for node `index` (1 × d coefficients).
-    fn psi_row(&self, index: usize) -> &[Gf256] {
-        self.psi.row(index)
+    /// Number of memoized decode plans (for tests and warm-up assertions).
+    pub fn cached_decode_plans(&self) -> usize {
+        self.plans.decode.len()
+    }
+
+    /// Number of memoized repair plans.
+    pub fn cached_repair_plans(&self) -> usize {
+        self.plans.repair.len()
+    }
+
+    /// Number of memoized per-node encode generators.
+    pub fn cached_encode_plans(&self) -> usize {
+        self.plans.encode.len()
+    }
+
+    /// Builds and memoizes the decode plan for a `k`-element survivor set
+    /// without decoding anything — used by cluster start-up to pre-warm the
+    /// steady-state quorums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShares`] if `survivors` does not contain
+    /// exactly `k` distinct indices, or an index/inversion error.
+    pub fn prepare_decode(&self, survivors: &[usize]) -> Result<(), CodeError> {
+        let mut key = survivors.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if key.len() != self.params.k() {
+            return Err(CodeError::NotEnoughShares {
+                needed: self.params.k(),
+                got: key.len(),
+            });
+        }
+        for &i in &key {
+            self.check_index(i)?;
+        }
+        self.plans
+            .decode
+            .get_or_build(&key, |ids| self.decode_matrix(ids))
+            .map(|_| ())
+    }
+
+    /// Builds and memoizes the repair plan for a `d`-element helper set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShares`] if `helpers` does not contain
+    /// exactly `d` distinct indices, or an index/inversion error.
+    pub fn prepare_repair(&self, helpers: &[usize]) -> Result<(), CodeError> {
+        let mut key = helpers.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if key.len() != self.params.d() {
+            return Err(CodeError::NotEnoughShares {
+                needed: self.params.d(),
+                got: key.len(),
+            });
+        }
+        for &i in &key {
+            self.check_index(i)?;
+        }
+        self.plans
+            .repair
+            .get_or_build(&key, |ids| Ok(self.psi.select_rows(ids).inverse()?))
+            .map(|_| ())
     }
 
     fn check_index(&self, index: usize) -> Result<(), CodeError> {
         if index >= self.params.n() {
-            Err(CodeError::IndexOutOfRange { index, n: self.params.n() })
+            Err(CodeError::IndexOutOfRange {
+                index,
+                n: self.params.n(),
+            })
         } else {
             Ok(())
         }
@@ -96,55 +195,88 @@ impl ProductMatrixMbr {
         }
     }
 
-    /// Builds the `d × d` message matrix as buffers over the framed value.
-    fn message_matrix(&self, framed: &Framed) -> BufMatrix {
+    /// Builds the expanded generator `G_i` mapping the `B` message symbols to
+    /// node `i`'s `α` coded symbols: coded symbol `a` of node `i` is
+    /// `Σ_j ψ_i[j] · M[j][a]` and `M[j][a]` is message symbol
+    /// `message_index(j, a)` (or zero).
+    fn expanded_generator(&self, index: usize) -> Matrix {
         let d = self.params.d();
-        let mut m = BufMatrix::zero(d, d, framed.symbol_len);
-        for r in 0..d {
-            for c in 0..d {
-                if let Some(idx) = self.message_index(r, c) {
-                    m.set(r, c, symbol(framed, idx).to_vec());
+        let b = self.params.file_size();
+        let mut g = Matrix::zero(self.params.alpha(), b);
+        for j in 0..d {
+            let coeff = self.psi[(index, j)];
+            for a in 0..self.params.alpha() {
+                if let Some(m) = self.message_index(j, a) {
+                    g[(a, m)] += coeff;
                 }
             }
         }
-        m
+        g
     }
 
-    /// Reassembles the padded value buffer from the recovered `S` (k×k) and
-    /// `T` (k×(d−k)) blocks.
-    fn reassemble(&self, s: &BufMatrix, t: Option<&BufMatrix>) -> Vec<u8> {
-        let k = self.params.k();
-        let d = self.params.d();
-        let symbol_len = s.symbol_len();
-        let mut padded = Vec::with_capacity(self.params.file_size() * symbol_len);
-        for r in 0..k {
-            for c in r..k {
-                padded.extend_from_slice(s.get(r, c));
-            }
-        }
-        if let Some(t) = t {
-            for r in 0..k {
-                for c in 0..(d - k) {
-                    padded.extend_from_slice(t.get(r, c));
-                }
-            }
-        }
-        padded
+    fn encode_plan(&self, index: usize) -> Result<Arc<Matrix>, CodeError> {
+        self.plans
+            .encode
+            .get_or_build(&[index], |_| Ok(self.expanded_generator(index)))
     }
 
-    /// Splits Ψ restricted to rows `indices` into `(Φ_K, Δ_K)` — the first
-    /// `k` and remaining `d − k` columns.
-    fn split_psi(&self, indices: &[usize]) -> (Matrix, Option<Matrix>) {
+    /// Builds the flattened decode matrix for a sorted survivor set: a
+    /// `B × k·α` matrix `D` with `padded_symbol[m] = Σ_{(r,c)} D[m][r·α+c] ·
+    /// collected[r][c]`, where `collected[r][c]` is symbol `c` of the `r`-th
+    /// (sorted) share.
+    ///
+    /// Derivation (all in characteristic 2, writing `Y[r][c]` for the
+    /// collected symbols, `Φ = Φ_K`, `Δ = Δ_K`, `P = Φ⁻¹`, `A = Φ⁻¹Δ`):
+    /// `T = Φ⁻¹ Y₂` gives `t_{p,q} = Σ_j P[p][j] · Y[j][k+q]`, and
+    /// `S = Φ⁻¹ Y₁ + A Tᵗ` gives
+    /// `s_{p,q} = Σ_j P[p][j] · Y[j][q] + Σ_m A[p][m] · t_{q,m}`.
+    fn decode_matrix(&self, survivors: &[usize]) -> Result<Matrix, CodeError> {
         let k = self.params.k();
         let d = self.params.d();
-        let rows = self.psi.select_rows(indices);
+        let b = self.params.file_size();
+        let rows = self.psi.select_rows(survivors);
         let phi = rows.select_cols(&(0..k).collect::<Vec<_>>());
-        let delta = if d > k {
-            Some(rows.select_cols(&(k..d).collect::<Vec<_>>()))
+        let p = phi.inverse()?;
+        let a_mat = if d > k {
+            let delta = rows.select_cols(&(k..d).collect::<Vec<_>>());
+            Some(p.checked_mul(&delta)?)
         } else {
             None
         };
-        (phi, delta)
+
+        let mut dm = Matrix::zero(b, k * d);
+        let s_rows = k * (k + 1) / 2;
+        // T entries: padded row s_rows + p·(d−k) + q.
+        for pp in 0..k {
+            for q in 0..d - k {
+                let row = s_rows + pp * (d - k) + q;
+                for j in 0..k {
+                    dm[(row, j * d + (k + q))] += p[(pp, j)];
+                }
+            }
+        }
+        // S entries (upper triangle): padded row p·(2k−p+1)/2 + (q−p).
+        for pp in 0..k {
+            for q in pp..k {
+                let row = pp * (2 * k - pp + 1) / 2 + (q - pp);
+                for j in 0..k {
+                    dm[(row, j * d + q)] += p[(pp, j)];
+                }
+                if let Some(a_mat) = &a_mat {
+                    // Σ_m A[p][m] · t_{q,m} with t_{q,m} = Σ_l P[q][l]·Y[l][k+m].
+                    for m in 0..d - k {
+                        let coeff = a_mat[(pp, m)];
+                        if coeff.is_zero() {
+                            continue;
+                        }
+                        for l in 0..k {
+                            dm[(row, l * d + (k + m))] += coeff * p[(q, l)];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(dm)
     }
 }
 
@@ -154,45 +286,75 @@ impl ErasureCode for ProductMatrixMbr {
     }
 
     fn encode(&self, data: &[u8]) -> Result<Vec<Share>, CodeError> {
+        // Bulk encode builds the per-symbol term lists directly from Ψ and
+        // the message-matrix index map — no per-node generator is cached, so
+        // paper-scale instances (n = 200) do not blow up the plan cache.
         let framed = frame(data, self.params.file_size());
-        let m = self.message_matrix(&framed);
-        let encoded = m.left_mul(&self.psi)?;
-        Ok((0..self.params.n())
-            .map(|i| {
-                let mut buf = Vec::with_capacity(self.params.alpha() * framed.symbol_len);
-                for a in 0..self.params.alpha() {
-                    buf.extend_from_slice(encoded.get(i, a));
+        let d = self.params.d();
+        let alpha = self.params.alpha();
+        let sl = framed.symbol_len;
+        let mut shares = Vec::with_capacity(self.params.n());
+        let mut terms: Vec<(Gf256, &[u8])> = Vec::with_capacity(d);
+        for i in 0..self.params.n() {
+            let mut buf = vec![0u8; alpha * sl];
+            for (a, sym) in buf.chunks_exact_mut(sl).enumerate() {
+                terms.clear();
+                for j in 0..d {
+                    let coeff = self.psi[(i, j)];
+                    if coeff.is_zero() {
+                        continue;
+                    }
+                    if let Some(m) = self.message_index(j, a) {
+                        terms.push((coeff, &framed.padded[m * sl..(m + 1) * sl]));
+                    }
                 }
-                Share::new(i, buf)
-            })
-            .collect())
+                bulk::mul_add_slices(&terms, sym);
+            }
+            shares.push(Share::new(i, buf));
+        }
+        Ok(shares)
     }
 
     fn encode_share(&self, data: &[u8], index: usize) -> Result<Share, CodeError> {
+        let mut out = Vec::new();
+        self.encode_share_into(data, index, &mut out)?;
+        Ok(Share::new(index, out))
+    }
+
+    fn encode_share_into(
+        &self,
+        data: &[u8],
+        index: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
         self.check_index(index)?;
         let framed = frame(data, self.params.file_size());
-        let m = self.message_matrix(&framed);
-        let row = Matrix::from_vec(1, self.params.d(), self.psi_row(index).to_vec());
-        let encoded = m.left_mul(&row)?;
-        let mut buf = Vec::with_capacity(self.params.alpha() * framed.symbol_len);
-        for a in 0..self.params.alpha() {
-            buf.extend_from_slice(encoded.get(0, a));
-        }
-        Ok(Share::new(index, buf))
+        let g = self.encode_plan(index)?;
+        out.clear();
+        out.resize(self.params.alpha() * framed.symbol_len, 0);
+        apply_into(&g, &framed.padded, framed.symbol_len, out)
     }
 
     fn decode(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
+        let mut out = Vec::new();
+        self.decode_into(shares, &mut out)?;
+        Ok(out)
+    }
+
+    fn decode_into(&self, shares: &[Share], out: &mut Vec<u8>) -> Result<(), CodeError> {
         let k = self.params.k();
-        let d = self.params.d();
         let alpha = self.params.alpha();
         let usable = dedup_by_index(shares);
         if usable.len() < k {
-            return Err(CodeError::NotEnoughShares { needed: k, got: usable.len() });
+            return Err(CodeError::NotEnoughShares {
+                needed: k,
+                got: usable.len(),
+            });
         }
-        let chosen = &usable[..k];
-        for s in chosen {
+        let mut chosen: Vec<&Share> = usable[..k].to_vec();
+        for s in &chosen {
             self.check_index(s.index)?;
-            if s.data.is_empty() || s.data.len() % alpha != 0 {
+            if s.data.is_empty() || !s.data.len().is_multiple_of(alpha) {
                 return Err(CodeError::MalformedShare(format!(
                     "share {} has length {} not divisible by alpha={alpha}",
                     s.index,
@@ -202,56 +364,30 @@ impl ErasureCode for ProductMatrixMbr {
         }
         let symbol_len = chosen[0].data.len() / alpha;
         if chosen.iter().any(|s| s.data.len() != alpha * symbol_len) {
-            return Err(CodeError::MalformedShare("MBR shares must have equal length".into()));
+            return Err(CodeError::MalformedShare(
+                "MBR shares must have equal length".into(),
+            ));
         }
 
-        // Y = Ψ_K M, one row per chosen share.
-        let mut y_rows = Vec::with_capacity(k * d);
-        for s in chosen {
-            for a in 0..alpha {
-                y_rows.push(s.symbol(a, alpha).to_vec());
-            }
-        }
-        let y = BufMatrix::from_rows(k, d, y_rows)?;
-
+        // The plan key is the sorted survivor set; order the inputs to match.
+        chosen.sort_by_key(|s| s.index);
         let indices: Vec<usize> = chosen.iter().map(|s| s.index).collect();
-        let (phi_k, delta_k) = self.split_psi(&indices);
-        let phi_inv = phi_k.inverse()?;
+        let dm = self
+            .plans
+            .decode
+            .get_or_build(&indices, |ids| self.decode_matrix(ids))?;
 
-        let y1 = {
-            // First k columns of Y.
-            let mut rows = Vec::with_capacity(k * k);
-            for r in 0..k {
-                for c in 0..k {
-                    rows.push(y.get(r, c).to_vec());
-                }
-            }
-            BufMatrix::from_rows(k, k, rows)?
-        };
-
-        let (s_block, t_block) = if let Some(delta_k) = &delta_k {
-            let y2 = {
-                let mut rows = Vec::with_capacity(k * (d - k));
-                for r in 0..k {
-                    for c in k..d {
-                        rows.push(y.get(r, c).to_vec());
-                    }
-                }
-                BufMatrix::from_rows(k, d - k, rows)?
-            };
-            // T = Φ_K^{-1} Y2.
-            let t = y2.left_mul(&phi_inv)?;
-            // S = Φ_K^{-1} (Y1 + Δ_K Tᵗ)   (characteristic 2: + is −).
-            let delta_tt = t.transpose().left_mul(delta_k)?;
-            let s = y1.add(&delta_tt)?.left_mul(&phi_inv)?;
-            (s, Some(t))
-        } else {
-            // d == k: M = S, Y = Φ_K S.
-            (y1.left_mul(&phi_inv)?, None)
-        };
-
-        let padded = self.reassemble(&s_block, t_block.as_ref());
-        unframe(&padded)
+        // Collected symbol (r, c) sits at input position r·α + c.
+        let inputs: Vec<&[u8]> = chosen
+            .iter()
+            .flat_map(|s| (0..alpha).map(|a| s.symbol(a, alpha)))
+            .collect();
+        let mut padded = vec![0u8; self.params.file_size() * symbol_len];
+        let mut scratch = Vec::with_capacity(inputs.len());
+        for (m, sym) in padded.chunks_exact_mut(symbol_len).enumerate() {
+            combine_into_scratch(dm.row(m), &inputs, sym, &mut scratch)?;
+        }
+        unframe_into(&padded, out)
     }
 }
 
@@ -260,7 +396,7 @@ impl RegeneratingCode for ProductMatrixMbr {
         self.check_index(helper.index)?;
         self.check_index(failed_index)?;
         let alpha = self.params.alpha();
-        if helper.data.is_empty() || helper.data.len() % alpha != 0 {
+        if helper.data.is_empty() || !helper.data.len().is_multiple_of(alpha) {
             return Err(CodeError::MalformedShare(format!(
                 "helper share has length {} not divisible by alpha={alpha}",
                 helper.data.len()
@@ -268,7 +404,7 @@ impl RegeneratingCode for ProductMatrixMbr {
         }
         let symbol_len = helper.data.len() / alpha;
         // h = (ψ_helper M) ψ_fᵗ = Σ_a content[a] · ψ_f[a].
-        let coeffs = self.psi_row(failed_index);
+        let coeffs = self.psi.row(failed_index);
         let inputs: Vec<&[u8]> = (0..alpha).map(|a| helper.symbol(a, alpha)).collect();
         let data = combine(coeffs, &inputs, symbol_len)?;
         Ok(HelperData::new(helper.index, failed_index, data))
@@ -279,10 +415,13 @@ impl RegeneratingCode for ProductMatrixMbr {
         let d = self.params.d();
         let usable = dedup_helpers(helpers);
         if usable.len() < d {
-            return Err(CodeError::NotEnoughShares { needed: d, got: usable.len() });
+            return Err(CodeError::NotEnoughShares {
+                needed: d,
+                got: usable.len(),
+            });
         }
-        let chosen = &usable[..d];
-        for h in chosen {
+        let mut chosen: Vec<&HelperData> = usable[..d].to_vec();
+        for h in &chosen {
             self.check_index(h.helper_index)?;
             if h.failed_index != failed_index {
                 return Err(CodeError::MalformedShare(
@@ -292,21 +431,26 @@ impl RegeneratingCode for ProductMatrixMbr {
         }
         let symbol_len = chosen[0].data.len();
         if symbol_len == 0 || chosen.iter().any(|h| h.data.len() != symbol_len) {
-            return Err(CodeError::MalformedShare("helper payloads must have equal length".into()));
+            return Err(CodeError::MalformedShare(
+                "helper payloads must have equal length".into(),
+            ));
         }
 
-        // Ψ_rep (M ψ_fᵗ) = h  ⇒  M ψ_fᵗ = Ψ_rep^{-1} h.
+        // Ψ_rep (M ψ_fᵗ) = h  ⇒  M ψ_fᵗ = Ψ_rep⁻¹ h; the inverse is memoized
+        // per sorted helper set.
+        chosen.sort_by_key(|h| h.helper_index);
         let indices: Vec<usize> = chosen.iter().map(|h| h.helper_index).collect();
-        let psi_rep = self.psi.select_rows(&indices);
-        let inv = psi_rep.inverse()?;
-        let h_rows: Vec<Vec<u8>> = chosen.iter().map(|h| h.data.clone()).collect();
-        let h = BufMatrix::from_rows(d, 1, h_rows)?;
-        let x = h.left_mul(&inv)?; // d × 1 = M ψ_fᵗ
+        let inv = self
+            .plans
+            .repair
+            .get_or_build(&indices, |ids| Ok(self.psi.select_rows(ids).inverse()?))?;
 
         // Node content ψ_f M = (M ψ_fᵗ)ᵗ because M is symmetric.
-        let mut buf = Vec::with_capacity(d * symbol_len);
-        for a in 0..d {
-            buf.extend_from_slice(x.get(a, 0));
+        let inputs: Vec<&[u8]> = chosen.iter().map(|h| h.data.as_slice()).collect();
+        let mut buf = vec![0u8; d * symbol_len];
+        let mut scratch = Vec::with_capacity(inputs.len());
+        for (a, sym) in buf.chunks_exact_mut(symbol_len).enumerate() {
+            combine_into_scratch(inv.row(a), &inputs, sym, &mut scratch)?;
         }
         Ok(Share::new(failed_index, buf))
     }
@@ -347,6 +491,7 @@ mod tests {
         for i in 0..10 {
             assert_eq!(code.encode_share(&value, i).unwrap(), shares[i]);
         }
+        assert_eq!(code.cached_encode_plans(), 10);
     }
 
     #[test]
@@ -358,6 +503,21 @@ mod tests {
             let chosen: Vec<Share> = subset.iter().map(|&i| shares[i].clone()).collect();
             assert_eq!(code.decode(&chosen).unwrap(), value, "subset {subset:?}");
         }
+        assert_eq!(code.cached_decode_plans(), 4);
+    }
+
+    #[test]
+    fn decode_plan_reused_across_orderings() {
+        let code = ProductMatrixMbr::with_dimensions(10, 3, 5).unwrap();
+        let value = sample_value(300);
+        let shares = code.encode(&value).unwrap();
+        for order in [[2usize, 5, 7], [7, 2, 5], [5, 7, 2]] {
+            let chosen: Vec<Share> = order.iter().map(|&i| shares[i].clone()).collect();
+            assert_eq!(code.decode(&chosen).unwrap(), value, "order {order:?}");
+        }
+        assert_eq!(code.cached_decode_plans(), 1, "one plan per survivor *set*");
+        // Clones share the cache.
+        assert_eq!(code.clone().cached_decode_plans(), 1);
     }
 
     #[test]
@@ -384,6 +544,7 @@ mod tests {
             let repaired = code.repair(failed, &helpers).unwrap();
             assert_eq!(repaired, shares[failed], "failed node {failed}");
         }
+        assert!(code.cached_repair_plans() >= 1);
     }
 
     #[test]
@@ -410,7 +571,10 @@ mod tests {
         let value = sample_value(6000);
         let shares = code.encode(&value).unwrap();
         let helper = code.helper_data(&shares[0], 3).unwrap();
-        assert_eq!(helper.data.len() * code.params().alpha(), shares[0].data.len());
+        assert_eq!(
+            helper.data.len() * code.params().alpha(),
+            shares[0].data.len()
+        );
     }
 
     #[test]
@@ -424,7 +588,11 @@ mod tests {
         let payload_from_0 = code.helper_data(&shares[0], failed).unwrap();
         for others in [[2, 3, 4], [5, 6, 7], [4, 6, 8]] {
             let mut helpers = vec![payload_from_0.clone()];
-            helpers.extend(others.iter().map(|&h| code.helper_data(&shares[h], failed).unwrap()));
+            helpers.extend(
+                others
+                    .iter()
+                    .map(|&h| code.helper_data(&shares[h], failed).unwrap()),
+            );
             assert_eq!(code.repair(failed, &helpers).unwrap(), shares[failed]);
         }
     }
@@ -440,10 +608,16 @@ mod tests {
         ));
         let mut bad = shares.clone();
         bad[0].data.pop();
-        assert!(matches!(code.decode(&bad[..3]), Err(CodeError::MalformedShare(_))));
+        assert!(matches!(
+            code.decode(&bad[..3]),
+            Err(CodeError::MalformedShare(_))
+        ));
         // Duplicated indices do not count towards k.
         let dup = vec![shares[0].clone(), shares[0].clone(), shares[1].clone()];
-        assert!(matches!(code.decode(&dup), Err(CodeError::NotEnoughShares { .. })));
+        assert!(matches!(
+            code.decode(&dup),
+            Err(CodeError::NotEnoughShares { .. })
+        ));
     }
 
     #[test]
@@ -452,15 +626,19 @@ mod tests {
         let value = sample_value(40);
         let shares = code.encode(&value).unwrap();
         let failed = 0;
-        let helpers: Vec<HelperData> =
-            (1..5).map(|h| code.helper_data(&shares[h], failed).unwrap()).collect();
+        let helpers: Vec<HelperData> = (1..5)
+            .map(|h| code.helper_data(&shares[h], failed).unwrap())
+            .collect();
         assert!(matches!(
             code.repair(failed, &helpers[..3]),
             Err(CodeError::NotEnoughShares { needed: 4, got: 3 })
         ));
         let mut wrong = helpers.clone();
         wrong[2].failed_index = 5;
-        assert!(matches!(code.repair(failed, &wrong), Err(CodeError::MalformedShare(_))));
+        assert!(matches!(
+            code.repair(failed, &wrong),
+            Err(CodeError::MalformedShare(_))
+        ));
         assert!(code.repair(9, &helpers).is_err());
     }
 
@@ -481,7 +659,10 @@ mod tests {
         let per_node = shares[0].data.len() as f64;
         let expected = (value.len() as f64) * params.storage_overhead_per_node();
         // Within 5% (framing + padding overhead only).
-        assert!((per_node - expected).abs() / expected < 0.05, "per_node={per_node} expected={expected}");
+        assert!(
+            (per_node - expected).abs() / expected < 0.05,
+            "per_node={per_node} expected={expected}"
+        );
     }
 
     #[test]
@@ -492,6 +673,20 @@ mod tests {
             let shares = code.encode(&value).unwrap();
             assert_eq!(code.decode(&shares[..4]).unwrap(), value, "len={len}");
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let code = ProductMatrixMbr::with_dimensions(10, 4, 6).unwrap();
+        let value = sample_value(333);
+        let mut share_buf = vec![0xAB; 3]; // stale contents must be discarded
+        code.encode_share_into(&value, 7, &mut share_buf).unwrap();
+        assert_eq!(share_buf, code.encode_share(&value, 7).unwrap().data);
+
+        let shares = code.encode(&value).unwrap();
+        let mut out = Vec::new();
+        code.decode_into(&shares[2..6], &mut out).unwrap();
+        assert_eq!(out, value);
     }
 
     #[test]

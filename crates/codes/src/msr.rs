@@ -21,6 +21,11 @@
 //!   the `λ_i` are distinct; each row of `Φ_K S1` / `Φ_K S2` is then solved
 //!   from the off-diagonal entries, and finally `S1`, `S2` themselves.
 //!
+//! All data-path arithmetic runs on the bulk slice kernels; the matrix
+//! inversions a decode or repair needs (`k` recover-row inverses, the
+//! `Φ_sub` inverse, `Ψ_rep⁻¹`) are memoized per sorted index set so they are
+//! paid once per quorum, not once per operation.
+//!
 //! # Field-size limit
 //!
 //! With `Φ` Vandermonde over GF(256) and `λ_i = x_i^α`, the `λ_i` are
@@ -29,12 +34,36 @@
 //! parameter ranges that satisfy it.
 
 use crate::error::CodeError;
-use crate::linear::{combine, BufMatrix};
+use crate::linear::{apply_into, combine, combine_into_scratch, BufMatrix};
 use crate::params::{CodeKind, CodeParams};
+use crate::plan::PlanCache;
 use crate::share::{HelperData, Share};
-use crate::striping::{frame, symbol, unframe, Framed};
+use crate::striping::{frame, unframe_into};
 use crate::traits::{dedup_by_index, dedup_helpers, ErasureCode, RegeneratingCode};
-use lds_gf::{Gf256, Matrix};
+use lds_gf::{bulk, Gf256, Matrix};
+use std::sync::Arc;
+
+/// Everything a decode needs that depends only on the survivor set.
+#[derive(Debug)]
+struct MsrDecodePlan {
+    /// `Φ_Kᵗ` (`α × k`) for `C = Y Φ_Kᵗ`.
+    phi_k_t: Matrix,
+    /// For each survivor position `i`: `(Φ_{K∖i}ᵗ)⁻¹` (`α × α`).
+    recover_invs: Vec<Matrix>,
+    /// Inverse of the first `α` rows of `Φ_K`.
+    phi_sub_inv: Matrix,
+}
+
+/// Memoized plans shared by all clones of one code instance.
+#[derive(Debug, Default)]
+struct MsrPlans {
+    /// Node index → expanded generator (`α × B`).
+    encode: PlanCache<Matrix>,
+    /// Sorted survivor set → decode plan.
+    decode: PlanCache<MsrDecodePlan>,
+    /// Sorted helper set → `Ψ_rep⁻¹` (`d × d`).
+    repair: PlanCache<Matrix>,
+}
 
 /// A product-matrix MSR code instance (`d = 2k − 2`).
 #[derive(Debug, Clone)]
@@ -46,6 +75,7 @@ pub struct ProductMatrixMsr {
     lambda: Vec<Gf256>,
     /// `n × d` composite encoding matrix Ψ = [Φ ΛΦ].
     psi: Matrix,
+    plans: Arc<MsrPlans>,
 }
 
 impl ProductMatrixMsr {
@@ -83,7 +113,13 @@ impl ProductMatrixMsr {
                 lambda[r] * phi[(r, c - alpha)]
             }
         });
-        Ok(ProductMatrixMsr { params, phi, lambda, psi })
+        Ok(ProductMatrixMsr {
+            params,
+            phi,
+            lambda,
+            psi,
+            plans: Arc::new(MsrPlans::default()),
+        })
     }
 
     /// Convenience constructor from `(n, k)`.
@@ -95,9 +131,73 @@ impl ProductMatrixMsr {
         Self::new(CodeParams::msr(n, k)?)
     }
 
+    /// Number of memoized decode plans (for tests and warm-up assertions).
+    pub fn cached_decode_plans(&self) -> usize {
+        self.plans.decode.len()
+    }
+
+    /// Number of memoized repair plans.
+    pub fn cached_repair_plans(&self) -> usize {
+        self.plans.repair.len()
+    }
+
+    /// Builds and memoizes the decode plan for a `k`-element survivor set
+    /// without decoding anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShares`] if `survivors` does not contain
+    /// exactly `k` distinct indices, or an index/inversion error.
+    pub fn prepare_decode(&self, survivors: &[usize]) -> Result<(), CodeError> {
+        let mut key = survivors.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if key.len() != self.params.k() {
+            return Err(CodeError::NotEnoughShares {
+                needed: self.params.k(),
+                got: key.len(),
+            });
+        }
+        for &i in &key {
+            self.check_index(i)?;
+        }
+        self.plans
+            .decode
+            .get_or_build(&key, |ids| self.decode_plan(ids))
+            .map(|_| ())
+    }
+
+    /// Builds and memoizes the repair plan for a `d`-element helper set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShares`] if `helpers` does not contain
+    /// exactly `d` distinct indices, or an index/inversion error.
+    pub fn prepare_repair(&self, helpers: &[usize]) -> Result<(), CodeError> {
+        let mut key = helpers.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if key.len() != self.params.d() {
+            return Err(CodeError::NotEnoughShares {
+                needed: self.params.d(),
+                got: key.len(),
+            });
+        }
+        for &i in &key {
+            self.check_index(i)?;
+        }
+        self.plans
+            .repair
+            .get_or_build(&key, |ids| Ok(self.psi.select_rows(ids).inverse()?))
+            .map(|_| ())
+    }
+
     fn check_index(&self, index: usize) -> Result<(), CodeError> {
         if index >= self.params.n() {
-            Err(CodeError::IndexOutOfRange { index, n: self.params.n() })
+            Err(CodeError::IndexOutOfRange {
+                index,
+                n: self.params.n(),
+            })
         } else {
             Ok(())
         }
@@ -112,18 +212,38 @@ impl ProductMatrixMsr {
         which * tri + lo * (2 * alpha - lo + 1) / 2 + (hi - lo)
     }
 
-    /// Builds `S1` and `S2` as buffer matrices over the framed value.
-    fn message_matrices(&self, framed: &Framed) -> (BufMatrix, BufMatrix) {
+    /// Expanded generator for node `i`: coded symbol `a` is
+    /// `Σ_j φ_i[j]·S1[j][a] + λ_i·φ_i[j]·S2[j][a]` over the message symbols.
+    fn expanded_generator(&self, index: usize) -> Matrix {
         let alpha = self.params.alpha();
-        let mut s1 = BufMatrix::zero(alpha, alpha, framed.symbol_len);
-        let mut s2 = BufMatrix::zero(alpha, alpha, framed.symbol_len);
-        for r in 0..alpha {
-            for c in 0..alpha {
-                s1.set(r, c, symbol(framed, self.message_index(0, r, c)).to_vec());
-                s2.set(r, c, symbol(framed, self.message_index(1, r, c)).to_vec());
+        let mut g = Matrix::zero(alpha, self.params.file_size());
+        for j in 0..alpha {
+            let c1 = self.phi[(index, j)];
+            let c2 = self.lambda[index] * c1;
+            for a in 0..alpha {
+                g[(a, self.message_index(0, j, a))] += c1;
+                g[(a, self.message_index(1, j, a))] += c2;
             }
         }
-        (s1, s2)
+        g
+    }
+
+    fn decode_plan(&self, survivors: &[usize]) -> Result<MsrDecodePlan, CodeError> {
+        let k = self.params.k();
+        let phi_k = self.phi.select_rows(survivors);
+        let mut recover_invs = Vec::with_capacity(k);
+        for i in 0..k {
+            let others: Vec<usize> = (0..k).filter(|&j| j != i).collect();
+            recover_invs.push(phi_k.select_rows(&others).transpose().inverse()?);
+        }
+        let alpha = self.params.alpha();
+        let first_alpha: Vec<usize> = (0..alpha).collect();
+        let phi_sub_inv = phi_k.select_rows(&first_alpha).inverse()?;
+        Ok(MsrDecodePlan {
+            phi_k_t: phi_k.transpose(),
+            recover_invs,
+            phi_sub_inv,
+        })
     }
 
     fn reassemble(&self, s1: &BufMatrix, s2: &BufMatrix) -> Vec<u8> {
@@ -156,64 +276,76 @@ impl ErasureCode for ProductMatrixMsr {
     }
 
     fn encode(&self, data: &[u8]) -> Result<Vec<Share>, CodeError> {
+        // Direct bulk encode (no per-node plan is cached for full encodes).
         let framed = frame(data, self.params.file_size());
-        let (s1, s2) = self.message_matrices(&framed);
-        // Content of node i = φ_i S1 + λ_i φ_i S2; compute Φ S1 and Φ S2 once.
-        let phi_s1 = s1.left_mul(&self.phi)?;
-        let phi_s2 = s2.left_mul(&self.phi)?;
         let alpha = self.params.alpha();
-        Ok((0..self.params.n())
-            .map(|i| {
-                let mut buf = Vec::with_capacity(alpha * framed.symbol_len);
-                for a in 0..alpha {
-                    let mut sym = phi_s1.get(i, a).to_vec();
-                    let scaled = {
-                        let mut s = vec![0u8; framed.symbol_len];
-                        Gf256::mul_acc_slice(self.lambda[i], phi_s2.get(i, a), &mut s);
-                        s
-                    };
-                    for (dst, src) in sym.iter_mut().zip(&scaled) {
-                        *dst ^= src;
+        let sl = framed.symbol_len;
+        let mut shares = Vec::with_capacity(self.params.n());
+        let mut terms: Vec<(Gf256, &[u8])> = Vec::with_capacity(2 * alpha);
+        for i in 0..self.params.n() {
+            let mut buf = vec![0u8; alpha * sl];
+            for (a, sym) in buf.chunks_exact_mut(sl).enumerate() {
+                terms.clear();
+                for j in 0..alpha {
+                    let c1 = self.phi[(i, j)];
+                    if c1.is_zero() {
+                        continue;
                     }
-                    buf.extend_from_slice(&sym);
+                    let m1 = self.message_index(0, j, a);
+                    let m2 = self.message_index(1, j, a);
+                    terms.push((c1, &framed.padded[m1 * sl..(m1 + 1) * sl]));
+                    terms.push((self.lambda[i] * c1, &framed.padded[m2 * sl..(m2 + 1) * sl]));
                 }
-                Share::new(i, buf)
-            })
-            .collect())
+                bulk::mul_add_slices(&terms, sym);
+            }
+            shares.push(Share::new(i, buf));
+        }
+        Ok(shares)
     }
 
     fn encode_share(&self, data: &[u8], index: usize) -> Result<Share, CodeError> {
+        let mut out = Vec::new();
+        self.encode_share_into(data, index, &mut out)?;
+        Ok(Share::new(index, out))
+    }
+
+    fn encode_share_into(
+        &self,
+        data: &[u8],
+        index: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
         self.check_index(index)?;
         let framed = frame(data, self.params.file_size());
-        let (s1, s2) = self.message_matrices(&framed);
-        let alpha = self.params.alpha();
-        let phi_row = Matrix::from_vec(1, alpha, self.phi.row(index).to_vec());
-        let r1 = s1.left_mul(&phi_row)?;
-        let r2 = s2.left_mul(&phi_row)?;
-        let mut buf = Vec::with_capacity(alpha * framed.symbol_len);
-        for a in 0..alpha {
-            let mut sym = r1.get(0, a).to_vec();
-            let mut scaled = vec![0u8; framed.symbol_len];
-            Gf256::mul_acc_slice(self.lambda[index], r2.get(0, a), &mut scaled);
-            for (dst, src) in sym.iter_mut().zip(&scaled) {
-                *dst ^= src;
-            }
-            buf.extend_from_slice(&sym);
-        }
-        Ok(Share::new(index, buf))
+        let g = self
+            .plans
+            .encode
+            .get_or_build(&[index], |_| Ok(self.expanded_generator(index)))?;
+        out.clear();
+        out.resize(self.params.alpha() * framed.symbol_len, 0);
+        apply_into(&g, &framed.padded, framed.symbol_len, out)
     }
 
     fn decode(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
+        let mut out = Vec::new();
+        self.decode_into(shares, &mut out)?;
+        Ok(out)
+    }
+
+    fn decode_into(&self, shares: &[Share], out: &mut Vec<u8>) -> Result<(), CodeError> {
         let k = self.params.k();
         let alpha = self.params.alpha();
         let usable = dedup_by_index(shares);
         if usable.len() < k {
-            return Err(CodeError::NotEnoughShares { needed: k, got: usable.len() });
+            return Err(CodeError::NotEnoughShares {
+                needed: k,
+                got: usable.len(),
+            });
         }
-        let chosen = &usable[..k];
-        for s in chosen {
+        let mut chosen: Vec<&Share> = usable[..k].to_vec();
+        for s in &chosen {
             self.check_index(s.index)?;
-            if s.data.is_empty() || s.data.len() % alpha != 0 {
+            if s.data.is_empty() || !s.data.len().is_multiple_of(alpha) {
                 return Err(CodeError::MalformedShare(format!(
                     "share {} has length {} not divisible by alpha={alpha}",
                     s.index,
@@ -223,24 +355,26 @@ impl ErasureCode for ProductMatrixMsr {
         }
         let symbol_len = chosen[0].data.len() / alpha;
         if chosen.iter().any(|s| s.data.len() != alpha * symbol_len) {
-            return Err(CodeError::MalformedShare("MSR shares must have equal length".into()));
+            return Err(CodeError::MalformedShare(
+                "MSR shares must have equal length".into(),
+            ));
         }
+        chosen.sort_by_key(|s| s.index);
         let indices: Vec<usize> = chosen.iter().map(|s| s.index).collect();
-
-        // Y (k × α): the collected node contents.
-        let mut rows = Vec::with_capacity(k * alpha);
-        for s in chosen {
-            for a in 0..alpha {
-                rows.push(s.symbol(a, alpha).to_vec());
-            }
-        }
-        let y = BufMatrix::from_rows(k, alpha, rows)?;
-
-        let phi_k = self.phi.select_rows(&indices);
+        let plan = self
+            .plans
+            .decode
+            .get_or_build(&indices, |ids| self.decode_plan(ids))?;
         let lambda_k: Vec<Gf256> = indices.iter().map(|&i| self.lambda[i]).collect();
 
+        // Y (k × α): the collected node contents (flat copy, one allocation).
+        let mut y = BufMatrix::zero(k, alpha, symbol_len);
+        for (r, s) in chosen.iter().enumerate() {
+            y.row_bytes_mut(r).copy_from_slice(&s.data);
+        }
+
         // C = Y Φ_Kᵗ (k × k): C_ij = P_ij + λ_i Q_ij.
-        let c = y.right_mul(&phi_k.transpose())?;
+        let c = y.right_mul(&plan.phi_k_t)?;
 
         // Recover the off-diagonal entries of P and Q.
         let mut p = BufMatrix::zero(k, k, symbol_len);
@@ -258,39 +392,29 @@ impl ErasureCode for ProductMatrixMsr {
                 }
                 // Q_ij = (C_ij + C_ji) / (λ_i + λ_j).
                 let mut q_ij = c.get(i, j).to_vec();
-                for (dst, src) in q_ij.iter_mut().zip(c.get(j, i)) {
-                    *dst ^= src;
-                }
-                Gf256::scale_slice(denom.inverse(), &mut q_ij);
+                bulk::xor_slice(c.get(j, i), &mut q_ij);
+                bulk::scale_slice(denom.inverse(), &mut q_ij);
                 // P_ij = C_ij + λ_i Q_ij.
                 let mut p_ij = c.get(i, j).to_vec();
-                let mut scaled = vec![0u8; symbol_len];
-                Gf256::mul_acc_slice(lambda_k[i], &q_ij, &mut scaled);
-                for (dst, src) in p_ij.iter_mut().zip(&scaled) {
-                    *dst ^= src;
-                }
-                q.set(i, j, q_ij);
-                p.set(i, j, p_ij);
+                bulk::mul_add_slice(lambda_k[i], &q_ij, &mut p_ij);
+                q.set(i, j, &q_ij);
+                p.set(i, j, &p_ij);
             }
         }
 
         // From the off-diagonal rows recover Φ_K S1 and Φ_K S2 row by row:
-        // for each i, [X_ij]_{j≠i} = (φ_i S) Φ_{K\i}ᵗ with Φ_{K\i} invertible.
+        // for each i, [X_ij]_{j≠i} = (φ_i S) Φ_{K∖i}ᵗ with Φ_{K∖i} invertible
+        // (the inverses are part of the memoized plan).
         let recover_rows = |x: &BufMatrix| -> Result<BufMatrix, CodeError> {
             let mut out = BufMatrix::zero(k, alpha, symbol_len);
+            let mut row = BufMatrix::zero(1, alpha, symbol_len);
             for i in 0..k {
                 let others: Vec<usize> = (0..k).filter(|&j| j != i).collect();
-                let phi_others = phi_k.select_rows(&others);
-                let inv_t = phi_others.transpose().inverse()?;
-                let mut row_bufs = Vec::with_capacity(alpha);
-                for &j in &others {
-                    row_bufs.push(x.get(i, j).to_vec());
+                for (pos, &j) in others.iter().enumerate() {
+                    row.set(0, pos, x.get(i, j));
                 }
-                let row = BufMatrix::from_rows(1, alpha, row_bufs)?;
-                let solved = row.right_mul(&inv_t)?; // 1 × α = φ_i S
-                for a in 0..alpha {
-                    out.set(i, a, solved.get(0, a).to_vec());
-                }
+                let solved = row.right_mul(&plan.recover_invs[i])?; // 1 × α = φ_i S
+                out.row_bytes_mut(i).copy_from_slice(solved.row_bytes(0));
             }
             Ok(out)
         };
@@ -298,23 +422,19 @@ impl ErasureCode for ProductMatrixMsr {
         let phi_s1 = recover_rows(&p)?;
         let phi_s2 = recover_rows(&q)?;
 
-        // Any α rows of Φ_K are invertible; use the first α.
-        let first_alpha: Vec<usize> = (0..alpha).collect();
-        let phi_sub_inv = phi_k.select_rows(&first_alpha).inverse()?;
+        // Any α rows of Φ_K are invertible; the plan inverts the first α.
         let take_rows = |m: &BufMatrix| -> Result<BufMatrix, CodeError> {
-            let mut rows = Vec::with_capacity(alpha * alpha);
+            let mut out = BufMatrix::zero(alpha, alpha, symbol_len);
             for r in 0..alpha {
-                for c in 0..alpha {
-                    rows.push(m.get(r, c).to_vec());
-                }
+                out.row_bytes_mut(r).copy_from_slice(m.row_bytes(r));
             }
-            BufMatrix::from_rows(alpha, alpha, rows)
+            Ok(out)
         };
-        let s1 = take_rows(&phi_s1)?.left_mul(&phi_sub_inv)?;
-        let s2 = take_rows(&phi_s2)?.left_mul(&phi_sub_inv)?;
+        let s1 = take_rows(&phi_s1)?.left_mul(&plan.phi_sub_inv)?;
+        let s2 = take_rows(&phi_s2)?.left_mul(&plan.phi_sub_inv)?;
 
         let padded = self.reassemble(&s1, &s2);
-        unframe(&padded)
+        unframe_into(&padded, out)
     }
 }
 
@@ -323,7 +443,7 @@ impl RegeneratingCode for ProductMatrixMsr {
         self.check_index(helper.index)?;
         self.check_index(failed_index)?;
         let alpha = self.params.alpha();
-        if helper.data.is_empty() || helper.data.len() % alpha != 0 {
+        if helper.data.is_empty() || !helper.data.len().is_multiple_of(alpha) {
             return Err(CodeError::MalformedShare(format!(
                 "helper share has length {} not divisible by alpha={alpha}",
                 helper.data.len()
@@ -343,10 +463,13 @@ impl RegeneratingCode for ProductMatrixMsr {
         let alpha = self.params.alpha();
         let usable = dedup_helpers(helpers);
         if usable.len() < d {
-            return Err(CodeError::NotEnoughShares { needed: d, got: usable.len() });
+            return Err(CodeError::NotEnoughShares {
+                needed: d,
+                got: usable.len(),
+            });
         }
-        let chosen = &usable[..d];
-        for h in chosen {
+        let mut chosen: Vec<&HelperData> = usable[..d].to_vec();
+        for h in &chosen {
             self.check_index(h.helper_index)?;
             if h.failed_index != failed_index {
                 return Err(CodeError::MalformedShare(
@@ -356,28 +479,31 @@ impl RegeneratingCode for ProductMatrixMsr {
         }
         let symbol_len = chosen[0].data.len();
         if symbol_len == 0 || chosen.iter().any(|h| h.data.len() != symbol_len) {
-            return Err(CodeError::MalformedShare("helper payloads must have equal length".into()));
+            return Err(CodeError::MalformedShare(
+                "helper payloads must have equal length".into(),
+            ));
         }
 
-        // Ψ_rep (M φ_fᵗ) = h  ⇒  M φ_fᵗ = Ψ_rep^{-1} h = [S1 φ_fᵗ; S2 φ_fᵗ].
+        // Ψ_rep (M φ_fᵗ) = h ⇒ M φ_fᵗ = Ψ_rep⁻¹ h = [S1 φ_fᵗ; S2 φ_fᵗ]; the
+        // failed node's content is (S1 φ_fᵗ)ᵗ + λ_f (S2 φ_fᵗ)ᵗ. Folding the
+        // λ_f recombination into the inverse's rows gives a single α × d
+        // coefficient application per repair.
+        chosen.sort_by_key(|h| h.helper_index);
         let indices: Vec<usize> = chosen.iter().map(|h| h.helper_index).collect();
-        let psi_rep = self.psi.select_rows(&indices);
-        let inv = psi_rep.inverse()?;
-        let h_rows: Vec<Vec<u8>> = chosen.iter().map(|h| h.data.clone()).collect();
-        let h = BufMatrix::from_rows(d, 1, h_rows)?;
-        let x = h.left_mul(&inv)?; // d × 1
-
-        // Failed node content: (S1 φ_fᵗ)ᵗ + λ_f (S2 φ_fᵗ)ᵗ.
+        let inv = self
+            .plans
+            .repair
+            .get_or_build(&indices, |ids| Ok(self.psi.select_rows(ids).inverse()?))?;
         let lambda_f = self.lambda[failed_index];
-        let mut buf = Vec::with_capacity(alpha * symbol_len);
-        for a in 0..alpha {
-            let mut sym = x.get(a, 0).to_vec();
-            let mut scaled = vec![0u8; symbol_len];
-            Gf256::mul_acc_slice(lambda_f, x.get(alpha + a, 0), &mut scaled);
-            for (dst, src) in sym.iter_mut().zip(&scaled) {
-                *dst ^= src;
-            }
-            buf.extend_from_slice(&sym);
+        let folded = Matrix::from_fn(alpha, d, |a, j| {
+            inv[(a, j)] + lambda_f * inv[(alpha + a, j)]
+        });
+
+        let inputs: Vec<&[u8]> = chosen.iter().map(|h| h.data.as_slice()).collect();
+        let mut buf = vec![0u8; alpha * symbol_len];
+        let mut scratch = Vec::with_capacity(inputs.len());
+        for (a, sym) in buf.chunks_exact_mut(symbol_len).enumerate() {
+            combine_into_scratch(folded.row(a), &inputs, sym, &mut scratch)?;
         }
         Ok(Share::new(failed_index, buf))
     }
@@ -410,6 +536,7 @@ mod tests {
             let chosen: Vec<Share> = subset.iter().map(|&i| shares[i].clone()).collect();
             assert_eq!(code.decode(&chosen).unwrap(), value, "subset {subset:?}");
         }
+        assert_eq!(code.cached_decode_plans(), 4);
     }
 
     #[test]
@@ -423,8 +550,15 @@ mod tests {
                 .iter()
                 .map(|&h| code.helper_data(&shares[h], failed).unwrap())
                 .collect();
-            assert_eq!(code.repair(failed, &helpers).unwrap(), shares[failed], "failed {failed}");
+            assert_eq!(
+                code.repair(failed, &helpers).unwrap(),
+                shares[failed],
+                "failed {failed}"
+            );
         }
+        // Three failures over two distinct helper sets: the Ψ_rep inverse is
+        // shared whenever the helper set repeats.
+        assert!(code.cached_repair_plans() <= 3);
     }
 
     #[test]
@@ -445,7 +579,10 @@ mod tests {
         let value = sample_value(5000);
         let shares = code.encode(&value).unwrap();
         let helper = code.helper_data(&shares[0], 4).unwrap();
-        assert_eq!(helper.data.len() * code.params().alpha(), shares[0].data.len());
+        assert_eq!(
+            helper.data.len() * code.params().alpha(),
+            shares[0].data.len()
+        );
     }
 
     #[test]
@@ -463,8 +600,10 @@ mod tests {
         let value = sample_value(33);
         let shares = code.encode(&value).unwrap();
         assert_eq!(code.decode(&shares[2..4]).unwrap(), value);
-        let helpers: Vec<HelperData> =
-            [0usize, 4].iter().map(|&h| code.helper_data(&shares[h], 1).unwrap()).collect();
+        let helpers: Vec<HelperData> = [0usize, 4]
+            .iter()
+            .map(|&h| code.helper_data(&shares[h], 1).unwrap())
+            .collect();
         assert_eq!(code.repair(1, &helpers).unwrap(), shares[1]);
     }
 
@@ -478,21 +617,39 @@ mod tests {
             Err(CodeError::NotEnoughShares { needed: 4, got: 3 })
         ));
         let failed = 0;
-        let helpers: Vec<HelperData> =
-            (1..7).map(|h| code.helper_data(&shares[h], failed).unwrap()).collect();
+        let helpers: Vec<HelperData> = (1..7)
+            .map(|h| code.helper_data(&shares[h], failed).unwrap())
+            .collect();
         assert!(matches!(
             code.repair(failed, &helpers[..5]),
             Err(CodeError::NotEnoughShares { needed: 6, got: 5 })
         ));
         let mut wrong = helpers.clone();
         wrong[0].failed_index = 3;
-        assert!(matches!(code.repair(failed, &wrong), Err(CodeError::MalformedShare(_))));
+        assert!(matches!(
+            code.repair(failed, &wrong),
+            Err(CodeError::MalformedShare(_))
+        ));
     }
 
     #[test]
     fn wrong_kind_rejected() {
         let p = CodeParams::mbr(10, 3, 5).unwrap();
         assert!(ProductMatrixMsr::new(p).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let code = ProductMatrixMsr::with_dimensions(9, 3).unwrap();
+        let value = sample_value(222);
+        let mut buf = Vec::new();
+        code.encode_share_into(&value, 5, &mut buf).unwrap();
+        assert_eq!(buf, code.encode_share(&value, 5).unwrap().data);
+
+        let shares = code.encode(&value).unwrap();
+        let mut out = vec![7u8; 3];
+        code.decode_into(&shares[4..7], &mut out).unwrap();
+        assert_eq!(out, value);
     }
 
     #[test]

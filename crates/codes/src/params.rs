@@ -88,7 +88,15 @@ impl CodeParams {
         let alpha = d;
         let beta = 1;
         let file_size = k * d - k * (k - 1) / 2;
-        Ok(CodeParams { kind: CodeKind::Mbr, n, k, d, alpha, beta, file_size })
+        Ok(CodeParams {
+            kind: CodeKind::Mbr,
+            n,
+            k,
+            d,
+            alpha,
+            beta,
+            file_size,
+        })
     }
 
     /// Parameters for the product-matrix MSR code. The construction exists
@@ -119,7 +127,15 @@ impl CodeParams {
         let alpha = k - 1;
         let beta = 1;
         let file_size = k * (k - 1);
-        Ok(CodeParams { kind: CodeKind::Msr, n, k, d, alpha, beta, file_size })
+        Ok(CodeParams {
+            kind: CodeKind::Msr,
+            n,
+            k,
+            d,
+            alpha,
+            beta,
+            file_size,
+        })
     }
 
     /// Parameters for a Reed–Solomon code. Repair is naive (`d = k`, `β = α`).
@@ -138,7 +154,15 @@ impl CodeParams {
                 "GF(256) Reed-Solomon supports n <= 255 (got {n})"
             )));
         }
-        Ok(CodeParams { kind: CodeKind::ReedSolomon, n, k, d: k, alpha: 1, beta: 1, file_size: k })
+        Ok(CodeParams {
+            kind: CodeKind::ReedSolomon,
+            n,
+            k,
+            d: k,
+            alpha: 1,
+            beta: 1,
+            file_size: k,
+        })
     }
 
     /// Parameters for `n`-fold replication.
@@ -148,9 +172,19 @@ impl CodeParams {
     /// Returns [`CodeError::InvalidParameters`] if `n == 0`.
     pub fn replication(n: usize) -> Result<Self, CodeError> {
         if n == 0 {
-            return Err(CodeError::InvalidParameters("replication requires n >= 1".into()));
+            return Err(CodeError::InvalidParameters(
+                "replication requires n >= 1".into(),
+            ));
         }
-        Ok(CodeParams { kind: CodeKind::Replication, n, k: 1, d: 1, alpha: 1, beta: 1, file_size: 1 })
+        Ok(CodeParams {
+            kind: CodeKind::Replication,
+            n,
+            k: 1,
+            d: 1,
+            alpha: 1,
+            beta: 1,
+            file_size: 1,
+        })
     }
 
     /// The code family / operating point.

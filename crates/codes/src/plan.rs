@@ -1,0 +1,141 @@
+//! Memoized codec plans.
+//!
+//! Every decode inverts a sub-matrix of the generator selected by the
+//! survivor set, and every repair inverts the helper-selected rows of Ψ.
+//! Those inversions depend only on the *index sets*, not on the payload, so
+//! steady-state traffic (which reuses a handful of quorums over and over)
+//! should never invert a matrix twice. [`PlanCache`] memoizes any
+//! per-index-set plan behind a mutex-protected map; code instances share
+//! their caches through an `Arc`, so cloning a codec (e.g. into several
+//! server threads) shares the warmed plans.
+
+use crate::error::CodeError;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A memoized map from an index-set key to a prepared plan.
+pub struct PlanCache<P> {
+    map: Mutex<HashMap<Vec<usize>, Arc<P>>>,
+}
+
+/// Maximum number of memoized plans per cache. Steady-state traffic reuses
+/// a handful of quorums, but a long-lived deployment with churn can see many
+/// distinct survivor sets — and a paper-scale MBR decode plan is ~20 MB — so
+/// the cache sheds (arbitrary) entries past this bound instead of growing
+/// without limit. Evicted sets are simply rebuilt on next use.
+const MAX_PLANS: usize = 256;
+
+impl<P> PlanCache<P> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the plan for `key`, building and memoizing it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (nothing is cached on failure).
+    pub fn get_or_build(
+        &self,
+        key: &[usize],
+        build: impl FnOnce(&[usize]) -> Result<P, CodeError>,
+    ) -> Result<Arc<P>, CodeError> {
+        if let Some(plan) = self.map.lock().unwrap_or_else(|p| p.into_inner()).get(key) {
+            return Ok(Arc::clone(plan));
+        }
+        // Build outside the lock: a cold key (a matrix inversion, possibly a
+        // large flattened decode matrix) must not stall concurrent cache hits
+        // on other keys. Two threads racing on the same cold key both build;
+        // plans are deterministic, so either result is fine to keep.
+        let plan = Arc::new(build(key)?);
+        let mut map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(existing) = map.get(key) {
+            return Ok(Arc::clone(existing));
+        }
+        if map.len() >= MAX_PLANS {
+            // Shed an arbitrary entry; HashMap iteration order serves as a
+            // cheap random-replacement policy.
+            if let Some(victim) = map.keys().next().cloned() {
+                map.remove(&victim);
+            }
+        }
+        map.insert(key.to_vec(), Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Number of memoized plans (used by tests and warm-up assertions).
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<P> Default for PlanCache<P> {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl<P> fmt::Debug for PlanCache<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("plans", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_once_per_key() {
+        let cache: PlanCache<usize> = PlanCache::new();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let plan = cache
+                .get_or_build(&[1, 2, 3], |key| {
+                    builds += 1;
+                    Ok(key.iter().sum())
+                })
+                .unwrap();
+            assert_eq!(*plan, 6);
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.len(), 1);
+
+        cache.get_or_build(&[4], |_| Ok(0)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let cache: PlanCache<usize> = PlanCache::new();
+        for i in 0..(MAX_PLANS + 50) {
+            cache.get_or_build(&[i], |_| Ok(i)).unwrap();
+        }
+        assert!(cache.len() <= MAX_PLANS);
+        // Evicted or not, every key still resolves correctly.
+        assert_eq!(*cache.get_or_build(&[3], |_| Ok(3)).unwrap(), 3);
+    }
+
+    #[test]
+    fn build_failures_are_not_cached() {
+        let cache: PlanCache<usize> = PlanCache::new();
+        let err = cache.get_or_build(&[9], |_| {
+            Err::<usize, _>(CodeError::LinearAlgebra("nope".into()))
+        });
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        assert_eq!(*cache.get_or_build(&[9], |_| Ok(5)).unwrap(), 5);
+    }
+}

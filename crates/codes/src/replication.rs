@@ -43,7 +43,10 @@ impl Replication {
 
     fn check_index(&self, index: usize) -> Result<(), CodeError> {
         if index >= self.params.n() {
-            Err(CodeError::IndexOutOfRange { index, n: self.params.n() })
+            Err(CodeError::IndexOutOfRange {
+                index,
+                n: self.params.n(),
+            })
         } else {
             Ok(())
         }
@@ -62,7 +65,9 @@ impl ErasureCode for Replication {
 
     fn decode(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
         let usable = dedup_by_index(shares);
-        let first = usable.first().ok_or(CodeError::NotEnoughShares { needed: 1, got: 0 })?;
+        let first = usable
+            .first()
+            .ok_or(CodeError::NotEnoughShares { needed: 1, got: 0 })?;
         self.check_index(first.index)?;
         Ok(first.data.clone())
     }
@@ -72,13 +77,19 @@ impl RegeneratingCode for Replication {
     fn helper_data(&self, helper: &Share, failed_index: usize) -> Result<HelperData, CodeError> {
         self.check_index(helper.index)?;
         self.check_index(failed_index)?;
-        Ok(HelperData::new(helper.index, failed_index, helper.data.clone()))
+        Ok(HelperData::new(
+            helper.index,
+            failed_index,
+            helper.data.clone(),
+        ))
     }
 
     fn repair(&self, failed_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
         self.check_index(failed_index)?;
         let usable = dedup_helpers(helpers);
-        let first = usable.first().ok_or(CodeError::NotEnoughShares { needed: 1, got: 0 })?;
+        let first = usable
+            .first()
+            .ok_or(CodeError::NotEnoughShares { needed: 1, got: 0 })?;
         if first.failed_index != failed_index {
             return Err(CodeError::MalformedShare(
                 "helper payload is for a different failed node".into(),
@@ -116,8 +127,14 @@ mod tests {
     #[test]
     fn empty_inputs_rejected() {
         let code = Replication::with_replicas(3).unwrap();
-        assert!(matches!(code.decode(&[]), Err(CodeError::NotEnoughShares { .. })));
-        assert!(matches!(code.repair(0, &[]), Err(CodeError::NotEnoughShares { .. })));
+        assert!(matches!(
+            code.decode(&[]),
+            Err(CodeError::NotEnoughShares { .. })
+        ));
+        assert!(matches!(
+            code.repair(0, &[]),
+            Err(CodeError::NotEnoughShares { .. })
+        ));
     }
 
     #[test]
@@ -139,7 +156,10 @@ mod tests {
         let code = Replication::with_replicas(4).unwrap();
         let shares = code.encode(b"v").unwrap();
         let helper = code.helper_data(&shares[0], 1).unwrap();
-        assert!(matches!(code.repair(2, &[helper]), Err(CodeError::MalformedShare(_))));
+        assert!(matches!(
+            code.repair(2, &[helper]),
+            Err(CodeError::MalformedShare(_))
+        ));
     }
 
     #[test]

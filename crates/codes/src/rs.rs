@@ -6,14 +6,21 @@
 //! whole share and reconstructing via decode-then-re-encode — exactly the
 //! behaviour the regenerating-code literature (and the paper's choice of MBR
 //! codes) improves upon. Having it here lets the benchmarks quantify the gap.
+//!
+//! Encoding applies the cached generator row with the fused bulk kernels;
+//! decoding memoizes the inverse of the selected generator rows per sorted
+//! survivor set ([`crate::plan::PlanCache`]), so steady-state decodes perform
+//! no matrix inversion.
 
 use crate::error::CodeError;
-use crate::linear::combine;
+use crate::linear::combine_into_scratch;
 use crate::params::{CodeKind, CodeParams};
+use crate::plan::PlanCache;
 use crate::share::{HelperData, Share};
-use crate::striping::{frame, symbols, unframe};
+use crate::striping::{frame, unframe_into};
 use crate::traits::{dedup_by_index, dedup_helpers, ErasureCode, RegeneratingCode};
-use lds_gf::Matrix;
+use lds_gf::{bulk, Gf256, Matrix};
+use std::sync::Arc;
 
 /// A Reed–Solomon code with parameters from [`CodeParams::reed_solomon`].
 #[derive(Debug, Clone)]
@@ -21,6 +28,8 @@ pub struct ReedSolomon {
     params: CodeParams,
     /// `n × k` Vandermonde generator matrix.
     generator: Matrix,
+    /// Sorted-survivor-set → inverse of the selected generator rows.
+    decode_plans: Arc<PlanCache<Matrix>>,
 }
 
 impl ReedSolomon {
@@ -37,7 +46,11 @@ impl ReedSolomon {
             )));
         }
         let generator = Matrix::vandermonde(params.n(), params.k());
-        Ok(ReedSolomon { params, generator })
+        Ok(ReedSolomon {
+            params,
+            generator,
+            decode_plans: Arc::new(PlanCache::new()),
+        })
     }
 
     /// Convenience constructor from `(n, k)`.
@@ -49,9 +62,43 @@ impl ReedSolomon {
         Self::new(CodeParams::reed_solomon(n, k)?)
     }
 
+    /// Number of decode plans currently memoized (for tests and warm-up
+    /// assertions).
+    pub fn cached_decode_plans(&self) -> usize {
+        self.decode_plans.len()
+    }
+
+    /// Builds and memoizes the decode plan for a `k`-element survivor set
+    /// without decoding anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShares`] if `survivors` does not contain
+    /// exactly `k` distinct indices, or an index/inversion error.
+    pub fn prepare_decode(&self, survivors: &[usize]) -> Result<(), CodeError> {
+        let mut key = survivors.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if key.len() != self.params.k() {
+            return Err(CodeError::NotEnoughShares {
+                needed: self.params.k(),
+                got: key.len(),
+            });
+        }
+        for &i in &key {
+            self.check_index(i)?;
+        }
+        self.decode_plans
+            .get_or_build(&key, |ids| Ok(self.generator.select_rows(ids).inverse()?))
+            .map(|_| ())
+    }
+
     fn check_index(&self, index: usize) -> Result<(), CodeError> {
         if index >= self.params.n() {
-            Err(CodeError::IndexOutOfRange { index, n: self.params.n() })
+            Err(CodeError::IndexOutOfRange {
+                index,
+                n: self.params.n(),
+            })
         } else {
             Ok(())
         }
@@ -64,39 +111,76 @@ impl ErasureCode for ReedSolomon {
     }
 
     fn encode_share(&self, data: &[u8], index: usize) -> Result<Share, CodeError> {
-        self.check_index(index)?;
-        let k = self.params.k();
-        let framed = frame(data, k);
-        let msg = symbols(&framed, k);
-        let row = self.generator.row(index);
-        let out = combine(row, &msg, framed.symbol_len)?;
+        let mut out = Vec::new();
+        self.encode_share_into(data, index, &mut out)?;
         Ok(Share::new(index, out))
     }
 
+    fn encode_share_into(
+        &self,
+        data: &[u8],
+        index: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        self.check_index(index)?;
+        let k = self.params.k();
+        let framed = frame(data, k);
+        out.clear();
+        out.resize(framed.symbol_len, 0);
+        // Apply the generator row directly from the cached matrix (no
+        // temporary row matrix): out = Σ_m row[m] · msg_symbol(m).
+        let sl = framed.symbol_len;
+        let terms: Vec<(Gf256, &[u8])> = self
+            .generator
+            .row(index)
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(m, &c)| (c, &framed.padded[m * sl..(m + 1) * sl]))
+            .collect();
+        bulk::mul_add_slices(&terms, out);
+        Ok(())
+    }
+
     fn decode(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
+        let mut out = Vec::new();
+        self.decode_into(shares, &mut out)?;
+        Ok(out)
+    }
+
+    fn decode_into(&self, shares: &[Share], out: &mut Vec<u8>) -> Result<(), CodeError> {
         let k = self.params.k();
         let usable = dedup_by_index(shares);
         if usable.len() < k {
-            return Err(CodeError::NotEnoughShares { needed: k, got: usable.len() });
+            return Err(CodeError::NotEnoughShares {
+                needed: k,
+                got: usable.len(),
+            });
         }
-        let chosen = &usable[..k];
-        for s in chosen {
+        let mut chosen: Vec<&Share> = usable[..k].to_vec();
+        for s in &chosen {
             self.check_index(s.index)?;
         }
         let symbol_len = chosen[0].data.len();
         if chosen.iter().any(|s| s.data.len() != symbol_len) || symbol_len == 0 {
-            return Err(CodeError::MalformedShare("RS shares must have equal, non-zero length".into()));
+            return Err(CodeError::MalformedShare(
+                "RS shares must have equal, non-zero length".into(),
+            ));
         }
+        // The plan key is the sorted survivor set; order the inputs to match.
+        chosen.sort_by_key(|s| s.index);
         let indices: Vec<usize> = chosen.iter().map(|s| s.index).collect();
-        let sub = self.generator.select_rows(&indices);
-        let inv = sub.inverse()?;
+        let inv = self.decode_plans.get_or_build(&indices, |ids| {
+            Ok(self.generator.select_rows(ids).inverse()?)
+        })?;
         // Message symbol m = Σ_j inv[m, j] * share_j.
         let inputs: Vec<&[u8]> = chosen.iter().map(|s| s.data.as_slice()).collect();
-        let mut padded = Vec::with_capacity(k * symbol_len);
-        for m in 0..k {
-            padded.extend_from_slice(&combine(inv.row(m), &inputs, symbol_len)?);
+        let mut padded = vec![0u8; k * symbol_len];
+        let mut scratch = Vec::with_capacity(inputs.len());
+        for (m, sym) in padded.chunks_exact_mut(symbol_len).enumerate() {
+            combine_into_scratch(inv.row(m), &inputs, sym, &mut scratch)?;
         }
-        unframe(&padded)
+        unframe_into(&padded, out)
     }
 }
 
@@ -105,7 +189,11 @@ impl RegeneratingCode for ReedSolomon {
         self.check_index(helper.index)?;
         self.check_index(failed_index)?;
         // Naive repair: the helper contributes its entire share.
-        Ok(HelperData::new(helper.index, failed_index, helper.data.clone()))
+        Ok(HelperData::new(
+            helper.index,
+            failed_index,
+            helper.data.clone(),
+        ))
     }
 
     fn repair(&self, failed_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
@@ -113,15 +201,20 @@ impl RegeneratingCode for ReedSolomon {
         let k = self.params.k();
         let usable = dedup_helpers(helpers);
         if usable.len() < k {
-            return Err(CodeError::NotEnoughShares { needed: k, got: usable.len() });
+            return Err(CodeError::NotEnoughShares {
+                needed: k,
+                got: usable.len(),
+            });
         }
         if usable.iter().any(|h| h.failed_index != failed_index) {
             return Err(CodeError::MalformedShare(
                 "helper payloads disagree on the failed node index".into(),
             ));
         }
-        let shares: Vec<Share> =
-            usable.iter().map(|h| Share::new(h.helper_index, h.data.clone())).collect();
+        let shares: Vec<Share> = usable
+            .iter()
+            .map(|h| Share::new(h.helper_index, h.data.clone()))
+            .collect();
         let value = self.decode(&shares)?;
         self.encode_share(&value, failed_index)
     }
@@ -146,6 +239,23 @@ mod tests {
             let chosen: Vec<Share> = subset.iter().map(|&i| shares[i].clone()).collect();
             assert_eq!(code.decode(&chosen).unwrap(), value, "subset {subset:?}");
         }
+        assert_eq!(code.cached_decode_plans(), 3);
+    }
+
+    #[test]
+    fn decode_plan_is_reused_across_calls_and_orderings() {
+        let code = ReedSolomon::with_dimensions(6, 3).unwrap();
+        let value = sample_value(100);
+        let shares = code.encode(&value).unwrap();
+        // The same survivor set in different arrival orders hits one plan.
+        for order in [[0usize, 2, 4], [4, 0, 2], [2, 4, 0]] {
+            let chosen: Vec<Share> = order.iter().map(|&i| shares[i].clone()).collect();
+            assert_eq!(code.decode(&chosen).unwrap(), value);
+        }
+        assert_eq!(code.cached_decode_plans(), 1);
+        // Clones share the warmed cache.
+        let clone = code.clone();
+        assert_eq!(clone.cached_decode_plans(), 1);
     }
 
     #[test]
@@ -154,8 +264,12 @@ mod tests {
         let value = sample_value(50);
         let shares = code.encode(&value).unwrap();
         // Duplicates of the same index must not count twice.
-        let mixed =
-            vec![shares[0].clone(), shares[0].clone(), shares[1].clone(), shares[5].clone()];
+        let mixed = vec![
+            shares[0].clone(),
+            shares[0].clone(),
+            shares[1].clone(),
+            shares[5].clone(),
+        ];
         assert_eq!(code.decode(&mixed).unwrap(), value);
     }
 
@@ -172,7 +286,10 @@ mod tests {
         let code = ReedSolomon::with_dimensions(5, 2).unwrap();
         let mut shares = code.encode(&sample_value(40)).unwrap();
         shares[1].data.pop();
-        assert!(matches!(code.decode(&shares[..2]), Err(CodeError::MalformedShare(_))));
+        assert!(matches!(
+            code.decode(&shares[..2]),
+            Err(CodeError::MalformedShare(_))
+        ));
     }
 
     #[test]
@@ -208,10 +325,14 @@ mod tests {
     fn repair_validates_failed_index_consistency() {
         let code = ReedSolomon::with_dimensions(6, 3).unwrap();
         let shares = code.encode(&sample_value(64)).unwrap();
-        let mut helpers: Vec<HelperData> =
-            (0..3).map(|h| code.helper_data(&shares[h], 4).unwrap()).collect();
+        let mut helpers: Vec<HelperData> = (0..3)
+            .map(|h| code.helper_data(&shares[h], 4).unwrap())
+            .collect();
         helpers[1].failed_index = 5;
-        assert!(matches!(code.repair(4, &helpers), Err(CodeError::MalformedShare(_))));
+        assert!(matches!(
+            code.repair(4, &helpers),
+            Err(CodeError::MalformedShare(_))
+        ));
     }
 
     #[test]
@@ -243,5 +364,19 @@ mod tests {
             let shares = code.encode(&value).unwrap();
             assert_eq!(code.decode(&shares[1..4]).unwrap(), value);
         }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let code = ReedSolomon::with_dimensions(6, 3).unwrap();
+        let value = sample_value(120);
+        let mut share_buf = Vec::new();
+        code.encode_share_into(&value, 2, &mut share_buf).unwrap();
+        assert_eq!(share_buf, code.encode_share(&value, 2).unwrap().data);
+
+        let shares = code.encode(&value).unwrap();
+        let mut out = vec![0xEEu8; 500]; // stale contents must be discarded
+        code.decode_into(&shares[1..4], &mut out).unwrap();
+        assert_eq!(out, value);
     }
 }

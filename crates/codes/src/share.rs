@@ -37,7 +37,10 @@ impl Share {
     ///
     /// Panics if the payload length is not a multiple of `alpha`.
     pub fn symbol_len(&self, alpha: usize) -> usize {
-        assert!(alpha > 0 && self.data.len() % alpha == 0, "share length must be alpha-aligned");
+        assert!(
+            alpha > 0 && self.data.len().is_multiple_of(alpha),
+            "share length must be alpha-aligned"
+        );
         self.data.len() / alpha
     }
 
@@ -50,7 +53,12 @@ impl Share {
 
 impl fmt::Debug for Share {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Share {{ index: {}, len: {} }}", self.index, self.data.len())
+        write!(
+            f,
+            "Share {{ index: {}, len: {} }}",
+            self.index,
+            self.data.len()
+        )
     }
 }
 
@@ -73,7 +81,11 @@ pub struct HelperData {
 impl HelperData {
     /// Creates a helper-data record.
     pub fn new(helper_index: usize, failed_index: usize, data: Vec<u8>) -> Self {
-        HelperData { helper_index, failed_index, data }
+        HelperData {
+            helper_index,
+            failed_index,
+            data,
+        }
     }
 
     /// Length of the helper payload in bytes.

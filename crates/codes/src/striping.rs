@@ -48,6 +48,19 @@ pub fn frame(data: &[u8], file_size: usize) -> Framed {
 /// Returns [`CodeError::CorruptPayload`] if the buffer is too short or the
 /// header describes a length that does not fit in the buffer.
 pub fn unframe(padded: &[u8]) -> Result<Vec<u8>, CodeError> {
+    let mut out = Vec::new();
+    unframe_into(padded, &mut out)?;
+    Ok(out)
+}
+
+/// Buffer-reuse variant of [`unframe`]: writes the value into `out` (cleared
+/// first, capacity reused). This is what keeps the codecs' `decode_into`
+/// free of a second full-value allocation.
+///
+/// # Errors
+///
+/// As for [`unframe`]; `out` is untouched on error.
+pub fn unframe_into(padded: &[u8], out: &mut Vec<u8>) -> Result<(), CodeError> {
     if padded.len() < HEADER_LEN {
         return Err(CodeError::CorruptPayload(format!(
             "framed buffer of {} bytes is shorter than the {HEADER_LEN}-byte header",
@@ -63,7 +76,9 @@ pub fn unframe(padded: &[u8]) -> Result<Vec<u8>, CodeError> {
             padded.len()
         )));
     }
-    Ok(padded[HEADER_LEN..HEADER_LEN + len].to_vec())
+    out.clear();
+    out.extend_from_slice(&padded[HEADER_LEN..HEADER_LEN + len]);
+    Ok(())
 }
 
 /// Borrows message symbol `m` (of `file_size`) from a framed buffer.
@@ -87,7 +102,11 @@ mod tests {
                 let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
                 let framed = frame(&data, file_size);
                 assert_eq!(framed.padded.len(), file_size * framed.symbol_len);
-                assert_eq!(unframe(&framed.padded).unwrap(), data, "fs={file_size} len={len}");
+                assert_eq!(
+                    unframe(&framed.padded).unwrap(),
+                    data,
+                    "fs={file_size} len={len}"
+                );
             }
         }
     }
@@ -105,7 +124,10 @@ mod tests {
 
     #[test]
     fn unframe_rejects_short_buffers() {
-        assert!(matches!(unframe(&[1, 2, 3]), Err(CodeError::CorruptPayload(_))));
+        assert!(matches!(
+            unframe(&[1, 2, 3]),
+            Err(CodeError::CorruptPayload(_))
+        ));
     }
 
     #[test]
@@ -113,7 +135,10 @@ mod tests {
         let mut framed = frame(b"abc", 4).padded;
         framed[0] = 0xff;
         framed[1] = 0xff;
-        assert!(matches!(unframe(&framed), Err(CodeError::CorruptPayload(_))));
+        assert!(matches!(
+            unframe(&framed),
+            Err(CodeError::CorruptPayload(_))
+        ));
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub trait ErasureCode: Send + Sync {
     ///
     /// Returns an error if the value cannot be framed for this code.
     fn encode(&self, data: &[u8]) -> Result<Vec<Share>, CodeError> {
-        (0..self.params().n()).map(|i| self.encode_share(data, i)).collect()
+        (0..self.params().n())
+            .map(|i| self.encode_share(data, i))
+            .collect()
     }
 
     /// Encodes only the share for node `index`. Used by L1 servers, which
@@ -35,6 +37,39 @@ pub trait ErasureCode: Send + Sync {
     /// shares are supplied, or [`CodeError::MalformedShare`] /
     /// [`CodeError::CorruptPayload`] for inconsistent inputs.
     fn decode(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError>;
+
+    /// Buffer-reuse variant of [`ErasureCode::encode_share`]: writes the
+    /// coded bytes of share `index` into `out` (cleared first, capacity
+    /// reused). The default implementation delegates to `encode_share`;
+    /// the bulk-kernel codecs override it to write into `out` directly.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ErasureCode::encode_share`].
+    fn encode_share_into(
+        &self,
+        data: &[u8],
+        index: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        let share = self.encode_share(data, index)?;
+        out.clear();
+        out.extend_from_slice(&share.data);
+        Ok(())
+    }
+
+    /// Buffer-reuse variant of [`ErasureCode::decode`]: writes the decoded
+    /// value into `out` (cleared first, capacity reused).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ErasureCode::decode`].
+    fn decode_into(&self, shares: &[Share], out: &mut Vec<u8>) -> Result<(), CodeError> {
+        let value = self.decode(shares)?;
+        out.clear();
+        out.extend_from_slice(&value);
+        Ok(())
+    }
 }
 
 /// A regenerating code: an erasure code that additionally supports repair of
@@ -74,7 +109,10 @@ pub(crate) fn dedup_by_index(shares: &[Share]) -> Vec<&Share> {
 /// Deduplicates helpers by helper index, preserving first occurrence order.
 pub(crate) fn dedup_helpers(helpers: &[HelperData]) -> Vec<&HelperData> {
     let mut seen = std::collections::HashSet::new();
-    helpers.iter().filter(|h| seen.insert(h.helper_index)).collect()
+    helpers
+        .iter()
+        .filter(|h| seen.insert(h.helper_index))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,107 @@
+//! Property tests pinning the plan-cached bulk MBR codec to the
+//! byte-at-a-time scalar oracle ([`lds_codes::scalar::ScalarMbr`], the
+//! seed's execution strategy): identical shares, identical helper payloads,
+//! identical repairs, and identical decodes — including the assertion that a
+//! *memoized* (second) decode equals a fresh-inversion scalar decode.
+
+use lds_codes::mbr::ProductMatrixMbr;
+use lds_codes::scalar::ScalarMbr;
+use lds_codes::{ErasureCode, HelperData, RegeneratingCode, Share};
+use proptest::prelude::*;
+
+/// Small but varied MBR parameters and a value.
+fn mbr_case() -> impl Strategy<Value = (usize, usize, usize, Vec<u8>)> {
+    (
+        2usize..=5,
+        0usize..=3,
+        1usize..=4,
+        proptest::collection::vec(any::<u8>(), 0..300),
+    )
+        .prop_map(|(k, extra_d, extra_n, value)| {
+            let d = k + extra_d;
+            let n = d + 1 + extra_n;
+            (n, k, d, value)
+        })
+}
+
+fn pick_subset(n: usize, count: usize, seed: u64) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut state = seed | 1;
+    for i in (1..indices.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        indices.swap(i, j);
+    }
+    indices.truncate(count);
+    indices
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bulk_encode_is_byte_identical_to_scalar((n, k, d, value) in mbr_case()) {
+        let bulk = ProductMatrixMbr::with_dimensions(n, k, d).unwrap();
+        let scalar = ScalarMbr::with_dimensions(n, k, d).unwrap();
+        prop_assert_eq!(bulk.encode(&value).unwrap(), scalar.encode(&value).unwrap());
+        // Single-share encoding (the plan-cached path) agrees too.
+        for i in 0..n {
+            prop_assert_eq!(
+                bulk.encode_share(&value, i).unwrap().data,
+                scalar.encode(&value).unwrap()[i].data.clone()
+            );
+        }
+    }
+
+    #[test]
+    fn plan_cached_decode_matches_fresh_inversion(
+        (n, k, d, value) in mbr_case(),
+        seed in any::<u64>(),
+    ) {
+        let bulk = ProductMatrixMbr::with_dimensions(n, k, d).unwrap();
+        let scalar = ScalarMbr::with_dimensions(n, k, d).unwrap();
+        let shares = scalar.encode(&value).unwrap();
+        let subset = pick_subset(n, k, seed);
+        let chosen: Vec<Share> = subset.iter().map(|&i| shares[i].clone()).collect();
+
+        let fresh = scalar.decode(&chosen).unwrap(); // inverts Φ_K from scratch
+        let first = bulk.decode(&chosen).unwrap();   // builds + memoizes the plan
+        let cached = bulk.decode(&chosen).unwrap();  // pure cache hit
+        prop_assert_eq!(&first, &fresh);
+        prop_assert_eq!(&cached, &fresh);
+        prop_assert_eq!(cached, value);
+    }
+
+    #[test]
+    fn bulk_repair_is_byte_identical_to_scalar(
+        (n, k, d, value) in mbr_case(),
+        seed in any::<u64>(),
+    ) {
+        let bulk = ProductMatrixMbr::with_dimensions(n, k, d).unwrap();
+        let scalar = ScalarMbr::with_dimensions(n, k, d).unwrap();
+        let shares = scalar.encode(&value).unwrap();
+        let failed = (seed as usize) % n;
+        let helper_ids: Vec<usize> = pick_subset(n, n, seed ^ 0x9e3779b9)
+            .into_iter()
+            .filter(|&i| i != failed)
+            .take(d)
+            .collect();
+
+        let bulk_helpers: Vec<HelperData> = helper_ids
+            .iter()
+            .map(|&h| bulk.helper_data(&shares[h], failed).unwrap())
+            .collect();
+        let scalar_helpers: Vec<HelperData> = helper_ids
+            .iter()
+            .map(|&h| scalar.helper_data(&shares[h], failed).unwrap())
+            .collect();
+        prop_assert_eq!(&bulk_helpers, &scalar_helpers);
+
+        let bulk_repaired = bulk.repair(failed, &bulk_helpers).unwrap();
+        let scalar_repaired = scalar.repair(failed, &scalar_helpers).unwrap();
+        prop_assert_eq!(&bulk_repaired, &scalar_repaired);
+        prop_assert_eq!(bulk_repaired, shares[failed].clone());
+    }
+}

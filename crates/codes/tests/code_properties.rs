@@ -10,23 +10,30 @@ use proptest::prelude::*;
 
 /// Strategy yielding small but varied MBR parameters and a value.
 fn mbr_case() -> impl Strategy<Value = (usize, usize, usize, Vec<u8>)> {
-    (2usize..=5, 0usize..=3, 1usize..=4, proptest::collection::vec(any::<u8>(), 0..300)).prop_map(
-        |(k, extra_d, extra_n, value)| {
+    (
+        2usize..=5,
+        0usize..=3,
+        1usize..=4,
+        proptest::collection::vec(any::<u8>(), 0..300),
+    )
+        .prop_map(|(k, extra_d, extra_n, value)| {
             let d = k + extra_d;
             let n = d + 1 + extra_n;
             (n, k, d, value)
-        },
-    )
+        })
 }
 
 fn msr_case() -> impl Strategy<Value = (usize, usize, Vec<u8>)> {
-    (2usize..=5, 1usize..=4, proptest::collection::vec(any::<u8>(), 0..300)).prop_map(
-        |(k, extra_n, value)| {
+    (
+        2usize..=5,
+        1usize..=4,
+        proptest::collection::vec(any::<u8>(), 0..300),
+    )
+        .prop_map(|(k, extra_n, value)| {
             let d = 2 * k - 2;
             let n = d + 1 + extra_n;
             (n, k, value)
-        },
-    )
+        })
 }
 
 proptest! {
@@ -135,7 +142,9 @@ fn pick_subset(n: usize, count: usize, seed: u64) -> Vec<usize> {
     let mut indices: Vec<usize> = (0..n).collect();
     let mut state = seed | 1;
     for i in (1..indices.len()).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         indices.swap(i, j);
     }

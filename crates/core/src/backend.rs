@@ -83,6 +83,27 @@ pub trait BackendCodec: Send + Sync {
     /// Returns a [`CodeError`] if the index is out of range.
     fn encode_l2_element(&self, value: &Value, l2_index: usize) -> Result<Share, CodeError>;
 
+    /// Buffer-reuse variant of [`BackendCodec::encode_l2_element`]: writes the
+    /// coded bytes into `out` (cleared first, capacity reused). Coded
+    /// backends route this through the code's `encode_share_into`, so the
+    /// steady-state write path performs no temporary-matrix or per-symbol
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BackendCodec::encode_l2_element`].
+    fn encode_l2_element_into(
+        &self,
+        value: &Value,
+        l2_index: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        let share = self.encode_l2_element(value, l2_index)?;
+        out.clear();
+        out.extend_from_slice(&share.data);
+        Ok(())
+    }
+
     /// The coded element held by L2 server `l2_index` for the initial value
     /// `v0` (every L2 server starts from this state).
     fn initial_l2_element(&self, l2_index: usize) -> Share;
@@ -116,6 +137,28 @@ pub trait BackendCodec: Send + Sync {
     ///
     /// Returns a [`CodeError`] if too few or inconsistent shares are given.
     fn decode_from_l1(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError>;
+
+    /// Buffer-reuse variant of [`BackendCodec::decode_from_l1`]: writes the
+    /// decoded value into `out` (cleared first, capacity reused). Readers
+    /// call this with a per-client scratch buffer, so repeated decode
+    /// attempts while responses trickle in do not re-allocate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BackendCodec::decode_from_l1`].
+    fn decode_from_l1_into(&self, shares: &[Share], out: &mut Vec<u8>) -> Result<(), CodeError> {
+        let value = self.decode_from_l1(shares)?;
+        out.clear();
+        out.extend_from_slice(&value);
+        Ok(())
+    }
+
+    /// Primes the codec's memoized plans for the steady-state index sets:
+    /// the per-node encode generators and the canonical first-`k` /
+    /// first-`d` decode and repair quorums. Called once at cluster / runner
+    /// start-up so the first client operation does not pay the one-time
+    /// inversion cost.
+    fn warm_plans(&self) {}
 }
 
 /// Creates the backend codec of the requested kind for the given system
@@ -150,7 +193,7 @@ pub fn make_backend(
             let code = ProductMatrixMsr::new(CodeParams::msr(n, k)?)?;
             Ok(Arc::new(MsrBackend { code, n1, n2 }))
         }
-        BackendKind::Replication => Ok(Arc::new(ReplicationBackend { n1, n2, k, d })),
+        BackendKind::Replication => Ok(Arc::new(ReplicationBackend { n1, n2 })),
     }
 }
 
@@ -181,6 +224,15 @@ impl BackendCodec for MbrBackend {
     fn encode_l2_element(&self, value: &Value, l2_index: usize) -> Result<Share, CodeError> {
         self.code.encode_share(value.as_bytes(), self.n1 + l2_index)
     }
+    fn encode_l2_element_into(
+        &self,
+        value: &Value,
+        l2_index: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        self.code
+            .encode_share_into(value.as_bytes(), self.n1 + l2_index, out)
+    }
     fn initial_l2_element(&self, l2_index: usize) -> Share {
         self.code
             .encode_share(Value::initial().as_bytes(), self.n1 + l2_index)
@@ -199,6 +251,19 @@ impl BackendCodec for MbrBackend {
     }
     fn decode_from_l1(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
         self.code.decode(shares)
+    }
+    fn decode_from_l1_into(&self, shares: &[Share], out: &mut Vec<u8>) -> Result<(), CodeError> {
+        self.code.decode_into(shares, out)
+    }
+    fn warm_plans(&self) {
+        // The canonical steady-state quorums: readers decode from the first k
+        // L1 elements, L1 servers regenerate from the first d L2 helpers.
+        let _ = self
+            .code
+            .prepare_decode(&(0..self.code.params().k()).collect::<Vec<_>>());
+        let _ = self
+            .code
+            .prepare_repair(&(self.n1..self.n1 + self.d).collect::<Vec<_>>());
     }
 }
 
@@ -228,6 +293,15 @@ impl BackendCodec for RsBackend {
     fn encode_l2_element(&self, value: &Value, l2_index: usize) -> Result<Share, CodeError> {
         self.code.encode_share(value.as_bytes(), self.n1 + l2_index)
     }
+    fn encode_l2_element_into(
+        &self,
+        value: &Value,
+        l2_index: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        self.code
+            .encode_share_into(value.as_bytes(), self.n1 + l2_index, out)
+    }
     fn initial_l2_element(&self, l2_index: usize) -> Share {
         self.code
             .encode_share(Value::initial().as_bytes(), self.n1 + l2_index)
@@ -246,6 +320,14 @@ impl BackendCodec for RsBackend {
     }
     fn decode_from_l1(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
         self.code.decode(shares)
+    }
+    fn decode_from_l1_into(&self, shares: &[Share], out: &mut Vec<u8>) -> Result<(), CodeError> {
+        self.code.decode_into(shares, out)
+    }
+    fn warm_plans(&self) {
+        let _ = self
+            .code
+            .prepare_decode(&(0..self.code.params().k()).collect::<Vec<_>>());
     }
 }
 
@@ -275,6 +357,15 @@ impl BackendCodec for MsrBackend {
     fn encode_l2_element(&self, value: &Value, l2_index: usize) -> Result<Share, CodeError> {
         self.code.encode_share(value.as_bytes(), self.n1 + l2_index)
     }
+    fn encode_l2_element_into(
+        &self,
+        value: &Value,
+        l2_index: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        self.code
+            .encode_share_into(value.as_bytes(), self.n1 + l2_index, out)
+    }
     fn initial_l2_element(&self, l2_index: usize) -> Share {
         self.code
             .encode_share(Value::initial().as_bytes(), self.n1 + l2_index)
@@ -294,14 +385,24 @@ impl BackendCodec for MsrBackend {
     fn decode_from_l1(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
         self.code.decode(shares)
     }
+    fn decode_from_l1_into(&self, shares: &[Share], out: &mut Vec<u8>) -> Result<(), CodeError> {
+        self.code.decode_into(shares, out)
+    }
+    fn warm_plans(&self) {
+        let d_code = self.code.params().d();
+        let _ = self
+            .code
+            .prepare_decode(&(0..self.code.params().k()).collect::<Vec<_>>());
+        let _ = self
+            .code
+            .prepare_repair(&(self.n1..self.n1 + d_code).collect::<Vec<_>>());
+    }
 }
 
 /// Replicated back-end: every L2 server stores the full value.
 struct ReplicationBackend {
     n1: usize,
     n2: usize,
-    k: usize,
-    d: usize,
 }
 
 impl BackendCodec for ReplicationBackend {
@@ -315,17 +416,19 @@ impl BackendCodec for ReplicationBackend {
         self.n2
     }
     fn decode_threshold(&self) -> usize {
-        // A single full copy decodes the value, but we keep the protocol's k
-        // so quorum logic is unchanged; decode_from_l1 accepts any non-empty
-        // set.
-        self.k.min(1).max(1)
+        // A single full copy decodes the value; decode_from_l1 accepts any
+        // non-empty set.
+        1
     }
     fn repair_threshold(&self) -> usize {
-        self.d.min(1).max(1)
+        1
     }
     fn encode_l2_element(&self, value: &Value, l2_index: usize) -> Result<Share, CodeError> {
         if l2_index >= self.n2 {
-            return Err(CodeError::IndexOutOfRange { index: l2_index, n: self.n2 });
+            return Err(CodeError::IndexOutOfRange {
+                index: l2_index,
+                n: self.n2,
+            });
         }
         Ok(Share::new(self.n1 + l2_index, value.as_bytes().to_vec()))
     }
@@ -339,16 +442,27 @@ impl BackendCodec for ReplicationBackend {
         l1_index: usize,
     ) -> Result<HelperData, CodeError> {
         if l1_index >= self.n1 {
-            return Err(CodeError::IndexOutOfRange { index: l1_index, n: self.n1 });
+            return Err(CodeError::IndexOutOfRange {
+                index: l1_index,
+                n: self.n1,
+            });
         }
-        Ok(HelperData::new(self.n1 + l2_index, l1_index, l2_element.data.clone()))
+        Ok(HelperData::new(
+            self.n1 + l2_index,
+            l1_index,
+            l2_element.data.clone(),
+        ))
     }
     fn regenerate_l1(&self, l1_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
-        let first = helpers.first().ok_or(CodeError::NotEnoughShares { needed: 1, got: 0 })?;
+        let first = helpers
+            .first()
+            .ok_or(CodeError::NotEnoughShares { needed: 1, got: 0 })?;
         Ok(Share::new(l1_index, first.data.clone()))
     }
     fn decode_from_l1(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
-        let first = shares.first().ok_or(CodeError::NotEnoughShares { needed: 1, got: 0 })?;
+        let first = shares
+            .first()
+            .ok_or(CodeError::NotEnoughShares { needed: 1, got: 0 })?;
         Ok(first.data.clone())
     }
 }
@@ -370,8 +484,9 @@ mod tests {
         let value = Value::from("layered data storage value");
 
         // write-to-L2 path: every L2 server gets its coded element.
-        let l2_elements: Vec<Share> =
-            (0..7).map(|i| backend.encode_l2_element(&value, i).unwrap()).collect();
+        let l2_elements: Vec<Share> = (0..7)
+            .map(|i| backend.encode_l2_element(&value, i).unwrap())
+            .collect();
 
         // regenerate-from-L2 path: L1 server 2 regenerates its element.
         let l1_index = 2;
@@ -394,7 +509,10 @@ mod tests {
                 .collect();
             c1_shares.push(backend.regenerate_l1(l1, &helpers).unwrap());
         }
-        assert_eq!(backend.decode_from_l1(&c1_shares).unwrap(), value.as_bytes());
+        assert_eq!(
+            backend.decode_from_l1(&c1_shares).unwrap(),
+            value.as_bytes()
+        );
         assert_eq!(regenerated.index, l1_index);
     }
 
@@ -477,12 +595,18 @@ mod tests {
             for l1 in 0..backend.decode_threshold() {
                 let helpers: Vec<HelperData> = (0..backend.repair_threshold())
                     .map(|i| {
-                        backend.helper_for_l1(&backend.initial_l2_element(i), i, l1).unwrap()
+                        backend
+                            .helper_for_l1(&backend.initial_l2_element(i), i, l1)
+                            .unwrap()
                     })
                     .collect();
                 c1.push(backend.regenerate_l1(l1, &helpers).unwrap());
             }
-            assert_eq!(backend.decode_from_l1(&c1).unwrap(), Vec::<u8>::new(), "{kind}");
+            assert_eq!(
+                backend.decode_from_l1(&c1).unwrap(),
+                Vec::<u8>::new(),
+                "{kind}"
+            );
         }
     }
 

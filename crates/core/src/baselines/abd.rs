@@ -32,7 +32,10 @@ impl AbdServer {
 
     /// The tag currently stored for an object.
     pub fn stored_tag(&self, obj: ObjectId) -> Tag {
-        self.objects.get(&obj).map(|(t, _)| *t).unwrap_or_else(Tag::initial)
+        self.objects
+            .get(&obj)
+            .map(|(t, _)| *t)
+            .unwrap_or_else(Tag::initial)
     }
 }
 
@@ -54,11 +57,26 @@ impl Process<BaselineMessage, ProtocolEvent> for AbdServer {
                     .get(&obj)
                     .cloned()
                     .unwrap_or_else(|| (Tag::initial(), Value::initial()));
-                ctx.send(from, BaselineMessage::ValueResp { obj, op, tag, value });
+                ctx.send(
+                    from,
+                    BaselineMessage::ValueResp {
+                        obj,
+                        op,
+                        tag,
+                        value,
+                    },
+                );
             }
-            BaselineMessage::Store { obj, op, tag, value } => {
-                let entry =
-                    self.objects.entry(obj).or_insert_with(|| (Tag::initial(), Value::initial()));
+            BaselineMessage::Store {
+                obj,
+                op,
+                tag,
+                value,
+            } => {
+                let entry = self
+                    .objects
+                    .entry(obj)
+                    .or_insert_with(|| (Tag::initial(), Value::initial()));
                 if tag > entry.0 {
                     *entry = (tag, value);
                 }
@@ -102,7 +120,12 @@ pub struct AbdClient {
 impl AbdClient {
     /// Creates a client that talks to the given replicas.
     pub fn new(id: ClientId, servers: Vec<ProcessId>) -> Self {
-        AbdClient { id, servers, next_seq: 0, current: None }
+        AbdClient {
+            id,
+            servers,
+            next_seq: 0,
+            current: None,
+        }
     }
 
     fn quorum(&self) -> usize {
@@ -139,7 +162,10 @@ impl Process<BaselineMessage, ProtocolEvent> for AbdClient {
                     acks: HashSet::new(),
                     is_write: true,
                 });
-                ctx.send_all(self.servers.iter().copied(), BaselineMessage::QueryTag { obj, op });
+                ctx.send_all(
+                    self.servers.iter().copied(),
+                    BaselineMessage::QueryTag { obj, op },
+                );
             }
             BaselineMessage::InvokeRead { obj } => {
                 assert!(self.current.is_none(), "ABD clients must be well-formed");
@@ -157,13 +183,18 @@ impl Process<BaselineMessage, ProtocolEvent> for AbdClient {
                     acks: HashSet::new(),
                     is_write: false,
                 });
-                ctx.send_all(self.servers.iter().copied(), BaselineMessage::QueryValue { obj, op });
+                ctx.send_all(
+                    self.servers.iter().copied(),
+                    BaselineMessage::QueryValue { obj, op },
+                );
             }
             BaselineMessage::TagResp { op, tag, .. } => {
                 let quorum = self.quorum();
                 let servers = self.servers.clone();
                 let id = self.id;
-                let Some(cur) = self.current.as_mut() else { return };
+                let Some(cur) = self.current.as_mut() else {
+                    return;
+                };
                 if cur.op != op || cur.phase != Phase::WriteQuery {
                     return;
                 }
@@ -171,7 +202,12 @@ impl Process<BaselineMessage, ProtocolEvent> for AbdClient {
                 if cur.tag_responses.len() < quorum {
                     return;
                 }
-                let max = cur.tag_responses.values().max().copied().unwrap_or_else(Tag::initial);
+                let max = cur
+                    .tag_responses
+                    .values()
+                    .max()
+                    .copied()
+                    .unwrap_or_else(Tag::initial);
                 cur.tag = max.next(id);
                 cur.phase = Phase::WriteStore;
                 let msg = BaselineMessage::Store {
@@ -185,7 +221,9 @@ impl Process<BaselineMessage, ProtocolEvent> for AbdClient {
             BaselineMessage::ValueResp { op, tag, value, .. } => {
                 let quorum = self.quorum();
                 let servers = self.servers.clone();
-                let Some(cur) = self.current.as_mut() else { return };
+                let Some(cur) = self.current.as_mut() else {
+                    return;
+                };
                 if cur.op != op || cur.phase != Phase::ReadQuery {
                     return;
                 }
@@ -202,13 +240,19 @@ impl Process<BaselineMessage, ProtocolEvent> for AbdClient {
                 cur.tag = tag;
                 cur.value = value.clone();
                 cur.phase = Phase::ReadWriteBack;
-                let msg =
-                    BaselineMessage::Store { obj: cur.obj, op: cur.op, tag, value };
+                let msg = BaselineMessage::Store {
+                    obj: cur.obj,
+                    op: cur.op,
+                    tag,
+                    value,
+                };
                 ctx.send_all(servers, msg);
             }
             BaselineMessage::Ack { op, .. } => {
                 let quorum = self.quorum();
-                let Some(cur) = self.current.as_mut() else { return };
+                let Some(cur) = self.current.as_mut() else {
+                    return;
+                };
                 if cur.op != op
                     || !(cur.phase == Phase::WriteStore || cur.phase == Phase::ReadWriteBack)
                 {
@@ -249,7 +293,14 @@ mod tests {
     use crate::consistency::History;
     use lds_sim::{SimConfig, Simulation};
 
-    fn build(n: usize, clients: usize) -> (Simulation<BaselineMessage, ProtocolEvent>, Vec<ProcessId>, Vec<ProcessId>) {
+    fn build(
+        n: usize,
+        clients: usize,
+    ) -> (
+        Simulation<BaselineMessage, ProtocolEvent>,
+        Vec<ProcessId>,
+        Vec<ProcessId>,
+    ) {
         let mut sim = Simulation::new(SimConfig::with_seed(11));
         let servers: Vec<ProcessId> = (0..n).map(|_| sim.spawn(AbdServer::new(), 1)).collect();
         let client_ids: Vec<ProcessId> = (0..clients)
@@ -261,16 +312,26 @@ mod tests {
     #[test]
     fn write_then_read_returns_value() {
         let (mut sim, servers, clients) = build(5, 2);
-        sim.inject_at(0.0, clients[0], BaselineMessage::InvokeWrite {
-            obj: ObjectId(0),
-            value: Value::from("abd value"),
-        });
-        sim.inject_at(50.0, clients[1], BaselineMessage::InvokeRead { obj: ObjectId(0) });
+        sim.inject_at(
+            0.0,
+            clients[0],
+            BaselineMessage::InvokeWrite {
+                obj: ObjectId(0),
+                value: Value::from("abd value"),
+            },
+        );
+        sim.inject_at(
+            50.0,
+            clients[1],
+            BaselineMessage::InvokeRead { obj: ObjectId(0) },
+        );
         sim.run();
         let events = sim.events();
         assert_eq!(events.len(), 2);
         match &events[1].2 {
-            ProtocolEvent::ReadCompleted { value, .. } => assert_eq!(value.as_bytes(), b"abd value"),
+            ProtocolEvent::ReadCompleted { value, .. } => {
+                assert_eq!(value.as_bytes(), b"abd value")
+            }
             other => panic!("unexpected event {other:?}"),
         }
         // Every replica that processed the store holds the full value.
@@ -286,11 +347,19 @@ mod tests {
         let (mut sim, _servers, clients) = build(5, 2);
         for round in 0..5u64 {
             let t = round as f64 * 7.0;
-            sim.inject_at(t, clients[0], BaselineMessage::InvokeWrite {
-                obj: ObjectId(0),
-                value: Value::new(format!("v{round}").into_bytes()),
-            });
-            sim.inject_at(t + 1.0, clients[1], BaselineMessage::InvokeRead { obj: ObjectId(0) });
+            sim.inject_at(
+                t,
+                clients[0],
+                BaselineMessage::InvokeWrite {
+                    obj: ObjectId(0),
+                    value: Value::new(format!("v{round}").into_bytes()),
+                },
+            );
+            sim.inject_at(
+                t + 1.0,
+                clients[1],
+                BaselineMessage::InvokeRead { obj: ObjectId(0) },
+            );
         }
         sim.run();
         let events = sim.take_events();
@@ -305,11 +374,19 @@ mod tests {
         let (mut sim, servers, clients) = build(5, 1);
         sim.schedule_crash(0.0, servers[0]);
         sim.schedule_crash(0.0, servers[1]);
-        sim.inject_at(1.0, clients[0], BaselineMessage::InvokeWrite {
-            obj: ObjectId(0),
-            value: Value::from("survives"),
-        });
+        sim.inject_at(
+            1.0,
+            clients[0],
+            BaselineMessage::InvokeWrite {
+                obj: ObjectId(0),
+                value: Value::from("survives"),
+            },
+        );
         sim.run();
-        assert_eq!(sim.events().len(), 1, "write completes despite f = 2 crashes");
+        assert_eq!(
+            sim.events().len(),
+            1,
+            "write completes despite f = 2 crashes"
+        );
     }
 }

@@ -38,7 +38,10 @@ pub struct CasServer {
 impl CasServer {
     /// Creates a CAS server with code index `index`.
     pub fn new(index: usize) -> Self {
-        CasServer { index, objects: HashMap::new() }
+        CasServer {
+            index,
+            objects: HashMap::new(),
+        }
     }
 
     /// Bytes of coded data stored across all objects and tags.
@@ -59,7 +62,10 @@ impl CasServer {
         self.objects
             .get(&obj)
             .and_then(|m| {
-                m.iter().rev().find(|(_, (_, label))| *label == Label::Fin).map(|(t, _)| *t)
+                m.iter()
+                    .rev()
+                    .find(|(_, (_, label))| *label == Label::Fin)
+                    .map(|(t, _)| *t)
             })
             .unwrap_or_else(Tag::initial)
     }
@@ -77,7 +83,12 @@ impl Process<BaselineMessage, ProtocolEvent> for CasServer {
                 let tag = self.highest_fin_tag(obj);
                 ctx.send(from, BaselineMessage::TagResp { obj, op, tag });
             }
-            BaselineMessage::PreWrite { obj, op, tag, element } => {
+            BaselineMessage::PreWrite {
+                obj,
+                op,
+                tag,
+                element,
+            } => {
                 self.objects
                     .entry(obj)
                     .or_default()
@@ -101,7 +112,15 @@ impl Process<BaselineMessage, ProtocolEvent> for CasServer {
                     .get(&obj)
                     .and_then(|m| m.get(&tag))
                     .and_then(|(s, _)| s.clone());
-                ctx.send(from, BaselineMessage::ElemResp { obj, op, tag, element });
+                ctx.send(
+                    from,
+                    BaselineMessage::ElemResp {
+                        obj,
+                        op,
+                        tag,
+                        element,
+                    },
+                );
             }
             _ => {}
         }
@@ -150,7 +169,13 @@ impl CasClient {
     pub fn new(id: ClientId, servers: Vec<ProcessId>, k: usize) -> Self {
         let code = ReedSolomon::with_dimensions(servers.len(), k)
             .expect("valid (n, k) for the CAS baseline");
-        CasClient { id, servers, code: Arc::new(code), next_seq: 0, current: None }
+        CasClient {
+            id,
+            servers,
+            code: Arc::new(code),
+            next_seq: 0,
+            current: None,
+        }
     }
 
     /// Quorum size `⌈(n + k)/2⌉`.
@@ -188,7 +213,10 @@ impl Process<BaselineMessage, ProtocolEvent> for CasClient {
                     elements: HashMap::new(),
                     elem_responders: HashSet::new(),
                 });
-                ctx.send_all(self.servers.iter().copied(), BaselineMessage::QueryTag { obj, op });
+                ctx.send_all(
+                    self.servers.iter().copied(),
+                    BaselineMessage::QueryTag { obj, op },
+                );
             }
             BaselineMessage::InvokeRead { obj } => {
                 assert!(self.current.is_none(), "CAS clients must be well-formed");
@@ -206,14 +234,19 @@ impl Process<BaselineMessage, ProtocolEvent> for CasClient {
                     elements: HashMap::new(),
                     elem_responders: HashSet::new(),
                 });
-                ctx.send_all(self.servers.iter().copied(), BaselineMessage::QueryTag { obj, op });
+                ctx.send_all(
+                    self.servers.iter().copied(),
+                    BaselineMessage::QueryTag { obj, op },
+                );
             }
             BaselineMessage::TagResp { op, tag, .. } => {
                 let quorum = self.quorum();
                 let servers = self.servers.clone();
                 let id = self.id;
                 let code = Arc::clone(&self.code);
-                let Some(cur) = self.current.as_mut() else { return };
+                let Some(cur) = self.current.as_mut() else {
+                    return;
+                };
                 if cur.op != op
                     || !(cur.phase == Phase::WriteQueryTag || cur.phase == Phase::ReadQueryTag)
                 {
@@ -223,7 +256,12 @@ impl Process<BaselineMessage, ProtocolEvent> for CasClient {
                 if cur.tag_responses.len() < quorum {
                     return;
                 }
-                let max = cur.tag_responses.values().max().copied().unwrap_or_else(Tag::initial);
+                let max = cur
+                    .tag_responses
+                    .values()
+                    .max()
+                    .copied()
+                    .unwrap_or_else(Tag::initial);
                 if cur.phase == Phase::WriteQueryTag {
                     cur.tag = max.next(id);
                     cur.phase = Phase::PreWrite;
@@ -235,19 +273,33 @@ impl Process<BaselineMessage, ProtocolEvent> for CasClient {
                         let element = code
                             .encode_share(value.as_bytes(), i)
                             .expect("indices are within the code length");
-                        ctx.send(server, BaselineMessage::PreWrite { obj, op, tag, element });
+                        ctx.send(
+                            server,
+                            BaselineMessage::PreWrite {
+                                obj,
+                                op,
+                                tag,
+                                element,
+                            },
+                        );
                     }
                 } else {
                     cur.tag = max;
                     cur.phase = Phase::CollectElems;
-                    let msg = BaselineMessage::QueryElem { obj: cur.obj, op: cur.op, tag: max };
+                    let msg = BaselineMessage::QueryElem {
+                        obj: cur.obj,
+                        op: cur.op,
+                        tag: max,
+                    };
                     ctx.send_all(servers, msg);
                 }
             }
             BaselineMessage::Ack { op, tag, .. } => {
                 let quorum = self.quorum();
                 let servers = self.servers.clone();
-                let Some(cur) = self.current.as_mut() else { return };
+                let Some(cur) = self.current.as_mut() else {
+                    return;
+                };
                 if cur.op != op || cur.tag != tag {
                     return;
                 }
@@ -257,8 +309,11 @@ impl Process<BaselineMessage, ProtocolEvent> for CasClient {
                         if cur.acks.len() >= quorum {
                             cur.acks.clear();
                             cur.phase = Phase::Finalize;
-                            let msg =
-                                BaselineMessage::Finalize { obj: cur.obj, op: cur.op, tag };
+                            let msg = BaselineMessage::Finalize {
+                                obj: cur.obj,
+                                op: cur.op,
+                                tag,
+                            };
                             ctx.send_all(servers, msg);
                         }
                     }
@@ -278,11 +333,15 @@ impl Process<BaselineMessage, ProtocolEvent> for CasClient {
                     _ => {}
                 }
             }
-            BaselineMessage::ElemResp { op, tag, element, .. } => {
+            BaselineMessage::ElemResp {
+                op, tag, element, ..
+            } => {
                 let quorum = self.quorum();
                 let k = self.code.params().k();
                 let code = Arc::clone(&self.code);
-                let Some(cur) = self.current.as_mut() else { return };
+                let Some(cur) = self.current.as_mut() else {
+                    return;
+                };
                 if cur.op != op || cur.phase != Phase::CollectElems || cur.tag != tag {
                     return;
                 }
@@ -292,7 +351,11 @@ impl Process<BaselineMessage, ProtocolEvent> for CasClient {
                 }
                 let decoded = if cur.tag.is_initial() {
                     // Initial value: nothing was ever written.
-                    if cur.elem_responders.len() >= quorum { Some(Vec::new()) } else { None }
+                    if cur.elem_responders.len() >= quorum {
+                        Some(Vec::new())
+                    } else {
+                        None
+                    }
                 } else if cur.elements.len() >= k {
                     let shares: Vec<Share> = cur.elements.values().cloned().collect();
                     code.decode(&shares).ok()
@@ -324,11 +387,20 @@ mod tests {
         n: usize,
         k: usize,
         clients: usize,
-    ) -> (Simulation<BaselineMessage, ProtocolEvent>, Vec<ProcessId>, Vec<ProcessId>) {
+    ) -> (
+        Simulation<BaselineMessage, ProtocolEvent>,
+        Vec<ProcessId>,
+        Vec<ProcessId>,
+    ) {
         let mut sim = Simulation::new(SimConfig::with_seed(3));
         let servers: Vec<ProcessId> = (0..n).map(|i| sim.spawn(CasServer::new(i), 1)).collect();
         let client_pids: Vec<ProcessId> = (0..clients)
-            .map(|i| sim.spawn(CasClient::new(ClientId(i as u64 + 1), servers.clone(), k), 0))
+            .map(|i| {
+                sim.spawn(
+                    CasClient::new(ClientId(i as u64 + 1), servers.clone(), k),
+                    0,
+                )
+            })
             .collect();
         (sim, servers, client_pids)
     }
@@ -336,11 +408,19 @@ mod tests {
     #[test]
     fn write_then_read_roundtrips() {
         let (mut sim, servers, clients) = build(6, 3, 2);
-        sim.inject_at(0.0, clients[0], BaselineMessage::InvokeWrite {
-            obj: ObjectId(0),
-            value: Value::from("coded atomic storage"),
-        });
-        sim.inject_at(100.0, clients[1], BaselineMessage::InvokeRead { obj: ObjectId(0) });
+        sim.inject_at(
+            0.0,
+            clients[0],
+            BaselineMessage::InvokeWrite {
+                obj: ObjectId(0),
+                value: Value::from("coded atomic storage"),
+            },
+        );
+        sim.inject_at(
+            100.0,
+            clients[1],
+            BaselineMessage::InvokeRead { obj: ObjectId(0) },
+        );
         sim.run();
         let events = sim.events();
         assert_eq!(events.len(), 2);
@@ -351,14 +431,21 @@ mod tests {
             other => panic!("unexpected event {other:?}"),
         }
         // Each server stores roughly |v|/k, not the full value.
-        let per_server = sim.process_ref::<CasServer>(servers[0]).unwrap().storage_bytes();
+        let per_server = sim
+            .process_ref::<CasServer>(servers[0])
+            .unwrap()
+            .storage_bytes();
         assert!(per_server < "coded atomic storage".len());
     }
 
     #[test]
     fn read_before_any_write_returns_initial_value() {
         let (mut sim, _servers, clients) = build(5, 2, 1);
-        sim.inject_at(0.0, clients[0], BaselineMessage::InvokeRead { obj: ObjectId(0) });
+        sim.inject_at(
+            0.0,
+            clients[0],
+            BaselineMessage::InvokeRead { obj: ObjectId(0) },
+        );
         sim.run();
         match &sim.events()[0].2 {
             ProtocolEvent::ReadCompleted { value, .. } => assert!(value.is_empty()),
@@ -371,11 +458,19 @@ mod tests {
         let (mut sim, _servers, clients) = build(6, 3, 2);
         for round in 0..4u64 {
             let t = round as f64 * 9.0;
-            sim.inject_at(t, clients[0], BaselineMessage::InvokeWrite {
-                obj: ObjectId(0),
-                value: Value::new(format!("cas{round}").into_bytes()),
-            });
-            sim.inject_at(t + 2.0, clients[1], BaselineMessage::InvokeRead { obj: ObjectId(0) });
+            sim.inject_at(
+                t,
+                clients[0],
+                BaselineMessage::InvokeWrite {
+                    obj: ObjectId(0),
+                    value: Value::new(format!("cas{round}").into_bytes()),
+                },
+            );
+            sim.inject_at(
+                t + 2.0,
+                clients[1],
+                BaselineMessage::InvokeRead { obj: ObjectId(0) },
+            );
         }
         sim.run();
         let events = sim.take_events();

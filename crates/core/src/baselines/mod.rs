@@ -176,16 +176,33 @@ mod tests {
         let tag = Tag::initial();
         assert_eq!(BaselineMessage::QueryTag { obj, op }.data_size(), 0);
         assert_eq!(
-            BaselineMessage::Store { obj, op, tag, value: Value::new(vec![0; 9]) }.data_size(),
+            BaselineMessage::Store {
+                obj,
+                op,
+                tag,
+                value: Value::new(vec![0; 9])
+            }
+            .data_size(),
             9
         );
         assert_eq!(
-            BaselineMessage::ElemResp { obj, op, tag, element: None }.data_size(),
+            BaselineMessage::ElemResp {
+                obj,
+                op,
+                tag,
+                element: None
+            }
+            .data_size(),
             0
         );
         assert_eq!(
-            BaselineMessage::ElemResp { obj, op, tag, element: Some(Share::new(0, vec![0; 5])) }
-                .data_size(),
+            BaselineMessage::ElemResp {
+                obj,
+                op,
+                tag,
+                element: Some(Share::new(0, vec![0; 5]))
+            }
+            .data_size(),
             5
         );
         assert_eq!(BaselineMessage::Ack { obj, op, tag }.kind(), "BL-ACK");

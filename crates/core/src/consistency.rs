@@ -159,7 +159,12 @@ impl History {
     /// Operations restricted to one object, preserving order.
     pub fn for_object(&self, obj: ObjectId) -> History {
         History {
-            operations: self.operations.iter().filter(|o| o.obj == obj).cloned().collect(),
+            operations: self
+                .operations
+                .iter()
+                .filter(|o| o.obj == obj)
+                .cloned()
+                .collect(),
         }
     }
 
@@ -221,8 +226,8 @@ impl History {
         for a in &self.operations {
             for b in &self.operations {
                 if a.precedes(b) {
-                    let b_before_a = b.tag < a.tag
-                        || (b.tag == a.tag && b.is_write() && !a.is_write());
+                    let b_before_a =
+                        b.tag < a.tag || (b.tag == a.tag && b.is_write() && !a.is_write());
                     if b_before_a {
                         return Err(AtomicityViolation::RealTimeViolation {
                             earlier: a.op,
@@ -258,8 +263,11 @@ impl History {
             return Ok(());
         }
         // Values must be attributable.
-        let written: HashSet<&[u8]> =
-            ops.iter().filter(|o| o.is_write()).map(|o| o.value().as_bytes()).collect();
+        let written: HashSet<&[u8]> = ops
+            .iter()
+            .filter(|o| o.is_write())
+            .map(|o| o.value().as_bytes())
+            .collect();
         for o in ops.iter().filter(|o| !o.is_write()) {
             if !o.value().is_empty() && !written.contains(o.value().as_bytes()) {
                 return Err(AtomicityViolation::UnknownValue { read: o.op });
@@ -294,9 +302,8 @@ impl History {
                 if blocked {
                     continue;
                 }
-                let next_written;
-                if ops[i].is_write() {
-                    next_written = i;
+                let next_written = if ops[i].is_write() {
+                    i
                 } else {
                     let current: &[u8] = if last_written == usize::MAX {
                         &[]
@@ -306,8 +313,8 @@ impl History {
                     if ops[i].value().as_bytes() != current {
                         continue;
                     }
-                    next_written = last_written;
-                }
+                    last_written
+                };
                 done[i] = true;
                 if dfs(ops, done, next_written, memo) {
                     done[i] = false;
@@ -335,26 +342,34 @@ impl History {
         let mut history = History::new();
         for (event, completed_at) in events {
             let op = match event {
-                crate::messages::ProtocolEvent::WriteCompleted { op, obj, tag, value, invoked_at } => {
-                    Operation {
-                        op,
-                        obj,
-                        kind: OperationKind::Write(value),
-                        invoked_at,
-                        completed_at,
-                        tag,
-                    }
-                }
-                crate::messages::ProtocolEvent::ReadCompleted { op, obj, tag, value, invoked_at } => {
-                    Operation {
-                        op,
-                        obj,
-                        kind: OperationKind::Read(value),
-                        invoked_at,
-                        completed_at,
-                        tag,
-                    }
-                }
+                crate::messages::ProtocolEvent::WriteCompleted {
+                    op,
+                    obj,
+                    tag,
+                    value,
+                    invoked_at,
+                } => Operation {
+                    op,
+                    obj,
+                    kind: OperationKind::Write(value),
+                    invoked_at,
+                    completed_at,
+                    tag,
+                },
+                crate::messages::ProtocolEvent::ReadCompleted {
+                    op,
+                    obj,
+                    tag,
+                    value,
+                    invoked_at,
+                } => Operation {
+                    op,
+                    obj,
+                    kind: OperationKind::Read(value),
+                    invoked_at,
+                    completed_at,
+                    tag,
+                },
             };
             history.record(op);
         }
@@ -441,7 +456,10 @@ mod tests {
             let mut h = History::new();
             h.record(write(0, 1, t1, "new", 0.0, 10.0));
             h.record(read(0, 2, tag, value, 1.0, 2.0));
-            assert!(h.check_atomicity().is_ok(), "value {value:?} should be allowed");
+            assert!(
+                h.check_atomicity().is_ok(),
+                "value {value:?} should be allowed"
+            );
             assert!(h.check_linearizable_search().is_ok());
         }
     }
@@ -451,7 +469,10 @@ mod tests {
         let mut h = History::new();
         h.record(write(0, 1, Tag::new(1, ClientId(1)), "a", 0.0, 1.0));
         h.record(read(0, 2, Tag::new(7, ClientId(9)), "ghost", 2.0, 3.0));
-        assert!(matches!(h.check_atomicity(), Err(AtomicityViolation::UnknownValue { .. })));
+        assert!(matches!(
+            h.check_atomicity(),
+            Err(AtomicityViolation::UnknownValue { .. })
+        ));
         assert!(matches!(
             h.check_linearizable_search(),
             Err(AtomicityViolation::UnknownValue { .. })
@@ -465,7 +486,10 @@ mod tests {
         h.record(write(0, 1, t1, "a", 0.0, 1.0));
         h.record(read(0, 2, t1, "b", 2.0, 3.0));
         // The tag checker flags the mismatch...
-        assert!(matches!(h.check_atomicity(), Err(AtomicityViolation::TagValueMismatch { .. })));
+        assert!(matches!(
+            h.check_atomicity(),
+            Err(AtomicityViolation::TagValueMismatch { .. })
+        ));
         // ...and the search cannot attribute the value either.
         assert!(h.check_linearizable_search().is_err());
     }
@@ -476,7 +500,10 @@ mod tests {
         let t = Tag::new(3, ClientId(1));
         h.record(write(0, 1, t, "a", 0.0, 1.0));
         h.record(write(0, 2, t, "b", 2.0, 3.0));
-        assert!(matches!(h.check_atomicity(), Err(AtomicityViolation::DuplicateWriteTag { .. })));
+        assert!(matches!(
+            h.check_atomicity(),
+            Err(AtomicityViolation::DuplicateWriteTag { .. })
+        ));
     }
 
     #[test]
@@ -529,8 +556,12 @@ mod tests {
 
     #[test]
     fn violation_messages_are_informative() {
-        let v = AtomicityViolation::UnknownValue { read: OpId::new(ClientId(1), 0) };
+        let v = AtomicityViolation::UnknownValue {
+            read: OpId::new(ClientId(1), 0),
+        };
         assert!(v.to_string().contains("read"));
-        assert!(AtomicityViolation::NoLinearization.to_string().contains("linearization"));
+        assert!(AtomicityViolation::NoLinearization
+            .to_string()
+            .contains("linearization"));
     }
 }

@@ -10,8 +10,12 @@ use crate::params::SystemParams;
 /// Communication cost of a write operation (Lemma V.2):
 /// `n1 + n1·n2·2d / (k(2d − k + 1))`, which is `Θ(n1)`.
 pub fn write_cost(params: &SystemParams) -> f64 {
-    let (n1, n2, k, d) =
-        (params.n1() as f64, params.n2() as f64, params.k() as f64, params.d() as f64);
+    let (n1, n2, k, d) = (
+        params.n1() as f64,
+        params.n2() as f64,
+        params.k() as f64,
+        params.d() as f64,
+    );
     n1 + n1 * n2 * 2.0 * d / (k * (2.0 * d - k + 1.0))
 }
 
@@ -19,8 +23,12 @@ pub fn write_cost(params: &SystemParams) -> f64 {
 /// `n1·(1 + n2/d)·2d / (k(2d − k + 1)) + n1·I(δ > 0)`, which is
 /// `Θ(1) + n1·I(δ > 0)`.
 pub fn read_cost(params: &SystemParams, concurrency_delta: usize) -> f64 {
-    let (n1, n2, k, d) =
-        (params.n1() as f64, params.n2() as f64, params.k() as f64, params.d() as f64);
+    let (n1, n2, k, d) = (
+        params.n1() as f64,
+        params.n2() as f64,
+        params.k() as f64,
+        params.d() as f64,
+    );
     let base = n1 * (1.0 + n2 / d) * 2.0 * d / (k * (2.0 * d - k + 1.0));
     base + if concurrency_delta > 0 { n1 } else { 0.0 }
 }
@@ -95,8 +103,7 @@ impl LatencyBounds {
     /// Upper bound on the duration of the *extended* write (Lemma V.4):
     /// `max(3·τ1 + 2·τ0 + 2·τ2, 4·τ1 + 2·τ0)`.
     pub fn extended_write_latency_bound(&self) -> f64 {
-        (3.0 * self.tau1 + 2.0 * self.tau0 + 2.0 * self.tau2)
-            .max(4.0 * self.tau1 + 2.0 * self.tau0)
+        (3.0 * self.tau1 + 2.0 * self.tau0 + 2.0 * self.tau2).max(4.0 * self.tau1 + 2.0 * self.tau0)
     }
 
     /// Upper bound on the duration of a successful read (Lemma V.4):
@@ -127,7 +134,10 @@ mod tests {
         let small = SystemParams::symmetric(20, 2).unwrap();
         let large = SystemParams::symmetric(100, 10).unwrap();
         let ratio = write_cost(&large) / write_cost(&small);
-        assert!(ratio > 3.0 && ratio < 7.0, "write cost should scale roughly with n1, got {ratio}");
+        assert!(
+            ratio > 3.0 && ratio < 7.0,
+            "write cost should scale roughly with n1, got {ratio}"
+        );
         // Explicit value for the paper configuration.
         let p = paper_params();
         let expected = 100.0 + 100.0 * 100.0 * 160.0 / (80.0 * 81.0);
@@ -143,7 +153,10 @@ mod tests {
             .collect();
         let spread = costs.iter().cloned().fold(f64::MIN, f64::max)
             - costs.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread < 1.5, "read cost at delta=0 is Θ(1), spread was {spread}: {costs:?}");
+        assert!(
+            spread < 1.5,
+            "read cost at delta=0 is Θ(1), spread was {spread}: {costs:?}"
+        );
         // δ > 0 adds n1.
         let p = paper_params();
         assert!((read_cost(&p, 3) - read_cost(&p, 0) - 100.0).abs() < 1e-9);
@@ -176,9 +189,13 @@ mod tests {
         // independent of N, so the linear L2 term overtakes it eventually —
         // here around N ≈ 101k).
         assert!(
-            l2_storage_bound_multi_object(&p, 200_000) > l1_storage_bound_multi_object(&p, theta, mu)
+            l2_storage_bound_multi_object(&p, 200_000)
+                > l1_storage_bound_multi_object(&p, theta, mu)
         );
-        assert!(l2_storage_bound_multi_object(&p, 10_000) < l1_storage_bound_multi_object(&p, theta, mu));
+        assert!(
+            l2_storage_bound_multi_object(&p, 10_000)
+                < l1_storage_bound_multi_object(&p, theta, mu)
+        );
         assert!(theta_threshold(&p, 10_000, mu) > theta);
     }
 

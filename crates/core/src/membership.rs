@@ -78,6 +78,10 @@ mod tests {
     fn relay_set_is_first_f1_plus_one() {
         let m = Membership::new(pids(0..5), pids(5..8));
         assert_eq!(m.broadcast_relays(1), &[ProcessId(0), ProcessId(1)]);
-        assert_eq!(m.broadcast_relays(10).len(), 5, "relay set never exceeds n1");
+        assert_eq!(
+            m.broadcast_relays(10).len(),
+            5,
+            "relay set never exceeds n1"
+        );
     }
 }

@@ -300,18 +300,16 @@ impl ProtocolEvent {
     /// The object the operation acted on.
     pub fn object(&self) -> ObjectId {
         match self {
-            ProtocolEvent::WriteCompleted { obj, .. } | ProtocolEvent::ReadCompleted { obj, .. } => {
-                *obj
-            }
+            ProtocolEvent::WriteCompleted { obj, .. }
+            | ProtocolEvent::ReadCompleted { obj, .. } => *obj,
         }
     }
 
     /// The tag associated with the operation.
     pub fn tag(&self) -> Tag {
         match self {
-            ProtocolEvent::WriteCompleted { tag, .. } | ProtocolEvent::ReadCompleted { tag, .. } => {
-                *tag
-            }
+            ProtocolEvent::WriteCompleted { tag, .. }
+            | ProtocolEvent::ReadCompleted { tag, .. } => *tag,
         }
     }
 }
@@ -328,7 +326,12 @@ mod tests {
         let tag = Tag::initial();
         let value = Value::new(vec![0u8; 100]);
 
-        let put = LdsMessage::PutData { obj, op, tag, value: value.clone() };
+        let put = LdsMessage::PutData {
+            obj,
+            op,
+            tag,
+            value: value.clone(),
+        };
         assert_eq!(put.data_size(), 100);
         assert_eq!(put.kind(), "PUT-DATA");
 
@@ -343,7 +346,12 @@ mod tests {
         };
         assert_eq!(coded.data_size(), 25);
 
-        let miss = LdsMessage::DataResp { obj, op, tag: None, payload: ReadPayload::None };
+        let miss = LdsMessage::DataResp {
+            obj,
+            op,
+            tag: None,
+            payload: ReadPayload::None,
+        };
         assert_eq!(miss.data_size(), 0);
 
         let helper = LdsMessage::SendHelperElem {
@@ -356,7 +364,11 @@ mod tests {
         assert_eq!(helper.data_size(), 7);
         assert_eq!(helper.kind(), "SEND-HELPER-ELEM");
 
-        let bcast = LdsMessage::BcastDeliver { obj, tag, origin: ProcessId(2) };
+        let bcast = LdsMessage::BcastDeliver {
+            obj,
+            tag,
+            origin: ProcessId(2),
+        };
         assert_eq!(bcast.data_size(), 0);
         assert_eq!(bcast.kind(), "COMMIT-TAG");
     }

@@ -52,15 +52,21 @@ impl SystemParams {
             return Err(InvalidParams("both layers need at least one server".into()));
         }
         if 2 * f1 >= n1 {
-            return Err(InvalidParams(format!("need f1 < n1/2 (got f1={f1}, n1={n1})")));
+            return Err(InvalidParams(format!(
+                "need f1 < n1/2 (got f1={f1}, n1={n1})"
+            )));
         }
         if 3 * f2 >= n2 {
-            return Err(InvalidParams(format!("need f2 < n2/3 (got f2={f2}, n2={n2})")));
+            return Err(InvalidParams(format!(
+                "need f2 < n2/3 (got f2={f2}, n2={n2})"
+            )));
         }
         let k = n1 - 2 * f1;
         let d = n2 - 2 * f2;
         if k == 0 {
-            return Err(InvalidParams("derived k = n1 - 2*f1 must be at least 1".into()));
+            return Err(InvalidParams(
+                "derived k = n1 - 2*f1 must be at least 1".into(),
+            ));
         }
         if k > d {
             return Err(InvalidParams(format!(
@@ -70,7 +76,14 @@ impl SystemParams {
         if d <= f2 {
             return Err(InvalidParams(format!("need d > f2 (got d={d}, f2={f2})")));
         }
-        Ok(SystemParams { n1, n2, f1, f2, k, d })
+        Ok(SystemParams {
+            n1,
+            n2,
+            f1,
+            f2,
+            k,
+            d,
+        })
     }
 
     /// Builds parameters from fault tolerances and code parameters, deriving

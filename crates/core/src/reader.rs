@@ -47,6 +47,9 @@ struct ReadOp {
     /// The selected result, fixed when entering put-tag.
     result: Option<(Tag, Value)>,
     put_tag_acks: HashSet<ProcessId>,
+    /// Scratch buffer reused across decode attempts while get-data responses
+    /// trickle in (a failed attempt keeps its capacity for the next one).
+    decode_scratch: Vec<u8>,
 }
 
 /// The reader client automaton.
@@ -75,7 +78,11 @@ impl ReaderClient {
         membership: Membership,
         backend: Arc<dyn BackendCodec>,
     ) -> Self {
-        assert_eq!(membership.n1(), params.n1(), "membership/params n1 mismatch");
+        assert_eq!(
+            membership.n1(),
+            params.n1(),
+            "membership/params n1 mismatch"
+        );
         ReaderClient {
             id,
             params,
@@ -129,8 +136,12 @@ impl ReaderClient {
             coded_responses: BTreeMap::new(),
             result: None,
             put_tag_acks: HashSet::new(),
+            decode_scratch: Vec::new(),
         });
-        ctx.send_all(self.membership.l1.iter().copied(), LdsMessage::QueryCommTag { obj, op });
+        ctx.send_all(
+            self.membership.l1.iter().copied(),
+            LdsMessage::QueryCommTag { obj, op },
+        );
     }
 
     fn on_comm_tag_resp(
@@ -142,7 +153,9 @@ impl ReaderClient {
     ) {
         let quorum = self.params.read_quorum();
         let membership = self.membership.l1.clone();
-        let Some(current) = self.current.as_mut() else { return };
+        let Some(current) = self.current.as_mut() else {
+            return;
+        };
         if current.op != op || current.phase != ReadPhase::GetCommittedTag {
             return;
         }
@@ -150,9 +163,18 @@ impl ReaderClient {
         if current.comm_tags.len() < quorum {
             return;
         }
-        current.treq = current.comm_tags.values().max().copied().unwrap_or_else(Tag::initial);
+        current.treq = current
+            .comm_tags
+            .values()
+            .max()
+            .copied()
+            .unwrap_or_else(Tag::initial);
         current.phase = ReadPhase::GetData;
-        let msg = LdsMessage::QueryData { obj: current.obj, op: current.op, treq: current.treq };
+        let msg = LdsMessage::QueryData {
+            obj: current.obj,
+            op: current.op,
+            treq: current.treq,
+        };
         ctx.send_all(membership, msg);
     }
 
@@ -168,7 +190,9 @@ impl ReaderClient {
         let decode_threshold = self.backend.decode_threshold();
         let backend = Arc::clone(&self.backend);
         let membership = self.membership.l1.clone();
-        let Some(current) = self.current.as_mut() else { return };
+        let Some(current) = self.current.as_mut() else {
+            return;
+        };
         if current.op != op || current.phase != ReadPhase::GetData {
             return;
         }
@@ -178,7 +202,11 @@ impl ReaderClient {
                 current.value_responses.insert(t, v);
             }
             (Some(t), ReadPayload::Coded(share)) => {
-                current.coded_responses.entry(t).or_default().insert(share.index, share);
+                current
+                    .coded_responses
+                    .entry(t)
+                    .or_default()
+                    .insert(share.index, share);
             }
             _ => {} // (⊥, ⊥): counts towards the responder set only
         }
@@ -199,7 +227,11 @@ impl ReaderClient {
             }
             if shares.len() >= decode_threshold {
                 let share_vec: Vec<Share> = shares.values().cloned().collect();
-                if let Ok(bytes) = backend.decode_from_l1(&share_vec) {
+                if backend
+                    .decode_from_l1_into(&share_vec, &mut current.decode_scratch)
+                    .is_ok()
+                {
+                    let bytes = std::mem::take(&mut current.decode_scratch);
                     best = Some((*t, Value::new(bytes), false));
                     break;
                 }
@@ -228,7 +260,9 @@ impl ReaderClient {
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
         let quorum = self.params.read_quorum();
-        let Some(current) = self.current.as_mut() else { return };
+        let Some(current) = self.current.as_mut() else {
+            return;
+        };
         if current.op != op || current.phase != ReadPhase::PutTag {
             return;
         }
@@ -259,9 +293,9 @@ impl Process<LdsMessage, ProtocolEvent> for ReaderClient {
         match msg {
             LdsMessage::InvokeRead { obj } => self.start_read(obj, ctx),
             LdsMessage::CommTagResp { op, tag, .. } => self.on_comm_tag_resp(from, op, tag, ctx),
-            LdsMessage::DataResp { op, tag, payload, .. } => {
-                self.on_data_resp(from, op, tag, payload, ctx)
-            }
+            LdsMessage::DataResp {
+                op, tag, payload, ..
+            } => self.on_data_resp(from, op, tag, payload, ctx),
             LdsMessage::AckPutTag { op, .. } => self.on_ack_put_tag(from, op, ctx),
             _ => {}
         }
@@ -289,14 +323,17 @@ mod tests {
     ) -> (Vec<(ProcessId, LdsMessage)>, Vec<ProtocolEvent>) {
         let mut outgoing = Vec::new();
         let mut events = Vec::new();
-        let mut ctx =
-            Context::standalone(ProcessId(50), SimTime::ZERO, &mut outgoing, &mut events);
+        let mut ctx = Context::standalone(ProcessId(50), SimTime::ZERO, &mut outgoing, &mut events);
         r.on_message(from, msg, &mut ctx);
         (outgoing, events.into_iter().map(|(_, _, e)| e).collect())
     }
 
     fn start_and_reach_get_data(r: &mut ReaderClient, treq: Tag) -> OpId {
-        let (out, _) = step(r, ProcessId::EXTERNAL, LdsMessage::InvokeRead { obj: ObjectId(0) });
+        let (out, _) = step(
+            r,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
         assert_eq!(out.len(), 4);
         let op = match &out[0].1 {
             LdsMessage::QueryCommTag { op, .. } => *op,
@@ -304,13 +341,19 @@ mod tests {
         };
         let mut query_data_sent = false;
         for i in 0..3 {
-            let (out, _) = step(r, ProcessId(i), LdsMessage::CommTagResp {
-                obj: ObjectId(0),
-                op,
-                tag: treq,
-            });
+            let (out, _) = step(
+                r,
+                ProcessId(i),
+                LdsMessage::CommTagResp {
+                    obj: ObjectId(0),
+                    op,
+                    tag: treq,
+                },
+            );
             if !out.is_empty() {
-                assert!(out.iter().all(|(_, m)| matches!(m, LdsMessage::QueryData { .. })));
+                assert!(out
+                    .iter()
+                    .all(|(_, m)| matches!(m, LdsMessage::QueryData { .. })));
                 query_data_sent = true;
             }
         }
@@ -328,24 +371,36 @@ mod tests {
         // Two servers answer with (tag, value) pairs for different tags, one
         // answers (⊥, ⊥); after 3 distinct responders with at least one value
         // the reader picks the highest tag and writes it back.
-        step(&mut r, ProcessId(0), LdsMessage::DataResp {
-            obj: ObjectId(0),
-            op,
-            tag: Some(Tag::new(2, ClientId(1))),
-            payload: ReadPayload::Value(Value::from("older")),
-        });
-        step(&mut r, ProcessId(1), LdsMessage::DataResp {
-            obj: ObjectId(0),
-            op,
-            tag: None,
-            payload: ReadPayload::None,
-        });
-        let (out, _) = step(&mut r, ProcessId(2), LdsMessage::DataResp {
-            obj: ObjectId(0),
-            op,
-            tag: Some(Tag::new(3, ClientId(2))),
-            payload: ReadPayload::Value(Value::from("newest")),
-        });
+        step(
+            &mut r,
+            ProcessId(0),
+            LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: Some(Tag::new(2, ClientId(1))),
+                payload: ReadPayload::Value(Value::from("older")),
+            },
+        );
+        step(
+            &mut r,
+            ProcessId(1),
+            LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: None,
+                payload: ReadPayload::None,
+            },
+        );
+        let (out, _) = step(
+            &mut r,
+            ProcessId(2),
+            LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: Some(Tag::new(3, ClientId(2))),
+                payload: ReadPayload::Value(Value::from("newest")),
+            },
+        );
         assert_eq!(out.len(), 4);
         match &out[0].1 {
             LdsMessage::PutTag { tag, .. } => assert_eq!(*tag, Tag::new(3, ClientId(2))),
@@ -355,8 +410,14 @@ mod tests {
         // Three ACK-PUT-TAG responses complete the read.
         let mut events = Vec::new();
         for i in 0..3 {
-            let (_, evs) =
-                step(&mut r, ProcessId(i), LdsMessage::AckPutTag { obj: ObjectId(0), op });
+            let (_, evs) = step(
+                &mut r,
+                ProcessId(i),
+                LdsMessage::AckPutTag {
+                    obj: ObjectId(0),
+                    op,
+                },
+            );
             events = evs;
         }
         assert_eq!(events.len(), 1);
@@ -375,8 +436,7 @@ mod tests {
     #[test]
     fn read_decodes_from_coded_elements() {
         let (params, membership, backend) = setup();
-        let mut r =
-            ReaderClient::new(ClientId(6), params, membership, Arc::clone(&backend));
+        let mut r = ReaderClient::new(ClientId(6), params, membership, Arc::clone(&backend));
         let tag = Tag::new(4, ClientId(2));
         let op = start_and_reach_get_data(&mut r, tag);
 
@@ -393,37 +453,59 @@ mod tests {
             c1_shares.push(backend.regenerate_l1(l1, &helpers).unwrap());
         }
 
-        step(&mut r, ProcessId(2), LdsMessage::DataResp {
-            obj: ObjectId(0),
-            op,
-            tag: None,
-            payload: ReadPayload::None,
-        });
-        step(&mut r, ProcessId(0), LdsMessage::DataResp {
-            obj: ObjectId(0),
-            op,
-            tag: Some(tag),
-            payload: ReadPayload::Coded(c1_shares[0].clone()),
-        });
-        let (out, _) = step(&mut r, ProcessId(1), LdsMessage::DataResp {
-            obj: ObjectId(0),
-            op,
-            tag: Some(tag),
-            payload: ReadPayload::Coded(c1_shares[1].clone()),
-        });
+        step(
+            &mut r,
+            ProcessId(2),
+            LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: None,
+                payload: ReadPayload::None,
+            },
+        );
+        step(
+            &mut r,
+            ProcessId(0),
+            LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: Some(tag),
+                payload: ReadPayload::Coded(c1_shares[0].clone()),
+            },
+        );
+        let (out, _) = step(
+            &mut r,
+            ProcessId(1),
+            LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: Some(tag),
+                payload: ReadPayload::Coded(c1_shares[1].clone()),
+            },
+        );
         assert!(
-            out.iter().all(|(_, m)| matches!(m, LdsMessage::PutTag { .. })) && out.len() == 4,
+            out.iter()
+                .all(|(_, m)| matches!(m, LdsMessage::PutTag { .. }))
+                && out.len() == 4,
             "decoding k coded elements moves the reader to put-tag"
         );
 
         let mut events = Vec::new();
         for i in 0..3 {
-            let (_, evs) =
-                step(&mut r, ProcessId(i), LdsMessage::AckPutTag { obj: ObjectId(0), op });
+            let (_, evs) = step(
+                &mut r,
+                ProcessId(i),
+                LdsMessage::AckPutTag {
+                    obj: ObjectId(0),
+                    op,
+                },
+            );
             events = evs;
         }
         match &events[0] {
-            ProtocolEvent::ReadCompleted { value: v, tag: t, .. } => {
+            ProtocolEvent::ReadCompleted {
+                value: v, tag: t, ..
+            } => {
                 assert_eq!(v.as_bytes(), value.as_bytes());
                 assert_eq!(*t, tag);
             }
@@ -441,31 +523,40 @@ mod tests {
         // Three (⊥,⊥) responses: responder quorum reached but no usable data,
         // so the read must not progress.
         for i in 0..3 {
-            let (out, _) = step(&mut r, ProcessId(i), LdsMessage::DataResp {
-                obj: ObjectId(0),
-                op,
-                tag: None,
-                payload: ReadPayload::None,
-            });
+            let (out, _) = step(
+                &mut r,
+                ProcessId(i),
+                LdsMessage::DataResp {
+                    obj: ObjectId(0),
+                    op,
+                    tag: None,
+                    payload: ReadPayload::None,
+                },
+            );
             assert!(out.is_empty());
         }
         assert!(r.is_busy());
 
         // A late value response finally unblocks it.
-        let (out, _) = step(&mut r, ProcessId(0), LdsMessage::DataResp {
-            obj: ObjectId(0),
-            op,
-            tag: Some(Tag::new(1, ClientId(1))),
-            payload: ReadPayload::Value(Value::from("late")),
-        });
-        assert!(out.iter().any(|(_, m)| matches!(m, LdsMessage::PutTag { .. })));
+        let (out, _) = step(
+            &mut r,
+            ProcessId(0),
+            LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: Some(Tag::new(1, ClientId(1))),
+                payload: ReadPayload::Value(Value::from("late")),
+            },
+        );
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, LdsMessage::PutTag { .. })));
     }
 
     #[test]
     fn coded_elements_for_distinct_tags_do_not_combine() {
         let (params, membership, backend) = setup();
-        let mut r =
-            ReaderClient::new(ClientId(8), params, membership, Arc::clone(&backend));
+        let mut r = ReaderClient::new(ClientId(8), params, membership, Arc::clone(&backend));
         let op = start_and_reach_get_data(&mut r, Tag::initial());
 
         let value = Value::from("v");
@@ -479,24 +570,36 @@ mod tests {
 
         // Two coded responses with *different* tags: even with responder
         // quorum, k distinct shares for a common tag are missing.
-        step(&mut r, ProcessId(0), LdsMessage::DataResp {
-            obj: ObjectId(0),
-            op,
-            tag: Some(Tag::new(1, ClientId(1))),
-            payload: ReadPayload::Coded(share0.clone()),
-        });
-        step(&mut r, ProcessId(1), LdsMessage::DataResp {
-            obj: ObjectId(0),
-            op,
-            tag: Some(Tag::new(2, ClientId(1))),
-            payload: ReadPayload::Coded(share0.clone()),
-        });
-        let (out, _) = step(&mut r, ProcessId(2), LdsMessage::DataResp {
-            obj: ObjectId(0),
-            op,
-            tag: None,
-            payload: ReadPayload::None,
-        });
+        step(
+            &mut r,
+            ProcessId(0),
+            LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: Some(Tag::new(1, ClientId(1))),
+                payload: ReadPayload::Coded(share0.clone()),
+            },
+        );
+        step(
+            &mut r,
+            ProcessId(1),
+            LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: Some(Tag::new(2, ClientId(1))),
+                payload: ReadPayload::Coded(share0.clone()),
+            },
+        );
+        let (out, _) = step(
+            &mut r,
+            ProcessId(2),
+            LdsMessage::DataResp {
+                obj: ObjectId(0),
+                op,
+                tag: None,
+                payload: ReadPayload::None,
+            },
+        );
         assert!(out.is_empty());
         assert!(r.is_busy());
     }
@@ -506,7 +609,15 @@ mod tests {
     fn overlapping_reads_panic() {
         let (params, membership, backend) = setup();
         let mut r = ReaderClient::new(ClientId(9), params, membership, backend);
-        step(&mut r, ProcessId::EXTERNAL, LdsMessage::InvokeRead { obj: ObjectId(0) });
-        step(&mut r, ProcessId::EXTERNAL, LdsMessage::InvokeRead { obj: ObjectId(0) });
+        step(
+            &mut r,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
+        step(
+            &mut r,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
     }
 }

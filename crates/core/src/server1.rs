@@ -16,25 +16,19 @@ use crate::messages::{LdsMessage, ProtocolEvent, ReadPayload};
 use crate::params::SystemParams;
 use crate::tag::{ObjectId, OpId, Tag};
 use crate::value::Value;
-use lds_codes::HelperData;
+use lds_codes::{HelperData, Share};
 use lds_sim::{Context, Process, ProcessId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Tuning options for an L1 server.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct L1Options {
     /// If true, the COMMIT-TAG broadcast is sent directly to all L1 servers
     /// instead of through the `f1 + 1` relay set. This loses tolerance to the
     /// broadcaster crashing mid-broadcast but reduces the metadata message
     /// count from `O(f1·n1)` to `O(n1)` per write — useful for large sweeps.
     pub direct_broadcast: bool,
-}
-
-impl Default for L1Options {
-    fn default() -> Self {
-        L1Options { direct_broadcast: false }
-    }
 }
 
 /// A reader registered in Γ, waiting to be served.
@@ -95,7 +89,11 @@ impl ObjectState {
     }
 
     fn max_list_tag(&self) -> Tag {
-        *self.list.keys().next_back().expect("list always contains t0")
+        *self
+            .list
+            .keys()
+            .next_back()
+            .expect("list always contains t0")
     }
 
     /// Replaces the value of every entry with tag `< below` by `⊥`.
@@ -139,8 +137,16 @@ impl L1Server {
         options: L1Options,
     ) -> Self {
         assert!(index < params.n1(), "L1 index out of range");
-        assert_eq!(membership.n1(), params.n1(), "membership/params n1 mismatch");
-        assert_eq!(membership.n2(), params.n2(), "membership/params n2 mismatch");
+        assert_eq!(
+            membership.n1(),
+            params.n1(),
+            "membership/params n1 mismatch"
+        );
+        assert_eq!(
+            membership.n2(),
+            params.n2(),
+            "membership/params n2 mismatch"
+        );
         L1Server {
             index,
             params,
@@ -160,7 +166,10 @@ impl L1Server {
 
     /// The committed tag for an object (t0 if the object is unknown).
     pub fn committed_tag(&self, obj: ObjectId) -> Tag {
-        self.objects.get(&obj).map(|s| s.tc).unwrap_or_else(Tag::initial)
+        self.objects
+            .get(&obj)
+            .map(|s| s.tc)
+            .unwrap_or_else(Tag::initial)
     }
 
     /// Total bytes of values currently held in temporary storage across all
@@ -285,11 +294,14 @@ impl L1Server {
                 self.write_to_l2(obj, new_tc, &v, ctx);
             }
             None => {
+                // Record the committed tag as (t_c, ⊥) even when the value has
+                // not arrived here: later get-tag quorums must observe every
+                // tag this server ever acknowledged or committed, or a future
+                // writer could mint a non-monotonic (even colliding) tag.
+                st.list.entry(new_tc).or_insert(None);
                 if via_put_tag {
-                    // The server sees the tag for the first time: record it as
-                    // (t_c, ⊥) and serve readers with the newest value it still
-                    // holds, if any covers their request.
-                    st.list.entry(new_tc).or_insert(None);
+                    // Serve readers with the newest value still held, if any
+                    // covers their request.
                     if let Some((t_bar, v_bar)) = st.latest_value_below(new_tc) {
                         Self::serve_registered(st, obj, t_bar, &v_bar, ctx);
                     }
@@ -343,9 +355,17 @@ impl L1Server {
             }
             st.write_counter.entry(tag).or_insert(0);
         }
+        let n1 = self.backend.n1();
         for (i, &l2) in self.membership.l2.clone().iter().enumerate() {
-            match self.backend.encode_l2_element(value, i) {
-                Ok(element) => ctx.send(l2, LdsMessage::WriteCodeElem { obj, tag, element }),
+            // Encode straight into the buffer the message will own: exactly
+            // one allocation and one write per element (the plan-cached codec
+            // creates no temporaries inside).
+            let mut buf = Vec::new();
+            match self.backend.encode_l2_element_into(value, i, &mut buf) {
+                Ok(()) => {
+                    let element = Share::new(n1 + i, buf);
+                    ctx.send(l2, LdsMessage::WriteCodeElem { obj, tag, element });
+                }
                 Err(err) => {
                     // Encoding failures indicate misconfiguration; surface in
                     // debug builds, skip in release (the write to this L2
@@ -402,8 +422,21 @@ impl L1Server {
         let st = self.state(obj);
         if tag > st.tc {
             st.list.insert(tag, Some(value));
+        } else if tag == st.tc && matches!(st.list.get(&tag), None | Some(None)) {
+            // The commit broadcasts raced ahead of the writer's PUT-DATA: the
+            // tag is already committed here but the value never arrived. Store
+            // it now so registered readers can be served and the coded
+            // elements reach L2, then acknowledge.
+            st.list.insert(tag, Some(value.clone()));
+            Self::serve_registered(st, obj, tag, &value, ctx);
+            st.acked.insert(tag);
+            ctx.send(from, LdsMessage::AckPutData { obj, op, tag });
+            self.write_to_l2(obj, tag, &value, ctx);
         } else {
-            // The tag is already outdated here; acknowledge immediately.
+            // The tag is strictly outdated (or its value is already present);
+            // record it in the list so get-tag quorums observe it, and
+            // acknowledge immediately.
+            st.list.entry(tag).or_insert(None);
             st.acked.insert(tag);
             ctx.send(from, LdsMessage::AckPutData { obj, op, tag });
         }
@@ -449,23 +482,41 @@ impl L1Server {
         if let Some((tag, value)) = serve {
             ctx.send(
                 from,
-                LdsMessage::DataResp { obj, op, tag: Some(tag), payload: ReadPayload::Value(value) },
+                LdsMessage::DataResp {
+                    obj,
+                    op,
+                    tag: Some(tag),
+                    payload: ReadPayload::Value(value),
+                },
             );
             return;
         }
         if register {
             let st = self.state(obj);
-            st.gamma.push(RegisteredReader { reader: from, op, treq });
+            st.gamma.push(RegisteredReader {
+                reader: from,
+                op,
+                treq,
+            });
             st.regen.insert(
                 (from, op),
-                RegenState { treq, respondents: HashSet::new(), responses: Vec::new() },
+                RegenState {
+                    treq,
+                    respondents: HashSet::new(),
+                    responses: Vec::new(),
+                },
             );
             // regenerate-from-L2: ask every L2 server for helper data.
-            let msg = LdsMessage::QueryCodeElem { obj, reader: from, op };
+            let msg = LdsMessage::QueryCodeElem {
+                obj,
+                reader: from,
+                op,
+            };
             ctx.send_all(self.membership.l2.iter().copied(), msg);
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_send_helper_elem(
         &mut self,
         from: ProcessId,
@@ -518,11 +569,21 @@ impl L1Server {
         match regenerated {
             Some((t, share)) if t >= regen.treq => ctx.send(
                 reader,
-                LdsMessage::DataResp { obj, op, tag: Some(t), payload: ReadPayload::Coded(share) },
+                LdsMessage::DataResp {
+                    obj,
+                    op,
+                    tag: Some(t),
+                    payload: ReadPayload::Coded(share),
+                },
             ),
             _ => ctx.send(
                 reader,
-                LdsMessage::DataResp { obj, op, tag: None, payload: ReadPayload::None },
+                LdsMessage::DataResp {
+                    obj,
+                    op,
+                    tag: None,
+                    payload: ReadPayload::None,
+                },
             ),
         }
         // Note: the reader stays registered; it may still be served later with
@@ -562,22 +623,27 @@ impl Process<LdsMessage, ProtocolEvent> for L1Server {
     ) {
         match msg {
             LdsMessage::QueryTag { obj, op } => self.on_query_tag(from, obj, op, ctx),
-            LdsMessage::PutData { obj, op, tag, value } => {
-                self.on_put_data(from, obj, op, tag, value, ctx)
-            }
+            LdsMessage::PutData {
+                obj,
+                op,
+                tag,
+                value,
+            } => self.on_put_data(from, obj, op, tag, value, ctx),
             LdsMessage::BcastSend { obj, tag, origin } => self.on_bcast_send(obj, tag, origin, ctx),
             LdsMessage::BcastDeliver { obj, tag, origin } => {
                 self.on_bcast_deliver(obj, tag, origin, ctx)
             }
             LdsMessage::QueryCommTag { obj, op } => self.on_query_comm_tag(from, obj, op, ctx),
-            LdsMessage::QueryData { obj, op, treq } => {
-                self.on_query_data(from, obj, op, treq, ctx)
-            }
+            LdsMessage::QueryData { obj, op, treq } => self.on_query_data(from, obj, op, treq, ctx),
             LdsMessage::PutTag { obj, op, tag } => self.on_put_tag(from, obj, op, tag, ctx),
             LdsMessage::AckCodeElem { obj, tag } => self.on_ack_code_elem(obj, tag),
-            LdsMessage::SendHelperElem { obj, reader, op, tag, helper } => {
-                self.on_send_helper_elem(from, obj, reader, op, tag, helper, ctx)
-            }
+            LdsMessage::SendHelperElem {
+                obj,
+                reader,
+                op,
+                tag,
+                helper,
+            } => self.on_send_helper_elem(from, obj, reader, op, tag, helper, ctx),
             // Messages not addressed to an L1 server are ignored (they can
             // only appear through harness misconfiguration).
             _ => {}
@@ -628,7 +694,10 @@ mod tests {
         let out = step(
             &mut s,
             ProcessId(100),
-            LdsMessage::QueryTag { obj: ObjectId(0), op: OpId::default() },
+            LdsMessage::QueryTag {
+                obj: ObjectId(0),
+                op: OpId::default(),
+            },
         );
         assert_eq!(out.len(), 1);
         match &out[0].1 {
@@ -652,9 +721,13 @@ mod tests {
             },
         );
         // No immediate ACK (tag is fresh); broadcasts go to the f1+1 = 2 relays.
-        assert!(out.iter().all(|(_, m)| !matches!(m, LdsMessage::AckPutData { .. })));
-        let relays: Vec<_> =
-            out.iter().filter(|(_, m)| matches!(m, LdsMessage::BcastSend { .. })).collect();
+        assert!(out
+            .iter()
+            .all(|(_, m)| !matches!(m, LdsMessage::AckPutData { .. })));
+        let relays: Vec<_> = out
+            .iter()
+            .filter(|(_, m)| matches!(m, LdsMessage::BcastSend { .. }))
+            .collect();
         assert_eq!(relays.len(), 2);
         assert_eq!(s.live_list_entries(), 1);
         assert_eq!(s.temporary_storage_bytes(), 1);
@@ -667,21 +740,29 @@ mod tests {
         let t1 = Tag::new(5, crate::tag::ClientId(1));
         // Commit a higher tag first via direct consumption of broadcasts.
         for origin in 0..4 {
-            step(&mut s, ProcessId(origin), LdsMessage::BcastDeliver {
-                obj,
-                tag: t1,
-                origin: ProcessId(origin),
-            });
+            step(
+                &mut s,
+                ProcessId(origin),
+                LdsMessage::BcastDeliver {
+                    obj,
+                    tag: t1,
+                    origin: ProcessId(origin),
+                },
+            );
         }
         assert_eq!(s.committed_tag(obj), t1);
         // Now a PUT-DATA with an older tag must be acked straight away.
         let stale = Tag::new(2, crate::tag::ClientId(1));
-        let out = step(&mut s, ProcessId(50), LdsMessage::PutData {
-            obj,
-            op: OpId::default(),
-            tag: stale,
-            value: Value::from("old"),
-        });
+        let out = step(
+            &mut s,
+            ProcessId(50),
+            LdsMessage::PutData {
+                obj,
+                op: OpId::default(),
+                tag: stale,
+                value: Value::from("old"),
+            },
+        );
         assert!(out
             .iter()
             .any(|(to, m)| *to == ProcessId(50) && matches!(m, LdsMessage::AckPutData { .. })));
@@ -693,20 +774,28 @@ mod tests {
         let obj = ObjectId(0);
         let tag = Tag::new(1, crate::tag::ClientId(3));
         let writer = ProcessId(77);
-        step(&mut s, writer, LdsMessage::PutData {
-            obj,
-            op: OpId::default(),
-            tag,
-            value: Value::from("value!"),
-        });
+        step(
+            &mut s,
+            writer,
+            LdsMessage::PutData {
+                obj,
+                op: OpId::default(),
+                tag,
+                value: Value::from("value!"),
+            },
+        );
         // Consume commit_quorum = f1 + k = 3 distinct broadcasts.
         let mut all_out = Vec::new();
         for origin in 0..3 {
-            all_out.extend(step(&mut s, ProcessId(origin), LdsMessage::BcastDeliver {
-                obj,
-                tag,
-                origin: ProcessId(origin),
-            }));
+            all_out.extend(step(
+                &mut s,
+                ProcessId(origin),
+                LdsMessage::BcastDeliver {
+                    obj,
+                    tag,
+                    origin: ProcessId(origin),
+                },
+            ));
         }
         // ACK to the writer.
         assert!(all_out
@@ -726,7 +815,11 @@ mod tests {
         }
         assert_eq!(s.live_list_entries(), 1);
         step(&mut s, ProcessId(5), LdsMessage::AckCodeElem { obj, tag });
-        assert_eq!(s.live_list_entries(), 0, "value gc'ed after write-to-L2 completes");
+        assert_eq!(
+            s.live_list_entries(),
+            0,
+            "value gc'ed after write-to-L2 completes"
+        );
         assert_eq!(s.temporary_storage_bytes(), 0);
     }
 
@@ -735,20 +828,32 @@ mod tests {
         let mut s = make_server(1);
         let obj = ObjectId(0);
         let tag = Tag::new(1, crate::tag::ClientId(1));
-        step(&mut s, ProcessId(70), LdsMessage::PutData {
-            obj,
-            op: OpId::default(),
-            tag,
-            value: Value::from("cached"),
-        });
-        let out = step(&mut s, ProcessId(80), LdsMessage::QueryData {
-            obj,
-            op: OpId::default(),
-            treq: tag,
-        });
+        step(
+            &mut s,
+            ProcessId(70),
+            LdsMessage::PutData {
+                obj,
+                op: OpId::default(),
+                tag,
+                value: Value::from("cached"),
+            },
+        );
+        let out = step(
+            &mut s,
+            ProcessId(80),
+            LdsMessage::QueryData {
+                obj,
+                op: OpId::default(),
+                treq: tag,
+            },
+        );
         assert_eq!(out.len(), 1);
         match &out[0].1 {
-            LdsMessage::DataResp { tag: Some(t), payload: ReadPayload::Value(v), .. } => {
+            LdsMessage::DataResp {
+                tag: Some(t),
+                payload: ReadPayload::Value(v),
+                ..
+            } => {
                 assert_eq!(*t, tag);
                 assert_eq!(v.as_bytes(), b"cached");
             }
@@ -760,14 +865,20 @@ mod tests {
     fn query_data_registers_reader_and_queries_l2_on_miss() {
         let mut s = make_server(2);
         let obj = ObjectId(0);
-        let out = step(&mut s, ProcessId(90), LdsMessage::QueryData {
-            obj,
-            op: OpId::default(),
-            treq: Tag::initial(),
-        });
+        let out = step(
+            &mut s,
+            ProcessId(90),
+            LdsMessage::QueryData {
+                obj,
+                op: OpId::default(),
+                treq: Tag::initial(),
+            },
+        );
         // One QUERY-CODE-ELEM per L2 server, no direct response.
         assert_eq!(out.len(), 5);
-        assert!(out.iter().all(|(_, m)| matches!(m, LdsMessage::QueryCodeElem { .. })));
+        assert!(out
+            .iter()
+            .all(|(_, m)| matches!(m, LdsMessage::QueryCodeElem { .. })));
         assert_eq!(s.registered_readers(), 1);
     }
 
@@ -776,13 +887,31 @@ mod tests {
         let mut s = make_server(0);
         let obj = ObjectId(0);
         let reader = ProcessId(90);
-        step(&mut s, reader, LdsMessage::QueryData { obj, op: OpId::default(), treq: Tag::initial() });
+        step(
+            &mut s,
+            reader,
+            LdsMessage::QueryData {
+                obj,
+                op: OpId::default(),
+                treq: Tag::initial(),
+            },
+        );
         assert_eq!(s.registered_readers(), 1);
         let t = Tag::new(3, crate::tag::ClientId(2));
-        let out = step(&mut s, reader, LdsMessage::PutTag { obj, op: OpId::default(), tag: t });
+        let out = step(
+            &mut s,
+            reader,
+            LdsMessage::PutTag {
+                obj,
+                op: OpId::default(),
+                tag: t,
+            },
+        );
         assert_eq!(s.registered_readers(), 0);
         assert_eq!(s.committed_tag(obj), t);
-        assert!(out.iter().any(|(to, m)| *to == reader && matches!(m, LdsMessage::AckPutTag { .. })));
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == reader && matches!(m, LdsMessage::AckPutTag { .. })));
     }
 
     #[test]
@@ -791,27 +920,50 @@ mod tests {
         let obj = ObjectId(0);
         let reader = ProcessId(91);
         // Reader registers (nothing in the list yet).
-        step(&mut s, reader, LdsMessage::QueryData { obj, op: OpId::default(), treq: Tag::initial() });
+        step(
+            &mut s,
+            reader,
+            LdsMessage::QueryData {
+                obj,
+                op: OpId::default(),
+                treq: Tag::initial(),
+            },
+        );
         // A concurrent write arrives and commits.
         let tag = Tag::new(1, crate::tag::ClientId(4));
-        step(&mut s, ProcessId(60), LdsMessage::PutData {
-            obj,
-            op: OpId::default(),
-            tag,
-            value: Value::from("fresh"),
-        });
+        step(
+            &mut s,
+            ProcessId(60),
+            LdsMessage::PutData {
+                obj,
+                op: OpId::default(),
+                tag,
+                value: Value::from("fresh"),
+            },
+        );
         let mut served = Vec::new();
         for origin in 0..3 {
-            served.extend(step(&mut s, ProcessId(origin), LdsMessage::BcastDeliver {
-                obj,
-                tag,
-                origin: ProcessId(origin),
-            }));
+            served.extend(step(
+                &mut s,
+                ProcessId(origin),
+                LdsMessage::BcastDeliver {
+                    obj,
+                    tag,
+                    origin: ProcessId(origin),
+                },
+            ));
         }
         let to_reader: Vec<_> = served.iter().filter(|(to, _)| *to == reader).collect();
-        assert_eq!(to_reader.len(), 1, "registered reader is served exactly once");
+        assert_eq!(
+            to_reader.len(),
+            1,
+            "registered reader is served exactly once"
+        );
         match &to_reader[0].1 {
-            LdsMessage::DataResp { payload: ReadPayload::Value(v), .. } => {
+            LdsMessage::DataResp {
+                payload: ReadPayload::Value(v),
+                ..
+            } => {
                 assert_eq!(v.as_bytes(), b"fresh")
             }
             other => panic!("expected value response, got {other:?}"),
@@ -835,7 +987,15 @@ mod tests {
         let reader = ProcessId(90);
         let op = OpId::default();
         // Register the reader.
-        step(&mut s, reader, LdsMessage::QueryData { obj, op, treq: Tag::initial() });
+        step(
+            &mut s,
+            reader,
+            LdsMessage::QueryData {
+                obj,
+                op,
+                treq: Tag::initial(),
+            },
+        );
 
         let value = Value::from("regenerate me");
         let tag = Tag::new(1, crate::tag::ClientId(1));
@@ -843,26 +1003,33 @@ mod tests {
         for i in 0..5 {
             let elem = backend.encode_l2_element(&value, i).unwrap();
             let helper = backend.helper_for_l1(&elem, i, 1).unwrap();
-            responses.extend(step(&mut s, membership.l2[i], LdsMessage::SendHelperElem {
-                obj,
-                reader,
-                op,
-                tag,
-                helper,
-            }));
+            responses.extend(step(
+                &mut s,
+                membership.l2[i],
+                LdsMessage::SendHelperElem {
+                    obj,
+                    reader,
+                    op,
+                    tag,
+                    helper,
+                },
+            ));
         }
         // After n2 - f2 = 4 responses the server regenerates and replies; the
         // fifth helper is stale and ignored.
         let to_reader: Vec<_> = responses.iter().filter(|(to, _)| *to == reader).collect();
         assert_eq!(to_reader.len(), 1);
         match &to_reader[0].1 {
-            LdsMessage::DataResp { tag: Some(t), payload: ReadPayload::Coded(share), .. } => {
+            LdsMessage::DataResp {
+                tag: Some(t),
+                payload: ReadPayload::Coded(share),
+                ..
+            } => {
                 assert_eq!(*t, tag);
                 assert_eq!(share.index, 1);
                 // The regenerated element matches a direct encoding of c_1.
                 let direct = {
-                    let full = lds_codes::mbr::ProductMatrixMbr::with_dimensions(9, 2, 3)
-                        .unwrap();
+                    let full = lds_codes::mbr::ProductMatrixMbr::with_dimensions(9, 2, 3).unwrap();
                     lds_codes::ErasureCode::encode_share(&full, value.as_bytes(), 1).unwrap()
                 };
                 assert_eq!(share.data, direct.data);
@@ -874,12 +1041,25 @@ mod tests {
     #[test]
     fn mixed_tag_helpers_fail_regeneration_gracefully() {
         let (params, membership, backend) = setup();
-        let mut s =
-            L1Server::new(3, params, membership.clone(), Arc::clone(&backend), L1Options::default());
+        let mut s = L1Server::new(
+            3,
+            params,
+            membership.clone(),
+            Arc::clone(&backend),
+            L1Options::default(),
+        );
         let obj = ObjectId(0);
         let reader = ProcessId(91);
         let op = OpId::default();
-        step(&mut s, reader, LdsMessage::QueryData { obj, op, treq: Tag::new(9, crate::tag::ClientId(9)) });
+        step(
+            &mut s,
+            reader,
+            LdsMessage::QueryData {
+                obj,
+                op,
+                treq: Tag::new(9, crate::tag::ClientId(9)),
+            },
+        );
 
         // Four helpers, each for a *different* tag: no common tag reaches the
         // repair threshold, so the server answers (⊥, ⊥).
@@ -888,19 +1068,27 @@ mod tests {
         for i in 0..4 {
             let elem = backend.encode_l2_element(&value, i).unwrap();
             let helper = backend.helper_for_l1(&elem, i, 3).unwrap();
-            responses.extend(step(&mut s, membership.l2[i], LdsMessage::SendHelperElem {
-                obj,
-                reader,
-                op,
-                tag: Tag::new(i as u64 + 1, crate::tag::ClientId(1)),
-                helper,
-            }));
+            responses.extend(step(
+                &mut s,
+                membership.l2[i],
+                LdsMessage::SendHelperElem {
+                    obj,
+                    reader,
+                    op,
+                    tag: Tag::new(i as u64 + 1, crate::tag::ClientId(1)),
+                    helper,
+                },
+            ));
         }
         let to_reader: Vec<_> = responses.iter().filter(|(to, _)| *to == reader).collect();
         assert_eq!(to_reader.len(), 1);
         assert!(matches!(
             &to_reader[0].1,
-            LdsMessage::DataResp { tag: None, payload: ReadPayload::None, .. }
+            LdsMessage::DataResp {
+                tag: None,
+                payload: ReadPayload::None,
+                ..
+            }
         ));
     }
 
@@ -912,19 +1100,32 @@ mod tests {
             params,
             membership,
             backend,
-            L1Options { direct_broadcast: true },
+            L1Options {
+                direct_broadcast: true,
+            },
         );
-        let out = step(&mut s, ProcessId(100), LdsMessage::PutData {
-            obj: ObjectId(0),
-            op: OpId::default(),
-            tag: Tag::new(1, crate::tag::ClientId(1)),
-            value: Value::from("v"),
-        });
-        let delivers =
-            out.iter().filter(|(_, m)| matches!(m, LdsMessage::BcastDeliver { .. })).count();
-        assert_eq!(delivers, 4, "direct mode sends COMMIT-TAG to all n1 servers");
+        let out = step(
+            &mut s,
+            ProcessId(100),
+            LdsMessage::PutData {
+                obj: ObjectId(0),
+                op: OpId::default(),
+                tag: Tag::new(1, crate::tag::ClientId(1)),
+                value: Value::from("v"),
+            },
+        );
+        let delivers = out
+            .iter()
+            .filter(|(_, m)| matches!(m, LdsMessage::BcastDeliver { .. }))
+            .count();
         assert_eq!(
-            out.iter().filter(|(_, m)| matches!(m, LdsMessage::BcastSend { .. })).count(),
+            delivers, 4,
+            "direct mode sends COMMIT-TAG to all n1 servers"
+        );
+        assert_eq!(
+            out.iter()
+                .filter(|(_, m)| matches!(m, LdsMessage::BcastSend { .. }))
+                .count(),
             0
         );
     }
@@ -933,22 +1134,30 @@ mod tests {
     fn multi_object_state_is_independent() {
         let mut s = make_server(0);
         let t = Tag::new(1, crate::tag::ClientId(1));
-        step(&mut s, ProcessId(100), LdsMessage::PutData {
-            obj: ObjectId(7),
-            op: OpId::default(),
-            tag: t,
-            value: Value::from("seven"),
-        });
+        step(
+            &mut s,
+            ProcessId(100),
+            LdsMessage::PutData {
+                obj: ObjectId(7),
+                op: OpId::default(),
+                tag: t,
+                value: Value::from("seven"),
+            },
+        );
         assert_eq!(s.committed_tag(ObjectId(7)), Tag::initial());
         assert_eq!(s.committed_tag(ObjectId(8)), Tag::initial());
         assert_eq!(s.live_list_entries(), 1);
         // Committing on object 7 does not touch object 8.
         for origin in 0..3 {
-            step(&mut s, ProcessId(origin), LdsMessage::BcastDeliver {
-                obj: ObjectId(7),
-                tag: t,
-                origin: ProcessId(origin),
-            });
+            step(
+                &mut s,
+                ProcessId(origin),
+                LdsMessage::BcastDeliver {
+                    obj: ObjectId(7),
+                    tag: t,
+                    origin: ProcessId(origin),
+                },
+            );
         }
         assert_eq!(s.committed_tag(ObjectId(7)), t);
         assert_eq!(s.committed_tag(ObjectId(8)), Tag::initial());

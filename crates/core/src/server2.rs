@@ -30,7 +30,12 @@ impl L2Server {
     /// Creates the L2 server with layer index `index`.
     pub fn new(index: usize, membership: Membership, backend: Arc<dyn BackendCodec>) -> Self {
         assert!(index < membership.n2(), "L2 index out of range");
-        L2Server { index, membership, backend, objects: HashMap::new() }
+        L2Server {
+            index,
+            membership,
+            backend,
+            objects: HashMap::new(),
+        }
     }
 
     /// This server's index within L2.
@@ -41,14 +46,20 @@ impl L2Server {
     /// The tag of the element currently stored for `obj` (the initial tag if
     /// the object was never written).
     pub fn stored_tag(&self, obj: ObjectId) -> Tag {
-        self.objects.get(&obj).map(|(t, _)| *t).unwrap_or_else(Tag::initial)
+        self.objects
+            .get(&obj)
+            .map(|(t, _)| *t)
+            .unwrap_or_else(Tag::initial)
     }
 
     /// Bytes of coded data stored across all objects (the paper's permanent
     /// storage cost, un-normalised). Objects that were never written are
     /// counted with their initial (empty value) element.
     pub fn storage_bytes(&self) -> usize {
-        self.objects.values().map(|(_, share)| share.data.len()).sum()
+        self.objects
+            .values()
+            .map(|(_, share)| share.data.len())
+            .sum()
     }
 
     /// Number of objects for which this server holds an element.
@@ -91,7 +102,13 @@ impl Process<LdsMessage, ProtocolEvent> for L2Server {
                 match self.backend.helper_for_l1(&element, self.index, l1_index) {
                     Ok(helper) => ctx.send(
                         from,
-                        LdsMessage::SendHelperElem { obj, reader, op, tag, helper },
+                        LdsMessage::SendHelperElem {
+                            obj,
+                            reader,
+                            op,
+                            tag,
+                            helper,
+                        },
                     ),
                     Err(err) => {
                         debug_assert!(false, "helper computation failed: {err}");
@@ -116,7 +133,10 @@ mod tests {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap(); // n1=4, n2=5
         let l1: Vec<ProcessId> = (0..4).map(ProcessId).collect();
         let l2: Vec<ProcessId> = (4..9).map(ProcessId).collect();
-        (Membership::new(l1, l2), make_backend(BackendKind::Mbr, &params).unwrap())
+        (
+            Membership::new(l1, l2),
+            make_backend(BackendKind::Mbr, &params).unwrap(),
+        )
     }
 
     fn step(
@@ -150,9 +170,25 @@ mod tests {
         let e2 = backend.encode_l2_element(&v2, 0).unwrap();
 
         // Deliver the higher tag first, then the lower one.
-        let out = step(&mut s, ProcessId(1), LdsMessage::WriteCodeElem { obj, tag: t2, element: e2.clone() });
+        let out = step(
+            &mut s,
+            ProcessId(1),
+            LdsMessage::WriteCodeElem {
+                obj,
+                tag: t2,
+                element: e2.clone(),
+            },
+        );
         assert!(matches!(out[0].1, LdsMessage::AckCodeElem { tag, .. } if tag == t2));
-        let out = step(&mut s, ProcessId(1), LdsMessage::WriteCodeElem { obj, tag: t1, element: e1 });
+        let out = step(
+            &mut s,
+            ProcessId(1),
+            LdsMessage::WriteCodeElem {
+                obj,
+                tag: t1,
+                element: e1,
+            },
+        );
         // Still acknowledges (the protocol always acks) but keeps t2.
         assert!(matches!(out[0].1, LdsMessage::AckCodeElem { tag, .. } if tag == t1));
         assert_eq!(s.stored_tag(obj), t2);
@@ -168,14 +204,26 @@ mod tests {
         let value = Value::from("helper source");
         let tag = Tag::new(4, ClientId(2));
         let element = backend.encode_l2_element(&value, 2).unwrap();
-        step(&mut s, membership.l1[1], LdsMessage::WriteCodeElem { obj, tag, element: element.clone() });
+        step(
+            &mut s,
+            membership.l1[1],
+            LdsMessage::WriteCodeElem {
+                obj,
+                tag,
+                element: element.clone(),
+            },
+        );
 
         let reader = ProcessId(50);
-        let out = step(&mut s, membership.l1[1], LdsMessage::QueryCodeElem {
-            obj,
-            reader,
-            op: crate::tag::OpId::default(),
-        });
+        let out = step(
+            &mut s,
+            membership.l1[1],
+            LdsMessage::QueryCodeElem {
+                obj,
+                reader,
+                op: crate::tag::OpId::default(),
+            },
+        );
         assert_eq!(out.len(), 1);
         match &out[0].1 {
             LdsMessage::SendHelperElem { tag: t, helper, .. } => {
@@ -192,11 +240,15 @@ mod tests {
     fn unknown_objects_answer_with_initial_element() {
         let (membership, backend) = setup();
         let mut s = L2Server::new(1, membership.clone(), backend);
-        let out = step(&mut s, membership.l1[0], LdsMessage::QueryCodeElem {
-            obj: ObjectId(42),
-            reader: ProcessId(60),
-            op: crate::tag::OpId::default(),
-        });
+        let out = step(
+            &mut s,
+            membership.l1[0],
+            LdsMessage::QueryCodeElem {
+                obj: ObjectId(42),
+                reader: ProcessId(60),
+                op: crate::tag::OpId::default(),
+            },
+        );
         assert_eq!(out.len(), 1);
         match &out[0].1 {
             LdsMessage::SendHelperElem { tag, .. } => assert_eq!(*tag, Tag::initial()),
@@ -208,11 +260,15 @@ mod tests {
     fn queries_from_non_l1_processes_are_ignored() {
         let (membership, backend) = setup();
         let mut s = L2Server::new(1, membership, backend);
-        let out = step(&mut s, ProcessId(999), LdsMessage::QueryCodeElem {
-            obj: ObjectId(0),
-            reader: ProcessId(60),
-            op: crate::tag::OpId::default(),
-        });
+        let out = step(
+            &mut s,
+            ProcessId(999),
+            LdsMessage::QueryCodeElem {
+                obj: ObjectId(0),
+                reader: ProcessId(60),
+                op: crate::tag::OpId::default(),
+            },
+        );
         assert!(out.is_empty());
     }
 }

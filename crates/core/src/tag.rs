@@ -78,7 +78,10 @@ impl Tag {
     /// The distinguished initial tag `t0` associated with the initial value
     /// `v0`.
     pub fn initial() -> Self {
-        Tag { z: 0, writer: ClientId(0) }
+        Tag {
+            z: 0,
+            writer: ClientId(0),
+        }
     }
 
     /// Creates a tag.
@@ -89,7 +92,10 @@ impl Tag {
     /// The tag a writer creates after observing `self` as the maximum tag:
     /// `(z + 1, writer)`.
     pub fn next(&self, writer: ClientId) -> Tag {
-        Tag { z: self.z + 1, writer }
+        Tag {
+            z: self.z + 1,
+            writer,
+        }
     }
 
     /// Whether this is the initial tag.

@@ -54,8 +54,19 @@ pub struct WriterClient {
 impl WriterClient {
     /// Creates a writer with the given client id.
     pub fn new(id: ClientId, params: SystemParams, membership: Membership) -> Self {
-        assert_eq!(membership.n1(), params.n1(), "membership/params n1 mismatch");
-        WriterClient { id, params, membership, next_seq: 0, current: None, completed: 0 }
+        assert_eq!(
+            membership.n1(),
+            params.n1(),
+            "membership/params n1 mismatch"
+        );
+        WriterClient {
+            id,
+            params,
+            membership,
+            next_seq: 0,
+            current: None,
+            completed: 0,
+        }
     }
 
     /// The writer's client id.
@@ -96,7 +107,10 @@ impl WriterClient {
             tag: None,
             acks: HashSet::new(),
         });
-        ctx.send_all(self.membership.l1.iter().copied(), LdsMessage::QueryTag { obj, op });
+        ctx.send_all(
+            self.membership.l1.iter().copied(),
+            LdsMessage::QueryTag { obj, op },
+        );
     }
 
     fn on_tag_resp(
@@ -109,7 +123,9 @@ impl WriterClient {
         let quorum = self.params.write_quorum();
         let id = self.id;
         let membership = self.membership.l1.clone();
-        let Some(current) = self.current.as_mut() else { return };
+        let Some(current) = self.current.as_mut() else {
+            return;
+        };
         if current.op != op || current.phase != WritePhase::GetTag {
             return;
         }
@@ -118,8 +134,12 @@ impl WriterClient {
             return;
         }
         // Quorum reached: create the new tag and move to put-data.
-        let max_tag =
-            current.tag_responses.values().max().copied().unwrap_or_else(Tag::initial);
+        let max_tag = current
+            .tag_responses
+            .values()
+            .max()
+            .copied()
+            .unwrap_or_else(Tag::initial);
         let new_tag = max_tag.next(id);
         current.tag = Some(new_tag);
         current.phase = WritePhase::PutData;
@@ -140,7 +160,9 @@ impl WriterClient {
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
         let quorum = self.params.write_quorum();
-        let Some(current) = self.current.as_mut() else { return };
+        let Some(current) = self.current.as_mut() else {
+            return;
+        };
         if current.op != op || current.phase != WritePhase::PutData || current.tag != Some(tag) {
             return;
         }
@@ -195,8 +217,7 @@ mod tests {
     ) -> (Vec<(ProcessId, LdsMessage)>, Vec<ProtocolEvent>) {
         let mut outgoing = Vec::new();
         let mut events = Vec::new();
-        let mut ctx =
-            Context::standalone(ProcessId(42), SimTime::ZERO, &mut outgoing, &mut events);
+        let mut ctx = Context::standalone(ProcessId(42), SimTime::ZERO, &mut outgoing, &mut events);
         w.on_message(from, msg, &mut ctx);
         (outgoing, events.into_iter().map(|(_, _, e)| e).collect())
     }
@@ -208,12 +229,18 @@ mod tests {
         assert!(!w.is_busy());
 
         // Invocation broadcasts QUERY-TAG to all 4 L1 servers.
-        let (out, _) = step(&mut w, ProcessId::EXTERNAL, LdsMessage::InvokeWrite {
-            obj: ObjectId(0),
-            value: Value::from("hello"),
-        });
+        let (out, _) = step(
+            &mut w,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeWrite {
+                obj: ObjectId(0),
+                value: Value::from("hello"),
+            },
+        );
         assert_eq!(out.len(), 4);
-        assert!(out.iter().all(|(_, m)| matches!(m, LdsMessage::QueryTag { .. })));
+        assert!(out
+            .iter()
+            .all(|(_, m)| matches!(m, LdsMessage::QueryTag { .. })));
         assert!(w.is_busy());
         let op = match &out[0].1 {
             LdsMessage::QueryTag { op, .. } => *op,
@@ -223,11 +250,15 @@ mod tests {
         // Three TAG-RESP messages (quorum) trigger PUT-DATA with tag (6, 9).
         let mut put_data = Vec::new();
         for (i, z) in [2u64, 5, 3].iter().enumerate() {
-            let (out, _) = step(&mut w, ProcessId(i), LdsMessage::TagResp {
-                obj: ObjectId(0),
-                op,
-                tag: Tag::new(*z, ClientId(1)),
-            });
+            let (out, _) = step(
+                &mut w,
+                ProcessId(i),
+                LdsMessage::TagResp {
+                    obj: ObjectId(0),
+                    op,
+                    tag: Tag::new(*z, ClientId(1)),
+                },
+            );
             put_data = out;
         }
         assert_eq!(put_data.len(), 4);
@@ -240,8 +271,15 @@ mod tests {
         let tag = Tag::new(6, ClientId(9));
         let mut events = Vec::new();
         for i in 0..3 {
-            let (_, evs) =
-                step(&mut w, ProcessId(i), LdsMessage::AckPutData { obj: ObjectId(0), op, tag });
+            let (_, evs) = step(
+                &mut w,
+                ProcessId(i),
+                LdsMessage::AckPutData {
+                    obj: ObjectId(0),
+                    op,
+                    tag,
+                },
+            );
             events = evs;
         }
         assert_eq!(events.len(), 1);
@@ -260,37 +298,53 @@ mod tests {
     fn duplicate_and_stale_responses_are_ignored() {
         let (params, membership) = setup();
         let mut w = WriterClient::new(ClientId(2), params, membership);
-        let (out, _) = step(&mut w, ProcessId::EXTERNAL, LdsMessage::InvokeWrite {
-            obj: ObjectId(0),
-            value: Value::from("x"),
-        });
+        let (out, _) = step(
+            &mut w,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeWrite {
+                obj: ObjectId(0),
+                value: Value::from("x"),
+            },
+        );
         let op = match &out[0].1 {
             LdsMessage::QueryTag { op, .. } => *op,
             _ => unreachable!(),
         };
         // The same server responding repeatedly does not advance the quorum.
         for _ in 0..5 {
-            let (out, _) = step(&mut w, ProcessId(0), LdsMessage::TagResp {
-                obj: ObjectId(0),
-                op,
-                tag: Tag::initial(),
-            });
+            let (out, _) = step(
+                &mut w,
+                ProcessId(0),
+                LdsMessage::TagResp {
+                    obj: ObjectId(0),
+                    op,
+                    tag: Tag::initial(),
+                },
+            );
             assert!(out.is_empty());
         }
         // A response for a different op id is ignored too.
         let other_op = OpId::new(ClientId(2), 99);
-        let (out, _) = step(&mut w, ProcessId(1), LdsMessage::TagResp {
-            obj: ObjectId(0),
-            op: other_op,
-            tag: Tag::initial(),
-        });
+        let (out, _) = step(
+            &mut w,
+            ProcessId(1),
+            LdsMessage::TagResp {
+                obj: ObjectId(0),
+                op: other_op,
+                tag: Tag::initial(),
+            },
+        );
         assert!(out.is_empty());
         // Acks during the get-tag phase are ignored.
-        let (out, _) = step(&mut w, ProcessId(1), LdsMessage::AckPutData {
-            obj: ObjectId(0),
-            op,
-            tag: Tag::new(1, ClientId(2)),
-        });
+        let (out, _) = step(
+            &mut w,
+            ProcessId(1),
+            LdsMessage::AckPutData {
+                obj: ObjectId(0),
+                op,
+                tag: Tag::new(1, ClientId(2)),
+            },
+        );
         assert!(out.is_empty());
         assert!(w.is_busy());
     }
@@ -300,7 +354,10 @@ mod tests {
     fn overlapping_invocations_panic() {
         let (params, membership) = setup();
         let mut w = WriterClient::new(ClientId(2), params, membership);
-        let invoke = LdsMessage::InvokeWrite { obj: ObjectId(0), value: Value::from("x") };
+        let invoke = LdsMessage::InvokeWrite {
+            obj: ObjectId(0),
+            value: Value::from("x"),
+        };
         step(&mut w, ProcessId::EXTERNAL, invoke.clone());
         step(&mut w, ProcessId::EXTERNAL, invoke);
     }
@@ -311,10 +368,14 @@ mod tests {
         let mut w = WriterClient::new(ClientId(3), params, membership);
         let mut last_tag = Tag::initial();
         for round in 0..3u64 {
-            let (out, _) = step(&mut w, ProcessId::EXTERNAL, LdsMessage::InvokeWrite {
-                obj: ObjectId(0),
-                value: Value::from("v"),
-            });
+            let (out, _) = step(
+                &mut w,
+                ProcessId::EXTERNAL,
+                LdsMessage::InvokeWrite {
+                    obj: ObjectId(0),
+                    value: Value::from("v"),
+                },
+            );
             let op = match &out[0].1 {
                 LdsMessage::QueryTag { op, .. } => *op,
                 _ => unreachable!(),
@@ -322,22 +383,30 @@ mod tests {
             assert_eq!(op.seq, round);
             let mut new_tag = Tag::initial();
             for i in 0..3 {
-                let (out, _) = step(&mut w, ProcessId(i), LdsMessage::TagResp {
-                    obj: ObjectId(0),
-                    op,
-                    tag: last_tag,
-                });
+                let (out, _) = step(
+                    &mut w,
+                    ProcessId(i),
+                    LdsMessage::TagResp {
+                        obj: ObjectId(0),
+                        op,
+                        tag: last_tag,
+                    },
+                );
                 if let Some((_, LdsMessage::PutData { tag, .. })) = out.first() {
                     new_tag = *tag;
                 }
             }
             assert!(new_tag > last_tag);
             for i in 0..3 {
-                step(&mut w, ProcessId(i), LdsMessage::AckPutData {
-                    obj: ObjectId(0),
-                    op,
-                    tag: new_tag,
-                });
+                step(
+                    &mut w,
+                    ProcessId(i),
+                    LdsMessage::AckPutData {
+                        obj: ObjectId(0),
+                        op,
+                        tag: new_tag,
+                    },
+                );
             }
             last_tag = new_tag;
         }

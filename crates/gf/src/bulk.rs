@@ -1,0 +1,519 @@
+//! Bulk slice kernels over GF(2^8).
+//!
+//! Every hot-path operation of the coding stack — encode, decode, helper
+//! computation, repair — reduces to accumulating `dst ^= c · src` over byte
+//! slices. This module provides those kernels in their fastest portable
+//! form:
+//!
+//! * [`MUL_TABLE`] — the full 256 × 256 multiplication table, computed at
+//!   compile time. A multiplication by a fixed constant `c` becomes a single
+//!   indexed load from the 256-entry row `MUL_TABLE[c]`, with no zero-checks
+//!   and no log/exp arithmetic in the inner loop.
+//! * [`xor_slice`] — the `c = 1` path, processed as whole `u128` words.
+//! * [`mul_slice`] / [`mul_add_slice`] — one-source kernels, unrolled so the
+//!   compiler keeps the table row in cache and elides bounds checks.
+//! * [`mul_add_slices`] — the fused multi-source kernel: up to four
+//!   `(c_i, src_i)` terms are accumulated into `dst` per pass, quartering the
+//!   load/store traffic on `dst` during matrix application. This is the
+//!   kernel behind [`crate::Matrix::mul_into`] and the `BufMatrix`
+//!   operations in `lds-codes`.
+//! * [`scalar_mul_slice`] / [`scalar_mul_add_slice`] — the byte-at-a-time
+//!   reference path written with the `Gf256` operator overloads. It is kept
+//!   as the property-test oracle (bulk kernels must be byte-identical) and
+//!   as the "before" side of the `codes` benchmark.
+
+use crate::field::{Gf256, EXP_TABLE, LOG_TABLE};
+
+/// Builds the full multiplication table from the log/exp tables.
+const fn build_mul_table() -> [[u8; 256]; 256] {
+    let mut table = [[0u8; 256]; 256];
+    let mut a = 1;
+    while a < 256 {
+        let log_a = LOG_TABLE[a] as usize;
+        let mut b = 1;
+        while b < 256 {
+            table[a][b] = EXP_TABLE[log_a + LOG_TABLE[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
+/// `MUL_TABLE[a][b] = a · b` in GF(2^8). Row `MUL_TABLE[c]` is the
+/// per-constant lookup row used by every bulk kernel.
+pub static MUL_TABLE: [[u8; 256]; 256] = build_mul_table();
+
+/// `dst[i] ^= src[i]` — the `c = 1` multiply-accumulate, processed in
+/// `u128` words.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "xor_slice length mismatch");
+    const W: usize = 16;
+    let words = src.len() - src.len() % W;
+    for (d, s) in dst[..words]
+        .chunks_exact_mut(W)
+        .zip(src[..words].chunks_exact(W))
+    {
+        let a = u128::from_ne_bytes(s.try_into().expect("chunk is 16 bytes"));
+        let b = u128::from_ne_bytes((&*d).try_into().expect("chunk is 16 bytes"));
+        d.copy_from_slice(&(a ^ b).to_ne_bytes());
+    }
+    for (d, s) in dst[words..].iter_mut().zip(&src[words..]) {
+        *d ^= *s;
+    }
+}
+
+/// `dst[i] = c · src[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+    if c.is_zero() {
+        dst.fill(0);
+        return;
+    }
+    if c == Gf256::ONE {
+        dst.copy_from_slice(src);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if x86::available() {
+        // Zero-then-accumulate: the memset pass is far cheaper than the
+        // per-byte table loop below, so this still wins with a vector unit.
+        dst.fill(0);
+        let dispatched = x86::dispatch_mul_add_slices(&[(c, src)], dst);
+        debug_assert!(dispatched);
+        return;
+    }
+    let row = &MUL_TABLE[c.value() as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = row[*s as usize];
+    }
+}
+
+/// `buf[i] = c · buf[i]` in place.
+pub fn scale_slice(c: Gf256, buf: &mut [u8]) {
+    if c == Gf256::ONE {
+        return;
+    }
+    if c.is_zero() {
+        buf.fill(0);
+        return;
+    }
+    let row = &MUL_TABLE[c.value() as usize];
+    for b in buf.iter_mut() {
+        *b = row[*b as usize];
+    }
+}
+
+/// `dst[i] ^= c · src[i]` — the multiply-accumulate at the heart of all
+/// encoding and decoding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_add_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_add_slice length mismatch");
+    if c.is_zero() {
+        return;
+    }
+    if c == Gf256::ONE {
+        xor_slice(src, dst);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if x86::dispatch_mul_add_slices(&[(c, src)], dst) {
+        return;
+    }
+    mul_add_slice_table(c, src, dst);
+}
+
+/// Fused multi-source accumulate: `dst[i] ^= Σ_t terms[t].0 · terms[t].1[i]`.
+///
+/// On x86-64 with AVX2 or SSSE3 (detected at runtime) the terms run through
+/// the vectorized nibble-table kernel in [`x86`]; elsewhere they are
+/// processed four at a time through the table rows so `dst` is loaded and
+/// stored once per group of four sources. Either way this is the main lever
+/// for matrix × striped-payload products.
+///
+/// # Panics
+///
+/// Panics if any source length differs from `dst`'s.
+pub fn mul_add_slices(terms: &[(Gf256, &[u8])], dst: &mut [u8]) {
+    let len = dst.len();
+    for (_, src) in terms {
+        assert_eq!(src.len(), len, "mul_add_slices length mismatch");
+    }
+    #[cfg(target_arch = "x86_64")]
+    if x86::dispatch_mul_add_slices(terms, dst) {
+        return;
+    }
+    mul_add_slices_table(terms, dst);
+}
+
+/// Portable four-way table-row kernel behind [`mul_add_slices`].
+fn mul_add_slices_table(terms: &[(Gf256, &[u8])], dst: &mut [u8]) {
+    let len = dst.len();
+    let mut chunks = terms.chunks_exact(4);
+    for quad in &mut chunks {
+        let [(c0, s0), (c1, s1), (c2, s2), (c3, s3)] = quad else {
+            unreachable!()
+        };
+        // Zero coefficients read row 0 (all zeros), so no branches are needed;
+        // all-zero / all-one quads are rare enough not to special-case.
+        let r0 = &MUL_TABLE[c0.value() as usize];
+        let r1 = &MUL_TABLE[c1.value() as usize];
+        let r2 = &MUL_TABLE[c2.value() as usize];
+        let r3 = &MUL_TABLE[c3.value() as usize];
+        let (s0, s1, s2, s3) = (&s0[..len], &s1[..len], &s2[..len], &s3[..len]);
+        for i in 0..len {
+            dst[i] ^=
+                r0[s0[i] as usize] ^ r1[s1[i] as usize] ^ r2[s2[i] as usize] ^ r3[s3[i] as usize];
+        }
+    }
+    for (c, src) in chunks.remainder() {
+        mul_add_slice_table(*c, src, dst);
+    }
+}
+
+/// Portable single-source table kernel behind [`mul_add_slice`].
+fn mul_add_slice_table(c: Gf256, src: &[u8], dst: &mut [u8]) {
+    let row = &MUL_TABLE[c.value() as usize];
+    // Unroll by 8 so the bounds checks hoist and the row stays hot.
+    let mut d_it = dst.chunks_exact_mut(8);
+    let mut s_it = src.chunks_exact(8);
+    for (d, s) in (&mut d_it).zip(&mut s_it) {
+        d[0] ^= row[s[0] as usize];
+        d[1] ^= row[s[1] as usize];
+        d[2] ^= row[s[2] as usize];
+        d[3] ^= row[s[3] as usize];
+        d[4] ^= row[s[4] as usize];
+        d[5] ^= row[s[5] as usize];
+        d[6] ^= row[s[6] as usize];
+        d[7] ^= row[s[7] as usize];
+    }
+    for (d, s) in d_it.into_remainder().iter_mut().zip(s_it.remainder()) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// Vectorized GF(2^8) kernels for x86-64.
+///
+/// The classic nibble-table technique (used by ISA-L and every fast
+/// Reed–Solomon library): multiplication by a constant `c` is split into the
+/// low and high nibble of each source byte, each mapped through a 16-entry
+/// table held in a vector register, so one `pshufb`-pair multiplies 16
+/// (SSSE3) or 32 (AVX2) bytes. Terms are fused four at a time, so `dst`
+/// traffic is amortized exactly like the portable kernel.
+///
+/// This is the only module in the crate allowed to use `unsafe`: the
+/// `core::arch` intrinsics and the unaligned vector loads require it. Every
+/// entry point verifies the CPU feature at runtime before dispatching.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::{mul_add_slice_table, MUL_TABLE};
+    use crate::field::Gf256;
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum Level {
+        None,
+        Ssse3,
+        Avx2,
+    }
+
+    fn level() -> Level {
+        static LEVEL: OnceLock<Level> = OnceLock::new();
+        *LEVEL.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                Level::Avx2
+            } else if std::arch::is_x86_feature_detected!("ssse3") {
+                Level::Ssse3
+            } else {
+                Level::None
+            }
+        })
+    }
+
+    /// The 16-entry low/high nibble product tables for constant `c`.
+    #[inline]
+    fn nibble_tables(c: Gf256) -> ([u8; 16], [u8; 16]) {
+        let row = &MUL_TABLE[c.value() as usize];
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for n in 0..16 {
+            lo[n] = row[n];
+            hi[n] = row[n << 4];
+        }
+        (lo, hi)
+    }
+
+    /// Whether any vector kernel is usable on this CPU.
+    pub(super) fn available() -> bool {
+        level() != Level::None
+    }
+
+    /// Runs [`super::mul_add_slices`] through the fastest available vector
+    /// kernel. Returns false when no vector unit is available and the caller
+    /// should use the portable path. Lengths are already validated.
+    pub(super) fn dispatch_mul_add_slices(terms: &[(Gf256, &[u8])], dst: &mut [u8]) -> bool {
+        match level() {
+            // SAFETY: the corresponding CPU feature was verified by level().
+            Level::Avx2 => unsafe { mul_add_slices_avx2(terms, dst) },
+            Level::Ssse3 => unsafe { mul_add_slices_ssse3(terms, dst) },
+            Level::None => return false,
+        }
+        true
+    }
+
+    /// Processes the largest prefix of whole 32-byte blocks of `dst`,
+    /// accumulating up to four `(c, src)` terms per pass.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_add_slices_avx2(terms: &[(Gf256, &[u8])], dst: &mut [u8]) {
+        const W: usize = 32;
+        let blocks = dst.len() / W;
+        let mask = _mm256_set1_epi8(0x0f);
+        let mut chunks = terms.chunks(4);
+        for group in &mut chunks {
+            // Broadcast each term's nibble tables into both 128-bit lanes.
+            let tables: Vec<(__m256i, __m256i, *const u8)> = group
+                .iter()
+                .map(|(c, src)| {
+                    let (lo, hi) = nibble_tables(*c);
+                    let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+                    let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+                    (lo, hi, src.as_ptr())
+                })
+                .collect();
+            for b in 0..blocks {
+                let off = b * W;
+                let mut acc = _mm256_loadu_si256(dst.as_ptr().add(off).cast());
+                for &(tl, th, src) in &tables {
+                    let s = _mm256_loadu_si256(src.add(off).cast());
+                    let lo = _mm256_and_si256(s, mask);
+                    let hi = _mm256_and_si256(_mm256_srli_epi16(s, 4), mask);
+                    let prod =
+                        _mm256_xor_si256(_mm256_shuffle_epi8(tl, lo), _mm256_shuffle_epi8(th, hi));
+                    acc = _mm256_xor_si256(acc, prod);
+                }
+                _mm256_storeu_si256(dst.as_mut_ptr().add(off).cast(), acc);
+            }
+        }
+        // Tail bytes go through the portable kernel.
+        let tail = blocks * W;
+        for (c, src) in terms {
+            mul_add_slice_table(*c, &src[tail..], &mut dst[tail..]);
+        }
+    }
+
+    /// SSSE3 variant of [`mul_add_slices_avx2`] on 16-byte blocks.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul_add_slices_ssse3(terms: &[(Gf256, &[u8])], dst: &mut [u8]) {
+        const W: usize = 16;
+        let blocks = dst.len() / W;
+        let mask = _mm_set1_epi8(0x0f);
+        let mut chunks = terms.chunks(4);
+        for group in &mut chunks {
+            let tables: Vec<(__m128i, __m128i, *const u8)> = group
+                .iter()
+                .map(|(c, src)| {
+                    let (lo, hi) = nibble_tables(*c);
+                    (
+                        _mm_loadu_si128(lo.as_ptr().cast()),
+                        _mm_loadu_si128(hi.as_ptr().cast()),
+                        src.as_ptr(),
+                    )
+                })
+                .collect();
+            for b in 0..blocks {
+                let off = b * W;
+                let mut acc = _mm_loadu_si128(dst.as_ptr().add(off).cast());
+                for &(tl, th, src) in &tables {
+                    let s = _mm_loadu_si128(src.add(off).cast());
+                    let lo = _mm_and_si128(s, mask);
+                    let hi = _mm_and_si128(_mm_srli_epi16(s, 4), mask);
+                    let prod = _mm_xor_si128(_mm_shuffle_epi8(tl, lo), _mm_shuffle_epi8(th, hi));
+                    acc = _mm_xor_si128(acc, prod);
+                }
+                _mm_storeu_si128(dst.as_mut_ptr().add(off).cast(), acc);
+            }
+        }
+        let tail = blocks * W;
+        for (c, src) in terms {
+            mul_add_slice_table(*c, &src[tail..], &mut dst[tail..]);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::super::mul_add_slices_table;
+        use super::*;
+
+        #[test]
+        fn vector_kernels_match_portable() {
+            if level() == Level::None {
+                return; // nothing to compare on this machine
+            }
+            for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+                for n_terms in 0..6 {
+                    let sources: Vec<Vec<u8>> = (0..n_terms)
+                        .map(|t| {
+                            (0..len)
+                                .map(|i| (i as u8).wrapping_mul(31).wrapping_add(t as u8))
+                                .collect()
+                        })
+                        .collect();
+                    let terms: Vec<(Gf256, &[u8])> = sources
+                        .iter()
+                        .enumerate()
+                        .map(|(t, s)| (Gf256::new([0u8, 1, 2, 0x53, 0x8e, 0xff][t]), s.as_slice()))
+                        .collect();
+                    let mut simd = vec![0x5Au8; len];
+                    let mut portable = simd.clone();
+                    assert!(dispatch_mul_add_slices(&terms, &mut simd));
+                    mul_add_slices_table(&terms, &mut portable);
+                    assert_eq!(simd, portable, "len={len} n_terms={n_terms}");
+                }
+            }
+        }
+    }
+}
+
+/// Byte-at-a-time `dst[i] = c · src[i]` through the `Gf256` operators — the
+/// reference oracle for [`mul_slice`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn scalar_mul_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "scalar_mul_slice length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (c * Gf256::new(*s)).value();
+    }
+}
+
+/// Byte-at-a-time `dst[i] ^= c · src[i]` through the `Gf256` operators — the
+/// reference oracle for [`mul_add_slice`] and [`mul_add_slices`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn scalar_mul_add_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "scalar_mul_add_slice length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (Gf256::new(*d) + c * Gf256::new(*s)).value();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                (i as u8)
+                    .wrapping_mul(31)
+                    .wrapping_add(seed)
+                    .wrapping_mul(97)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mul_table_matches_operator() {
+        for a in (0..=255u16).step_by(3) {
+            for b in (0..=255u16).step_by(5) {
+                let expected = (Gf256::new(a as u8) * Gf256::new(b as u8)).value();
+                assert_eq!(MUL_TABLE[a as usize][b as usize], expected, "a={a} b={b}");
+            }
+        }
+        assert!(MUL_TABLE[0].iter().all(|&x| x == 0));
+        for x in 0..=255u8 {
+            assert_eq!(MUL_TABLE[1][x as usize], x, "row 1 is the identity");
+        }
+    }
+
+    #[test]
+    fn xor_slice_matches_scalar_all_lengths() {
+        for len in [0usize, 1, 7, 15, 16, 17, 33, 64, 100] {
+            let src = sample(len, 1);
+            let mut dst = sample(len, 2);
+            let mut expected = dst.clone();
+            scalar_mul_add_slice(Gf256::ONE, &src, &mut expected);
+            xor_slice(&src, &mut dst);
+            assert_eq!(dst, expected, "len={len}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar() {
+        for c in [0u8, 1, 2, 0x53, 0xff] {
+            for len in [0usize, 1, 7, 8, 9, 63, 200] {
+                let src = sample(len, 3);
+                let mut dst = vec![0xAA; len];
+                let mut expected = vec![0xAA; len];
+                mul_slice(Gf256::new(c), &src, &mut dst);
+                scalar_mul_slice(Gf256::new(c), &src, &mut expected);
+                assert_eq!(dst, expected, "c={c} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_matches_scalar() {
+        for c in [0u8, 1, 2, 0x1d, 0x80, 0xfe] {
+            for len in [0usize, 1, 5, 8, 16, 17, 255] {
+                let src = sample(len, 4);
+                let mut dst = sample(len, 5);
+                let mut expected = dst.clone();
+                mul_add_slice(Gf256::new(c), &src, &mut dst);
+                scalar_mul_add_slice(Gf256::new(c), &src, &mut expected);
+                assert_eq!(dst, expected, "c={c} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_matches_sequential_application() {
+        for n_terms in 0..=9 {
+            let len = 75;
+            let sources: Vec<Vec<u8>> = (0..n_terms).map(|t| sample(len, t as u8)).collect();
+            let coeffs: Vec<Gf256> = (0..n_terms)
+                .map(|t| Gf256::new([0, 1, 7, 0x35, 0xb2][t % 5]))
+                .collect();
+            let terms: Vec<(Gf256, &[u8])> = coeffs
+                .iter()
+                .copied()
+                .zip(sources.iter().map(Vec::as_slice))
+                .collect();
+
+            let mut fused = sample(len, 0x77);
+            let mut sequential = fused.clone();
+            mul_add_slices(&terms, &mut fused);
+            for (c, s) in &terms {
+                scalar_mul_add_slice(*c, s, &mut sequential);
+            }
+            assert_eq!(fused, sequential, "n_terms={n_terms}");
+        }
+    }
+
+    #[test]
+    fn scale_slice_matches_scalar() {
+        for c in [0u8, 1, 0x9c] {
+            let mut buf = sample(40, 9);
+            let mut expected = vec![0; 40];
+            scalar_mul_slice(Gf256::new(c), &buf.clone(), &mut expected);
+            scale_slice(Gf256::new(c), &mut buf);
+            assert_eq!(buf, expected, "c={c}");
+        }
+    }
+}

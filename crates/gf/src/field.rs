@@ -5,6 +5,10 @@
 //! (0x11d) via log/exp tables. The tables are computed once by a `const fn` at
 //! compile time, so lookups are branch-free and allocation-free.
 
+// In GF(2^8), addition/subtraction *are* XOR and division is multiplication
+// by the inverse — the "suspicious arithmetic" clippy lints do not apply.
+#![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+
 use std::fmt;
 use std::iter::{Product, Sum};
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -124,7 +128,10 @@ impl Gf256 {
     /// Panics if `self` is zero.
     #[inline]
     pub fn inverse(self) -> Self {
-        assert!(!self.is_zero(), "zero has no multiplicative inverse in GF(256)");
+        assert!(
+            !self.is_zero(),
+            "zero has no multiplicative inverse in GF(256)"
+        );
         let log = LOG_TABLE[self.0 as usize] as usize;
         Gf256(EXP_TABLE[GROUP_ORDER - log])
     }
@@ -171,41 +178,12 @@ impl Gf256 {
     ///
     /// Panics if the slices have different lengths.
     pub fn mul_acc_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "mul_acc_slice length mismatch");
-        if coeff.is_zero() {
-            return;
-        }
-        if coeff == Gf256::ONE {
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= s;
-            }
-            return;
-        }
-        let log_c = LOG_TABLE[coeff.0 as usize] as usize;
-        for (d, s) in dst.iter_mut().zip(src) {
-            if *s != 0 {
-                let log_s = LOG_TABLE[*s as usize] as usize;
-                *d ^= EXP_TABLE[log_c + log_s];
-            }
-        }
+        crate::bulk::mul_add_slice(coeff, src, dst);
     }
 
     /// Multiplies every byte of `buf` by `coeff` in place.
     pub fn scale_slice(coeff: Gf256, buf: &mut [u8]) {
-        if coeff == Gf256::ONE {
-            return;
-        }
-        if coeff.is_zero() {
-            buf.fill(0);
-            return;
-        }
-        let log_c = LOG_TABLE[coeff.0 as usize] as usize;
-        for b in buf.iter_mut() {
-            if *b != 0 {
-                let log_b = LOG_TABLE[*b as usize] as usize;
-                *b = EXP_TABLE[log_c + log_b];
-            }
-        }
+        crate::bulk::scale_slice(coeff, buf);
     }
 }
 
@@ -426,7 +404,9 @@ mod tests {
 
     #[test]
     fn mul_acc_slice_matches_scalar_loop() {
-        let src: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let src: Vec<u8> = (0..64u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
         let mut dst: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(59)).collect();
         let mut expected = dst.clone();
         let c = Gf256::new(0x9d);
@@ -474,7 +454,10 @@ mod tests {
         // Associativity, commutativity and distributivity on a pseudo-random
         // sample of triples (exhaustive would be 2^24 checks; the sample plus
         // the proptest suite below gives good confidence).
-        let sample: Vec<Gf256> = (0u16..=255).step_by(3).map(|v| Gf256::new(v as u8)).collect();
+        let sample: Vec<Gf256> = (0u16..=255)
+            .step_by(3)
+            .map(|v| Gf256::new(v as u8))
+            .collect();
         for (i, &a) in sample.iter().enumerate() {
             let b = sample[(i * 7 + 3) % sample.len()];
             let c = sample[(i * 13 + 5) % sample.len()];

@@ -13,6 +13,12 @@
 //! transpose, Gaussian elimination / inversion, rank, sub-matrix selection,
 //! and Vandermonde / Cauchy constructors.
 //!
+//! The [`bulk`] module holds the slice kernels every hot path runs on: a
+//! compile-time 256 × 256 multiplication table, `u128`-word XOR for the
+//! `c = 1` path, and a fused multi-source multiply-accumulate that applies up
+//! to four coefficient/source pairs per pass over the destination. The
+//! byte-at-a-time scalar path is kept alongside as the property-test oracle.
+//!
 //! # Example
 //!
 //! ```rust
@@ -28,9 +34,13 @@
 //!
 //! [`lds-codes`]: ../lds_codes/index.html
 
-#![forbid(unsafe_code)]
+// Unsafe code is banned everywhere except the explicitly allowed SIMD
+// kernels in `bulk::x86`, which need `core::arch` intrinsics and raw-pointer
+// loads; they are gated behind runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod field;
 pub mod matrix;
 

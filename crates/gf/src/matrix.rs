@@ -66,7 +66,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zero(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Matrix { rows, cols, data: vec![Gf256::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf256::ZERO; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major vector of elements.
@@ -75,7 +79,11 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<Gf256>) -> Self {
-        assert_eq!(data.len(), rows * cols, "element count must match dimensions");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "element count must match dimensions"
+        );
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
         Matrix { rows, cols, data }
     }
@@ -113,7 +121,10 @@ impl Matrix {
     ///
     /// Panics if `rows > 255` (evaluation points would repeat).
     pub fn vandermonde(rows: usize, cols: usize) -> Self {
-        assert!(rows <= 255, "at most 255 distinct evaluation points in GF(256)");
+        assert!(
+            rows <= 255,
+            "at most 255 distinct evaluation points in GF(256)"
+        );
         Matrix::from_fn(rows, cols, |r, c| Gf256::exp(r).pow(c))
     }
 
@@ -125,7 +136,10 @@ impl Matrix {
     ///
     /// Panics if `rows + cols > 256`.
     pub fn cauchy(rows: usize, cols: usize) -> Self {
-        assert!(rows + cols <= 256, "Cauchy construction needs rows + cols <= 256");
+        assert!(
+            rows + cols <= 256,
+            "Cauchy construction needs rows + cols <= 256"
+        );
         Matrix::from_fn(rows, cols, |r, c| {
             let x = Gf256::new(r as u8);
             let y = Gf256::new((rows + c) as u8);
@@ -221,7 +235,10 @@ impl Matrix {
     ///
     /// Panics if the column counts differ.
     pub fn vconcat(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "vconcat requires equal column counts");
+        assert_eq!(
+            self.cols, other.cols,
+            "vconcat requires equal column counts"
+        );
         let mut m = Matrix::zero(self.rows + other.rows, self.cols);
         for r in 0..self.rows {
             m.row_mut(r).copy_from_slice(self.row(r));
@@ -270,14 +287,56 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix product `self * rhs` written into a caller-provided matrix,
+    /// avoiding the output allocation of [`Matrix::checked_mul`]. `out` is
+    /// overwritten (it does not need to be zeroed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if the inner dimensions or
+    /// the output dimensions do not agree.
+    pub fn mul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), MatrixError> {
+        if self.cols != rhs.rows || out.rows != self.rows || out.cols != rhs.cols {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        out.data.fill(Gf256::ZERO);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Multiplies the matrix by a column vector.
     ///
     /// # Panics
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[Gf256]) -> Vec<Gf256> {
-        assert_eq!(v.len(), self.cols, "vector length must equal column count");
         let mut out = vec![Gf256::ZERO; self.rows];
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// Multiplies the matrix by a column vector, writing into a
+    /// caller-provided buffer. `out` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, v: &[Gf256], out: &mut [Gf256]) {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        assert_eq!(out.len(), self.rows, "output length must equal row count");
         for r in 0..self.rows {
             let mut acc = Gf256::ZERO;
             for c in 0..self.cols {
@@ -285,7 +344,6 @@ impl Matrix {
             }
             out[r] = acc;
         }
-        out
     }
 
     /// Gauss–Jordan inversion.
@@ -304,7 +362,9 @@ impl Matrix {
 
         for col in 0..n {
             // Find pivot.
-            let pivot = (col..n).find(|&r| !a[(r, col)].is_zero()).ok_or(MatrixError::Singular)?;
+            let pivot = (col..n)
+                .find(|&r| !a[(r, col)].is_zero())
+                .ok_or(MatrixError::Singular)?;
             if pivot != col {
                 a.swap_rows(pivot, col);
                 inv.swap_rows(pivot, col);
@@ -462,11 +522,18 @@ mod tests {
     fn vandermonde_square_submatrices_invertible() {
         let v = Matrix::vandermonde(8, 4);
         // Every 4-subset of rows should be invertible; spot-check several.
-        let subsets: [[usize; 4]; 5] =
-            [[0, 1, 2, 3], [4, 5, 6, 7], [0, 2, 4, 6], [1, 3, 5, 7], [0, 3, 5, 6]];
+        let subsets: [[usize; 4]; 5] = [
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+            [0, 2, 4, 6],
+            [1, 3, 5, 7],
+            [0, 3, 5, 6],
+        ];
         for subset in subsets {
             let sub = v.select_rows(&subset);
-            let inv = sub.inverse().expect("Vandermonde submatrix must be invertible");
+            let inv = sub
+                .inverse()
+                .expect("Vandermonde submatrix must be invertible");
             assert_eq!(&sub * &inv, Matrix::identity(4), "subset {subset:?}");
         }
     }
@@ -506,7 +573,10 @@ mod tests {
     fn mul_dimension_mismatch_detected() {
         let a = Matrix::zero(2, 3);
         let b = Matrix::zero(2, 3);
-        assert!(matches!(a.checked_mul(&b), Err(MatrixError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.checked_mul(&b),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -539,6 +609,30 @@ mod tests {
         let left = m.select_cols(&[0]);
         let right = m.select_cols(&[1]);
         assert_eq!(left.hconcat(&right), m);
+    }
+
+    #[test]
+    fn mul_into_matches_checked_mul() {
+        let a = Matrix::vandermonde(4, 3);
+        let b = Matrix::vandermonde(3, 5);
+        let mut out = Matrix::from_bytes(4, 5, &[7; 20]);
+        a.mul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.checked_mul(&b).unwrap());
+
+        let mut wrong = Matrix::zero(3, 5);
+        assert!(matches!(
+            a.mul_into(&b, &mut wrong),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let m = Matrix::vandermonde(5, 4);
+        let v: Vec<Gf256> = (1..=4u8).map(Gf256::new).collect();
+        let mut out = vec![Gf256::new(0xEE); 5];
+        m.mul_vec_into(&v, &mut out);
+        assert_eq!(out, m.mul_vec(&v));
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// A fixed (deterministic) delay.
     pub fn fixed(delay: f64) -> Self {
-        LinkSpec { min: delay, max: delay }
+        LinkSpec {
+            min: delay,
+            max: delay,
+        }
     }
 
     /// A uniformly distributed delay in `[min, max]`.
@@ -40,9 +43,7 @@ impl LinkSpec {
 
     fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
         if self.max > self.min {
-            // `&mut dyn RngCore` is itself a sized `Rng`, so range sampling works
-            // through the reference.
-            (&mut *rng).gen_range(self.min..=self.max)
+            rng.gen_range(self.min..=self.max)
         } else {
             self.min
         }
@@ -87,13 +88,17 @@ pub struct ClassLatency {
 impl ClassLatency {
     /// Creates a model where every unspecified link uses `default`.
     pub fn new(default: LinkSpec) -> Self {
-        ClassLatency { default, table: Vec::new() }
+        ClassLatency {
+            default,
+            table: Vec::new(),
+        }
     }
 
     /// Sets the delay distribution for messages between `a` and `b` (both
     /// directions).
     pub fn with_link(mut self, a: u8, b: u8, spec: LinkSpec) -> Self {
-        self.table.retain(|((x, y), _)| !((*x, *y) == (a, b) || (*x, *y) == (b, a)));
+        self.table
+            .retain(|((x, y), _)| !((*x, *y) == (a, b) || (*x, *y) == (b, a)));
         self.table.push(((a, b), spec));
         self
     }
@@ -137,9 +142,17 @@ mod tests {
             .with_link(1, 1, LinkSpec::fixed(0.5));
         let mut rng = SmallRng::seed_from_u64(7);
         assert_eq!(model.delay(0, 1, &mut rng), 5.0);
-        assert_eq!(model.delay(1, 0, &mut rng), 5.0, "reverse direction uses the same spec");
+        assert_eq!(
+            model.delay(1, 0, &mut rng),
+            5.0,
+            "reverse direction uses the same spec"
+        );
         assert_eq!(model.delay(1, 1, &mut rng), 0.5);
-        assert_eq!(model.delay(0, 2, &mut rng), 1.0, "unspecified pair falls back to default");
+        assert_eq!(
+            model.delay(0, 2, &mut rng),
+            1.0,
+            "unspecified pair falls back to default"
+        );
         assert_eq!(model.upper_bound(1, 0), 5.0);
     }
 

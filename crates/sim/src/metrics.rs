@@ -98,7 +98,11 @@ impl NetworkMetrics {
     /// Data bytes sent on one link class (both directions summed).
     pub fn data_bytes_between_groups(&self, a: u8, b: u8) -> u64 {
         self.by_link.get(&(a, b)).map(|c| c.data_bytes).unwrap_or(0)
-            + if a != b { self.by_link.get(&(b, a)).map(|c| c.data_bytes).unwrap_or(0) } else { 0 }
+            + if a != b {
+                self.by_link.get(&(b, a)).map(|c| c.data_bytes).unwrap_or(0)
+            } else {
+                0
+            }
     }
 
     /// Returns the difference `self - earlier`, used to attribute traffic to

@@ -38,7 +38,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Creates a default configuration with the given seed.
     pub fn with_seed(seed: u64) -> Self {
-        SimConfig { seed, ..Default::default() }
+        SimConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Replaces the latency model.
@@ -55,8 +58,14 @@ impl SimConfig {
 }
 
 enum EventKind<M> {
-    Deliver { from: ProcessId, to: ProcessId, msg: M },
-    Crash { process: ProcessId },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Crash {
+        process: ProcessId,
+    },
 }
 
 struct QueuedEvent<M> {
@@ -148,7 +157,11 @@ where
     /// the metrics to classify links (e.g. 0 = clients, 1 = L1, 2 = L2).
     pub fn spawn(&mut self, process: impl Process<M, E>, group: u8) -> ProcessId {
         let id = ProcessId(self.processes.len());
-        self.processes.push(Slot { process: Box::new(process), group, alive: true });
+        self.processes.push(Slot {
+            process: Box::new(process),
+            group,
+            alive: true,
+        });
         id
     }
 
@@ -159,7 +172,10 @@ where
 
     /// Whether the process is still alive (not crashed).
     pub fn is_alive(&self, id: ProcessId) -> bool {
-        self.processes.get(id.index()).map(|s| s.alive).unwrap_or(false)
+        self.processes
+            .get(id.index())
+            .map(|s| s.alive)
+            .unwrap_or(false)
     }
 
     /// The group a process was spawned in.
@@ -194,12 +210,16 @@ where
 
     /// Downcasts a process to its concrete type for state inspection.
     pub fn process_ref<T: 'static>(&self, id: ProcessId) -> Option<&T> {
-        self.processes.get(id.index()).and_then(|s| s.process.as_any().downcast_ref::<T>())
+        self.processes
+            .get(id.index())
+            .and_then(|s| s.process.as_any().downcast_ref::<T>())
     }
 
     /// Mutable variant of [`Simulation::process_ref`].
     pub fn process_mut<T: 'static>(&mut self, id: ProcessId) -> Option<&mut T> {
-        self.processes.get_mut(id.index()).and_then(|s| s.process.as_any_mut().downcast_mut::<T>())
+        self.processes
+            .get_mut(id.index())
+            .and_then(|s| s.process.as_any_mut().downcast_mut::<T>())
     }
 
     /// Injects a message from the harness ([`ProcessId::EXTERNAL`]) to `to`,
@@ -220,9 +240,20 @@ where
     /// Panics if `time` is in the past or `to` does not exist.
     pub fn inject_at(&mut self, time: f64, to: ProcessId, msg: M) {
         let time = SimTime::new(time);
-        assert!(time >= self.now, "cannot inject into the past ({time} < {})", self.now);
+        assert!(
+            time >= self.now,
+            "cannot inject into the past ({time} < {})",
+            self.now
+        );
         assert!(to.index() < self.processes.len(), "unknown process {to}");
-        self.push_event(time, EventKind::Deliver { from: ProcessId::EXTERNAL, to, msg });
+        self.push_event(
+            time,
+            EventKind::Deliver {
+                from: ProcessId::EXTERNAL,
+                to,
+                msg,
+            },
+        );
     }
 
     /// Schedules a crash of `process` at absolute time `time`.
@@ -233,7 +264,10 @@ where
     pub fn schedule_crash(&mut self, time: f64, process: ProcessId) {
         let time = SimTime::new(time);
         assert!(time >= self.now, "cannot schedule a crash in the past");
-        assert!(process.index() < self.processes.len(), "unknown process {process}");
+        assert!(
+            process.index() < self.processes.len(),
+            "unknown process {process}"
+        );
         self.push_event(time, EventKind::Crash { process });
     }
 
@@ -280,11 +314,18 @@ where
                 // of the simulated network.
                 continue;
             }
-            assert!(to.index() < self.processes.len(), "send to unknown process {to}");
+            assert!(
+                to.index() < self.processes.len(),
+                "send to unknown process {to}"
+            );
             let to_group = self.processes[to.index()].group;
-            self.metrics.record_send(msg.kind(), msg.data_size(), from_group, to_group);
+            self.metrics
+                .record_send(msg.kind(), msg.data_size(), from_group, to_group);
             let delay = self.latency.delay(from_group, to_group, &mut self.rng);
-            assert!(delay.is_finite() && delay >= 0.0, "latency model produced invalid delay");
+            assert!(
+                delay.is_finite() && delay >= 0.0,
+                "latency model produced invalid delay"
+            );
             let at = self.now + delay;
             self.push_event(at, EventKind::Deliver { from: pid, to, msg });
         }
@@ -300,7 +341,10 @@ where
         );
         match event.kind {
             EventKind::Crash { process } => {
-                self.trace.push(TraceRecord::Crash { time: self.now, process });
+                self.trace.push(TraceRecord::Crash {
+                    time: self.now,
+                    process,
+                });
                 if let Some(slot) = self.processes.get_mut(process.index()) {
                     slot.alive = false;
                 }
@@ -308,7 +352,11 @@ where
             EventKind::Deliver { from, to, msg } => {
                 if !self.processes[to.index()].alive {
                     self.metrics.record_drop();
-                    self.trace.push(TraceRecord::Drop { time: self.now, to, kind: msg.kind() });
+                    self.trace.push(TraceRecord::Drop {
+                        time: self.now,
+                        to,
+                        kind: msg.kind(),
+                    });
                     return;
                 }
                 self.metrics.record_delivery();
@@ -391,7 +439,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, from: ProcessId, msg: TestMsg, ctx: &mut Context<'_, TestMsg, u32>) {
+        fn on_message(
+            &mut self,
+            from: ProcessId,
+            msg: TestMsg,
+            ctx: &mut Context<'_, TestMsg, u32>,
+        ) {
             match msg {
                 TestMsg::Ping(i) => ctx.send(from, TestMsg::Pong(i)),
                 TestMsg::Pong(i) => {
@@ -407,8 +460,22 @@ mod tests {
 
     fn two_node_sim(seed: u64) -> (Simulation<TestMsg, u32>, ProcessId, ProcessId) {
         let mut sim = Simulation::new(SimConfig::with_seed(seed).trace(1000));
-        let b = sim.spawn(PingPong { peer: None, rounds: 0, pongs_seen: 0 }, 1);
-        let a = sim.spawn(PingPong { peer: Some(b), rounds: 3, pongs_seen: 0 }, 0);
+        let b = sim.spawn(
+            PingPong {
+                peer: None,
+                rounds: 0,
+                pongs_seen: 0,
+            },
+            1,
+        );
+        let a = sim.spawn(
+            PingPong {
+                peer: Some(b),
+                rounds: 3,
+                pongs_seen: 0,
+            },
+            0,
+        );
         (sim, a, b)
     }
 
@@ -468,7 +535,14 @@ mod tests {
     #[test]
     fn injection_delivers_external_commands() {
         let mut sim: Simulation<TestMsg, u32> = Simulation::new(SimConfig::default());
-        let b = sim.spawn(PingPong { peer: None, rounds: 0, pongs_seen: 0 }, 1);
+        let b = sim.spawn(
+            PingPong {
+                peer: None,
+                rounds: 0,
+                pongs_seen: 0,
+            },
+            1,
+        );
         sim.inject_at(5.0, b, TestMsg::Ping(9));
         sim.run();
         // The injected command is delivered; the responder's reply is

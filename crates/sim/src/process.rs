@@ -119,7 +119,12 @@ impl<'a, M, E> Context<'a, M, E> {
         outgoing: &'a mut Vec<(ProcessId, M)>,
         events: &'a mut Vec<(SimTime, ProcessId, E)>,
     ) -> Self {
-        Context { self_id, now, outgoing, events }
+        Context {
+            self_id,
+            now,
+            outgoing,
+            events,
+        }
     }
 
     /// The id of the process taking the step.
@@ -181,7 +186,10 @@ mod tests {
         ctx.emit("done");
         assert_eq!(ctx.id(), ProcessId(1));
         assert_eq!(ctx.now(), SimTime::new(2.0));
-        assert_eq!(outgoing, vec![(ProcessId(2), 42), (ProcessId(3), 7), (ProcessId(4), 7)]);
+        assert_eq!(
+            outgoing,
+            vec![(ProcessId(2), 42), (ProcessId(3), 7), (ProcessId(4), 7)]
+        );
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].2, "done");
     }

@@ -24,7 +24,10 @@ impl SimTime {
     ///
     /// Panics if `t` is NaN or negative.
     pub fn new(t: f64) -> Self {
-        assert!(t.is_finite() && t >= 0.0, "SimTime must be finite and non-negative, got {t}");
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "SimTime must be finite and non-negative, got {t}"
+        );
         SimTime(t)
     }
 

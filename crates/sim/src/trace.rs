@@ -53,12 +53,22 @@ pub struct Trace {
 impl Trace {
     /// Creates a disabled trace.
     pub fn disabled() -> Self {
-        Trace { enabled: false, cap: 0, records: Vec::new(), truncated: false }
+        Trace {
+            enabled: false,
+            cap: 0,
+            records: Vec::new(),
+            truncated: false,
+        }
     }
 
     /// Creates an enabled trace that keeps at most `cap` records.
     pub fn with_capacity(cap: usize) -> Self {
-        Trace { enabled: true, cap, records: Vec::new(), truncated: false }
+        Trace {
+            enabled: true,
+            cap,
+            records: Vec::new(),
+            truncated: false,
+        }
     }
 
     /// Whether tracing is enabled.
@@ -95,7 +105,10 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
-        t.push(TraceRecord::Crash { time: SimTime::ZERO, process: ProcessId(0) });
+        t.push(TraceRecord::Crash {
+            time: SimTime::ZERO,
+            process: ProcessId(0),
+        });
         assert!(t.records().is_empty());
         assert!(!t.is_enabled());
         assert!(!t.is_truncated());
@@ -105,7 +118,10 @@ mod tests {
     fn capacity_is_enforced() {
         let mut t = Trace::with_capacity(2);
         for i in 0..5 {
-            t.push(TraceRecord::Crash { time: SimTime::new(i as f64), process: ProcessId(i) });
+            t.push(TraceRecord::Crash {
+                time: SimTime::new(i as f64),
+                process: ProcessId(i),
+            });
         }
         assert_eq!(t.records().len(), 2);
         assert!(t.is_truncated());

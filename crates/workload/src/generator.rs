@@ -17,7 +17,11 @@ pub struct ValueGenerator {
 impl ValueGenerator {
     /// Creates a generator producing values of `size` bytes.
     pub fn new(size: usize, seed: u64) -> Self {
-        ValueGenerator { size, counter: 0, rng: SmallRng::seed_from_u64(seed) }
+        ValueGenerator {
+            size,
+            counter: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Produces the next value. The first 16 bytes encode a unique counter
@@ -166,7 +170,11 @@ impl ClosedLoopWorkload {
         // Let background activity (write-to-L2 offloading) quiesce.
         let mut report = runner.run();
         report.history = lds_core::consistency::History::from_events(
-            runner.sim().events().iter().map(|(t, _, e)| (e.clone(), *t)),
+            runner
+                .sim()
+                .events()
+                .iter()
+                .map(|(t, _, e)| (e.clone(), *t)),
         );
         report
     }

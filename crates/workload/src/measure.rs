@@ -67,8 +67,11 @@ pub fn measure_costs(params: SystemParams, backend: BackendKind, mu: f64) -> Cos
 
     // --- Write cost and latency: a single write on an idle system. ---
     let (write_cost, write_latency) = {
-        let mut runner =
-            SimRunner::new(RunnerConfig::new(params).backend(backend).latencies(1.0, 1.0, mu));
+        let mut runner = SimRunner::new(
+            RunnerConfig::new(params)
+                .backend(backend)
+                .latencies(1.0, 1.0, mu),
+        );
         let w = runner.add_writer();
         runner.invoke_write(w, 0.0, vec![0xA5; value_size]);
         let report = runner.run();
@@ -81,8 +84,11 @@ pub fn measure_costs(params: SystemParams, backend: BackendKind, mu: f64) -> Cos
 
     // --- Read cost / latency with δ = 0: write, quiesce, then read. ---
     let (read_cost_idle, read_latency) = {
-        let mut runner =
-            SimRunner::new(RunnerConfig::new(params).backend(backend).latencies(1.0, 1.0, mu));
+        let mut runner = SimRunner::new(
+            RunnerConfig::new(params)
+                .backend(backend)
+                .latencies(1.0, 1.0, mu),
+        );
         let w = runner.add_writer();
         let r = runner.add_reader();
         runner.invoke_write(w, 0.0, vec![0x3C; value_size]);
@@ -98,13 +104,19 @@ pub fn measure_costs(params: SystemParams, backend: BackendKind, mu: f64) -> Cos
             .iter()
             .find(|o| !o.is_write())
             .expect("read completed");
-        (bytes as f64 / value_size as f64, read.completed_at - read.invoked_at)
+        (
+            bytes as f64 / value_size as f64,
+            read.completed_at - read.invoked_at,
+        )
     };
 
     // --- Read cost with δ > 0: the read overlaps an in-flight write. ---
     let read_cost_concurrent = {
-        let mut runner =
-            SimRunner::new(RunnerConfig::new(params).backend(backend).latencies(1.0, 1.0, mu));
+        let mut runner = SimRunner::new(
+            RunnerConfig::new(params)
+                .backend(backend)
+                .latencies(1.0, 1.0, mu),
+        );
         let w = runner.add_writer();
         let r = runner.add_reader();
         runner.invoke_write(w, 0.0, vec![0x77; value_size]);
@@ -119,8 +131,11 @@ pub fn measure_costs(params: SystemParams, backend: BackendKind, mu: f64) -> Cos
 
     // --- L2 storage per object. ---
     let l2_storage = {
-        let mut runner =
-            SimRunner::new(RunnerConfig::new(params).backend(backend).latencies(1.0, 1.0, mu));
+        let mut runner = SimRunner::new(
+            RunnerConfig::new(params)
+                .backend(backend)
+                .latencies(1.0, 1.0, mu),
+        );
         let w = runner.add_writer();
         runner.invoke_write(w, 0.0, vec![0x11; value_size]);
         let report = runner.run();
@@ -150,7 +165,10 @@ pub fn measure_costs(params: SystemParams, backend: BackendKind, mu: f64) -> Cos
             measured: read_cost_concurrent,
             predicted: lds_core::costs::read_cost(&params, 1),
         },
-        l2_storage: CostMeasurement { measured: l2_storage, predicted: predicted_l2 },
+        l2_storage: CostMeasurement {
+            measured: l2_storage,
+            predicted: predicted_l2,
+        },
         write_latency: CostMeasurement {
             measured: write_latency,
             predicted: bounds.write_latency_bound(),

@@ -71,7 +71,9 @@ pub fn run_multi_object(config: &MultiObjectConfig) -> MultiObjectReport {
         .seed(config.seed)
         .latencies(1.0, 1.0, config.mu);
     let mut runner = SimRunner::new(runner_config);
-    let writers: Vec<_> = (0..config.concurrent_writers).map(|_| runner.add_writer()).collect();
+    let writers: Vec<_> = (0..config.concurrent_writers)
+        .map(|_| runner.add_writer())
+        .collect();
 
     let mut values = ValueGenerator::new(config.value_size, config.seed);
     // Schedule writes: each writer performs its writes back-to-back with a

@@ -5,12 +5,12 @@ use lds_core::consistency::History;
 use lds_core::membership::{Membership, CLIENT_GROUP, L1_GROUP, L2_GROUP};
 use lds_core::messages::{LdsMessage, ProtocolEvent};
 use lds_core::params::SystemParams;
+use lds_core::reader::ReaderClient;
 use lds_core::server1::{L1Options, L1Server};
 use lds_core::server2::L2Server;
 use lds_core::tag::{ClientId, ObjectId};
 use lds_core::value::Value;
 use lds_core::writer::WriterClient;
-use lds_core::reader::ReaderClient;
 use lds_sim::{ClassLatency, LinkSpec, NetworkMetrics, ProcessId, SimConfig, SimTime, Simulation};
 use std::sync::Arc;
 
@@ -76,7 +76,10 @@ impl RunnerConfig {
 
     /// Sets the jitter fraction (0 = deterministic delays).
     pub fn jitter(mut self, jitter: f64) -> Self {
-        assert!((0.0..=1.0).contains(&jitter), "jitter must be within [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&jitter),
+            "jitter must be within [0, 1]"
+        );
         self.jitter = jitter;
         self
     }
@@ -138,31 +141,39 @@ impl SimRunner {
         let params = config.params;
         let backend =
             make_backend(config.backend, &params).expect("backend construction for valid params");
+        // Pre-warm the codec's memoized decode / repair plans for the
+        // canonical quorums so measured operations run at steady-state speed.
+        backend.warm_plans();
         let sim_config = SimConfig::with_seed(config.seed).latency(config.latency_model());
         let mut sim: Simulation<LdsMessage, ProtocolEvent> = Simulation::new(sim_config);
 
         // Process ids are assigned densely in spawn order, so the membership
         // can be computed up front: L1 first, then L2.
         let l1: Vec<ProcessId> = (0..params.n1()).map(ProcessId).collect();
-        let l2: Vec<ProcessId> = (params.n1()..params.n1() + params.n2()).map(ProcessId).collect();
+        let l2: Vec<ProcessId> = (params.n1()..params.n1() + params.n2())
+            .map(ProcessId)
+            .collect();
         let membership = Membership::new(l1.clone(), l2.clone());
-        let options = L1Options { direct_broadcast: config.direct_broadcast };
+        let options = L1Options {
+            direct_broadcast: config.direct_broadcast,
+        };
 
         for (j, &expected) in l1.iter().enumerate() {
-            let server = L1Server::new(
-                j,
-                params,
-                membership.clone(),
-                Arc::clone(&backend),
-                options,
-            );
+            let server =
+                L1Server::new(j, params, membership.clone(), Arc::clone(&backend), options);
             let pid = sim.spawn(server, L1_GROUP);
-            assert_eq!(pid, expected, "spawn order must match the precomputed membership");
+            assert_eq!(
+                pid, expected,
+                "spawn order must match the precomputed membership"
+            );
         }
         for (i, &expected) in l2.iter().enumerate() {
             let server = L2Server::new(i, membership.clone(), Arc::clone(&backend));
             let pid = sim.spawn(server, L2_GROUP);
-            assert_eq!(pid, expected, "spawn order must match the precomputed membership");
+            assert_eq!(
+                pid, expected,
+                "spawn order must match the precomputed membership"
+            );
         }
 
         SimRunner {
@@ -247,7 +258,10 @@ impl SimRunner {
         self.sim.inject_at(
             time,
             writer,
-            LdsMessage::InvokeWrite { obj, value: Value::new(value) },
+            LdsMessage::InvokeWrite {
+                obj,
+                value: Value::new(value),
+            },
         );
     }
 
@@ -258,7 +272,8 @@ impl SimRunner {
 
     /// Schedules a read of a specific object at `time`.
     pub fn invoke_read_obj(&mut self, reader: ProcessId, time: f64, obj: ObjectId) {
-        self.sim.inject_at(time, reader, LdsMessage::InvokeRead { obj });
+        self.sim
+            .inject_at(time, reader, LdsMessage::InvokeRead { obj });
     }
 
     /// Crashes the L1 server with code index `index` at `time`.
@@ -316,9 +331,8 @@ impl SimRunner {
     /// Builds the report for the events observed so far without consuming
     /// pending events.
     pub fn report(&self) -> RunReport {
-        let history = History::from_events(
-            self.sim.events().iter().map(|(t, _, e)| (e.clone(), *t)),
-        );
+        let history =
+            History::from_events(self.sim.events().iter().map(|(t, _, e)| (e.clone(), *t)));
         RunReport {
             history,
             metrics: self.sim.metrics().clone(),
@@ -410,8 +424,17 @@ mod tests {
         runner.invoke_write(w, 1.0, b"fault tolerant".to_vec());
         runner.invoke_read(r, 300.0);
         let report = runner.run();
-        assert_eq!(report.history.len(), 2, "operations complete despite crashes");
-        let read = report.history.operations().iter().find(|o| !o.is_write()).unwrap();
+        assert_eq!(
+            report.history.len(),
+            2,
+            "operations complete despite crashes"
+        );
+        let read = report
+            .history
+            .operations()
+            .iter()
+            .find(|o| !o.is_write())
+            .unwrap();
         assert_eq!(read.value().as_bytes(), b"fault tolerant");
         report.history.check_atomicity().unwrap();
     }
@@ -419,8 +442,11 @@ mod tests {
     #[test]
     fn direct_broadcast_reduces_message_count() {
         let run = |direct: bool| {
-            let mut runner =
-                SimRunner::new(RunnerConfig::new(small_params()).seed(9).direct_broadcast(direct));
+            let mut runner = SimRunner::new(
+                RunnerConfig::new(small_params())
+                    .seed(9)
+                    .direct_broadcast(direct),
+            );
             let w = runner.add_writer();
             runner.invoke_write(w, 0.0, b"x".to_vec());
             runner.run().metrics.messages_sent()
@@ -431,7 +457,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed: u64| {
-            let mut runner = SimRunner::new(RunnerConfig::new(small_params()).seed(seed).jitter(0.3));
+            let mut runner =
+                SimRunner::new(RunnerConfig::new(small_params()).seed(seed).jitter(0.3));
             let w = runner.add_writer();
             let r = runner.add_reader();
             runner.invoke_write(w, 0.0, b"det".to_vec());

@@ -13,7 +13,11 @@ use std::sync::Arc;
 fn main() {
     let params = SystemParams::for_failures(1, 1, 3, 5).expect("valid parameters");
     let cluster = Cluster::start(params, BackendKind::Mbr);
-    println!("started cluster: {} L1 threads + {} L2 threads", params.n1(), params.n2());
+    println!(
+        "started cluster: {} L1 threads + {} L2 threads",
+        params.n1(),
+        params.n2()
+    );
 
     // A few application threads hammer different objects concurrently.
     let mut handles = Vec::new();
@@ -48,7 +52,10 @@ fn main() {
     let mut checker = cluster.client();
     for t in 0..3u64 {
         let value = checker.read(t).expect("read completes");
-        println!("object {t}: final value = {:?}", String::from_utf8_lossy(&value));
+        println!(
+            "object {t}: final value = {:?}",
+            String::from_utf8_lossy(&value)
+        );
         assert!(String::from_utf8_lossy(&value).contains("update-4"));
     }
 

@@ -13,7 +13,10 @@ use lds_workload::runner::{RunnerConfig, SimRunner};
 fn scenario(read_delay: f64) -> (f64, f64) {
     let params = SystemParams::symmetric(10, 1).expect("valid parameters");
     let mut runner = SimRunner::new(
-        RunnerConfig::new(params).backend(BackendKind::Mbr).seed(7).latencies(1.0, 1.0, 25.0),
+        RunnerConfig::new(params)
+            .backend(BackendKind::Mbr)
+            .seed(7)
+            .latencies(1.0, 1.0, 25.0),
     );
     let writer = runner.add_writer();
     let reader = runner.add_reader();
@@ -43,8 +46,12 @@ fn main() {
     let (cold_latency, cold_cost) = scenario(1_000.0);
 
     println!("edge-cache behaviour (tau1 = 1, tau2 = 25):");
-    println!("  concurrent read  : latency = {hot_latency:>7.1}, cost = {hot_cost:>6.2} value units");
-    println!("  idle (cold) read : latency = {cold_latency:>7.1}, cost = {cold_cost:>6.2} value units");
+    println!(
+        "  concurrent read  : latency = {hot_latency:>7.1}, cost = {hot_cost:>6.2} value units"
+    );
+    println!(
+        "  idle (cold) read : latency = {cold_latency:>7.1}, cost = {cold_cost:>6.2} value units"
+    );
     println!();
     println!("The concurrent read never touches the back-end, so its latency only depends");
     println!("on the fast edge links; the cold read pays 2*tau2 to regenerate, but thanks");

@@ -17,7 +17,10 @@ fn main() {
     println!("system parameters: {params}");
 
     let mut runner = SimRunner::new(
-        RunnerConfig::new(params).backend(BackendKind::Mbr).seed(99).latencies(1.0, 1.0, 8.0),
+        RunnerConfig::new(params)
+            .backend(BackendKind::Mbr)
+            .seed(99)
+            .latencies(1.0, 1.0, 8.0),
     );
     let writer = runner.add_writer();
     let reader = runner.add_reader();
@@ -39,8 +42,15 @@ fn main() {
 
     let report = runner.run();
     println!("completed operations: {}", report.history.len());
-    assert_eq!(report.history.len(), 8, "all 4 writes and 4 reads must complete");
-    report.history.check_atomicity().expect("execution must stay atomic despite crashes");
+    assert_eq!(
+        report.history.len(),
+        8,
+        "all 4 writes and 4 reads must complete"
+    );
+    report
+        .history
+        .check_atomicity()
+        .expect("execution must stay atomic despite crashes");
     report
         .history
         .check_linearizable_search()

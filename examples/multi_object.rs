@@ -12,7 +12,10 @@ fn main() {
     let params = SystemParams::symmetric(10, 1).expect("valid parameters"); // k = d = 8
     println!("system parameters: {params}");
     println!();
-    println!("{:>6} {:>14} {:>10} {:>14} {:>10}", "N", "peak L1", "L1 bound", "final L2", "L2 bound");
+    println!(
+        "{:>6} {:>14} {:>10} {:>14} {:>10}",
+        "N", "peak L1", "L1 bound", "final L2", "L2 bound"
+    );
 
     for objects in [1usize, 2, 4, 8, 16] {
         let config = MultiObjectConfig {

@@ -41,7 +41,10 @@ fn main() {
         );
     }
 
-    report.history.check_atomicity().expect("the execution must be atomic");
+    report
+        .history
+        .check_atomicity()
+        .expect("the execution must be atomic");
     println!(
         "atomicity check passed; {} messages exchanged, {} data bytes",
         report.metrics.messages_sent(),

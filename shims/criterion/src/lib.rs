@@ -1,0 +1,269 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use: `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is warmed up
+//! briefly and then timed over `sample_size` batches; the mean, minimum and
+//! throughput are printed as aligned text. If the `CRITERION_JSON`
+//! environment variable names a file, one JSON object per benchmark is
+//! appended to it — the repository's `BENCH_CODES.json` is produced that way.
+
+use std::fmt;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box as _std_black_box;
+
+/// Prevents the optimizer from eliding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How a benchmark's throughput is accounted.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter (typically the input size).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// (total elapsed, total iterations) of the measured samples.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up and auto-tuning the per-sample
+    /// iteration count so each sample runs for roughly a millisecond.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes >= 1 ms.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += iters_per_sample;
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the amount of work one iteration performs, enabling
+    /// throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            result: None,
+        };
+        f(&mut bencher, input);
+        self.report(&label, bencher.result);
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        self.report(&label, bencher.result);
+    }
+
+    fn report(&self, label: &str, result: Option<(Duration, u64)>) {
+        let Some((total, iters)) = result else {
+            println!("{label:<55} (no measurement)");
+            return;
+        };
+        let mean_ns = total.as_nanos() as f64 / iters as f64;
+        let mut line = format!("{label:<55} {:>12.1} ns/iter", mean_ns);
+        let mut bytes_per_iter = 0u64;
+        if let Some(Throughput::Bytes(bytes)) = self.throughput {
+            bytes_per_iter = bytes;
+            let gib_s = bytes as f64 / mean_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+            line.push_str(&format!("  {gib_s:>8.3} GiB/s"));
+        }
+        println!("{line}");
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    f,
+                    "{{\"bench\": \"{label}\", \"mean_ns\": {mean_ns:.1}, \
+                     \"iters\": {iters}, \"bytes_per_iter\": {bytes_per_iter}}}"
+                );
+            }
+        }
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n-- group: {name} --");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// Declares a benchmark group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::new("xor", 64), &vec![1u8; 64], |b, v| {
+            b.iter(|| v.iter().fold(0u8, |a, x| a ^ x))
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = quick_bench
+    }
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        benches();
+    }
+}

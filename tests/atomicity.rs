@@ -16,8 +16,7 @@ fn small_params() -> SystemParams {
 #[test]
 fn concurrent_readers_and_writers_are_atomic_across_seeds() {
     for seed in 0..10u64 {
-        let mut runner =
-            SimRunner::new(RunnerConfig::new(small_params()).seed(seed).jitter(0.5));
+        let mut runner = SimRunner::new(RunnerConfig::new(small_params()).seed(seed).jitter(0.5));
         for _ in 0..2 {
             runner.add_writer();
         }
@@ -33,7 +32,11 @@ fn concurrent_readers_and_writers_are_atomic_across_seeds() {
             seed,
         };
         let report = workload.run(&mut runner);
-        assert_eq!(report.history.len(), 16, "liveness: every operation completes (seed {seed})");
+        assert_eq!(
+            report.history.len(),
+            16,
+            "liveness: every operation completes (seed {seed})"
+        );
         report
             .history
             .check_atomicity()
@@ -71,7 +74,11 @@ fn atomicity_holds_with_maximum_crashes_mid_execution() {
             runner.invoke_read(r2, base + 60.0);
         }
         let report = runner.run();
-        assert_eq!(report.history.len(), 12, "all operations complete despite crashes (seed {seed})");
+        assert_eq!(
+            report.history.len(),
+            12,
+            "all operations complete despite crashes (seed {seed})"
+        );
         report
             .history
             .check_atomicity()
@@ -135,8 +142,12 @@ fn multi_object_workloads_are_atomic_per_object() {
 
 #[test]
 fn direct_broadcast_variant_preserves_atomicity() {
-    let mut runner =
-        SimRunner::new(RunnerConfig::new(small_params()).seed(31).direct_broadcast(true).jitter(0.4));
+    let mut runner = SimRunner::new(
+        RunnerConfig::new(small_params())
+            .seed(31)
+            .direct_broadcast(true)
+            .jitter(0.4),
+    );
     for _ in 0..2 {
         runner.add_writer();
     }

@@ -20,7 +20,11 @@ fn read_your_writes_across_clients() {
     for i in 0..10u64 {
         let value = format!("generation {i}").into_bytes();
         a.write(0, value.clone()).unwrap();
-        assert_eq!(b.read(0).unwrap(), value, "a completed write is visible to every later read");
+        assert_eq!(
+            b.read(0).unwrap(),
+            value,
+            "a completed write is visible to every later read"
+        );
     }
     cluster.shutdown();
 }
@@ -46,21 +50,39 @@ fn monotonic_reads_under_concurrent_writers() {
         }));
     }
 
-    // A reader checks that the observed sequence numbers never go backwards
-    // (a consequence of atomicity for sequential reads by one client).
+    // A reader checks that observed tags never go backwards, and that each
+    // writer's sequence numbers are observed in order (the consequences of
+    // atomicity for sequential reads by one client). Sequence numbers of
+    // *different* writers are not globally ordered: a slow writer may commit
+    // its i-th value with a newer tag than a fast writer's much later value.
     let reader_cluster = Arc::clone(&cluster);
     let reader = std::thread::spawn(move || {
         let mut client = reader_cluster.client();
-        let mut last = -1i64;
+        let mut last_tag = None;
+        let mut last_seq_per_writer = [-1i64; 2];
         for _ in 0..40 {
             let value = client.read(0).unwrap();
+            let tag = client.last_tag().unwrap();
+            if let Some(last) = last_tag {
+                assert!(
+                    tag >= last,
+                    "observed tags went backwards: {tag:?} < {last:?}"
+                );
+            }
+            last_tag = Some(tag);
             if value.is_empty() {
                 continue; // initial value
             }
             let text = String::from_utf8(value).unwrap();
-            let seq: i64 = text.split(':').next().unwrap().parse().unwrap();
-            assert!(seq >= last, "observed sequence went backwards: {seq} < {last}");
-            last = seq;
+            let mut parts = text.split(':');
+            let seq: i64 = parts.next().unwrap().parse().unwrap();
+            let writer: usize = parts.next().unwrap().parse().unwrap();
+            assert!(
+                seq >= last_seq_per_writer[writer],
+                "writer {writer}'s sequence went backwards: {seq} < {}",
+                last_seq_per_writer[writer]
+            );
+            last_seq_per_writer[writer] = seq;
         }
     });
 
@@ -81,14 +103,19 @@ fn operations_survive_tolerated_crashes_but_not_more() {
     // Tolerated: f1 = 1, f2 = 1.
     cluster.kill_l1(1);
     cluster.kill_l2(0);
-    client.write(5, b"after tolerated crashes".to_vec()).unwrap();
+    client
+        .write(5, b"after tolerated crashes".to_vec())
+        .unwrap();
     assert_eq!(client.read(5).unwrap(), b"after tolerated crashes");
 
     // One more L1 crash exceeds f1: quorums of f1 + k = 3 out of the 2
     // remaining servers are impossible, so operations time out.
     cluster.kill_l1(2);
     client.set_timeout(Duration::from_millis(300));
-    assert_eq!(client.write(5, b"doomed".to_vec()), Err(ClientError::Timeout));
+    assert_eq!(
+        client.write(5, b"doomed".to_vec()),
+        Err(ClientError::Timeout)
+    );
 
     cluster.shutdown();
 }
@@ -102,7 +129,9 @@ fn distinct_objects_are_independent() {
         handles.push(std::thread::spawn(move || {
             let mut client = cluster.client();
             for i in 0..5u64 {
-                client.write(obj, format!("obj{obj}-v{i}").into_bytes()).unwrap();
+                client
+                    .write(obj, format!("obj{obj}-v{i}").into_bytes())
+                    .unwrap();
             }
             client.read(obj).unwrap()
         }));

@@ -38,8 +38,16 @@ fn lemma_v2_write_cost_scales_linearly_and_read_cost_stays_flat() {
 
     // Measured values stay close to the formulas.
     for report in [&small_report, &large_report] {
-        assert!((report.write_cost.ratio() - 1.0).abs() < 0.2, "{:?}", report.write_cost);
-        assert!((report.read_cost_idle.ratio() - 1.0).abs() < 0.3, "{:?}", report.read_cost_idle);
+        assert!(
+            (report.write_cost.ratio() - 1.0).abs() < 0.2,
+            "{:?}",
+            report.write_cost
+        );
+        assert!(
+            (report.read_cost_idle.ratio() - 1.0).abs() < 0.3,
+            "{:?}",
+            report.read_cost_idle
+        );
     }
 }
 
@@ -126,6 +134,12 @@ fn lemma_v5_temporary_storage_bounded_and_l2_linear_in_objects() {
         l2_values.push(report.final_l2_storage);
     }
     // Permanent storage grows roughly linearly with the number of objects.
-    assert!((l2_values[1] / l2_values[0] - 2.0).abs() < 0.4, "{l2_values:?}");
-    assert!((l2_values[2] / l2_values[1] - 2.0).abs() < 0.4, "{l2_values:?}");
+    assert!(
+        (l2_values[1] / l2_values[0] - 2.0).abs() < 0.4,
+        "{l2_values:?}"
+    );
+    assert!(
+        (l2_values[2] / l2_values[1] - 2.0).abs() < 0.4,
+        "{l2_values:?}"
+    );
 }
