@@ -1,26 +1,50 @@
-//! Synchronous client handles for the thread-based cluster.
+//! Client handles for the thread-based cluster: blocking and pipelined.
+//!
+//! A [`ClusterClient`] hosts the writer and reader automata from `lds-core`
+//! and pumps their messages over the cluster's channels. Two usage styles
+//! share one handle:
+//!
+//! * **Blocking** — [`ClusterClient::write`] / [`ClusterClient::read`] block
+//!   until the operation completes, exactly like the original API. They are
+//!   thin wrappers over the pipelined path with an immediate wait.
+//! * **Pipelined** — [`ClusterClient::submit_write`] /
+//!   [`ClusterClient::submit_read`] enqueue an operation and return an
+//!   [`OpTicket`] immediately; up to `depth` operations run concurrently.
+//!   Completions are harvested with [`ClusterClient::poll`] (non-blocking),
+//!   [`ClusterClient::wait`] (one ticket) or [`ClusterClient::wait_all`].
+//!
+//! Operations on the *same* object are executed in submission order (FIFO
+//! per object, one in flight at a time) — this keeps the per-writer tag
+//! sequence monotonic and gives read-your-writes for a client's own
+//! submissions. Operations on distinct objects proceed concurrently, which
+//! is where the throughput comes from.
 
 use crate::node::Cluster;
-use crate::router::Envelope;
+use crate::router::{Envelope, RouterHandle};
 use crossbeam::channel::Receiver;
 use lds_core::messages::{LdsMessage, ProtocolEvent};
 use lds_core::reader::ReaderClient;
-use lds_core::tag::{ClientId, ObjectId, Tag};
+use lds_core::tag::{ClientId, ObjectId, OpId, Tag};
 use lds_core::value::Value;
 use lds_core::writer::WriterClient;
-use lds_sim::{Context, Process, ProcessId};
+use lds_sim::{Context, ProcessId, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Errors returned by cluster client operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
     /// The operation did not complete within the client's timeout — with
     /// more than `f1` / `f2` servers killed this is the expected outcome.
+    /// Every outstanding operation of the handle is aborted.
     Timeout,
     /// The cluster channels were disconnected (cluster already shut down).
     Disconnected,
+    /// The awaited ticket does not correspond to an outstanding or completed
+    /// operation of this handle (already harvested, aborted, or foreign).
+    UnknownTicket,
 }
 
 impl fmt::Display for ClientError {
@@ -28,26 +52,109 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Timeout => write!(f, "operation timed out"),
             ClientError::Disconnected => write!(f, "cluster is shut down"),
+            ClientError::UnknownTicket => write!(f, "ticket is not outstanding on this handle"),
         }
     }
 }
 
 impl std::error::Error for ClientError {}
 
-/// A synchronous client of a running [`Cluster`].
-///
-/// Internally the handle hosts the writer and reader automata from
-/// `lds-core` and pumps their messages over the cluster's channels; `write`
-/// and `read` block until the corresponding operation completes.
+/// Identifies one submitted operation of a [`ClusterClient`]. Tickets are
+/// handed out in submission order and are unique per handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpTicket(u64);
+
+impl fmt::Display for OpTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The result of one completed operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// A write committed with this tag.
+    Write {
+        /// The tag the writer minted.
+        tag: Tag,
+    },
+    /// A read returned this value.
+    Read {
+        /// The tag of the returned value.
+        tag: Tag,
+        /// The returned value.
+        value: Vec<u8>,
+    },
+}
+
+impl OpOutcome {
+    /// The tag associated with the operation.
+    pub fn tag(&self) -> Tag {
+        match self {
+            OpOutcome::Write { tag } | OpOutcome::Read { tag, .. } => *tag,
+        }
+    }
+}
+
+/// One harvested completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The ticket returned at submission.
+    pub ticket: OpTicket,
+    /// The object the operation acted on.
+    pub obj: u64,
+    /// What the operation produced.
+    pub outcome: OpOutcome,
+    /// Wall-clock time from submission to completion (includes any time the
+    /// operation spent queued behind the pipeline depth or object FIFO).
+    pub latency: Duration,
+}
+
+enum OpKind {
+    Write(Value),
+    Read,
+}
+
+struct QueuedOp {
+    ticket: OpTicket,
+    obj: ObjectId,
+    kind: OpKind,
+    submitted: Instant,
+}
+
+struct InFlight {
+    ticket: OpTicket,
+    submitted: Instant,
+}
+
+/// A client of a running [`Cluster`] supporting blocking and pipelined
+/// operation. See the [module docs](self) for the two usage styles.
 pub struct ClusterClient {
     cluster: Arc<Cluster>,
     pid: ProcessId,
     inbox: Receiver<Envelope>,
+    route: RouterHandle,
     writer: WriterClient,
     reader: ReaderClient,
+    depth: usize,
     timeout: Duration,
-    /// Completed operations (tag of the last one), useful for assertions.
+    next_ticket: u64,
+    /// Submitted operations not yet dispatched into an automaton (waiting
+    /// for a pipeline slot or for their object's previous op).
+    queue: VecDeque<QueuedOp>,
+    /// Objects with a dispatched, unfinished operation.
+    busy_objects: HashSet<ObjectId>,
+    write_ops: HashMap<OpId, InFlight>,
+    read_ops: HashMap<OpId, InFlight>,
+    /// Completed but not yet harvested operations.
+    completions: Vec<Completion>,
+    /// Tag of the last completed operation, useful for assertions.
     last_tag: Option<Tag>,
+    /// Scratch buffers reused across automaton steps (hot path: one client
+    /// processes tens of messages per completed operation).
+    scratch_out: Vec<(ProcessId, LdsMessage)>,
+    scratch_events: Vec<(SimTime, ProcessId, ProtocolEvent)>,
+    scratch_inbox: Vec<Envelope>,
 }
 
 impl ClusterClient {
@@ -56,7 +163,9 @@ impl ClusterClient {
         id: ClientId,
         pid: ProcessId,
         inbox: Receiver<Envelope>,
+        depth: usize,
     ) -> Self {
+        assert!(depth > 0, "pipeline depth must be at least 1");
         let writer = WriterClient::new(id, cluster.params(), cluster.membership().clone());
         let reader = ReaderClient::new(
             id,
@@ -64,26 +173,142 @@ impl ClusterClient {
             cluster.membership().clone(),
             cluster.backend(),
         );
+        let route = cluster.router().handle();
         ClusterClient {
             cluster,
             pid,
             inbox,
+            route,
             writer,
             reader,
+            depth,
             timeout: Duration::from_secs(10),
+            next_ticket: 0,
+            queue: VecDeque::new(),
+            busy_objects: HashSet::new(),
+            write_ops: HashMap::new(),
+            read_ops: HashMap::new(),
+            completions: Vec::new(),
             last_tag: None,
+            scratch_out: Vec::with_capacity(64),
+            scratch_events: Vec::with_capacity(8),
+            scratch_inbox: Vec::with_capacity(64),
         }
     }
 
-    /// Sets the per-operation timeout.
+    /// Sets the timeout for each blocking wait ([`ClusterClient::write`],
+    /// [`ClusterClient::read`], [`ClusterClient::wait`],
+    /// [`ClusterClient::wait_all`]).
     pub fn set_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
+    }
+
+    /// The maximum number of operations this handle keeps in flight.
+    pub fn depth(&self) -> usize {
+        self.depth
     }
 
     /// The tag of this client's most recently completed operation.
     pub fn last_tag(&self) -> Option<Tag> {
         self.last_tag
     }
+
+    /// Operations submitted but not yet harvested: queued + in flight +
+    /// completed-but-unharvested.
+    pub fn pending_ops(&self) -> usize {
+        self.queue.len() + self.in_flight() + self.completions.len()
+    }
+
+    /// Operations currently dispatched into the automata.
+    pub fn in_flight(&self) -> usize {
+        self.write_ops.len() + self.read_ops.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Pipelined API.
+    // ------------------------------------------------------------------
+
+    /// Enqueues a write of `value` to object `obj` and returns its ticket.
+    /// The operation starts immediately if a pipeline slot is free and no
+    /// earlier operation on `obj` is outstanding.
+    pub fn submit_write(&mut self, obj: u64, value: Vec<u8>) -> OpTicket {
+        self.submit(ObjectId(obj), OpKind::Write(Value::new(value)))
+    }
+
+    /// Enqueues a read of object `obj` and returns its ticket.
+    pub fn submit_read(&mut self, obj: u64) -> OpTicket {
+        self.submit(ObjectId(obj), OpKind::Read)
+    }
+
+    /// Processes every message that is already available without blocking
+    /// and returns the completions harvested so far (possibly empty).
+    pub fn poll(&mut self) -> Result<Vec<Completion>, ClientError> {
+        self.pump_available()?;
+        Ok(std::mem::take(&mut self.completions))
+    }
+
+    /// Blocks until at least one completion is available (or every pending
+    /// operation has completed) and returns all harvested completions.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] aborts every outstanding operation of this
+    /// handle; [`ClientError::Disconnected`] after cluster shutdown.
+    pub fn wait_next(&mut self) -> Result<Vec<Completion>, ClientError> {
+        let deadline = Instant::now() + self.timeout;
+        self.pump_available()?;
+        while self.completions.is_empty() && self.outstanding() > 0 {
+            self.pump_blocking(deadline)?;
+        }
+        Ok(std::mem::take(&mut self.completions))
+    }
+
+    /// Blocks until the operation behind `ticket` completes and returns its
+    /// completion. Completions of other operations harvested along the way
+    /// are retained for later `poll`/`wait` calls.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::UnknownTicket`] if the ticket is not outstanding;
+    /// [`ClientError::Timeout`] (which aborts every outstanding operation)
+    /// or [`ClientError::Disconnected`] as for [`ClusterClient::wait_all`].
+    pub fn wait(&mut self, ticket: OpTicket) -> Result<Completion, ClientError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            self.pump_available()?;
+            if let Some(i) = self.completions.iter().position(|c| c.ticket == ticket) {
+                return Ok(self.completions.remove(i));
+            }
+            if !self.is_outstanding(ticket) {
+                return Err(ClientError::UnknownTicket);
+            }
+            self.pump_blocking(deadline)?;
+        }
+    }
+
+    /// Blocks until every submitted operation has completed and returns all
+    /// harvested completions in ticket order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] aborts every outstanding operation of this
+    /// handle; [`ClientError::Disconnected`] after cluster shutdown.
+    pub fn wait_all(&mut self) -> Result<Vec<Completion>, ClientError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            self.pump_available()?;
+            if self.outstanding() == 0 {
+                let mut done = std::mem::take(&mut self.completions);
+                done.sort_by_key(|c| c.ticket);
+                return Ok(done);
+            }
+            self.pump_blocking(deadline)?;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking wrappers.
+    // ------------------------------------------------------------------
 
     /// Writes `value` to object `obj`, blocking until the write is atomic-
     /// committed (acknowledged by `f1 + k` L1 servers).
@@ -94,17 +319,11 @@ impl ClusterClient {
     /// time (e.g. too many servers were killed) and
     /// [`ClientError::Disconnected`] after shutdown.
     pub fn write(&mut self, obj: u64, value: Vec<u8>) -> Result<Tag, ClientError> {
-        let invoke = LdsMessage::InvokeWrite {
-            obj: ObjectId(obj),
-            value: Value::new(value),
-        };
-        let event = self.drive(true, invoke)?;
-        match event {
-            ProtocolEvent::WriteCompleted { tag, .. } => {
-                self.last_tag = Some(tag);
-                Ok(tag)
-            }
-            other => unreachable!("writer emitted a read completion: {other:?}"),
+        let ticket = self.submit_write(obj, value);
+        let completion = self.wait(ticket)?;
+        match completion.outcome {
+            OpOutcome::Write { tag } => Ok(tag),
+            OpOutcome::Read { .. } => unreachable!("write ticket yielded a read outcome"),
         }
     }
 
@@ -116,56 +335,214 @@ impl ClusterClient {
     /// Returns [`ClientError::Timeout`] or [`ClientError::Disconnected`] as
     /// for [`ClusterClient::write`].
     pub fn read(&mut self, obj: u64) -> Result<Vec<u8>, ClientError> {
-        let invoke = LdsMessage::InvokeRead { obj: ObjectId(obj) };
-        let event = self.drive(false, invoke)?;
-        match event {
-            ProtocolEvent::ReadCompleted { tag, value, .. } => {
-                self.last_tag = Some(tag);
-                Ok(value.as_bytes().to_vec())
-            }
-            other => unreachable!("reader emitted a write completion: {other:?}"),
+        let ticket = self.submit_read(obj);
+        let completion = self.wait(ticket)?;
+        match completion.outcome {
+            OpOutcome::Read { value, .. } => Ok(value),
+            OpOutcome::Write { .. } => unreachable!("read ticket yielded a write outcome"),
         }
     }
 
-    /// Feeds `invoke` into the appropriate automaton and pumps messages until
-    /// it emits a completion event.
-    fn drive(&mut self, is_write: bool, invoke: LdsMessage) -> Result<ProtocolEvent, ClientError> {
-        let deadline = std::time::Instant::now() + self.timeout;
-        let mut pending = vec![(ProcessId::EXTERNAL, invoke)];
-        loop {
-            // Step the automaton with everything we have buffered.
-            for (from, msg) in pending.drain(..) {
-                let mut outgoing = Vec::new();
-                let mut events = Vec::new();
-                let now = self.cluster.elapsed();
-                let mut ctx = Context::standalone(self.pid, now, &mut outgoing, &mut events);
-                if is_write {
-                    self.writer.on_message(from, msg, &mut ctx);
-                } else {
-                    self.reader.on_message(from, msg, &mut ctx);
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn submit(&mut self, obj: ObjectId, kind: OpKind) -> OpTicket {
+        let ticket = OpTicket(self.next_ticket);
+        self.next_ticket += 1;
+        self.queue.push_back(QueuedOp {
+            ticket,
+            obj,
+            kind,
+            submitted: Instant::now(),
+        });
+        self.try_dispatch();
+        ticket
+    }
+
+    /// Queued + dispatched (not yet completed) operations.
+    fn outstanding(&self) -> usize {
+        self.queue.len() + self.in_flight()
+    }
+
+    fn is_outstanding(&self, ticket: OpTicket) -> bool {
+        self.queue.iter().any(|q| q.ticket == ticket)
+            || self.write_ops.values().any(|f| f.ticket == ticket)
+            || self.read_ops.values().any(|f| f.ticket == ticket)
+    }
+
+    /// Starts as many queued operations as the pipeline depth and per-object
+    /// FIFO allow. Scanning in submission order guarantees that of two queued
+    /// operations on the same object, the earlier one always dispatches
+    /// first.
+    fn try_dispatch(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let mut outgoing = std::mem::take(&mut self.scratch_out);
+        let mut events = std::mem::take(&mut self.scratch_events);
+        let now = self.cluster.elapsed();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.in_flight() >= self.depth {
+                break;
+            }
+            if self.busy_objects.contains(&self.queue[i].obj) {
+                i += 1;
+                continue;
+            }
+            let q = self.queue.remove(i).expect("index checked");
+            let mut ctx = Context::standalone(self.pid, now, &mut outgoing, &mut events);
+            let in_flight = InFlight {
+                ticket: q.ticket,
+                submitted: q.submitted,
+            };
+            match q.kind {
+                OpKind::Write(value) => {
+                    let op = self.writer.start_write(q.obj, value, &mut ctx);
+                    self.write_ops.insert(op, in_flight);
                 }
-                for (to, out) in outgoing {
-                    self.cluster.router().send(self.pid, to, out);
-                }
-                if let Some((_, _, event)) = events.into_iter().next() {
-                    return Ok(event);
+                OpKind::Read => {
+                    let op = self.reader.start_read(q.obj, &mut ctx);
+                    self.read_ops.insert(op, in_flight);
                 }
             }
-            // Wait for the next message from the cluster.
-            let remaining = deadline
-                .checked_duration_since(std::time::Instant::now())
-                .ok_or(ClientError::Timeout)?;
-            match self.inbox.recv_timeout(remaining) {
-                Ok(Envelope::Protocol { from, msg }) => pending.push((from, msg)),
-                Ok(Envelope::Stop) => return Err(ClientError::Disconnected),
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    return Err(ClientError::Timeout)
+            self.busy_objects.insert(q.obj);
+        }
+        debug_assert!(events.is_empty(), "dispatch cannot complete an op");
+        self.route.send_batch(self.pid, outgoing.drain(..));
+        self.scratch_out = outgoing;
+        self.scratch_events = events;
+    }
+
+    /// Feeds one protocol message into the owning automaton, forwards its
+    /// outgoing batch, and harvests any completion.
+    fn deliver(&mut self, from: ProcessId, msg: LdsMessage) {
+        let mut outgoing = std::mem::take(&mut self.scratch_out);
+        let mut events = std::mem::take(&mut self.scratch_events);
+        let now = self.cluster.elapsed();
+        let mut ctx = Context::standalone(self.pid, now, &mut outgoing, &mut events);
+        match &msg {
+            LdsMessage::TagResp { .. } | LdsMessage::AckPutData { .. } => {
+                use lds_sim::Process;
+                self.writer.on_message(from, msg, &mut ctx);
+            }
+            LdsMessage::CommTagResp { .. }
+            | LdsMessage::DataResp { .. }
+            | LdsMessage::AckPutTag { .. } => {
+                use lds_sim::Process;
+                self.reader.on_message(from, msg, &mut ctx);
+            }
+            // Anything else is not addressed to a client automaton.
+            _ => {}
+        }
+        self.route.send_batch(self.pid, outgoing.drain(..));
+        self.scratch_out = outgoing;
+        let completed = !events.is_empty();
+        for (_, _, event) in events.drain(..) {
+            self.finish(event);
+        }
+        self.scratch_events = events;
+        if completed {
+            // Freed slots / objects: queued operations may start now.
+            self.try_dispatch();
+        }
+    }
+
+    fn finish(&mut self, event: ProtocolEvent) {
+        let now = Instant::now();
+        match event {
+            ProtocolEvent::WriteCompleted { op, obj, tag, .. } => {
+                if let Some(f) = self.write_ops.remove(&op) {
+                    self.busy_objects.remove(&obj);
+                    self.last_tag = Some(tag);
+                    self.completions.push(Completion {
+                        ticket: f.ticket,
+                        obj: obj.0,
+                        outcome: OpOutcome::Write { tag },
+                        latency: now.saturating_duration_since(f.submitted),
+                    });
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return Err(ClientError::Disconnected)
+            }
+            ProtocolEvent::ReadCompleted {
+                op,
+                obj,
+                tag,
+                value,
+                ..
+            } => {
+                if let Some(f) = self.read_ops.remove(&op) {
+                    self.busy_objects.remove(&obj);
+                    self.last_tag = Some(tag);
+                    self.completions.push(Completion {
+                        ticket: f.ticket,
+                        obj: obj.0,
+                        outcome: OpOutcome::Read {
+                            tag,
+                            value: value.as_bytes().to_vec(),
+                        },
+                        latency: now.saturating_duration_since(f.submitted),
+                    });
                 }
             }
         }
+    }
+
+    /// Processes every already-queued inbox message without blocking. The
+    /// backlog is claimed in batches (one channel-lock acquisition each).
+    fn pump_available(&mut self) -> Result<(), ClientError> {
+        loop {
+            let mut batch = std::mem::take(&mut self.scratch_inbox);
+            batch.extend(self.inbox.try_iter());
+            if batch.is_empty() {
+                self.scratch_inbox = batch;
+                return Ok(());
+            }
+            let mut result = Ok(());
+            for envelope in batch.drain(..) {
+                match envelope {
+                    Envelope::Protocol { from, msg } => self.deliver(from, msg),
+                    Envelope::Stop => {
+                        result = Err(ClientError::Disconnected);
+                        break;
+                    }
+                }
+            }
+            self.scratch_inbox = batch;
+            result?;
+        }
+    }
+
+    /// Blocks for the next inbox message (up to `deadline`), processes it and
+    /// then drains whatever else arrived.
+    fn pump_blocking(&mut self, deadline: Instant) -> Result<(), ClientError> {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or_else(|| self.abort_timeout())?;
+        match self.inbox.recv_timeout(remaining) {
+            Ok(Envelope::Protocol { from, msg }) => {
+                self.deliver(from, msg);
+                self.pump_available()
+            }
+            Ok(Envelope::Stop) => Err(ClientError::Disconnected),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(self.abort_timeout()),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(ClientError::Disconnected)
+            }
+        }
+    }
+
+    /// Aborts every outstanding operation (timeout semantics: the handle is
+    /// reusable afterwards, but in-flight operations are abandoned and their
+    /// tickets forgotten).
+    fn abort_timeout(&mut self) -> ClientError {
+        self.writer.cancel_all();
+        self.reader.cancel_all();
+        self.queue.clear();
+        self.busy_objects.clear();
+        self.write_ops.clear();
+        self.read_ops.clear();
+        ClientError::Timeout
     }
 }
 
@@ -178,6 +555,7 @@ impl Drop for ClusterClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::ClusterOptions;
     use lds_core::backend::BackendKind;
     use lds_core::params::SystemParams;
 
@@ -233,6 +611,7 @@ mod tests {
             client.write(0, b"doomed".to_vec()),
             Err(ClientError::Timeout)
         );
+        assert_eq!(client.pending_ops(), 0, "timeout aborts outstanding ops");
         cluster.shutdown();
     }
 
@@ -254,6 +633,119 @@ mod tests {
         }
         for h in handles {
             h.join().unwrap();
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pipelined_ops_across_objects_complete() {
+        let cluster = small_cluster();
+        let mut client = cluster.client_with_depth(8);
+        let mut tickets = Vec::new();
+        for obj in 0..8u64 {
+            tickets.push(client.submit_write(obj, format!("v{obj}").into_bytes()));
+        }
+        // More submissions than the depth allows: the rest queue up.
+        for obj in 0..8u64 {
+            tickets.push(client.submit_read(obj));
+        }
+        let completions = client.wait_all().unwrap();
+        assert_eq!(completions.len(), 16);
+        // Ticket order is submission order.
+        let got: Vec<OpTicket> = completions.iter().map(|c| c.ticket).collect();
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(got, sorted);
+        // Every read (second half) observed its object's write (first half):
+        // same-object FIFO means the read dispatched only after the write
+        // completed.
+        for c in &completions[8..] {
+            match &c.outcome {
+                OpOutcome::Read { value, .. } => {
+                    assert_eq!(value, &format!("v{}", c.obj).into_bytes());
+                }
+                other => panic!("expected read outcome, got {other:?}"),
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn same_object_submissions_run_fifo() {
+        let cluster = small_cluster();
+        let mut client = cluster.client_with_depth(8);
+        for i in 0..6u64 {
+            client.submit_write(0, format!("gen-{i}").into_bytes());
+        }
+        client.submit_read(0);
+        let completions = client.wait_all().unwrap();
+        assert_eq!(completions.len(), 7);
+        // Writes committed in submission order: tags strictly increase.
+        let tags: Vec<Tag> = completions[..6].iter().map(|c| c.outcome.tag()).collect();
+        for pair in tags.windows(2) {
+            assert!(pair[0] < pair[1], "same-object writes out of order");
+        }
+        // The trailing read sees the last write.
+        match &completions[6].outcome {
+            OpOutcome::Read { value, .. } => assert_eq!(value, b"gen-5"),
+            other => panic!("expected read outcome, got {other:?}"),
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn poll_is_nonblocking_and_wait_harvests_the_rest() {
+        let cluster = small_cluster();
+        let mut client = cluster.client_with_depth(4);
+        let t0 = client.submit_write(0, b"a".to_vec());
+        let t1 = client.submit_write(1, b"b".to_vec());
+        // poll() never blocks; harvest whatever is ready.
+        let mut harvested: Vec<Completion> = client.poll().unwrap();
+        // Waiting on the second ticket retains the first one's completion if
+        // it arrives meanwhile.
+        let c1 = client.wait(t1).unwrap();
+        assert_eq!(c1.ticket, t1);
+        harvested.extend(client.wait_all().unwrap());
+        let mut seen: Vec<OpTicket> = harvested.iter().map(|c| c.ticket).collect();
+        seen.push(c1.ticket);
+        seen.sort();
+        assert_eq!(seen, vec![t0, t1]);
+        // An already-harvested ticket is unknown.
+        assert_eq!(client.wait(t0), Err(ClientError::UnknownTicket));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pipelined_client_on_sharded_cluster() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let cluster = Cluster::start_with(
+            params,
+            BackendKind::Mbr,
+            ClusterOptions {
+                l1_shards: 3,
+                l2_shards: 2,
+                ..ClusterOptions::default()
+            },
+        );
+        let mut client = cluster.client_with_depth(16);
+        for round in 0..3u64 {
+            for obj in 0..16u64 {
+                client.submit_write(obj, format!("r{round}-o{obj}").into_bytes());
+            }
+            let completions = client.wait_all().unwrap();
+            assert_eq!(completions.len(), 16);
+        }
+        for obj in 0..16u64 {
+            client.submit_read(obj);
+        }
+        let reads = client.wait_all().unwrap();
+        for c in &reads {
+            match &c.outcome {
+                OpOutcome::Read { value, .. } => {
+                    assert_eq!(value, &format!("r2-o{}", c.obj).into_bytes());
+                }
+                other => panic!("expected read outcome, got {other:?}"),
+            }
         }
         cluster.shutdown();
     }

@@ -1,18 +1,25 @@
 //! # lds-cluster
 //!
-//! A thread-based, in-process cluster runtime for the LDS protocol.
+//! A thread-based, in-process cluster runtime for the LDS protocol, built
+//! for throughput.
 //!
 //! The protocol automata in `lds-core` are sans-IO state machines; this crate
 //! drives the *same* implementations used by the simulator over real OS
 //! threads and crossbeam channels, giving a deployment with genuine
 //! concurrency and non-deterministic message interleavings:
 //!
-//! * every L1 and L2 server runs on its own thread with an unbounded inbox;
-//! * clients are synchronous handles ([`ClusterClient`]) usable from any
-//!   thread: `write()` / `read()` block until the operation completes;
+//! * every L1 and L2 server runs as one or more **worker shards** — threads
+//!   that own disjoint partitions of the object space (hash-routed), so
+//!   independent objects are processed in parallel inside one node
+//!   ([`ClusterOptions::l1_shards`] / [`ClusterOptions::l2_shards`]);
+//! * message routing uses an **epoch-swapped immutable snapshot** table:
+//!   steady-state sends take no lock at all, and each node flushes its
+//!   outgoing messages as one batch per protocol step;
+//! * clients are handles ([`ClusterClient`]) usable from any thread, with
+//!   both blocking and **pipelined** operation;
 //! * servers can be killed at runtime to exercise crash-fault tolerance.
 //!
-//! # Example
+//! # Blocking usage
 //!
 //! ```rust
 //! use lds_cluster::Cluster;
@@ -28,6 +35,44 @@
 //! assert_eq!(value, b"hello from a real thread");
 //! cluster.shutdown();
 //! ```
+//!
+//! # Pipelined usage
+//!
+//! One client handle can keep up to `depth` operations in flight. Operations
+//! are submitted with [`ClusterClient::submit_write`] /
+//! [`ClusterClient::submit_read`], which return an [`OpTicket`] immediately;
+//! completions are harvested with [`ClusterClient::poll`] (non-blocking),
+//! [`ClusterClient::wait_next`] (block for the next batch),
+//! [`ClusterClient::wait`] (one ticket) or [`ClusterClient::wait_all`].
+//! Operations on the same object keep submission (FIFO) order — preserving
+//! per-writer tag monotonicity and read-your-writes — while operations on
+//! distinct objects overlap freely:
+//!
+//! ```rust
+//! use lds_cluster::{Cluster, ClusterOptions, OpOutcome};
+//! use lds_core::{params::SystemParams, BackendKind};
+//!
+//! let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+//! let cluster = Cluster::start_with(
+//!     params,
+//!     BackendKind::Mbr,
+//!     ClusterOptions {
+//!         l1_shards: 2, // two worker shards per L1 server
+//!         ..ClusterOptions::default()
+//!     },
+//! );
+//! let mut client = cluster.client_with_depth(8);
+//!
+//! let tickets: Vec<_> = (0..8u64)
+//!     .map(|obj| client.submit_write(obj, vec![obj as u8; 16]))
+//!     .collect();
+//! let completions = client.wait_all().unwrap();
+//! assert_eq!(completions.len(), tickets.len());
+//! for c in &completions {
+//!     assert!(matches!(c.outcome, OpOutcome::Write { .. }));
+//! }
+//! cluster.shutdown();
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,5 +81,6 @@ pub mod client;
 pub mod node;
 pub mod router;
 
-pub use client::{ClientError, ClusterClient};
-pub use node::Cluster;
+pub use client::{ClientError, ClusterClient, Completion, OpOutcome, OpTicket};
+pub use node::{Cluster, ClusterOptions};
+pub use router::shard_of;

@@ -1,4 +1,11 @@
 //! Server node threads and the [`Cluster`] handle.
+//!
+//! Each L1/L2 server process may run as several *worker shards*: identical
+//! automaton instances that own disjoint partitions of the object space
+//! (hash-routed by the [`Router`]). The LDS protocol keeps all per-object
+//! state inside the server's per-object map, so cross-shard invariants are
+//! trivial — a shard simply never sees messages for objects it does not own
+//! — and independent objects are processed in parallel inside one node.
 
 use crate::client::ClusterClient;
 use crate::router::{Envelope, Router};
@@ -7,46 +14,174 @@ use lds_core::membership::Membership;
 use lds_core::messages::{LdsMessage, ProtocolEvent};
 use lds_core::params::SystemParams;
 use lds_core::server1::{L1Options, L1Server};
-use lds_core::server2::L2Server;
+use lds_core::server2::{L2Options, L2Server};
 use lds_core::tag::ClientId;
 use lds_sim::{Context, Process, ProcessId, SimTime};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// Tuning knobs for a [`Cluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterOptions {
+    /// Worker shards per L1 server. Each shard owns a disjoint object
+    /// partition; `1` reproduces the original single-threaded server.
+    pub l1_shards: usize,
+    /// Worker shards per L2 server.
+    pub l2_shards: usize,
+    /// L1 server protocol options.
+    pub l1: L1Options,
+    /// L2 server protocol options.
+    pub l2: L2Options,
+    /// Default maximum number of operations a client created by
+    /// [`Cluster::client`] keeps in flight.
+    pub pipeline_depth: usize,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            l1_shards: 1,
+            l2_shards: 1,
+            l1: L1Options::default(),
+            l2: L2Options::default(),
+            pipeline_depth: 16,
+        }
+    }
+}
+
+impl ClusterOptions {
+    /// The high-throughput profile: every protocol-cost knob flipped towards
+    /// fewer messages per operation (direct COMMIT-TAG broadcast, inline
+    /// self-delivery, committed-value caching, `f1 + 1` offloaders, no L2
+    /// write acks) plus `shards` worker shards per server. Paper-exact cost
+    /// accounting is traded away; atomicity is not (see the stress tests).
+    pub fn high_throughput(shards: usize) -> Self {
+        ClusterOptions {
+            l1_shards: shards,
+            l2_shards: shards,
+            l1: L1Options {
+                direct_broadcast: true,
+                cache_committed_value: true,
+                frugal_offload: true,
+                inline_self_broadcast: true,
+            },
+            l2: L2Options {
+                ack_code_elem: false,
+            },
+            pipeline_depth: 32,
+        }
+    }
+}
+
+/// Occupancy numbers one server shard publishes whenever its inbox drains
+/// (so reading them never contends with the protocol hot path).
+#[derive(Default)]
+struct ShardStats {
+    temp_bytes: AtomicUsize,
+    metadata_entries: AtomicUsize,
+}
+
 /// Drives one server automaton from its inbox until a stop request arrives.
+///
+/// The outgoing/events buffers are allocated once and reused for every step,
+/// and outgoing messages are flushed as one batch per step (one routing-epoch
+/// check instead of one table lookup per recipient).
 fn run_node<P>(
     mut process: P,
     pid: ProcessId,
     router: Router,
     inbox: crossbeam::channel::Receiver<Envelope>,
     started: Instant,
+    publish: impl Fn(&P),
 ) where
     P: Process<LdsMessage, ProtocolEvent>,
 {
-    while let Ok(envelope) = inbox.recv() {
-        match envelope {
-            Envelope::Stop => break,
+    let mut handle = router.handle();
+    let mut outgoing: Vec<(ProcessId, LdsMessage)> = Vec::with_capacity(64);
+    let mut events: Vec<(SimTime, ProcessId, ProtocolEvent)> = Vec::new();
+
+    /// Processes one protocol message.
+    #[allow(clippy::too_many_arguments)]
+    fn step<P: Process<LdsMessage, ProtocolEvent>>(
+        process: &mut P,
+        pid: ProcessId,
+        now: SimTime,
+        handle: &mut crate::router::RouterHandle,
+        outgoing: &mut Vec<(ProcessId, LdsMessage)>,
+        events: &mut Vec<(SimTime, ProcessId, ProtocolEvent)>,
+        from: ProcessId,
+        msg: LdsMessage,
+    ) {
+        let mut ctx = Context::standalone(pid, now, outgoing, events);
+        process.on_message(from, msg, &mut ctx);
+        handle.send_batch(pid, outgoing.drain(..));
+        // Server automata do not emit client events.
+        events.clear();
+    }
+
+    'run: loop {
+        // Only blocked (idle) shards publish stats, so probing them never
+        // contends with the protocol hot path.
+        publish(&process);
+        let first = match inbox.recv() {
+            Ok(e) => e,
+            Err(_) => break 'run,
+        };
+        // One timestamp per batch: the clock feeds event timestamps only,
+        // and a batch is processed within microseconds.
+        let now = SimTime::new(started.elapsed().as_secs_f64());
+        match first {
+            Envelope::Stop => break 'run,
             Envelope::Protocol { from, msg } => {
-                let mut outgoing = Vec::new();
-                let mut events = Vec::new();
-                let now = SimTime::new(started.elapsed().as_secs_f64());
-                let mut ctx = Context::standalone(pid, now, &mut outgoing, &mut events);
-                process.on_message(from, msg, &mut ctx);
-                for (to, msg) in outgoing {
-                    router.send(pid, to, msg);
-                }
-                // Server automata do not emit client events.
+                step(
+                    &mut process,
+                    pid,
+                    now,
+                    &mut handle,
+                    &mut outgoing,
+                    &mut events,
+                    from,
+                    msg,
+                );
             }
         }
+        // Drain the backlog as one batch: a single channel-lock acquisition
+        // claims every queued message.
+        let mut stop = false;
+        for envelope in inbox.try_iter() {
+            match envelope {
+                Envelope::Stop => {
+                    stop = true;
+                    break;
+                }
+                Envelope::Protocol { from, msg } => {
+                    step(
+                        &mut process,
+                        pid,
+                        now,
+                        &mut handle,
+                        &mut outgoing,
+                        &mut events,
+                        from,
+                        msg,
+                    );
+                }
+            }
+        }
+        if stop {
+            break 'run;
+        }
     }
+    publish(&process);
     router.deregister(pid);
 }
 
-/// A running in-process LDS cluster: `n1 + n2` server threads plus any number
-/// of synchronous clients created through [`Cluster::client`].
+/// A running in-process LDS cluster: `n1 + n2` server processes (each split
+/// into one or more worker shard threads) plus any number of clients created
+/// through [`Cluster::client`].
 pub struct Cluster {
     params: SystemParams,
     membership: Membership,
@@ -55,15 +190,35 @@ pub struct Cluster {
     handles: Mutex<Vec<JoinHandle<()>>>,
     next_client: AtomicU64,
     started: Instant,
+    options: ClusterOptions,
+    /// Per L1 server, per shard occupancy stats.
+    l1_stats: Vec<Vec<Arc<ShardStats>>>,
 }
 
 impl Cluster {
-    /// Starts the cluster: spawns one thread per L1 and L2 server.
+    /// Starts the cluster with default options (one shard per server).
     ///
     /// # Panics
     ///
     /// Panics if the backend cannot be constructed for `params`.
     pub fn start(params: SystemParams, backend_kind: BackendKind) -> Arc<Cluster> {
+        Cluster::start_with(params, backend_kind, ClusterOptions::default())
+    }
+
+    /// Starts the cluster: spawns `l1_shards` threads per L1 server and
+    /// `l2_shards` threads per L2 server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend cannot be constructed for `params` or a shard
+    /// count is zero.
+    pub fn start_with(
+        params: SystemParams,
+        backend_kind: BackendKind,
+        options: ClusterOptions,
+    ) -> Arc<Cluster> {
+        assert!(options.l1_shards > 0, "l1_shards must be at least 1");
+        assert!(options.l2_shards > 0, "l2_shards must be at least 1");
         let backend = make_backend(backend_kind, &params)
             .expect("backend construction for validated parameters");
         // Pre-warm the codec's memoized plans (decode / repair inversions for
@@ -77,35 +232,55 @@ impl Cluster {
         let membership = Membership::new(l1.clone(), l2.clone());
         let router = Router::new();
         let started = Instant::now();
-        let mut handles = Vec::with_capacity(params.n1() + params.n2());
+        let mut handles =
+            Vec::with_capacity(params.n1() * options.l1_shards + params.n2() * options.l2_shards);
+        let mut l1_stats = Vec::with_capacity(params.n1());
 
         for (j, &pid) in l1.iter().enumerate() {
-            let inbox = router.register(pid);
-            let server = L1Server::new(
-                j,
-                params,
-                membership.clone(),
-                Arc::clone(&backend),
-                L1Options::default(),
-            );
-            let router = router.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("lds-l1-{j}"))
-                    .spawn(move || run_node(server, pid, router, inbox, started))
-                    .expect("spawn L1 thread"),
-            );
+            let inboxes = router.register_sharded(pid, options.l1_shards);
+            let mut shard_stats = Vec::with_capacity(options.l1_shards);
+            for (s, inbox) in inboxes.into_iter().enumerate() {
+                let server = L1Server::new(
+                    j,
+                    params,
+                    membership.clone(),
+                    Arc::clone(&backend),
+                    options.l1,
+                );
+                let stats = Arc::new(ShardStats::default());
+                shard_stats.push(Arc::clone(&stats));
+                let router = router.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("lds-l1-{j}.{s}"))
+                        .spawn(move || {
+                            run_node(server, pid, router, inbox, started, move |p: &L1Server| {
+                                stats
+                                    .temp_bytes
+                                    .store(p.temporary_storage_bytes(), Ordering::Relaxed);
+                                stats
+                                    .metadata_entries
+                                    .store(p.metadata_entries(), Ordering::Relaxed);
+                            })
+                        })
+                        .expect("spawn L1 thread"),
+                );
+            }
+            l1_stats.push(shard_stats);
         }
         for (i, &pid) in l2.iter().enumerate() {
-            let inbox = router.register(pid);
-            let server = L2Server::new(i, membership.clone(), Arc::clone(&backend));
-            let router = router.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("lds-l2-{i}"))
-                    .spawn(move || run_node(server, pid, router, inbox, started))
-                    .expect("spawn L2 thread"),
-            );
+            let inboxes = router.register_sharded(pid, options.l2_shards);
+            for (s, inbox) in inboxes.into_iter().enumerate() {
+                let server =
+                    L2Server::with_options(i, membership.clone(), Arc::clone(&backend), options.l2);
+                let router = router.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("lds-l2-{i}.{s}"))
+                        .spawn(move || run_node(server, pid, router, inbox, started, |_| {}))
+                        .expect("spawn L2 thread"),
+                );
+            }
         }
 
         Arc::new(Cluster {
@@ -116,6 +291,8 @@ impl Cluster {
             handles: Mutex::new(handles),
             next_client: AtomicU64::new(1),
             started,
+            options,
+            l1_stats,
         })
     }
 
@@ -127,6 +304,11 @@ impl Cluster {
     /// The cluster's membership.
     pub fn membership(&self) -> &Membership {
         &self.membership
+    }
+
+    /// The options the cluster was started with.
+    pub fn options(&self) -> ClusterOptions {
+        self.options
     }
 
     pub(crate) fn router(&self) -> &Router {
@@ -141,18 +323,63 @@ impl Cluster {
         SimTime::new(self.started.elapsed().as_secs_f64())
     }
 
-    /// Creates a synchronous client handle (usable for both reads and
-    /// writes). Each client gets a fresh client id and its own inbox.
+    /// Bytes of values held in the temporary storage of L1 server `index`
+    /// (summed over its shards), as last published when the shards idled.
+    pub fn l1_temporary_bytes(&self, index: usize) -> usize {
+        self.l1_stats[index]
+            .iter()
+            .map(|s| s.temp_bytes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-tag metadata entries held by L1 server `index` (summed over its
+    /// shards), as last published when the shards idled. Bounded over long
+    /// runs thanks to committed-tag garbage collection.
+    pub fn l1_metadata_entries(&self, index: usize) -> usize {
+        self.l1_stats[index]
+            .iter()
+            .map(|s| s.metadata_entries.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total temporary-storage bytes across every L1 server.
+    pub fn total_l1_temporary_bytes(&self) -> usize {
+        (0..self.l1_stats.len())
+            .map(|j| self.l1_temporary_bytes(j))
+            .sum()
+    }
+
+    /// Total per-tag metadata entries across every L1 server.
+    pub fn total_l1_metadata_entries(&self) -> usize {
+        (0..self.l1_stats.len())
+            .map(|j| self.l1_metadata_entries(j))
+            .sum()
+    }
+
+    /// Creates a client handle with the cluster's default pipeline depth.
+    ///
+    /// The handle supports both the blocking [`ClusterClient::write`] /
+    /// [`ClusterClient::read`] calls and the pipelined
+    /// [`ClusterClient::submit_write`] / [`ClusterClient::submit_read`] /
+    /// [`ClusterClient::wait_all`] API. Each client gets a fresh client id
+    /// and its own inbox.
     pub fn client(self: &Arc<Self>) -> ClusterClient {
+        self.client_with_depth(self.options.pipeline_depth)
+    }
+
+    /// Creates a client handle that keeps at most `depth` operations in
+    /// flight.
+    pub fn client_with_depth(self: &Arc<Self>, depth: usize) -> ClusterClient {
         let client_number = self.next_client.fetch_add(1, Ordering::Relaxed);
         let client_id = ClientId(client_number);
         // Client process ids live above all server ids.
         let pid = ProcessId(self.params.n1() + self.params.n2() + client_number as usize);
         let inbox = self.router.register(pid);
-        ClusterClient::new(Arc::clone(self), client_id, pid, inbox)
+        ClusterClient::new(Arc::clone(self), client_id, pid, inbox, depth)
     }
 
-    /// Kills the L1 server with code index `index` (crash failure).
+    /// Kills the L1 server with code index `index` (crash failure): every
+    /// shard stops.
     ///
     /// # Panics
     ///
@@ -161,7 +388,8 @@ impl Cluster {
         self.router.send_stop(self.membership.l1[index]);
     }
 
-    /// Kills the L2 server with index `index` (crash failure).
+    /// Kills the L2 server with index `index` (crash failure): every shard
+    /// stops.
     ///
     /// # Panics
     ///
@@ -196,5 +424,43 @@ mod tests {
         cluster.shutdown();
         // All server inboxes are deregistered after shutdown.
         assert_eq!(cluster.router().len(), 0);
+    }
+
+    #[test]
+    fn sharded_cluster_starts_and_shuts_down() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let cluster = Cluster::start_with(
+            params,
+            BackendKind::Mbr,
+            ClusterOptions {
+                l1_shards: 4,
+                l2_shards: 2,
+                ..ClusterOptions::default()
+            },
+        );
+        // Shards do not change the process count.
+        assert_eq!(cluster.router().len(), 9);
+        let mut client = cluster.client();
+        client.write(11, b"sharded".to_vec()).unwrap();
+        assert_eq!(client.read(11).unwrap(), b"sharded");
+        drop(client);
+        cluster.shutdown();
+        assert_eq!(cluster.router().len(), 0);
+    }
+
+    #[test]
+    fn stats_probes_publish_after_idle() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let cluster = Cluster::start(params, BackendKind::Replication);
+        let mut client = cluster.client();
+        for i in 0..5u64 {
+            client.write(i, vec![7u8; 64]).unwrap();
+        }
+        // Give the shards a moment to drain their inboxes and publish.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let entries = cluster.total_l1_metadata_entries();
+        assert!(entries > 0, "metadata probe never published");
+        drop(client);
+        cluster.shutdown();
     }
 }

@@ -1,10 +1,26 @@
 //! Message routing between cluster threads.
+//!
+//! The routing table is an immutable snapshot behind an epoch counter:
+//! registration and deregistration build a fresh table and bump the epoch,
+//! while senders go through a [`RouterHandle`] that caches the current
+//! snapshot. On the hot path a send is one relaxed-ish atomic load (the epoch
+//! check) plus a `HashMap` lookup — no lock is taken unless the membership
+//! actually changed since the handle last looked. This replaces the previous
+//! design that acquired a `RwLock` on every single send.
+//!
+//! A destination may be *sharded*: several inboxes, each owned by a worker
+//! thread responsible for a disjoint partition of the object space. Messages
+//! are routed to the shard owning their object id, so all traffic for one
+//! object is serialized through one worker while distinct objects proceed in
+//! parallel.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lds_core::messages::LdsMessage;
+use lds_core::tag::ObjectId;
 use lds_sim::ProcessId;
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A message in flight inside the cluster.
@@ -22,61 +38,201 @@ pub enum Envelope {
     Stop,
 }
 
+/// The inboxes of one destination process: one sender per worker shard.
+#[derive(Clone)]
+struct Route {
+    shards: Arc<[Sender<Envelope>]>,
+}
+
+type Table = HashMap<ProcessId, Route>;
+
+struct Shared {
+    /// The current routing table. Mutated copy-on-write under the lock; the
+    /// epoch is bumped while the lock is held, so a handle that observes the
+    /// new epoch and then locks always reads the matching (or newer) table.
+    table: Mutex<Arc<Table>>,
+    epoch: AtomicU64,
+}
+
+/// The shard within `shards` workers that owns `obj`.
+///
+/// A multiplicative hash keeps consecutive object ids from mapping to the
+/// same shard (plain modulo would be fine too, but benchmark sweeps often
+/// use consecutive ids, and `obj % shards` would then depend on the sweep's
+/// stride).
+pub fn shard_of(obj: ObjectId, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let h = obj.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % shards
+}
+
 /// Routes envelopes to per-process inboxes.
 ///
 /// The router is shared by all node threads and clients; registration happens
 /// before threads start, but clients may also register later (each client
-/// gets its own inbox).
-#[derive(Clone, Default)]
+/// gets its own inbox). Hot-path sends go through [`Router::handle`].
+#[derive(Clone)]
 pub struct Router {
-    inner: Arc<RwLock<HashMap<ProcessId, Sender<Envelope>>>>,
+    shared: Arc<Shared>,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Router::new()
+    }
 }
 
 impl Router {
     /// Creates an empty router.
     pub fn new() -> Self {
-        Router::default()
+        Router {
+            shared: Arc::new(Shared {
+                table: Mutex::new(Arc::new(HashMap::new())),
+                epoch: AtomicU64::new(0),
+            }),
+        }
     }
 
-    /// Registers a process and returns the receiving end of its inbox.
+    fn mutate(&self, f: impl FnOnce(&mut Table)) {
+        let mut guard = self.shared.table.lock();
+        let mut table = (**guard).clone();
+        f(&mut table);
+        *guard = Arc::new(table);
+        // Bumped while the table lock is held: a handle that sees the new
+        // epoch and locks observes at least this table.
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Creates a sending handle with its own cached snapshot of the routing
+    /// table. Each thread that sends should own one.
+    pub fn handle(&self) -> RouterHandle {
+        let snapshot = Arc::clone(&self.shared.table.lock());
+        RouterHandle {
+            shared: Arc::clone(&self.shared),
+            epoch: self.shared.epoch.load(Ordering::Acquire),
+            snapshot,
+        }
+    }
+
+    /// Registers a process with a single inbox and returns the receiving end.
     pub fn register(&self, pid: ProcessId) -> Receiver<Envelope> {
-        let (tx, rx) = unbounded();
-        self.inner.write().insert(pid, tx);
-        rx
+        self.register_sharded(pid, 1).pop().expect("one shard")
+    }
+
+    /// Registers a process with `shards` worker inboxes and returns them in
+    /// shard order. Messages are routed to the shard owning their object id
+    /// (see [`shard_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn register_sharded(&self, pid: ProcessId, shards: usize) -> Vec<Receiver<Envelope>> {
+        assert!(shards > 0, "a process needs at least one shard");
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        self.mutate(|table| {
+            table.insert(
+                pid,
+                Route {
+                    shards: senders.into(),
+                },
+            );
+        });
+        receivers
     }
 
     /// Removes a process from the routing table (messages to it are dropped
     /// afterwards, matching the crash-failure model).
     pub fn deregister(&self, pid: ProcessId) {
-        self.inner.write().remove(&pid);
+        self.mutate(|table| {
+            table.remove(&pid);
+        });
     }
 
     /// Sends a protocol message; silently drops it if the destination is not
-    /// registered (crashed), which matches the reliable-channel-to-live-
-    /// destination model.
+    /// registered (crashed). This is the slow path used by tests and one-off
+    /// sends; loops should use a [`RouterHandle`].
     pub fn send(&self, from: ProcessId, to: ProcessId, msg: LdsMessage) {
-        let guard = self.inner.read();
-        if let Some(tx) = guard.get(&to) {
-            let _ = tx.send(Envelope::Protocol { from, msg });
-        }
+        let snapshot = Arc::clone(&self.shared.table.lock());
+        RouterHandle::route(&snapshot, from, to, msg);
     }
 
-    /// Sends a stop request to a process.
+    /// Sends a stop request to every shard of a process.
     pub fn send_stop(&self, to: ProcessId) {
-        let guard = self.inner.read();
-        if let Some(tx) = guard.get(&to) {
-            let _ = tx.send(Envelope::Stop);
+        let snapshot = Arc::clone(&self.shared.table.lock());
+        if let Some(route) = snapshot.get(&to) {
+            for shard in route.shards.iter() {
+                let _ = shard.send(Envelope::Stop);
+            }
         }
     }
 
-    /// Number of registered processes.
+    /// Number of registered processes (shards of one process count once).
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.shared.table.lock().len()
     }
 
     /// Whether no processes are registered.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.shared.table.lock().is_empty()
+    }
+}
+
+/// A sending handle holding a cached snapshot of the routing table.
+///
+/// Sends through the handle are lock-free while the membership is unchanged;
+/// when the epoch moves (a client registered, a server crashed) the next send
+/// refreshes the snapshot once.
+pub struct RouterHandle {
+    shared: Arc<Shared>,
+    epoch: u64,
+    snapshot: Arc<Table>,
+}
+
+impl RouterHandle {
+    #[inline]
+    fn refresh(&mut self) {
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        if epoch != self.epoch {
+            let guard = self.shared.table.lock();
+            self.snapshot = Arc::clone(&guard);
+            self.epoch = self.shared.epoch.load(Ordering::Acquire);
+        }
+    }
+
+    fn route(table: &Table, from: ProcessId, to: ProcessId, msg: LdsMessage) {
+        if let Some(route) = table.get(&to) {
+            let shard = shard_of(msg.object(), route.shards.len());
+            let _ = route.shards[shard].send(Envelope::Protocol { from, msg });
+        }
+    }
+
+    /// Sends a protocol message; silently drops it if the destination is not
+    /// registered (crashed).
+    pub fn send(&mut self, from: ProcessId, to: ProcessId, msg: LdsMessage) {
+        self.refresh();
+        Self::route(&self.snapshot, from, to, msg);
+    }
+
+    /// Sends a batch of protocol messages, checking the routing epoch once
+    /// for the whole batch. This is what node threads use to flush the
+    /// outgoing buffer of one `on_message` step.
+    pub fn send_batch(
+        &mut self,
+        from: ProcessId,
+        msgs: impl IntoIterator<Item = (ProcessId, LdsMessage)>,
+    ) {
+        self.refresh();
+        for (to, msg) in msgs {
+            Self::route(&self.snapshot, from, to, msg);
+        }
     }
 }
 
@@ -92,7 +248,8 @@ mod tests {
         let rx = router.register(ProcessId(1));
         assert_eq!(router.len(), 1);
 
-        router.send(
+        let mut handle = router.handle();
+        handle.send(
             ProcessId(2),
             ProcessId(1),
             LdsMessage::InvokeRead { obj: ObjectId(0) },
@@ -106,8 +263,9 @@ mod tests {
         }
 
         router.deregister(ProcessId(1));
-        // Sends to a deregistered (crashed) process are dropped, not errors.
-        router.send(
+        // Sends to a deregistered (crashed) process are dropped, not errors —
+        // including through a handle whose snapshot predates the crash.
+        handle.send(
             ProcessId(2),
             ProcessId(1),
             LdsMessage::InvokeRead { obj: ObjectId(0) },
@@ -116,10 +274,77 @@ mod tests {
     }
 
     #[test]
-    fn stop_envelope_is_delivered() {
+    fn handle_sees_registrations_after_epoch_bump() {
         let router = Router::new();
-        let rx = router.register(ProcessId(7));
+        let mut handle = router.handle();
+        // Register *after* the handle was created.
+        let rx = router.register(ProcessId(9));
+        handle.send(
+            ProcessId(1),
+            ProcessId(9),
+            LdsMessage::InvokeRead { obj: ObjectId(3) },
+        );
+        assert!(matches!(rx.recv().unwrap(), Envelope::Protocol { .. }));
+    }
+
+    #[test]
+    fn stop_envelope_reaches_every_shard() {
+        let router = Router::new();
+        let rxs = router.register_sharded(ProcessId(7), 3);
         router.send_stop(ProcessId(7));
-        assert!(matches!(rx.recv().unwrap(), Envelope::Stop));
+        for rx in &rxs {
+            assert!(matches!(rx.recv().unwrap(), Envelope::Stop));
+        }
+        assert_eq!(router.len(), 1, "shards of one process count once");
+    }
+
+    #[test]
+    fn sharded_routing_partitions_by_object() {
+        let router = Router::new();
+        let shards = 4;
+        let rxs = router.register_sharded(ProcessId(5), shards);
+        let mut handle = router.handle();
+        // Every message for one object lands in the same shard, and the
+        // shard matches `shard_of`.
+        for obj in 0..32u64 {
+            for _ in 0..2 {
+                handle.send(
+                    ProcessId(1),
+                    ProcessId(5),
+                    LdsMessage::InvokeRead { obj: ObjectId(obj) },
+                );
+            }
+            let owner = shard_of(ObjectId(obj), shards);
+            for (s, rx) in rxs.iter().enumerate() {
+                let expected = if s == owner { 2 } else { 0 };
+                let mut got = 0;
+                while rx.try_recv().is_some() {
+                    got += 1;
+                }
+                assert_eq!(got, expected, "obj {obj} shard {s}");
+            }
+        }
+        // All shards are used somewhere across a spread of objects.
+        let used: std::collections::HashSet<usize> =
+            (0..256u64).map(|o| shard_of(ObjectId(o), shards)).collect();
+        assert_eq!(used.len(), shards);
+    }
+
+    #[test]
+    fn batch_send_delivers_everything() {
+        let router = Router::new();
+        let rx_a = router.register(ProcessId(1));
+        let rx_b = router.register(ProcessId(2));
+        let mut handle = router.handle();
+        let batch = vec![
+            (ProcessId(1), LdsMessage::InvokeRead { obj: ObjectId(0) }),
+            (ProcessId(2), LdsMessage::InvokeRead { obj: ObjectId(1) }),
+            (ProcessId(1), LdsMessage::InvokeRead { obj: ObjectId(2) }),
+        ];
+        handle.send_batch(ProcessId(0), batch);
+        assert!(rx_a.try_recv().is_some());
+        assert!(rx_a.try_recv().is_some());
+        assert!(rx_b.try_recv().is_some());
+        assert!(rx_b.try_recv().is_none());
     }
 }

@@ -215,6 +215,35 @@ pub enum LdsMessage {
     },
 }
 
+impl LdsMessage {
+    /// The object this message concerns.
+    ///
+    /// Every protocol message carries its object id; the cluster runtime uses
+    /// it to route messages to the server shard owning the object's partition.
+    pub fn object(&self) -> ObjectId {
+        match self {
+            LdsMessage::InvokeWrite { obj, .. }
+            | LdsMessage::InvokeRead { obj }
+            | LdsMessage::QueryTag { obj, .. }
+            | LdsMessage::TagResp { obj, .. }
+            | LdsMessage::PutData { obj, .. }
+            | LdsMessage::AckPutData { obj, .. }
+            | LdsMessage::BcastSend { obj, .. }
+            | LdsMessage::BcastDeliver { obj, .. }
+            | LdsMessage::QueryCommTag { obj, .. }
+            | LdsMessage::CommTagResp { obj, .. }
+            | LdsMessage::QueryData { obj, .. }
+            | LdsMessage::DataResp { obj, .. }
+            | LdsMessage::PutTag { obj, .. }
+            | LdsMessage::AckPutTag { obj, .. }
+            | LdsMessage::WriteCodeElem { obj, .. }
+            | LdsMessage::AckCodeElem { obj, .. }
+            | LdsMessage::QueryCodeElem { obj, .. }
+            | LdsMessage::SendHelperElem { obj, .. } => *obj,
+        }
+    }
+}
+
 impl DataSize for LdsMessage {
     fn data_size(&self) -> usize {
         match self {

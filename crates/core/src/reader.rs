@@ -11,6 +11,14 @@
 //!    `C1`). The pair with the highest tag is selected.
 //! 3. **put-tag**: write back the selected tag (not the value) to `f1 + k`
 //!    servers, then return the value.
+//!
+//! # Pipelining
+//!
+//! Like the writer, the automaton supports several reads in flight at once,
+//! keyed by [`OpId`], as long as they target *distinct* objects (the per-
+//! object restriction keeps the L1 servers' reader registration, which is
+//! keyed by the reader process, unambiguous, and gives pipelined drivers
+//! per-object FIFO semantics for free).
 
 use crate::backend::BackendCodec;
 use crate::membership::Membership;
@@ -54,15 +62,17 @@ struct ReadOp {
 
 /// The reader client automaton.
 ///
-/// Readers are *well-formed*: a new [`LdsMessage::InvokeRead`] must not be
-/// injected before the previous read completed.
+/// Readers are *well-formed per object*: a new read for an object must not
+/// start before the previous read of that object completed. Reads of distinct
+/// objects may be pipelined freely.
 pub struct ReaderClient {
     id: ClientId,
     params: SystemParams,
     membership: Membership,
     backend: Arc<dyn BackendCodec>,
     next_seq: u64,
-    current: Option<ReadOp>,
+    ops: HashMap<OpId, ReadOp>,
+    busy_objects: HashSet<ObjectId>,
     completed: u64,
     /// Number of completed reads that were served purely from L1 value
     /// responses (no coded decode needed) — useful for cache-hit style
@@ -89,7 +99,8 @@ impl ReaderClient {
             membership,
             backend,
             next_seq: 0,
-            current: None,
+            ops: HashMap::new(),
+            busy_objects: HashSet::new(),
             completed: 0,
             served_from_l1: 0,
         }
@@ -100,9 +111,19 @@ impl ReaderClient {
         self.id
     }
 
-    /// Whether a read is currently in progress.
+    /// Whether any read is currently in progress.
     pub fn is_busy(&self) -> bool {
-        self.current.is_some()
+        !self.ops.is_empty()
+    }
+
+    /// Number of reads currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether a read of `obj` is currently in flight.
+    pub fn is_object_busy(&self, obj: ObjectId) -> bool {
+        self.busy_objects.contains(&obj)
     }
 
     /// Number of reads completed by this client.
@@ -116,32 +137,68 @@ impl ReaderClient {
         self.served_from_l1
     }
 
-    fn start_read(&mut self, obj: ObjectId, ctx: &mut Context<'_, LdsMessage, ProtocolEvent>) {
+    /// Starts a read of `obj` and returns its operation id.
+    ///
+    /// This is the entry point used by pipelined drivers; injecting an
+    /// [`LdsMessage::InvokeRead`] is equivalent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a read of the same object is already in flight (readers must
+    /// be well-formed per object).
+    pub fn start_read(
+        &mut self,
+        obj: ObjectId,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) -> OpId {
         assert!(
-            self.current.is_none(),
-            "reader {} received a new invocation while busy (clients must be well-formed)",
-            self.id
+            self.busy_objects.insert(obj),
+            "reader {} received a new invocation for {} while busy (clients must be well-formed per object)",
+            self.id,
+            obj
         );
         let op = OpId::new(self.id, self.next_seq);
         self.next_seq += 1;
-        self.current = Some(ReadOp {
+        self.ops.insert(
             op,
-            obj,
-            invoked_at: ctx.now(),
-            phase: ReadPhase::GetCommittedTag,
-            comm_tags: HashMap::new(),
-            treq: Tag::initial(),
-            responders: HashSet::new(),
-            value_responses: BTreeMap::new(),
-            coded_responses: BTreeMap::new(),
-            result: None,
-            put_tag_acks: HashSet::new(),
-            decode_scratch: Vec::new(),
-        });
+            ReadOp {
+                op,
+                obj,
+                invoked_at: ctx.now(),
+                phase: ReadPhase::GetCommittedTag,
+                comm_tags: HashMap::new(),
+                treq: Tag::initial(),
+                responders: HashSet::new(),
+                value_responses: BTreeMap::new(),
+                coded_responses: BTreeMap::new(),
+                result: None,
+                put_tag_acks: HashSet::new(),
+                decode_scratch: Vec::new(),
+            },
+        );
         ctx.send_all(
             self.membership.l1.iter().copied(),
             LdsMessage::QueryCommTag { obj, op },
         );
+        op
+    }
+
+    /// Abandons the in-flight read `op` (used by drivers on timeout).
+    /// Returns `true` if the operation existed.
+    pub fn cancel(&mut self, op: OpId) -> bool {
+        match self.ops.remove(&op) {
+            Some(r) => {
+                self.busy_objects.remove(&r.obj);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Abandons every in-flight read.
+    pub fn cancel_all(&mut self) {
+        self.ops.clear();
+        self.busy_objects.clear();
     }
 
     fn on_comm_tag_resp(
@@ -152,11 +209,10 @@ impl ReaderClient {
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
         let quorum = self.params.read_quorum();
-        let membership = self.membership.l1.clone();
-        let Some(current) = self.current.as_mut() else {
+        let Some(current) = self.ops.get_mut(&op) else {
             return;
         };
-        if current.op != op || current.phase != ReadPhase::GetCommittedTag {
+        if current.phase != ReadPhase::GetCommittedTag {
             return;
         }
         current.comm_tags.insert(from, tag);
@@ -175,7 +231,7 @@ impl ReaderClient {
             op: current.op,
             treq: current.treq,
         };
-        ctx.send_all(membership, msg);
+        ctx.send_all(self.membership.l1.iter().copied(), msg);
     }
 
     fn on_data_resp(
@@ -189,11 +245,10 @@ impl ReaderClient {
         let quorum = self.params.read_quorum();
         let decode_threshold = self.backend.decode_threshold();
         let backend = Arc::clone(&self.backend);
-        let membership = self.membership.l1.clone();
-        let Some(current) = self.current.as_mut() else {
+        let Some(current) = self.ops.get_mut(&op) else {
             return;
         };
-        if current.op != op || current.phase != ReadPhase::GetData {
+        if current.phase != ReadPhase::GetData {
             return;
         }
         current.responders.insert(from);
@@ -250,7 +305,10 @@ impl ReaderClient {
         if from_l1_value {
             self.served_from_l1 += 1;
         }
-        ctx.send_all(membership, LdsMessage::PutTag { obj, op, tag });
+        ctx.send_all(
+            self.membership.l1.iter().copied(),
+            LdsMessage::PutTag { obj, op, tag },
+        );
     }
 
     fn on_ack_put_tag(
@@ -260,17 +318,18 @@ impl ReaderClient {
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
         let quorum = self.params.read_quorum();
-        let Some(current) = self.current.as_mut() else {
+        let Some(current) = self.ops.get_mut(&op) else {
             return;
         };
-        if current.op != op || current.phase != ReadPhase::PutTag {
+        if current.phase != ReadPhase::PutTag {
             return;
         }
         current.put_tag_acks.insert(from);
         if current.put_tag_acks.len() < quorum {
             return;
         }
-        let finished = self.current.take().expect("checked above");
+        let finished = self.ops.remove(&op).expect("checked above");
+        self.busy_objects.remove(&finished.obj);
         let (tag, value) = finished.result.expect("result fixed before put-tag");
         self.completed += 1;
         ctx.emit(ProtocolEvent::ReadCompleted {
@@ -291,7 +350,9 @@ impl Process<LdsMessage, ProtocolEvent> for ReaderClient {
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
         match msg {
-            LdsMessage::InvokeRead { obj } => self.start_read(obj, ctx),
+            LdsMessage::InvokeRead { obj } => {
+                self.start_read(obj, ctx);
+            }
             LdsMessage::CommTagResp { op, tag, .. } => self.on_comm_tag_resp(from, op, tag, ctx),
             LdsMessage::DataResp {
                 op, tag, payload, ..
@@ -619,5 +680,36 @@ mod tests {
             ProcessId::EXTERNAL,
             LdsMessage::InvokeRead { obj: ObjectId(0) },
         );
+    }
+
+    #[test]
+    fn reads_of_distinct_objects_pipeline() {
+        let (params, membership, backend) = setup();
+        let mut r = ReaderClient::new(ClientId(10), params, membership, backend);
+        let (out_a, _) = step(
+            &mut r,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
+        let (out_b, _) = step(
+            &mut r,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeRead { obj: ObjectId(1) },
+        );
+        assert_eq!(r.in_flight(), 2);
+        let op_a = match &out_a[0].1 {
+            LdsMessage::QueryCommTag { op, .. } => *op,
+            _ => unreachable!(),
+        };
+        let op_b = match &out_b[0].1 {
+            LdsMessage::QueryCommTag { op, .. } => *op,
+            _ => unreachable!(),
+        };
+        assert_ne!(op_a, op_b);
+        // Cancelling one leaves the other alive and frees its object.
+        assert!(r.cancel(op_b));
+        assert!(!r.is_object_busy(ObjectId(1)));
+        assert!(r.is_object_busy(ObjectId(0)));
+        assert_eq!(r.in_flight(), 1);
     }
 }

@@ -18,10 +18,14 @@ use crate::tag::{ObjectId, OpId, Tag};
 use crate::value::Value;
 use lds_codes::{HelperData, Share};
 use lds_sim::{Context, Process, ProcessId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Tuning options for an L1 server.
+///
+/// All options default to the paper-faithful behavior; the cluster runtime's
+/// high-throughput profile enables them to trade paper-exact cost accounting
+/// for fewer messages per operation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct L1Options {
     /// If true, the COMMIT-TAG broadcast is sent directly to all L1 servers
@@ -29,6 +33,30 @@ pub struct L1Options {
     /// broadcaster crashing mid-broadcast but reduces the metadata message
     /// count from `O(f1·n1)` to `O(n1)` per write — useful for large sweeps.
     pub direct_broadcast: bool,
+    /// If true, the committed value is *kept* in temporary storage after
+    /// `write-to-L2` completes (edge-cache style) instead of being replaced
+    /// by `⊥`. Reads are then served from L1 without `regenerate-from-L2`;
+    /// the cost is one live value per object per server (values below the
+    /// committed tag are still garbage-collected on every commit). The
+    /// paper's L1 storage-cost accounting assumes this is off.
+    pub cache_committed_value: bool,
+    /// If true, only the first `f1 + 1` L1 servers perform `write-to-L2`
+    /// (each offload delivers *all* `n2` coded elements, and at least one of
+    /// the `f1 + 1` offloaders is correct, so L2 durability is preserved
+    /// under `f1` crashes). The remaining servers skip the `n2` messages and
+    /// `n2` acks per write; since they never receive offload acks, they keep
+    /// the committed value until the next commit — combine with
+    /// [`L1Options::cache_committed_value`] so reads stay fast everywhere.
+    pub frugal_offload: bool,
+    /// If true, a server consumes its own broadcast (and, as a relay, its
+    /// own forward) *inline* within the same protocol step instead of
+    /// sending itself a message through the network. Every state this
+    /// produces is reachable in the message-passing execution by delivering
+    /// the self-addressed message first; the observable effect is that a
+    /// server acknowledges a PUT-DATA as soon as it has stored the value
+    /// with its committed tag advanced to it (the pre-existing "broadcast
+    /// raced ahead" path), rather than waiting for the commit quorum.
+    pub inline_self_broadcast: bool,
 }
 
 /// A reader registered in Γ, waiting to be served.
@@ -49,6 +77,11 @@ struct RegenState {
 }
 
 /// Per-object server state (the paper's `L`, `Γ`, `t_c` and counters).
+///
+/// All per-tag bookkeeping lives in ordered maps so that everything below the
+/// committed tag can be garbage-collected in one cheap `split_off` when `t_c`
+/// advances — without GC, `commitCounter`, the broadcast dedup sets and the
+/// list keys themselves grow forever on a long-running workload.
 #[derive(Debug, Clone)]
 struct ObjectState {
     /// The list `L`: tag → value (`None` represents `⊥`).
@@ -58,15 +91,19 @@ struct ObjectState {
     /// Committed tag `t_c`.
     tc: Tag,
     /// `commitCounter[t]`: number of distinct COMMIT-TAG broadcasts consumed.
-    commit_count: HashMap<Tag, usize>,
+    commit_count: BTreeMap<Tag, usize>,
     /// Tags already acknowledged to their writer by this server.
-    acked: HashSet<Tag>,
+    acked: BTreeSet<Tag>,
     /// For each tag received via PUT-DATA, the writer process and op to ack.
-    pending_write: HashMap<Tag, (ProcessId, OpId)>,
+    pending_write: BTreeMap<Tag, (ProcessId, OpId)>,
     /// `writeCounter[t]`: ACK-CODE-ELEM responses received from L2.
-    write_counter: HashMap<Tag, usize>,
+    write_counter: BTreeMap<Tag, usize>,
     /// Tags for which this server already initiated `write-to-L2`.
-    offloaded: HashSet<Tag>,
+    offloaded: BTreeSet<Tag>,
+    /// Broadcast relay dedup: origins already forwarded, per tag.
+    relayed: BTreeMap<Tag, HashSet<ProcessId>>,
+    /// Broadcast consumption dedup: origins already counted, per tag.
+    consumed: BTreeMap<Tag, HashSet<ProcessId>>,
     /// Outstanding regenerate-from-L2 operations keyed by (reader, op).
     regen: HashMap<(ProcessId, OpId), RegenState>,
 }
@@ -79,11 +116,13 @@ impl ObjectState {
             list,
             gamma: Vec::new(),
             tc: Tag::initial(),
-            commit_count: HashMap::new(),
-            acked: HashSet::new(),
-            pending_write: HashMap::new(),
-            write_counter: HashMap::new(),
-            offloaded: HashSet::new(),
+            commit_count: BTreeMap::new(),
+            acked: BTreeSet::new(),
+            pending_write: BTreeMap::new(),
+            write_counter: BTreeMap::new(),
+            offloaded: BTreeSet::new(),
+            relayed: BTreeMap::new(),
+            consumed: BTreeMap::new(),
             regen: HashMap::new(),
         }
     }
@@ -93,14 +132,21 @@ impl ObjectState {
             .list
             .keys()
             .next_back()
-            .expect("list always contains t0")
+            .expect("list always contains at least the committed tag")
     }
 
-    /// Replaces the value of every entry with tag `< below` by `⊥`.
-    fn gc_below(&mut self, below: Tag) {
-        for (_, v) in self.list.range_mut(..below) {
-            *v = None;
-        }
+    /// Number of per-tag metadata entries currently held for this object.
+    fn metadata_entries(&self) -> usize {
+        self.list.len()
+            + self.commit_count.len()
+            + self.acked.len()
+            + self.pending_write.len()
+            + self.write_counter.len()
+            + self.offloaded.len()
+            + self.relayed.values().map(HashSet::len).sum::<usize>()
+            + self.consumed.values().map(HashSet::len).sum::<usize>()
+            + self.gamma.len()
+            + self.regen.len()
     }
 
     /// The highest tag strictly below `below` whose value is still present.
@@ -109,6 +155,48 @@ impl ObjectState {
             .range(..below)
             .rev()
             .find_map(|(t, v)| v.as_ref().map(|v| (*t, v.clone())))
+    }
+
+    /// Garbage-collects everything associated with tags strictly below
+    /// `below` (which the caller has just committed).
+    ///
+    /// Entries below the committed tag can never influence future quorums:
+    /// `max_list_tag` stays ≥ `t_c`, reads for old tags are answered with the
+    /// committed value, and late duplicate broadcasts for pruned tags only
+    /// recreate a transient counter that the next advance removes again.
+    /// PUT-DATA entries whose ack is still outstanding are acknowledged on
+    /// the way out — the tag is superseded by a committed higher tag, which
+    /// is exactly the `put-data-resp` stale-tag case.
+    fn gc_below(
+        &mut self,
+        obj: ObjectId,
+        below: Tag,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let kept = self.list.split_off(&below);
+        self.list = kept;
+        self.list.entry(below).or_insert(None);
+
+        let kept = self.pending_write.split_off(&below);
+        let stale = std::mem::replace(&mut self.pending_write, kept);
+        for (tag, (writer, op)) in stale {
+            if !self.acked.contains(&tag) {
+                ctx.send(writer, LdsMessage::AckPutData { obj, op, tag });
+            }
+        }
+
+        let kept = self.commit_count.split_off(&below);
+        self.commit_count = kept;
+        let kept = self.acked.split_off(&below);
+        self.acked = kept;
+        let kept = self.write_counter.split_off(&below);
+        self.write_counter = kept;
+        let kept = self.offloaded.split_off(&below);
+        self.offloaded = kept;
+        let kept = self.relayed.split_off(&below);
+        self.relayed = kept;
+        let kept = self.consumed.split_off(&below);
+        self.consumed = kept;
     }
 }
 
@@ -121,10 +209,6 @@ pub struct L1Server {
     backend: Arc<dyn BackendCodec>,
     options: L1Options,
     objects: HashMap<ObjectId, ObjectState>,
-    /// Broadcast relays: (object, tag, origin) triples already forwarded.
-    relayed: HashSet<(ObjectId, Tag, ProcessId)>,
-    /// Broadcast consumption dedup: triples already counted.
-    consumed: HashSet<(ObjectId, Tag, ProcessId)>,
 }
 
 impl L1Server {
@@ -154,8 +238,6 @@ impl L1Server {
             backend,
             options,
             objects: HashMap::new(),
-            relayed: HashSet::new(),
-            consumed: HashSet::new(),
         }
     }
 
@@ -197,6 +279,20 @@ impl L1Server {
         self.objects.values().map(|s| s.gamma.len()).sum()
     }
 
+    /// Total number of per-tag metadata entries (list keys, commit counters,
+    /// broadcast dedup sets, pending acks, …) across all objects.
+    ///
+    /// With garbage collection at the committed tag, this stays proportional
+    /// to the number of objects plus the operations *concurrently* in flight
+    /// — not to the total number of operations ever performed. The cluster
+    /// stress tests assert exactly that bound over sustained runs.
+    pub fn metadata_entries(&self) -> usize {
+        self.objects
+            .values()
+            .map(ObjectState::metadata_entries)
+            .sum()
+    }
+
     fn state(&mut self, obj: ObjectId) -> &mut ObjectState {
         self.objects.entry(obj).or_insert_with(ObjectState::new)
     }
@@ -214,11 +310,28 @@ impl L1Server {
         let origin = ctx.id();
         if self.options.direct_broadcast {
             let msg = LdsMessage::BcastDeliver { obj, tag, origin };
-            ctx.send_all(self.membership.l1.iter().copied(), msg);
+            if self.options.inline_self_broadcast {
+                ctx.send_all(
+                    self.membership.l1.iter().copied().filter(|&p| p != origin),
+                    msg,
+                );
+                self.on_bcast_deliver(obj, tag, origin, ctx);
+            } else {
+                ctx.send_all(self.membership.l1.iter().copied(), msg);
+            }
         } else {
-            let relays: Vec<ProcessId> =
-                self.membership.broadcast_relays(self.params.f1()).to_vec();
-            ctx.send_all(relays, LdsMessage::BcastSend { obj, tag, origin });
+            let relays = self.membership.broadcast_relays(self.params.f1());
+            let inline_relay = self.options.inline_self_broadcast && relays.contains(&origin);
+            ctx.send_all(
+                relays
+                    .iter()
+                    .copied()
+                    .filter(|&p| !inline_relay || p != origin),
+                LdsMessage::BcastSend { obj, tag, origin },
+            );
+            if inline_relay {
+                self.on_bcast_send(obj, tag, origin, ctx);
+            }
         }
     }
 
@@ -230,9 +343,21 @@ impl L1Server {
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
         // Relay role: forward to every L1 server on first reception.
-        if self.relayed.insert((obj, tag, origin)) {
+        if self
+            .state(obj)
+            .relayed
+            .entry(tag)
+            .or_default()
+            .insert(origin)
+        {
             let msg = LdsMessage::BcastDeliver { obj, tag, origin };
-            ctx.send_all(self.membership.l1.iter().copied(), msg);
+            if self.options.inline_self_broadcast {
+                let me = ctx.id();
+                ctx.send_all(self.membership.l1.iter().copied().filter(|&p| p != me), msg);
+                self.on_bcast_deliver(obj, tag, origin, ctx);
+            } else {
+                ctx.send_all(self.membership.l1.iter().copied(), msg);
+            }
         }
     }
 
@@ -243,12 +368,12 @@ impl L1Server {
         origin: ProcessId,
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
-        // Consume each (object, tag, origin) broadcast exactly once.
-        if !self.consumed.insert((obj, tag, origin)) {
-            return;
-        }
         let commit_quorum = self.params.commit_quorum();
         let st = self.state(obj);
+        // Consume each (object, tag, origin) broadcast exactly once.
+        if !st.consumed.entry(tag).or_default().insert(origin) {
+            return;
+        }
         let count = st.commit_count.entry(tag).or_insert(0);
         *count += 1;
         let count = *count;
@@ -290,7 +415,7 @@ impl L1Server {
             Some(v) => {
                 // Serve every registered reader whose requested tag is covered.
                 Self::serve_registered(st, obj, new_tc, &v, ctx);
-                st.gc_below(new_tc);
+                st.gc_below(obj, new_tc, ctx);
                 self.write_to_l2(obj, new_tc, &v, ctx);
             }
             None => {
@@ -306,7 +431,7 @@ impl L1Server {
                         Self::serve_registered(st, obj, t_bar, &v_bar, ctx);
                     }
                 }
-                st.gc_below(new_tc);
+                st.gc_below(obj, new_tc, ctx);
             }
         }
     }
@@ -348,6 +473,12 @@ impl L1Server {
         value: &Value,
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
+        if self.options.frugal_offload && self.index > self.params.f1() {
+            // Offloading is left to the first f1+1 servers; this server keeps
+            // the committed value (it never receives offload acks, so the
+            // value survives until the next commit's gc).
+            return;
+        }
         {
             let st = self.state(obj);
             if !st.offloaded.insert(tag) {
@@ -356,7 +487,7 @@ impl L1Server {
             st.write_counter.entry(tag).or_insert(0);
         }
         let n1 = self.backend.n1();
-        for (i, &l2) in self.membership.l2.clone().iter().enumerate() {
+        for (i, &l2) in self.membership.l2.iter().enumerate() {
             // Encode straight into the buffer the message will own: exactly
             // one allocation and one write per element (the plan-cached codec
             // creates no temporaries inside).
@@ -378,11 +509,14 @@ impl L1Server {
 
     fn on_ack_code_elem(&mut self, obj: ObjectId, tag: Tag) {
         let quorum = self.params.l2_quorum();
+        let cache = self.options.cache_committed_value;
         let st = self.state(obj);
         let counter = st.write_counter.entry(tag).or_insert(0);
         *counter += 1;
-        if *counter == quorum {
+        if *counter == quorum && !cache {
             // write-to-L2 complete: garbage-collect the value (keep the tag).
+            // With the edge-cache option the value stays until the next
+            // commit's gc instead, so reads skip regenerate-from-L2.
             if let Some(entry) = st.list.get_mut(&tag) {
                 *entry = None;
             }
@@ -1102,6 +1236,7 @@ mod tests {
             backend,
             L1Options {
                 direct_broadcast: true,
+                ..L1Options::default()
             },
         );
         let out = step(

@@ -15,6 +15,27 @@ use lds_sim::{Context, Process, ProcessId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Tuning options for an L2 server.
+#[derive(Debug, Clone, Copy)]
+pub struct L2Options {
+    /// Whether `WRITE-CODE-ELEM` messages are acknowledged. The acks only
+    /// feed the L1 servers' offload counters, whose sole effect is
+    /// garbage-collecting the temporary value — with
+    /// [`crate::server1::L1Options::cache_committed_value`] enabled that path
+    /// is inert, so the high-throughput cluster profile suppresses the
+    /// `n2` ack messages per offload entirely. Defaults to `true`
+    /// (paper-faithful).
+    pub ack_code_elem: bool,
+}
+
+impl Default for L2Options {
+    fn default() -> Self {
+        L2Options {
+            ack_code_elem: true,
+        }
+    }
+}
+
 /// The L2 server automaton.
 pub struct L2Server {
     /// This server's index `i` (0-based position in the L2 list; its code
@@ -22,18 +43,30 @@ pub struct L2Server {
     index: usize,
     membership: Membership,
     backend: Arc<dyn BackendCodec>,
+    options: L2Options,
     /// Per-object `(tag, coded element)` — exactly one pair per object.
     objects: HashMap<ObjectId, (Tag, Share)>,
 }
 
 impl L2Server {
-    /// Creates the L2 server with layer index `index`.
+    /// Creates the L2 server with layer index `index` and default options.
     pub fn new(index: usize, membership: Membership, backend: Arc<dyn BackendCodec>) -> Self {
+        L2Server::with_options(index, membership, backend, L2Options::default())
+    }
+
+    /// Creates the L2 server with explicit options.
+    pub fn with_options(
+        index: usize,
+        membership: Membership,
+        backend: Arc<dyn BackendCodec>,
+        options: L2Options,
+    ) -> Self {
         assert!(index < membership.n2(), "L2 index out of range");
         L2Server {
             index,
             membership,
             backend,
+            options,
             objects: HashMap::new(),
         }
     }
@@ -90,7 +123,9 @@ impl Process<LdsMessage, ProtocolEvent> for L2Server {
                 if tag > entry.0 {
                     *entry = (tag, element);
                 }
-                ctx.send(from, LdsMessage::AckCodeElem { obj, tag });
+                if self.options.ack_code_elem {
+                    ctx.send(from, LdsMessage::AckCodeElem { obj, tag });
+                }
             }
             // regenerate-from-L2-resp: compute helper data for the requesting
             // L1 server's code index and send it back with the stored tag.

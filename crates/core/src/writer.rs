@@ -10,6 +10,15 @@
 //!
 //! The write completes without waiting for any interaction with L2 — that is
 //! the key latency property of the layered design.
+//!
+//! # Pipelining
+//!
+//! The automaton supports several writes in flight at once, keyed by
+//! [`OpId`], as long as they target *distinct* objects. Two concurrent writes
+//! by the same writer to the same object could mint the same tag `(z + 1, w)`
+//! for different values — an atomicity violation — so well-formedness is now
+//! *per object*: a new invocation for an object with an outstanding write
+//! panics, exactly like the old single-op well-formedness rule.
 
 use crate::membership::Membership;
 use crate::messages::{LdsMessage, ProtocolEvent};
@@ -39,15 +48,17 @@ struct WriteOp {
 
 /// The writer client automaton.
 ///
-/// Writers are *well-formed*: the harness must not inject a new
-/// [`LdsMessage::InvokeWrite`] before the previous write completed (a
+/// Writers are *well-formed per object*: the harness must not start a new
+/// write for an object before the previous write to that object completed (a
 /// completion is signalled by a [`ProtocolEvent::WriteCompleted`] event).
+/// Writes to distinct objects may be pipelined freely.
 pub struct WriterClient {
     id: ClientId,
     params: SystemParams,
     membership: Membership,
     next_seq: u64,
-    current: Option<WriteOp>,
+    ops: HashMap<OpId, WriteOp>,
+    busy_objects: HashSet<ObjectId>,
     completed: u64,
 }
 
@@ -64,7 +75,8 @@ impl WriterClient {
             params,
             membership,
             next_seq: 0,
-            current: None,
+            ops: HashMap::new(),
+            busy_objects: HashSet::new(),
             completed: 0,
         }
     }
@@ -74,9 +86,19 @@ impl WriterClient {
         self.id
     }
 
-    /// Whether a write is currently in progress.
+    /// Whether any write is currently in progress.
     pub fn is_busy(&self) -> bool {
-        self.current.is_some()
+        !self.ops.is_empty()
+    }
+
+    /// Number of writes currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether a write to `obj` is currently in flight.
+    pub fn is_object_busy(&self, obj: ObjectId) -> bool {
+        self.busy_objects.contains(&obj)
     }
 
     /// Number of writes completed by this client.
@@ -84,33 +106,65 @@ impl WriterClient {
         self.completed
     }
 
-    fn start_write(
+    /// Starts a write of `value` to `obj` and returns its operation id.
+    ///
+    /// This is the entry point used by pipelined drivers; injecting an
+    /// [`LdsMessage::InvokeWrite`] is equivalent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write to the same object is already in flight (writers
+    /// must be well-formed per object).
+    pub fn start_write(
         &mut self,
         obj: ObjectId,
         value: Value,
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
-    ) {
+    ) -> OpId {
         assert!(
-            self.current.is_none(),
-            "writer {} received a new invocation while busy (clients must be well-formed)",
-            self.id
+            self.busy_objects.insert(obj),
+            "writer {} received a new invocation for {} while busy (clients must be well-formed per object)",
+            self.id,
+            obj
         );
         let op = OpId::new(self.id, self.next_seq);
         self.next_seq += 1;
-        self.current = Some(WriteOp {
+        self.ops.insert(
             op,
-            obj,
-            value,
-            invoked_at: ctx.now(),
-            phase: WritePhase::GetTag,
-            tag_responses: HashMap::new(),
-            tag: None,
-            acks: HashSet::new(),
-        });
+            WriteOp {
+                op,
+                obj,
+                value,
+                invoked_at: ctx.now(),
+                phase: WritePhase::GetTag,
+                tag_responses: HashMap::new(),
+                tag: None,
+                acks: HashSet::new(),
+            },
+        );
         ctx.send_all(
             self.membership.l1.iter().copied(),
             LdsMessage::QueryTag { obj, op },
         );
+        op
+    }
+
+    /// Abandons the in-flight write `op` (used by drivers on timeout).
+    /// Returns `true` if the operation existed.
+    pub fn cancel(&mut self, op: OpId) -> bool {
+        match self.ops.remove(&op) {
+            Some(w) => {
+                self.busy_objects.remove(&w.obj);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Abandons every in-flight write.
+    pub fn cancel_all(&mut self) {
+        self.ops.clear();
+        self.busy_objects.clear();
     }
 
     fn on_tag_resp(
@@ -122,11 +176,10 @@ impl WriterClient {
     ) {
         let quorum = self.params.write_quorum();
         let id = self.id;
-        let membership = self.membership.l1.clone();
-        let Some(current) = self.current.as_mut() else {
+        let Some(current) = self.ops.get_mut(&op) else {
             return;
         };
-        if current.op != op || current.phase != WritePhase::GetTag {
+        if current.phase != WritePhase::GetTag {
             return;
         }
         current.tag_responses.insert(from, tag);
@@ -149,7 +202,7 @@ impl WriterClient {
             tag: new_tag,
             value: current.value.clone(),
         };
-        ctx.send_all(membership, msg);
+        ctx.send_all(self.membership.l1.iter().copied(), msg);
     }
 
     fn on_ack_put_data(
@@ -160,17 +213,18 @@ impl WriterClient {
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
         let quorum = self.params.write_quorum();
-        let Some(current) = self.current.as_mut() else {
+        let Some(current) = self.ops.get_mut(&op) else {
             return;
         };
-        if current.op != op || current.phase != WritePhase::PutData || current.tag != Some(tag) {
+        if current.phase != WritePhase::PutData || current.tag != Some(tag) {
             return;
         }
         current.acks.insert(from);
         if current.acks.len() < quorum {
             return;
         }
-        let finished = self.current.take().expect("checked above");
+        let finished = self.ops.remove(&op).expect("checked above");
+        self.busy_objects.remove(&finished.obj);
         self.completed += 1;
         ctx.emit(ProtocolEvent::WriteCompleted {
             op: finished.op,
@@ -190,7 +244,9 @@ impl Process<LdsMessage, ProtocolEvent> for WriterClient {
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
         match msg {
-            LdsMessage::InvokeWrite { obj, value } => self.start_write(obj, value, ctx),
+            LdsMessage::InvokeWrite { obj, value } => {
+                self.start_write(obj, value, ctx);
+            }
             LdsMessage::TagResp { op, tag, .. } => self.on_tag_resp(from, op, tag, ctx),
             LdsMessage::AckPutData { op, tag, .. } => self.on_ack_put_data(from, op, tag, ctx),
             // Writers ignore everything else (e.g. stray reader messages).
@@ -323,7 +379,7 @@ mod tests {
             );
             assert!(out.is_empty());
         }
-        // A response for a different op id is ignored too.
+        // A response for an unknown op id is ignored too.
         let other_op = OpId::new(ClientId(2), 99);
         let (out, _) = step(
             &mut w,
@@ -360,6 +416,115 @@ mod tests {
         };
         step(&mut w, ProcessId::EXTERNAL, invoke.clone());
         step(&mut w, ProcessId::EXTERNAL, invoke);
+    }
+
+    #[test]
+    fn writes_to_distinct_objects_pipeline() {
+        let (params, membership) = setup();
+        let mut w = WriterClient::new(ClientId(4), params, membership);
+        // Two concurrent writes on different objects are allowed.
+        let (out_a, _) = step(
+            &mut w,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeWrite {
+                obj: ObjectId(0),
+                value: Value::from("a"),
+            },
+        );
+        let (out_b, _) = step(
+            &mut w,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeWrite {
+                obj: ObjectId(1),
+                value: Value::from("b"),
+            },
+        );
+        assert_eq!(w.in_flight(), 2);
+        assert!(w.is_object_busy(ObjectId(0)));
+        assert!(w.is_object_busy(ObjectId(1)));
+        let op_a = match &out_a[0].1 {
+            LdsMessage::QueryTag { op, .. } => *op,
+            _ => unreachable!(),
+        };
+        let op_b = match &out_b[0].1 {
+            LdsMessage::QueryTag { op, .. } => *op,
+            _ => unreachable!(),
+        };
+        assert_ne!(op_a, op_b);
+
+        // Drive both writes to completion in interleaved order (B first).
+        for (obj, op) in [(ObjectId(1), op_b), (ObjectId(0), op_a)] {
+            let mut tag = Tag::initial();
+            for i in 0..3 {
+                let (out, _) = step(
+                    &mut w,
+                    ProcessId(i),
+                    LdsMessage::TagResp {
+                        obj,
+                        op,
+                        tag: Tag::initial(),
+                    },
+                );
+                if let Some((_, LdsMessage::PutData { tag: t, .. })) = out.first() {
+                    tag = *t;
+                }
+            }
+            let mut events = Vec::new();
+            for i in 0..3 {
+                let (_, evs) = step(
+                    &mut w,
+                    ProcessId(i),
+                    LdsMessage::AckPutData { obj, op, tag },
+                );
+                events.extend(evs);
+            }
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].object(), obj);
+        }
+        assert_eq!(w.completed_ops(), 2);
+        assert!(!w.is_busy());
+    }
+
+    #[test]
+    fn cancel_frees_the_object() {
+        let (params, membership) = setup();
+        let mut w = WriterClient::new(ClientId(5), params, membership);
+        let (out, _) = step(
+            &mut w,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeWrite {
+                obj: ObjectId(0),
+                value: Value::from("x"),
+            },
+        );
+        let op = match &out[0].1 {
+            LdsMessage::QueryTag { op, .. } => *op,
+            _ => unreachable!(),
+        };
+        assert!(w.cancel(op));
+        assert!(!w.cancel(op), "second cancel is a no-op");
+        assert!(!w.is_busy());
+        // The object is free again: a fresh write may start.
+        let (out, _) = step(
+            &mut w,
+            ProcessId::EXTERNAL,
+            LdsMessage::InvokeWrite {
+                obj: ObjectId(0),
+                value: Value::from("y"),
+            },
+        );
+        assert_eq!(out.len(), 4);
+        // Responses to the cancelled op are ignored.
+        let (out, _) = step(
+            &mut w,
+            ProcessId(0),
+            LdsMessage::TagResp {
+                obj: ObjectId(0),
+                op,
+                tag: Tag::initial(),
+            },
+        );
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   to reproduce Lemmas V.2–V.4;
 //! * [`generator`] — value generators and closed-loop workload drivers;
 //! * [`multi_object`] — the multi-object storage experiment behind Fig. 6 /
-//!   Lemma V.5.
+//!   Lemma V.5;
+//! * [`throughput`] — latency/ops-per-second accounting for the wall-clock
+//!   cluster benchmark (`exp_throughput`) and the cluster stress tests.
 //!
 //! # Example
 //!
@@ -42,7 +44,9 @@ pub mod generator;
 pub mod measure;
 pub mod multi_object;
 pub mod runner;
+pub mod throughput;
 
 pub use generator::{ClosedLoopWorkload, ValueGenerator};
 pub use measure::{CostMeasurement, CostReport};
 pub use runner::{RunReport, RunnerConfig, SimRunner};
+pub use throughput::{LatencyRecorder, ThroughputSummary};

@@ -156,6 +156,7 @@ impl SimRunner {
         let membership = Membership::new(l1.clone(), l2.clone());
         let options = L1Options {
             direct_broadcast: config.direct_broadcast,
+            ..L1Options::default()
         };
 
         for (j, &expected) in l1.iter().enumerate() {

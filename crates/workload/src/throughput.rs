@@ -1,0 +1,153 @@
+//! Latency and throughput accounting for closed-loop cluster drivers.
+//!
+//! The cluster throughput benchmark (`exp_throughput`) and the stress tests
+//! drive real wall-clock operations; this module collects their per-operation
+//! latencies and reduces them to the numbers recorded in
+//! `BENCH_CLUSTER.json`: ops/sec plus latency percentiles.
+
+use std::time::Duration;
+
+/// Collects per-operation latency samples.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one operation's latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_ns.push(latency.as_nanos() as u64);
+    }
+
+    /// Absorbs every sample of `other`.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// The `p`-th percentile (0.0 ..= 100.0, nearest-rank) of the recorded
+    /// latencies, or zero if nothing was recorded.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.samples_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        Duration::from_nanos(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Mean latency, or zero if nothing was recorded.
+    pub fn mean(&self) -> Duration {
+        if self.samples_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u128 = self.samples_ns.iter().map(|&n| n as u128).sum();
+        Duration::from_nanos((total / self.samples_ns.len() as u128) as u64)
+    }
+
+    /// Reduces the samples to a summary for a run that took `elapsed`
+    /// (sorts the samples once for both percentiles).
+    pub fn summarize(&self, elapsed: Duration) -> ThroughputSummary {
+        let ops = self.samples_ns.len() as u64;
+        let elapsed_s = elapsed.as_secs_f64();
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let pick = |p: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+            sorted[rank.min(sorted.len() - 1)] as f64 / 1e3
+        };
+        ThroughputSummary {
+            ops,
+            elapsed_s,
+            ops_per_sec: if elapsed_s > 0.0 {
+                ops as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            p50_us: pick(50.0),
+            p99_us: pick(99.0),
+            mean_us: self.mean().as_secs_f64() * 1e6,
+        }
+    }
+}
+
+/// Ops/sec and latency percentiles of one closed-loop run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputSummary {
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_s: f64,
+    /// Completed operations per second.
+    pub ops_per_sec: f64,
+    /// Median operation latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile operation latency in microseconds.
+    pub p99_us: f64,
+    /// Mean operation latency in microseconds.
+    pub mean_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_is_all_zero() {
+        let rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.percentile(50.0), Duration::ZERO);
+        assert_eq!(rec.mean(), Duration::ZERO);
+        let s = rec.summarize(Duration::from_secs(1));
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.ops_per_sec, 0.0);
+    }
+
+    #[test]
+    fn percentiles_and_mean() {
+        let mut rec = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            rec.record(Duration::from_millis(ms));
+        }
+        assert_eq!(rec.len(), 100);
+        let p50 = rec.percentile(50.0).as_millis();
+        assert!((50..=51).contains(&p50), "p50 = {p50}");
+        let p99 = rec.percentile(99.0).as_millis();
+        assert!((99..=100).contains(&p99), "p99 = {p99}");
+        assert_eq!(rec.percentile(0.0), Duration::from_millis(1));
+        assert_eq!(rec.percentile(100.0), Duration::from_millis(100));
+        assert_eq!(rec.mean(), Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn merge_and_summarize() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(Duration::from_millis(10));
+        b.record(Duration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        let s = a.summarize(Duration::from_secs(2));
+        assert_eq!(s.ops, 2);
+        assert!((s.ops_per_sec - 1.0).abs() < 1e-9);
+        assert!((s.mean_us - 20_000.0).abs() < 1.0);
+    }
+}

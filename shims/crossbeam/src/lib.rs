@@ -20,6 +20,12 @@ pub mod channel {
         ready: Condvar,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        /// Receivers currently blocked in `wait`/`wait_timeout`. Incremented
+        /// under the queue lock before waiting, so a sender that pushes and
+        /// then reads 0 is guaranteed no receiver was parked at push time —
+        /// letting the hot path skip the condvar signal entirely when the
+        /// consumer is busy draining (the common case under load).
+        waiters: AtomicUsize,
     }
 
     /// Error returned by [`Sender::send`] when all receivers are gone.
@@ -66,6 +72,7 @@ pub mod channel {
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            waiters: AtomicUsize::new(0),
         });
         (
             Sender {
@@ -84,7 +91,14 @@ pub mod channel {
             let mut queue = self.inner.queue.lock().unwrap_or_else(|p| p.into_inner());
             queue.push_back(value);
             drop(queue);
-            self.inner.ready.notify_one();
+            // Only signal when a receiver is actually parked: `waiters` is
+            // incremented under the queue lock before waiting, so reading 0
+            // here (after push, which synchronized on that same lock) proves
+            // no receiver can be stuck — it will observe the pushed element
+            // on its pre-wait check.
+            if self.inner.waiters.load(Ordering::Acquire) > 0 {
+                self.inner.ready.notify_one();
+            }
             Ok(())
         }
     }
@@ -123,11 +137,10 @@ pub mod channel {
                 if self.disconnected() {
                     return Err(RecvError);
                 }
-                queue = self
-                    .inner
-                    .ready
-                    .wait(queue)
-                    .unwrap_or_else(|p| p.into_inner());
+                self.inner.waiters.fetch_add(1, Ordering::AcqRel);
+                let waited = self.inner.ready.wait(queue);
+                self.inner.waiters.fetch_sub(1, Ordering::AcqRel);
+                queue = waited.unwrap_or_else(|p| p.into_inner());
             }
         }
 
@@ -145,11 +158,10 @@ pub mod channel {
                 let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                     return Err(RecvTimeoutError::Timeout);
                 };
-                let (guard, result) = self
-                    .inner
-                    .ready
-                    .wait_timeout(queue, remaining)
-                    .unwrap_or_else(|p| p.into_inner());
+                self.inner.waiters.fetch_add(1, Ordering::AcqRel);
+                let waited = self.inner.ready.wait_timeout(queue, remaining);
+                self.inner.waiters.fetch_sub(1, Ordering::AcqRel);
+                let (guard, result) = waited.unwrap_or_else(|p| p.into_inner());
                 queue = guard;
                 if result.timed_out() && queue.is_empty() {
                     if self.disconnected() {
@@ -167,6 +179,54 @@ pub mod channel {
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
                 .pop_front()
+        }
+
+        /// An iterator over the messages that are in the channel right now;
+        /// never blocks. The whole backlog is claimed under one lock, so
+        /// draining N messages costs one lock acquisition instead of N
+        /// (matches the `crossbeam` API; messages arriving while iterating
+        /// are left for the next call).
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            let mut queue = self.inner.queue.lock().unwrap_or_else(|p| p.into_inner());
+            TryIter {
+                drained: std::mem::take(&mut *queue),
+                receiver: self,
+            }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`]. Dropping it before
+    /// exhaustion puts the unconsumed messages back at the front of the
+    /// channel (preserving order), like the real crate's lock-per-`next`
+    /// implementation would have left them there.
+    pub struct TryIter<'a, T> {
+        drained: VecDeque<T>,
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.drained.pop_front()
+        }
+    }
+
+    impl<T> Drop for TryIter<'_, T> {
+        fn drop(&mut self) {
+            if self.drained.is_empty() {
+                return;
+            }
+            let inner = &self.receiver.inner;
+            let mut queue = inner.queue.lock().unwrap_or_else(|p| p.into_inner());
+            while let Some(v) = self.drained.pop_back() {
+                queue.push_front(v);
+            }
+            drop(queue);
+            // Another receiver may have parked while this iterator held the
+            // backlog; wake it, exactly like a send would.
+            if inner.waiters.load(Ordering::Acquire) > 0 {
+                inner.ready.notify_one();
+            }
         }
     }
 
@@ -219,6 +279,24 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_iter_drains_and_preserves_leftovers() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        // Partially consume, then drop: leftovers must stay in order.
+        {
+            let mut it = rx.try_iter();
+            assert_eq!(it.next(), Some(0));
+            assert_eq!(it.next(), Some(1));
+        }
+        tx.send(5).unwrap();
+        let rest: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(rest, vec![2, 3, 4, 5]);
+        assert!(rx.try_iter().next().is_none());
     }
 
     #[test]

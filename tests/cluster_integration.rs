@@ -1,15 +1,35 @@
 //! Integration tests for the thread-based cluster runtime: the same automata
 //! that run in the simulator provide atomic storage over real threads and
-//! channels, under concurrency and crash failures.
+//! channels, under concurrency and crash failures — including the pipelined
+//! client API and per-object server sharding, in both the paper-faithful and
+//! the high-throughput cluster profiles.
 
-use lds_cluster::{ClientError, Cluster};
+use lds_cluster::{ClientError, Cluster, ClusterOptions, OpOutcome};
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
+use lds_core::tag::Tag;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn params() -> SystemParams {
     SystemParams::for_failures(1, 1, 2, 3).unwrap()
+}
+
+/// The two cluster profiles every stress test runs under: paper-faithful
+/// messaging and the high-throughput knob set, both sharded.
+fn stress_profiles() -> Vec<(&'static str, ClusterOptions)> {
+    vec![
+        (
+            "faithful",
+            ClusterOptions {
+                l1_shards: 2,
+                l2_shards: 2,
+                ..ClusterOptions::default()
+            },
+        ),
+        ("high-throughput", ClusterOptions::high_throughput(2)),
+    ]
 }
 
 #[test]
@@ -118,6 +138,190 @@ fn operations_survive_tolerated_crashes_but_not_more() {
     );
 
     cluster.shutdown();
+}
+
+/// Multi-client, multi-object stress through the pipelined client API on a
+/// sharded cluster: checks per-object tag monotonicity, per-writer order and
+/// read-your-writes under load, in both cluster profiles.
+#[test]
+fn pipelined_multi_object_stress_preserves_atomicity() {
+    for (_label, options) in stress_profiles() {
+        let cluster = Cluster::start_with(params(), BackendKind::Mbr, options);
+        let rounds = 6u64;
+        let mut handles = Vec::new();
+        for c in 0..4u64 {
+            let cluster = Arc::clone(&cluster);
+            handles.push(std::thread::spawn(move || {
+                let mut client = cluster.client_with_depth(8);
+                // Four private objects plus one object shared by every client.
+                let private: Vec<u64> = (0..4).map(|o| 10 * (c + 1) + o).collect();
+                let shared = 7u64;
+                let mut last_write_tag: HashMap<u64, Tag> = HashMap::new();
+                for round in 0..rounds {
+                    for &obj in &private {
+                        // Two queued writes and a read per object per round:
+                        // same-object FIFO makes the read observe the second.
+                        client.submit_write(obj, format!("{obj}-{round}-a").into_bytes());
+                        client.submit_write(obj, format!("{obj}-{round}-b").into_bytes());
+                        client.submit_read(obj);
+                    }
+                    client.submit_write(shared, format!("shared-{c}-{round}").into_bytes());
+                    for completion in client.wait_all().expect("round completes") {
+                        match &completion.outcome {
+                            OpOutcome::Write { tag } => {
+                                // Per-writer, per-object order: this client's
+                                // write tags on one object strictly increase.
+                                if let Some(prev) = last_write_tag.insert(completion.obj, *tag) {
+                                    assert!(
+                                        *tag > prev,
+                                        "client {c} write tags went backwards on obj {}",
+                                        completion.obj
+                                    );
+                                }
+                            }
+                            OpOutcome::Read { value, .. } => {
+                                // Read-your-writes through the pipeline: the
+                                // read was queued behind both writes.
+                                assert_eq!(
+                                    value,
+                                    &format!("{}-{round}-b", completion.obj).into_bytes(),
+                                    "client {c} read stale private data"
+                                );
+                            }
+                        }
+                    }
+                }
+                // Final blocking check per private object.
+                for &obj in &private {
+                    let value = client.read(obj).expect("final read");
+                    assert_eq!(value, format!("{obj}-{}-b", rounds - 1).into_bytes());
+                }
+            }));
+        }
+        // A checker on the shared object: tags must never go backwards and
+        // each writer's round counter must be non-decreasing.
+        let checker_cluster = Arc::clone(&cluster);
+        let checker = std::thread::spawn(move || {
+            let mut client = checker_cluster.client();
+            let mut last_tag: Option<Tag> = None;
+            let mut last_round: HashMap<u64, u64> = HashMap::new();
+            for _ in 0..40 {
+                let value = client.read(7).expect("shared read");
+                let tag = client.last_tag().unwrap();
+                if let Some(prev) = last_tag {
+                    assert!(tag >= prev, "shared tags went backwards");
+                }
+                last_tag = Some(tag);
+                if value.is_empty() {
+                    continue; // initial value
+                }
+                let text = String::from_utf8(value).unwrap();
+                let mut parts = text.split('-').skip(1);
+                let writer: u64 = parts.next().unwrap().parse().unwrap();
+                let round: u64 = parts.next().unwrap().parse().unwrap();
+                let prev = last_round.entry(writer).or_insert(0);
+                assert!(round >= *prev, "writer {writer} round went backwards");
+                *prev = round;
+            }
+        });
+        for h in handles {
+            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        }
+        checker
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e));
+        cluster.shutdown();
+    }
+}
+
+/// The pipelined stress keeps completing when `f1` L1 servers are killed
+/// mid-stream (in both profiles; in the high-throughput profile this also
+/// kills one of the `f1 + 1` offloaders).
+#[test]
+fn pipelined_stress_survives_l1_crash_mid_stream() {
+    for (_label, options) in stress_profiles() {
+        let cluster = Cluster::start_with(params(), BackendKind::Mbr, options);
+        let mut handles = Vec::new();
+        for c in 0..2u64 {
+            let cluster = Arc::clone(&cluster);
+            handles.push(std::thread::spawn(move || {
+                let mut client = cluster.client_with_depth(8);
+                for round in 0..10u64 {
+                    for obj in 0..4u64 {
+                        let obj = 10 * (c + 1) + obj;
+                        client.submit_write(obj, format!("{obj}-{round}").into_bytes());
+                    }
+                    client.wait_all().expect("operations survive f1 crashes");
+                    if round == 4 && c == 0 {
+                        // Kill one L1 server (= f1) while operations stream.
+                        cluster.kill_l1(0);
+                    }
+                }
+                for obj in 0..4u64 {
+                    let obj = 10 * (c + 1) + obj;
+                    assert_eq!(
+                        client.read(obj).expect("read after crash"),
+                        format!("{obj}-9").into_bytes()
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        }
+        cluster.shutdown();
+    }
+}
+
+/// Regression test for the L1 metadata leak: over a sustained ≥10k-operation
+/// run, the per-tag metadata (broadcast dedup sets, commit counters, list
+/// keys, pending acks) and the temporary value storage stay bounded by the
+/// number of objects and in-flight operations — not by the number of
+/// operations ever performed. Before committed-tag garbage collection the
+/// `relayed`/`consumed` sets alone grew by ~8 entries per write per server.
+#[test]
+fn l1_metadata_and_storage_stay_bounded_over_sustained_run() {
+    for (label, options) in stress_profiles() {
+        let cluster = Cluster::start_with(params(), BackendKind::Replication, options);
+        let objects = 8u64;
+        let value_size = 16usize;
+        let mut client_a = cluster.client_with_depth(16);
+        let mut client_b = cluster.client_with_depth(16);
+        let mut completed = 0usize;
+        let mut seq = 0u64;
+        while completed < 10_200 {
+            for _ in 0..64 {
+                let obj = seq % objects;
+                client_a.submit_write(obj, vec![(seq % 251) as u8; value_size]);
+                client_b.submit_read(obj);
+                seq += 1;
+            }
+            completed += client_a.wait_all().expect("writer batch").len();
+            completed += client_b.wait_all().expect("reader batch").len();
+        }
+        assert!(completed >= 10_200, "run was not sustained");
+        // Let every shard drain its inbox and publish its stats.
+        std::thread::sleep(Duration::from_millis(200));
+
+        let entries = cluster.total_l1_metadata_entries();
+        // Bound: a handful of entries per object per server (committed tag,
+        // current broadcast round, in-flight residue) — far below the ~8
+        // entries *per write* per server the leak used to accumulate (10k+
+        // writes would exceed 80_000).
+        assert!(
+            entries < 4_000,
+            "[{label}] L1 metadata grew with operation count: {entries} entries"
+        );
+        let bytes = cluster.total_l1_temporary_bytes();
+        // Bound: at most the committed value per object per server (the
+        // high-throughput profile caches exactly that) plus in-flight slack.
+        let cache_bound = 4 * objects as usize * value_size;
+        assert!(
+            bytes <= 4 * cache_bound,
+            "[{label}] L1 temporary storage unbounded: {bytes} bytes"
+        );
+        cluster.shutdown();
+    }
 }
 
 #[test]
