@@ -2,28 +2,36 @@
 //!
 //! Drives closed-loop clients (each keeping up to `depth` operations in
 //! flight through the pipelined [`lds_cluster::ClusterClient`] API) against
-//! a real multi-threaded [`Cluster`], sweeping
-//! `clients × pipeline depth × server shards × backend`, and records ops/sec
-//! with p50/p99 latency to `BENCH_CLUSTER.json`.
+//! a real multi-threaded [`Cluster`] — or, on the multi-cluster axis,
+//! against a [`ShardedCluster`] of several independent L1/L2 groups behind
+//! the [`lds_cluster::ShardedClient`] facade — sweeping
+//! `clients × pipeline depth × server shards × cluster shards × backend`,
+//! and records ops/sec with p50/p99 latency to `BENCH_CLUSTER.json`.
 //!
-//! The `(depth = 1, shards = 1)` point of each backend is the pre-PR-2
-//! baseline: one blocking operation in flight per client and one worker
-//! thread per server. The JSON records the speedup of the best
+//! The `(depth = 1, shards = 1, clusters = 1)` point of each backend is the
+//! pre-PR-2 baseline: one blocking operation in flight per client and one
+//! worker thread per server. The JSON records the speedup of the best
 //! pipelined+sharded configuration over that baseline so future PRs have a
 //! protocol-level performance trajectory, not just a codec-level one
-//! (`BENCH_CODES.json`).
+//! (`BENCH_CODES.json`). The `_meta` block records the host's core count —
+//! on a 1-core container the sharding/multi-cluster gains come from fewer
+//! messages and batched processing, not parallelism, and the recorded
+//! numbers say so themselves.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p lds-bench --bin exp_throughput            # full sweep
 //! cargo run --release -p lds-bench --bin exp_throughput -- --smoke # CI smoke
-//!     [--out PATH]    output file (default BENCH_CLUSTER.json)
-//!     [--ops N]       operations per client (overrides the preset)
+//!     [--out PATH]      output file (default BENCH_CLUSTER.json)
+//!     [--ops N]         operations per client (overrides the preset)
+//!     [--clusters N]    cluster shards on the multi-cluster points (default 2)
 //! ```
 
 use lds_bench::{fmt3, print_table};
-use lds_cluster::{Cluster, ClusterOptions};
+use lds_cluster::{
+    Cluster, ClusterClient, ClusterOptions, Completion, ShardedClient, ShardedCluster,
+};
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
 use lds_workload::throughput::{LatencyRecorder, ThroughputSummary};
@@ -58,14 +66,19 @@ struct Config {
     clients: usize,
     depth: usize,
     shards: usize,
+    /// Independent cluster shards behind the facade (1 = plain [`Cluster`]).
+    clusters: usize,
     profile: Profile,
 }
 
 impl Config {
-    /// The single-in-flight, unsharded, paper-faithful reference point the
-    /// speedups are computed against.
+    /// The single-in-flight, unsharded, single-cluster, paper-faithful
+    /// reference point the speedups are computed against.
     fn is_baseline(&self) -> bool {
-        self.depth == 1 && self.shards == 1 && self.profile == Profile::Faithful
+        self.depth == 1
+            && self.shards == 1
+            && self.clusters == 1
+            && self.profile == Profile::Faithful
     }
 }
 
@@ -86,6 +99,7 @@ fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_CLUSTER.json".to_string();
     let mut ops_override: Option<usize> = None;
+    let mut multi_clusters = 2usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -98,6 +112,14 @@ fn main() {
                         .parse()
                         .expect("--ops needs a number"),
                 )
+            }
+            "--clusters" => {
+                multi_clusters = args
+                    .next()
+                    .expect("--clusters needs a count")
+                    .parse()
+                    .expect("--clusters needs a number");
+                assert!(multi_clusters >= 1, "--clusters needs at least 1");
             }
             other => panic!("unknown argument {other:?}"),
         }
@@ -116,6 +138,7 @@ fn main() {
                 clients: 2,
                 depth: 1,
                 shards: 1,
+                clusters: 1,
                 profile: Profile::Faithful,
             });
             configs.push(Config {
@@ -123,6 +146,17 @@ fn main() {
                 clients: 2,
                 depth: 4,
                 shards: 2,
+                clusters: 1,
+                profile: Profile::Tuned,
+            });
+            // The multi-cluster facade rides in the smoke sweep so CI
+            // exercises ShardedCluster end to end.
+            configs.push(Config {
+                backend,
+                clients: 2,
+                depth: 4,
+                shards: 2,
+                clusters: multi_clusters.max(2),
                 profile: Profile::Tuned,
             });
         }
@@ -141,24 +175,41 @@ fn main() {
             BackendKind::Replication,
         ] {
             use Profile::*;
-            for (clients, depth, shards, profile) in [
+            for (clients, depth, shards, clusters, profile) in [
                 // Single-in-flight references: one blocking op at a time.
-                (1, 1, 1, Faithful),
-                (4, 1, 1, Faithful), // <- the baseline speedups compare against
+                (1, 1, 1, 1, Faithful),
+                (4, 1, 1, 1, Faithful), // <- the baseline speedups compare against
                 // Pipelining and sharding alone (paper-faithful messages).
-                (4, 8, 1, Faithful),
-                (4, 8, 2, Faithful),
-                (8, 16, 2, Faithful),
+                (4, 8, 1, 1, Faithful),
+                (4, 8, 2, 1, Faithful),
+                (8, 16, 2, 1, Faithful),
                 // The high-throughput profile on top.
-                (4, 32, 1, Tuned),
-                (4, 32, 2, Tuned),
-                (8, 32, 2, Tuned),
+                (4, 32, 1, 1, Tuned),
+                (4, 32, 2, 1, Tuned),
+                (8, 32, 2, 1, Tuned),
+                // Scale-out: the same best configs over N independent
+                // clusters behind the ShardedClient facade.
+                (4, 32, 2, multi_clusters, Tuned),
+                (8, 32, 2, multi_clusters, Tuned),
             ] {
+                if clusters == 1
+                    && configs.iter().any(|c: &Config| {
+                        c.backend == backend
+                            && c.clients == clients
+                            && c.depth == depth
+                            && c.shards == shards
+                            && c.clusters == 1
+                            && c.profile == profile
+                    })
+                {
+                    continue; // --clusters 1 would duplicate existing points
+                }
                 configs.push(Config {
                     backend,
                     clients,
                     depth,
                     shards,
+                    clusters,
                     profile,
                 });
             }
@@ -170,12 +221,13 @@ fn main() {
     for cfg in configs {
         let summary = run_point(cfg, workload);
         eprintln!(
-            "{:>18} {:>8}  clients={} depth={:>2} shards={}  {:>9.0} ops/s  p50={:>7.0}us p99={:>7.0}us",
+            "{:>18} {:>8}  clients={} depth={:>2} shards={} clusters={}  {:>9.0} ops/s  p50={:>7.0}us p99={:>7.0}us",
             cfg.backend.to_string(),
             cfg.profile.label(),
             cfg.clients,
             cfg.depth,
             cfg.shards,
+            cfg.clusters,
             summary.ops_per_sec,
             summary.p50_us,
             summary.p99_us,
@@ -195,6 +247,79 @@ fn main() {
     println!("\nwrote {} ({} bytes)", out_path, written.len());
 }
 
+/// One deployment under test: a single cluster or a sharded facade.
+enum Deployment {
+    Single(Arc<Cluster>),
+    Sharded(Arc<ShardedCluster>),
+}
+
+impl Deployment {
+    fn client_with_depth(&self, depth: usize) -> BenchClient {
+        match self {
+            Deployment::Single(c) => BenchClient::Single(Box::new(c.client_with_depth(depth))),
+            Deployment::Sharded(s) => BenchClient::Sharded(Box::new(s.client_with_depth(depth))),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Deployment::Single(c) => c.shutdown(),
+            Deployment::Sharded(s) => s.shutdown(),
+        }
+    }
+}
+
+/// The subset of the client API the closed loop needs, over either handle.
+enum BenchClient {
+    Single(Box<ClusterClient>),
+    Sharded(Box<ShardedClient>),
+}
+
+impl BenchClient {
+    fn set_timeout(&mut self, timeout: Duration) {
+        match self {
+            BenchClient::Single(c) => c.set_timeout(timeout),
+            BenchClient::Sharded(c) => c.set_timeout(timeout),
+        }
+    }
+
+    fn pending_ops(&self) -> usize {
+        match self {
+            BenchClient::Single(c) => c.pending_ops(),
+            BenchClient::Sharded(c) => c.pending_ops(),
+        }
+    }
+
+    fn submit_write(&mut self, obj: u64, value: Vec<u8>) {
+        match self {
+            BenchClient::Single(c) => {
+                c.submit_write(obj, value);
+            }
+            BenchClient::Sharded(c) => {
+                c.submit_write(obj, value);
+            }
+        }
+    }
+
+    fn submit_read(&mut self, obj: u64) {
+        match self {
+            BenchClient::Single(c) => {
+                c.submit_read(obj);
+            }
+            BenchClient::Sharded(c) => {
+                c.submit_read(obj);
+            }
+        }
+    }
+
+    fn wait_next(&mut self) -> Result<Vec<Completion>, lds_cluster::ClientError> {
+        match self {
+            BenchClient::Single(c) => c.wait_next(),
+            BenchClient::Sharded(c) => c.wait_next(),
+        }
+    }
+}
+
 /// Runs one sweep point and returns its merged summary.
 fn run_point(cfg: Config, workload: Workload) -> ThroughputSummary {
     let params = SystemParams::for_failures(1, 1, 2, 3).expect("validated parameters");
@@ -212,14 +337,24 @@ fn run_point(cfg: Config, workload: Workload) -> ThroughputSummary {
             ..ClusterOptions::high_throughput(cfg.shards)
         },
     };
-    let cluster = Cluster::start_with(params, cfg.backend, options);
+    let deployment = if cfg.clusters > 1 {
+        Deployment::Sharded(ShardedCluster::start_with(
+            cfg.clusters,
+            params,
+            cfg.backend,
+            options,
+        ))
+    } else {
+        Deployment::Single(Cluster::start_with(params, cfg.backend, options))
+    };
+    let deployment = Arc::new(deployment);
     let start = Instant::now();
     let mut handles = Vec::with_capacity(cfg.clients);
     for c in 0..cfg.clients {
-        let cluster = Arc::clone(&cluster);
+        let deployment = Arc::clone(&deployment);
         let seed = c as u64 + 1;
         handles.push(std::thread::spawn(move || {
-            drive_client(&cluster, cfg.depth, workload, seed)
+            drive_client(&deployment, cfg.depth, workload, seed)
         }));
     }
     let mut rec = LatencyRecorder::new();
@@ -227,7 +362,7 @@ fn run_point(cfg: Config, workload: Workload) -> ThroughputSummary {
         rec.merge(&h.join().expect("client thread"));
     }
     let elapsed = start.elapsed();
-    cluster.shutdown();
+    deployment.shutdown();
     rec.summarize(elapsed)
 }
 
@@ -235,12 +370,12 @@ fn run_point(cfg: Config, workload: Workload) -> ThroughputSummary {
 /// outstanding operations, alternating writes and reads over a shared
 /// object pool) until its quota completes.
 fn drive_client(
-    cluster: &Arc<Cluster>,
+    deployment: &Deployment,
     depth: usize,
     workload: Workload,
     seed: u64,
 ) -> LatencyRecorder {
-    let mut client = cluster.client_with_depth(depth);
+    let mut client = deployment.client_with_depth(depth);
     client.set_timeout(Duration::from_secs(60));
     let mut values = ValueGenerator::new(workload.value_size, seed);
     let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -285,6 +420,7 @@ fn print_results(results: &[PointResult]) {
                 r.cfg.clients.to_string(),
                 r.cfg.depth.to_string(),
                 r.cfg.shards.to_string(),
+                r.cfg.clusters.to_string(),
                 r.summary.ops.to_string(),
                 format!("{:.0}", r.summary.ops_per_sec),
                 format!("{:.0}", r.summary.p50_us),
@@ -295,7 +431,8 @@ fn print_results(results: &[PointResult]) {
     print_table(
         "cluster throughput (closed loop, 50/50 write/read)",
         &[
-            "backend", "profile", "clients", "depth", "shards", "ops", "ops/s", "p50 us", "p99 us",
+            "backend", "profile", "clients", "depth", "shards", "clusters", "ops", "ops/s",
+            "p50 us", "p99 us",
         ],
         &rows,
     );
@@ -303,7 +440,7 @@ fn print_results(results: &[PointResult]) {
     println!("\n  speedup of best config over the single-in-flight, unsharded baseline:");
     for (backend, baseline, best) in per_backend_extremes(results) {
         println!(
-            "    {:>18}: {} -> {} ops/s  ({}x, best: {} clients={} depth={} shards={})",
+            "    {:>18}: {} -> {} ops/s  ({}x, best: {} clients={} depth={} shards={} clusters={})",
             backend.to_string(),
             fmt3(baseline.summary.ops_per_sec),
             fmt3(best.summary.ops_per_sec),
@@ -312,6 +449,7 @@ fn print_results(results: &[PointResult]) {
             best.cfg.clients,
             best.cfg.depth,
             best.cfg.shards,
+            best.cfg.clusters,
         );
     }
 }
@@ -353,6 +491,15 @@ fn per_backend_extremes(results: &[PointResult]) -> Vec<(BackendKind, &PointResu
         .collect()
 }
 
+/// Logical cores available to this process (the recorded numbers' parallelism
+/// caveat, made self-describing: on a 1-core host, sharding and multi-cluster
+/// gains come from batching, not parallel execution).
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -360,21 +507,25 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
     out.push_str(
         "    \"description\": \"End-to-end throughput of the threaded cluster runtime: \
          closed-loop clients driving the pipelined ClusterClient API against sharded L1 \
-         servers. baseline = single-in-flight (depth 1), unsharded, paper-faithful message \
+         servers; points with clusters > 1 run N independent L1/L2 groups behind the \
+         ShardedClient facade (object space partitioned by consistent hash). baseline = \
+         single-in-flight (depth 1), unsharded, single-cluster, paper-faithful message \
          flow — i.e. the pre-pipelining runtime. profile=tuned flips the documented \
          protocol-cost knobs (direct COMMIT-TAG broadcast, inline self-delivery, \
          committed-value cache, f1+1 offloaders, no L2 write acks); atomicity is preserved \
-         and covered by the cluster stress tests. Host for the recorded numbers: 1 CPU \
-         core, so gains come from fewer messages and batched processing, not parallelism.\",\n",
+         and covered by the cluster stress tests. See host_cores for how much hardware \
+         parallelism backed the recorded numbers: on 1 core, sharding/multi-cluster gains \
+         come from fewer messages and batched processing, not parallelism.\",\n",
     );
     out.push_str(&format!(
         "    \"command\": \"cargo run --release -p lds-bench --bin exp_throughput{}\",\n",
         if smoke { " -- --smoke" } else { "" }
     ));
     out.push_str(&format!("    \"generated\": \"{}\",\n", today_utc()));
+    out.push_str(&format!("    \"host_cores\": {},\n", host_cores()));
     out.push_str(
-        "    \"params\": \"f1=1 f2=1 k=2 d=3 (n1=4, n2=5); one cluster per point, clients \
-         on their own threads\",\n",
+        "    \"params\": \"f1=1 f2=1 k=2 d=3 (n1=4, n2=5) per cluster; one deployment per \
+         point, clients on their own threads\",\n",
     );
     out.push_str(&format!(
         "    \"workload\": \"50/50 write/read, uniform over {} objects, {}-byte values, {} \
@@ -392,21 +543,23 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
     for (i, (backend, baseline, best)) in extremes.iter().enumerate() {
         out.push_str(&format!(
             "    \"{}\": {{ \"baseline_ops_per_sec\": {:.1}, \
-             \"baseline_config\": \"{} clients={} depth={} shards={}\", \
+             \"baseline_config\": \"{} clients={} depth={} shards={} clusters={}\", \
              \"best_ops_per_sec\": {:.1}, \"speedup\": {:.2}, \
-             \"best_config\": \"{} clients={} depth={} shards={}\" }}{}\n",
+             \"best_config\": \"{} clients={} depth={} shards={} clusters={}\" }}{}\n",
             backend,
             baseline.summary.ops_per_sec,
             baseline.cfg.profile.label(),
             baseline.cfg.clients,
             baseline.cfg.depth,
             baseline.cfg.shards,
+            baseline.cfg.clusters,
             best.summary.ops_per_sec,
             best.summary.ops_per_sec / baseline.summary.ops_per_sec.max(1e-9),
             best.cfg.profile.label(),
             best.cfg.clients,
             best.cfg.depth,
             best.cfg.shards,
+            best.cfg.clusters,
             if i + 1 < extremes.len() { "," } else { "" }
         ));
     }
@@ -416,7 +569,7 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"backend\": \"{}\", \"profile\": \"{}\", \"clients\": {}, \
-             \"depth\": {}, \"shards\": {}, \
+             \"depth\": {}, \"shards\": {}, \"clusters\": {}, \
              \"ops\": {}, \"elapsed_s\": {:.4}, \"ops_per_sec\": {:.1}, \"p50_us\": {:.1}, \
              \"p99_us\": {:.1}, \"mean_us\": {:.1} }}{}\n",
             r.cfg.backend,
@@ -424,6 +577,7 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
             r.cfg.clients,
             r.cfg.depth,
             r.cfg.shards,
+            r.cfg.clusters,
             r.summary.ops,
             r.summary.elapsed_s,
             r.summary.ops_per_sec,

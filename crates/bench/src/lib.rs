@@ -1,8 +1,10 @@
 //! # lds-bench
 //!
 //! The benchmark harness reproducing every figure and analytical result of
-//! the LDS paper's evaluation (§V). See `DESIGN.md` at the repository root
-//! for the experiment index (E1–E10).
+//! the LDS paper's evaluation (§V), plus the wall-clock cluster throughput
+//! sweep. See `ARCHITECTURE.md` and `README.md` at the repository root for
+//! the experiment index and the reproduction commands behind
+//! `BENCH_CODES.json` / `BENCH_CLUSTER.json`.
 //!
 //! Two kinds of targets live here:
 //!
@@ -15,7 +17,10 @@
 //!   - `exp_fig6` — L1/L2 storage versus the number of objects `N` (Fig. 6 /
 //!     Lemma V.5), including the replication-in-L2 comparison;
 //!   - `exp_mbr_vs_msr` — the MBR / MSR-point ablation (Remarks 1, 2);
-//!   - `exp_baselines` — LDS versus the single-layer ABD and CAS baselines.
+//!   - `exp_baselines` — LDS versus the single-layer ABD and CAS baselines;
+//!   - `exp_throughput` — wall-clock ops/sec of the threaded cluster
+//!     runtime (pipelined clients × worker shards × cluster shards ×
+//!     backend), recorded into `BENCH_CLUSTER.json`.
 //! * **Criterion benches** (`cargo bench -p lds-bench`) measure raw code
 //!   throughput (encode / decode / repair) and end-to-end simulated protocol
 //!   operations.

@@ -17,7 +17,19 @@
 //!   outgoing messages as one batch per protocol step;
 //! * clients are handles ([`ClusterClient`]) usable from any thread, with
 //!   both blocking and **pipelined** operation;
-//! * servers can be killed at runtime to exercise crash-fault tolerance.
+//! * servers can be killed at runtime to exercise crash-fault tolerance;
+//! * node wake-ups flush all outgoing traffic in one pass, coalescing
+//!   same-destination metadata — notably the per-write **COMMIT-TAG
+//!   broadcasts** — into one multi-message envelope per peer per flush
+//!   ([`router::Envelope::Batch`]);
+//! * with [`ClusterOptions::inbox_cap`] the cluster runs with **bounded
+//!   inboxes**: a saturated or slow shard pushes back on
+//!   [`ClusterClient::try_submit_write`] / [`ClusterClient::try_submit_read`]
+//!   (they return [`WouldBlock`]) instead of queueing without limit;
+//! * [`ShardedCluster`] scales out *beyond one membership*: the object space
+//!   is partitioned by consistent hash ([`cluster_of`]) over N independent
+//!   clusters — each with its own L1/L2 group, router and failure budget —
+//!   behind a [`ShardedClient`] facade with the same pipelined API.
 //!
 //! # Blocking usage
 //!
@@ -80,7 +92,9 @@
 pub mod client;
 pub mod node;
 pub mod router;
+pub mod sharded;
 
-pub use client::{ClientError, ClusterClient, Completion, OpOutcome, OpTicket};
-pub use node::{Cluster, ClusterOptions};
+pub use client::{ClientError, ClusterClient, Completion, OpOutcome, OpTicket, WouldBlock};
+pub use node::{msgs_per_op_bound, Cluster, ClusterOptions};
 pub use router::shard_of;
+pub use sharded::{cluster_of, ShardedClient, ShardedCluster};

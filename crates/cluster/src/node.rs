@@ -6,16 +6,30 @@
 //! state inside the server's per-object map, so cross-shard invariants are
 //! trivial — a shard simply never sees messages for objects it does not own
 //! — and independent objects are processed in parallel inside one node.
+//!
+//! When [`ClusterOptions::inbox_cap`] is set, the cluster runs with *bounded
+//! inboxes*: every L1 object partition has an admission budget of at most
+//! `cap` client operations in flight, and dispatching a new operation also
+//! requires every destination worker inbox to be below its depth limit. A
+//! slow or saturated shard therefore pushes back on
+//! [`crate::ClusterClient::try_submit_write`] /
+//! [`crate::ClusterClient::try_submit_read`] (they return
+//! [`crate::WouldBlock`]) instead of queueing without limit. Server-to-server
+//! traffic is never blocked — the channels stay unbounded so the protocol
+//! cannot deadlock on a full peer inbox — but because every internal message
+//! is caused by an admitted client operation, each worker inbox stays within
+//! a small protocol-constant multiple of the cap (asserted by the
+//! cross-shard stress tests).
 
 use crate::client::ClusterClient;
-use crate::router::{Envelope, Router};
+use crate::router::{DepthGauge, Envelope, Inbox, Router};
 use lds_core::backend::{make_backend, BackendCodec, BackendKind};
 use lds_core::membership::Membership;
 use lds_core::messages::{LdsMessage, ProtocolEvent};
 use lds_core::params::SystemParams;
 use lds_core::server1::{L1Options, L1Server};
 use lds_core::server2::{L2Options, L2Server};
-use lds_core::tag::ClientId;
+use lds_core::tag::{ClientId, ObjectId};
 use lds_sim::{Context, Process, ProcessId, SimTime};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -38,6 +52,16 @@ pub struct ClusterOptions {
     /// Default maximum number of operations a client created by
     /// [`Cluster::client`] keeps in flight.
     pub pipeline_depth: usize,
+    /// Bounded-inbox mode: the maximum number of client operations admitted
+    /// concurrently per L1 object partition (`None` = unbounded, the
+    /// default). With a cap, a saturated or slow partition makes
+    /// [`crate::ClusterClient::try_submit_write`] /
+    /// [`crate::ClusterClient::try_submit_read`] return
+    /// [`crate::WouldBlock`], and queued `submit_*` operations simply wait
+    /// for a slot; each worker-shard inbox is thereby bounded to a small
+    /// multiple of `cap × `[`msgs_per_op_bound`] messages instead of growing
+    /// without limit under overload.
+    pub inbox_cap: Option<usize>,
 }
 
 impl Default for ClusterOptions {
@@ -48,6 +72,7 @@ impl Default for ClusterOptions {
             l1: L1Options::default(),
             l2: L2Options::default(),
             pipeline_depth: 16,
+            inbox_cap: None,
         }
     }
 }
@@ -72,7 +97,93 @@ impl ClusterOptions {
                 ack_code_elem: false,
             },
             pipeline_depth: 32,
+            inbox_cap: None,
         }
+    }
+}
+
+/// Worst-case protocol messages one client operation can deposit into a
+/// single L1 worker-shard inbox, used to derive the per-inbox depth limit
+/// (`inbox_cap × msgs_per_op_bound`) in bounded-inbox mode.
+///
+/// A write delivers to one L1 shard at most: `QUERY-TAG` + `PUT-DATA` (2),
+/// the COMMIT-TAG broadcast fan-in — as a relay up to `n1` `BCAST-SEND`s
+/// (one per originating server) and up to `n1 · (f1 + 1)` `BCAST-DELIVER`s
+/// (every relay forwards every origin's broadcast), i.e. `n1 · (f1 + 2)`
+/// total; direct-broadcast mode is strictly smaller — and up to `n2` L2
+/// offload acks. A read (`QUERY-COMM-TAG` + `QUERY-DATA` + `PUT-TAG` + `n2`
+/// helper responses) is strictly smaller again.
+pub fn msgs_per_op_bound(params: &SystemParams) -> usize {
+    2 + params.n1() * (params.f1() + 2) + params.n2()
+}
+
+/// The shared admission state of a bounded-inbox cluster: one in-flight
+/// operation budget per L1 object partition plus read access to every L1
+/// worker inbox gauge. Cloned into each [`ClusterClient`].
+#[derive(Clone)]
+pub(crate) struct Admission {
+    /// Client operations admitted per cap.
+    cap: usize,
+    /// Per-inbox message-depth gate derived from the cap.
+    depth_limit: usize,
+    /// In-flight admitted operations, one counter per L1 partition.
+    admitted: Arc<[AtomicUsize]>,
+    /// Depth gauges of every L1 server, indexed `[server][shard]`.
+    l1_depths: Arc<Vec<Vec<Arc<DepthGauge>>>>,
+    /// Worker shards per L1 server (the partition count).
+    shards: usize,
+}
+
+impl Admission {
+    fn new(
+        cap: usize,
+        shards: usize,
+        params: &SystemParams,
+        l1_depths: Arc<Vec<Vec<Arc<DepthGauge>>>>,
+    ) -> Self {
+        assert!(cap > 0, "inbox_cap must be at least 1");
+        let admitted: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+        Admission {
+            cap,
+            depth_limit: cap * msgs_per_op_bound(params),
+            admitted: admitted.into(),
+            l1_depths,
+            shards,
+        }
+    }
+
+    /// The partition (worker-shard index) owning `obj`.
+    pub(crate) fn partition_of(&self, obj: ObjectId) -> usize {
+        crate::router::shard_of(obj, self.shards)
+    }
+
+    /// Tries to admit one client operation on `obj`'s partition: the
+    /// partition must have budget left *and* every L1 server's worker inbox
+    /// for that partition must be below the depth limit (that second gate is
+    /// what makes a slow shard push back even while budget remains).
+    pub(crate) fn try_admit(&self, obj: ObjectId) -> bool {
+        let partition = self.partition_of(obj);
+        for server in self.l1_depths.iter() {
+            if server[partition].current() >= self.depth_limit {
+                return false;
+            }
+        }
+        self.admitted[partition]
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < self.cap).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Returns the budget slot taken by [`Admission::try_admit`] for an
+    /// operation on `obj` (called exactly once per admitted operation, at
+    /// completion or abort).
+    pub(crate) fn release(&self, obj: ObjectId) {
+        self.admitted[self.partition_of(obj)].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn admitted_on(&self, partition: usize) -> usize {
+        self.admitted[partition].load(Ordering::Relaxed)
     }
 }
 
@@ -86,14 +197,18 @@ struct ShardStats {
 
 /// Drives one server automaton from its inbox until a stop request arrives.
 ///
-/// The outgoing/events buffers are allocated once and reused for every step,
-/// and outgoing messages are flushed as one batch per step (one routing-epoch
-/// check instead of one table lookup per recipient).
+/// The outgoing/events buffers are allocated once and reused for every step.
+/// Outgoing messages are flushed **once per wake-up** (the blocking message
+/// plus the entire claimed backlog): one routing-epoch check for everything,
+/// and all same-destination metadata produced by the batch — most notably
+/// the COMMIT-TAG broadcasts of every write in it — coalesces into one
+/// multi-message envelope per peer (see
+/// [`crate::router::RouterHandle::send_batch`]).
 fn run_node<P>(
     mut process: P,
     pid: ProcessId,
     router: Router,
-    inbox: crossbeam::channel::Receiver<Envelope>,
+    inbox: Inbox,
     started: Instant,
     publish: impl Fn(&P),
 ) where
@@ -103,74 +218,78 @@ fn run_node<P>(
     let mut outgoing: Vec<(ProcessId, LdsMessage)> = Vec::with_capacity(64);
     let mut events: Vec<(SimTime, ProcessId, ProtocolEvent)> = Vec::new();
 
-    /// Processes one protocol message.
-    #[allow(clippy::too_many_arguments)]
-    fn step<P: Process<LdsMessage, ProtocolEvent>>(
+    /// Processes one envelope, appending produced messages to `outgoing`
+    /// (the caller flushes). Returns `true` when a stop was requested.
+    fn consume<P: Process<LdsMessage, ProtocolEvent>>(
         process: &mut P,
         pid: ProcessId,
         now: SimTime,
-        handle: &mut crate::router::RouterHandle,
+        depth: &DepthGauge,
         outgoing: &mut Vec<(ProcessId, LdsMessage)>,
         events: &mut Vec<(SimTime, ProcessId, ProtocolEvent)>,
-        from: ProcessId,
-        msg: LdsMessage,
-    ) {
-        let mut ctx = Context::standalone(pid, now, outgoing, events);
-        process.on_message(from, msg, &mut ctx);
-        handle.send_batch(pid, outgoing.drain(..));
-        // Server automata do not emit client events.
-        events.clear();
+        envelope: Envelope,
+    ) -> bool {
+        let mut step = |from: ProcessId, msg: LdsMessage| {
+            let mut ctx = Context::standalone(pid, now, outgoing, events);
+            process.on_message(from, msg, &mut ctx);
+            // Server automata do not emit client events.
+            events.clear();
+        };
+        match envelope {
+            Envelope::Stop => return true,
+            Envelope::Protocol { from, msg } => {
+                depth.sub(1);
+                step(from, msg);
+            }
+            Envelope::Batch { from, msgs } => {
+                depth.sub(msgs.len());
+                for msg in msgs {
+                    step(from, msg);
+                }
+            }
+        }
+        false
     }
 
     'run: loop {
         // Only blocked (idle) shards publish stats, so probing them never
         // contends with the protocol hot path.
         publish(&process);
-        let first = match inbox.recv() {
+        let first = match inbox.rx.recv() {
             Ok(e) => e,
             Err(_) => break 'run,
         };
         // One timestamp per batch: the clock feeds event timestamps only,
         // and a batch is processed within microseconds.
         let now = SimTime::new(started.elapsed().as_secs_f64());
-        match first {
-            Envelope::Stop => break 'run,
-            Envelope::Protocol { from, msg } => {
-                step(
+        let mut stop = consume(
+            &mut process,
+            pid,
+            now,
+            &inbox.depth,
+            &mut outgoing,
+            &mut events,
+            first,
+        );
+        if !stop {
+            // Drain the backlog as one batch: a single channel-lock
+            // acquisition claims every queued envelope.
+            for envelope in inbox.rx.try_iter() {
+                if consume(
                     &mut process,
                     pid,
                     now,
-                    &mut handle,
+                    &inbox.depth,
                     &mut outgoing,
                     &mut events,
-                    from,
-                    msg,
-                );
-            }
-        }
-        // Drain the backlog as one batch: a single channel-lock acquisition
-        // claims every queued message.
-        let mut stop = false;
-        for envelope in inbox.try_iter() {
-            match envelope {
-                Envelope::Stop => {
+                    envelope,
+                ) {
                     stop = true;
                     break;
                 }
-                Envelope::Protocol { from, msg } => {
-                    step(
-                        &mut process,
-                        pid,
-                        now,
-                        &mut handle,
-                        &mut outgoing,
-                        &mut events,
-                        from,
-                        msg,
-                    );
-                }
             }
         }
+        handle.send_batch(pid, outgoing.drain(..));
         if stop {
             break 'run;
         }
@@ -193,6 +312,10 @@ pub struct Cluster {
     options: ClusterOptions,
     /// Per L1 server, per shard occupancy stats.
     l1_stats: Vec<Vec<Arc<ShardStats>>>,
+    /// Per L1 server, per shard inbox depth gauges.
+    l1_inboxes: Arc<Vec<Vec<Arc<DepthGauge>>>>,
+    /// Backpressure admission state (bounded-inbox mode only).
+    admission: Option<Admission>,
 }
 
 impl Cluster {
@@ -235,10 +358,12 @@ impl Cluster {
         let mut handles =
             Vec::with_capacity(params.n1() * options.l1_shards + params.n2() * options.l2_shards);
         let mut l1_stats = Vec::with_capacity(params.n1());
+        let mut l1_inboxes = Vec::with_capacity(params.n1());
 
         for (j, &pid) in l1.iter().enumerate() {
             let inboxes = router.register_sharded(pid, options.l1_shards);
             let mut shard_stats = Vec::with_capacity(options.l1_shards);
+            let mut shard_depths = Vec::with_capacity(options.l1_shards);
             for (s, inbox) in inboxes.into_iter().enumerate() {
                 let server = L1Server::new(
                     j,
@@ -249,6 +374,7 @@ impl Cluster {
                 );
                 let stats = Arc::new(ShardStats::default());
                 shard_stats.push(Arc::clone(&stats));
+                shard_depths.push(Arc::clone(&inbox.depth));
                 let router = router.clone();
                 handles.push(
                     std::thread::Builder::new()
@@ -267,6 +393,7 @@ impl Cluster {
                 );
             }
             l1_stats.push(shard_stats);
+            l1_inboxes.push(shard_depths);
         }
         for (i, &pid) in l2.iter().enumerate() {
             let inboxes = router.register_sharded(pid, options.l2_shards);
@@ -283,6 +410,11 @@ impl Cluster {
             }
         }
 
+        let l1_inboxes = Arc::new(l1_inboxes);
+        let admission = options
+            .inbox_cap
+            .map(|cap| Admission::new(cap, options.l1_shards, &params, Arc::clone(&l1_inboxes)));
+
         Arc::new(Cluster {
             params,
             membership,
@@ -293,6 +425,8 @@ impl Cluster {
             started,
             options,
             l1_stats,
+            l1_inboxes,
+            admission,
         })
     }
 
@@ -321,6 +455,10 @@ impl Cluster {
 
     pub(crate) fn elapsed(&self) -> SimTime {
         SimTime::new(self.started.elapsed().as_secs_f64())
+    }
+
+    pub(crate) fn admission(&self) -> Option<Admission> {
+        self.admission.clone()
     }
 
     /// Bytes of values held in the temporary storage of L1 server `index`
@@ -354,6 +492,41 @@ impl Cluster {
         (0..self.l1_stats.len())
             .map(|j| self.l1_metadata_entries(j))
             .sum()
+    }
+
+    /// Messages currently queued in the inboxes of L1 server `index`
+    /// (summed over its worker shards).
+    pub fn l1_inbox_depth(&self, index: usize) -> usize {
+        self.l1_inboxes[index].iter().map(|d| d.current()).sum()
+    }
+
+    /// The largest queue length any single worker-shard inbox of L1 server
+    /// `index` has ever reached. In bounded-inbox mode the cross-shard
+    /// stress tests assert this against
+    /// `inbox_cap × `[`msgs_per_op_bound`]` × 2` (admission stops below
+    /// `cap × bound` queued messages, and the at-most-`cap` admitted
+    /// operations in flight can each add one more complement).
+    pub fn l1_max_inbox_depth(&self, index: usize) -> usize {
+        self.l1_inboxes[index]
+            .iter()
+            .map(|d| d.max_seen())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The configured bounded-inbox admission cap, if any.
+    pub fn inbox_cap(&self) -> Option<usize> {
+        self.options.inbox_cap
+    }
+
+    /// Client operations currently admitted on L1 partition `shard`
+    /// (bounded-inbox mode only; zero otherwise). Never exceeds
+    /// [`Cluster::inbox_cap`].
+    pub fn l1_admitted_ops(&self, shard: usize) -> usize {
+        self.admission
+            .as_ref()
+            .map(|a| a.admitted_on(shard))
+            .unwrap_or(0)
     }
 
     /// Creates a client handle with the cluster's default pipeline depth.
@@ -460,6 +633,54 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(100));
         let entries = cluster.total_l1_metadata_entries();
         assert!(entries > 0, "metadata probe never published");
+        drop(client);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn bounded_cluster_round_trips_and_tracks_admission() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let cluster = Cluster::start_with(
+            params,
+            BackendKind::Replication,
+            ClusterOptions {
+                inbox_cap: Some(2),
+                ..ClusterOptions::default()
+            },
+        );
+        assert_eq!(cluster.inbox_cap(), Some(2));
+        let mut client = cluster.client();
+        for i in 0..6u64 {
+            client
+                .write(i, format!("bounded {i}").into_bytes())
+                .unwrap();
+            assert_eq!(client.read(i).unwrap(), format!("bounded {i}").into_bytes());
+        }
+        // Blocking operations complete one at a time: the budget drains back
+        // to zero between them.
+        assert_eq!(cluster.l1_admitted_ops(0), 0);
+        drop(client);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn inbox_depth_probes_settle_to_zero() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let cluster = Cluster::start(params, BackendKind::Replication);
+        let mut client = cluster.client();
+        for i in 0..8u64 {
+            client.submit_write(i, vec![3u8; 32]);
+        }
+        client.wait_all().unwrap();
+        // Everything the workload enqueued was eventually claimed.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        for j in 0..cluster.params().n1() {
+            assert_eq!(cluster.l1_inbox_depth(j), 0, "server {j} inbox drained");
+            assert!(
+                cluster.l1_max_inbox_depth(j) > 0,
+                "high-water mark recorded"
+            );
+        }
         drop(client);
         cluster.shutdown();
     }

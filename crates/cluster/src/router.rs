@@ -13,6 +13,21 @@
 //! are routed to the shard owning their object id, so all traffic for one
 //! object is serialized through one worker while distinct objects proceed in
 //! parallel.
+//!
+//! Two mechanisms added for the scale-out runtime live here as well:
+//!
+//! * **Multi-message envelopes** — [`RouterHandle::send_batch`] groups the
+//!   messages of one flush by destination shard and delivers each group as a
+//!   single [`Envelope::Batch`]. A node that processes a backlog of writes
+//!   emits one COMMIT-TAG broadcast *per write per peer*; grouping collapses
+//!   them into one envelope per peer per flush, so the receiving shard pays
+//!   one channel hand-off (lock + wake-up) for the whole batch.
+//! * **Inbox depth gauges** — every worker-shard inbox tracks how many
+//!   protocol messages are queued ([`DepthGauge`]), maintained by the sender
+//!   on enqueue and by the owning worker as it claims messages. The gauges
+//!   feed the cluster's backpressure admission gate and its observability
+//!   probes; the channels themselves stay unbounded so server-to-server
+//!   traffic can never deadlock on a full peer inbox.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lds_core::messages::LdsMessage;
@@ -20,7 +35,7 @@ use lds_core::tag::ObjectId;
 use lds_sim::ProcessId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A message in flight inside the cluster.
@@ -33,15 +48,89 @@ pub enum Envelope {
         /// The message.
         msg: LdsMessage,
     },
+    /// Several protocol messages from one sender to one worker shard,
+    /// delivered as a unit. Produced by [`RouterHandle::send_batch`] when a
+    /// flush contains more than one message for the same destination shard —
+    /// most prominently the per-write COMMIT-TAG metadata broadcasts of a
+    /// batch of writes. Messages preserve their send order.
+    Batch {
+        /// Sending process.
+        from: ProcessId,
+        /// The messages, in send order. All route to the same worker shard.
+        msgs: Vec<LdsMessage>,
+    },
     /// Ask the receiving node thread to stop (used for shutdown and for
     /// simulating crash failures).
     Stop,
 }
 
+impl Envelope {
+    /// Number of protocol messages the envelope carries.
+    pub fn message_count(&self) -> usize {
+        match self {
+            Envelope::Protocol { .. } => 1,
+            Envelope::Batch { msgs, .. } => msgs.len(),
+            Envelope::Stop => 0,
+        }
+    }
+}
+
+/// Live occupancy of one worker-shard inbox: the number of protocol messages
+/// currently enqueued (senders increment, the owning worker decrements as it
+/// claims messages) and the high-water mark observed so far.
+///
+/// Gauges are what make the cluster's *bounded inbox* mode enforceable
+/// without bounded channels: admission control reads them before dispatching
+/// new client operations, and the stress tests assert the recorded
+/// high-water mark against the configured cap.
+#[derive(Debug, Default)]
+pub struct DepthGauge {
+    cur: AtomicUsize,
+    max: AtomicUsize,
+}
+
+impl DepthGauge {
+    pub(crate) fn add(&self, n: usize) {
+        let now = self.cur.fetch_add(n, Ordering::Relaxed) + n;
+        self.max.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sub(&self, n: usize) {
+        self.cur.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Messages currently enqueued (as of the last sender/claimer update).
+    pub fn current(&self) -> usize {
+        self.cur.load(Ordering::Relaxed)
+    }
+
+    /// The largest queue length ever observed on this inbox.
+    pub fn max_seen(&self) -> usize {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// The receiving side of one worker shard: the channel plus its depth gauge.
+/// Returned by [`Router::register`] / [`Router::register_sharded`]; the
+/// owning worker decrements the gauge (via the node/client loops) for every
+/// protocol message it claims.
+pub struct Inbox {
+    /// The channel messages arrive on.
+    pub rx: Receiver<Envelope>,
+    /// The inbox's occupancy gauge (shared with the router's senders).
+    pub depth: Arc<DepthGauge>,
+}
+
+/// One worker shard's sending endpoint.
+struct ShardInbox {
+    tx: Sender<Envelope>,
+    depth: Arc<DepthGauge>,
+}
+
 /// The inboxes of one destination process: one sender per worker shard.
 #[derive(Clone)]
 struct Route {
-    shards: Arc<[Sender<Envelope>]>,
+    shards: Arc<[ShardInbox]>,
 }
 
 type Table = HashMap<ProcessId, Route>;
@@ -113,11 +202,13 @@ impl Router {
             shared: Arc::clone(&self.shared),
             epoch: self.shared.epoch.load(Ordering::Acquire),
             snapshot,
+            groups: Vec::new(),
+            vec_pool: Vec::new(),
         }
     }
 
     /// Registers a process with a single inbox and returns the receiving end.
-    pub fn register(&self, pid: ProcessId) -> Receiver<Envelope> {
+    pub fn register(&self, pid: ProcessId) -> Inbox {
         self.register_sharded(pid, 1).pop().expect("one shard")
     }
 
@@ -128,14 +219,18 @@ impl Router {
     /// # Panics
     ///
     /// Panics if `shards` is zero.
-    pub fn register_sharded(&self, pid: ProcessId, shards: usize) -> Vec<Receiver<Envelope>> {
+    pub fn register_sharded(&self, pid: ProcessId, shards: usize) -> Vec<Inbox> {
         assert!(shards > 0, "a process needs at least one shard");
         let mut senders = Vec::with_capacity(shards);
-        let mut receivers = Vec::with_capacity(shards);
+        let mut inboxes = Vec::with_capacity(shards);
         for _ in 0..shards {
             let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
+            let depth = Arc::new(DepthGauge::default());
+            senders.push(ShardInbox {
+                tx,
+                depth: Arc::clone(&depth),
+            });
+            inboxes.push(Inbox { rx, depth });
         }
         self.mutate(|table| {
             table.insert(
@@ -145,7 +240,7 @@ impl Router {
                 },
             );
         });
-        receivers
+        inboxes
     }
 
     /// Removes a process from the routing table (messages to it are dropped
@@ -169,7 +264,7 @@ impl Router {
         let snapshot = Arc::clone(&self.shared.table.lock());
         if let Some(route) = snapshot.get(&to) {
             for shard in route.shards.iter() {
-                let _ = shard.send(Envelope::Stop);
+                let _ = shard.tx.send(Envelope::Stop);
             }
         }
     }
@@ -194,7 +289,24 @@ pub struct RouterHandle {
     shared: Arc<Shared>,
     epoch: u64,
     snapshot: Arc<Table>,
+    /// Scratch for [`RouterHandle::send_batch`]: per-destination-shard
+    /// message groups of the flush in progress (linear scan — a flush rarely
+    /// addresses more than a couple dozen distinct shards). Each group keeps
+    /// the destination's shard array so the flush needs no second table
+    /// lookup (the snapshot cannot change within one `send_batch`).
+    groups: Vec<FlushGroup>,
+    /// Recycled group buffers (only singleton groups come back — a
+    /// multi-message group's buffer moves into its [`Envelope::Batch`]).
+    vec_pool: Vec<Vec<LdsMessage>>,
 }
+
+/// One in-progress flush group of [`RouterHandle::send_batch`]: destination
+/// process, worker-shard index, the destination's shard array (kept so the
+/// flush needs no second table lookup), and the grouped messages.
+type FlushGroup = (ProcessId, usize, Arc<[ShardInbox]>, Vec<LdsMessage>);
+
+/// Upper bound on recycled group buffers a handle keeps around.
+const VEC_POOL_LIMIT: usize = 32;
 
 impl RouterHandle {
     #[inline]
@@ -209,8 +321,11 @@ impl RouterHandle {
 
     fn route(table: &Table, from: ProcessId, to: ProcessId, msg: LdsMessage) {
         if let Some(route) = table.get(&to) {
-            let shard = shard_of(msg.object(), route.shards.len());
-            let _ = route.shards[shard].send(Envelope::Protocol { from, msg });
+            let shard = &route.shards[shard_of(msg.object(), route.shards.len())];
+            shard.depth.add(1);
+            if shard.tx.send(Envelope::Protocol { from, msg }).is_err() {
+                shard.depth.sub(1);
+            }
         }
     }
 
@@ -223,16 +338,71 @@ impl RouterHandle {
 
     /// Sends a batch of protocol messages, checking the routing epoch once
     /// for the whole batch. This is what node threads use to flush the
-    /// outgoing buffer of one `on_message` step.
+    /// outgoing buffer of one wake-up.
+    ///
+    /// Metadata messages ([`LdsMessage::is_metadata`]) are grouped by
+    /// destination worker shard — preserving their relative send order — and
+    /// each group with more than one message is delivered as a single
+    /// [`Envelope::Batch`]: the COMMIT-TAG broadcasts of every write
+    /// processed in one flush reach each peer as one envelope instead of one
+    /// per write. Data-carrying messages (values, coded elements, helper
+    /// payloads) are routed immediately as their own envelopes; they may
+    /// therefore overtake metadata from the same flush, which the automata —
+    /// built for an asynchronous network that reorders freely — tolerate by
+    /// construction (the simulator delivers with random per-message delays).
     pub fn send_batch(
         &mut self,
         from: ProcessId,
         msgs: impl IntoIterator<Item = (ProcessId, LdsMessage)>,
     ) {
         self.refresh();
+        debug_assert!(self.groups.is_empty());
+        let mut groups = std::mem::take(&mut self.groups);
         for (to, msg) in msgs {
-            Self::route(&self.snapshot, from, to, msg);
+            if !msg.is_metadata() {
+                Self::route(&self.snapshot, from, to, msg);
+                continue;
+            }
+            let Some(route) = self.snapshot.get(&to) else {
+                continue; // destination crashed: drop, as for single sends
+            };
+            let shard = shard_of(msg.object(), route.shards.len());
+            match groups
+                .iter_mut()
+                .find(|(p, s, _, _)| *p == to && *s == shard)
+            {
+                Some((_, _, _, group)) => group.push(msg),
+                None => {
+                    let mut group = self.vec_pool.pop().unwrap_or_default();
+                    group.push(msg);
+                    groups.push((to, shard, Arc::clone(&route.shards), group));
+                }
+            }
         }
+        for (_, shard, shards, mut group) in groups.drain(..) {
+            let shard = &shards[shard];
+            if group.len() == 1 {
+                let msg = group.pop().expect("singleton group");
+                shard.depth.add(1);
+                if shard.tx.send(Envelope::Protocol { from, msg }).is_err() {
+                    shard.depth.sub(1);
+                }
+                if self.vec_pool.len() < VEC_POOL_LIMIT {
+                    self.vec_pool.push(group);
+                }
+            } else {
+                let n = group.len();
+                shard.depth.add(n);
+                if shard
+                    .tx
+                    .send(Envelope::Batch { from, msgs: group })
+                    .is_err()
+                {
+                    shard.depth.sub(n);
+                }
+            }
+        }
+        self.groups = groups;
     }
 }
 
@@ -245,7 +415,7 @@ mod tests {
     fn register_send_and_deregister() {
         let router = Router::new();
         assert!(router.is_empty());
-        let rx = router.register(ProcessId(1));
+        let inbox = router.register(ProcessId(1));
         assert_eq!(router.len(), 1);
 
         let mut handle = router.handle();
@@ -254,12 +424,13 @@ mod tests {
             ProcessId(1),
             LdsMessage::InvokeRead { obj: ObjectId(0) },
         );
-        match rx.recv().unwrap() {
+        assert_eq!(inbox.depth.current(), 1);
+        match inbox.rx.recv().unwrap() {
             Envelope::Protocol { from, msg } => {
                 assert_eq!(from, ProcessId(2));
                 assert!(matches!(msg, LdsMessage::InvokeRead { .. }));
             }
-            Envelope::Stop => panic!("unexpected stop"),
+            other => panic!("unexpected envelope {other:?}"),
         }
 
         router.deregister(ProcessId(1));
@@ -278,22 +449,25 @@ mod tests {
         let router = Router::new();
         let mut handle = router.handle();
         // Register *after* the handle was created.
-        let rx = router.register(ProcessId(9));
+        let inbox = router.register(ProcessId(9));
         handle.send(
             ProcessId(1),
             ProcessId(9),
             LdsMessage::InvokeRead { obj: ObjectId(3) },
         );
-        assert!(matches!(rx.recv().unwrap(), Envelope::Protocol { .. }));
+        assert!(matches!(
+            inbox.rx.recv().unwrap(),
+            Envelope::Protocol { .. }
+        ));
     }
 
     #[test]
     fn stop_envelope_reaches_every_shard() {
         let router = Router::new();
-        let rxs = router.register_sharded(ProcessId(7), 3);
+        let inboxes = router.register_sharded(ProcessId(7), 3);
         router.send_stop(ProcessId(7));
-        for rx in &rxs {
-            assert!(matches!(rx.recv().unwrap(), Envelope::Stop));
+        for inbox in &inboxes {
+            assert!(matches!(inbox.rx.recv().unwrap(), Envelope::Stop));
         }
         assert_eq!(router.len(), 1, "shards of one process count once");
     }
@@ -302,7 +476,7 @@ mod tests {
     fn sharded_routing_partitions_by_object() {
         let router = Router::new();
         let shards = 4;
-        let rxs = router.register_sharded(ProcessId(5), shards);
+        let inboxes = router.register_sharded(ProcessId(5), shards);
         let mut handle = router.handle();
         // Every message for one object lands in the same shard, and the
         // shard matches `shard_of`.
@@ -315,10 +489,10 @@ mod tests {
                 );
             }
             let owner = shard_of(ObjectId(obj), shards);
-            for (s, rx) in rxs.iter().enumerate() {
+            for (s, inbox) in inboxes.iter().enumerate() {
                 let expected = if s == owner { 2 } else { 0 };
                 let mut got = 0;
-                while rx.try_recv().is_some() {
+                while inbox.rx.try_recv().is_some() {
                     got += 1;
                 }
                 assert_eq!(got, expected, "obj {obj} shard {s}");
@@ -331,10 +505,10 @@ mod tests {
     }
 
     #[test]
-    fn batch_send_delivers_everything() {
+    fn batch_send_groups_per_destination_shard() {
         let router = Router::new();
-        let rx_a = router.register(ProcessId(1));
-        let rx_b = router.register(ProcessId(2));
+        let inbox_a = router.register(ProcessId(1));
+        let inbox_b = router.register(ProcessId(2));
         let mut handle = router.handle();
         let batch = vec![
             (ProcessId(1), LdsMessage::InvokeRead { obj: ObjectId(0) }),
@@ -342,9 +516,70 @@ mod tests {
             (ProcessId(1), LdsMessage::InvokeRead { obj: ObjectId(2) }),
         ];
         handle.send_batch(ProcessId(0), batch);
-        assert!(rx_a.try_recv().is_some());
-        assert!(rx_a.try_recv().is_some());
-        assert!(rx_b.try_recv().is_some());
-        assert!(rx_b.try_recv().is_none());
+        // The two messages for process 1 coalesce into one Batch envelope,
+        // preserving their order; the single message for process 2 stays a
+        // plain Protocol envelope.
+        match inbox_a.rx.try_recv().unwrap() {
+            Envelope::Batch { from, msgs } => {
+                assert_eq!(from, ProcessId(0));
+                assert_eq!(msgs.len(), 2);
+                assert!(matches!(msgs[0], LdsMessage::InvokeRead { obj } if obj == ObjectId(0)));
+                assert!(matches!(msgs[1], LdsMessage::InvokeRead { obj } if obj == ObjectId(2)));
+            }
+            other => panic!("expected a batch, got {other:?}"),
+        }
+        assert_eq!(inbox_a.depth.current(), 2, "gauge counts messages");
+        assert!(matches!(
+            inbox_b.rx.try_recv().unwrap(),
+            Envelope::Protocol { .. }
+        ));
+        assert!(inbox_b.rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn batch_send_respects_shard_partitions() {
+        let router = Router::new();
+        let shards = 2;
+        let inboxes = router.register_sharded(ProcessId(3), shards);
+        let mut handle = router.handle();
+        // Sixteen messages over sixteen objects: each lands in the shard that
+        // owns its object, grouped into at most one envelope per shard.
+        let batch: Vec<_> = (0..16u64)
+            .map(|o| (ProcessId(3), LdsMessage::InvokeRead { obj: ObjectId(o) }))
+            .collect();
+        handle.send_batch(ProcessId(0), batch);
+        let mut total = 0;
+        for (s, inbox) in inboxes.iter().enumerate() {
+            let mut envelopes = 0;
+            while let Some(envelope) = inbox.rx.try_recv() {
+                envelopes += 1;
+                match envelope {
+                    Envelope::Protocol { msg, .. } => {
+                        assert_eq!(shard_of(msg.object(), shards), s);
+                        total += 1;
+                    }
+                    Envelope::Batch { msgs, .. } => {
+                        for msg in &msgs {
+                            assert_eq!(shard_of(msg.object(), shards), s);
+                        }
+                        total += msgs.len();
+                    }
+                    Envelope::Stop => panic!("unexpected stop"),
+                }
+            }
+            assert!(envelopes <= 1, "one envelope per shard per flush");
+        }
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn depth_gauge_tracks_claims_and_high_water() {
+        let gauge = DepthGauge::default();
+        gauge.add(3);
+        gauge.add(2);
+        assert_eq!(gauge.current(), 5);
+        gauge.sub(4);
+        assert_eq!(gauge.current(), 1);
+        assert_eq!(gauge.max_seen(), 5);
     }
 }

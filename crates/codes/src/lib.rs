@@ -4,7 +4,7 @@
 //! system (Konwar et al., PODC 2017):
 //!
 //! * [`mbr::ProductMatrixMbr`] — the exact-repair **minimum bandwidth
-//!   regenerating (MBR)** code at the heart of the paper (ref. [25],
+//!   regenerating (MBR)** code at the heart of the paper (ref. \[25\],
 //!   Rashmi–Shah–Kumar product-matrix construction). This is the code `C`
 //!   whose restriction to the first `n1` symbols is `C1` (used by readers)
 //!   and to the last `n2` symbols is `C2` (stored in the back-end layer).

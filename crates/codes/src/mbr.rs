@@ -3,7 +3,7 @@
 //! This is the exact-repair construction of Rashmi, Shah and Kumar
 //! ("Optimal exact-regenerating codes for distributed storage at the MSR and
 //! MBR points via a product-matrix construction", IEEE Trans. IT 2011 — the
-//! paper's reference [25]), valid for all `k ≤ d < n`.
+//! paper's reference \[25\]), valid for all `k ≤ d < n`.
 //!
 //! # Construction
 //!

@@ -1,5 +1,5 @@
 //! A coded atomic storage (CAS-style) baseline in the spirit of Cadambe,
-//! Lynch, Médard and Musial (the paper's ref. [6]).
+//! Lynch, Médard and Musial (the paper's ref. \[6\]).
 //!
 //! Single layer of `n` servers storing Reed–Solomon coded elements; quorums
 //! have size `⌈(n + k)/2⌉` so that any two quorums intersect in at least `k`

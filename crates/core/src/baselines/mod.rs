@@ -1,14 +1,14 @@
 //! Single-layer baselines the paper compares against.
 //!
 //! * [`abd`] — the replication-based multi-writer multi-reader atomic
-//!   register of Attiya, Bar-Noy and Dolev (the paper's ref. [3]).
+//!   register of Attiya, Bar-Noy and Dolev (the paper's ref. \[3\]).
 //! * [`cas`] — a Reed–Solomon-coded atomic storage algorithm in the style of
-//!   Cadambe, Lynch, Médard and Musial (the paper's ref. [6]), with
+//!   Cadambe, Lynch, Médard and Musial (the paper's ref. \[6\]), with
 //!   pre-write / finalise labels and quorums of size `⌈(n + k)/2⌉`.
 //!
 //! Both run on a single layer of `n` servers and are driven by the same
 //! simulator as LDS, so their communication and storage costs are measured
-//! under identical conditions (experiment E8 in DESIGN.md).
+//! under identical conditions (the `exp_baselines` binary in `lds-bench`).
 
 pub mod abd;
 pub mod cas;

@@ -242,6 +242,18 @@ impl LdsMessage {
             | LdsMessage::SendHelperElem { obj, .. } => *obj,
         }
     }
+
+    /// Whether the message carries no object data — only tags, counters and
+    /// other metadata (the messages the paper's cost model counts as free).
+    ///
+    /// The cluster transport uses this to decide what may be **aggregated**:
+    /// metadata messages produced by one flush — most prominently the
+    /// per-write COMMIT-TAG broadcasts — coalesce into one multi-message
+    /// envelope per peer, while data-carrying messages (values, coded
+    /// elements, helper payloads) always travel as their own envelope.
+    pub fn is_metadata(&self) -> bool {
+        self.data_size() == 0
+    }
 }
 
 impl DataSize for LdsMessage {
@@ -400,6 +412,43 @@ mod tests {
         };
         assert_eq!(bcast.data_size(), 0);
         assert_eq!(bcast.kind(), "COMMIT-TAG");
+    }
+
+    #[test]
+    fn metadata_classification_matches_cost_model() {
+        let obj = ObjectId(0);
+        let op = OpId::new(ClientId(1), 0);
+        let tag = Tag::initial();
+        // The aggregatable metadata messages: broadcasts, queries, acks.
+        assert!(LdsMessage::BcastSend {
+            obj,
+            tag,
+            origin: ProcessId(1)
+        }
+        .is_metadata());
+        assert!(LdsMessage::BcastDeliver {
+            obj,
+            tag,
+            origin: ProcessId(1)
+        }
+        .is_metadata());
+        assert!(LdsMessage::QueryTag { obj, op }.is_metadata());
+        assert!(LdsMessage::AckPutData { obj, op, tag }.is_metadata());
+        assert!(LdsMessage::AckCodeElem { obj, tag }.is_metadata());
+        // Data-carrying messages are not aggregated.
+        assert!(!LdsMessage::PutData {
+            obj,
+            op,
+            tag,
+            value: Value::from("payload")
+        }
+        .is_metadata());
+        assert!(!LdsMessage::WriteCodeElem {
+            obj,
+            tag,
+            element: Share::new(0, vec![1, 2, 3])
+        }
+        .is_metadata());
     }
 
     #[test]

@@ -137,7 +137,8 @@ pub fn mul_add_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
 /// Fused multi-source accumulate: `dst[i] ^= Σ_t terms[t].0 · terms[t].1[i]`.
 ///
 /// On x86-64 with AVX2 or SSSE3 (detected at runtime) the terms run through
-/// the vectorized nibble-table kernel in [`x86`]; elsewhere they are
+/// the vectorized nibble-table kernel in the private `x86` module;
+/// elsewhere they are
 /// processed four at a time through the table rows so `dst` is loaded and
 /// stored once per group of four sources. Either way this is the main lever
 /// for matrix × striped-payload products.

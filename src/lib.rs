@@ -45,6 +45,22 @@
 //! `BENCH_CODES.json` at the repository root records the measured effect
 //! (≈ 8–10× on MBR encode / decode at 64 KiB versus the scalar path).
 //!
+//! # The scale-out cluster runtime
+//!
+//! The [`cluster`] crate turns the same automata into a throughput-oriented
+//! deployment: pipelined clients ([`cluster::ClusterClient`]), per-object
+//! worker-shard servers, an epoch-swapped lock-free routing snapshot,
+//! batched COMMIT-TAG metadata broadcast (multi-message envelopes per peer
+//! per flush), bounded inboxes with backpressure
+//! ([`cluster::ClusterOptions::inbox_cap`] /
+//! [`cluster::ClusterClient::try_submit_write`]), and — beyond a single
+//! `n1 + n2` membership — **multi-cluster sharding**:
+//! [`cluster::ShardedCluster`] partitions the object space by consistent
+//! hash across N independent clusters behind one facade client with the
+//! same pipelined API. `BENCH_CLUSTER.json` records the measured ops/sec
+//! trajectory; `ARCHITECTURE.md` has the crate map and message-flow
+//! diagrams.
+//!
 //! # Quickstart
 //!
 //! ```rust
