@@ -154,9 +154,39 @@ fn bench_backends(c: &mut Criterion) {
     group.finish();
 }
 
+/// The per-write `write-to-L2` hot path on *small* values (the MBR
+/// tuned-profile gap from the ROADMAP): all `n2` element encodes of one
+/// value, per-element (`encode_l2_element_into` in a loop — frames the
+/// value once per element) versus the span API
+/// (`encode_l2_elements_into` — frames once for the whole batch).
+fn bench_small_value_offload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_value_offload");
+    let params = SystemParams::for_failures(1, 1, 3, 5).unwrap(); // n1=5, n2=7
+    let backend = make_backend(BackendKind::Mbr, &params).unwrap();
+    backend.warm_plans();
+    for &size in &[16usize, 64, 256, 1024] {
+        let value = Value::new(sample_value(size));
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("mbr_per_element", size), &value, |b, v| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                for i in 0..7 {
+                    backend.encode_l2_element_into(v, i, &mut buf).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mbr_span", size), &value, |b, v| {
+            let mut bufs: Vec<Vec<u8>> = (0..7).map(|_| Vec::new()).collect();
+            b.iter(|| backend.encode_l2_elements_into(v, &mut bufs).unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_mbr_scalar_vs_bulk, bench_codes_bulk, bench_backends
+    targets = bench_mbr_scalar_vs_bulk, bench_codes_bulk, bench_backends,
+        bench_small_value_offload
 }
 criterion_main!(benches);

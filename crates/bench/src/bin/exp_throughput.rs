@@ -28,7 +28,7 @@
 //!     [--clusters N]    cluster shards on the multi-cluster points (default 2)
 //! ```
 
-use lds_bench::{fmt3, print_table};
+use lds_bench::{fmt3, print_table, today_utc};
 use lds_cluster::{
     Cluster, ClusterClient, ClusterOptions, Completion, ShardedClient, ShardedCluster,
 };
@@ -37,7 +37,7 @@ use lds_core::params::SystemParams;
 use lds_workload::throughput::{LatencyRecorder, ThroughputSummary};
 use lds_workload::ValueGenerator;
 use std::sync::Arc;
-use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant};
 
 /// Protocol-cost profile of a sweep point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -527,6 +527,14 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
         "    \"params\": \"f1=1 f2=1 k=2 d=3 (n1=4, n2=5) per cluster; one deployment per \
          point, clients on their own threads\",\n",
     );
+    out.push_str(
+        "    \"mbr_small_value_offload_note\": \"PR 4 (MBR tuned-profile gap): write-to-L2 \
+         now encodes all n2 elements via encode_l2_elements_into, framing the value once \
+         per write instead of once per element. criterion small_value_offload (n1=5 n2=7 \
+         d=5, plan-cache hit path), ns per full 7-element offload before -> after: \
+         64 B: 1963 -> 1633 (-17%), 256 B: 2297 -> 2145 (-7%), 1 KiB: 6628 -> 6159 \
+         (-7%).\",\n",
+    );
     out.push_str(&format!(
         "    \"workload\": \"50/50 write/read, uniform over {} objects, {}-byte values, {} \
          ops per client, latency measured submit->completion\",\n",
@@ -589,23 +597,4 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
     }
     out.push_str("  ]\n}\n");
     out
-}
-
-/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm).
-fn today_utc() -> String {
-    let secs = SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .expect("system clock after 1970")
-        .as_secs() as i64;
-    let z = secs.div_euclid(86_400) + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = (z - era * 146_097) as u64;
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe as i64 + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
 }

@@ -160,6 +160,9 @@ struct InFlight {
 /// operation. See the [module docs](self) for the two usage styles.
 pub struct ClusterClient {
     cluster: Arc<Cluster>,
+    /// This handle's client number — the identity the fair admission queue
+    /// tracks turns by.
+    client_num: u64,
     pid: ProcessId,
     inbox: Inbox,
     route: RouterHandle,
@@ -218,6 +221,7 @@ impl ClusterClient {
         let admission = cluster.admission();
         ClusterClient {
             cluster,
+            client_num: id.0,
             pid,
             inbox,
             route,
@@ -420,6 +424,8 @@ impl ClusterClient {
             for obj in self.busy_objects.drain() {
                 admission.release(obj);
             }
+            // Abandoned queued operations must not hold a fairness turn.
+            admission.forget(self.client_num);
         } else {
             self.busy_objects.clear();
         }
@@ -497,7 +503,10 @@ impl ClusterClient {
             return Err(WouldBlock);
         }
         if let Some(admission) = &self.admission {
-            if !admission.try_admit(obj) {
+            // `try_submit_*` never queues, so it must not take a waiter-queue
+            // slot either — but it still yields to queued waiters, which is
+            // what stops a greedy try-submit loop from starving them.
+            if !admission.try_admit(self.client_num, obj, false) {
                 return Err(WouldBlock);
             }
         }
@@ -570,7 +579,9 @@ impl ClusterClient {
                 continue;
             }
             if let Some(admission) = &self.admission {
-                if self.scratch_deferred.contains(&obj) || !admission.try_admit(obj) {
+                if self.scratch_deferred.contains(&obj)
+                    || !admission.try_admit(self.client_num, obj, true)
+                {
                     self.scratch_deferred.insert(obj);
                     i += 1;
                     continue;
@@ -786,6 +797,7 @@ impl Drop for ClusterClient {
             for obj in self.busy_objects.drain() {
                 admission.release(obj);
             }
+            admission.forget(self.client_num);
         }
         self.cluster.router().deregister(self.pid);
     }

@@ -17,7 +17,12 @@
 //!   outgoing messages as one batch per protocol step;
 //! * clients are handles ([`ClusterClient`]) usable from any thread, with
 //!   both blocking and **pipelined** operation;
-//! * servers can be killed at runtime to exercise crash-fault tolerance;
+//! * servers can be killed at runtime to exercise crash-fault tolerance, and
+//!   **repaired online** ([`Cluster::repair_l1`] / [`Cluster::repair_l2`]):
+//!   a replacement rejoins under the same process id, regenerates its state
+//!   from live helpers — at MBR repair bandwidth for L2 coded elements —
+//!   catches up in-flight writes, and restores the failure budget, all under
+//!   concurrent client traffic (see the [`repair`] module);
 //! * node wake-ups flush all outgoing traffic in one pass, coalescing
 //!   same-destination metadata — notably the per-write **COMMIT-TAG
 //!   broadcasts** — into one multi-message envelope per peer per flush
@@ -91,10 +96,12 @@
 
 pub mod client;
 pub mod node;
+pub mod repair;
 pub mod router;
 pub mod sharded;
 
 pub use client::{ClientError, ClusterClient, Completion, OpOutcome, OpTicket, WouldBlock};
 pub use node::{msgs_per_op_bound, Cluster, ClusterOptions};
+pub use repair::{RepairError, RepairLayer, RepairReport};
 pub use router::shard_of;
 pub use sharded::{cluster_of, ShardedClient, ShardedCluster};

@@ -22,6 +22,7 @@
 //! cross-shard stress tests).
 
 use crate::client::ClusterClient;
+use crate::repair::{repair_server, RepairError, RepairLayer, RepairReport};
 use crate::router::{DepthGauge, Envelope, Inbox, Router};
 use lds_core::backend::{make_backend, BackendCodec, BackendKind};
 use lds_core::membership::Membership;
@@ -32,10 +33,11 @@ use lds_core::server2::{L2Options, L2Server};
 use lds_core::tag::{ClientId, ObjectId};
 use lds_sim::{Context, Process, ProcessId, SimTime};
 use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`Cluster`].
 #[derive(Debug, Clone, Copy)]
@@ -117,9 +119,34 @@ pub fn msgs_per_op_bound(params: &SystemParams) -> usize {
     2 + params.n1() * (params.f1() + 2) + params.n2()
 }
 
+/// A partition's FIFO of clients waiting for budget, plus the moment the
+/// current front entry became front. Freed budget is reserved for the front
+/// waiter — but only for [`FRONT_GRACE`]: a waiter whose owning thread has
+/// stopped pumping (clients re-attempt admission every ~500µs while they
+/// wait) forfeits its turn instead of wedging the partition with budget
+/// idle. A live waiter re-enqueues on its next retry, so fairness degrades
+/// to FCFS only for absent clients.
+#[derive(Debug)]
+struct WaiterQueue {
+    queue: VecDeque<u64>,
+    front_since: Instant,
+}
+
+/// How long freed budget stays reserved for the front waiter before its
+/// turn expires (see [`WaiterQueue`]). Far above the waiters' ~500µs
+/// admission-retry cadence, far below operation timeouts.
+const FRONT_GRACE: Duration = Duration::from_millis(10);
+
 /// The shared admission state of a bounded-inbox cluster: one in-flight
 /// operation budget per L1 object partition plus read access to every L1
 /// worker inbox gauge. Cloned into each [`ClusterClient`].
+///
+/// Budget grants are **turn-fair**: a client refused for lack of budget
+/// joins the partition's waiter queue, and freed budget is granted in queue
+/// order before anyone else may take it. A greedy pipelined client that
+/// hammers `try_submit_*` therefore cannot starve a blocking client — after
+/// the blocking client's first refusal, the greedy one is refused until the
+/// blocking client has had its turn.
 #[derive(Clone)]
 pub(crate) struct Admission {
     /// Client operations admitted per cap.
@@ -128,6 +155,13 @@ pub(crate) struct Admission {
     depth_limit: usize,
     /// In-flight admitted operations, one counter per L1 partition.
     admitted: Arc<[AtomicUsize]>,
+    /// Per-partition FIFO of clients waiting for budget (by client number).
+    waiters: Arc<[Mutex<WaiterQueue>]>,
+    /// Length of each waiter queue, maintained under its lock. Read without
+    /// the lock as the hot-path fast gate: while it is zero — the
+    /// overwhelmingly common case — admission is a single lock-free CAS on
+    /// the budget counter, exactly the pre-fairness cost.
+    waiter_counts: Arc<[AtomicUsize]>,
     /// Depth gauges of every L1 server, indexed `[server][shard]`.
     l1_depths: Arc<Vec<Vec<Arc<DepthGauge>>>>,
     /// Worker shards per L1 server (the partition count).
@@ -143,10 +177,21 @@ impl Admission {
     ) -> Self {
         assert!(cap > 0, "inbox_cap must be at least 1");
         let admitted: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+        let waiters: Vec<Mutex<WaiterQueue>> = (0..shards)
+            .map(|_| {
+                Mutex::new(WaiterQueue {
+                    queue: VecDeque::new(),
+                    front_since: Instant::now(),
+                })
+            })
+            .collect();
+        let waiter_counts: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
         Admission {
             cap,
             depth_limit: cap * msgs_per_op_bound(params),
             admitted: admitted.into(),
+            waiters: waiters.into(),
+            waiter_counts: waiter_counts.into(),
             l1_depths,
             shards,
         }
@@ -157,17 +202,88 @@ impl Admission {
         crate::router::shard_of(obj, self.shards)
     }
 
-    /// Tries to admit one client operation on `obj`'s partition: the
-    /// partition must have budget left *and* every L1 server's worker inbox
-    /// for that partition must be below the depth limit (that second gate is
-    /// what makes a slow shard push back even while budget remains).
-    pub(crate) fn try_admit(&self, obj: ObjectId) -> bool {
+    /// Tries to admit one operation of `client` on `obj`'s partition. Three
+    /// gates, in order:
+    ///
+    /// 1. every L1 server's worker inbox for the partition must be below the
+    ///    depth limit (a slow shard pushes back even while budget remains);
+    /// 2. it must be `client`'s **turn**: if other clients were refused
+    ///    earlier and still wait, the queue front goes first;
+    /// 3. the partition must have budget left.
+    ///
+    /// On a budget/turn refusal the client joins the waiter queue if
+    /// `queue` is true (the retrying `submit_*` path). The non-queueing
+    /// `try_submit_*` path passes false — it promises to never queue, and a
+    /// caller that may never retry must not block the turn order.
+    pub(crate) fn try_admit(&self, client: u64, obj: ObjectId, queue: bool) -> bool {
         let partition = self.partition_of(obj);
         for server in self.l1_depths.iter() {
             if server[partition].current() >= self.depth_limit {
                 return false;
             }
         }
+        // Fast path: nobody waits, so there is no turn order to respect —
+        // admission is one lock-free CAS (the pre-fairness hot path). The
+        // 0→1 transition of the count races at most one grant past a
+        // just-arriving waiter; once the waiter is enqueued every caller
+        // takes the fair slow path.
+        if self.waiter_counts[partition].load(Ordering::Relaxed) == 0 {
+            if self.try_take_budget(partition) {
+                return true;
+            }
+            if !queue {
+                return false;
+            }
+            // Out of budget and willing to wait: fall through to enqueue.
+        }
+        let mut waiters = self.waiters[partition].lock();
+        // A front waiter that stopped retrying forfeits its turn after the
+        // grace period, so an absent client cannot hold budget idle.
+        if let Some(&front) = waiters.queue.front() {
+            if front != client && waiters.front_since.elapsed() > FRONT_GRACE {
+                waiters.queue.pop_front();
+                waiters.front_since = Instant::now();
+                self.waiter_counts[partition].fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(&front) = waiters.queue.front() {
+            if front != client {
+                // Not this client's turn.
+                if queue && !waiters.queue.contains(&client) {
+                    if waiters.queue.is_empty() {
+                        waiters.front_since = Instant::now();
+                    }
+                    waiters.queue.push_back(client);
+                    self.waiter_counts[partition].fetch_add(1, Ordering::Relaxed);
+                }
+                return false;
+            }
+        }
+        let granted = self.try_take_budget(partition);
+        if granted {
+            if waiters.queue.front() == Some(&client) {
+                waiters.queue.pop_front();
+                waiters.front_since = Instant::now();
+                self.waiter_counts[partition].fetch_sub(1, Ordering::Relaxed);
+            }
+        } else if waiters.queue.front() == Some(&client) {
+            // The front waiter retried and found no budget yet: refresh its
+            // grace window — proof of life. Only a front that stops
+            // retrying altogether ever expires, no matter how long the
+            // in-flight operations keep the budget exhausted.
+            waiters.front_since = Instant::now();
+        } else if queue && !waiters.queue.contains(&client) {
+            if waiters.queue.is_empty() {
+                waiters.front_since = Instant::now();
+            }
+            waiters.queue.push_back(client);
+            self.waiter_counts[partition].fetch_add(1, Ordering::Relaxed);
+        }
+        granted
+    }
+
+    /// One CAS on the partition's budget counter.
+    fn try_take_budget(&self, partition: usize) -> bool {
         self.admitted[partition]
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
                 (n < self.cap).then_some(n + 1)
@@ -180,6 +296,22 @@ impl Admission {
     /// completion or abort).
     pub(crate) fn release(&self, obj: ObjectId) {
         self.admitted[self.partition_of(obj)].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Drops `client` from every waiter queue — called when a client
+    /// abandons its queued operations (cancel, timeout abort, drop), so an
+    /// absent client can never wedge the turn order.
+    pub(crate) fn forget(&self, client: u64) {
+        for (waiters, count) in self.waiters.iter().zip(self.waiter_counts.iter()) {
+            let mut waiters = waiters.lock();
+            let was_front = waiters.queue.front() == Some(&client);
+            let before = waiters.queue.len();
+            waiters.queue.retain(|&c| c != client);
+            if was_front {
+                waiters.front_since = Instant::now();
+            }
+            count.fetch_sub(before - waiters.queue.len(), Ordering::Relaxed);
+        }
     }
 
     fn admitted_on(&self, partition: usize) -> usize {
@@ -300,22 +432,129 @@ fn run_node<P>(
 
 /// A running in-process LDS cluster: `n1 + n2` server processes (each split
 /// into one or more worker shard threads) plus any number of clients created
-/// through [`Cluster::client`].
+/// through [`Cluster::client`]. Servers can be crash-killed at runtime
+/// ([`Cluster::kill_l1`] / [`Cluster::kill_l2`]) and later regenerated
+/// *online* ([`Cluster::repair_l1`] / [`Cluster::repair_l2`]), restoring the
+/// failure budget.
 pub struct Cluster {
     params: SystemParams,
     membership: Membership,
     backend: Arc<dyn BackendCodec>,
     router: Router,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Worker-shard join handles per server process, so a single crashed
+    /// server can be joined (and replaced) without touching the others.
+    handles: Mutex<HashMap<ProcessId, Vec<JoinHandle<()>>>>,
+    /// Servers killed via the crash-injection API and not yet repaired,
+    /// with a per-pid kill generation (bumped on every kill, so a repair
+    /// that races a *new* kill can tell the difference).
+    killed: Mutex<HashMap<ProcessId, u64>>,
+    /// Servers with a repair currently in progress (claimed by exactly one
+    /// coordinator at a time — see [`Cluster::repair_l1`]).
+    repairing: Mutex<HashSet<ProcessId>>,
     next_client: AtomicU64,
     started: Instant,
     options: ClusterOptions,
-    /// Per L1 server, per shard occupancy stats.
+    /// Per L1 server, per shard occupancy stats. The `Arc`s survive repair:
+    /// a replacement server publishes into the same slots.
     l1_stats: Vec<Vec<Arc<ShardStats>>>,
-    /// Per L1 server, per shard inbox depth gauges.
+    /// Per L1 server, per shard inbox depth gauges. Reused (reset) across
+    /// repair so the admission state keeps reading live gauges.
     l1_inboxes: Arc<Vec<Vec<Arc<DepthGauge>>>>,
     /// Backpressure admission state (bounded-inbox mode only).
     admission: Option<Admission>,
+}
+
+/// Spawns the worker-shard threads of one L1 server (fresh or replacement).
+#[allow(clippy::too_many_arguments)]
+fn spawn_l1_shards(
+    j: usize,
+    pid: ProcessId,
+    params: SystemParams,
+    membership: &Membership,
+    backend: &Arc<dyn BackendCodec>,
+    options: &ClusterOptions,
+    router: &Router,
+    started: Instant,
+    stats: &[Arc<ShardStats>],
+    inboxes: Vec<Inbox>,
+    rebuild: Option<(usize, ProcessId)>,
+) -> Vec<JoinHandle<()>> {
+    let mut handles = Vec::with_capacity(inboxes.len());
+    for (s, inbox) in inboxes.into_iter().enumerate() {
+        let server = match rebuild {
+            None => L1Server::new(
+                j,
+                params,
+                membership.clone(),
+                Arc::clone(backend),
+                options.l1,
+            ),
+            Some((expected_dones, report_to)) => L1Server::rebuilding(
+                j,
+                params,
+                membership.clone(),
+                Arc::clone(backend),
+                options.l1,
+                expected_dones,
+                report_to,
+            ),
+        };
+        let stats = Arc::clone(&stats[s]);
+        let router = router.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("lds-l1-{j}.{s}"))
+                .spawn(move || {
+                    run_node(server, pid, router, inbox, started, move |p: &L1Server| {
+                        stats
+                            .temp_bytes
+                            .store(p.temporary_storage_bytes(), Ordering::Relaxed);
+                        stats
+                            .metadata_entries
+                            .store(p.metadata_entries(), Ordering::Relaxed);
+                    })
+                })
+                .expect("spawn L1 thread"),
+        );
+    }
+    handles
+}
+
+/// Spawns the worker-shard threads of one L2 server (fresh or replacement).
+#[allow(clippy::too_many_arguments)]
+fn spawn_l2_shards(
+    i: usize,
+    pid: ProcessId,
+    membership: &Membership,
+    backend: &Arc<dyn BackendCodec>,
+    options: &ClusterOptions,
+    router: &Router,
+    started: Instant,
+    inboxes: Vec<Inbox>,
+    rebuild: Option<(usize, ProcessId)>,
+) -> Vec<JoinHandle<()>> {
+    let mut handles = Vec::with_capacity(inboxes.len());
+    for (s, inbox) in inboxes.into_iter().enumerate() {
+        let server = match rebuild {
+            None => L2Server::with_options(i, membership.clone(), Arc::clone(backend), options.l2),
+            Some((expected_dones, report_to)) => L2Server::rebuilding(
+                i,
+                membership.clone(),
+                Arc::clone(backend),
+                options.l2,
+                expected_dones,
+                report_to,
+            ),
+        };
+        let router = router.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("lds-l2-{i}.{s}"))
+                .spawn(move || run_node(server, pid, router, inbox, started, |_| {}))
+                .expect("spawn L2 thread"),
+        );
+    }
+    handles
 }
 
 impl Cluster {
@@ -355,59 +594,53 @@ impl Cluster {
         let membership = Membership::new(l1.clone(), l2.clone());
         let router = Router::new();
         let started = Instant::now();
-        let mut handles =
-            Vec::with_capacity(params.n1() * options.l1_shards + params.n2() * options.l2_shards);
+        let mut handles: HashMap<ProcessId, Vec<JoinHandle<()>>> = HashMap::new();
         let mut l1_stats = Vec::with_capacity(params.n1());
         let mut l1_inboxes = Vec::with_capacity(params.n1());
 
         for (j, &pid) in l1.iter().enumerate() {
-            let inboxes = router.register_sharded(pid, options.l1_shards);
-            let mut shard_stats = Vec::with_capacity(options.l1_shards);
-            let mut shard_depths = Vec::with_capacity(options.l1_shards);
-            for (s, inbox) in inboxes.into_iter().enumerate() {
-                let server = L1Server::new(
+            let gauges: Vec<Arc<DepthGauge>> = (0..options.l1_shards)
+                .map(|_| Arc::new(DepthGauge::default()))
+                .collect();
+            let stats: Vec<Arc<ShardStats>> = (0..options.l1_shards)
+                .map(|_| Arc::new(ShardStats::default()))
+                .collect();
+            let inboxes = router.register_sharded_with(pid, &gauges);
+            handles.insert(
+                pid,
+                spawn_l1_shards(
                     j,
+                    pid,
                     params,
-                    membership.clone(),
-                    Arc::clone(&backend),
-                    options.l1,
-                );
-                let stats = Arc::new(ShardStats::default());
-                shard_stats.push(Arc::clone(&stats));
-                shard_depths.push(Arc::clone(&inbox.depth));
-                let router = router.clone();
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("lds-l1-{j}.{s}"))
-                        .spawn(move || {
-                            run_node(server, pid, router, inbox, started, move |p: &L1Server| {
-                                stats
-                                    .temp_bytes
-                                    .store(p.temporary_storage_bytes(), Ordering::Relaxed);
-                                stats
-                                    .metadata_entries
-                                    .store(p.metadata_entries(), Ordering::Relaxed);
-                            })
-                        })
-                        .expect("spawn L1 thread"),
-                );
-            }
-            l1_stats.push(shard_stats);
-            l1_inboxes.push(shard_depths);
+                    &membership,
+                    &backend,
+                    &options,
+                    &router,
+                    started,
+                    &stats,
+                    inboxes,
+                    None,
+                ),
+            );
+            l1_stats.push(stats);
+            l1_inboxes.push(gauges);
         }
         for (i, &pid) in l2.iter().enumerate() {
             let inboxes = router.register_sharded(pid, options.l2_shards);
-            for (s, inbox) in inboxes.into_iter().enumerate() {
-                let server =
-                    L2Server::with_options(i, membership.clone(), Arc::clone(&backend), options.l2);
-                let router = router.clone();
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("lds-l2-{i}.{s}"))
-                        .spawn(move || run_node(server, pid, router, inbox, started, |_| {}))
-                        .expect("spawn L2 thread"),
-                );
-            }
+            handles.insert(
+                pid,
+                spawn_l2_shards(
+                    i,
+                    pid,
+                    &membership,
+                    &backend,
+                    &options,
+                    &router,
+                    started,
+                    inboxes,
+                    None,
+                ),
+            );
         }
 
         let l1_inboxes = Arc::new(l1_inboxes);
@@ -421,6 +654,8 @@ impl Cluster {
             backend,
             router,
             handles: Mutex::new(handles),
+            killed: Mutex::new(HashMap::new()),
+            repairing: Mutex::new(HashSet::new()),
             next_client: AtomicU64::new(1),
             started,
             options,
@@ -552,23 +787,82 @@ impl Cluster {
     }
 
     /// Kills the L1 server with code index `index` (crash failure): every
-    /// shard stops.
+    /// shard stops. The server can later be regenerated online with
+    /// [`Cluster::repair_l1`].
     ///
     /// # Panics
     ///
     /// Panics if the index is out of range.
     pub fn kill_l1(&self, index: usize) {
-        self.router.send_stop(self.membership.l1[index]);
+        let pid = self.membership.l1[index];
+        *self.killed.lock().entry(pid).or_insert(0) += 1;
+        self.router.send_stop(pid);
     }
 
     /// Kills the L2 server with index `index` (crash failure): every shard
-    /// stops.
+    /// stops. The server can later be regenerated online with
+    /// [`Cluster::repair_l2`].
     ///
     /// # Panics
     ///
     /// Panics if the index is out of range.
     pub fn kill_l2(&self, index: usize) {
-        self.router.send_stop(self.membership.l2[index]);
+        let pid = self.membership.l2[index];
+        *self.killed.lock().entry(pid).or_insert(0) += 1;
+        self.router.send_stop(pid);
+    }
+
+    /// Whether the L1 server with code index `index` is live (never killed,
+    /// or killed and successfully repaired).
+    pub fn l1_is_live(&self, index: usize) -> bool {
+        !self.killed.lock().contains_key(&self.membership.l1[index])
+    }
+
+    /// Whether the L2 server with index `index` is live.
+    pub fn l2_is_live(&self, index: usize) -> bool {
+        !self.killed.lock().contains_key(&self.membership.l2[index])
+    }
+
+    /// Regenerates the killed L1 server `index` **online**: a replacement
+    /// automaton rejoins under the same process id, reconstructs its
+    /// metadata (committed tags and lists) from every live L1 peer, catches
+    /// up in-flight writes from the normal PUT-DATA stream, and only then
+    /// goes live — restoring the `f1` failure budget. Blocks until the
+    /// replacement reports completion; concurrent client operations keep
+    /// running throughout.
+    ///
+    /// # Errors
+    ///
+    /// [`RepairError::NotCrashed`] if the server was not killed,
+    /// [`RepairError::TooFewHelpers`] if the live peers cannot cover the
+    /// reconstruction, [`RepairError::Timeout`] if the repair stalls (the
+    /// target is returned to the crashed state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn repair_l1(&self, index: usize) -> Result<RepairReport, RepairError> {
+        repair_server(self, RepairLayer::L1, index)
+    }
+
+    /// Regenerates the killed L2 server `index` **online**: a replacement
+    /// rejoins under the same process id and regenerates every object's
+    /// coded element from any [`lds_core::backend::BackendCodec::repair_threshold`]
+    /// live helpers — at MBR repair bandwidth (`β`-sized helper symbols)
+    /// when the backend is MBR, by decode-and-re-encode otherwise — while
+    /// absorbing in-flight WRITE-CODE-ELEM traffic, then goes live,
+    /// restoring the `f2` failure budget. The returned report records the
+    /// bytes moved per helper and the full-element fallback comparison.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::repair_l1`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn repair_l2(&self, index: usize) -> Result<RepairReport, RepairError> {
+        repair_server(self, RepairLayer::L2, index)
     }
 
     /// Stops every server thread and waits for them to exit.
@@ -577,8 +871,86 @@ impl Cluster {
             self.router.send_stop(pid);
         }
         let mut handles = self.handles.lock();
-        for handle in handles.drain(..) {
-            let _ = handle.join();
+        for (_, server_handles) in handles.drain() {
+            for handle in server_handles {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crate-internal hooks for the repair coordinator (see `repair.rs`).
+    // ------------------------------------------------------------------
+
+    /// Takes (and thereby claims) the join handles of one server process.
+    pub(crate) fn take_handles(&self, pid: ProcessId) -> Option<Vec<JoinHandle<()>>> {
+        self.handles.lock().remove(&pid)
+    }
+
+    pub(crate) fn store_handles(&self, pid: ProcessId, handles: Vec<JoinHandle<()>>) {
+        self.handles.lock().insert(pid, handles);
+    }
+
+    pub(crate) fn killed_set(&self) -> &Mutex<HashMap<ProcessId, u64>> {
+        &self.killed
+    }
+
+    pub(crate) fn repairing_set(&self) -> &Mutex<HashSet<ProcessId>> {
+        &self.repairing
+    }
+
+    /// Allocates a fresh process id above all server and client ids (repair
+    /// coordinators draw from the same number space as clients).
+    pub(crate) fn alloc_aux_pid(&self) -> ProcessId {
+        let n = self.next_client.fetch_add(1, Ordering::Relaxed);
+        ProcessId(self.params.n1() + self.params.n2() + n as usize)
+    }
+
+    /// Re-registers and respawns the killed server `pid` as a rebuilding
+    /// replacement, reusing its depth gauges and stats slots.
+    pub(crate) fn respawn_rebuilding(
+        &self,
+        layer: RepairLayer,
+        index: usize,
+        expected_dones: usize,
+        report_to: ProcessId,
+    ) {
+        match layer {
+            RepairLayer::L1 => {
+                let pid = self.membership.l1[index];
+                let gauges = &self.l1_inboxes[index];
+                let inboxes = self.router.register_sharded_with(pid, gauges);
+                let handles = spawn_l1_shards(
+                    index,
+                    pid,
+                    self.params,
+                    &self.membership,
+                    &self.backend,
+                    &self.options,
+                    &self.router,
+                    self.started,
+                    &self.l1_stats[index],
+                    inboxes,
+                    Some((expected_dones, report_to)),
+                );
+                self.store_handles(pid, handles);
+            }
+            RepairLayer::L2 => {
+                let pid = self.membership.l2[index];
+                let inboxes = self.router.register_sharded(pid, self.options.l2_shards);
+                let handles = spawn_l2_shards(
+                    index,
+                    pid,
+                    &self.membership,
+                    &self.backend,
+                    &self.options,
+                    &self.router,
+                    self.started,
+                    inboxes,
+                    Some((expected_dones, report_to)),
+                );
+                self.store_handles(pid, handles);
+            }
         }
     }
 }
@@ -635,6 +1007,149 @@ mod tests {
         assert!(entries > 0, "metadata probe never published");
         drop(client);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn kill_and_repair_l2_restores_budget() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let cluster = Cluster::start(params, BackendKind::Mbr);
+        let mut client = cluster.client();
+        for obj in 0..4u64 {
+            client
+                .write(obj, format!("pre-crash {obj}").into_bytes())
+                .unwrap();
+        }
+        // A live server cannot be "repaired".
+        assert!(matches!(
+            cluster.repair_l2(1),
+            Err(crate::RepairError::NotCrashed)
+        ));
+        cluster.kill_l2(1);
+        assert!(!cluster.l2_is_live(1));
+        client.write(9, b"during the outage".to_vec()).unwrap();
+
+        let report = cluster.repair_l2(1).expect("repair succeeds");
+        assert!(cluster.l2_is_live(1));
+        assert_eq!(report.index, 1);
+        assert_eq!(report.helpers, 4);
+        assert!(report.objects >= 1, "committed objects regenerated");
+        assert!(
+            report.bytes_total < report.fallback_bytes,
+            "MBR repair moves less than the full-element fallback: {} vs {}",
+            report.bytes_total,
+            report.fallback_bytes
+        );
+        // Budget restored: a *different* L2 crash is tolerated again.
+        cluster.kill_l2(3);
+        client.write(2, b"after repair".to_vec()).unwrap();
+        assert_eq!(client.read(2).unwrap(), b"after repair");
+        drop(client);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn kill_and_repair_l1_restores_budget() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let cluster = Cluster::start_with(
+            params,
+            BackendKind::Replication,
+            ClusterOptions {
+                l1_shards: 2,
+                ..ClusterOptions::default()
+            },
+        );
+        let mut client = cluster.client();
+        for obj in 0..6u64 {
+            client
+                .write(obj, format!("metadata {obj}").into_bytes())
+                .unwrap();
+        }
+        cluster.kill_l1(0);
+        client.write(7, b"written while down".to_vec()).unwrap();
+
+        let report = cluster.repair_l1(0).expect("repair succeeds");
+        assert_eq!(report.layer, crate::RepairLayer::L1);
+        assert!(report.objects >= 6, "all written objects reconstructed");
+        // Budget restored: a different L1 crash is tolerated again.
+        cluster.kill_l1(2);
+        for obj in 0..6u64 {
+            assert_eq!(
+                client.read(obj).unwrap(),
+                format!("metadata {obj}").into_bytes()
+            );
+        }
+        drop(client);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_repairs_of_one_server_take_a_single_claim() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let cluster = Cluster::start(params, BackendKind::Replication);
+        let mut client = cluster.client();
+        for obj in 0..3u64 {
+            client.write(obj, vec![obj as u8; 32]).unwrap();
+        }
+        cluster.kill_l2(2);
+        // Two coordinators race on the same repair: exactly one drives it;
+        // the loser is refused (claim held) or finds the server already
+        // repaired (claim released after the winner finished).
+        let racers: Vec<_> = (0..2)
+            .map(|_| {
+                let cluster = Arc::clone(&cluster);
+                std::thread::spawn(move || cluster.repair_l2(2))
+            })
+            .collect();
+        let outcomes: Vec<_> = racers.into_iter().map(|h| h.join().unwrap()).collect();
+        let ok = outcomes.iter().filter(|o| o.is_ok()).count();
+        assert_eq!(ok, 1, "exactly one concurrent repair wins: {outcomes:?}");
+        assert!(outcomes.iter().any(|o| matches!(
+            o,
+            Err(crate::RepairError::RepairInProgress) | Err(crate::RepairError::NotCrashed)
+        )));
+        // The survivor is healthy: budget restored, traffic flows.
+        assert!(cluster.l2_is_live(2));
+        cluster.kill_l2(0);
+        client.write(9, b"post-race".to_vec()).unwrap();
+        assert_eq!(client.read(9).unwrap(), b"post-race");
+        drop(client);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn admission_grants_turns_fairly() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let depths: Arc<Vec<Vec<Arc<DepthGauge>>>> =
+            Arc::new(vec![vec![Arc::new(DepthGauge::default())]]);
+        let admission = Admission::new(1, 1, &params, depths);
+        let obj = ObjectId(0);
+        assert!(admission.try_admit(1, obj, true), "empty queue: admitted");
+        assert!(!admission.try_admit(2, obj, true), "no budget: queued");
+        assert!(
+            !admission.try_admit(3, obj, false),
+            "greedy refused, not queued"
+        );
+        admission.release(obj);
+        assert!(
+            !admission.try_admit(3, obj, false),
+            "freed budget is reserved for the queued client"
+        );
+        assert!(admission.try_admit(2, obj, true), "queued client's turn");
+        admission.release(obj);
+        assert!(
+            admission.try_admit(3, obj, false),
+            "queue drained: greedy admitted again"
+        );
+        admission.release(obj);
+        // A waiter that vanishes (cancel/drop) must not wedge the queue.
+        assert!(admission.try_admit(4, obj, true));
+        assert!(!admission.try_admit(5, obj, true));
+        admission.forget(5);
+        admission.release(obj);
+        assert!(
+            admission.try_admit(6, obj, true),
+            "forgotten waiter does not block the turn order"
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ use lds_core::tag::ObjectId;
 use lds_sim::ProcessId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A message in flight inside the cluster.
@@ -85,23 +85,35 @@ impl Envelope {
 /// high-water mark against the configured cap.
 #[derive(Debug, Default)]
 pub struct DepthGauge {
-    cur: AtomicUsize,
+    /// Signed so that a [`DepthGauge::reset`] racing a straggler's balanced
+    /// add/sub pair (a send to an already-dropped channel) can at worst leave
+    /// the counter one below zero — which reads clamp — instead of wrapping
+    /// an unsigned counter to a huge value that would wedge admission.
+    cur: AtomicI64,
     max: AtomicUsize,
 }
 
 impl DepthGauge {
     pub(crate) fn add(&self, n: usize) {
-        let now = self.cur.fetch_add(n, Ordering::Relaxed) + n;
-        self.max.fetch_max(now, Ordering::Relaxed);
+        let now = self.cur.fetch_add(n as i64, Ordering::Relaxed) + n as i64;
+        self.max.fetch_max(now.max(0) as usize, Ordering::Relaxed);
     }
 
     pub(crate) fn sub(&self, n: usize) {
-        self.cur.fetch_sub(n, Ordering::Relaxed);
+        self.cur.fetch_sub(n as i64, Ordering::Relaxed);
+    }
+
+    /// Zeroes the live count — used when a crashed server's inbox is
+    /// replaced during repair: messages queued in the dropped channel were
+    /// never claimed and must not count against the replacement. The
+    /// high-water mark is preserved.
+    pub(crate) fn reset(&self) {
+        self.cur.store(0, Ordering::Relaxed);
     }
 
     /// Messages currently enqueued (as of the last sender/claimer update).
     pub fn current(&self) -> usize {
-        self.cur.load(Ordering::Relaxed)
+        self.cur.load(Ordering::Relaxed).max(0) as usize
     }
 
     /// The largest queue length ever observed on this inbox.
@@ -216,21 +228,47 @@ impl Router {
     /// shard order. Messages are routed to the shard owning their object id
     /// (see [`shard_of`]).
     ///
+    /// Registering an already-registered pid **replaces** its route: this is
+    /// the rejoin half of online repair. Handles whose snapshot predates the
+    /// swap keep the old (disconnected) senders until their next epoch
+    /// check, so their sends drop — exactly like sends to a crashed server —
+    /// and can never land in the replacement's inboxes out of order.
+    ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
     pub fn register_sharded(&self, pid: ProcessId, shards: usize) -> Vec<Inbox> {
         assert!(shards > 0, "a process needs at least one shard");
-        let mut senders = Vec::with_capacity(shards);
-        let mut inboxes = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        let gauges: Vec<Arc<DepthGauge>> = (0..shards)
+            .map(|_| Arc::new(DepthGauge::default()))
+            .collect();
+        self.register_sharded_with(pid, &gauges)
+    }
+
+    /// [`Router::register_sharded`] with caller-provided depth gauges, one
+    /// per shard (each reset to zero first). Online repair re-registers a
+    /// replacement server with the *same* gauge objects its predecessor
+    /// used, so long-lived references — the cluster's backpressure admission
+    /// state, observability probes — keep working across the swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gauges` is empty.
+    pub fn register_sharded_with(&self, pid: ProcessId, gauges: &[Arc<DepthGauge>]) -> Vec<Inbox> {
+        assert!(!gauges.is_empty(), "a process needs at least one shard");
+        let mut senders = Vec::with_capacity(gauges.len());
+        let mut inboxes = Vec::with_capacity(gauges.len());
+        for depth in gauges {
+            depth.reset();
             let (tx, rx) = unbounded();
-            let depth = Arc::new(DepthGauge::default());
             senders.push(ShardInbox {
                 tx,
-                depth: Arc::clone(&depth),
+                depth: Arc::clone(depth),
             });
-            inboxes.push(Inbox { rx, depth });
+            inboxes.push(Inbox {
+                rx,
+                depth: Arc::clone(depth),
+            });
         }
         self.mutate(|table| {
             table.insert(
@@ -241,6 +279,11 @@ impl Router {
             );
         });
         inboxes
+    }
+
+    /// Whether `pid` is currently registered (i.e. not crashed/deregistered).
+    pub fn contains(&self, pid: ProcessId) -> bool {
+        self.shared.table.lock().contains_key(&pid)
     }
 
     /// Removes a process from the routing table (messages to it are dropped
@@ -321,6 +364,24 @@ impl RouterHandle {
 
     fn route(table: &Table, from: ProcessId, to: ProcessId, msg: LdsMessage) {
         if let Some(route) = table.get(&to) {
+            if msg.fanout() && route.shards.len() > 1 {
+                // Process-addressed messages (repair help / done markers)
+                // reach every worker shard of the destination.
+                for shard in route.shards.iter() {
+                    shard.depth.add(1);
+                    if shard
+                        .tx
+                        .send(Envelope::Protocol {
+                            from,
+                            msg: msg.clone(),
+                        })
+                        .is_err()
+                    {
+                        shard.depth.sub(1);
+                    }
+                }
+                return;
+            }
             let shard = &route.shards[shard_of(msg.object(), route.shards.len())];
             shard.depth.add(1);
             if shard.tx.send(Envelope::Protocol { from, msg }).is_err() {
@@ -359,7 +420,11 @@ impl RouterHandle {
         debug_assert!(self.groups.is_empty());
         let mut groups = std::mem::take(&mut self.groups);
         for (to, msg) in msgs {
-            if !msg.is_metadata() {
+            if !msg.batchable() {
+                // Data, fan-out and repair-stream messages dispatch
+                // immediately, in send order: a repair helper's
+                // end-of-stream REPAIR-DONE therefore stays behind the
+                // REPAIR-SHAREs it terminates on every channel.
                 Self::route(&self.snapshot, from, to, msg);
                 continue;
             }
@@ -570,6 +635,156 @@ mod tests {
             assert!(envelopes <= 1, "one envelope per shard per flush");
         }
         assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn deregistered_pid_never_receives_even_while_its_inbox_lives() {
+        // Crash model: the routing-table entry is gone but the old receiver
+        // has not been dropped yet (the server thread is still unwinding). A
+        // send — through a handle whose snapshot predates nothing, or one
+        // that refreshes — must drop the message, not deliver it.
+        let router = Router::new();
+        let inbox_old = router.register(ProcessId(1));
+        let mut stale = router.handle();
+        router.deregister(ProcessId(1));
+        stale.send(
+            ProcessId(2),
+            ProcessId(1),
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
+        router.send(
+            ProcessId(2),
+            ProcessId(1),
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
+        assert!(
+            inbox_old.rx.try_recv().is_none(),
+            "dead-but-undropped inbox must stay empty"
+        );
+        assert_eq!(inbox_old.depth.current(), 0);
+    }
+
+    #[test]
+    fn stale_handle_sends_reach_the_replacement_after_reregistration() {
+        // Crash + rejoin: a handle whose snapshot predates BOTH the
+        // deregistration and the re-registration must deliver to the new
+        // inbox (after its epoch refresh) — never to the dead one.
+        let router = Router::new();
+        let inbox_old = router.register(ProcessId(5));
+        let mut stale = router.handle(); // snapshot: old route
+        router.deregister(ProcessId(5));
+        let inbox_new = router.register(ProcessId(5));
+        stale.send(
+            ProcessId(2),
+            ProcessId(5),
+            LdsMessage::InvokeRead { obj: ObjectId(7) },
+        );
+        assert!(
+            inbox_old.rx.try_recv().is_none(),
+            "old inbox must not receive after the swap"
+        );
+        assert!(
+            matches!(inbox_new.rx.try_recv(), Some(Envelope::Protocol { msg, .. })
+                if msg.object() == ObjectId(7)),
+            "stale handle delivers to the replacement"
+        );
+        // Batches take the same epoch check: metadata grouping included.
+        stale.send_batch(
+            ProcessId(2),
+            vec![
+                (ProcessId(5), LdsMessage::InvokeRead { obj: ObjectId(1) }),
+                (ProcessId(5), LdsMessage::InvokeRead { obj: ObjectId(2) }),
+            ],
+        );
+        // 1 from the single send above (try_recv does not claim the gauge)
+        // plus the 2-message batch.
+        assert_eq!(inbox_new.depth.current(), 3);
+        assert!(inbox_old.rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn messages_queued_at_crash_time_never_leak_into_the_replacement() {
+        // A message delivered before the crash sits in the old channel; the
+        // replacement's inbox starts empty and its (reused) gauge is reset.
+        let router = Router::new();
+        let gauges = vec![Arc::new(DepthGauge::default())];
+        let inbox_old = router.register_sharded_with(ProcessId(3), &gauges);
+        let mut handle = router.handle();
+        handle.send(
+            ProcessId(2),
+            ProcessId(3),
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
+        assert_eq!(gauges[0].current(), 1, "queued at crash time");
+        router.deregister(ProcessId(3));
+        drop(inbox_old); // the crashed thread drops its receiver
+        let inbox_new = router.register_sharded_with(ProcessId(3), &gauges);
+        assert_eq!(
+            gauges[0].current(),
+            0,
+            "reused gauge is reset on re-registration"
+        );
+        assert!(inbox_new[0].rx.try_recv().is_none(), "no pre-crash leak");
+        // The handle's next send observes the bumped epoch, refreshes, and
+        // lands in the replacement's inbox with a consistent gauge.
+        handle.send(
+            ProcessId(2),
+            ProcessId(3),
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
+        assert!(router.contains(ProcessId(3)));
+        assert_eq!(gauges[0].current(), 1);
+        assert!(inbox_new[0].rx.try_recv().is_some());
+    }
+
+    #[test]
+    fn fanout_messages_reach_every_shard_and_keep_stream_order() {
+        let router = Router::new();
+        let shards = 3;
+        let inboxes = router.register_sharded(ProcessId(4), shards);
+        let mut handle = router.handle();
+        // A helper's flush: shares routed by object, then the done marker.
+        let mut batch: Vec<(ProcessId, LdsMessage)> = (0..6u64)
+            .map(|o| {
+                (
+                    ProcessId(4),
+                    LdsMessage::RepairShare {
+                        obj: ObjectId(o),
+                        payload: lds_core::messages::RepairPayload::Meta {
+                            tc: lds_core::tag::Tag::initial(),
+                            entries: Vec::new(),
+                        },
+                    },
+                )
+            })
+            .collect();
+        batch.push((
+            ProcessId(4),
+            LdsMessage::RepairDone {
+                obj: ObjectId(0),
+                objects: 6,
+                bytes_by_helper: Vec::new(),
+                fallback_bytes: 0,
+            },
+        ));
+        handle.send_batch(ProcessId(2), batch);
+        for (s, inbox) in inboxes.iter().enumerate() {
+            let mut saw_done = false;
+            while let Some(envelope) = inbox.rx.try_recv() {
+                match envelope {
+                    Envelope::Protocol { msg, .. } => match msg {
+                        LdsMessage::RepairShare { obj, .. } => {
+                            assert_eq!(shard_of(obj, shards), s, "shares route by object");
+                            assert!(!saw_done, "share after the done marker on shard {s}");
+                        }
+                        LdsMessage::RepairDone { .. } => saw_done = true,
+                        other => panic!("unexpected message {other:?}"),
+                    },
+                    other => panic!("unexpected envelope {other:?}"),
+                }
+            }
+            assert!(saw_done, "every shard {s} sees the fan-out done marker");
+        }
     }
 
     #[test]

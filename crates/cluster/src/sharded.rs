@@ -151,6 +151,43 @@ impl ShardedCluster {
         &self.shards[index]
     }
 
+    /// Regenerates the killed L1 server `index` of cluster shard `shard`
+    /// online (see [`Cluster::repair_l1`]); the shard's `f1` failure budget
+    /// is restored. Other shards are unaffected throughout.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::repair_l1`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn repair_l1(
+        &self,
+        shard: usize,
+        index: usize,
+    ) -> Result<crate::RepairReport, crate::RepairError> {
+        self.shards[shard].repair_l1(index)
+    }
+
+    /// Regenerates the killed L2 server `index` of cluster shard `shard`
+    /// online at the backend's repair bandwidth (see [`Cluster::repair_l2`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::repair_l2`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn repair_l2(
+        &self,
+        shard: usize,
+        index: usize,
+    ) -> Result<crate::RepairReport, crate::RepairError> {
+        self.shards[shard].repair_l2(index)
+    }
+
     /// The options every shard was started with.
     pub fn options(&self) -> ClusterOptions {
         self.options

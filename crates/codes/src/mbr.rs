@@ -335,6 +335,32 @@ impl ErasureCode for ProductMatrixMbr {
         apply_into(&g, &framed.padded, framed.symbol_len, out)
     }
 
+    fn encode_share_span_into(
+        &self,
+        data: &[u8],
+        start: usize,
+        outs: &mut [Vec<u8>],
+    ) -> Result<(), CodeError> {
+        let count = outs.len();
+        if count == 0 {
+            return Ok(());
+        }
+        self.check_index(start)?;
+        self.check_index(start + count - 1)?;
+        // One framing (header + padding copy + allocation) for the whole
+        // span — the per-write hot path encodes n2 elements back to back, so
+        // re-framing per element dominated small-value encodes.
+        let framed = frame(data, self.params.file_size());
+        let alpha = self.params.alpha();
+        for (s, out) in outs.iter_mut().enumerate() {
+            let g = self.encode_plan(start + s)?;
+            out.clear();
+            out.resize(alpha * framed.symbol_len, 0);
+            apply_into(&g, &framed.padded, framed.symbol_len, out)?;
+        }
+        Ok(())
+    }
+
     fn decode(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
         let mut out = Vec::new();
         self.decode_into(shares, &mut out)?;
@@ -453,6 +479,10 @@ impl RegeneratingCode for ProductMatrixMbr {
             combine_into_scratch(inv.row(a), &inputs, sym, &mut scratch)?;
         }
         Ok(Share::new(failed_index, buf))
+    }
+
+    fn prepare_repair(&self, helpers: &[usize]) -> Result<(), CodeError> {
+        ProductMatrixMbr::prepare_repair(self, helpers)
     }
 }
 
@@ -687,6 +717,29 @@ mod tests {
         let mut out = Vec::new();
         code.decode_into(&shares[2..6], &mut out).unwrap();
         assert_eq!(out, value);
+    }
+
+    #[test]
+    fn span_encode_matches_per_share_encode() {
+        let code = ProductMatrixMbr::with_dimensions(10, 3, 5).unwrap();
+        for len in [0usize, 1, 17, 333] {
+            let value = sample_value(len);
+            // Span over the "L2 half" of a layered deployment, with stale
+            // buffer contents that must be discarded.
+            let mut outs: Vec<Vec<u8>> = (0..6).map(|_| vec![0xEE; 2]).collect();
+            code.encode_share_span_into(&value, 4, &mut outs).unwrap();
+            for (s, out) in outs.iter().enumerate() {
+                assert_eq!(
+                    out,
+                    &code.encode_share(&value, 4 + s).unwrap().data,
+                    "len={len} node={}",
+                    4 + s
+                );
+            }
+        }
+        // Out-of-range spans are rejected.
+        let mut outs = vec![Vec::new(); 3];
+        assert!(code.encode_share_span_into(b"x", 8, &mut outs).is_err());
     }
 
     #[test]

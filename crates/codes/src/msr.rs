@@ -507,6 +507,10 @@ impl RegeneratingCode for ProductMatrixMsr {
         }
         Ok(Share::new(failed_index, buf))
     }
+
+    fn prepare_repair(&self, helpers: &[usize]) -> Result<(), CodeError> {
+        ProductMatrixMsr::prepare_repair(self, helpers)
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,28 @@ pub trait ErasureCode: Send + Sync {
         Ok(())
     }
 
+    /// Encodes the shares of the contiguous node span `start..start +
+    /// outs.len()`, one output buffer per node (each cleared first, capacity
+    /// reused). The default delegates to [`ErasureCode::encode_share_into`]
+    /// per node; codecs with a framing step override it to frame the value
+    /// **once** for the whole span — the shape of the LDS `write-to-L2`,
+    /// which encodes all `n2` back-end elements of one value back to back.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ErasureCode::encode_share_into`].
+    fn encode_share_span_into(
+        &self,
+        data: &[u8],
+        start: usize,
+        outs: &mut [Vec<u8>],
+    ) -> Result<(), CodeError> {
+        for (s, out) in outs.iter_mut().enumerate() {
+            self.encode_share_into(data, start + s, out)?;
+        }
+        Ok(())
+    }
+
     /// Buffer-reuse variant of [`ErasureCode::decode`]: writes the decoded
     /// value into `out` (cleared first, capacity reused).
     ///
@@ -98,6 +120,21 @@ pub trait RegeneratingCode: ErasureCode {
     /// helpers are supplied, or [`CodeError::MalformedShare`] when helper
     /// payloads are inconsistent.
     fn repair(&self, failed_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError>;
+
+    /// Builds and memoizes the repair plan (the helper-set inversion) for a
+    /// set of helper indices without repairing anything, so a node-repair
+    /// driver can pay the one-time inversion before streaming per-object
+    /// payloads. Codes whose repair needs no per-set plan (e.g. naive
+    /// decode-and-re-encode) accept any index set and do nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShares`] or an index/inversion error
+    /// when the set cannot form a valid repair plan for this code.
+    fn prepare_repair(&self, helpers: &[usize]) -> Result<(), CodeError> {
+        let _ = helpers;
+        Ok(())
+    }
 }
 
 /// Deduplicates shares by index, preserving first occurrence order.

@@ -104,6 +104,27 @@ pub trait BackendCodec: Send + Sync {
         Ok(())
     }
 
+    /// Encodes the coded elements of **every** L2 server for `value` into
+    /// `outs` (one buffer per server, each cleared first, capacity reused).
+    /// This is the per-write hot path of `write-to-L2`; the MBR backend
+    /// overrides the per-element default to frame the value once for all
+    /// `n2` elements instead of once per element.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BackendCodec::encode_l2_element`]. `outs` must have exactly
+    /// `n2` buffers.
+    fn encode_l2_elements_into(
+        &self,
+        value: &Value,
+        outs: &mut [Vec<u8>],
+    ) -> Result<(), CodeError> {
+        for (i, out) in outs.iter_mut().enumerate() {
+            self.encode_l2_element_into(value, i, out)?;
+        }
+        Ok(())
+    }
+
     /// The coded element held by L2 server `l2_index` for the initial value
     /// `v0` (every L2 server starts from this state).
     fn initial_l2_element(&self, l2_index: usize) -> Share;
@@ -129,6 +150,45 @@ pub trait BackendCodec: Send + Sync {
     ///
     /// Returns a [`CodeError`] if too few or inconsistent helpers are given.
     fn regenerate_l1(&self, l1_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError>;
+
+    /// Repair symbol computed by live L2 server `l2_index` towards the
+    /// online regeneration of crashed L2 server `failed_l2_index`'s coded
+    /// element. The MBR backend ships the bandwidth-optimal `β`-sized
+    /// product-matrix helper (`1/α` of its element); the MSR backend its
+    /// exact-repair symbol; Reed–Solomon and replication fall back to
+    /// shipping the whole element for decode-and-re-encode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodeError`] on out-of-range indices or malformed elements.
+    fn helper_for_l2(
+        &self,
+        l2_element: &Share,
+        l2_index: usize,
+        failed_l2_index: usize,
+    ) -> Result<HelperData, CodeError>;
+
+    /// Regenerates the coded element `c_{n1 + l2_index}` of a crashed L2
+    /// server from repair symbols produced by [`BackendCodec::helper_for_l2`]
+    /// (at least [`BackendCodec::repair_threshold`] distinct helpers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodeError`] if too few or inconsistent helpers are given.
+    fn regenerate_l2(&self, l2_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError>;
+
+    /// Builds and memoizes the repair plan for regenerating an L2 element
+    /// from the given helper **L2 indices** (the one-time matrix inversion),
+    /// so a node-repair run pays it before per-object payloads stream in.
+    /// Backends whose repair needs no per-set plan do nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodeError`] when the index set cannot form a repair plan.
+    fn prepare_l2_repair(&self, helper_l2_indices: &[usize]) -> Result<(), CodeError> {
+        let _ = helper_l2_indices;
+        Ok(())
+    }
 
     /// Decodes a value from coded elements of `C1` (used by readers when they
     /// receive `k` coded elements for a common tag).
@@ -233,6 +293,15 @@ impl BackendCodec for MbrBackend {
         self.code
             .encode_share_into(value.as_bytes(), self.n1 + l2_index, out)
     }
+    fn encode_l2_elements_into(
+        &self,
+        value: &Value,
+        outs: &mut [Vec<u8>],
+    ) -> Result<(), CodeError> {
+        // One framing for all n2 elements (see `encode_share_span_into`).
+        self.code
+            .encode_share_span_into(value.as_bytes(), self.n1, outs)
+    }
     fn initial_l2_element(&self, l2_index: usize) -> Share {
         self.code
             .encode_share(Value::initial().as_bytes(), self.n1 + l2_index)
@@ -248,6 +317,21 @@ impl BackendCodec for MbrBackend {
     }
     fn regenerate_l1(&self, l1_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
         self.code.repair(l1_index, helpers)
+    }
+    fn helper_for_l2(
+        &self,
+        l2_element: &Share,
+        _l2_index: usize,
+        failed_l2_index: usize,
+    ) -> Result<HelperData, CodeError> {
+        self.code.helper_data(l2_element, self.n1 + failed_l2_index)
+    }
+    fn regenerate_l2(&self, l2_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
+        self.code.repair(self.n1 + l2_index, helpers)
+    }
+    fn prepare_l2_repair(&self, helper_l2_indices: &[usize]) -> Result<(), CodeError> {
+        let indices: Vec<usize> = helper_l2_indices.iter().map(|&i| self.n1 + i).collect();
+        ProductMatrixMbr::prepare_repair(&self.code, &indices)
     }
     fn decode_from_l1(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
         self.code.decode(shares)
@@ -318,6 +402,19 @@ impl BackendCodec for RsBackend {
     fn regenerate_l1(&self, l1_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
         self.code.repair(l1_index, helpers)
     }
+    fn helper_for_l2(
+        &self,
+        l2_element: &Share,
+        _l2_index: usize,
+        failed_l2_index: usize,
+    ) -> Result<HelperData, CodeError> {
+        // Naive repair: the helper ships its whole element.
+        self.code.helper_data(l2_element, self.n1 + failed_l2_index)
+    }
+    fn regenerate_l2(&self, l2_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
+        // Decode-and-re-encode fallback, inside the code's naive repair.
+        self.code.repair(self.n1 + l2_index, helpers)
+    }
     fn decode_from_l1(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
         self.code.decode(shares)
     }
@@ -381,6 +478,21 @@ impl BackendCodec for MsrBackend {
     }
     fn regenerate_l1(&self, l1_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
         self.code.repair(l1_index, helpers)
+    }
+    fn helper_for_l2(
+        &self,
+        l2_element: &Share,
+        _l2_index: usize,
+        failed_l2_index: usize,
+    ) -> Result<HelperData, CodeError> {
+        self.code.helper_data(l2_element, self.n1 + failed_l2_index)
+    }
+    fn regenerate_l2(&self, l2_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
+        self.code.repair(self.n1 + l2_index, helpers)
+    }
+    fn prepare_l2_repair(&self, helper_l2_indices: &[usize]) -> Result<(), CodeError> {
+        let indices: Vec<usize> = helper_l2_indices.iter().map(|&i| self.n1 + i).collect();
+        ProductMatrixMsr::prepare_repair(&self.code, &indices)
     }
     fn decode_from_l1(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
         self.code.decode(shares)
@@ -458,6 +570,31 @@ impl BackendCodec for ReplicationBackend {
             .first()
             .ok_or(CodeError::NotEnoughShares { needed: 1, got: 0 })?;
         Ok(Share::new(l1_index, first.data.clone()))
+    }
+    fn helper_for_l2(
+        &self,
+        l2_element: &Share,
+        l2_index: usize,
+        failed_l2_index: usize,
+    ) -> Result<HelperData, CodeError> {
+        if failed_l2_index >= self.n2 {
+            return Err(CodeError::IndexOutOfRange {
+                index: failed_l2_index,
+                n: self.n2,
+            });
+        }
+        // The replica itself is the repair payload.
+        Ok(HelperData::new(
+            self.n1 + l2_index,
+            self.n1 + failed_l2_index,
+            l2_element.data.clone(),
+        ))
+    }
+    fn regenerate_l2(&self, l2_index: usize, helpers: &[HelperData]) -> Result<Share, CodeError> {
+        let first = helpers
+            .first()
+            .ok_or(CodeError::NotEnoughShares { needed: 1, got: 0 })?;
+        Ok(Share::new(self.n1 + l2_index, first.data.clone()))
     }
     fn decode_from_l1(&self, shares: &[Share]) -> Result<Vec<u8>, CodeError> {
         let first = shares
@@ -542,6 +679,76 @@ mod tests {
         // k = d = 3 < 2k - 2 = 4.
         let p = SystemParams::for_failures(1, 1, 3, 3).unwrap();
         assert!(make_backend(BackendKind::ProductMatrixMsr, &p).is_err());
+    }
+
+    #[test]
+    fn l2_repair_roundtrip_across_backends() {
+        let p = params(); // n1=5, n2=7, k=3, d=5
+        let value = Value::from("regenerate a crashed back-end server");
+        for kind in [
+            BackendKind::Mbr,
+            BackendKind::MsrPoint,
+            BackendKind::ProductMatrixMsr,
+            BackendKind::Replication,
+        ] {
+            let backend = make_backend(kind, &p).unwrap();
+            let failed = 2usize;
+            let helpers_l2: Vec<usize> = (0..7).filter(|&i| i != failed).collect();
+            // Warm the plan for the canonical set, as the repair driver does.
+            backend
+                .prepare_l2_repair(&helpers_l2[..backend.repair_threshold()])
+                .unwrap();
+            let helpers: Vec<HelperData> = helpers_l2
+                .iter()
+                .take(backend.repair_threshold())
+                .map(|&i| {
+                    let elem = backend.encode_l2_element(&value, i).unwrap();
+                    backend.helper_for_l2(&elem, i, failed).unwrap()
+                })
+                .collect();
+            let regenerated = backend.regenerate_l2(failed, &helpers).unwrap();
+            let direct = backend.encode_l2_element(&value, failed).unwrap();
+            assert_eq!(regenerated, direct, "{kind}: exact element regeneration");
+        }
+    }
+
+    #[test]
+    fn mbr_l2_repair_helpers_are_beta_sized() {
+        // The bandwidth story of the repair subsystem: an MBR helper ships
+        // 1/α of its element, every fallback backend ships the whole thing.
+        let p = params();
+        let value = Value::new(vec![5u8; 4096]);
+        let mbr = make_backend(BackendKind::Mbr, &p).unwrap();
+        let rs = make_backend(BackendKind::MsrPoint, &p).unwrap();
+        let elem = mbr.encode_l2_element(&value, 0).unwrap();
+        let helper = mbr.helper_for_l2(&elem, 0, 3).unwrap();
+        assert_eq!(helper.data.len() * p.d(), elem.data.len(), "β = element/α");
+        let rs_elem = rs.encode_l2_element(&value, 0).unwrap();
+        let rs_helper = rs.helper_for_l2(&rs_elem, 0, 3).unwrap();
+        assert_eq!(rs_helper.data.len(), rs_elem.data.len(), "full fallback");
+    }
+
+    #[test]
+    fn bulk_l2_encode_matches_per_element_encode() {
+        let p = params();
+        let value = Value::from("span-encoded write-to-L2 payload");
+        for kind in [
+            BackendKind::Mbr,
+            BackendKind::MsrPoint,
+            BackendKind::ProductMatrixMsr,
+            BackendKind::Replication,
+        ] {
+            let backend = make_backend(kind, &p).unwrap();
+            let mut outs: Vec<Vec<u8>> = (0..backend.n2()).map(|_| vec![0xAA; 3]).collect();
+            backend.encode_l2_elements_into(&value, &mut outs).unwrap();
+            for (i, out) in outs.iter().enumerate() {
+                assert_eq!(
+                    out,
+                    &backend.encode_l2_element(&value, i).unwrap().data,
+                    "{kind} element {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod writer;
 pub use backend::{BackendCodec, BackendKind};
 pub use consistency::{History, Operation, OperationKind};
 pub use membership::Membership;
-pub use messages::{LdsMessage, ProtocolEvent, ReadPayload};
+pub use messages::{LdsMessage, ProtocolEvent, ReadPayload, RepairPayload};
 pub use params::SystemParams;
 pub use reader::ReaderClient;
 pub use server1::L1Server;

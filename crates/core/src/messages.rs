@@ -13,6 +13,40 @@ use crate::value::Value;
 use lds_codes::{HelperData, Share};
 use lds_sim::{DataSize, ProcessId, SimTime};
 
+/// Payload of a [`LdsMessage::RepairShare`]: what one live server contributes
+/// to the online regeneration of a crashed peer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairPayload {
+    /// L2 → replacement L2: a repair symbol for the failed server's coded
+    /// element, computed from the helper's own committed `(tag, element)`
+    /// pair. With an MBR backend this is the bandwidth-optimal `β`-sized
+    /// helper; other backends ship enough for decode-and-re-encode.
+    Element {
+        /// Tag of the element the helper symbol was computed from.
+        tag: Tag,
+        /// Length of the helper's full stored element in bytes — what this
+        /// payload would have cost under the decode-and-re-encode fallback.
+        /// Summed by the replacement into the repair's `fallback_bytes`
+        /// accounting (covering every payload, whether or not its object
+        /// ultimately reaches a repair quorum).
+        element_len: u64,
+        /// The repair symbol.
+        helper: HelperData,
+    },
+    /// L1 → replacement L1: one live peer's per-object metadata snapshot —
+    /// the committed tag plus every `(tag, value?)` entry of its list `L`.
+    /// The union over a quorum of peers covers every tag the crashed server
+    /// could have acknowledged, which is what keeps get-tag quorums monotonic
+    /// after the rejoin.
+    Meta {
+        /// The peer's committed tag `t_c` for the object.
+        tc: Tag,
+        /// The peer's list entries (`None` encodes `⊥`, a tag whose value
+        /// was already offloaded to L2).
+        entries: Vec<(Tag, Option<Value>)>,
+    },
+}
+
 /// Payload of a server's response to a reader's `QUERY-DATA` (or of a late
 /// response sent while serving a registered reader).
 #[derive(Debug, Clone, PartialEq)]
@@ -213,6 +247,52 @@ pub enum LdsMessage {
         /// The helper payload `h_{n1+i, j}`.
         helper: HelperData,
     },
+
+    // ------------------------------------------------------------------
+    // Online node repair & rejoin (cluster runtime extension; not part of
+    // the paper's static-membership automata).
+    // ------------------------------------------------------------------
+    /// Repair coordinator → live peers of a crashed server: stream your
+    /// repair contributions for `failed` to the (already re-registered)
+    /// replacement. Delivered to *every* worker shard of each helper (see
+    /// [`LdsMessage::fanout`]); the `obj` field exists only to satisfy the
+    /// uniform routing interface.
+    RepairHelp {
+        /// Routing placeholder (fan-out messages address a process, not an
+        /// object).
+        obj: ObjectId,
+        /// The crashed server being regenerated.
+        failed: ProcessId,
+    },
+    /// One live server's per-object repair contribution, sent to the
+    /// replacement server. Routed by `obj`, so with sharded servers each
+    /// contribution arrives directly at the worker shard owning the object.
+    RepairShare {
+        /// The object this contribution restores.
+        obj: ObjectId,
+        /// The contribution (coded helper symbol for L2, metadata snapshot
+        /// for L1).
+        payload: RepairPayload,
+    },
+    /// End-of-stream marker and completion report. Two uses: a helper shard
+    /// sends it (fan-out, after all its [`LdsMessage::RepairShare`]s) to tell
+    /// every replacement shard it is done; a finished replacement shard sends
+    /// it to the repair coordinator with the accounting fields filled in.
+    RepairDone {
+        /// Routing placeholder.
+        obj: ObjectId,
+        /// Shares contributed (helper → replacement) or objects restored
+        /// (replacement → coordinator).
+        objects: u64,
+        /// Repair bytes received per helper process (replacement →
+        /// coordinator only; empty otherwise).
+        bytes_by_helper: Vec<(ProcessId, u64)>,
+        /// What the same repair — same helpers participating — would have
+        /// moved had each shipped its full stored element (the
+        /// decode-and-re-encode fallback), for the MBR-vs-full-decode
+        /// bandwidth comparison (replacement → coordinator only).
+        fallback_bytes: u64,
+    },
 }
 
 impl LdsMessage {
@@ -239,8 +319,40 @@ impl LdsMessage {
             | LdsMessage::WriteCodeElem { obj, .. }
             | LdsMessage::AckCodeElem { obj, .. }
             | LdsMessage::QueryCodeElem { obj, .. }
-            | LdsMessage::SendHelperElem { obj, .. } => *obj,
+            | LdsMessage::SendHelperElem { obj, .. }
+            | LdsMessage::RepairHelp { obj, .. }
+            | LdsMessage::RepairShare { obj, .. }
+            | LdsMessage::RepairDone { obj, .. } => *obj,
         }
+    }
+
+    /// Whether the message addresses a whole *process* rather than one
+    /// object, and must therefore be delivered to **every** worker shard of
+    /// a sharded destination (the cluster transport's per-object routing
+    /// would otherwise hand it to a single shard).
+    ///
+    /// Fan-out messages are never aggregated into batches: a repair helper's
+    /// end-of-stream [`LdsMessage::RepairDone`] must stay behind the
+    /// [`LdsMessage::RepairShare`]s it terminates on every channel, which the
+    /// transport guarantees by routing both immediately, in send order.
+    pub fn fanout(&self) -> bool {
+        matches!(
+            self,
+            LdsMessage::RepairHelp { .. } | LdsMessage::RepairDone { .. }
+        )
+    }
+
+    /// Whether the cluster transport may *aggregate* this message into a
+    /// multi-message envelope (delaying it to the end of the flush).
+    ///
+    /// Metadata is batchable — that is the COMMIT-TAG coalescing
+    /// optimisation — with two exceptions: fan-out messages (their routing
+    /// is per-process, not per-shard), and [`LdsMessage::RepairShare`]
+    /// (even a payload-free metadata snapshot must stay **ahead** of the
+    /// fan-out [`LdsMessage::RepairDone`] that terminates its stream, so
+    /// repair messages always dispatch immediately, in send order).
+    pub fn batchable(&self) -> bool {
+        self.is_metadata() && !self.fanout() && !matches!(self, LdsMessage::RepairShare { .. })
     }
 
     /// Whether the message carries no object data — only tags, counters and
@@ -268,6 +380,14 @@ impl DataSize for LdsMessage {
             },
             LdsMessage::WriteCodeElem { element, .. } => element.data.len(),
             LdsMessage::SendHelperElem { helper, .. } => helper.data.len(),
+            LdsMessage::RepairShare { payload, .. } => match payload {
+                RepairPayload::Element { helper, .. } => helper.data.len(),
+                // Tags are free; only live values count, per the cost model.
+                RepairPayload::Meta { entries, .. } => entries
+                    .iter()
+                    .filter_map(|(_, v)| v.as_ref().map(Value::len))
+                    .sum(),
+            },
             // Everything else is metadata (tags, acks, queries, broadcasts).
             _ => 0,
         }
@@ -293,6 +413,9 @@ impl DataSize for LdsMessage {
             LdsMessage::AckCodeElem { .. } => "ACK-CODE-ELEM",
             LdsMessage::QueryCodeElem { .. } => "QUERY-CODE-ELEM",
             LdsMessage::SendHelperElem { .. } => "SEND-HELPER-ELEM",
+            LdsMessage::RepairHelp { .. } => "REPAIR-HELP",
+            LdsMessage::RepairShare { .. } => "REPAIR-SHARE",
+            LdsMessage::RepairDone { .. } => "REPAIR-DONE",
         }
     }
 }
@@ -449,6 +572,75 @@ mod tests {
             element: Share::new(0, vec![1, 2, 3])
         }
         .is_metadata());
+    }
+
+    #[test]
+    fn repair_messages_classify_for_batching_and_fanout() {
+        let obj = ObjectId(3);
+        let tag = Tag::new(2, ClientId(1));
+        let help = LdsMessage::RepairHelp {
+            obj,
+            failed: ProcessId(7),
+        };
+        assert!(help.is_metadata());
+        assert!(help.fanout());
+        assert_eq!(help.kind(), "REPAIR-HELP");
+
+        let done = LdsMessage::RepairDone {
+            obj,
+            objects: 5,
+            bytes_by_helper: vec![(ProcessId(4), 100)],
+            fallback_bytes: 300,
+        };
+        assert!(done.is_metadata());
+        assert!(done.fanout());
+
+        // Coded repair symbols count their payload bytes and route by object.
+        let share = LdsMessage::RepairShare {
+            obj,
+            payload: RepairPayload::Element {
+                tag,
+                element_len: 9,
+                helper: HelperData::new(5, 2, vec![1, 2, 3]),
+            },
+        };
+        assert_eq!(share.data_size(), 3);
+        assert!(!share.is_metadata());
+        assert!(!share.fanout());
+        assert_eq!(share.object(), obj);
+
+        // Metadata snapshots count only the live values, not the tags.
+        let meta = LdsMessage::RepairShare {
+            obj,
+            payload: RepairPayload::Meta {
+                tc: tag,
+                entries: vec![
+                    (tag, Some(Value::from("live"))),
+                    (Tag::new(1, ClientId(1)), None),
+                ],
+            },
+        };
+        assert_eq!(meta.data_size(), 4);
+
+        // No repair message may be aggregated — even a payload-free snapshot
+        // must keep its place ahead of the fan-out done marker — while the
+        // COMMIT-TAG broadcasts remain batchable.
+        let empty_meta = LdsMessage::RepairShare {
+            obj,
+            payload: RepairPayload::Meta {
+                tc: tag,
+                entries: vec![(tag, None)],
+            },
+        };
+        assert!(empty_meta.is_metadata() && !empty_meta.batchable());
+        assert!(!help.batchable());
+        assert!(!done.batchable());
+        assert!(LdsMessage::BcastDeliver {
+            obj,
+            tag,
+            origin: ProcessId(1)
+        }
+        .batchable());
     }
 
     #[test]

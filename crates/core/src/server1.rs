@@ -12,13 +12,13 @@
 
 use crate::backend::BackendCodec;
 use crate::membership::Membership;
-use crate::messages::{LdsMessage, ProtocolEvent, ReadPayload};
+use crate::messages::{LdsMessage, ProtocolEvent, ReadPayload, RepairPayload};
 use crate::params::SystemParams;
 use crate::tag::{ObjectId, OpId, Tag};
 use crate::value::Value;
 use lds_codes::{HelperData, Share};
 use lds_sim::{Context, Process, ProcessId};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{btree_map, BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Tuning options for an L1 server.
@@ -200,6 +200,27 @@ impl ObjectState {
     }
 }
 
+/// Accumulated state of a replacement L1 server while it reconstructs its
+/// metadata (committed tags and lists) from live peers' snapshots. While
+/// rebuilding, the server answers **no** client queries — an incomplete list
+/// could break get-tag quorum monotonicity — but it absorbs the normal
+/// PUT-DATA / broadcast stream, which is how in-flight writes catch it up
+/// before it declares itself live.
+struct L1Rebuild {
+    /// `RepairDone` markers to expect (helpers × helper worker shards).
+    expected_dones: usize,
+    /// Markers received so far.
+    dones: usize,
+    /// Where to report completion and accounting.
+    report_to: ProcessId,
+    /// Highest committed tag reported per object (applied at finalization
+    /// through the normal committed-tag advancement, so gc and write-to-L2
+    /// run exactly as for a live commit).
+    reported_tc: HashMap<ObjectId, Tag>,
+    /// Snapshot value bytes received per helper process.
+    bytes_by_helper: BTreeMap<ProcessId, u64>,
+}
+
 /// The L1 server automaton.
 pub struct L1Server {
     /// This server's code index `j` (0-based position in the L1 list).
@@ -209,6 +230,8 @@ pub struct L1Server {
     backend: Arc<dyn BackendCodec>,
     options: L1Options,
     objects: HashMap<ObjectId, ObjectState>,
+    /// `Some` while this server is a replacement reconstructing metadata.
+    rebuild: Option<L1Rebuild>,
 }
 
 impl L1Server {
@@ -238,12 +261,44 @@ impl L1Server {
             backend,
             options,
             objects: HashMap::new(),
+            rebuild: None,
         }
+    }
+
+    /// Creates a **replacement** L1 server in rebuilding mode: silent on
+    /// `QUERY-TAG` / `QUERY-COMM-TAG` / `QUERY-DATA`, absorbing the live
+    /// write stream, merging peer metadata snapshots, and going live (with a
+    /// completion report to `report_to`) once `expected_dones`
+    /// [`LdsMessage::RepairDone`] markers have arrived.
+    pub fn rebuilding(
+        index: usize,
+        params: SystemParams,
+        membership: Membership,
+        backend: Arc<dyn BackendCodec>,
+        options: L1Options,
+        expected_dones: usize,
+        report_to: ProcessId,
+    ) -> Self {
+        let mut server = L1Server::new(index, params, membership, backend, options);
+        server.rebuild = Some(L1Rebuild {
+            expected_dones,
+            dones: 0,
+            report_to,
+            reported_tc: HashMap::new(),
+            bytes_by_helper: BTreeMap::new(),
+        });
+        server
     }
 
     /// This server's code index `j`.
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// Whether the server is still reconstructing metadata (not yet
+    /// answering client queries).
+    pub fn is_rebuilding(&self) -> bool {
+        self.rebuild.is_some()
     }
 
     /// The committed tag for an object (t0 if the object is unknown).
@@ -487,21 +542,35 @@ impl L1Server {
             st.write_counter.entry(tag).or_insert(0);
         }
         let n1 = self.backend.n1();
-        for (i, &l2) in self.membership.l2.iter().enumerate() {
-            // Encode straight into the buffer the message will own: exactly
-            // one allocation and one write per element (the plan-cached codec
-            // creates no temporaries inside).
-            let mut buf = Vec::new();
-            match self.backend.encode_l2_element_into(value, i, &mut buf) {
-                Ok(()) => {
+        // Encode all n2 elements in one call, straight into the buffers the
+        // messages will own: the MBR backend frames the value once for the
+        // whole batch (instead of once per element — the dominant redundant
+        // work of small-value writes), and the plan-cached codec creates no
+        // temporaries inside.
+        let mut bufs: Vec<Vec<u8>> = (0..self.membership.n2()).map(|_| Vec::new()).collect();
+        match self.backend.encode_l2_elements_into(value, &mut bufs) {
+            Ok(()) => {
+                for (i, (buf, &l2)) in bufs.into_iter().zip(self.membership.l2.iter()).enumerate() {
                     let element = Share::new(n1 + i, buf);
                     ctx.send(l2, LdsMessage::WriteCodeElem { obj, tag, element });
                 }
-                Err(err) => {
-                    // Encoding failures indicate misconfiguration; surface in
-                    // debug builds, skip in release (the write to this L2
-                    // server is simply lost, like a crashed link endpoint).
-                    debug_assert!(false, "write-to-L2 encoding failure: {err}");
+            }
+            Err(err) => {
+                // Encoding failures indicate misconfiguration; surface in
+                // debug builds. In release, fall back to per-element encodes
+                // so one bad element loses only its own message (like a
+                // crashed link endpoint), not the whole offload.
+                debug_assert!(false, "write-to-L2 bulk encoding failure: {err}");
+                for (i, &l2) in self.membership.l2.iter().enumerate() {
+                    let mut buf = Vec::new();
+                    if self
+                        .backend
+                        .encode_l2_element_into(value, i, &mut buf)
+                        .is_ok()
+                    {
+                        let element = Share::new(n1 + i, buf);
+                        ctx.send(l2, LdsMessage::WriteCodeElem { obj, tag, element });
+                    }
                 }
             }
         }
@@ -746,6 +815,137 @@ impl L1Server {
         }
         ctx.send(from, LdsMessage::AckPutTag { obj, op });
     }
+
+    // ------------------------------------------------------------------
+    // Online node repair (cluster runtime extension).
+    // ------------------------------------------------------------------
+
+    /// Helper role: stream a metadata snapshot (committed tag + list
+    /// entries) for every known object to the replacement of crashed L1
+    /// peer `failed`, then an end-of-stream marker.
+    fn on_repair_help(
+        &mut self,
+        failed: ProcessId,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        if self.rebuild.is_some() {
+            return; // a rebuilding server cannot help anyone
+        }
+        if self.membership.l1_index_of(failed).is_none() || failed == ctx.id() {
+            return; // not an L1 repair (or nonsensical self-repair)
+        }
+        let mut sent = 0u64;
+        for (&obj, st) in &self.objects {
+            if st.tc == Tag::initial() && st.max_list_tag() == Tag::initial() {
+                continue; // pristine object — the replacement starts there anyway
+            }
+            let entries: Vec<(Tag, Option<Value>)> =
+                st.list.iter().map(|(t, v)| (*t, v.clone())).collect();
+            ctx.send(
+                failed,
+                LdsMessage::RepairShare {
+                    obj,
+                    payload: RepairPayload::Meta { tc: st.tc, entries },
+                },
+            );
+            sent += 1;
+        }
+        ctx.send(
+            failed,
+            LdsMessage::RepairDone {
+                obj: ObjectId(0),
+                objects: sent,
+                bytes_by_helper: Vec::new(),
+                fallback_bytes: 0,
+            },
+        );
+    }
+
+    /// Replacement role: merge one peer's per-object metadata snapshot.
+    /// List entries are facts — a tag uniquely identifies its value — so the
+    /// union over all snapshots (plus anything the live stream delivers
+    /// concurrently) is merged in place; committed tags are deferred to
+    /// finalization so the normal advancement (reader service, gc,
+    /// write-to-L2) runs once per object.
+    fn on_repair_meta(
+        &mut self,
+        from: ProcessId,
+        obj: ObjectId,
+        tc: Tag,
+        entries: Vec<(Tag, Option<Value>)>,
+    ) {
+        {
+            let Some(rebuild) = self.rebuild.as_mut() else {
+                return; // stale snapshot for an already-completed repair
+            };
+            let bytes: usize = entries
+                .iter()
+                .filter_map(|(_, v)| v.as_ref().map(Value::len))
+                .sum();
+            *rebuild.bytes_by_helper.entry(from).or_insert(0) += bytes as u64;
+            let reported = rebuild.reported_tc.entry(obj).or_insert(tc);
+            if tc > *reported {
+                *reported = tc;
+            }
+        }
+        let st = self.state(obj);
+        for (tag, value) in entries {
+            if tag < st.tc {
+                // Already superseded by a commit the replacement absorbed
+                // from the live stream: merging it back would resurrect
+                // state gc_below just pruned (and retain it until the
+                // object's next commit).
+                continue;
+            }
+            match st.list.entry(tag) {
+                btree_map::Entry::Vacant(e) => {
+                    e.insert(value);
+                }
+                btree_map::Entry::Occupied(mut e) => {
+                    // Fill in a value another peer had already gc'ed to ⊥.
+                    if e.get().is_none() && value.is_some() {
+                        e.insert(value);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replacement role: count an end-of-stream marker; on the last one,
+    /// commit the reconstructed tags, report, and go live.
+    fn on_repair_done(&mut self, ctx: &mut Context<'_, LdsMessage, ProtocolEvent>) {
+        let Some(rebuild) = self.rebuild.as_mut() else {
+            return;
+        };
+        rebuild.dones += 1;
+        if rebuild.dones < rebuild.expected_dones {
+            return;
+        }
+        let rebuild = self.rebuild.take().expect("checked above");
+        let mut objects = 0u64;
+        for (obj, tc) in rebuild.reported_tc {
+            objects += 1;
+            let needs_advance = tc > self.state(obj).tc;
+            if needs_advance {
+                // The normal advancement path: serves (no) readers, gc's
+                // below the committed tag and re-offloads the committed
+                // value to L2 when it is present.
+                self.advance_committed_tag(obj, tc, false, ctx);
+            }
+        }
+        let bytes_total: u64 = rebuild.bytes_by_helper.values().sum();
+        ctx.send(
+            rebuild.report_to,
+            LdsMessage::RepairDone {
+                obj: ObjectId(0),
+                objects,
+                bytes_by_helper: rebuild.bytes_by_helper.into_iter().collect(),
+                // Metadata reconstruction has no coded shortcut: the
+                // "fallback" is exactly what was shipped.
+                fallback_bytes: bytes_total,
+            },
+        );
+    }
 }
 
 impl Process<LdsMessage, ProtocolEvent> for L1Server {
@@ -755,6 +955,22 @@ impl Process<LdsMessage, ProtocolEvent> for L1Server {
         msg: LdsMessage,
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
+        // While rebuilding, the replacement answers no client queries: a
+        // get-tag / committed-tag / data response computed from an incomplete
+        // list could displace a complete server in a quorum and break tag
+        // monotonicity. Everything else — the write stream, broadcasts,
+        // put-tag write-backs — is absorbed normally, which is exactly how
+        // in-flight operations catch the replacement up.
+        if self.rebuild.is_some()
+            && matches!(
+                msg,
+                LdsMessage::QueryTag { .. }
+                    | LdsMessage::QueryCommTag { .. }
+                    | LdsMessage::QueryData { .. }
+            )
+        {
+            return;
+        }
         match msg {
             LdsMessage::QueryTag { obj, op } => self.on_query_tag(from, obj, op, ctx),
             LdsMessage::PutData {
@@ -778,6 +994,12 @@ impl Process<LdsMessage, ProtocolEvent> for L1Server {
                 tag,
                 helper,
             } => self.on_send_helper_elem(from, obj, reader, op, tag, helper, ctx),
+            LdsMessage::RepairHelp { failed, .. } => self.on_repair_help(failed, ctx),
+            LdsMessage::RepairShare {
+                obj,
+                payload: RepairPayload::Meta { tc, entries },
+            } => self.on_repair_meta(from, obj, tc, entries),
+            LdsMessage::RepairDone { .. } => self.on_repair_done(ctx),
             // Messages not addressed to an L1 server are ignored (they can
             // only appear through harness misconfiguration).
             _ => {}
@@ -1263,6 +1485,231 @@ mod tests {
                 .count(),
             0
         );
+    }
+
+    #[test]
+    fn helpers_snapshot_metadata_then_mark_done() {
+        let (params, membership, backend) = setup();
+        let mut s = L1Server::new(0, params, membership.clone(), backend, L1Options::default());
+        let obj = ObjectId(4);
+        let tag = Tag::new(2, crate::tag::ClientId(5));
+        step(
+            &mut s,
+            ProcessId(70),
+            LdsMessage::PutData {
+                obj,
+                op: OpId::default(),
+                tag,
+                value: Value::from("snapshot me"),
+            },
+        );
+        let failed = membership.l1[3];
+        let out = step(
+            &mut s,
+            ProcessId(99),
+            LdsMessage::RepairHelp {
+                obj: ObjectId(0),
+                failed,
+            },
+        );
+        assert_eq!(out.len(), 2, "one snapshot plus the done marker");
+        assert!(out.iter().all(|(to, _)| *to == failed));
+        match &out[0].1 {
+            LdsMessage::RepairShare {
+                obj: o,
+                payload: RepairPayload::Meta { entries, .. },
+            } => {
+                assert_eq!(*o, obj);
+                assert!(entries
+                    .iter()
+                    .any(|(t, v)| *t == tag && v.as_ref().is_some_and(|v| !v.is_empty())));
+            }
+            other => panic!("expected metadata snapshot, got {other:?}"),
+        }
+        assert!(matches!(
+            out[1].1,
+            LdsMessage::RepairDone { objects: 1, .. }
+        ));
+        // An L2 pid as the failed server is refused (wrong layer).
+        assert!(step(
+            &mut s,
+            ProcessId(99),
+            LdsMessage::RepairHelp {
+                obj: ObjectId(0),
+                failed: membership.l2[0],
+            }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn rebuilding_l1_reconstructs_metadata_and_goes_live() {
+        let (params, membership, backend) = setup();
+        let coordinator = ProcessId(99);
+        let mut s = L1Server::rebuilding(
+            3,
+            params,
+            membership.clone(),
+            Arc::clone(&backend),
+            L1Options::default(),
+            2, // two helper peers, one shard each
+            coordinator,
+        );
+        assert!(s.is_rebuilding());
+        let obj = ObjectId(0);
+        let t1 = Tag::new(1, crate::tag::ClientId(1));
+        let t2 = Tag::new(2, crate::tag::ClientId(2));
+
+        // While rebuilding, client queries get no answer.
+        assert!(step(
+            &mut s,
+            ProcessId(70),
+            LdsMessage::QueryTag {
+                obj,
+                op: OpId::default()
+            },
+        )
+        .is_empty());
+        assert!(step(
+            &mut s,
+            ProcessId(70),
+            LdsMessage::QueryCommTag {
+                obj,
+                op: OpId::default()
+            },
+        )
+        .is_empty());
+
+        // Peer snapshots: one peer gc'ed the value of t2, the other still
+        // holds it; the union restores both the tag set and the value.
+        step(
+            &mut s,
+            membership.l1[0],
+            LdsMessage::RepairShare {
+                obj,
+                payload: RepairPayload::Meta {
+                    tc: t2,
+                    entries: vec![(t1, None), (t2, None)],
+                },
+            },
+        );
+        step(
+            &mut s,
+            membership.l1[0],
+            LdsMessage::RepairDone {
+                obj: ObjectId(0),
+                objects: 1,
+                bytes_by_helper: Vec::new(),
+                fallback_bytes: 0,
+            },
+        );
+        assert!(s.is_rebuilding(), "one of two helpers done");
+        step(
+            &mut s,
+            membership.l1[1],
+            LdsMessage::RepairShare {
+                obj,
+                payload: RepairPayload::Meta {
+                    tc: t1,
+                    entries: vec![(t1, None), (t2, Some(Value::from("kept")))],
+                },
+            },
+        );
+        let out = step(
+            &mut s,
+            membership.l1[1],
+            LdsMessage::RepairDone {
+                obj: ObjectId(0),
+                objects: 1,
+                bytes_by_helper: Vec::new(),
+                fallback_bytes: 0,
+            },
+        );
+        assert!(!s.is_rebuilding());
+        // Finalization committed the max reported tc — with the value
+        // present, the normal advancement offloads it to L2 — and reported
+        // to the coordinator.
+        assert_eq!(s.committed_tag(obj), t2);
+        let to_coord: Vec<_> = out.iter().filter(|(to, _)| *to == coordinator).collect();
+        assert_eq!(to_coord.len(), 1);
+        match &to_coord[0].1 {
+            LdsMessage::RepairDone {
+                objects,
+                bytes_by_helper,
+                ..
+            } => {
+                assert_eq!(*objects, 1);
+                assert_eq!(bytes_by_helper.len(), 2);
+            }
+            other => panic!("expected completion report, got {other:?}"),
+        }
+        assert!(
+            out.iter()
+                .any(|(_, m)| matches!(m, LdsMessage::WriteCodeElem { .. })),
+            "restored committed value is re-offloaded to L2"
+        );
+
+        // Live again: queries are answered with the reconstructed state.
+        let out = step(
+            &mut s,
+            ProcessId(70),
+            LdsMessage::QueryTag {
+                obj,
+                op: OpId::default(),
+            },
+        );
+        assert!(matches!(out[0].1, LdsMessage::TagResp { tag, .. } if tag == t2));
+    }
+
+    #[test]
+    fn rebuilding_l1_absorbs_inflight_writes() {
+        let (params, membership, backend) = setup();
+        let mut s = L1Server::rebuilding(
+            0,
+            params,
+            membership.clone(),
+            backend,
+            L1Options::default(),
+            1,
+            ProcessId(99),
+        );
+        let obj = ObjectId(1);
+        let tag = Tag::new(7, crate::tag::ClientId(1));
+        // A PUT-DATA streams in mid-rebuild: stored and broadcast as usual.
+        let out = step(
+            &mut s,
+            ProcessId(70),
+            LdsMessage::PutData {
+                obj,
+                op: OpId::default(),
+                tag,
+                value: Value::from("in flight"),
+            },
+        );
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, LdsMessage::BcastSend { .. })));
+        // Empty helper set finishes instantly; the in-flight tag survives.
+        step(
+            &mut s,
+            membership.l1[1],
+            LdsMessage::RepairDone {
+                obj: ObjectId(0),
+                objects: 0,
+                bytes_by_helper: Vec::new(),
+                fallback_bytes: 0,
+            },
+        );
+        assert!(!s.is_rebuilding());
+        let out = step(
+            &mut s,
+            ProcessId(70),
+            LdsMessage::QueryTag {
+                obj,
+                op: OpId::default(),
+            },
+        );
+        assert!(matches!(out[0].1, LdsMessage::TagResp { tag: t, .. } if t == tag));
     }
 
     #[test]

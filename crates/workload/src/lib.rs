@@ -18,7 +18,9 @@
 //! * [`multi_object`] — the multi-object storage experiment behind Fig. 6 /
 //!   Lemma V.5;
 //! * [`throughput`] — latency/ops-per-second accounting for the wall-clock
-//!   cluster benchmark (`exp_throughput`) and the cluster stress tests.
+//!   cluster benchmark (`exp_throughput`) and the cluster stress tests;
+//! * [`repair`] — repair-bandwidth accounting for the online node-repair
+//!   benchmark (`exp_repair`).
 //!
 //! # Example
 //!
@@ -43,10 +45,12 @@
 pub mod generator;
 pub mod measure;
 pub mod multi_object;
+pub mod repair;
 pub mod runner;
 pub mod throughput;
 
 pub use generator::{ClosedLoopWorkload, ValueGenerator};
 pub use measure::{CostMeasurement, CostReport};
+pub use repair::RepairBandwidth;
 pub use runner::{RunReport, RunnerConfig, SimRunner};
 pub use throughput::{LatencyRecorder, ThroughputSummary};

@@ -1,0 +1,124 @@
+//! Repair-bandwidth accounting for the online node-repair benchmark
+//! (`exp_repair` → `BENCH_REPAIR.json`).
+//!
+//! The cluster's repair coordinator reports how many bytes each helper
+//! actually shipped and what the decode-and-re-encode fallback would have
+//! moved; this module turns those numbers into the derived quantities the
+//! benchmark records (bytes per object, bandwidth ratio) and into stable
+//! JSON rows, so the bench binary and the CI schema check share one format.
+
+/// One measured repair run: what moved, what the fallback would have moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairBandwidth {
+    /// Backend label (e.g. `MBR`).
+    pub backend: String,
+    /// Repaired layer label (`L1` / `L2`).
+    pub layer: String,
+    /// Value size written to every object before the crash, in bytes.
+    pub value_size: usize,
+    /// Objects the replacement regenerated from helper payloads.
+    pub objects: u64,
+    /// Live helpers that contributed.
+    pub helpers: usize,
+    /// Repair payload bytes actually moved.
+    pub bytes_total: u64,
+    /// Bytes the full-element (decode-and-re-encode) fallback would move.
+    pub fallback_bytes: u64,
+    /// Wall-clock duration of the online repair in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+impl RepairBandwidth {
+    /// Average repair bytes moved per regenerated object.
+    pub fn bytes_per_object(&self) -> f64 {
+        if self.objects == 0 {
+            0.0
+        } else {
+            self.bytes_total as f64 / self.objects as f64
+        }
+    }
+
+    /// Measured traffic over the fallback (`1.0` = no saving; an MBR
+    /// back-end achieves `≈ 1/α`).
+    pub fn bandwidth_ratio(&self) -> f64 {
+        if self.fallback_bytes == 0 {
+            1.0
+        } else {
+            self.bytes_total as f64 / self.fallback_bytes as f64
+        }
+    }
+
+    /// Renders the record as one JSON object (no trailing comma/newline) —
+    /// the row format of `BENCH_REPAIR.json`'s `results` array.
+    pub fn json_row(&self) -> String {
+        format!(
+            "{{ \"backend\": \"{}\", \"layer\": \"{}\", \"value_size\": {}, \
+             \"objects\": {}, \"helpers\": {}, \"repair_bytes_total\": {}, \
+             \"bytes_per_object\": {:.1}, \"fallback_bytes\": {}, \
+             \"bandwidth_ratio\": {:.4}, \"elapsed_ms\": {:.2} }}",
+            self.backend,
+            self.layer,
+            self.value_size,
+            self.objects,
+            self.helpers,
+            self.bytes_total,
+            self.bytes_per_object(),
+            self.fallback_bytes,
+            self.bandwidth_ratio(),
+            self.elapsed_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RepairBandwidth {
+        RepairBandwidth {
+            backend: "MBR".into(),
+            layer: "L2".into(),
+            value_size: 1024,
+            objects: 8,
+            helpers: 4,
+            bytes_total: 4000,
+            fallback_bytes: 20_000,
+            elapsed_ms: 3.25,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r = sample();
+        assert_eq!(r.bytes_per_object(), 500.0);
+        assert!((r.bandwidth_ratio() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cases_are_well_defined() {
+        let mut r = sample();
+        r.objects = 0;
+        r.fallback_bytes = 0;
+        assert_eq!(r.bytes_per_object(), 0.0);
+        assert_eq!(r.bandwidth_ratio(), 1.0);
+    }
+
+    #[test]
+    fn json_row_has_the_schema_fields() {
+        let row = sample().json_row();
+        for field in [
+            "\"backend\"",
+            "\"layer\"",
+            "\"value_size\"",
+            "\"objects\"",
+            "\"helpers\"",
+            "\"repair_bytes_total\"",
+            "\"bytes_per_object\"",
+            "\"fallback_bytes\"",
+            "\"bandwidth_ratio\"",
+            "\"elapsed_ms\"",
+        ] {
+            assert!(row.contains(field), "missing {field} in {row}");
+        }
+    }
+}

@@ -324,6 +324,62 @@ fn l1_metadata_and_storage_stay_bounded_over_sustained_run() {
     }
 }
 
+/// Regression test for cross-client admission fairness on a bounded-inbox
+/// cluster: a greedy pipelined client hammering `try_submit_*` must not
+/// starve a blocking client. Freed budget is granted in waiter-queue order,
+/// so after the blocking client's first refusal the greedy one is held back
+/// until the blocking client has had its turn.
+#[test]
+fn greedy_pipelined_client_cannot_starve_a_blocking_one() {
+    let cluster = Cluster::start_with(
+        params(),
+        BackendKind::Replication,
+        ClusterOptions {
+            inbox_cap: Some(1), // a single admission slot per partition
+            ..ClusterOptions::default()
+        },
+    );
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    // The greedy client: re-submits the moment anything completes, across a
+    // pool of objects, through the never-queueing try_submit path.
+    let greedy = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = cluster.client_with_depth(8);
+            let mut submitted = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                for obj in 100..108u64 {
+                    if client.try_submit_write(obj, b"greedy traffic").is_ok() {
+                        submitted += 1;
+                    }
+                }
+                let _ = client.poll().expect("greedy poll");
+            }
+            let _ = client.wait_all();
+            submitted
+        })
+    };
+    // The blocking client: sequential writes that must all complete within
+    // the timeout despite the greedy competition for the single slot.
+    let mut blocking = cluster.client();
+    blocking.set_timeout(Duration::from_secs(20));
+    for i in 0..25u64 {
+        blocking
+            .write(7, format!("blocking {i}").into_bytes())
+            .expect("blocking client starved by greedy pipelined client");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let greedy_submitted = greedy.join().unwrap();
+    assert!(
+        greedy_submitted > 0,
+        "greedy client made progress too (fairness, not lockout)"
+    );
+    assert_eq!(blocking.read(7).unwrap(), b"blocking 24".to_vec());
+    drop(blocking);
+    cluster.shutdown();
+}
+
 #[test]
 fn distinct_objects_are_independent() {
     let cluster = Cluster::start(params(), BackendKind::Mbr);
