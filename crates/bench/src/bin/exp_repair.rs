@@ -1,8 +1,8 @@
 //! `exp_repair` — bandwidth and latency of **online node repair**.
 //!
-//! Writes a population of objects into a live threaded [`Cluster`], crashes
-//! one L2 server, keeps a writer streaming in the background, regenerates
-//! the crashed server online through [`Cluster::repair_l2`], and records how
+//! Writes a population of objects into a live threaded store, crashes one
+//! L2 server, keeps a writer streaming in the background, regenerates the
+//! crashed server online through the [`Admin`] control plane, and records how
 //! many bytes each helper actually shipped versus the full-element
 //! decode-and-re-encode fallback — the paper's core claim that layering L2
 //! behind an MBR regenerating code makes node repair cheap (`β = element/α`
@@ -21,10 +21,10 @@
 //!     [--objects N]    objects written before the crash (overrides preset)
 //! ```
 
-use lds_bench::{print_table, today_utc};
-use lds_cluster::{Cluster, RepairReport};
+use lds_bench::{print_table, today_utc, SCHEMA_VERSION};
+use lds_cluster::api::{ObjectId, ServerRef, Store, StoreBuilder};
+use lds_cluster::{Admin, RepairReport};
 use lds_core::backend::BackendKind;
-use lds_core::params::SystemParams;
 use lds_workload::repair::RepairBandwidth;
 use lds_workload::ValueGenerator;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -135,61 +135,64 @@ fn main() {
 }
 
 /// Runs one sweep point: populate, crash, repair under live writes, record.
+/// Built and driven entirely through the `Store` facade ([`StoreBuilder`],
+/// the generic [`Store`] data plane and the [`Admin`] control plane).
 fn run_point(cfg: Config, objects: u64) -> RepairBandwidth {
     // d = 5 ⇒ α = 5 for MBR: the repair helper is 1/5 of an element, so the
     // bandwidth gap is clearly visible. PM-MSR needs d ≥ 2k − 2 (5 ≥ 4).
-    let params = SystemParams::for_failures(1, 1, 3, 5).expect("validated parameters");
-    let cluster = Cluster::start(params, cfg.backend);
-    let mut client = cluster.client_with_depth(16);
+    let store = StoreBuilder::new()
+        .failures(1, 1)
+        .code(3, 5)
+        .backend(cfg.backend)
+        .build()
+        .expect("validated sweep configuration");
+    let admin: Admin = store.admin();
+    let mut client = store.client_with_depth(16);
     client.set_timeout(Duration::from_secs(60));
     let mut values = ValueGenerator::new(cfg.value_size, 7);
     for obj in 0..objects {
-        client.submit_write(obj, values.next_value());
+        client.submit_write_value(ObjectId(obj), values.next_value().into());
     }
     client.wait_all().expect("population writes complete");
 
-    let target = 1usize;
-    if cfg.l1 {
-        cluster.kill_l1(target);
+    let target = if cfg.l1 {
+        ServerRef::l1(1)
     } else {
-        cluster.kill_l2(target);
-    }
+        ServerRef::l2(1)
+    };
+    admin.kill(target).expect("in-range crash target");
 
     // Keep a writer streaming to disjoint objects while the repair runs, so
     // the recorded latency is an *online* repair, not a quiesced one.
     let stop = Arc::new(AtomicBool::new(false));
     let background = {
-        let cluster = Arc::clone(&cluster);
+        let store = store.clone();
         let stop = Arc::clone(&stop);
         let value_size = cfg.value_size;
         std::thread::spawn(move || {
-            let mut client = cluster.client();
+            let mut client = store.client();
             client.set_timeout(Duration::from_secs(60));
             let mut values = ValueGenerator::new(value_size, 11);
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 client
-                    .write(1_000 + (i % 8), values.next_value())
+                    .write(ObjectId(1_000 + (i % 8)), &values.next_value())
                     .expect("background write survives the repair window");
                 i += 1;
             }
         })
     };
 
-    let report: RepairReport = if cfg.l1 {
-        cluster.repair_l1(target).expect("online L1 repair")
-    } else {
-        cluster.repair_l2(target).expect("online L2 repair")
-    };
+    let report: RepairReport = admin.repair(target).expect("online repair");
     stop.store(true, Ordering::Relaxed);
     background.join().expect("background writer");
 
     // The repaired server must serve traffic again.
     client
-        .write(0, values.next_value())
+        .write(ObjectId(0), &values.next_value())
         .expect("write after repair");
     drop(client);
-    cluster.shutdown();
+    store.shutdown();
 
     RepairBandwidth {
         backend: cfg.backend.to_string(),
@@ -260,6 +263,7 @@ fn render_json(results: &[RepairBandwidth], objects: u64, smoke: bool) -> String
         "    \"command\": \"cargo run --release -p lds-bench --bin exp_repair{}\",\n",
         if smoke { " -- --smoke" } else { "" }
     ));
+    out.push_str(&format!("    \"schema_version\": {SCHEMA_VERSION},\n"));
     out.push_str(&format!("    \"generated\": \"{}\",\n", today_utc()));
     out.push_str(
         "    \"params\": \"f1=1 f2=1 k=3 d=5 (n1=5, n2=7, alpha=5); one cluster per \

@@ -1,10 +1,9 @@
 //! `exp_throughput` — end-to-end ops/sec of the threaded cluster runtime.
 //!
-//! Drives closed-loop clients (each keeping up to `depth` operations in
-//! flight through the pipelined [`lds_cluster::ClusterClient`] API) against
-//! a real multi-threaded [`Cluster`] — or, on the multi-cluster axis,
-//! against a [`ShardedCluster`] of several independent L1/L2 groups behind
-//! the [`lds_cluster::ShardedClient`] facade — sweeping
+//! Drives closed-loop clients — written ONCE against the unified
+//! [`Store`] trait, so the same `drive_client` code runs over a single
+//! [`lds_cluster::Cluster`] and over a sharded multi-cluster deployment;
+//! the topology is just the builder's `clusters` axis — sweeping
 //! `clients × pipeline depth × server shards × cluster shards × backend`,
 //! and records ops/sec with p50/p99 latency to `BENCH_CLUSTER.json`.
 //!
@@ -28,15 +27,11 @@
 //!     [--clusters N]    cluster shards on the multi-cluster points (default 2)
 //! ```
 
-use lds_bench::{fmt3, print_table, today_utc};
-use lds_cluster::{
-    Cluster, ClusterClient, ClusterOptions, Completion, ShardedClient, ShardedCluster,
-};
+use lds_bench::{fmt3, print_table, today_utc, SCHEMA_VERSION};
+use lds_cluster::api::{ObjectId, Store, StoreBuilder};
 use lds_core::backend::BackendKind;
-use lds_core::params::SystemParams;
 use lds_workload::throughput::{LatencyRecorder, ThroughputSummary};
 use lds_workload::ValueGenerator;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Protocol-cost profile of a sweep point.
@@ -45,7 +40,7 @@ enum Profile {
     /// Paper-faithful message flow (relayed broadcast, every server
     /// offloads, values gc'ed after offload, L2 acks on).
     Faithful,
-    /// [`ClusterOptions::high_throughput`]: every protocol-cost knob flipped
+    /// [`StoreBuilder::high_throughput`]: every protocol-cost knob flipped
     /// towards fewer messages per operation.
     Tuned,
 }
@@ -66,7 +61,7 @@ struct Config {
     clients: usize,
     depth: usize,
     shards: usize,
-    /// Independent cluster shards behind the facade (1 = plain [`Cluster`]).
+    /// Independent cluster shards behind the facade (1 = a single cluster).
     clusters: usize,
     profile: Profile,
 }
@@ -247,114 +242,33 @@ fn main() {
     println!("\nwrote {} ({} bytes)", out_path, written.len());
 }
 
-/// One deployment under test: a single cluster or a sharded facade.
-enum Deployment {
-    Single(Arc<Cluster>),
-    Sharded(Arc<ShardedCluster>),
-}
-
-impl Deployment {
-    fn client_with_depth(&self, depth: usize) -> BenchClient {
-        match self {
-            Deployment::Single(c) => BenchClient::Single(Box::new(c.client_with_depth(depth))),
-            Deployment::Sharded(s) => BenchClient::Sharded(Box::new(s.client_with_depth(depth))),
-        }
-    }
-
-    fn shutdown(&self) {
-        match self {
-            Deployment::Single(c) => c.shutdown(),
-            Deployment::Sharded(s) => s.shutdown(),
-        }
-    }
-}
-
-/// The subset of the client API the closed loop needs, over either handle.
-enum BenchClient {
-    Single(Box<ClusterClient>),
-    Sharded(Box<ShardedClient>),
-}
-
-impl BenchClient {
-    fn set_timeout(&mut self, timeout: Duration) {
-        match self {
-            BenchClient::Single(c) => c.set_timeout(timeout),
-            BenchClient::Sharded(c) => c.set_timeout(timeout),
-        }
-    }
-
-    fn pending_ops(&self) -> usize {
-        match self {
-            BenchClient::Single(c) => c.pending_ops(),
-            BenchClient::Sharded(c) => c.pending_ops(),
-        }
-    }
-
-    fn submit_write(&mut self, obj: u64, value: Vec<u8>) {
-        match self {
-            BenchClient::Single(c) => {
-                c.submit_write(obj, value);
-            }
-            BenchClient::Sharded(c) => {
-                c.submit_write(obj, value);
-            }
-        }
-    }
-
-    fn submit_read(&mut self, obj: u64) {
-        match self {
-            BenchClient::Single(c) => {
-                c.submit_read(obj);
-            }
-            BenchClient::Sharded(c) => {
-                c.submit_read(obj);
-            }
-        }
-    }
-
-    fn wait_next(&mut self) -> Result<Vec<Completion>, lds_cluster::ClientError> {
-        match self {
-            BenchClient::Single(c) => c.wait_next(),
-            BenchClient::Sharded(c) => c.wait_next(),
-        }
-    }
-}
-
-/// Runs one sweep point and returns its merged summary.
+/// Runs one sweep point and returns its merged summary. The deployment is
+/// built through the `StoreBuilder` facade: the sweep's `clusters` axis is
+/// exactly the builder's `clusters(n)` axis, and the same
+/// [`lds_cluster::api::StoreHandle`] / generic [`drive_client`] pair covers
+/// both topologies.
 fn run_point(cfg: Config, workload: Workload) -> ThroughputSummary {
-    let params = SystemParams::for_failures(1, 1, 2, 3).expect("validated parameters");
     // The sweep's shard dimension is the L1 layer, where all mutable protocol
     // state lives; L2 servers are nearly stateless per message, so extra L2
     // threads only add scheduling overhead.
-    let options = match cfg.profile {
-        Profile::Faithful => ClusterOptions {
-            l1_shards: cfg.shards,
-            l2_shards: 1,
-            ..ClusterOptions::default()
-        },
-        Profile::Tuned => ClusterOptions {
-            l2_shards: 1,
-            ..ClusterOptions::high_throughput(cfg.shards)
-        },
+    let builder = StoreBuilder::new().failures(1, 1).code(2, 3);
+    let builder = match cfg.profile {
+        Profile::Faithful => builder.paper_faithful().l1_shards(cfg.shards),
+        Profile::Tuned => builder.high_throughput(cfg.shards).l2_shards(1),
     };
-    let deployment = if cfg.clusters > 1 {
-        Deployment::Sharded(ShardedCluster::start_with(
-            cfg.clusters,
-            params,
-            cfg.backend,
-            options,
-        ))
-    } else {
-        Deployment::Single(Cluster::start_with(params, cfg.backend, options))
-    };
-    let deployment = Arc::new(deployment);
+    let store = builder
+        .backend(cfg.backend)
+        .clusters(cfg.clusters)
+        .build()
+        .expect("validated sweep configuration");
     let start = Instant::now();
     let mut handles = Vec::with_capacity(cfg.clients);
     for c in 0..cfg.clients {
-        let deployment = Arc::clone(&deployment);
+        let store = store.clone();
         let seed = c as u64 + 1;
         handles.push(std::thread::spawn(move || {
-            drive_client(&deployment, cfg.depth, workload, seed)
+            let mut client = store.client_with_depth(cfg.depth);
+            drive_client(&mut client, cfg.depth, workload, seed)
         }));
     }
     let mut rec = LatencyRecorder::new();
@@ -362,20 +276,20 @@ fn run_point(cfg: Config, workload: Workload) -> ThroughputSummary {
         rec.merge(&h.join().expect("client thread"));
     }
     let elapsed = start.elapsed();
-    deployment.shutdown();
+    store.shutdown();
     rec.summarize(elapsed)
 }
 
 /// One closed-loop client: keeps the pipeline full (up to `depth`
 /// outstanding operations, alternating writes and reads over a shared
-/// object pool) until its quota completes.
-fn drive_client(
-    deployment: &Deployment,
+/// object pool) until its quota completes. Generic over [`Store`], so the
+/// exact same loop measures every topology.
+fn drive_client<S: Store>(
+    client: &mut S,
     depth: usize,
     workload: Workload,
     seed: u64,
 ) -> LatencyRecorder {
-    let mut client = deployment.client_with_depth(depth);
     client.set_timeout(Duration::from_secs(60));
     let mut values = ValueGenerator::new(workload.value_size, seed);
     let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -384,9 +298,9 @@ fn drive_client(
     let mut completed = 0usize;
     while completed < workload.ops_per_client {
         while issued < workload.ops_per_client && client.pending_ops() < depth {
-            let obj = xorshift(&mut rng) % workload.objects;
+            let obj = ObjectId(xorshift(&mut rng) % workload.objects);
             if issued.is_multiple_of(2) {
-                client.submit_write(obj, values.next_value());
+                client.submit_write_value(obj, values.next_value().into());
             } else {
                 client.submit_read(obj);
             }
@@ -521,6 +435,7 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
         "    \"command\": \"cargo run --release -p lds-bench --bin exp_throughput{}\",\n",
         if smoke { " -- --smoke" } else { "" }
     ));
+    out.push_str(&format!("    \"schema_version\": {SCHEMA_VERSION},\n"));
     out.push_str(&format!("    \"generated\": \"{}\",\n", today_utc()));
     out.push_str(&format!("    \"host_cores\": {},\n", host_cores()));
     out.push_str(
@@ -534,6 +449,17 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
          d=5, plan-cache hit path), ns per full 7-element offload before -> after: \
          64 B: 1963 -> 1633 (-17%), 256 B: 2297 -> 2145 (-7%), 1 KiB: 6628 -> 6159 \
          (-7%).\",\n",
+    );
+    out.push_str(
+        "    \"mbr_tiny_symbol_note\": \"PR 5 (MBR tuned-profile gap, part 2): matrix \
+         applications at symbol_len <= 32 now run through one gathered table-loop kernel \
+         call (lds_gf::bulk::apply_small, dispatched inside lds_codes::linear::apply_into) \
+         instead of one fused-kernel dispatch per output symbol, removing the per-symbol \
+         dispatch overhead that dominated symbol_len ~ 1 encodes. criterion \
+         small_value_offload (n1=5 n2=7 d=5, plan-cache hit path), ns per full 7-element \
+         span offload before -> after: 16 B: 1567 -> 810 (-48%), 64 B: 1717 -> 1013 \
+         (-41%), 256 B: 2546 -> 1842 (-28%); 1 KiB values (symbol_len = 86) stay on the \
+         vector path and are unchanged.\",\n",
     );
     out.push_str(&format!(
         "    \"workload\": \"50/50 write/read, uniform over {} objects, {}-byte values, {} \

@@ -69,6 +69,19 @@ pub fn fmt3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Version of the recorded `BENCH_*.json` schema, asserted by the CI smoke
+/// checks and by a CI check over the committed files, so a future change to
+/// the recorded fields fails loudly instead of silently breaking consumers
+/// of the JSON. The `exp_throughput` and `exp_repair` writers stamp it into
+/// `_meta.schema_version` themselves; `BENCH_CODES.json` is post-processed
+/// by hand from criterion JSON lines (see its `_meta.command`), so whoever
+/// regenerates it must carry the stamp forward — CI refuses the file
+/// without it.
+///
+/// History: 1 = the unversioned PR 2–4 layout (implicit); 2 = identical
+/// layout plus this explicit stamp.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm —
 /// no date crate offline). Stamped into the `_meta.generated` field of every
 /// recorded `BENCH_*.json`.

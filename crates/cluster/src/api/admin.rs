@@ -1,0 +1,409 @@
+//! The `Admin` control plane: crash injection, online repair, liveness,
+//! inbox-depth probes and metrics, consolidated behind one handle.
+//!
+//! Before this facade, the control plane was scattered across ad-hoc methods
+//! (`kill_l1`/`kill_l2`, `repair_l1`/`repair_l2` duplicated on both
+//! `Cluster` and `ShardedCluster`, `l1_is_live`, `metadata_entries` and
+//! inbox-depth probes) with the shard dimension handled differently per
+//! call. [`Admin`] addresses every server with one [`ServerRef`] — layer,
+//! index and (on a sharded topology) cluster shard — and is the single seam
+//! a future failure detector drives: observe [`Admin::liveness`], decide,
+//! call [`Admin::repair`].
+
+use crate::api::{StoreError, Topo, Topology};
+use crate::node::Cluster;
+use crate::repair::{RepairLayer, RepairReport};
+use crate::sharded::ShardedCluster;
+use std::fmt;
+use std::sync::Arc;
+
+/// Addresses one server process of a deployment: layer + layer index, plus
+/// the cluster shard on sharded topologies (defaults to shard 0).
+///
+/// ```rust
+/// use lds_cluster::api::ServerRef;
+/// use lds_cluster::RepairLayer;
+///
+/// let edge = ServerRef::l1(3);
+/// assert_eq!((edge.layer, edge.index, edge.cluster), (RepairLayer::L1, 3, 0));
+/// let backend = ServerRef::l2(1).in_cluster(2);
+/// assert_eq!((backend.layer, backend.index, backend.cluster), (RepairLayer::L2, 1, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerRef {
+    /// The cluster shard hosting the server (always 0 on a single cluster).
+    pub cluster: usize,
+    /// The server's layer.
+    pub layer: RepairLayer,
+    /// The server's index within its layer (`0..n1` or `0..n2`).
+    pub index: usize,
+}
+
+impl ServerRef {
+    /// The L1 (edge) server with layer index `index`, in cluster shard 0.
+    pub fn l1(index: usize) -> ServerRef {
+        ServerRef {
+            cluster: 0,
+            layer: RepairLayer::L1,
+            index,
+        }
+    }
+
+    /// The L2 (back-end) server with layer index `index`, in cluster shard 0.
+    pub fn l2(index: usize) -> ServerRef {
+        ServerRef {
+            cluster: 0,
+            layer: RepairLayer::L2,
+            index,
+        }
+    }
+
+    /// The same server in cluster shard `cluster` of a sharded topology.
+    pub fn in_cluster(mut self, cluster: usize) -> ServerRef {
+        self.cluster = cluster;
+        self
+    }
+}
+
+impl fmt::Display for ServerRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]@cluster{}", self.layer, self.index, self.cluster)
+    }
+}
+
+/// Liveness of every server, per cluster shard (see [`Admin::liveness`]).
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `l1[c][j]` is true iff L1 server `j` of cluster shard `c` is live.
+    pub l1: Vec<Vec<bool>>,
+    /// `l2[c][i]` is true iff L2 server `i` of cluster shard `c` is live.
+    pub l2: Vec<Vec<bool>>,
+}
+
+impl Liveness {
+    /// Whether every server of every cluster shard is live.
+    pub fn all_live(&self) -> bool {
+        self.l1.iter().chain(self.l2.iter()).flatten().all(|&b| b)
+    }
+
+    /// Crashed servers, as [`ServerRef`]s — the work list a failure detector
+    /// would hand to [`Admin::repair`].
+    pub fn crashed(&self) -> Vec<ServerRef> {
+        let collect =
+            |layers: &[Vec<bool>], layer: RepairLayer| {
+                layers
+                    .iter()
+                    .enumerate()
+                    .flat_map(move |(c, servers)| {
+                        servers.iter().enumerate().filter(|(_, &live)| !live).map(
+                            move |(index, _)| ServerRef {
+                                cluster: c,
+                                layer,
+                                index,
+                            },
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+        let mut crashed = collect(&self.l1, RepairLayer::L1);
+        crashed.extend(collect(&self.l2, RepairLayer::L2));
+        crashed
+    }
+}
+
+/// A point-in-time snapshot of the deployment's occupancy metrics (see
+/// [`Admin::metrics`]). All values are aggregated across every cluster
+/// shard; per-server breakdowns come from [`Admin::inbox_depths`] and
+/// [`Admin::liveness`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Independent cluster shards in the deployment.
+    pub clusters: usize,
+    /// Per-tag metadata entries across every L1 server (bounded over long
+    /// runs by committed-tag garbage collection).
+    pub l1_metadata_entries: usize,
+    /// Bytes of values in L1 temporary storage across every server.
+    pub l1_temporary_bytes: usize,
+    /// Messages currently queued across every L1 worker-shard inbox.
+    pub l1_inbox_depth: usize,
+    /// The largest queue length any single L1 worker-shard inbox has ever
+    /// reached.
+    pub max_l1_inbox_depth: usize,
+    /// Client operations currently admitted across every L1 partition
+    /// (bounded-inbox deployments only; zero otherwise).
+    pub admitted_ops: usize,
+    /// Live L1 servers (out of `clusters × n1`).
+    pub live_l1: usize,
+    /// Live L2 servers (out of `clusters × n2`).
+    pub live_l2: usize,
+    /// Successful online repairs since the store started.
+    pub repairs_completed: usize,
+}
+
+/// The consolidated control plane of a store: one handle for crash
+/// injection ([`Admin::kill`]), online repair ([`Admin::repair`]), liveness
+/// ([`Admin::liveness`]), inbox-depth probes and a [`MetricsSnapshot`] —
+/// over both topologies, with the shard dimension carried by [`ServerRef`].
+///
+/// Obtained from [`StoreHandle::admin`](crate::api::StoreHandle::admin) (or
+/// `Cluster::admin` / `ShardedCluster::admin` on the engine types).
+/// Cheaply cloneable; all methods take `&self`.
+///
+/// ```rust
+/// use lds_cluster::api::{ServerRef, Store, StoreBuilder};
+///
+/// let store = StoreBuilder::new().backend(lds_core::BackendKind::Mbr).build().unwrap();
+/// let admin = store.admin();
+/// let mut client = store.client();
+/// client.write(0.into(), b"survives a repair").unwrap();
+///
+/// admin.kill(ServerRef::l2(1)).unwrap();
+/// assert!(!admin.liveness().all_live());
+/// let report = admin.repair(ServerRef::l2(1)).unwrap();
+/// assert!(report.objects >= 1);
+/// assert!(admin.liveness().all_live());
+/// assert_eq!(admin.metrics().repairs_completed, 1);
+/// store.shutdown();
+/// ```
+#[derive(Clone)]
+pub struct Admin {
+    topo: Topo,
+}
+
+impl Admin {
+    pub(crate) fn for_cluster(cluster: Arc<Cluster>) -> Admin {
+        Admin {
+            topo: Topo::Single(cluster),
+        }
+    }
+
+    pub(crate) fn for_sharded(sharded: Arc<ShardedCluster>) -> Admin {
+        Admin {
+            topo: Topo::Sharded(sharded),
+        }
+    }
+
+    /// The deployment's topology.
+    pub fn topology(&self) -> Topology {
+        match &self.topo {
+            Topo::Single(_) => Topology::Single,
+            Topo::Sharded(s) => Topology::Sharded {
+                clusters: s.shard_count(),
+            },
+        }
+    }
+
+    /// Every cluster shard, in shard-index order — the one topology fan-out
+    /// every probe below iterates.
+    fn shards(&self) -> Vec<&Arc<Cluster>> {
+        match &self.topo {
+            Topo::Single(c) => vec![c],
+            Topo::Sharded(s) => (0..s.shard_count()).map(|c| s.shard(c)).collect(),
+        }
+    }
+
+    /// Number of cluster shards this admin oversees.
+    pub fn clusters(&self) -> usize {
+        match &self.topo {
+            Topo::Single(_) => 1,
+            Topo::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    fn cluster(&self, server: ServerRef) -> Result<&Cluster, StoreError> {
+        let clusters = self.clusters();
+        if server.cluster >= clusters {
+            return Err(StoreError::InvalidConfig(format!(
+                "server {server} names cluster shard {} of a {clusters}-shard deployment",
+                server.cluster
+            )));
+        }
+        Ok(match &self.topo {
+            Topo::Single(c) => c,
+            Topo::Sharded(s) => s.shard(server.cluster),
+        })
+    }
+
+    fn check_index(&self, server: ServerRef) -> Result<(), StoreError> {
+        let cluster = self.cluster(server)?;
+        let n = match server.layer {
+            RepairLayer::L1 => cluster.params().n1(),
+            RepairLayer::L2 => cluster.params().n2(),
+        };
+        if server.index >= n {
+            return Err(StoreError::InvalidConfig(format!(
+                "server {server} is out of range: the {} layer has {n} servers",
+                server.layer
+            )));
+        }
+        Ok(())
+    }
+
+    /// Crash-kills `server`: every worker shard stops. The server can later
+    /// be regenerated online with [`Admin::repair`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidConfig`] if `server` names a cluster shard or
+    /// index outside the deployment.
+    pub fn kill(&self, server: ServerRef) -> Result<(), StoreError> {
+        self.check_index(server)?;
+        self.cluster(server)?
+            .kill_server(server.layer, server.index);
+        Ok(())
+    }
+
+    /// Regenerates the crashed `server` **online**, restoring its cluster's
+    /// failure budget while client traffic keeps flowing:
+    ///
+    /// * an **L1** replacement reconstructs its metadata (committed tags and
+    ///   lists) from every live L1 peer and catches up in-flight writes from
+    ///   the normal PUT-DATA stream;
+    /// * an **L2** replacement regenerates every object's coded element from
+    ///   any `repair_threshold` live helpers — at MBR repair bandwidth
+    ///   (`β`-sized helper symbols, a `1/α` traffic saving) when the backend
+    ///   is MBR, by decode-and-re-encode otherwise — while absorbing
+    ///   in-flight WRITE-CODE-ELEM traffic.
+    ///
+    /// Blocks until the replacement reports completion. The returned
+    /// [`RepairReport`] records the bytes moved per helper and the
+    /// full-element fallback comparison; it is also appended to the log
+    /// behind [`Admin::repair_reports`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidConfig`] for an out-of-range reference;
+    /// [`StoreError::Repair`] wrapping [`crate::RepairError::NotCrashed`],
+    /// [`crate::RepairError::RepairInProgress`],
+    /// [`crate::RepairError::TooFewHelpers`] or
+    /// [`crate::RepairError::Timeout`] (the target returns to the crashed
+    /// state).
+    pub fn repair(&self, server: ServerRef) -> Result<RepairReport, StoreError> {
+        self.check_index(server)?;
+        Ok(self
+            .cluster(server)?
+            .repair_server(server.layer, server.index)?)
+    }
+
+    /// Whether `server` is live (never killed, or killed and successfully
+    /// repaired).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidConfig`] for an out-of-range reference.
+    pub fn is_live(&self, server: ServerRef) -> Result<bool, StoreError> {
+        self.check_index(server)?;
+        Ok(self
+            .cluster(server)?
+            .server_is_live(server.layer, server.index))
+    }
+
+    /// Liveness of every server of every cluster shard — the observation a
+    /// failure detector feeds back into [`Admin::repair`] (see
+    /// [`Liveness::crashed`]).
+    pub fn liveness(&self) -> Liveness {
+        let per_cluster = |cluster: &Cluster| {
+            let params = cluster.params();
+            let l1 = (0..params.n1())
+                .map(|j| cluster.server_is_live(RepairLayer::L1, j))
+                .collect();
+            let l2 = (0..params.n2())
+                .map(|i| cluster.server_is_live(RepairLayer::L2, i))
+                .collect();
+            (l1, l2)
+        };
+        let (l1, l2) = self.shards().into_iter().map(|c| per_cluster(c)).unzip();
+        Liveness { l1, l2 }
+    }
+
+    /// Messages currently queued per L1 server inbox: `depths[c][j]` is the
+    /// queue length of L1 server `j` in cluster shard `c` (summed over its
+    /// worker shards). A persistently deep inbox identifies the saturated
+    /// server behind [`StoreError::WouldBlock`] refusals.
+    pub fn inbox_depths(&self) -> Vec<Vec<usize>> {
+        let per_cluster = |cluster: &Cluster| {
+            (0..cluster.params().n1())
+                .map(|j| cluster.l1_inbox_depth(j))
+                .collect::<Vec<_>>()
+        };
+        self.shards().into_iter().map(|c| per_cluster(c)).collect()
+    }
+
+    /// Client operations currently admitted per L1 key partition (bounded
+    /// deployments only; all zeros otherwise): `admitted[c][p]` is the
+    /// budget in use on partition `p` of cluster shard `c`. Never exceeds
+    /// the configured inbox cap.
+    pub fn admitted_ops(&self) -> Vec<Vec<usize>> {
+        let per_cluster = |cluster: &Cluster| {
+            (0..cluster.options().l1_shards)
+                .map(|p| cluster.l1_admitted_ops(p))
+                .collect::<Vec<_>>()
+        };
+        self.shards().into_iter().map(|c| per_cluster(c)).collect()
+    }
+
+    /// The largest queue length any single worker-shard inbox of each L1
+    /// server has ever reached: `depths[c][j]` for server `j` of cluster
+    /// shard `c`. On bounded deployments the stress tests assert this
+    /// against `inbox_cap × msgs_per_op_bound × 2`.
+    pub fn max_inbox_depths(&self) -> Vec<Vec<usize>> {
+        let per_cluster = |cluster: &Cluster| {
+            (0..cluster.params().n1())
+                .map(|j| cluster.l1_max_inbox_depth(j))
+                .collect::<Vec<_>>()
+        };
+        self.shards().into_iter().map(|c| per_cluster(c)).collect()
+    }
+
+    /// Reports of every successful online repair since the store started —
+    /// in completion order *within each cluster shard*, with the per-shard
+    /// logs concatenated in shard-index order (repairs of different shards
+    /// are independent and carry no global ordering).
+    pub fn repair_reports(&self) -> Vec<RepairReport> {
+        self.shards()
+            .into_iter()
+            .flat_map(|c| c.repair_log())
+            .collect()
+    }
+
+    /// A point-in-time aggregate of the deployment's occupancy and health
+    /// metrics — the payload a metrics endpoint would export.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let clusters = self.shards();
+        let mut snapshot = MetricsSnapshot {
+            clusters: clusters.len(),
+            l1_metadata_entries: 0,
+            l1_temporary_bytes: 0,
+            l1_inbox_depth: 0,
+            max_l1_inbox_depth: 0,
+            admitted_ops: 0,
+            live_l1: 0,
+            live_l2: 0,
+            repairs_completed: 0,
+        };
+        for cluster in clusters {
+            let params = cluster.params();
+            snapshot.l1_metadata_entries += cluster.total_l1_metadata_entries();
+            snapshot.l1_temporary_bytes += cluster.total_l1_temporary_bytes();
+            for j in 0..params.n1() {
+                snapshot.l1_inbox_depth += cluster.l1_inbox_depth(j);
+                snapshot.max_l1_inbox_depth = snapshot
+                    .max_l1_inbox_depth
+                    .max(cluster.l1_max_inbox_depth(j));
+                if cluster.server_is_live(RepairLayer::L1, j) {
+                    snapshot.live_l1 += 1;
+                }
+            }
+            for shard in 0..cluster.options().l1_shards {
+                snapshot.admitted_ops += cluster.l1_admitted_ops(shard);
+            }
+            for i in 0..params.n2() {
+                if cluster.server_is_live(RepairLayer::L2, i) {
+                    snapshot.live_l2 += 1;
+                }
+            }
+            snapshot.repairs_completed += cluster.repair_log().len();
+        }
+        snapshot
+    }
+}

@@ -1,0 +1,262 @@
+//! The fluent `StoreBuilder`: one validated construction path for every
+//! topology and profile.
+
+use crate::api::{StoreError, StoreHandle, Topo};
+use crate::node::{Cluster, ClusterOptions};
+use crate::sharded::ShardedCluster;
+use lds_core::backend::BackendKind;
+use lds_core::params::SystemParams;
+use lds_core::server1::L1Options;
+use lds_core::server2::L2Options;
+
+/// Fluent, validating builder for a running LDS store.
+///
+/// Replaces the forked construction paths (`Cluster::start_with` /
+/// `ShardedCluster::start_with` with hand-assembled `ClusterOptions` /
+/// `L1Options` / `L2Options` literals) with one chain that picks the
+/// concrete topology from a single [`clusters`](StoreBuilder::clusters)
+/// axis and validates the *whole* configuration at
+/// [`build()`](StoreBuilder::build) time — invalid quorum arithmetic,
+/// impossible code parameters and zero-sized knobs are reported as
+/// [`StoreError::InvalidConfig`] before any thread is spawned, instead of
+/// panicking mid-boot.
+///
+/// Defaults: `f1 = f2 = 1`, `k = 2`, `d = 3` (the smallest symmetric test
+/// deployment, `n1 = 4`, `n2 = 5`), MBR backend, one cluster, one worker
+/// shard per server, paper-faithful message flow, pipeline depth 16,
+/// unbounded inboxes.
+///
+/// ```rust
+/// use lds_cluster::api::{Store, StoreBuilder, StoreError};
+/// use lds_core::BackendKind;
+///
+/// // A two-cluster high-throughput deployment.
+/// let store = StoreBuilder::new()
+///     .failures(1, 1)
+///     .code(2, 3)
+///     .backend(BackendKind::Mbr)
+///     .high_throughput(2)
+///     .clusters(2)
+///     .build()
+///     .unwrap();
+/// let mut client = store.client();
+/// client.write(42.into(), b"built fluently").unwrap();
+/// store.shutdown();
+///
+/// // Impossible quorum arithmetic (the MBR code needs k ≤ d) is rejected
+/// // at build() time, before any thread is spawned.
+/// let err = StoreBuilder::new().failures(1, 1).code(5, 3).build().unwrap_err();
+/// assert!(matches!(err, StoreError::InvalidConfig(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBuilder {
+    f1: usize,
+    f2: usize,
+    k: usize,
+    d: usize,
+    explicit_params: Option<SystemParams>,
+    backend: BackendKind,
+    clusters: usize,
+    l1_shards: usize,
+    l2_shards: usize,
+    pipeline_depth: usize,
+    inbox_cap: Option<usize>,
+    l1: L1Options,
+    l2: L2Options,
+}
+
+impl Default for StoreBuilder {
+    fn default() -> Self {
+        StoreBuilder {
+            f1: 1,
+            f2: 1,
+            k: 2,
+            d: 3,
+            explicit_params: None,
+            backend: BackendKind::Mbr,
+            clusters: 1,
+            l1_shards: 1,
+            l2_shards: 1,
+            pipeline_depth: 16,
+            inbox_cap: None,
+            l1: L1Options::default(),
+            l2: L2Options::default(),
+        }
+    }
+}
+
+impl StoreBuilder {
+    /// Starts a builder with the default small MBR deployment (see the
+    /// [type docs](StoreBuilder)).
+    pub fn new() -> StoreBuilder {
+        StoreBuilder::default()
+    }
+
+    /// Sets the per-layer crash-fault tolerances: each cluster tolerates
+    /// `f1` L1 and `f2` L2 crashes (layer sizes are derived as
+    /// `n1 = 2·f1 + k`, `n2 = 2·f2 + d`).
+    pub fn failures(mut self, f1: usize, f2: usize) -> StoreBuilder {
+        self.f1 = f1;
+        self.f2 = f2;
+        self.explicit_params = None;
+        self
+    }
+
+    /// Sets the regenerating code's reconstruction threshold `k` and repair
+    /// degree `d` (the paper requires `k ≤ d`; validated at `build()`).
+    pub fn code(mut self, k: usize, d: usize) -> StoreBuilder {
+        self.k = k;
+        self.d = d;
+        self.explicit_params = None;
+        self
+    }
+
+    /// Uses already-validated [`SystemParams`] verbatim instead of the
+    /// `failures`/`code` axes.
+    pub fn params(mut self, params: SystemParams) -> StoreBuilder {
+        self.explicit_params = Some(params);
+        self
+    }
+
+    /// Sets the erasure-code backend (default: [`BackendKind::Mbr`], the
+    /// paper's design).
+    pub fn backend(mut self, backend: BackendKind) -> StoreBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Paper-faithful message flow (the default): relayed COMMIT-TAG
+    /// broadcast, every server offloads, values garbage-collected after
+    /// offload, L2 write acks on — the exact cost accounting of the paper.
+    /// Resets any previous [`high_throughput`](StoreBuilder::high_throughput)
+    /// profile but keeps topology, depth and bounded-inbox settings.
+    pub fn paper_faithful(mut self) -> StoreBuilder {
+        self.l1 = L1Options::default();
+        self.l2 = L2Options::default();
+        self
+    }
+
+    /// The high-throughput profile: every protocol-cost knob flipped
+    /// towards fewer messages per operation (direct COMMIT-TAG broadcast,
+    /// inline self-delivery, committed-value caching, `f1 + 1` offloaders,
+    /// no L2 write acks) plus `shards` worker shards per server and pipeline
+    /// depth 32. Paper-exact cost accounting is traded away; atomicity is
+    /// not (covered by the cluster stress tests).
+    pub fn high_throughput(mut self, shards: usize) -> StoreBuilder {
+        let profile = ClusterOptions::high_throughput(shards);
+        self.l1 = profile.l1;
+        self.l2 = profile.l2;
+        self.l1_shards = profile.l1_shards;
+        self.l2_shards = profile.l2_shards;
+        self.pipeline_depth = profile.pipeline_depth;
+        self
+    }
+
+    /// Worker shards per server, both layers: each shard owns a disjoint
+    /// partition of the key space inside its server, so independent keys
+    /// are processed in parallel within one node. `1` reproduces the
+    /// original single-threaded servers.
+    pub fn shards(mut self, shards: usize) -> StoreBuilder {
+        self.l1_shards = shards;
+        self.l2_shards = shards;
+        self
+    }
+
+    /// Worker shards per L1 server only (L1 holds all mutable protocol
+    /// state, so it is usually the layer worth sharding).
+    pub fn l1_shards(mut self, shards: usize) -> StoreBuilder {
+        self.l1_shards = shards;
+        self
+    }
+
+    /// Worker shards per L2 server only.
+    pub fn l2_shards(mut self, shards: usize) -> StoreBuilder {
+        self.l2_shards = shards;
+        self
+    }
+
+    /// Independent cluster shards — the scale-out topology axis. `1` (the
+    /// default) builds a single [`Cluster`]; `n > 1` builds a
+    /// [`ShardedCluster`] of `n` fully independent L1/L2 memberships with
+    /// keys placed by consistent hash ([`crate::cluster_of`]).
+    pub fn clusters(mut self, clusters: usize) -> StoreBuilder {
+        self.clusters = clusters;
+        self
+    }
+
+    /// Default maximum number of operations a client created by
+    /// [`StoreHandle::client`](crate::api::StoreHandle::client) keeps in
+    /// flight.
+    pub fn pipeline_depth(mut self, depth: usize) -> StoreBuilder {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Bounded-inbox mode: at most `cap` client operations admitted
+    /// concurrently per L1 key partition (per cluster shard). A saturated
+    /// partition makes [`crate::api::Store::try_submit_write`] /
+    /// [`crate::api::Store::try_submit_read`] return
+    /// [`StoreError::WouldBlock`] instead of queueing without limit.
+    pub fn inbox_cap(mut self, cap: usize) -> StoreBuilder {
+        self.inbox_cap = Some(cap);
+        self
+    }
+
+    /// Validates the whole configuration and boots the deployment.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidConfig`] if the quorum arithmetic is impossible
+    /// (`f1 ≥ n1/2`, `f2 ≥ n2/3`, `k > d`, …), the backend cannot be
+    /// constructed for the derived code parameters (e.g. product-matrix MSR
+    /// needs `d ≥ 2k − 2`), or a zero shard / cluster / depth / cap was
+    /// requested. Nothing is spawned on error.
+    pub fn build(self) -> Result<StoreHandle, StoreError> {
+        let params = match self.explicit_params {
+            Some(params) => params,
+            None => SystemParams::for_failures(self.f1, self.f2, self.k, self.d)?,
+        };
+        if self.clusters == 0 {
+            return Err(StoreError::InvalidConfig(
+                "at least one cluster shard is required".into(),
+            ));
+        }
+        if self.l1_shards == 0 || self.l2_shards == 0 {
+            return Err(StoreError::InvalidConfig(
+                "worker shard counts must be at least 1".into(),
+            ));
+        }
+        if self.pipeline_depth == 0 {
+            return Err(StoreError::InvalidConfig(
+                "pipeline depth must be at least 1".into(),
+            ));
+        }
+        if self.inbox_cap == Some(0) {
+            return Err(StoreError::InvalidConfig(
+                "inbox_cap must be at least 1 when set".into(),
+            ));
+        }
+        let options = ClusterOptions {
+            l1_shards: self.l1_shards,
+            l2_shards: self.l2_shards,
+            l1: self.l1,
+            l2: self.l2,
+            pipeline_depth: self.pipeline_depth,
+            inbox_cap: self.inbox_cap,
+        };
+        let topo = if self.clusters > 1 {
+            Topo::Sharded(ShardedCluster::launch(
+                self.clusters,
+                params,
+                self.backend,
+                options,
+            )?)
+        } else {
+            Topo::Single(Cluster::launch(params, self.backend, options)?)
+        };
+        Ok(StoreHandle {
+            topo,
+            backend: self.backend,
+        })
+    }
+}

@@ -1,0 +1,257 @@
+//! The unified data-plane trait: one `Store` interface over every topology.
+//!
+//! [`Store`] captures the full client-facing read/write interface of the LDS
+//! system — the paper's "one client-facing register" framing — so code
+//! written against it runs unchanged over a single [`Cluster`]
+//! ([`crate::ClusterClient`]), a [`crate::ShardedCluster`]
+//! ([`crate::ShardedClient`]) or the topology-erased
+//! [`StoreClient`](crate::api::StoreClient) produced by
+//! [`StoreHandle::client`](crate::api::StoreHandle::client).
+
+use crate::api::{ObjectId, StoreError};
+use crate::client::{ClusterClient, Completion, OpTicket};
+use crate::sharded::ShardedClient;
+use lds_core::tag::Tag;
+use lds_core::value::Value;
+use std::time::Duration;
+
+/// The unified LDS data plane: blocking `write`/`read` plus the pipelined
+/// `submit`/`try_submit`/`poll`/`wait` family, with typed [`ObjectId`] keys
+/// and borrowed `&[u8]` values, over any topology.
+///
+/// Implemented by [`ClusterClient`] (one `n1 + n2` membership),
+/// [`crate::ShardedClient`] (N independent memberships behind a consistent
+/// hash) and [`StoreClient`](crate::api::StoreClient) (either, chosen at
+/// [`StoreBuilder::build`](crate::api::StoreBuilder::build) time) — so every
+/// example, bench and test can be generic over where the bytes actually
+/// live.
+///
+/// # Semantics
+///
+/// Operations on the *same* key execute in submission order (FIFO per key,
+/// one in flight at a time), which preserves per-writer tag monotonicity and
+/// read-your-writes for a client's own submissions; operations on distinct
+/// keys overlap freely. Every completed write is atomic ("linearizable"):
+/// the multi-writer multi-reader register semantics of the paper, per key.
+///
+/// # Example
+///
+/// ```rust
+/// use lds_cluster::api::{ObjectId, Store, StoreBuilder};
+///
+/// /// Generic over topology: works against any `Store` implementation.
+/// fn smoke<S: Store>(client: &mut S) {
+///     let tag = client.write(ObjectId(7), b"hello").unwrap();
+///     assert_eq!(client.last_tag(), Some(tag));
+///     assert_eq!(client.read(ObjectId(7)).unwrap(), b"hello");
+/// }
+///
+/// let store = StoreBuilder::new().build().unwrap();
+/// smoke(&mut store.client());
+/// store.shutdown();
+/// ```
+pub trait Store {
+    /// Writes `value` to `key`, blocking until the write is atomic-committed,
+    /// and returns the tag the writer minted. The value is framed once
+    /// internally; callers keep ownership of their bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Timeout`] if the operation does not complete in time
+    /// (e.g. too many servers crashed; every outstanding operation of the
+    /// handle is aborted) or [`StoreError::Disconnected`] after shutdown.
+    fn write(&mut self, key: ObjectId, value: &[u8]) -> Result<Tag, StoreError>;
+
+    /// Reads `key`, blocking until the read completes, and returns the value.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::write`].
+    fn read(&mut self, key: ObjectId) -> Result<Vec<u8>, StoreError>;
+
+    /// Enqueues a write of `value` to `key` and returns its ticket
+    /// immediately. The operation starts as soon as a pipeline slot is free,
+    /// no earlier operation on `key` is outstanding and (on a bounded store)
+    /// the key's partition has admission budget; until then it waits in the
+    /// client-local queue. For backpressure that refuses instead of queueing
+    /// use [`Store::try_submit_write`].
+    fn submit_write(&mut self, key: ObjectId, value: &[u8]) -> OpTicket;
+
+    /// Enqueues a write of an already-framed [`Value`] — the zero-copy
+    /// submission path for callers that own (or share) their payload: a
+    /// `Value` holds its bytes behind an `Arc`, so nothing is copied. The
+    /// `&[u8]`-taking [`Store::submit_write`] is a thin wrapper that frames
+    /// the borrowed bytes into a `Value` once.
+    fn submit_write_value(&mut self, key: ObjectId, value: Value) -> OpTicket;
+
+    /// Enqueues a read of `key` and returns its ticket immediately.
+    fn submit_read(&mut self, key: ObjectId) -> OpTicket;
+
+    /// Starts a write right now or refuses with [`StoreError::WouldBlock`] —
+    /// never queues. Refusal means the pipeline is at depth, an earlier
+    /// operation on `key` is still outstanding, or the bounded store's
+    /// admission budget for `key`'s partition is exhausted (the responsible
+    /// servers are saturated: back off).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::WouldBlock`] on refusal; nothing was enqueued.
+    fn try_submit_write(&mut self, key: ObjectId, value: &[u8]) -> Result<OpTicket, StoreError>;
+
+    /// Starts a read right now or refuses with [`StoreError::WouldBlock`] —
+    /// never queues.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::try_submit_write`].
+    fn try_submit_read(&mut self, key: ObjectId) -> Result<OpTicket, StoreError>;
+
+    /// Processes every message that is already available without blocking
+    /// and returns the completions harvested so far (possibly empty).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Disconnected`] after shutdown.
+    fn poll(&mut self) -> Result<Vec<Completion>, StoreError>;
+
+    /// Blocks until the operation behind `ticket` completes and returns its
+    /// completion. Completions of other operations harvested along the way
+    /// are retained for later `poll`/`wait` calls.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownTicket`] if the ticket is not outstanding;
+    /// [`StoreError::Timeout`] (which aborts every outstanding operation) or
+    /// [`StoreError::Disconnected`] as for [`Store::write`].
+    fn wait(&mut self, ticket: OpTicket) -> Result<Completion, StoreError>;
+
+    /// Blocks until at least one completion is available (or nothing is
+    /// outstanding) and returns all harvested completions.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Timeout`] aborts every outstanding operation of this
+    /// handle; [`StoreError::Disconnected`] after shutdown.
+    fn wait_next(&mut self) -> Result<Vec<Completion>, StoreError>;
+
+    /// Blocks until every submitted operation has completed and returns all
+    /// harvested completions in ticket (submission) order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::wait_next`].
+    fn wait_all(&mut self) -> Result<Vec<Completion>, StoreError>;
+
+    /// Abandons every outstanding operation of this handle: queued
+    /// operations are dropped, in-flight state is cancelled, their tickets
+    /// are forgotten and admission tokens are returned. Already-harvested
+    /// completions are retained. The handle remains usable.
+    fn cancel_all(&mut self);
+
+    /// Sets the timeout for each blocking wait.
+    fn set_timeout(&mut self, timeout: Duration);
+
+    /// Operations submitted but not yet harvested: queued + in flight +
+    /// completed-but-unharvested.
+    fn pending_ops(&self) -> usize;
+
+    /// Operations currently dispatched into the protocol automata.
+    fn in_flight(&self) -> usize;
+
+    /// The maximum number of operations this handle keeps in flight.
+    fn depth(&self) -> usize;
+
+    /// The tag of this handle's most recently completed operation.
+    fn last_tag(&self) -> Option<Tag>;
+}
+
+/// Implements [`Store`] for an engine client type whose inherent methods
+/// already provide the whole data plane under raw-`u64` / owned-`Vec`
+/// signatures. Both engine clients get token-identical impls, so a new
+/// trait method is added in exactly one place.
+macro_rules! impl_store_for_engine_client {
+    ($client:ty) => {
+        impl Store for $client {
+            fn write(&mut self, key: ObjectId, value: &[u8]) -> Result<Tag, StoreError> {
+                let ticket = self.submit_write_value(key.raw(), Value::from(value));
+                match <$client>::wait(self, ticket)?.outcome {
+                    crate::OpOutcome::Write { tag } => Ok(tag),
+                    crate::OpOutcome::Read { .. } => {
+                        unreachable!("write ticket yielded a read outcome")
+                    }
+                }
+            }
+
+            fn read(&mut self, key: ObjectId) -> Result<Vec<u8>, StoreError> {
+                Ok(<$client>::read(self, key.raw())?)
+            }
+
+            fn submit_write(&mut self, key: ObjectId, value: &[u8]) -> OpTicket {
+                self.submit_write_value(key.raw(), Value::from(value))
+            }
+
+            fn submit_write_value(&mut self, key: ObjectId, value: Value) -> OpTicket {
+                <$client>::submit_write_value(self, key.raw(), value)
+            }
+
+            fn submit_read(&mut self, key: ObjectId) -> OpTicket {
+                <$client>::submit_read(self, key.raw())
+            }
+
+            fn try_submit_write(
+                &mut self,
+                key: ObjectId,
+                value: &[u8],
+            ) -> Result<OpTicket, StoreError> {
+                Ok(<$client>::try_submit_write(self, key.raw(), value)?)
+            }
+
+            fn try_submit_read(&mut self, key: ObjectId) -> Result<OpTicket, StoreError> {
+                Ok(<$client>::try_submit_read(self, key.raw())?)
+            }
+
+            fn poll(&mut self) -> Result<Vec<Completion>, StoreError> {
+                Ok(<$client>::poll(self)?)
+            }
+
+            fn wait(&mut self, ticket: OpTicket) -> Result<Completion, StoreError> {
+                Ok(<$client>::wait(self, ticket)?)
+            }
+
+            fn wait_next(&mut self) -> Result<Vec<Completion>, StoreError> {
+                Ok(<$client>::wait_next(self)?)
+            }
+
+            fn wait_all(&mut self) -> Result<Vec<Completion>, StoreError> {
+                Ok(<$client>::wait_all(self)?)
+            }
+
+            fn cancel_all(&mut self) {
+                <$client>::cancel_all(self);
+            }
+
+            fn set_timeout(&mut self, timeout: Duration) {
+                <$client>::set_timeout(self, timeout);
+            }
+
+            fn pending_ops(&self) -> usize {
+                <$client>::pending_ops(self)
+            }
+
+            fn in_flight(&self) -> usize {
+                <$client>::in_flight(self)
+            }
+
+            fn depth(&self) -> usize {
+                <$client>::depth(self)
+            }
+
+            fn last_tag(&self) -> Option<Tag> {
+                <$client>::last_tag(self)
+            }
+        }
+    };
+}
+
+impl_store_for_engine_client!(ClusterClient);
+impl_store_for_engine_client!(ShardedClient);

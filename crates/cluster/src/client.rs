@@ -125,6 +125,13 @@ impl OpOutcome {
     }
 }
 
+impl Completion {
+    /// The typed key of the object the operation acted on.
+    pub fn key(&self) -> ObjectId {
+        ObjectId(self.obj)
+    }
+}
+
 /// One harvested completion.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Completion {
@@ -284,7 +291,16 @@ impl ClusterClient {
     /// client-local queue. For backpressure that refuses instead of queueing
     /// use [`ClusterClient::try_submit_write`].
     pub fn submit_write(&mut self, obj: u64, value: Vec<u8>) -> OpTicket {
-        self.submit(ObjectId(obj), OpKind::Write(Value::new(value)))
+        self.submit_write_value(obj, Value::new(value))
+    }
+
+    /// Enqueues a write of an already-framed [`Value`] — the zero-copy
+    /// submission path: a `Value` holds its bytes behind an `Arc`, so
+    /// callers that already share the payload (or submit the same value to
+    /// several objects) hand it over without another copy. This is what the
+    /// [`crate::api::Store`] implementations build on.
+    pub fn submit_write_value(&mut self, obj: u64, value: Value) -> OpTicket {
+        self.submit(ObjectId(obj), OpKind::Write(value))
     }
 
     /// Enqueues a read of object `obj` and returns its ticket.
@@ -807,12 +823,13 @@ impl Drop for ClusterClient {
 mod tests {
     use super::*;
     use crate::node::ClusterOptions;
+    use crate::repair::RepairLayer;
     use lds_core::backend::BackendKind;
     use lds_core::params::SystemParams;
 
     fn small_cluster() -> Arc<Cluster> {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        Cluster::start(params, BackendKind::Mbr)
+        Cluster::launch(params, BackendKind::Mbr, ClusterOptions::default()).unwrap()
     }
 
     #[test]
@@ -842,8 +859,8 @@ mod tests {
     fn tolerates_allowed_failures() {
         let cluster = small_cluster();
         let mut client = cluster.client();
-        cluster.kill_l1(0);
-        cluster.kill_l2(4);
+        cluster.kill_server(RepairLayer::L1, 0);
+        cluster.kill_server(RepairLayer::L2, 4);
         client.write(3, b"still alive".to_vec()).unwrap();
         assert_eq!(client.read(3).unwrap(), b"still alive");
         cluster.shutdown();
@@ -855,9 +872,9 @@ mod tests {
         let mut client = cluster.client();
         client.set_timeout(Duration::from_millis(300));
         // f1 = 1 but we kill 3 of the 4 L1 servers: quorums are unreachable.
-        cluster.kill_l1(0);
-        cluster.kill_l1(1);
-        cluster.kill_l1(2);
+        cluster.kill_server(RepairLayer::L1, 0);
+        cluster.kill_server(RepairLayer::L1, 1);
+        cluster.kill_server(RepairLayer::L1, 2);
         assert_eq!(
             client.write(0, b"doomed".to_vec()),
             Err(ClientError::Timeout)
@@ -969,7 +986,7 @@ mod tests {
     #[test]
     fn pipelined_client_on_sharded_cluster() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start_with(
+        let cluster = Cluster::launch(
             params,
             BackendKind::Mbr,
             ClusterOptions {
@@ -977,7 +994,8 @@ mod tests {
                 l2_shards: 2,
                 ..ClusterOptions::default()
             },
-        );
+        )
+        .unwrap();
         let mut client = cluster.client_with_depth(16);
         for round in 0..3u64 {
             for obj in 0..16u64 {
@@ -1043,14 +1061,15 @@ mod tests {
     #[test]
     fn poll_only_client_recovers_admission_after_budget_frees() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start_with(
+        let cluster = Cluster::launch(
             params,
             BackendKind::Replication,
             ClusterOptions {
                 inbox_cap: Some(1),
                 ..ClusterOptions::default()
             },
-        );
+        )
+        .unwrap();
         let mut holder = cluster.client_with_depth(4);
         let mut poller = cluster.client_with_depth(4);
         // The holder takes the partition's only admission slot and does not
@@ -1083,14 +1102,15 @@ mod tests {
     #[test]
     fn try_submit_hits_admission_cap_on_bounded_cluster() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start_with(
+        let cluster = Cluster::launch(
             params,
             BackendKind::Replication,
             ClusterOptions {
                 inbox_cap: Some(1),
                 ..ClusterOptions::default()
             },
-        );
+        )
+        .unwrap();
         // One partition (l1_shards = 1) with budget 1: with an op in flight,
         // a second client's submission on any object is refused.
         let mut a = cluster.client_with_depth(4);

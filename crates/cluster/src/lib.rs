@@ -36,70 +36,80 @@
 //!   clusters — each with its own L1/L2 group, router and failure budget —
 //!   behind a [`ShardedClient`] facade with the same pipelined API.
 //!
+//! # The public surface: the [`api`] module
+//!
+//! Applications program against the [`api`] facade — [`StoreBuilder`] to
+//! construct (one `clusters(n)` axis picks the topology, named profiles
+//! replace options literals, everything validated at `build()`), the
+//! [`Store`] trait for the data plane (typed [`ObjectId`] keys, borrowed
+//! `&[u8]` values, blocking and pipelined operation), and [`Admin`] for the
+//! control plane (crash injection, online repair, liveness, metrics). The
+//! engine types below remain public for tuning and inspection, but their
+//! old entry points (`Cluster::start*`, `ShardedCluster::start*`,
+//! `repair_l1/l2`, `kill_l1/l2`, `l1_is_live/l2_is_live`) are deprecated
+//! thin wrappers over the same internals.
+//!
 //! # Blocking usage
 //!
 //! ```rust
-//! use lds_cluster::Cluster;
-//! use lds_core::{params::SystemParams, BackendKind};
+//! use lds_cluster::api::{ObjectId, Store, StoreBuilder};
 //!
-//! let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-//! let cluster = Cluster::start(params, BackendKind::Mbr);
-//! let mut alice = cluster.client();
-//! let mut bob = cluster.client();
+//! let store = StoreBuilder::new().failures(1, 1).code(2, 3).build().unwrap();
+//! let mut alice = store.client();
+//! let mut bob = store.client();
 //!
-//! alice.write(0, b"hello from a real thread".to_vec()).unwrap();
-//! let value = bob.read(0).unwrap();
+//! alice.write(ObjectId(0), b"hello from a real thread").unwrap();
+//! let value = bob.read(ObjectId(0)).unwrap();
 //! assert_eq!(value, b"hello from a real thread");
-//! cluster.shutdown();
+//! store.shutdown();
 //! ```
 //!
 //! # Pipelined usage
 //!
-//! One client handle can keep up to `depth` operations in flight. Operations
-//! are submitted with [`ClusterClient::submit_write`] /
-//! [`ClusterClient::submit_read`], which return an [`OpTicket`] immediately;
-//! completions are harvested with [`ClusterClient::poll`] (non-blocking),
-//! [`ClusterClient::wait_next`] (block for the next batch),
-//! [`ClusterClient::wait`] (one ticket) or [`ClusterClient::wait_all`].
-//! Operations on the same object keep submission (FIFO) order — preserving
-//! per-writer tag monotonicity and read-your-writes — while operations on
-//! distinct objects overlap freely:
+//! One client handle can keep up to `depth` operations in flight.
+//! Operations are submitted with [`Store::submit_write`] /
+//! [`Store::submit_read`], which return an [`OpTicket`] immediately;
+//! completions are harvested with [`Store::poll`] (non-blocking),
+//! [`Store::wait_next`] (block for the next batch), [`Store::wait`] (one
+//! ticket) or [`Store::wait_all`]. Operations on the same object keep
+//! submission (FIFO) order — preserving per-writer tag monotonicity and
+//! read-your-writes — while operations on distinct objects overlap freely:
 //!
 //! ```rust
-//! use lds_cluster::{Cluster, ClusterOptions, OpOutcome};
-//! use lds_core::{params::SystemParams, BackendKind};
+//! use lds_cluster::api::{ObjectId, Store, StoreBuilder};
+//! use lds_cluster::OpOutcome;
 //!
-//! let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-//! let cluster = Cluster::start_with(
-//!     params,
-//!     BackendKind::Mbr,
-//!     ClusterOptions {
-//!         l1_shards: 2, // two worker shards per L1 server
-//!         ..ClusterOptions::default()
-//!     },
-//! );
-//! let mut client = cluster.client_with_depth(8);
+//! let store = StoreBuilder::new()
+//!     .l1_shards(2) // two worker shards per L1 server
+//!     .build()
+//!     .unwrap();
+//! let mut client = store.client_with_depth(8);
 //!
 //! let tickets: Vec<_> = (0..8u64)
-//!     .map(|obj| client.submit_write(obj, vec![obj as u8; 16]))
+//!     .map(|obj| client.submit_write(ObjectId(obj), &[obj as u8; 16]))
 //!     .collect();
 //! let completions = client.wait_all().unwrap();
 //! assert_eq!(completions.len(), tickets.len());
 //! for c in &completions {
 //!     assert!(matches!(c.outcome, OpOutcome::Write { .. }));
 //! }
-//! cluster.shutdown();
+//! store.shutdown();
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod client;
 pub mod node;
 pub mod repair;
 pub mod router;
 pub mod sharded;
 
+pub use api::{
+    Admin, Liveness, MetricsSnapshot, ObjectId, ServerRef, Store, StoreBuilder, StoreClient,
+    StoreError, StoreHandle, Topology,
+};
 pub use client::{ClientError, ClusterClient, Completion, OpOutcome, OpTicket, WouldBlock};
 pub use node::{msgs_per_op_bound, Cluster, ClusterOptions};
 pub use repair::{RepairError, RepairLayer, RepairReport};

@@ -22,7 +22,7 @@
 //! cross-shard stress tests).
 
 use crate::client::ClusterClient;
-use crate::repair::{repair_server, RepairError, RepairLayer, RepairReport};
+use crate::repair::{RepairError, RepairLayer, RepairReport};
 use crate::router::{DepthGauge, Envelope, Inbox, Router};
 use lds_core::backend::{make_backend, BackendCodec, BackendKind};
 use lds_core::membership::Membership;
@@ -449,8 +449,11 @@ pub struct Cluster {
     /// that races a *new* kill can tell the difference).
     killed: Mutex<HashMap<ProcessId, u64>>,
     /// Servers with a repair currently in progress (claimed by exactly one
-    /// coordinator at a time — see [`Cluster::repair_l1`]).
+    /// coordinator at a time — see [`crate::api::Admin::repair`]).
     repairing: Mutex<HashSet<ProcessId>>,
+    /// Reports of every successful repair, in completion order (exposed
+    /// through [`crate::api::Admin::repair_reports`]).
+    repair_log: Mutex<Vec<RepairReport>>,
     next_client: AtomicU64,
     started: Instant,
     options: ClusterOptions,
@@ -563,8 +566,14 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if the backend cannot be constructed for `params`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::StoreBuilder, which validates the whole \
+                configuration at build() time and returns a unified StoreHandle"
+    )]
     pub fn start(params: SystemParams, backend_kind: BackendKind) -> Arc<Cluster> {
-        Cluster::start_with(params, backend_kind, ClusterOptions::default())
+        Cluster::launch(params, backend_kind, ClusterOptions::default())
+            .expect("backend construction for validated parameters")
     }
 
     /// Starts the cluster: spawns `l1_shards` threads per L1 server and
@@ -574,15 +583,37 @@ impl Cluster {
     ///
     /// Panics if the backend cannot be constructed for `params` or a shard
     /// count is zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::StoreBuilder, which validates the whole \
+                configuration at build() time and returns a unified StoreHandle"
+    )]
     pub fn start_with(
         params: SystemParams,
         backend_kind: BackendKind,
         options: ClusterOptions,
     ) -> Arc<Cluster> {
+        Cluster::launch(params, backend_kind, options)
+            .expect("backend construction for validated parameters")
+    }
+
+    /// Engine entry point behind [`crate::api::StoreBuilder`] (and the
+    /// deprecated `start`/`start_with` wrappers): boots every server thread
+    /// and returns the shared handle, surfacing backend-construction
+    /// failures instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard count is zero (the builder validates this before
+    /// calling).
+    pub(crate) fn launch(
+        params: SystemParams,
+        backend_kind: BackendKind,
+        options: ClusterOptions,
+    ) -> Result<Arc<Cluster>, lds_codes::CodeError> {
         assert!(options.l1_shards > 0, "l1_shards must be at least 1");
         assert!(options.l2_shards > 0, "l2_shards must be at least 1");
-        let backend = make_backend(backend_kind, &params)
-            .expect("backend construction for validated parameters");
+        let backend = make_backend(backend_kind, &params)?;
         // Pre-warm the codec's memoized plans (decode / repair inversions for
         // the canonical quorums) so the first client operation runs at
         // steady-state speed.
@@ -648,7 +679,7 @@ impl Cluster {
             .inbox_cap
             .map(|cap| Admission::new(cap, options.l1_shards, &params, Arc::clone(&l1_inboxes)));
 
-        Arc::new(Cluster {
+        Ok(Arc::new(Cluster {
             params,
             membership,
             backend,
@@ -656,13 +687,14 @@ impl Cluster {
             handles: Mutex::new(handles),
             killed: Mutex::new(HashMap::new()),
             repairing: Mutex::new(HashSet::new()),
+            repair_log: Mutex::new(Vec::new()),
             next_client: AtomicU64::new(1),
             started,
             options,
             l1_stats,
             l1_inboxes,
             admission,
-        })
+        }))
     }
 
     /// The cluster's system parameters.
@@ -786,50 +818,106 @@ impl Cluster {
         ClusterClient::new(Arc::clone(self), client_id, pid, inbox, depth)
     }
 
-    /// Kills the L1 server with code index `index` (crash failure): every
-    /// shard stops. The server can later be regenerated online with
-    /// [`Cluster::repair_l1`].
+    /// Engine crash injection: stops every worker shard of the server with
+    /// layer index `index`. The server can later be regenerated online
+    /// through [`Cluster::repair_server`].
     ///
     /// # Panics
     ///
     /// Panics if the index is out of range.
-    pub fn kill_l1(&self, index: usize) {
-        let pid = self.membership.l1[index];
+    pub(crate) fn kill_server(&self, layer: RepairLayer, index: usize) {
+        let pid = match layer {
+            RepairLayer::L1 => self.membership.l1[index],
+            RepairLayer::L2 => self.membership.l2[index],
+        };
         *self.killed.lock().entry(pid).or_insert(0) += 1;
         self.router.send_stop(pid);
     }
 
-    /// Kills the L2 server with index `index` (crash failure): every shard
-    /// stops. The server can later be regenerated online with
-    /// [`Cluster::repair_l2`].
+    /// Whether the server with layer index `index` is live (never killed, or
+    /// killed and successfully repaired).
     ///
     /// # Panics
     ///
     /// Panics if the index is out of range.
+    pub(crate) fn server_is_live(&self, layer: RepairLayer, index: usize) -> bool {
+        let pid = match layer {
+            RepairLayer::L1 => self.membership.l1[index],
+            RepairLayer::L2 => self.membership.l2[index],
+        };
+        !self.killed.lock().contains_key(&pid)
+    }
+
+    /// Engine entry point for online repair of either layer: regenerates the
+    /// killed server `index` while client traffic keeps flowing and records
+    /// the report in the cluster's repair log. This is the single
+    /// implementation behind [`crate::api::Admin::repair`] and the
+    /// deprecated `repair_l1` / `repair_l2` wrappers of both [`Cluster`] and
+    /// [`crate::ShardedCluster`].
+    pub(crate) fn repair_server(
+        &self,
+        layer: RepairLayer,
+        index: usize,
+    ) -> Result<RepairReport, RepairError> {
+        let report = crate::repair::repair_server(self, layer, index)?;
+        self.repair_log.lock().push(report.clone());
+        Ok(report)
+    }
+
+    /// Successful repairs of this cluster so far, in completion order.
+    pub(crate) fn repair_log(&self) -> Vec<RepairReport> {
+        self.repair_log.lock().clone()
+    }
+
+    /// Kills the L1 server with code index `index` (crash failure): every
+    /// shard stops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::Admin::kill with ServerRef::l1(index)"
+    )]
+    pub fn kill_l1(&self, index: usize) {
+        self.kill_server(RepairLayer::L1, index);
+    }
+
+    /// Kills the L2 server with index `index` (crash failure): every shard
+    /// stops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::Admin::kill with ServerRef::l2(index)"
+    )]
     pub fn kill_l2(&self, index: usize) {
-        let pid = self.membership.l2[index];
-        *self.killed.lock().entry(pid).or_insert(0) += 1;
-        self.router.send_stop(pid);
+        self.kill_server(RepairLayer::L2, index);
     }
 
     /// Whether the L1 server with code index `index` is live (never killed,
     /// or killed and successfully repaired).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::Admin::is_live / Admin::liveness"
+    )]
     pub fn l1_is_live(&self, index: usize) -> bool {
-        !self.killed.lock().contains_key(&self.membership.l1[index])
+        self.server_is_live(RepairLayer::L1, index)
     }
 
     /// Whether the L2 server with index `index` is live.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::Admin::is_live / Admin::liveness"
+    )]
     pub fn l2_is_live(&self, index: usize) -> bool {
-        !self.killed.lock().contains_key(&self.membership.l2[index])
+        self.server_is_live(RepairLayer::L2, index)
     }
 
-    /// Regenerates the killed L1 server `index` **online**: a replacement
-    /// automaton rejoins under the same process id, reconstructs its
-    /// metadata (committed tags and lists) from every live L1 peer, catches
-    /// up in-flight writes from the normal PUT-DATA stream, and only then
-    /// goes live — restoring the `f1` failure budget. Blocks until the
-    /// replacement reports completion; concurrent client operations keep
-    /// running throughout.
+    /// Regenerates the killed L1 server `index` **online** (metadata
+    /// reconstruction from live peers), restoring the `f1` failure budget.
     ///
     /// # Errors
     ///
@@ -841,18 +929,17 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if the index is out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::Admin::repair with ServerRef::l1(index)"
+    )]
     pub fn repair_l1(&self, index: usize) -> Result<RepairReport, RepairError> {
-        repair_server(self, RepairLayer::L1, index)
+        self.repair_server(RepairLayer::L1, index)
     }
 
-    /// Regenerates the killed L2 server `index` **online**: a replacement
-    /// rejoins under the same process id and regenerates every object's
-    /// coded element from any [`lds_core::backend::BackendCodec::repair_threshold`]
-    /// live helpers — at MBR repair bandwidth (`β`-sized helper symbols)
-    /// when the backend is MBR, by decode-and-re-encode otherwise — while
-    /// absorbing in-flight WRITE-CODE-ELEM traffic, then goes live,
-    /// restoring the `f2` failure budget. The returned report records the
-    /// bytes moved per helper and the full-element fallback comparison.
+    /// Regenerates the killed L2 server `index` **online** at the backend's
+    /// repair bandwidth (MBR ships `β`-sized helper symbols), restoring the
+    /// `f2` failure budget.
     ///
     /// # Errors
     ///
@@ -861,8 +948,24 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if the index is out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::Admin::repair with ServerRef::l2(index)"
+    )]
     pub fn repair_l2(&self, index: usize) -> Result<RepairReport, RepairError> {
-        repair_server(self, RepairLayer::L2, index)
+        self.repair_server(RepairLayer::L2, index)
+    }
+
+    /// The control-plane handle for this cluster: crash injection, online
+    /// repair, liveness, inbox-depth probes and a metrics snapshot through
+    /// one [`crate::api::Admin`] facade.
+    pub fn admin(self: &Arc<Self>) -> crate::api::Admin {
+        crate::api::Admin::for_cluster(Arc::clone(self))
+    }
+
+    /// The backend kind this cluster encodes with.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// Stops every server thread and waits for them to exit.
@@ -959,10 +1062,48 @@ impl Cluster {
 mod tests {
     use super::*;
 
+    /// The deprecated pre-facade entry points must keep working until they
+    /// are removed — this is the ONE in-repo call site that exercises them
+    /// on purpose (everything else goes through `api::StoreBuilder` /
+    /// `api::Admin`; CI's `-D deprecated` step enforces that).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_compat_wrappers_still_work() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let cluster = Cluster::start(params, BackendKind::Replication);
+        let mut client = cluster.client();
+        client.write(0, b"compat".to_vec()).unwrap();
+        cluster.kill_l2(1);
+        assert!(!cluster.l2_is_live(1));
+        cluster.repair_l2(1).unwrap();
+        assert!(cluster.l2_is_live(1));
+        cluster.kill_l1(0);
+        assert!(!cluster.l1_is_live(0));
+        cluster.repair_l1(0).unwrap();
+        assert!(cluster.l1_is_live(0));
+        assert_eq!(client.read(0).unwrap(), b"compat");
+        drop(client);
+        cluster.shutdown();
+
+        let sharded = crate::ShardedCluster::start_with(
+            2,
+            params,
+            BackendKind::Replication,
+            ClusterOptions::default(),
+        );
+        let mut client = sharded.client();
+        client.write(3, b"sharded compat".to_vec()).unwrap();
+        sharded.shard(1).kill_l2(0);
+        sharded.repair_l2(1, 0).unwrap();
+        assert_eq!(client.read(3).unwrap(), b"sharded compat");
+        drop(client);
+        sharded.shutdown();
+    }
+
     #[test]
     fn cluster_starts_and_shuts_down() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start(params, BackendKind::Mbr);
+        let cluster = Cluster::launch(params, BackendKind::Mbr, ClusterOptions::default()).unwrap();
         assert_eq!(cluster.params().n1(), 4);
         assert_eq!(cluster.membership().n2(), 5);
         assert_eq!(cluster.router().len(), 9);
@@ -974,7 +1115,7 @@ mod tests {
     #[test]
     fn sharded_cluster_starts_and_shuts_down() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start_with(
+        let cluster = Cluster::launch(
             params,
             BackendKind::Mbr,
             ClusterOptions {
@@ -982,7 +1123,8 @@ mod tests {
                 l2_shards: 2,
                 ..ClusterOptions::default()
             },
-        );
+        )
+        .unwrap();
         // Shards do not change the process count.
         assert_eq!(cluster.router().len(), 9);
         let mut client = cluster.client();
@@ -996,7 +1138,8 @@ mod tests {
     #[test]
     fn stats_probes_publish_after_idle() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start(params, BackendKind::Replication);
+        let cluster =
+            Cluster::launch(params, BackendKind::Replication, ClusterOptions::default()).unwrap();
         let mut client = cluster.client();
         for i in 0..5u64 {
             client.write(i, vec![7u8; 64]).unwrap();
@@ -1012,7 +1155,7 @@ mod tests {
     #[test]
     fn kill_and_repair_l2_restores_budget() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start(params, BackendKind::Mbr);
+        let cluster = Cluster::launch(params, BackendKind::Mbr, ClusterOptions::default()).unwrap();
         let mut client = cluster.client();
         for obj in 0..4u64 {
             client
@@ -1021,15 +1164,17 @@ mod tests {
         }
         // A live server cannot be "repaired".
         assert!(matches!(
-            cluster.repair_l2(1),
+            cluster.repair_server(RepairLayer::L2, 1),
             Err(crate::RepairError::NotCrashed)
         ));
-        cluster.kill_l2(1);
-        assert!(!cluster.l2_is_live(1));
+        cluster.kill_server(RepairLayer::L2, 1);
+        assert!(!cluster.server_is_live(RepairLayer::L2, 1));
         client.write(9, b"during the outage".to_vec()).unwrap();
 
-        let report = cluster.repair_l2(1).expect("repair succeeds");
-        assert!(cluster.l2_is_live(1));
+        let report = cluster
+            .repair_server(RepairLayer::L2, 1)
+            .expect("repair succeeds");
+        assert!(cluster.server_is_live(RepairLayer::L2, 1));
         assert_eq!(report.index, 1);
         assert_eq!(report.helpers, 4);
         assert!(report.objects >= 1, "committed objects regenerated");
@@ -1040,7 +1185,7 @@ mod tests {
             report.fallback_bytes
         );
         // Budget restored: a *different* L2 crash is tolerated again.
-        cluster.kill_l2(3);
+        cluster.kill_server(RepairLayer::L2, 3);
         client.write(2, b"after repair".to_vec()).unwrap();
         assert_eq!(client.read(2).unwrap(), b"after repair");
         drop(client);
@@ -1050,28 +1195,31 @@ mod tests {
     #[test]
     fn kill_and_repair_l1_restores_budget() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start_with(
+        let cluster = Cluster::launch(
             params,
             BackendKind::Replication,
             ClusterOptions {
                 l1_shards: 2,
                 ..ClusterOptions::default()
             },
-        );
+        )
+        .unwrap();
         let mut client = cluster.client();
         for obj in 0..6u64 {
             client
                 .write(obj, format!("metadata {obj}").into_bytes())
                 .unwrap();
         }
-        cluster.kill_l1(0);
+        cluster.kill_server(RepairLayer::L1, 0);
         client.write(7, b"written while down".to_vec()).unwrap();
 
-        let report = cluster.repair_l1(0).expect("repair succeeds");
+        let report = cluster
+            .repair_server(RepairLayer::L1, 0)
+            .expect("repair succeeds");
         assert_eq!(report.layer, crate::RepairLayer::L1);
         assert!(report.objects >= 6, "all written objects reconstructed");
         // Budget restored: a different L1 crash is tolerated again.
-        cluster.kill_l1(2);
+        cluster.kill_server(RepairLayer::L1, 2);
         for obj in 0..6u64 {
             assert_eq!(
                 client.read(obj).unwrap(),
@@ -1085,19 +1233,20 @@ mod tests {
     #[test]
     fn concurrent_repairs_of_one_server_take_a_single_claim() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start(params, BackendKind::Replication);
+        let cluster =
+            Cluster::launch(params, BackendKind::Replication, ClusterOptions::default()).unwrap();
         let mut client = cluster.client();
         for obj in 0..3u64 {
             client.write(obj, vec![obj as u8; 32]).unwrap();
         }
-        cluster.kill_l2(2);
+        cluster.kill_server(RepairLayer::L2, 2);
         // Two coordinators race on the same repair: exactly one drives it;
         // the loser is refused (claim held) or finds the server already
         // repaired (claim released after the winner finished).
         let racers: Vec<_> = (0..2)
             .map(|_| {
                 let cluster = Arc::clone(&cluster);
-                std::thread::spawn(move || cluster.repair_l2(2))
+                std::thread::spawn(move || cluster.repair_server(RepairLayer::L2, 2))
             })
             .collect();
         let outcomes: Vec<_> = racers.into_iter().map(|h| h.join().unwrap()).collect();
@@ -1108,8 +1257,8 @@ mod tests {
             Err(crate::RepairError::RepairInProgress) | Err(crate::RepairError::NotCrashed)
         )));
         // The survivor is healthy: budget restored, traffic flows.
-        assert!(cluster.l2_is_live(2));
-        cluster.kill_l2(0);
+        assert!(cluster.server_is_live(RepairLayer::L2, 2));
+        cluster.kill_server(RepairLayer::L2, 0);
         client.write(9, b"post-race".to_vec()).unwrap();
         assert_eq!(client.read(9).unwrap(), b"post-race");
         drop(client);
@@ -1155,14 +1304,15 @@ mod tests {
     #[test]
     fn bounded_cluster_round_trips_and_tracks_admission() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start_with(
+        let cluster = Cluster::launch(
             params,
             BackendKind::Replication,
             ClusterOptions {
                 inbox_cap: Some(2),
                 ..ClusterOptions::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(cluster.inbox_cap(), Some(2));
         let mut client = cluster.client();
         for i in 0..6u64 {
@@ -1181,7 +1331,8 @@ mod tests {
     #[test]
     fn inbox_depth_probes_settle_to_zero() {
         let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
-        let cluster = Cluster::start(params, BackendKind::Replication);
+        let cluster =
+            Cluster::launch(params, BackendKind::Replication, ClusterOptions::default()).unwrap();
         let mut client = cluster.client();
         for i in 0..8u64 {
             client.submit_write(i, vec![3u8; 32]);

@@ -101,12 +101,18 @@ impl ShardedCluster {
     /// # Panics
     ///
     /// Panics if `clusters` is zero or the backend cannot be constructed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::StoreBuilder with .clusters(n), which \
+                validates the whole configuration at build() time"
+    )]
     pub fn start(
         clusters: usize,
         params: SystemParams,
         backend_kind: BackendKind,
     ) -> Arc<ShardedCluster> {
-        ShardedCluster::start_with(clusters, params, backend_kind, ClusterOptions::default())
+        ShardedCluster::launch(clusters, params, backend_kind, ClusterOptions::default())
+            .expect("backend construction for validated parameters")
     }
 
     /// Starts `clusters` independent clusters, each configured with
@@ -118,17 +124,40 @@ impl ShardedCluster {
     ///
     /// Panics if `clusters` is zero, a shard count in `options` is zero, or
     /// the backend cannot be constructed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::StoreBuilder with .clusters(n), which \
+                validates the whole configuration at build() time"
+    )]
     pub fn start_with(
         clusters: usize,
         params: SystemParams,
         backend_kind: BackendKind,
         options: ClusterOptions,
     ) -> Arc<ShardedCluster> {
+        ShardedCluster::launch(clusters, params, backend_kind, options)
+            .expect("backend construction for validated parameters")
+    }
+
+    /// Engine entry point behind [`crate::api::StoreBuilder`] (and the
+    /// deprecated `start`/`start_with` wrappers): boots `clusters`
+    /// independent clusters, surfacing backend-construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero or a shard count in `options` is zero
+    /// (the builder validates both before calling).
+    pub(crate) fn launch(
+        clusters: usize,
+        params: SystemParams,
+        backend_kind: BackendKind,
+        options: ClusterOptions,
+    ) -> Result<Arc<ShardedCluster>, lds_codes::CodeError> {
         assert!(clusters > 0, "at least one cluster shard is required");
         let shards = (0..clusters)
-            .map(|_| Cluster::start_with(params, backend_kind, options))
-            .collect();
-        Arc::new(ShardedCluster { shards, options })
+            .map(|_| Cluster::launch(params, backend_kind, options))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Arc::new(ShardedCluster { shards, options }))
     }
 
     /// Number of cluster shards.
@@ -152,40 +181,60 @@ impl ShardedCluster {
     }
 
     /// Regenerates the killed L1 server `index` of cluster shard `shard`
-    /// online (see [`Cluster::repair_l1`]); the shard's `f1` failure budget
-    /// is restored. Other shards are unaffected throughout.
+    /// online; the shard's `f1` failure budget is restored. Other shards are
+    /// unaffected throughout.
     ///
     /// # Errors
     ///
-    /// As for [`Cluster::repair_l1`].
+    /// As for the L1 arm of [`crate::api::Admin::repair`].
     ///
     /// # Panics
     ///
     /// Panics if either index is out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::Admin::repair with \
+                ServerRef::l1(index).in_cluster(shard)"
+    )]
     pub fn repair_l1(
         &self,
         shard: usize,
         index: usize,
     ) -> Result<crate::RepairReport, crate::RepairError> {
-        self.shards[shard].repair_l1(index)
+        self.shards[shard].repair_server(crate::RepairLayer::L1, index)
     }
 
     /// Regenerates the killed L2 server `index` of cluster shard `shard`
-    /// online at the backend's repair bandwidth (see [`Cluster::repair_l2`]).
+    /// online at the backend's repair bandwidth.
     ///
     /// # Errors
     ///
-    /// As for [`Cluster::repair_l2`].
+    /// As for the L2 arm of [`crate::api::Admin::repair`].
     ///
     /// # Panics
     ///
     /// Panics if either index is out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use lds_cluster::api::Admin::repair with \
+                ServerRef::l2(index).in_cluster(shard)"
+    )]
     pub fn repair_l2(
         &self,
         shard: usize,
         index: usize,
     ) -> Result<crate::RepairReport, crate::RepairError> {
-        self.shards[shard].repair_l2(index)
+        self.shards[shard].repair_server(crate::RepairLayer::L2, index)
+    }
+
+    /// The control-plane handle for this sharded deployment: crash
+    /// injection, online repair, liveness and metrics for every cluster
+    /// shard through one [`crate::api::Admin`] facade ([`ServerRef`]s carry
+    /// the shard index).
+    ///
+    /// [`ServerRef`]: crate::api::ServerRef
+    pub fn admin(self: &Arc<Self>) -> crate::api::Admin {
+        crate::api::Admin::for_sharded(Arc::clone(self))
     }
 
     /// The options every shard was started with.
@@ -341,8 +390,15 @@ impl ShardedClient {
     /// Enqueues a write of `value` to object `obj` on the owning shard and
     /// returns its facade ticket.
     pub fn submit_write(&mut self, obj: u64, value: Vec<u8>) -> OpTicket {
+        self.submit_write_value(obj, lds_core::value::Value::new(value))
+    }
+
+    /// Enqueues a write of an already-framed [`lds_core::value::Value`] —
+    /// the zero-copy submission path (see
+    /// [`crate::ClusterClient::submit_write_value`]).
+    pub fn submit_write_value(&mut self, obj: u64, value: lds_core::value::Value) -> OpTicket {
         let shard = self.shard_for(obj);
-        let inner = self.clients[shard].submit_write(obj, value);
+        let inner = self.clients[shard].submit_write_value(obj, value);
         self.map_ticket(shard, inner)
     }
 
@@ -611,7 +667,13 @@ mod tests {
 
     #[test]
     fn facade_routes_blocking_ops_to_owning_shards() {
-        let sharded = ShardedCluster::start(2, params(), BackendKind::Replication);
+        let sharded = ShardedCluster::launch(
+            2,
+            params(),
+            BackendKind::Replication,
+            ClusterOptions::default(),
+        )
+        .unwrap();
         let mut client = sharded.client();
         for obj in 0..8u64 {
             let tag = client
@@ -634,7 +696,9 @@ mod tests {
 
     #[test]
     fn facade_pipelines_across_shards_and_orders_tickets() {
-        let sharded = ShardedCluster::start(3, params(), BackendKind::Mbr);
+        let sharded =
+            ShardedCluster::launch(3, params(), BackendKind::Mbr, ClusterOptions::default())
+                .unwrap();
         let mut client = sharded.client_with_depth(12);
         for obj in 0..12u64 {
             client.submit_write(obj, format!("w{obj}").into_bytes());
@@ -665,7 +729,13 @@ mod tests {
 
     #[test]
     fn facade_wait_and_poll_mirror_cluster_client() {
-        let sharded = ShardedCluster::start(2, params(), BackendKind::Replication);
+        let sharded = ShardedCluster::launch(
+            2,
+            params(),
+            BackendKind::Replication,
+            ClusterOptions::default(),
+        )
+        .unwrap();
         let mut client = sharded.client_with_depth(8);
         let t0 = client.submit_write(0, b"a".to_vec());
         let t1 = client.submit_write(1, b"b".to_vec());
@@ -681,11 +751,13 @@ mod tests {
 
     #[test]
     fn facade_survives_tolerated_failures_per_shard() {
-        let sharded = ShardedCluster::start(2, params(), BackendKind::Mbr);
+        let sharded =
+            ShardedCluster::launch(2, params(), BackendKind::Mbr, ClusterOptions::default())
+                .unwrap();
         // Kill f1 = 1 L1 server in *each* shard: every partition still has
         // its quorums.
-        sharded.shard(0).kill_l1(0);
-        sharded.shard(1).kill_l1(3);
+        sharded.shard(0).kill_server(crate::RepairLayer::L1, 0);
+        sharded.shard(1).kill_server(crate::RepairLayer::L1, 3);
         let mut client = sharded.client();
         for obj in 0..6u64 {
             client.write(obj, b"resilient".to_vec()).unwrap();
@@ -697,7 +769,13 @@ mod tests {
 
     #[test]
     fn facade_wait_next_harvests_from_any_shard() {
-        let sharded = ShardedCluster::start(2, params(), BackendKind::Replication);
+        let sharded = ShardedCluster::launch(
+            2,
+            params(),
+            BackendKind::Replication,
+            ClusterOptions::default(),
+        )
+        .unwrap();
         let mut client = sharded.client_with_depth(8);
         for obj in 0..8u64 {
             client.submit_write(obj, vec![obj as u8; 8]);

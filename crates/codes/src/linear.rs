@@ -359,6 +359,15 @@ pub fn apply_into(
             dst.len()
         )));
     }
+    // Tiny symbols (small values framed into B ≈ symbol-per-byte pieces):
+    // one gathered kernel call for the whole product, so per-symbol dispatch
+    // overhead is paid once per matrix application instead of once per
+    // output symbol. This is the hot path of `encode_l2_elements_into` on
+    // symbol_len ≈ 1 values.
+    if symbol_len <= bulk::SMALL_SYMBOL_MAX {
+        bulk::apply_small(coeffs, src, symbol_len, dst);
+        return Ok(());
+    }
     dst.fill(0);
     let mut terms: Vec<(Gf256, &[u8])> = Vec::with_capacity(coeffs.cols());
     for (r, out) in dst.chunks_exact_mut(symbol_len).enumerate() {

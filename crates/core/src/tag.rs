@@ -16,6 +16,25 @@ impl fmt::Display for ObjectId {
     }
 }
 
+impl From<u64> for ObjectId {
+    fn from(raw: u64) -> Self {
+        ObjectId(raw)
+    }
+}
+
+impl From<ObjectId> for u64 {
+    fn from(id: ObjectId) -> Self {
+        id.0
+    }
+}
+
+impl ObjectId {
+    /// The raw numeric key.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// Identifier of a client (writer or reader).
 ///
 /// Client ids are totally ordered; they break ties between tags with equal

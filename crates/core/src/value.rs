@@ -50,6 +50,12 @@ impl From<Vec<u8>> for Value {
     }
 }
 
+impl From<Arc<Vec<u8>>> for Value {
+    fn from(bytes: Arc<Vec<u8>>) -> Self {
+        Value(bytes)
+    }
+}
+
 impl From<&[u8]> for Value {
     fn from(bytes: &[u8]) -> Self {
         Value::new(bytes.to_vec())

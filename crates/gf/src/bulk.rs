@@ -23,6 +23,7 @@
 //!   as the "before" side of the `codes` benchmark.
 
 use crate::field::{Gf256, EXP_TABLE, LOG_TABLE};
+use crate::matrix::Matrix;
 
 /// Builds the full multiplication table from the log/exp tables.
 const fn build_mul_table() -> [[u8; 256]; 256] {
@@ -388,6 +389,81 @@ mod x86 {
     }
 }
 
+/// Symbol lengths up to this many bytes go through [`apply_small`]'s gathered
+/// table loop instead of one [`mul_add_slices`] dispatch per output symbol.
+///
+/// At `symbol_len ≈ 1` the cost of a matrix application is dominated not by
+/// arithmetic but by per-symbol kernel overhead: length asserts, the runtime
+/// CPU-feature dispatch, and (on the vector paths) a per-group nibble-table
+/// broadcast with a temporary table list, each paid once *per output
+/// symbol*. Below this threshold the whole matrix is cheaper as one flat
+/// pass over the multiplication-table rows; above it the fused/vector
+/// kernels win on sheer byte throughput. The value is the measured
+/// crossover of the `small_value_offload` criterion group (MBR
+/// `encode_l2_elements_into`, k=3 d=5): at symbol lengths 22–32 the
+/// gathered loop still beats the vector kernel's per-symbol setup, while at
+/// `symbol_len ≈ 86` (1 KiB values) the vector path is already ahead.
+pub const SMALL_SYMBOL_MAX: usize = 32;
+
+/// Gathered tiny-symbol matrix application: `dst` receives `coeffs.rows()`
+/// output symbols of `symbol_len` bytes each, where output symbol `r` is
+/// `Σ_m coeffs[r][m] · src_symbol(m)` over the `coeffs.cols()` source
+/// symbols packed in `src`. `dst` is overwritten.
+///
+/// This is the `symbol_len ≈ 1` fast path of the coding stack (see
+/// [`SMALL_SYMBOL_MAX`]): *one* kernel call covers every output symbol of
+/// the product, so the per-call dispatch overhead that dominates tiny-value
+/// encodes — the remaining cost of the MBR `write-to-L2` path on small
+/// values — is paid once per matrix instead of once per symbol. Large
+/// symbols should keep using [`mul_add_slices`] per output symbol, which
+/// amortizes its dispatch over the symbol length and can use the vector
+/// units.
+///
+/// # Panics
+///
+/// Panics if `src` / `dst` lengths do not match
+/// `coeffs.cols() · symbol_len` / `coeffs.rows() · symbol_len`.
+pub fn apply_small(coeffs: &Matrix, src: &[u8], symbol_len: usize, dst: &mut [u8]) {
+    assert_eq!(
+        src.len(),
+        coeffs.cols() * symbol_len,
+        "apply_small source length mismatch"
+    );
+    assert_eq!(
+        dst.len(),
+        coeffs.rows() * symbol_len,
+        "apply_small destination length mismatch"
+    );
+    dst.fill(0);
+    if symbol_len == 0 {
+        return;
+    }
+    if symbol_len == 1 {
+        // The dominant tiny case: every symbol is one byte, so the whole
+        // product is a dense matrix-vector multiply over table rows.
+        for (r, out) in dst.iter_mut().enumerate() {
+            let mut acc = 0u8;
+            for (&c, &s) in coeffs.row(r).iter().zip(src) {
+                acc ^= MUL_TABLE[c.value() as usize][s as usize];
+            }
+            *out = acc;
+        }
+        return;
+    }
+    for (r, out) in dst.chunks_exact_mut(symbol_len).enumerate() {
+        for (m, &c) in coeffs.row(r).iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            let row = &MUL_TABLE[c.value() as usize];
+            let sym = &src[m * symbol_len..(m + 1) * symbol_len];
+            for (d, &s) in out.iter_mut().zip(sym) {
+                *d ^= row[s as usize];
+            }
+        }
+    }
+}
+
 /// Byte-at-a-time `dst[i] = c · src[i]` through the `Gf256` operators — the
 /// reference oracle for [`mul_slice`].
 ///
@@ -504,6 +580,39 @@ mod tests {
                 scalar_mul_add_slice(*c, s, &mut sequential);
             }
             assert_eq!(fused, sequential, "n_terms={n_terms}");
+        }
+    }
+
+    #[test]
+    fn apply_small_matches_per_symbol_kernels() {
+        // Dense-ish random matrix (includes zero and one coefficients) applied
+        // per symbol through the scalar oracle versus gathered in one call.
+        for (rows, cols) in [(1usize, 1usize), (3, 5), (5, 9), (8, 8)] {
+            let mut m = Matrix::zero(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    m[(r, c)] = Gf256::new(((r * 31 + c * 7) % 256) as u8);
+                }
+            }
+            for symbol_len in [0usize, 1, 2, 3, 7, 8] {
+                let src = sample(cols * symbol_len, 0x42);
+                let mut gathered = vec![0xCC; rows * symbol_len];
+                apply_small(&m, &src, symbol_len, &mut gathered);
+                let mut expected = vec![0u8; rows * symbol_len];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        scalar_mul_add_slice(
+                            m[(r, c)],
+                            &src[c * symbol_len..(c + 1) * symbol_len],
+                            &mut expected[r * symbol_len..(r + 1) * symbol_len],
+                        );
+                    }
+                }
+                assert_eq!(
+                    gathered, expected,
+                    "rows={rows} cols={cols} sl={symbol_len}"
+                );
+            }
         }
     }
 

@@ -1,20 +1,26 @@
-//! Running the *same* protocol automata on a real multi-threaded cluster:
-//! each server is an OS thread, clients issue synchronous reads and writes
-//! from several application threads, and a couple of servers are killed along
-//! the way.
+//! Running the *same* protocol automata on a real multi-threaded cluster
+//! through the `Store` facade: each server is an OS thread, clients issue
+//! synchronous reads and writes from several application threads, and a
+//! couple of servers are killed along the way via the `Admin` control
+//! plane.
 //!
 //! Run with: `cargo run --example cluster_deploy`
 
-use lds_cluster::Cluster;
+use lds_cluster::api::{ObjectId, ServerRef, Store, StoreBuilder};
 use lds_core::backend::BackendKind;
-use lds_core::params::SystemParams;
-use std::sync::Arc;
 
 fn main() {
-    let params = SystemParams::for_failures(1, 1, 3, 5).expect("valid parameters");
-    let cluster = Cluster::start(params, BackendKind::Mbr);
+    // 5 edge (L1) servers tolerating 1 crash, 7 back-end (L2) servers
+    // tolerating 1 crash; the derived MBR code has k = 3, d = 5.
+    let store = StoreBuilder::new()
+        .failures(1, 1)
+        .code(3, 5)
+        .backend(BackendKind::Mbr)
+        .build()
+        .expect("valid configuration");
+    let params = store.params();
     println!(
-        "started cluster: {} L1 threads + {} L2 threads",
+        "started store: {} L1 threads + {} L2 threads",
         params.n1(),
         params.n2()
     );
@@ -22,14 +28,14 @@ fn main() {
     // A few application threads hammer different objects concurrently.
     let mut handles = Vec::new();
     for t in 0..3u64 {
-        let cluster = Arc::clone(&cluster);
+        let store = store.clone();
         handles.push(std::thread::spawn(move || {
-            let mut client = cluster.client();
+            let mut client = store.client();
             for i in 0..5u64 {
-                let obj = t; // one object per thread
+                let key = ObjectId(t); // one object per thread
                 let value = format!("thread-{t} update-{i}").into_bytes();
-                let tag = client.write(obj, value).expect("write completes");
-                let read_back = client.read(obj).expect("read completes");
+                let tag = client.write(key, &value).expect("write completes");
+                let read_back = client.read(key).expect("read completes");
                 assert!(String::from_utf8_lossy(&read_back).starts_with(&format!("thread-{t}")));
                 if i == 2 {
                     println!("thread {t}: wrote update {i} with tag {tag}");
@@ -40,18 +46,20 @@ fn main() {
 
     // Crash one server in each layer while traffic is flowing.
     std::thread::sleep(std::time::Duration::from_millis(20));
-    cluster.kill_l1(0);
-    cluster.kill_l2(6);
+    let admin = store.admin();
+    admin.kill(ServerRef::l1(0)).unwrap();
+    admin.kill(ServerRef::l2(6)).unwrap();
     println!("killed one L1 server and one L2 server while clients were active");
+    assert_eq!(admin.liveness().crashed().len(), 2);
 
     for handle in handles {
         handle.join().expect("client thread succeeded");
     }
 
     // Final check from a fresh client.
-    let mut checker = cluster.client();
+    let mut checker = store.client();
     for t in 0..3u64 {
-        let value = checker.read(t).expect("read completes");
+        let value = checker.read(ObjectId(t)).expect("read completes");
         println!(
             "object {t}: final value = {:?}",
             String::from_utf8_lossy(&value)
@@ -59,6 +67,6 @@ fn main() {
         assert!(String::from_utf8_lossy(&value).contains("update-4"));
     }
 
-    cluster.shutdown();
-    println!("cluster shut down cleanly");
+    store.shutdown();
+    println!("store shut down cleanly");
 }

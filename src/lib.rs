@@ -45,21 +45,38 @@
 //! `BENCH_CODES.json` at the repository root records the measured effect
 //! (≈ 8–10× on MBR encode / decode at 64 KiB versus the scalar path).
 //!
-//! # The scale-out cluster runtime
+//! # The scale-out cluster runtime and the `Store` facade
 //!
 //! The [`cluster`] crate turns the same automata into a throughput-oriented
-//! deployment: pipelined clients ([`cluster::ClusterClient`]), per-object
-//! worker-shard servers, an epoch-swapped lock-free routing snapshot,
-//! batched COMMIT-TAG metadata broadcast (multi-message envelopes per peer
-//! per flush), bounded inboxes with backpressure
-//! ([`cluster::ClusterOptions::inbox_cap`] /
-//! [`cluster::ClusterClient::try_submit_write`]), and — beyond a single
-//! `n1 + n2` membership — **multi-cluster sharding**:
-//! [`cluster::ShardedCluster`] partitions the object space by consistent
-//! hash across N independent clusters behind one facade client with the
-//! same pipelined API. `BENCH_CLUSTER.json` records the measured ops/sec
-//! trajectory; `ARCHITECTURE.md` has the crate map and message-flow
-//! diagrams.
+//! deployment: pipelined clients, per-object worker-shard servers, an
+//! epoch-swapped lock-free routing snapshot, batched COMMIT-TAG metadata
+//! broadcast (multi-message envelopes per peer per flush), bounded inboxes
+//! with backpressure, online node repair at regenerating-code bandwidth,
+//! and — beyond a single `n1 + n2` membership — **multi-cluster sharding**
+//! by consistent hash across N independent clusters.
+//!
+//! Applications program against the [`cluster::api`] facade:
+//! [`cluster::api::StoreBuilder`] constructs a deployment (one
+//! `clusters(n)` axis picks the topology; named profiles replace options
+//! literals; everything is validated at `build()`), the
+//! [`cluster::api::Store`] trait is the unified data plane (typed
+//! [`cluster::api::ObjectId`] keys, borrowed `&[u8]` values, blocking +
+//! pipelined + non-blocking submission, one
+//! [`cluster::api::StoreError`] for every failure), and
+//! [`cluster::api::Admin`] is the control plane (crash injection, online
+//! repair, liveness, metrics). `BENCH_CLUSTER.json` records the measured
+//! ops/sec trajectory; `ARCHITECTURE.md` has the crate map and
+//! message-flow diagrams.
+//!
+//! ```rust
+//! use lds_storage::cluster::api::{ObjectId, Store, StoreBuilder};
+//!
+//! let store = StoreBuilder::new().build().unwrap();
+//! let mut client = store.client();
+//! client.write(ObjectId(1), b"one facade").unwrap();
+//! assert_eq!(client.read(ObjectId(1)).unwrap(), b"one facade");
+//! store.shutdown();
+//! ```
 //!
 //! # Quickstart
 //!

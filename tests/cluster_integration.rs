@@ -1,10 +1,12 @@
-//! Integration tests for the thread-based cluster runtime: the same automata
-//! that run in the simulator provide atomic storage over real threads and
-//! channels, under concurrency and crash failures — including the pipelined
-//! client API and per-object server sharding, in both the paper-faithful and
-//! the high-throughput cluster profiles.
+//! Integration tests for the thread-based cluster runtime, driven entirely
+//! through the `Store` facade: the same automata that run in the simulator
+//! provide atomic storage over real threads and channels, under concurrency
+//! and crash failures — including the pipelined client API and per-object
+//! server sharding, in both the paper-faithful and the high-throughput
+//! store profiles.
 
-use lds_cluster::{ClientError, Cluster, ClusterOptions, OpOutcome};
+use lds_cluster::api::{ObjectId, ServerRef, Store, StoreBuilder, StoreError, StoreHandle};
+use lds_cluster::OpOutcome;
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
 use lds_core::tag::Tag;
@@ -16,55 +18,65 @@ fn params() -> SystemParams {
     SystemParams::for_failures(1, 1, 2, 3).unwrap()
 }
 
-/// The two cluster profiles every stress test runs under: paper-faithful
+/// The two store profiles every stress test runs under: paper-faithful
 /// messaging and the high-throughput knob set, both sharded.
-fn stress_profiles() -> Vec<(&'static str, ClusterOptions)> {
+fn stress_profiles(backend: BackendKind) -> Vec<(&'static str, StoreHandle)> {
     vec![
         (
             "faithful",
-            ClusterOptions {
-                l1_shards: 2,
-                l2_shards: 2,
-                ..ClusterOptions::default()
-            },
+            StoreBuilder::new()
+                .params(params())
+                .backend(backend)
+                .paper_faithful()
+                .shards(2)
+                .build()
+                .unwrap(),
         ),
-        ("high-throughput", ClusterOptions::high_throughput(2)),
+        (
+            "high-throughput",
+            StoreBuilder::new()
+                .params(params())
+                .backend(backend)
+                .high_throughput(2)
+                .build()
+                .unwrap(),
+        ),
     ]
 }
 
 #[test]
 fn read_your_writes_across_clients() {
-    let cluster = Cluster::start(params(), BackendKind::Mbr);
-    let mut a = cluster.client();
-    let mut b = cluster.client();
+    let store = StoreBuilder::new().params(params()).build().unwrap();
+    let mut a = store.client();
+    let mut b = store.client();
     for i in 0..10u64 {
         let value = format!("generation {i}").into_bytes();
-        a.write(0, value.clone()).unwrap();
+        a.write(ObjectId(0), &value).unwrap();
         assert_eq!(
-            b.read(0).unwrap(),
+            b.read(ObjectId(0)).unwrap(),
             value,
             "a completed write is visible to every later read"
         );
     }
-    cluster.shutdown();
+    store.shutdown();
 }
 
 #[test]
 fn monotonic_reads_under_concurrent_writers() {
-    let cluster = Cluster::start(params(), BackendKind::Mbr);
+    let store = StoreBuilder::new().params(params()).build().unwrap();
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
 
     // Two writers race on the same object with self-describing values.
     let mut writer_handles = Vec::new();
     for w in 0..2u64 {
-        let cluster = Arc::clone(&cluster);
+        let store = store.clone();
         let stop = Arc::clone(&stop);
         writer_handles.push(std::thread::spawn(move || {
-            let mut client = cluster.client();
+            let mut client = store.client();
             let mut i = 0u64;
             while !stop.load(std::sync::atomic::Ordering::Relaxed) && i < 30 {
                 let value = format!("{:020}:{w}", i).into_bytes();
-                client.write(0, value).unwrap();
+                client.write(ObjectId(0), &value).unwrap();
                 i += 1;
             }
         }));
@@ -75,13 +87,13 @@ fn monotonic_reads_under_concurrent_writers() {
     // atomicity for sequential reads by one client). Sequence numbers of
     // *different* writers are not globally ordered: a slow writer may commit
     // its i-th value with a newer tag than a fast writer's much later value.
-    let reader_cluster = Arc::clone(&cluster);
+    let reader_store = store.clone();
     let reader = std::thread::spawn(move || {
-        let mut client = reader_cluster.client();
+        let mut client = reader_store.client();
         let mut last_tag = None;
         let mut last_seq_per_writer = [-1i64; 2];
         for _ in 0..40 {
-            let value = client.read(0).unwrap();
+            let value = client.read(ObjectId(0)).unwrap();
             let tag = client.last_tag().unwrap();
             if let Some(last) = last_tag {
                 assert!(
@@ -111,61 +123,66 @@ fn monotonic_reads_under_concurrent_writers() {
     for handle in writer_handles {
         handle.join().unwrap();
     }
-    cluster.shutdown();
+    store.shutdown();
 }
 
 #[test]
 fn operations_survive_tolerated_crashes_but_not_more() {
-    let cluster = Cluster::start(params(), BackendKind::Mbr);
-    let mut client = cluster.client();
-    client.write(5, b"before crashes".to_vec()).unwrap();
+    let store = StoreBuilder::new().params(params()).build().unwrap();
+    let admin = store.admin();
+    let mut client = store.client();
+    client.write(ObjectId(5), b"before crashes").unwrap();
 
     // Tolerated: f1 = 1, f2 = 1.
-    cluster.kill_l1(1);
-    cluster.kill_l2(0);
+    admin.kill(ServerRef::l1(1)).unwrap();
+    admin.kill(ServerRef::l2(0)).unwrap();
     client
-        .write(5, b"after tolerated crashes".to_vec())
+        .write(ObjectId(5), b"after tolerated crashes")
         .unwrap();
-    assert_eq!(client.read(5).unwrap(), b"after tolerated crashes");
+    assert_eq!(
+        client.read(ObjectId(5)).unwrap(),
+        b"after tolerated crashes"
+    );
+    assert!(!admin.liveness().all_live());
+    assert_eq!(admin.liveness().crashed().len(), 2);
 
     // One more L1 crash exceeds f1: quorums of f1 + k = 3 out of the 2
     // remaining servers are impossible, so operations time out.
-    cluster.kill_l1(2);
+    admin.kill(ServerRef::l1(2)).unwrap();
     client.set_timeout(Duration::from_millis(300));
     assert_eq!(
-        client.write(5, b"doomed".to_vec()),
-        Err(ClientError::Timeout)
+        client.write(ObjectId(5), b"doomed"),
+        Err(StoreError::Timeout)
     );
 
-    cluster.shutdown();
+    store.shutdown();
 }
 
 /// Multi-client, multi-object stress through the pipelined client API on a
 /// sharded cluster: checks per-object tag monotonicity, per-writer order and
-/// read-your-writes under load, in both cluster profiles.
+/// read-your-writes under load, in both store profiles.
 #[test]
 fn pipelined_multi_object_stress_preserves_atomicity() {
-    for (_label, options) in stress_profiles() {
-        let cluster = Cluster::start_with(params(), BackendKind::Mbr, options);
+    for (_label, store) in stress_profiles(BackendKind::Mbr) {
         let rounds = 6u64;
         let mut handles = Vec::new();
         for c in 0..4u64 {
-            let cluster = Arc::clone(&cluster);
+            let store = store.clone();
             handles.push(std::thread::spawn(move || {
-                let mut client = cluster.client_with_depth(8);
+                let mut client = store.client_with_depth(8);
                 // Four private objects plus one object shared by every client.
                 let private: Vec<u64> = (0..4).map(|o| 10 * (c + 1) + o).collect();
-                let shared = 7u64;
+                let shared = ObjectId(7);
                 let mut last_write_tag: HashMap<u64, Tag> = HashMap::new();
                 for round in 0..rounds {
                     for &obj in &private {
                         // Two queued writes and a read per object per round:
                         // same-object FIFO makes the read observe the second.
-                        client.submit_write(obj, format!("{obj}-{round}-a").into_bytes());
-                        client.submit_write(obj, format!("{obj}-{round}-b").into_bytes());
-                        client.submit_read(obj);
+                        client.submit_write(ObjectId(obj), format!("{obj}-{round}-a").as_bytes());
+                        client.submit_write(ObjectId(obj), format!("{obj}-{round}-b").as_bytes());
+                        client.submit_read(ObjectId(obj));
                     }
-                    client.submit_write(shared, format!("shared-{c}-{round}").into_bytes());
+                    client.submit_write(shared, format!("shared-{c}-{round}").as_bytes());
                     for completion in client.wait_all().expect("round completes") {
                         match &completion.outcome {
                             OpOutcome::Write { tag } => {
@@ -193,20 +210,20 @@ fn pipelined_multi_object_stress_preserves_atomicity() {
                 }
                 // Final blocking check per private object.
                 for &obj in &private {
-                    let value = client.read(obj).expect("final read");
+                    let value = client.read(ObjectId(obj)).expect("final read");
                     assert_eq!(value, format!("{obj}-{}-b", rounds - 1).into_bytes());
                 }
             }));
         }
         // A checker on the shared object: tags must never go backwards and
         // each writer's round counter must be non-decreasing.
-        let checker_cluster = Arc::clone(&cluster);
+        let checker_store = store.clone();
         let checker = std::thread::spawn(move || {
-            let mut client = checker_cluster.client();
+            let mut client = checker_store.client();
             let mut last_tag: Option<Tag> = None;
             let mut last_round: HashMap<u64, u64> = HashMap::new();
             for _ in 0..40 {
-                let value = client.read(7).expect("shared read");
+                let value = client.read(ObjectId(7)).expect("shared read");
                 let tag = client.last_tag().unwrap();
                 if let Some(prev) = last_tag {
                     assert!(tag >= prev, "shared tags went backwards");
@@ -230,7 +247,7 @@ fn pipelined_multi_object_stress_preserves_atomicity() {
         checker
             .join()
             .unwrap_or_else(|e| std::panic::resume_unwind(e));
-        cluster.shutdown();
+        store.shutdown();
     }
 }
 
@@ -239,26 +256,26 @@ fn pipelined_multi_object_stress_preserves_atomicity() {
 /// kills one of the `f1 + 1` offloaders).
 #[test]
 fn pipelined_stress_survives_l1_crash_mid_stream() {
-    for (_label, options) in stress_profiles() {
-        let cluster = Cluster::start_with(params(), BackendKind::Mbr, options);
+    for (_label, store) in stress_profiles(BackendKind::Mbr) {
         let mut handles = Vec::new();
         for c in 0..2u64 {
-            let cluster = Arc::clone(&cluster);
+            let store = store.clone();
             handles.push(std::thread::spawn(move || {
-                let mut client = cluster.client_with_depth(8);
+                let admin = store.admin();
+                let mut client = store.client_with_depth(8);
                 for round in 0..10u64 {
                     for obj in 0..4u64 {
-                        let obj = 10 * (c + 1) + obj;
-                        client.submit_write(obj, format!("{obj}-{round}").into_bytes());
+                        let obj = ObjectId(10 * (c + 1) + obj);
+                        client.submit_write(obj, format!("{obj}-{round}").as_bytes());
                     }
                     client.wait_all().expect("operations survive f1 crashes");
                     if round == 4 && c == 0 {
                         // Kill one L1 server (= f1) while operations stream.
-                        cluster.kill_l1(0);
+                        admin.kill(ServerRef::l1(0)).unwrap();
                     }
                 }
                 for obj in 0..4u64 {
-                    let obj = 10 * (c + 1) + obj;
+                    let obj = ObjectId(10 * (c + 1) + obj);
                     assert_eq!(
                         client.read(obj).expect("read after crash"),
                         format!("{obj}-9").into_bytes()
@@ -269,7 +286,7 @@ fn pipelined_stress_survives_l1_crash_mid_stream() {
         for h in handles {
             h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
         }
-        cluster.shutdown();
+        store.shutdown();
     }
 }
 
@@ -281,18 +298,18 @@ fn pipelined_stress_survives_l1_crash_mid_stream() {
 /// `relayed`/`consumed` sets alone grew by ~8 entries per write per server.
 #[test]
 fn l1_metadata_and_storage_stay_bounded_over_sustained_run() {
-    for (label, options) in stress_profiles() {
-        let cluster = Cluster::start_with(params(), BackendKind::Replication, options);
+    for (label, store) in stress_profiles(BackendKind::Replication) {
+        let admin = store.admin();
         let objects = 8u64;
         let value_size = 16usize;
-        let mut client_a = cluster.client_with_depth(16);
-        let mut client_b = cluster.client_with_depth(16);
+        let mut client_a = store.client_with_depth(16);
+        let mut client_b = store.client_with_depth(16);
         let mut completed = 0usize;
         let mut seq = 0u64;
         while completed < 10_200 {
             for _ in 0..64 {
-                let obj = seq % objects;
-                client_a.submit_write(obj, vec![(seq % 251) as u8; value_size]);
+                let obj = ObjectId(seq % objects);
+                client_a.submit_write(obj, &vec![(seq % 251) as u8; value_size]);
                 client_b.submit_read(obj);
                 seq += 1;
             }
@@ -303,7 +320,8 @@ fn l1_metadata_and_storage_stay_bounded_over_sustained_run() {
         // Let every shard drain its inbox and publish its stats.
         std::thread::sleep(Duration::from_millis(200));
 
-        let entries = cluster.total_l1_metadata_entries();
+        let metrics = admin.metrics();
+        let entries = metrics.l1_metadata_entries;
         // Bound: a handful of entries per object per server (committed tag,
         // current broadcast round, in-flight residue) — far below the ~8
         // entries *per write* per server the leak used to accumulate (10k+
@@ -312,7 +330,7 @@ fn l1_metadata_and_storage_stay_bounded_over_sustained_run() {
             entries < 4_000,
             "[{label}] L1 metadata grew with operation count: {entries} entries"
         );
-        let bytes = cluster.total_l1_temporary_bytes();
+        let bytes = metrics.l1_temporary_bytes;
         // Bound: at most the committed value per object per server (the
         // high-throughput profile caches exactly that) plus in-flight slack.
         let cache_bound = 4 * objects as usize * value_size;
@@ -320,37 +338,38 @@ fn l1_metadata_and_storage_stay_bounded_over_sustained_run() {
             bytes <= 4 * cache_bound,
             "[{label}] L1 temporary storage unbounded: {bytes} bytes"
         );
-        cluster.shutdown();
+        store.shutdown();
     }
 }
 
 /// Regression test for cross-client admission fairness on a bounded-inbox
-/// cluster: a greedy pipelined client hammering `try_submit_*` must not
-/// starve a blocking client. Freed budget is granted in waiter-queue order,
-/// so after the blocking client's first refusal the greedy one is held back
+/// store: a greedy pipelined client hammering `try_submit_*` must not starve
+/// a blocking client. Freed budget is granted in waiter-queue order, so
+/// after the blocking client's first refusal the greedy one is held back
 /// until the blocking client has had its turn.
 #[test]
 fn greedy_pipelined_client_cannot_starve_a_blocking_one() {
-    let cluster = Cluster::start_with(
-        params(),
-        BackendKind::Replication,
-        ClusterOptions {
-            inbox_cap: Some(1), // a single admission slot per partition
-            ..ClusterOptions::default()
-        },
-    );
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Replication)
+        .inbox_cap(1) // a single admission slot per partition
+        .build()
+        .unwrap();
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     // The greedy client: re-submits the moment anything completes, across a
     // pool of objects, through the never-queueing try_submit path.
     let greedy = {
-        let cluster = Arc::clone(&cluster);
+        let store = store.clone();
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
-            let mut client = cluster.client_with_depth(8);
+            let mut client = store.client_with_depth(8);
             let mut submitted = 0u64;
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 for obj in 100..108u64 {
-                    if client.try_submit_write(obj, b"greedy traffic").is_ok() {
+                    if client
+                        .try_submit_write(ObjectId(obj), b"greedy traffic")
+                        .is_ok()
+                    {
                         submitted += 1;
                     }
                 }
@@ -362,11 +381,11 @@ fn greedy_pipelined_client_cannot_starve_a_blocking_one() {
     };
     // The blocking client: sequential writes that must all complete within
     // the timeout despite the greedy competition for the single slot.
-    let mut blocking = cluster.client();
+    let mut blocking = store.client();
     blocking.set_timeout(Duration::from_secs(20));
     for i in 0..25u64 {
         blocking
-            .write(7, format!("blocking {i}").into_bytes())
+            .write(ObjectId(7), format!("blocking {i}").as_bytes())
             .expect("blocking client starved by greedy pipelined client");
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -375,30 +394,30 @@ fn greedy_pipelined_client_cannot_starve_a_blocking_one() {
         greedy_submitted > 0,
         "greedy client made progress too (fairness, not lockout)"
     );
-    assert_eq!(blocking.read(7).unwrap(), b"blocking 24".to_vec());
+    assert_eq!(blocking.read(ObjectId(7)).unwrap(), b"blocking 24".to_vec());
     drop(blocking);
-    cluster.shutdown();
+    store.shutdown();
 }
 
 #[test]
 fn distinct_objects_are_independent() {
-    let cluster = Cluster::start(params(), BackendKind::Mbr);
+    let store = StoreBuilder::new().params(params()).build().unwrap();
     let mut handles = Vec::new();
     for obj in 0..4u64 {
-        let cluster = Arc::clone(&cluster);
+        let store = store.clone();
         handles.push(std::thread::spawn(move || {
-            let mut client = cluster.client();
+            let mut client = store.client();
             for i in 0..5u64 {
                 client
-                    .write(obj, format!("obj{obj}-v{i}").into_bytes())
+                    .write(ObjectId(obj), format!("obj{obj}-v{i}").as_bytes())
                     .unwrap();
             }
-            client.read(obj).unwrap()
+            client.read(ObjectId(obj)).unwrap()
         }));
     }
     for (obj, handle) in handles.into_iter().enumerate() {
         let final_value = handle.join().unwrap();
         assert_eq!(final_value, format!("obj{obj}-v4").into_bytes());
     }
-    cluster.shutdown();
+    store.shutdown();
 }

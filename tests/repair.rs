@@ -1,10 +1,12 @@
-//! Integration tests for **online node repair & rejoin**: a killed server is
-//! regenerated while pipelined writers and readers keep streaming, atomicity
-//! invariants hold throughout, the failure budget is restored (a subsequent
-//! crash is tolerated), and the recorded MBR repair bandwidth undercuts the
+//! Integration tests for **online node repair & rejoin**, driven through
+//! the `Admin` control plane: a killed server is regenerated while
+//! pipelined writers and readers keep streaming, atomicity invariants hold
+//! throughout, the failure budget is restored (a subsequent crash is
+//! tolerated), and the recorded MBR repair bandwidth undercuts the
 //! full-object decode fallback.
 
-use lds_cluster::{Cluster, ClusterOptions, OpOutcome, RepairLayer};
+use lds_cluster::api::{ObjectId, ServerRef, Store, StoreBuilder, StoreHandle};
+use lds_cluster::{OpOutcome, RepairLayer};
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
 use lds_core::tag::Tag;
@@ -24,24 +26,24 @@ fn params() -> SystemParams {
 /// backwards. Returns the join handles and the shared stop flag.
 #[allow(clippy::type_complexity)]
 fn spawn_workload(
-    cluster: &Arc<Cluster>,
+    store: &StoreHandle,
     writers: u64,
     objects_per_writer: u64,
 ) -> (Vec<std::thread::JoinHandle<()>>, Arc<AtomicBool>) {
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
     for w in 0..writers {
-        let cluster = Arc::clone(cluster);
+        let store = store.clone();
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
-            let mut client = cluster.client_with_depth(8);
+            let mut client = store.client_with_depth(8);
             client.set_timeout(Duration::from_secs(30));
             let objects: Vec<u64> = (0..objects_per_writer).map(|o| 10 * (w + 1) + o).collect();
             let mut last_tag: HashMap<u64, Tag> = HashMap::new();
             let mut seq = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 for &obj in &objects {
-                    client.submit_write(obj, format!("o{obj}-s{seq}").into_bytes());
+                    client.submit_write(ObjectId(obj), format!("o{obj}-s{seq}").as_bytes());
                 }
                 for completion in client.wait_all().expect("writes survive repair window") {
                     let OpOutcome::Write { tag } = completion.outcome else {
@@ -60,16 +62,16 @@ fn spawn_workload(
         }));
     }
     {
-        let cluster = Arc::clone(cluster);
+        let store = store.clone();
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
-            let mut client = cluster.client_with_depth(4);
+            let mut client = store.client_with_depth(4);
             client.set_timeout(Duration::from_secs(30));
             let mut last_tag: HashMap<u64, Tag> = HashMap::new();
             let mut last_seq: HashMap<u64, u64> = HashMap::new();
             while !stop.load(Ordering::Relaxed) {
                 for w in 0..writers {
-                    client.submit_read(10 * (w + 1));
+                    client.submit_read(ObjectId(10 * (w + 1)));
                 }
                 for completion in client.wait_all().expect("reads survive repair window") {
                     let OpOutcome::Read { tag, value } = completion.outcome else {
@@ -103,15 +105,14 @@ fn spawn_workload(
 
 #[test]
 fn online_l2_repair_under_pipelined_load_at_mbr_bandwidth() {
-    let cluster = Cluster::start_with(
-        params(),
-        BackendKind::Mbr,
-        ClusterOptions {
-            l1_shards: 2,
-            l2_shards: 2, // exercises the repair fan-out across worker shards
-            ..ClusterOptions::default()
-        },
-    );
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Mbr)
+        .l1_shards(2)
+        .l2_shards(2) // exercises the repair fan-out across worker shards
+        .build()
+        .unwrap();
+    let admin = store.admin();
     // Settled pre-crash state so the repair has committed objects to move:
     // a 20-object 1-KiB population that no concurrent writer touches. (The
     // streaming workload's own hot objects may be mid-commit at snapshot
@@ -119,27 +120,32 @@ fn online_l2_repair_under_pipelined_load_at_mbr_bandwidth() {
     // repair quorum; those are caught up by the concurrent WRITE-CODE-ELEM
     // stream instead, and any *completed* offload keeps n2 - f2 live
     // holders regardless, so quorums stay safe either way.)
-    let mut setup = cluster.client_with_depth(8);
+    let mut setup = store.client_with_depth(8);
     for obj in 100..120u64 {
-        setup.submit_write(obj, vec![obj as u8; 1024]);
+        setup.submit_write(ObjectId(obj), &vec![obj as u8; 1024]);
     }
     setup.wait_all().unwrap();
     for w in 1..=2u64 {
         for o in 0..3u64 {
             setup
-                .write(10 * w + o, format!("o{}-s0", 10 * w + o).into_bytes())
+                .write(
+                    ObjectId(10 * w + o),
+                    format!("o{}-s0", 10 * w + o).as_bytes(),
+                )
                 .unwrap();
         }
     }
-    let (handles, stop) = spawn_workload(&cluster, 2, 3);
+    let (handles, stop) = spawn_workload(&store, 2, 3);
     std::thread::sleep(Duration::from_millis(150));
 
     // Crash an L2 server mid-stream, let the workload run degraded…
-    cluster.kill_l2(1);
+    admin.kill(ServerRef::l2(1)).unwrap();
     std::thread::sleep(Duration::from_millis(150));
 
     // …then regenerate it online, under the running load.
-    let report = cluster.repair_l2(1).expect("online L2 repair succeeds");
+    let report = admin
+        .repair(ServerRef::l2(1))
+        .expect("online L2 repair succeeds");
     assert_eq!(report.layer, RepairLayer::L2);
     assert_eq!(report.helpers, 4, "all live L2 peers helped");
     assert!(
@@ -164,11 +170,14 @@ fn online_l2_repair_under_pipelined_load_at_mbr_bandwidth() {
         "expected a clear MBR saving, got ratio {}",
         report.bandwidth_ratio()
     );
+    // The control plane remembers the repair.
+    assert_eq!(admin.repair_reports().len(), 1);
+    assert_eq!(admin.metrics().repairs_completed, 1);
 
     // Budget restored: a SUBSEQUENT L2 failure is tolerated. With it dead,
     // every regenerate-from-L2 quorum must include the repaired server.
     std::thread::sleep(Duration::from_millis(100));
-    cluster.kill_l2(3);
+    admin.kill(ServerRef::l2(3)).unwrap();
     std::thread::sleep(Duration::from_millis(200));
     stop.store(true, Ordering::Relaxed);
     for handle in handles {
@@ -179,11 +188,11 @@ fn online_l2_repair_under_pipelined_load_at_mbr_bandwidth() {
     // Reads after the second crash exercise the repaired server's elements:
     // with another L2 server dead, every regenerate-from-L2 quorum now
     // includes the replacement's regenerated shares.
-    let mut client = cluster.client();
+    let mut client = store.client();
     client.set_timeout(Duration::from_secs(30));
     for obj in 100..120u64 {
         assert_eq!(
-            client.read(obj).expect("read after second crash"),
+            client.read(ObjectId(obj)).expect("read after second crash"),
             vec![obj as u8; 1024],
             "settled object {obj} lost its committed value"
         );
@@ -191,7 +200,7 @@ fn online_l2_repair_under_pipelined_load_at_mbr_bandwidth() {
     for w in 1..=2u64 {
         for o in 0..3u64 {
             let obj = 10 * w + o;
-            let value = client.read(obj).expect("read after second crash");
+            let value = client.read(ObjectId(obj)).expect("read after second crash");
             assert!(
                 String::from_utf8(value)
                     .unwrap()
@@ -202,34 +211,38 @@ fn online_l2_repair_under_pipelined_load_at_mbr_bandwidth() {
     }
     drop(client);
     drop(setup);
-    cluster.shutdown();
+    store.shutdown();
 }
 
 #[test]
 fn online_l1_repair_under_pipelined_load_restores_budget() {
-    let cluster = Cluster::start_with(
-        params(),
-        BackendKind::Mbr,
-        ClusterOptions {
-            l1_shards: 2,
-            ..ClusterOptions::default()
-        },
-    );
-    let mut setup = cluster.client();
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Mbr)
+        .l1_shards(2)
+        .build()
+        .unwrap();
+    let admin = store.admin();
+    let mut setup = store.client();
     for w in 1..=2u64 {
         for o in 0..3u64 {
             setup
-                .write(10 * w + o, format!("o{}-s0", 10 * w + o).into_bytes())
+                .write(
+                    ObjectId(10 * w + o),
+                    format!("o{}-s0", 10 * w + o).as_bytes(),
+                )
                 .unwrap();
         }
     }
-    let (handles, stop) = spawn_workload(&cluster, 2, 3);
+    let (handles, stop) = spawn_workload(&store, 2, 3);
     std::thread::sleep(Duration::from_millis(150));
 
-    cluster.kill_l1(0);
+    admin.kill(ServerRef::l1(0)).unwrap();
     std::thread::sleep(Duration::from_millis(150));
 
-    let report = cluster.repair_l1(0).expect("online L1 repair succeeds");
+    let report = admin
+        .repair(ServerRef::l1(0))
+        .expect("online L1 repair succeeds");
     assert_eq!(report.layer, RepairLayer::L1);
     assert_eq!(report.helpers, 3, "all live L1 peers helped");
     assert!(
@@ -241,7 +254,7 @@ fn online_l1_repair_under_pipelined_load_restores_budget() {
     // 3 live L1 servers, every quorum of f1 + k = 3 must now include the
     // repaired server, so its reconstructed metadata is load-bearing.
     std::thread::sleep(Duration::from_millis(100));
-    cluster.kill_l1(2);
+    admin.kill(ServerRef::l1(2)).unwrap();
     std::thread::sleep(Duration::from_millis(200));
     stop.store(true, Ordering::Relaxed);
     for handle in handles {
@@ -249,12 +262,14 @@ fn online_l1_repair_under_pipelined_load_restores_budget() {
             .join()
             .unwrap_or_else(|e| std::panic::resume_unwind(e));
     }
-    let mut client = cluster.client();
+    let mut client = store.client();
     client.set_timeout(Duration::from_secs(30));
     for w in 1..=2u64 {
         for o in 0..3u64 {
             let obj = 10 * w + o;
-            let value = client.read(obj).expect("read through the repaired quorum");
+            let value = client
+                .read(ObjectId(obj))
+                .expect("read through the repaired quorum");
             assert!(
                 String::from_utf8(value)
                     .unwrap()
@@ -265,29 +280,42 @@ fn online_l1_repair_under_pipelined_load_restores_budget() {
     }
     drop(client);
     drop(setup);
-    cluster.shutdown();
+    store.shutdown();
 }
 
-/// Repairing on a sharded-cluster facade: each shard has its own failure
+/// Repairing on a sharded topology: each cluster shard has its own failure
 /// budget; repairing a shard's server restores *that shard's* budget while
-/// the other shards never notice.
+/// the other shards never notice. `ServerRef::in_cluster` carries the shard
+/// dimension through the same `Admin` facade.
 #[test]
-fn sharded_cluster_repairs_one_shard_independently() {
-    use lds_cluster::ShardedCluster;
-    let sharded = ShardedCluster::start(2, params(), BackendKind::Mbr);
-    let mut client = sharded.client();
+fn sharded_store_repairs_one_shard_independently() {
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Mbr)
+        .clusters(2)
+        .build()
+        .unwrap();
+    let admin = store.admin();
+    let mut client = store.client();
     for obj in 0..8u64 {
-        client.write(obj, format!("v{obj}").into_bytes()).unwrap();
+        client
+            .write(ObjectId(obj), format!("v{obj}").as_bytes())
+            .unwrap();
     }
-    sharded.shard(0).kill_l2(2);
-    let report = sharded.repair_l2(0, 2).expect("shard-local repair");
+    admin.kill(ServerRef::l2(2).in_cluster(0)).unwrap();
+    let report = admin
+        .repair(ServerRef::l2(2).in_cluster(0))
+        .expect("shard-local repair");
     assert!(report.bytes_total < report.fallback_bytes);
     // Shard 0's budget is whole again; shard 1 was never touched.
-    sharded.shard(0).kill_l2(0);
-    sharded.shard(1).kill_l2(1);
+    admin.kill(ServerRef::l2(0).in_cluster(0)).unwrap();
+    admin.kill(ServerRef::l2(1).in_cluster(1)).unwrap();
     for obj in 0..8u64 {
-        assert_eq!(client.read(obj).unwrap(), format!("v{obj}").into_bytes());
+        assert_eq!(
+            client.read(ObjectId(obj)).unwrap(),
+            format!("v{obj}").into_bytes()
+        );
     }
     drop(client);
-    sharded.shutdown();
+    store.shutdown();
 }

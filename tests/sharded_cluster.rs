@@ -1,14 +1,13 @@
-//! Cross-shard stress tests for the scale-out [`ShardedCluster`] facade:
-//! multi-client pipelined writes/reads spanning several independent
-//! clusters, asserting (a) the per-object atomicity guarantees survive the
-//! facade unchanged and (b) the bounded-inbox backpressure actually bounds —
-//! admission never exceeds the configured cap and no worker inbox grows
-//! past its derived depth limit, while `try_submit_*` pushes back with
-//! `WouldBlock` instead of queueing.
+//! Cross-shard stress tests for the scale-out sharded topology behind the
+//! `Store` facade: multi-client pipelined writes/reads spanning several
+//! independent clusters, asserting (a) the per-object atomicity guarantees
+//! survive the facade unchanged and (b) the bounded-inbox backpressure
+//! actually bounds — admission never exceeds the configured cap and no
+//! worker inbox grows past its derived depth limit, while `try_submit_*`
+//! pushes back with `StoreError::WouldBlock` instead of queueing.
 
-use lds_cluster::{
-    cluster_of, msgs_per_op_bound, ClusterOptions, OpOutcome, ShardedCluster, WouldBlock,
-};
+use lds_cluster::api::{ObjectId, Store, StoreBuilder, StoreError};
+use lds_cluster::{cluster_of, msgs_per_op_bound, OpOutcome};
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
 use lds_core::tag::Tag;
@@ -21,7 +20,7 @@ fn params() -> SystemParams {
     SystemParams::for_failures(1, 1, 2, 3).unwrap()
 }
 
-/// Multi-client pipelined writes and reads over a 2-shard `ShardedCluster`
+/// Multi-client pipelined writes and reads over a 2-shard sharded store
 /// (high-throughput profile): per-object atomicity holds exactly as on a
 /// single cluster — same-client same-object operations are FIFO with
 /// strictly increasing write tags, every read observes a tag-monotonic
@@ -33,12 +32,13 @@ fn cross_shard_pipelined_atomicity_under_concurrent_clients() {
     const OBJECTS: u64 = 12;
     const WRITERS: usize = 3;
     const WRITES_PER_WRITER: usize = 48;
-    let sharded = ShardedCluster::start_with(
-        SHARDS,
-        params(),
-        BackendKind::Mbr,
-        ClusterOptions::high_throughput(2),
-    );
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Mbr)
+        .high_throughput(2)
+        .clusters(SHARDS)
+        .build()
+        .unwrap();
     // The object set must genuinely span both shards or the test shows
     // nothing about the facade.
     assert!((0..OBJECTS).any(|o| cluster_of(o, SHARDS) == 0));
@@ -46,13 +46,13 @@ fn cross_shard_pipelined_atomicity_under_concurrent_clients() {
 
     let mut writer_handles = Vec::new();
     for w in 0..WRITERS {
-        let sharded = Arc::clone(&sharded);
+        let store = store.clone();
         writer_handles.push(std::thread::spawn(move || {
-            let mut client = sharded.client_with_depth(8);
+            let mut client = store.client_with_depth(8);
             client.set_timeout(Duration::from_secs(60));
             for i in 0..WRITES_PER_WRITER {
                 let obj = (w as u64 + 3 * i as u64) % OBJECTS;
-                client.submit_write(obj, format!("{i:020}:{w}").into_bytes());
+                client.submit_write(ObjectId(obj), format!("{i:020}:{w}").as_bytes());
                 if client.pending_ops() >= 8 {
                     client.wait_next().expect("writer pipeline");
                 }
@@ -73,17 +73,17 @@ fn cross_shard_pipelined_atomicity_under_concurrent_clients() {
     let stop = Arc::new(AtomicBool::new(false));
     let mut reader_handles = Vec::new();
     for _ in 0..2 {
-        let sharded = Arc::clone(&sharded);
+        let store = store.clone();
         let stop = Arc::clone(&stop);
         reader_handles.push(std::thread::spawn(move || {
-            let mut client = sharded.client_with_depth(8);
+            let mut client = store.client_with_depth(8);
             client.set_timeout(Duration::from_secs(60));
             let mut last_tag: HashMap<u64, Tag> = HashMap::new();
             let mut last_seq: HashMap<(u64, usize), i64> = HashMap::new();
             let mut rounds = 0usize;
             while !stop.load(Ordering::Relaxed) || rounds < 10 {
                 for obj in 0..OBJECTS {
-                    client.submit_read(obj);
+                    client.submit_read(ObjectId(obj));
                 }
                 for c in client.wait_all().expect("reader drain") {
                     let OpOutcome::Read { tag, value } = &c.outcome else {
@@ -123,14 +123,15 @@ fn cross_shard_pipelined_atomicity_under_concurrent_clients() {
     for h in reader_handles {
         h.join().unwrap();
     }
-    sharded.shutdown();
+    store.shutdown();
 }
 
-/// Overload a bounded 2-shard cluster through the non-blocking facade path:
-/// `try_submit_*` must push back with `WouldBlock` under saturation, the
-/// admission gauge must never exceed the configured cap, every worker-shard
-/// inbox must stay below its derived depth bound, and — backpressure being
-/// flow control, not load shedding — every accepted operation must complete.
+/// Overload a bounded 2-shard store through the non-blocking facade path:
+/// `try_submit_*` must push back with `StoreError::WouldBlock` under
+/// saturation, the admission gauge must never exceed the configured cap,
+/// every worker-shard inbox must stay below its derived depth bound, and —
+/// backpressure being flow control, not load shedding — every accepted
+/// operation must complete.
 #[test]
 fn backpressure_bounds_inbox_depth_and_pushes_back() {
     const SHARDS: usize = 2;
@@ -138,26 +139,30 @@ fn backpressure_bounds_inbox_depth_and_pushes_back() {
     const OBJECTS: u64 = 8;
     const OPS_PER_CLIENT: usize = 150;
     const CLIENTS: usize = 4;
-    let options = ClusterOptions {
-        l1_shards: 2,
-        inbox_cap: Some(CAP),
-        ..ClusterOptions::high_throughput(2)
-    };
-    let sharded = ShardedCluster::start_with(SHARDS, params(), BackendKind::Replication, options);
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Replication)
+        .high_throughput(2)
+        .l1_shards(2)
+        .l2_shards(2)
+        .inbox_cap(CAP)
+        .clusters(SHARDS)
+        .build()
+        .unwrap();
+    let admin = store.admin();
 
     // A monitor samples the admission gauges while the load runs: the
     // budget in use must never exceed the cap (the invariant "inbox depth
     // never exceeds its configured cap", measured in admitted operations).
     let stop = Arc::new(AtomicBool::new(false));
     let monitor = {
-        let sharded = Arc::clone(&sharded);
+        let admin = admin.clone();
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let mut max_admitted = 0usize;
             while !stop.load(Ordering::Relaxed) {
-                for s in 0..SHARDS {
-                    for partition in 0..2 {
-                        let admitted = sharded.shard(s).l1_admitted_ops(partition);
+                for per_cluster in admin.admitted_ops() {
+                    for admitted in per_cluster {
                         assert!(
                             admitted <= CAP,
                             "admission gauge exceeded the cap: {admitted} > {CAP}"
@@ -174,17 +179,17 @@ fn backpressure_bounds_inbox_depth_and_pushes_back() {
     let would_blocks = Arc::new(AtomicUsize::new(0));
     let mut handles = Vec::new();
     for c in 0..CLIENTS {
-        let sharded = Arc::clone(&sharded);
+        let store = store.clone();
         let would_blocks = Arc::clone(&would_blocks);
         handles.push(std::thread::spawn(move || {
-            let mut client = sharded.client_with_depth(16);
+            let mut client = store.client_with_depth(16);
             client.set_timeout(Duration::from_secs(60));
             let mut accepted = 0usize;
             let mut completed = 0usize;
             let mut i = 0usize;
             while completed < OPS_PER_CLIENT {
                 if accepted < OPS_PER_CLIENT {
-                    let obj = (c as u64 + i as u64) % OBJECTS;
+                    let obj = ObjectId((c as u64 + i as u64) % OBJECTS);
                     let outcome = if i.is_multiple_of(2) {
                         client.try_submit_write(obj, format!("v{c}:{i}").as_bytes())
                     } else {
@@ -192,9 +197,10 @@ fn backpressure_bounds_inbox_depth_and_pushes_back() {
                     };
                     match outcome {
                         Ok(_) => accepted += 1,
-                        Err(WouldBlock) => {
+                        Err(StoreError::WouldBlock) => {
                             would_blocks.fetch_add(1, Ordering::Relaxed);
                         }
+                        Err(other) => panic!("unexpected submission error: {other}"),
                     }
                     i += 1;
                 }
@@ -229,10 +235,8 @@ fn backpressure_bounds_inbox_depth_and_pushes_back() {
     // messages, and the at-most-cap admitted ops in flight can add at most
     // one more per-op complement each before completing.
     let limit = CAP * msgs_per_op_bound(&params()) * 2;
-    for s in 0..SHARDS {
-        let shard = sharded.shard(s);
-        for j in 0..shard.params().n1() {
-            let max_depth = shard.l1_max_inbox_depth(j);
+    for (s, per_cluster) in admin.max_inbox_depths().into_iter().enumerate() {
+        for (j, max_depth) in per_cluster.into_iter().enumerate() {
             assert!(
                 max_depth <= limit,
                 "shard {s} L1 server {j} inbox reached {max_depth} > {limit}"
@@ -241,12 +245,12 @@ fn backpressure_bounds_inbox_depth_and_pushes_back() {
     }
     // Flow control released everything: budgets drain back to zero.
     std::thread::sleep(Duration::from_millis(100));
-    for s in 0..SHARDS {
-        for partition in 0..2 {
-            assert_eq!(sharded.shard(s).l1_admitted_ops(partition), 0);
+    for per_cluster in admin.admitted_ops() {
+        for admitted in per_cluster {
+            assert_eq!(admitted, 0);
         }
     }
-    sharded.shutdown();
+    store.shutdown();
 }
 
 /// The queueing `submit_*` path also respects the budget: operations wait
@@ -254,18 +258,20 @@ fn backpressure_bounds_inbox_depth_and_pushes_back() {
 /// complete in submission order per object.
 #[test]
 fn bounded_cluster_queued_submissions_complete_in_order() {
-    let options = ClusterOptions {
-        inbox_cap: Some(1),
-        ..ClusterOptions::default()
-    };
-    let sharded = ShardedCluster::start_with(2, params(), BackendKind::Mbr, options);
-    let mut client = sharded.client_with_depth(8);
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Mbr)
+        .inbox_cap(1)
+        .clusters(2)
+        .build()
+        .unwrap();
+    let mut client = store.client_with_depth(8);
     client.set_timeout(Duration::from_secs(60));
     // Six writes to one object: budget 1 forces them through one at a time.
     for i in 0..6 {
-        client.submit_write(7, format!("gen-{i}").into_bytes());
+        client.submit_write(ObjectId(7), format!("gen-{i}").as_bytes());
     }
-    client.submit_read(7);
+    client.submit_read(ObjectId(7));
     let done = client.wait_all().unwrap();
     assert_eq!(done.len(), 7);
     let tags: Vec<Tag> = done[..6].iter().map(|c| c.outcome.tag()).collect();
@@ -277,5 +283,5 @@ fn bounded_cluster_queued_submissions_complete_in_order() {
         other => panic!("expected read outcome, got {other:?}"),
     }
     drop(client);
-    sharded.shutdown();
+    store.shutdown();
 }

@@ -1,0 +1,296 @@
+//! Contract tests for the `Store` facade itself: builder validation,
+//! `StoreError` mapping on the non-blocking path, topology-generic
+//! atomicity (one test body over both topologies), and the `Admin` control
+//! plane.
+
+use lds_cluster::api::{
+    ObjectId, ServerRef, Store, StoreBuilder, StoreError, StoreHandle, Topology,
+};
+use lds_cluster::{OpOutcome, RepairError};
+use lds_core::backend::BackendKind;
+use lds_core::tag::Tag;
+use std::collections::HashMap;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Builder validation: every invalid combination is an InvalidConfig at
+// build() time — nothing is spawned, nothing panics.
+// ---------------------------------------------------------------------
+
+#[test]
+fn builder_rejects_impossible_quorum_combinations() {
+    // k > d violates the MBR construction.
+    let err = StoreBuilder::new().failures(1, 1).code(5, 3).build();
+    assert!(matches!(err, Err(StoreError::InvalidConfig(_))), "{err:?}");
+    // k = 0 (degenerate code).
+    let err = StoreBuilder::new().failures(1, 1).code(0, 3).build();
+    assert!(matches!(err, Err(StoreError::InvalidConfig(_))), "{err:?}");
+    // d = f2 violates d > f2 (the L2 quorum intersection argument).
+    let err = StoreBuilder::new().failures(1, 3).code(2, 3).build();
+    assert!(matches!(err, Err(StoreError::InvalidConfig(_))), "{err:?}");
+}
+
+#[test]
+fn builder_rejects_backend_incompatible_code_parameters() {
+    // A true product-matrix MSR code needs d >= 2k - 2: k=4, d=5 < 6.
+    let err = StoreBuilder::new()
+        .failures(1, 1)
+        .code(4, 5)
+        .backend(BackendKind::ProductMatrixMsr)
+        .build();
+    assert!(matches!(err, Err(StoreError::InvalidConfig(_))), "{err:?}");
+    // The same parameters are fine for MBR (k <= d is all it needs).
+    let store = StoreBuilder::new()
+        .failures(1, 1)
+        .code(4, 5)
+        .backend(BackendKind::Mbr)
+        .build()
+        .unwrap();
+    store.shutdown();
+}
+
+#[test]
+fn builder_rejects_zero_sized_knobs() {
+    for (label, result) in [
+        ("clusters", StoreBuilder::new().clusters(0).build()),
+        ("shards", StoreBuilder::new().shards(0).build()),
+        ("l1_shards", StoreBuilder::new().l1_shards(0).build()),
+        ("l2_shards", StoreBuilder::new().l2_shards(0).build()),
+        ("depth", StoreBuilder::new().pipeline_depth(0).build()),
+        ("inbox_cap", StoreBuilder::new().inbox_cap(0).build()),
+    ] {
+        assert!(
+            matches!(result, Err(StoreError::InvalidConfig(_))),
+            "zero {label} must be rejected at build() time: {result:?}"
+        );
+    }
+}
+
+#[test]
+fn builder_error_messages_name_the_problem() {
+    let Err(StoreError::InvalidConfig(msg)) = StoreBuilder::new().failures(1, 1).code(5, 3).build()
+    else {
+        panic!("expected InvalidConfig");
+    };
+    assert!(
+        msg.contains("k"),
+        "message should explain the constraint: {msg}"
+    );
+}
+
+#[test]
+fn builder_axes_reach_the_deployment() {
+    let store = StoreBuilder::new()
+        .failures(1, 1)
+        .code(2, 3)
+        .backend(BackendKind::Replication)
+        .high_throughput(2)
+        .clusters(3)
+        .build()
+        .unwrap();
+    assert_eq!(store.topology(), Topology::Sharded { clusters: 3 });
+    assert_eq!(store.clusters(), 3);
+    assert_eq!(store.backend(), BackendKind::Replication);
+    assert_eq!(store.params().n1(), 4);
+    let options = store.options();
+    assert_eq!(options.l1_shards, 2);
+    assert_eq!(options.pipeline_depth, 32);
+    store.shutdown();
+
+    let single = StoreBuilder::new().build().unwrap();
+    assert_eq!(single.topology(), Topology::Single);
+    assert_eq!(single.clusters(), 1);
+    single.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// StoreError mapping on the non-blocking path under a full admission
+// budget.
+// ---------------------------------------------------------------------
+
+/// With `inbox_cap(1)` and one partition per cluster, a second client's
+/// `try_submit_*` is refused while the only admission slot is held — and
+/// the refusal arrives as `StoreError::WouldBlock` through the unified
+/// error type, on both topologies. The L1 quorum is killed first so the
+/// held operation can never complete: the budget stays occupied for the
+/// whole test and every refusal below is deterministic.
+#[test]
+fn try_submit_maps_wouldblock_under_full_admission_budget() {
+    for clusters in [1usize, 2] {
+        let store = StoreBuilder::new()
+            .backend(BackendKind::Replication)
+            .inbox_cap(1)
+            .clusters(clusters)
+            .build()
+            .unwrap();
+        let admin = store.admin();
+        // Kill 3 of the 4 L1 servers in every cluster: no write quorum
+        // anywhere, so admitted operations hold their budget indefinitely.
+        for c in 0..clusters {
+            for j in 0..3 {
+                admin.kill(ServerRef::l1(j).in_cluster(c)).unwrap();
+            }
+        }
+        let mut holder = store.client_with_depth(4);
+        let mut pusher = store.client_with_depth(4);
+        // Key 0 pins its partition's only admission slot.
+        let _held = holder
+            .try_submit_write(ObjectId(0), b"hold the slot")
+            .unwrap();
+        // Same key, same handle: refused by the per-key FIFO.
+        assert_eq!(
+            holder.try_submit_write(ObjectId(0), b"same key"),
+            Err(StoreError::WouldBlock)
+        );
+        // Another client on the same key's partition: refused — the budget
+        // is exhausted.
+        assert_eq!(
+            pusher.try_submit_write(ObjectId(0), b"pushed back"),
+            Err(StoreError::WouldBlock)
+        );
+        // Abandoning the held operation returns its admission token, and the
+        // pusher's retry is accepted immediately.
+        holder.cancel_all();
+        pusher
+            .try_submit_write(ObjectId(0), b"budget freed")
+            .expect("cancel_all returned the admission token");
+        pusher.cancel_all();
+        drop(holder);
+        drop(pusher);
+        store.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store-generic atomicity: ONE test body, generic over `impl Store`, run
+// against both topologies.
+// ---------------------------------------------------------------------
+
+/// The atomicity contract, written once against the trait: per-key FIFO
+/// with strictly increasing write tags, read-your-writes through the
+/// pipeline, and tag-monotonic sequential reads.
+fn atomicity_contract<S: Store>(client: &mut S) {
+    client.set_timeout(Duration::from_secs(30));
+    let keys: Vec<ObjectId> = (0..6u64).map(ObjectId).collect();
+    let mut last_tag: HashMap<u64, Tag> = HashMap::new();
+    for round in 0..4u64 {
+        for &key in &keys {
+            client.submit_write(key, format!("{key}-{round}-a").as_bytes());
+            client.submit_write(key, format!("{key}-{round}-b").as_bytes());
+            client.submit_read(key);
+        }
+        for completion in client.wait_all().expect("round completes") {
+            match &completion.outcome {
+                OpOutcome::Write { tag } => {
+                    if let Some(prev) = last_tag.insert(completion.obj, *tag) {
+                        assert!(*tag > prev, "write tags went backwards");
+                    }
+                }
+                OpOutcome::Read { value, .. } => {
+                    // Per-key FIFO: the read observes the round's second write.
+                    assert_eq!(
+                        value,
+                        &format!("{}-{round}-b", completion.key()).into_bytes()
+                    );
+                }
+            }
+        }
+    }
+    // Final blocking reads observe the last committed round on every key.
+    for &key in &keys {
+        let value = client.read(key).unwrap();
+        assert_eq!(value, format!("{key}-3-b").into_bytes());
+        assert!(client.last_tag().is_some());
+    }
+}
+
+#[test]
+fn atomicity_contract_holds_generically_over_both_topologies() {
+    // One generic body, instantiated against the facade client of a
+    // single-cluster and of a 2-shard deployment.
+    let build = |clusters: usize| -> StoreHandle {
+        StoreBuilder::new()
+            .backend(BackendKind::Mbr)
+            .shards(2)
+            .clusters(clusters)
+            .build()
+            .unwrap()
+    };
+    for clusters in [1usize, 2] {
+        let store = build(clusters);
+        atomicity_contract(&mut store.client_with_depth(8));
+        store.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admin control plane.
+// ---------------------------------------------------------------------
+
+#[test]
+fn admin_rejects_out_of_range_server_refs() {
+    let store = StoreBuilder::new().build().unwrap();
+    let admin = store.admin();
+    // Cluster shard out of range on a single-cluster deployment.
+    assert!(matches!(
+        admin.kill(ServerRef::l1(0).in_cluster(1)),
+        Err(StoreError::InvalidConfig(_))
+    ));
+    // Layer index out of range (n1 = 4).
+    assert!(matches!(
+        admin.is_live(ServerRef::l1(99)),
+        Err(StoreError::InvalidConfig(_))
+    ));
+    // Repairing a live server surfaces the repair error through StoreError.
+    assert!(matches!(
+        admin.repair(ServerRef::l2(0)),
+        Err(StoreError::Repair(RepairError::NotCrashed))
+    ));
+    store.shutdown();
+}
+
+#[test]
+fn admin_metrics_and_liveness_reflect_the_deployment() {
+    let store = StoreBuilder::new()
+        .backend(BackendKind::Mbr)
+        .clusters(2)
+        .build()
+        .unwrap();
+    let admin = store.admin();
+    let params = store.params();
+    let metrics = admin.metrics();
+    assert_eq!(metrics.clusters, 2);
+    assert_eq!(metrics.live_l1, 2 * params.n1());
+    assert_eq!(metrics.live_l2, 2 * params.n2());
+    assert_eq!(metrics.repairs_completed, 0);
+    assert_eq!(admin.inbox_depths().len(), 2);
+    assert_eq!(admin.inbox_depths()[0].len(), params.n1());
+
+    let victim = ServerRef::l2(1).in_cluster(1);
+    admin.kill(victim).unwrap();
+    assert_eq!(admin.is_live(victim), Ok(false));
+    let liveness = admin.liveness();
+    assert!(!liveness.all_live());
+    assert_eq!(liveness.crashed(), vec![victim]);
+    assert_eq!(admin.metrics().live_l2, 2 * params.n2() - 1);
+
+    // Data still flows (f2 = 1 tolerated); then repair restores liveness.
+    let mut client = store.client();
+    client.write(ObjectId(3), b"during the outage").unwrap();
+    let report = admin.repair(victim).unwrap();
+    assert_eq!(report.index, 1);
+    assert!(admin.liveness().all_live());
+    assert_eq!(admin.repair_reports().len(), 1);
+    assert_eq!(admin.metrics().repairs_completed, 1);
+    drop(client);
+    store.shutdown();
+}
+
+#[test]
+fn typed_keys_convert_ergonomically() {
+    assert_eq!(ObjectId::from(7u64), ObjectId(7));
+    assert_eq!(u64::from(ObjectId(7)), 7);
+    assert_eq!(ObjectId(9).raw(), 9);
+    let key: ObjectId = 11u64.into();
+    assert_eq!(key.to_string(), "obj11");
+}
