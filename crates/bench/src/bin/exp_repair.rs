@@ -151,7 +151,7 @@ fn run_point(cfg: Config, objects: u64) -> RepairBandwidth {
     client.set_timeout(Duration::from_secs(60));
     let mut values = ValueGenerator::new(cfg.value_size, 7);
     for obj in 0..objects {
-        client.submit_write_value(ObjectId(obj), values.next_value().into());
+        client.submit_write_value(ObjectId(obj), values.next_value());
     }
     client.wait_all().expect("population writes complete");
 
@@ -176,7 +176,7 @@ fn run_point(cfg: Config, objects: u64) -> RepairBandwidth {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 client
-                    .write(ObjectId(1_000 + (i % 8)), &values.next_value())
+                    .write(ObjectId(1_000 + (i % 8)), values.next_value().as_bytes())
                     .expect("background write survives the repair window");
                 i += 1;
             }
@@ -189,7 +189,7 @@ fn run_point(cfg: Config, objects: u64) -> RepairBandwidth {
 
     // The repaired server must serve traffic again.
     client
-        .write(ObjectId(0), &values.next_value())
+        .write(ObjectId(0), values.next_value().as_bytes())
         .expect("write after repair");
     drop(client);
     store.shutdown();

@@ -3,19 +3,25 @@
 //! Drives closed-loop clients — written ONCE against the unified
 //! [`Store`] trait, so the same `drive_client` code runs over a single
 //! [`lds_cluster::Cluster`] and over a sharded multi-cluster deployment;
-//! the topology is just the builder's `clusters` axis — sweeping
-//! `clients × pipeline depth × server shards × cluster shards × backend`,
-//! and records ops/sec with p50/p99 latency to `BENCH_CLUSTER.json`.
+//! the topology is just the builder's `clusters` axis — and records ops/sec
+//! with p50/p99 latency to `BENCH_CLUSTER.json`. Three sweep axes:
 //!
-//! The `(depth = 1, shards = 1, clusters = 1)` point of each backend is the
-//! pre-PR-2 baseline: one blocking operation in flight per client and one
-//! worker thread per server. The JSON records the speedup of the best
-//! pipelined+sharded configuration over that baseline so future PRs have a
-//! protocol-level performance trajectory, not just a codec-level one
-//! (`BENCH_CODES.json`). The `_meta` block records the host's core count —
-//! on a 1-core container the sharding/multi-cluster gains come from fewer
-//! messages and batched processing, not parallelism, and the recorded
-//! numbers say so themselves.
+//! * **topology** — `clients × pipeline depth × server shards × cluster
+//!   shards × backend`, at the base workload (small uniform values, 50/50
+//!   read/write). The `(depth = 1, shards = 1, clusters = 1)` point of each
+//!   backend is the pre-PR-2 baseline the recorded speedups compare against.
+//! * **size** — value sizes 256 B → 16 MiB at a fixed tuned topology, with
+//!   the chunk-striped data path off and (at ≥ 1 MiB) on, so the JSON
+//!   records what striping buys at which size.
+//! * **skew** — Zipfian key skew θ ∈ {0, 0.9, 0.99} × read fraction
+//!   ∈ {0.5, 0.95} at small values, with the tag-validated client read
+//!   cache off and (at θ = 0.99) on. Cache-on and cache-off points replay
+//!   identical per-client key/value sequences (same seeds), so their p99s
+//!   are directly comparable.
+//!
+//! The `_meta` block records the host's core count — on a 1-core container
+//! the sharding/multi-cluster gains come from fewer messages and batched
+//! processing, not parallelism, and the recorded numbers say so themselves.
 //!
 //! Usage:
 //!
@@ -31,8 +37,16 @@ use lds_bench::{fmt3, print_table, today_utc, SCHEMA_VERSION};
 use lds_cluster::api::{ObjectId, Store, StoreBuilder};
 use lds_core::backend::BackendKind;
 use lds_workload::throughput::{LatencyRecorder, ThroughputSummary};
-use lds_workload::ValueGenerator;
+use lds_workload::{ValueGenerator, ZipfianGenerator};
 use std::time::{Duration, Instant};
+
+/// Values at or above this size take the striped data path on `stripe: true`
+/// points (the builder's default 256 KiB stripe size applies).
+const STRIPE_THRESHOLD: usize = 1 << 20;
+
+/// Entries in the per-client tag-validated read cache on `read_cache: true`
+/// points.
+const READ_CACHE_ENTRIES: usize = 32;
 
 /// Protocol-cost profile of a sweep point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +68,7 @@ impl Profile {
     }
 }
 
-/// One point of the sweep.
+/// Topology of one point of the sweep.
 #[derive(Debug, Clone, Copy)]
 struct Config {
     backend: BackendKind,
@@ -77,17 +91,49 @@ impl Config {
     }
 }
 
-struct PointResult {
-    cfg: Config,
-    summary: ThroughputSummary,
-}
-
-/// Workload shape shared by every point of a sweep.
+/// Workload shape of one point of the sweep.
 #[derive(Debug, Clone, Copy)]
 struct Workload {
     objects: u64,
     value_size: usize,
     ops_per_client: usize,
+    /// Zipfian key skew over the object pool; `0.0` = uniform.
+    theta: f64,
+    /// Fraction of operations that are reads (the rest are writes).
+    read_fraction: f64,
+    /// Chunk-striped data path for values ≥ [`STRIPE_THRESHOLD`].
+    stripe: bool,
+    /// Tag-validated per-client read cache ([`READ_CACHE_ENTRIES`] entries).
+    read_cache: bool,
+}
+
+impl Workload {
+    fn base(objects: u64, value_size: usize, ops_per_client: usize) -> Workload {
+        Workload {
+            objects,
+            value_size,
+            ops_per_client,
+            theta: 0.0,
+            read_fraction: 0.5,
+            stripe: false,
+            read_cache: false,
+        }
+    }
+}
+
+/// One point: which sweep axis it belongs to (speedup extraction only uses
+/// `topology` points), its topology and its workload.
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    axis: &'static str,
+    cfg: Config,
+    wl: Workload,
+}
+
+struct PointResult {
+    point: Point,
+    summary: ThroughputSummary,
+    cache_hits: u64,
 }
 
 fn main() {
@@ -120,118 +166,45 @@ fn main() {
         }
     }
 
-    let (workload, configs) = if smoke {
-        let workload = Workload {
-            objects: 16,
-            value_size: 64,
-            ops_per_client: ops_override.unwrap_or(40),
-        };
-        let mut configs = Vec::new();
-        for backend in [BackendKind::Mbr, BackendKind::Replication] {
-            configs.push(Config {
-                backend,
-                clients: 2,
-                depth: 1,
-                shards: 1,
-                clusters: 1,
-                profile: Profile::Faithful,
-            });
-            configs.push(Config {
-                backend,
-                clients: 2,
-                depth: 4,
-                shards: 2,
-                clusters: 1,
-                profile: Profile::Tuned,
-            });
-            // The multi-cluster facade rides in the smoke sweep so CI
-            // exercises ShardedCluster end to end.
-            configs.push(Config {
-                backend,
-                clients: 2,
-                depth: 4,
-                shards: 2,
-                clusters: multi_clusters.max(2),
-                profile: Profile::Tuned,
-            });
-        }
-        (workload, configs)
+    let points = if smoke {
+        smoke_points(ops_override, multi_clusters)
     } else {
-        let workload = Workload {
-            objects: 64,
-            value_size: 256,
-            ops_per_client: ops_override.unwrap_or(400),
-        };
-        let mut configs = Vec::new();
-        for backend in [
-            BackendKind::Mbr,
-            BackendKind::MsrPoint,
-            BackendKind::ProductMatrixMsr,
-            BackendKind::Replication,
-        ] {
-            use Profile::*;
-            for (clients, depth, shards, clusters, profile) in [
-                // Single-in-flight references: one blocking op at a time.
-                (1, 1, 1, 1, Faithful),
-                (4, 1, 1, 1, Faithful), // <- the baseline speedups compare against
-                // Pipelining and sharding alone (paper-faithful messages).
-                (4, 8, 1, 1, Faithful),
-                (4, 8, 2, 1, Faithful),
-                (8, 16, 2, 1, Faithful),
-                // The high-throughput profile on top.
-                (4, 32, 1, 1, Tuned),
-                (4, 32, 2, 1, Tuned),
-                (8, 32, 2, 1, Tuned),
-                // Scale-out: the same best configs over N independent
-                // clusters behind the ShardedClient facade.
-                (4, 32, 2, multi_clusters, Tuned),
-                (8, 32, 2, multi_clusters, Tuned),
-            ] {
-                if clusters == 1
-                    && configs.iter().any(|c: &Config| {
-                        c.backend == backend
-                            && c.clients == clients
-                            && c.depth == depth
-                            && c.shards == shards
-                            && c.clusters == 1
-                            && c.profile == profile
-                    })
-                {
-                    continue; // --clusters 1 would duplicate existing points
-                }
-                configs.push(Config {
-                    backend,
-                    clients,
-                    depth,
-                    shards,
-                    clusters,
-                    profile,
-                });
-            }
-        }
-        (workload, configs)
+        full_points(ops_override, multi_clusters)
     };
 
-    let mut results = Vec::with_capacity(configs.len());
-    for cfg in configs {
-        let summary = run_point(cfg, workload);
+    let mut results = Vec::with_capacity(points.len());
+    for point in points {
+        let (summary, cache_hits) = run_point(point);
         eprintln!(
-            "{:>18} {:>8}  clients={} depth={:>2} shards={} clusters={}  {:>9.0} ops/s  p50={:>7.0}us p99={:>7.0}us",
-            cfg.backend.to_string(),
-            cfg.profile.label(),
-            cfg.clients,
-            cfg.depth,
-            cfg.shards,
-            cfg.clusters,
+            "{:>8} {:>18} {:>8}  clients={} depth={:>2} shards={} clusters={}  \
+             vsize={:>8} theta={:.2} rf={:.2} stripe={} cache={}  \
+             {:>9.0} ops/s  p50={:>7.0}us p99={:>7.0}us  hits={}",
+            point.axis,
+            point.cfg.backend.to_string(),
+            point.cfg.profile.label(),
+            point.cfg.clients,
+            point.cfg.depth,
+            point.cfg.shards,
+            point.cfg.clusters,
+            point.wl.value_size,
+            point.wl.theta,
+            point.wl.read_fraction,
+            point.wl.stripe,
+            point.wl.read_cache,
             summary.ops_per_sec,
             summary.p50_us,
             summary.p99_us,
+            cache_hits,
         );
-        results.push(PointResult { cfg, summary });
+        results.push(PointResult {
+            point,
+            summary,
+            cache_hits,
+        });
     }
 
     print_results(&results);
-    let json = render_json(&results, workload, smoke);
+    let json = render_json(&results, smoke);
     std::fs::write(&out_path, &json).expect("write benchmark output");
     // Sanity-check what we just wrote so CI can rely on the file.
     let written = std::fs::read_to_string(&out_path).expect("re-read benchmark output");
@@ -242,12 +215,228 @@ fn main() {
     println!("\nwrote {} ({} bytes)", out_path, written.len());
 }
 
-/// Runs one sweep point and returns its merged summary. The deployment is
-/// built through the `StoreBuilder` facade: the sweep's `clusters` axis is
-/// exactly the builder's `clusters(n)` axis, and the same
-/// [`lds_cluster::api::StoreHandle`] / generic [`drive_client`] pair covers
-/// both topologies.
-fn run_point(cfg: Config, workload: Workload) -> ThroughputSummary {
+/// The CI smoke sweep: the topology points of PR 2–5 plus one large-value
+/// striped point and one skewed cache-on point, so both new data paths run
+/// end to end on every commit.
+fn smoke_points(ops_override: Option<usize>, multi_clusters: usize) -> Vec<Point> {
+    let wl = Workload::base(16, 64, ops_override.unwrap_or(40));
+    let mut points = Vec::new();
+    for backend in [BackendKind::Mbr, BackendKind::Replication] {
+        points.push(Point {
+            axis: "topology",
+            cfg: Config {
+                backend,
+                clients: 2,
+                depth: 1,
+                shards: 1,
+                clusters: 1,
+                profile: Profile::Faithful,
+            },
+            wl,
+        });
+        points.push(Point {
+            axis: "topology",
+            cfg: Config {
+                backend,
+                clients: 2,
+                depth: 4,
+                shards: 2,
+                clusters: 1,
+                profile: Profile::Tuned,
+            },
+            wl,
+        });
+        // The multi-cluster facade rides in the smoke sweep so CI
+        // exercises ShardedCluster end to end.
+        points.push(Point {
+            axis: "topology",
+            cfg: Config {
+                backend,
+                clients: 2,
+                depth: 4,
+                shards: 2,
+                clusters: multi_clusters.max(2),
+                profile: Profile::Tuned,
+            },
+            wl,
+        });
+    }
+    // Large-value striped path: 4 MiB values through PUT-STRIPE framing and
+    // pooled per-stripe encodes.
+    points.push(Point {
+        axis: "size",
+        cfg: Config {
+            backend: BackendKind::Mbr,
+            clients: 1,
+            depth: 2,
+            shards: 1,
+            clusters: 1,
+            profile: Profile::Tuned,
+        },
+        wl: Workload {
+            stripe: true,
+            ..Workload::base(2, 4 << 20, ops_override.unwrap_or(40).min(6))
+        },
+    });
+    // Skewed hot-object path: θ = 0.99 with the tag-validated read cache on.
+    points.push(Point {
+        axis: "skew",
+        cfg: Config {
+            backend: BackendKind::Mbr,
+            clients: 2,
+            depth: 4,
+            shards: 2,
+            clusters: 1,
+            profile: Profile::Tuned,
+        },
+        wl: Workload {
+            theta: 0.99,
+            read_fraction: 0.95,
+            read_cache: true,
+            ..wl
+        },
+    });
+    points
+}
+
+/// The full recorded sweep: the PR 2–5 topology grid, the value-size axis
+/// (striping off/on) and the skew axis (read cache off/on).
+fn full_points(ops_override: Option<usize>, multi_clusters: usize) -> Vec<Point> {
+    let base_wl = Workload::base(64, 256, ops_override.unwrap_or(400));
+    let mut points = Vec::new();
+    let mut seen: Vec<Config> = Vec::new();
+    for backend in [
+        BackendKind::Mbr,
+        BackendKind::MsrPoint,
+        BackendKind::ProductMatrixMsr,
+        BackendKind::Replication,
+    ] {
+        use Profile::*;
+        for (clients, depth, shards, clusters, profile) in [
+            // Single-in-flight references: one blocking op at a time.
+            (1, 1, 1, 1, Faithful),
+            (4, 1, 1, 1, Faithful), // <- the baseline speedups compare against
+            // Pipelining and sharding alone (paper-faithful messages).
+            (4, 8, 1, 1, Faithful),
+            (4, 8, 2, 1, Faithful),
+            (8, 16, 2, 1, Faithful),
+            // The high-throughput profile on top.
+            (4, 32, 1, 1, Tuned),
+            (4, 32, 2, 1, Tuned),
+            (8, 32, 2, 1, Tuned),
+            // Scale-out: the same best configs over N independent
+            // clusters behind the ShardedClient facade.
+            (4, 32, 2, multi_clusters, Tuned),
+            (8, 32, 2, multi_clusters, Tuned),
+        ] {
+            if clusters == 1
+                && seen.iter().any(|c| {
+                    c.backend == backend
+                        && c.clients == clients
+                        && c.depth == depth
+                        && c.shards == shards
+                        && c.clusters == 1
+                        && c.profile == profile
+                })
+            {
+                continue; // --clusters 1 would duplicate existing points
+            }
+            let cfg = Config {
+                backend,
+                clients,
+                depth,
+                shards,
+                clusters,
+                profile,
+            };
+            seen.push(cfg);
+            points.push(Point {
+                axis: "topology",
+                cfg,
+                wl: base_wl,
+            });
+        }
+    }
+
+    // Value-size axis: one fixed tuned topology, sizes from 256 B to 16 MiB,
+    // the striped path off everywhere and on at >= 1 MiB (values below the
+    // 1 MiB threshold never stripe, so an "on" point there is a no-op).
+    let size_cfg = Config {
+        backend: BackendKind::Mbr,
+        clients: 2,
+        depth: 8,
+        shards: 2,
+        clusters: 1,
+        profile: Profile::Tuned,
+    };
+    for (value_size, ops) in [
+        (256, 400),
+        (64 << 10, 200),
+        (1 << 20, 60),
+        (4 << 20, 24),
+        (16 << 20, 8),
+    ] {
+        let objects = if value_size >= 1 << 20 { 8 } else { 64 };
+        let wl = Workload::base(objects, value_size, ops_override.unwrap_or(ops));
+        points.push(Point {
+            axis: "size",
+            cfg: size_cfg,
+            wl,
+        });
+        if value_size >= STRIPE_THRESHOLD {
+            points.push(Point {
+                axis: "size",
+                cfg: size_cfg,
+                wl: Workload { stripe: true, ..wl },
+            });
+        }
+    }
+
+    // Skew axis: small values, Zipfian key choice, read-heavy and balanced
+    // mixes; the read cache rides only on the θ = 0.99 points (hot-object
+    // regime), against cache-off twins with identical seeds.
+    let skew_cfg = Config {
+        backend: BackendKind::Mbr,
+        clients: 4,
+        depth: 16,
+        shards: 2,
+        clusters: 1,
+        profile: Profile::Tuned,
+    };
+    for theta in [0.0, 0.9, 0.99] {
+        for read_fraction in [0.5, 0.95] {
+            let wl = Workload {
+                theta,
+                read_fraction,
+                ..base_wl
+            };
+            points.push(Point {
+                axis: "skew",
+                cfg: skew_cfg,
+                wl,
+            });
+            if theta == 0.99 {
+                points.push(Point {
+                    axis: "skew",
+                    cfg: skew_cfg,
+                    wl: Workload {
+                        read_cache: true,
+                        ..wl
+                    },
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Runs one sweep point and returns its merged summary plus total read-cache
+/// hits across clients. The deployment is built through the `StoreBuilder`
+/// facade: the sweep's `clusters` axis is exactly the builder's
+/// `clusters(n)` axis, and the same [`lds_cluster::api::StoreHandle`] /
+/// generic [`drive_client`] pair covers both topologies.
+fn run_point(point: Point) -> (ThroughputSummary, u64) {
+    let Point { cfg, wl, .. } = point;
     // The sweep's shard dimension is the L1 layer, where all mutable protocol
     // state lives; L2 servers are nearly stateless per message, so extra L2
     // threads only add scheduling overhead.
@@ -256,11 +445,28 @@ fn run_point(cfg: Config, workload: Workload) -> ThroughputSummary {
         Profile::Faithful => builder.paper_faithful().l1_shards(cfg.shards),
         Profile::Tuned => builder.high_throughput(cfg.shards).l2_shards(1),
     };
+    let builder = builder
+        .stripe_threshold(if wl.stripe { STRIPE_THRESHOLD } else { 0 })
+        .read_cache(if wl.read_cache { READ_CACHE_ENTRIES } else { 0 });
     let store = builder
         .backend(cfg.backend)
         .clusters(cfg.clusters)
         .build()
         .expect("validated sweep configuration");
+
+    // Warm-up outside the measured window: write every object once so reads
+    // never observe the empty initial value, then let the write-to-L2
+    // offload traffic drain before the clock starts.
+    {
+        let mut warm = store.client_with_depth(4);
+        warm.set_timeout(Duration::from_secs(120));
+        let mut values = ValueGenerator::new(wl.value_size, 0xFEED);
+        for obj in 0..wl.objects {
+            warm.submit_write_value(ObjectId(obj), values.next_value());
+        }
+        warm.wait_all().expect("warm-up writes complete");
+    }
+
     let start = Instant::now();
     let mut handles = Vec::with_capacity(cfg.clients);
     for c in 0..cfg.clients {
@@ -268,41 +474,54 @@ fn run_point(cfg: Config, workload: Workload) -> ThroughputSummary {
         let seed = c as u64 + 1;
         handles.push(std::thread::spawn(move || {
             let mut client = store.client_with_depth(cfg.depth);
-            drive_client(&mut client, cfg.depth, workload, seed)
+            drive_client(&mut client, cfg.depth, wl, seed)
         }));
     }
     let mut rec = LatencyRecorder::new();
+    let mut cache_hits = 0u64;
     for h in handles {
-        rec.merge(&h.join().expect("client thread"));
+        let (client_rec, client_hits) = h.join().expect("client thread");
+        rec.merge(&client_rec);
+        cache_hits += client_hits;
     }
     let elapsed = start.elapsed();
     store.shutdown();
-    rec.summarize(elapsed)
+    (rec.summarize(elapsed), cache_hits)
 }
 
 /// One closed-loop client: keeps the pipeline full (up to `depth`
-/// outstanding operations, alternating writes and reads over a shared
-/// object pool) until its quota completes. Generic over [`Store`], so the
-/// exact same loop measures every topology.
+/// outstanding operations; keys Zipfian over the object pool, reads with
+/// probability `read_fraction`) until its quota completes. Generic over
+/// [`Store`], so the exact same loop measures every topology. The key and
+/// read/write choice streams depend only on `(workload, seed)`, so twin
+/// points that differ in a server-side knob (striping, read cache) replay
+/// identical operation sequences.
 fn drive_client<S: Store>(
     client: &mut S,
     depth: usize,
     workload: Workload,
     seed: u64,
-) -> LatencyRecorder {
-    client.set_timeout(Duration::from_secs(60));
+) -> (LatencyRecorder, u64) {
+    client.set_timeout(Duration::from_secs(120));
     let mut values = ValueGenerator::new(workload.value_size, seed);
+    let mut keys = ZipfianGenerator::new(
+        workload.objects,
+        workload.theta,
+        seed.wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(workload.objects),
+    );
     let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     let mut rec = LatencyRecorder::new();
     let mut issued = 0usize;
     let mut completed = 0usize;
     while completed < workload.ops_per_client {
         while issued < workload.ops_per_client && client.pending_ops() < depth {
-            let obj = ObjectId(xorshift(&mut rng) % workload.objects);
-            if issued.is_multiple_of(2) {
-                client.submit_write_value(obj, values.next_value().into());
-            } else {
+            let obj = ObjectId(keys.next_key());
+            let coin = (xorshift(&mut rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if coin < workload.read_fraction {
                 client.submit_read(obj);
+            } else {
+                client.submit_write_value(obj, values.next_value());
             }
             issued += 1;
         }
@@ -312,7 +531,7 @@ fn drive_client<S: Store>(
             completed += 1;
         }
     }
-    rec
+    (rec, client.cache_hits())
 }
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -329,13 +548,19 @@ fn print_results(results: &[PointResult]) {
         .iter()
         .map(|r| {
             vec![
-                r.cfg.backend.to_string(),
-                r.cfg.profile.label().to_string(),
-                r.cfg.clients.to_string(),
-                r.cfg.depth.to_string(),
-                r.cfg.shards.to_string(),
-                r.cfg.clusters.to_string(),
-                r.summary.ops.to_string(),
+                r.point.axis.to_string(),
+                r.point.cfg.backend.to_string(),
+                r.point.cfg.profile.label().to_string(),
+                r.point.cfg.clients.to_string(),
+                r.point.cfg.depth.to_string(),
+                r.point.cfg.shards.to_string(),
+                r.point.cfg.clusters.to_string(),
+                r.point.wl.value_size.to_string(),
+                format!("{:.2}", r.point.wl.theta),
+                format!("{:.2}", r.point.wl.read_fraction),
+                if r.point.wl.stripe { "on" } else { "-" }.to_string(),
+                if r.point.wl.read_cache { "on" } else { "-" }.to_string(),
+                r.cache_hits.to_string(),
                 format!("{:.0}", r.summary.ops_per_sec),
                 format!("{:.0}", r.summary.p50_us),
                 format!("{:.0}", r.summary.p99_us),
@@ -343,10 +568,10 @@ fn print_results(results: &[PointResult]) {
         })
         .collect();
     print_table(
-        "cluster throughput (closed loop, 50/50 write/read)",
+        "cluster throughput (closed loop)",
         &[
-            "backend", "profile", "clients", "depth", "shards", "clusters", "ops", "ops/s",
-            "p50 us", "p99 us",
+            "axis", "backend", "profile", "clients", "depth", "shards", "clusters", "vsize",
+            "theta", "rf", "stripe", "cache", "hits", "ops/s", "p50 us", "p99 us",
         ],
         &rows,
     );
@@ -359,25 +584,27 @@ fn print_results(results: &[PointResult]) {
             fmt3(baseline.summary.ops_per_sec),
             fmt3(best.summary.ops_per_sec),
             fmt3(best.summary.ops_per_sec / baseline.summary.ops_per_sec.max(1e-9)),
-            best.cfg.profile.label(),
-            best.cfg.clients,
-            best.cfg.depth,
-            best.cfg.shards,
-            best.cfg.clusters,
+            best.point.cfg.profile.label(),
+            best.point.cfg.clients,
+            best.point.cfg.depth,
+            best.point.cfg.shards,
+            best.point.cfg.clusters,
         );
     }
 }
 
 /// For each backend (in first-seen order): its baseline point and its
-/// fastest non-baseline point. When several baseline candidates exist (e.g.
-/// 1-client and 4-client single-in-flight points), the one with the most
-/// clients is used — the strictest comparison, since more blocking clients
-/// already overlap operations.
+/// fastest non-baseline point, considering only the `topology` axis (the
+/// size/skew axes measure workload effects at one topology, not topology
+/// speedups). When several baseline candidates exist (e.g. 1-client and
+/// 4-client single-in-flight points), the one with the most clients is used
+/// — the strictest comparison, since more blocking clients already overlap
+/// operations.
 fn per_backend_extremes(results: &[PointResult]) -> Vec<(BackendKind, &PointResult, &PointResult)> {
     let mut backends: Vec<BackendKind> = Vec::new();
     for r in results {
-        if !backends.contains(&r.cfg.backend) {
-            backends.push(r.cfg.backend);
+        if r.point.axis == "topology" && !backends.contains(&r.point.cfg.backend) {
+            backends.push(r.point.cfg.backend);
         }
     }
     backends
@@ -385,15 +612,15 @@ fn per_backend_extremes(results: &[PointResult]) -> Vec<(BackendKind, &PointResu
         .filter_map(|backend| {
             let of_backend: Vec<&PointResult> = results
                 .iter()
-                .filter(|r| r.cfg.backend == backend)
+                .filter(|r| r.point.axis == "topology" && r.point.cfg.backend == backend)
                 .collect();
             let baseline = of_backend
                 .iter()
-                .filter(|r| r.cfg.is_baseline())
-                .max_by_key(|r| r.cfg.clients)?;
+                .filter(|r| r.point.cfg.is_baseline())
+                .max_by_key(|r| r.point.cfg.clients)?;
             let best = of_backend
                 .iter()
-                .filter(|r| !r.cfg.is_baseline())
+                .filter(|r| !r.point.cfg.is_baseline())
                 .max_by(|a, b| {
                     a.summary
                         .ops_per_sec
@@ -414,7 +641,7 @@ fn host_cores() -> usize {
         .unwrap_or(1)
 }
 
-fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> String {
+fn render_json(results: &[PointResult], smoke: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"_meta\": {\n");
@@ -422,14 +649,23 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
         "    \"description\": \"End-to-end throughput of the threaded cluster runtime: \
          closed-loop clients driving the pipelined ClusterClient API against sharded L1 \
          servers; points with clusters > 1 run N independent L1/L2 groups behind the \
-         ShardedClient facade (object space partitioned by consistent hash). baseline = \
-         single-in-flight (depth 1), unsharded, single-cluster, paper-faithful message \
-         flow — i.e. the pre-pipelining runtime. profile=tuned flips the documented \
-         protocol-cost knobs (direct COMMIT-TAG broadcast, inline self-delivery, \
-         committed-value cache, f1+1 offloaders, no L2 write acks); atomicity is preserved \
-         and covered by the cluster stress tests. See host_cores for how much hardware \
-         parallelism backed the recorded numbers: on 1 core, sharding/multi-cluster gains \
-         come from fewer messages and batched processing, not parallelism.\",\n",
+         ShardedClient facade (object space partitioned by consistent hash). Three axes: \
+         axis=topology sweeps clients/depth/shards/clusters/backend at the base workload \
+         (baseline = single-in-flight depth 1, unsharded, single-cluster, paper-faithful \
+         flow — the pre-pipelining runtime; profile=tuned flips the documented \
+         protocol-cost knobs, atomicity preserved and covered by the cluster stress \
+         tests). axis=size sweeps value_size 256 B..16 MiB at one tuned topology with the \
+         chunk-striped large-value path off/on (stripe=true: values >= 1 MiB are split \
+         into 256 KiB stripes, streamed as PUT-STRIPE and erasure-coded per stripe from a \
+         reusable buffer pool, bounding peak encode memory by the stripe, not the value). \
+         axis=skew sweeps Zipfian theta x read_fraction at small values with the \
+         tag-validated client read cache off/on (read_cache=true: a read whose \
+         quorum-confirmed committed tag matches the cached tag skips the data-transfer \
+         phase; the tag quorum and put-tag write-back still run, so atomicity is \
+         untouched). Cache/stripe twin points replay identical per-client op sequences \
+         (same seeds). See host_cores for how much hardware parallelism backed the \
+         recorded numbers: on 1 core, sharding/multi-cluster gains come from fewer \
+         messages and batched processing, not parallelism.\",\n",
     );
     out.push_str(&format!(
         "    \"command\": \"cargo run --release -p lds-bench --bin exp_throughput{}\",\n",
@@ -440,7 +676,8 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
     out.push_str(&format!("    \"host_cores\": {},\n", host_cores()));
     out.push_str(
         "    \"params\": \"f1=1 f2=1 k=2 d=3 (n1=4, n2=5) per cluster; one deployment per \
-         point, clients on their own threads\",\n",
+         point, clients on their own threads; every point warm-writes its object pool \
+         before the measured window\",\n",
     );
     out.push_str(
         "    \"mbr_small_value_offload_note\": \"PR 4 (MBR tuned-profile gap): write-to-L2 \
@@ -461,11 +698,11 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
          (-41%), 256 B: 2546 -> 1842 (-28%); 1 KiB values (symbol_len = 86) stay on the \
          vector path and are unchanged.\",\n",
     );
-    out.push_str(&format!(
-        "    \"workload\": \"50/50 write/read, uniform over {} objects, {}-byte values, {} \
-         ops per client, latency measured submit->completion\",\n",
-        workload.objects, workload.value_size, workload.ops_per_client
-    ));
+    out.push_str(
+        "    \"workload\": \"per result row: value_size bytes, Zipfian theta (0 = \
+         uniform), read_fraction of ops, stripe/read_cache on/off, cache_hits = reads \
+         that skipped the data phase; latency measured submit->completion\",\n",
+    );
     out.push_str(
         "    \"units\": \"ops_per_sec = completed operations per wall-clock second across \
          all clients; latencies in microseconds\"\n",
@@ -482,18 +719,18 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
              \"best_config\": \"{} clients={} depth={} shards={} clusters={}\" }}{}\n",
             backend,
             baseline.summary.ops_per_sec,
-            baseline.cfg.profile.label(),
-            baseline.cfg.clients,
-            baseline.cfg.depth,
-            baseline.cfg.shards,
-            baseline.cfg.clusters,
+            baseline.point.cfg.profile.label(),
+            baseline.point.cfg.clients,
+            baseline.point.cfg.depth,
+            baseline.point.cfg.shards,
+            baseline.point.cfg.clusters,
             best.summary.ops_per_sec,
             best.summary.ops_per_sec / baseline.summary.ops_per_sec.max(1e-9),
-            best.cfg.profile.label(),
-            best.cfg.clients,
-            best.cfg.depth,
-            best.cfg.shards,
-            best.cfg.clusters,
+            best.point.cfg.profile.label(),
+            best.point.cfg.clients,
+            best.point.cfg.depth,
+            best.point.cfg.shards,
+            best.point.cfg.clusters,
             if i + 1 < extremes.len() { "," } else { "" }
         ));
     }
@@ -502,16 +739,25 @@ fn render_json(results: &[PointResult], workload: Workload, smoke: bool) -> Stri
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{ \"backend\": \"{}\", \"profile\": \"{}\", \"clients\": {}, \
-             \"depth\": {}, \"shards\": {}, \"clusters\": {}, \
+            "    {{ \"axis\": \"{}\", \"backend\": \"{}\", \"profile\": \"{}\", \
+             \"clients\": {}, \"depth\": {}, \"shards\": {}, \"clusters\": {}, \
+             \"value_size\": {}, \"theta\": {:.2}, \"read_fraction\": {:.2}, \
+             \"stripe\": {}, \"read_cache\": {}, \"cache_hits\": {}, \
              \"ops\": {}, \"elapsed_s\": {:.4}, \"ops_per_sec\": {:.1}, \"p50_us\": {:.1}, \
              \"p99_us\": {:.1}, \"mean_us\": {:.1} }}{}\n",
-            r.cfg.backend,
-            r.cfg.profile.label(),
-            r.cfg.clients,
-            r.cfg.depth,
-            r.cfg.shards,
-            r.cfg.clusters,
+            r.point.axis,
+            r.point.cfg.backend,
+            r.point.cfg.profile.label(),
+            r.point.cfg.clients,
+            r.point.cfg.depth,
+            r.point.cfg.shards,
+            r.point.cfg.clusters,
+            r.point.wl.value_size,
+            r.point.wl.theta,
+            r.point.wl.read_fraction,
+            r.point.wl.stripe,
+            r.point.wl.read_cache,
+            r.cache_hits,
             r.summary.ops,
             r.summary.elapsed_s,
             r.summary.ops_per_sec,

@@ -79,8 +79,12 @@ pub fn fmt3(x: f64) -> String {
 /// without it.
 ///
 /// History: 1 = the unversioned PR 2–4 layout (implicit); 2 = identical
-/// layout plus this explicit stamp.
-pub const SCHEMA_VERSION: u32 = 2;
+/// layout plus this explicit stamp; 3 = `BENCH_CLUSTER.json` result rows
+/// gain the workload axes `{value_size, theta, read_fraction, stripe,
+/// read_cache, cache_hits}` (PR 6 large-value striping + read cache +
+/// skewed workloads — other `BENCH_*.json` layouts are unchanged and carry
+/// the stamp forward).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm —
 /// no date crate offline). Stamped into the `_meta.generated` field of every

@@ -61,6 +61,7 @@ pub struct StoreBuilder {
     l2_shards: usize,
     pipeline_depth: usize,
     inbox_cap: Option<usize>,
+    read_cache_entries: usize,
     l1: L1Options,
     l2: L2Options,
 }
@@ -79,6 +80,7 @@ impl Default for StoreBuilder {
             l2_shards: 1,
             pipeline_depth: 16,
             inbox_cap: None,
+            read_cache_entries: 0,
             l1: L1Options::default(),
             l2: L2Options::default(),
         }
@@ -192,6 +194,37 @@ impl StoreBuilder {
         self
     }
 
+    /// Values of at least `threshold` bytes take the striped data path:
+    /// writers stream them as fixed-size stripes (`PUT-STRIPE`) and L1
+    /// servers erasure-code each stripe independently into pooled scratch
+    /// buffers, so peak encode memory is bounded by the stripe size instead
+    /// of the value size. `0` (the default) disables striping. The logical
+    /// operation stays atomic — one tag covers all stripes.
+    pub fn stripe_threshold(mut self, threshold: usize) -> StoreBuilder {
+        self.l1.stripe_threshold = threshold;
+        self
+    }
+
+    /// Stripe size in bytes for the striped data path (default 256 KiB).
+    /// Only meaningful together with a non-zero
+    /// [`stripe_threshold`](StoreBuilder::stripe_threshold); must be
+    /// non-zero (validated at `build()`).
+    pub fn stripe_size(mut self, size: usize) -> StoreBuilder {
+        self.l1.stripe_size = size;
+        self
+    }
+
+    /// Tag-validated client read cache: each client handle remembers the
+    /// last committed `(tag, value)` of up to `entries` recently accessed
+    /// objects. A read still runs the committed-tag quorum round; only when
+    /// the quorum-confirmed tag matches the cached tag is the data-transfer
+    /// phase skipped, so linearizability is untouched. `0` (the default)
+    /// disables the cache.
+    pub fn read_cache(mut self, entries: usize) -> StoreBuilder {
+        self.read_cache_entries = entries;
+        self
+    }
+
     /// Bounded-inbox mode: at most `cap` client operations admitted
     /// concurrently per L1 key partition (per cluster shard). A saturated
     /// partition makes [`crate::api::Store::try_submit_write`] /
@@ -236,6 +269,11 @@ impl StoreBuilder {
                 "inbox_cap must be at least 1 when set".into(),
             ));
         }
+        if self.l1.stripe_threshold > 0 && self.l1.stripe_size == 0 {
+            return Err(StoreError::InvalidConfig(
+                "stripe_size must be at least 1 when striping is enabled".into(),
+            ));
+        }
         let options = ClusterOptions {
             l1_shards: self.l1_shards,
             l2_shards: self.l2_shards,
@@ -243,6 +281,7 @@ impl StoreBuilder {
             l2: self.l2,
             pipeline_depth: self.pipeline_depth,
             inbox_cap: self.inbox_cap,
+            read_cache_entries: self.read_cache_entries,
         };
         let topo = if self.clusters > 1 {
             Topo::Sharded(ShardedCluster::launch(

@@ -260,4 +260,8 @@ impl Store for StoreClient {
     fn last_tag(&self) -> Option<Tag> {
         delegate!(ref self, c => Store::last_tag(c.as_ref()))
     }
+
+    fn cache_hits(&self) -> u64 {
+        delegate!(ref self, c => Store::cache_hits(c.as_ref()))
+    }
 }

@@ -163,6 +163,12 @@ pub trait Store {
 
     /// The tag of this handle's most recently completed operation.
     fn last_tag(&self) -> Option<Tag>;
+
+    /// Reads this handle served from its tag-validated cache: the
+    /// committed-tag quorum confirmed the cached tag, so the data-transfer
+    /// phase was skipped. Always 0 unless the store was built with
+    /// [`read_cache`](crate::api::StoreBuilder::read_cache).
+    fn cache_hits(&self) -> u64;
 }
 
 /// Implements [`Store`] for an engine client type whose inherent methods
@@ -248,6 +254,10 @@ macro_rules! impl_store_for_engine_client {
 
             fn last_tag(&self) -> Option<Tag> {
                 <$client>::last_tag(self)
+            }
+
+            fn cache_hits(&self) -> u64 {
+                <$client>::cache_hits(self)
             }
         }
     };

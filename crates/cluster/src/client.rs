@@ -217,13 +217,16 @@ impl ClusterClient {
         depth: usize,
     ) -> Self {
         assert!(depth > 0, "pipeline depth must be at least 1");
-        let writer = WriterClient::new(id, cluster.params(), cluster.membership().clone());
-        let reader = ReaderClient::new(
+        let options = cluster.options();
+        let mut writer = WriterClient::new(id, cluster.params(), cluster.membership().clone());
+        writer.set_striping(options.l1.stripe_threshold, options.l1.stripe_size);
+        let mut reader = ReaderClient::new(
             id,
             cluster.params(),
             cluster.membership().clone(),
             cluster.backend(),
         );
+        reader.set_cache_entries(options.read_cache_entries);
         let route = cluster.router().handle();
         let admission = cluster.admission();
         ClusterClient {
@@ -267,6 +270,14 @@ impl ClusterClient {
     /// The tag of this client's most recently completed operation.
     pub fn last_tag(&self) -> Option<Tag> {
         self.last_tag
+    }
+
+    /// Reads served from this handle's tag-validated cache (the committed-tag
+    /// quorum confirmed the cached tag, so the data-transfer phase was
+    /// skipped). Always 0 unless [`crate::ClusterOptions::read_cache_entries`]
+    /// is non-zero.
+    pub fn cache_hits(&self) -> u64 {
+        self.reader.cache_hits()
     }
 
     /// Operations submitted but not yet harvested: queued + in flight +
@@ -667,12 +678,22 @@ impl ClusterClient {
     fn finish(&mut self, event: ProtocolEvent) {
         let now = Instant::now();
         match event {
-            ProtocolEvent::WriteCompleted { op, obj, tag, .. } => {
+            ProtocolEvent::WriteCompleted {
+                op,
+                obj,
+                tag,
+                value,
+                ..
+            } => {
                 if let Some(f) = self.write_ops.remove(&op) {
                     self.busy_objects.remove(&obj);
                     if let Some(admission) = &self.admission {
                         admission.release(obj);
                     }
+                    // A committed write fixes (tag → value): seed the read
+                    // cache so this handle's next read of the object can skip
+                    // the data-transfer phase if the tag is still current.
+                    self.reader.cache_insert(obj, tag, value);
                     self.last_tag = Some(tag);
                     self.completions.push(Completion {
                         ticket: f.ticket,

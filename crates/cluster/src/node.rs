@@ -63,7 +63,20 @@ pub struct ClusterOptions {
     /// for a slot; each worker-shard inbox is thereby bounded to a small
     /// multiple of `cap × `[`msgs_per_op_bound`] messages instead of growing
     /// without limit under overload.
+    ///
+    /// Note: a chunk-striped write (see [`L1Options::stripe_threshold`])
+    /// counts as **one** admitted operation but deposits one message per
+    /// stripe, so its inbox footprint exceeds the nominal
+    /// `msgs_per_op_bound` budget. The channels stay unbounded — this
+    /// cannot deadlock — it only loosens the per-inbox depth bound for
+    /// large-value workloads.
     pub inbox_cap: Option<usize>,
+    /// Capacity (in objects) of each client's tag-validated read cache;
+    /// `0` (the default) disables it. When the read's committed-tag quorum
+    /// reports a tag the client has cached, the data-transfer phase is
+    /// skipped entirely — atomicity is unaffected because tag discovery and
+    /// the put-tag write-back still run in full.
+    pub read_cache_entries: usize,
 }
 
 impl Default for ClusterOptions {
@@ -75,6 +88,7 @@ impl Default for ClusterOptions {
             l2: L2Options::default(),
             pipeline_depth: 16,
             inbox_cap: None,
+            read_cache_entries: 0,
         }
     }
 }
@@ -94,12 +108,14 @@ impl ClusterOptions {
                 cache_committed_value: true,
                 frugal_offload: true,
                 inline_self_broadcast: true,
+                ..L1Options::default()
             },
             l2: L2Options {
                 ack_code_elem: false,
             },
             pipeline_depth: 32,
             inbox_cap: None,
+            read_cache_entries: 0,
         }
     }
 }

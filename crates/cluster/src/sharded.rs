@@ -383,6 +383,13 @@ impl ShardedClient {
             .max()
     }
 
+    /// Reads served from the per-shard tag-validated caches (summed across
+    /// shards). Always 0 unless
+    /// [`crate::ClusterOptions::read_cache_entries`] is non-zero.
+    pub fn cache_hits(&self) -> u64 {
+        self.clients.iter().map(ClusterClient::cache_hits).sum()
+    }
+
     // ------------------------------------------------------------------
     // Pipelined API (mirrors `ClusterClient`).
     // ------------------------------------------------------------------

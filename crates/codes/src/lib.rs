@@ -83,10 +83,12 @@ pub mod replication;
 pub mod rs;
 pub mod scalar;
 pub mod share;
+pub mod stripe;
 pub mod striping;
 pub mod traits;
 
 pub use error::CodeError;
 pub use params::{CodeKind, CodeParams};
 pub use share::{HelperData, Share};
+pub use stripe::{BufPool, PoolStats};
 pub use traits::{ErasureCode, RegeneratingCode};

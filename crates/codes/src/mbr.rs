@@ -43,7 +43,7 @@ use crate::linear::{apply_into, combine, combine_into_scratch};
 use crate::params::{CodeKind, CodeParams};
 use crate::plan::PlanCache;
 use crate::share::{HelperData, Share};
-use crate::striping::{frame, unframe_into};
+use crate::striping::{frame, frame_into, unframe_into};
 use crate::traits::{dedup_by_index, dedup_helpers, ErasureCode, RegeneratingCode};
 use lds_gf::{bulk, Gf256, Matrix};
 use std::sync::Arc;
@@ -357,6 +357,33 @@ impl ErasureCode for ProductMatrixMbr {
             out.clear();
             out.resize(alpha * framed.symbol_len, 0);
             apply_into(&g, &framed.padded, framed.symbol_len, out)?;
+        }
+        Ok(())
+    }
+
+    fn encode_share_span_scratch(
+        &self,
+        data: &[u8],
+        start: usize,
+        outs: &mut [Vec<u8>],
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        let count = outs.len();
+        if count == 0 {
+            return Ok(());
+        }
+        self.check_index(start)?;
+        self.check_index(start + count - 1)?;
+        // Same shape as `encode_share_span_into`, but the framed buffer lives
+        // in the caller's pooled scratch — striping encodes many chunks back
+        // to back and reuses one frame allocation across all of them.
+        let symbol_len = frame_into(data, self.params.file_size(), scratch);
+        let alpha = self.params.alpha();
+        for (s, out) in outs.iter_mut().enumerate() {
+            let g = self.encode_plan(start + s)?;
+            out.clear();
+            out.resize(alpha * symbol_len, 0);
+            apply_into(&g, scratch, symbol_len, out)?;
         }
         Ok(())
     }
@@ -740,6 +767,26 @@ mod tests {
         // Out-of-range spans are rejected.
         let mut outs = vec![Vec::new(); 3];
         assert!(code.encode_share_span_into(b"x", 8, &mut outs).is_err());
+    }
+
+    #[test]
+    fn span_encode_scratch_matches_span_encode() {
+        let code = ProductMatrixMbr::with_dimensions(10, 3, 5).unwrap();
+        let mut scratch = vec![0xCC; 7]; // stale scratch must be discarded
+        for len in [0usize, 1, 17, 333] {
+            let value = sample_value(len);
+            let mut expected: Vec<Vec<u8>> = vec![Vec::new(); 6];
+            code.encode_share_span_into(&value, 4, &mut expected)
+                .unwrap();
+            let mut outs: Vec<Vec<u8>> = (0..6).map(|_| vec![0xEE; 2]).collect();
+            code.encode_share_span_scratch(&value, 4, &mut outs, &mut scratch)
+                .unwrap();
+            assert_eq!(outs, expected, "len={len}");
+        }
+        let mut outs = vec![Vec::new(); 3];
+        assert!(code
+            .encode_share_span_scratch(b"x", 8, &mut outs, &mut scratch)
+            .is_err());
     }
 
     #[test]

@@ -41,6 +41,30 @@ pub fn frame(data: &[u8], file_size: usize) -> Framed {
     Framed { padded, symbol_len }
 }
 
+/// Buffer-reuse variant of [`frame`]: frames `data` into `out` (cleared
+/// first, capacity reused) and returns the derived `symbol_len`.
+///
+/// This is the entry point the chunk-striped write path uses with a
+/// [`crate::stripe::BufPool`] scratch buffer: striping a large value encodes
+/// many stripes back to back, and re-allocating the padded frame for every
+/// stripe would dominate the encode itself.
+///
+/// # Panics
+///
+/// Panics if `file_size == 0`.
+pub fn frame_into(data: &[u8], file_size: usize, out: &mut Vec<u8>) -> usize {
+    assert!(file_size > 0, "file_size must be positive");
+    let total = HEADER_LEN + data.len();
+    let symbol_len = total.div_ceil(file_size).max(1);
+    let padded_len = symbol_len * file_size;
+    out.clear();
+    out.reserve(padded_len);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(data);
+    out.resize(padded_len, 0);
+    symbol_len
+}
+
 /// Inverse of [`frame`]: strips the header and padding.
 ///
 /// # Errors
@@ -107,6 +131,20 @@ mod tests {
                     data,
                     "fs={file_size} len={len}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_into_matches_frame_and_reuses_capacity() {
+        let mut out = vec![0xAA; 3]; // stale contents must be discarded
+        for file_size in [1usize, 5, 36] {
+            for len in [0usize, 1, 8, 100] {
+                let data: Vec<u8> = (0..len).map(|i| (i * 13 % 251) as u8).collect();
+                let sl = frame_into(&data, file_size, &mut out);
+                let fresh = frame(&data, file_size);
+                assert_eq!(sl, fresh.symbol_len, "fs={file_size} len={len}");
+                assert_eq!(out, fresh.padded, "fs={file_size} len={len}");
             }
         }
     }

@@ -80,6 +80,28 @@ pub trait ErasureCode: Send + Sync {
         Ok(())
     }
 
+    /// Like [`ErasureCode::encode_share_span_into`], but frames the value
+    /// into a caller-owned `scratch` buffer instead of allocating one. The
+    /// chunk-striped write path calls this once per stripe with the same
+    /// [`crate::stripe::BufPool`]-managed scratch, so framing costs no
+    /// allocation after the first stripe. The default ignores `scratch` and
+    /// delegates to `encode_share_span_into`; codecs with a framing step
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ErasureCode::encode_share_span_into`].
+    fn encode_share_span_scratch(
+        &self,
+        data: &[u8],
+        start: usize,
+        outs: &mut [Vec<u8>],
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        let _ = scratch;
+        self.encode_share_span_into(data, start, outs)
+    }
+
     /// Buffer-reuse variant of [`ErasureCode::decode`]: writes the decoded
     /// value into `out` (cleared first, capacity reused).
     ///

@@ -125,6 +125,26 @@ pub trait BackendCodec: Send + Sync {
         Ok(())
     }
 
+    /// Like [`BackendCodec::encode_l2_elements_into`], but frames the value
+    /// into the caller-owned `scratch` buffer instead of allocating one per
+    /// call. The chunk-striped offload path encodes many stripes back to
+    /// back with one pooled scratch; the default ignores `scratch`, and the
+    /// MBR backend overrides it to route through the code's scratch-framing
+    /// span encode.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BackendCodec::encode_l2_elements_into`].
+    fn encode_l2_elements_scratch(
+        &self,
+        value: &Value,
+        outs: &mut [Vec<u8>],
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        let _ = scratch;
+        self.encode_l2_elements_into(value, outs)
+    }
+
     /// The coded element held by L2 server `l2_index` for the initial value
     /// `v0` (every L2 server starts from this state).
     fn initial_l2_element(&self, l2_index: usize) -> Share;
@@ -301,6 +321,15 @@ impl BackendCodec for MbrBackend {
         // One framing for all n2 elements (see `encode_share_span_into`).
         self.code
             .encode_share_span_into(value.as_bytes(), self.n1, outs)
+    }
+    fn encode_l2_elements_scratch(
+        &self,
+        value: &Value,
+        outs: &mut [Vec<u8>],
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        self.code
+            .encode_share_span_scratch(value.as_bytes(), self.n1, outs, scratch)
     }
     fn initial_l2_element(&self, l2_index: usize) -> Share {
         self.code
@@ -748,6 +777,30 @@ mod tests {
                     "{kind} element {i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn scratch_l2_encode_matches_bulk_encode() {
+        let p = params();
+        let value = Value::from("scratch-framed write-to-L2 payload");
+        let mut scratch = vec![0xBB; 5]; // stale scratch must be discarded
+        for kind in [
+            BackendKind::Mbr,
+            BackendKind::MsrPoint,
+            BackendKind::ProductMatrixMsr,
+            BackendKind::Replication,
+        ] {
+            let backend = make_backend(kind, &p).unwrap();
+            let mut expected: Vec<Vec<u8>> = vec![Vec::new(); backend.n2()];
+            backend
+                .encode_l2_elements_into(&value, &mut expected)
+                .unwrap();
+            let mut outs: Vec<Vec<u8>> = (0..backend.n2()).map(|_| vec![0xAA; 3]).collect();
+            backend
+                .encode_l2_elements_scratch(&value, &mut outs, &mut scratch)
+                .unwrap();
+            assert_eq!(outs, expected, "{kind}");
         }
     }
 

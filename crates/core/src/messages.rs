@@ -109,6 +109,27 @@ pub enum LdsMessage {
         /// The value being written.
         value: Value,
     },
+    /// One stripe of a chunk-striped `put-data` (large-value streaming
+    /// path). The writer splits a value above its stripe threshold into
+    /// `count` fixed-size chunks and streams them as `PutStripe { seq: 0..count }`
+    /// instead of one monolithic [`LdsMessage::PutData`]; the L1 server
+    /// assembles the stripes (order-independently) and processes the
+    /// completed set exactly as a `PutData` — one tag covers all stripes, so
+    /// the per-object metadata still treats the logical write atomically.
+    PutStripe {
+        /// Target object.
+        obj: ObjectId,
+        /// Operation id.
+        op: OpId,
+        /// The new tag (identical across all stripes of the write).
+        tag: Tag,
+        /// Stripe sequence number, `0..count`.
+        seq: u32,
+        /// Total number of stripes in this write.
+        count: u32,
+        /// This stripe's bytes (an `Arc`-slice view of the source value).
+        stripe: Value,
+    },
     /// Server acknowledgment of a write (sent from `put-data-resp` when the
     /// tag is stale, or from `broadcast-resp` once enough COMMIT-TAG
     /// broadcasts have been consumed).
@@ -216,6 +237,25 @@ pub enum LdsMessage {
         /// The coded element `c_{n1+i}`.
         element: Share,
     },
+    /// One stripe's worth of a coded element (`write-to-L2`, chunk-striped
+    /// path): the encode of stripe `seq` for one L2 server. The L2 server
+    /// assembles all `count` parts into a single striped [`Share`] (with a
+    /// per-stripe layout) under the write's tag, then stores and acknowledges
+    /// it exactly as one [`LdsMessage::WriteCodeElem`]. Streaming per-stripe
+    /// parts is what keeps the L1 offload's peak scratch at
+    /// O(stripe × n2) instead of O(value × n2).
+    WriteCodeStripe {
+        /// Target object.
+        obj: ObjectId,
+        /// Tag of the value the element encodes.
+        tag: Tag,
+        /// Stripe sequence number, `0..count`.
+        seq: u32,
+        /// Total number of stripes in this element.
+        count: u32,
+        /// The encode of stripe `seq` for this L2 server's index.
+        part: Share,
+    },
     /// L2 acknowledgment of a [`LdsMessage::WriteCodeElem`].
     AckCodeElem {
         /// Target object.
@@ -307,6 +347,7 @@ impl LdsMessage {
             | LdsMessage::QueryTag { obj, .. }
             | LdsMessage::TagResp { obj, .. }
             | LdsMessage::PutData { obj, .. }
+            | LdsMessage::PutStripe { obj, .. }
             | LdsMessage::AckPutData { obj, .. }
             | LdsMessage::BcastSend { obj, .. }
             | LdsMessage::BcastDeliver { obj, .. }
@@ -317,6 +358,7 @@ impl LdsMessage {
             | LdsMessage::PutTag { obj, .. }
             | LdsMessage::AckPutTag { obj, .. }
             | LdsMessage::WriteCodeElem { obj, .. }
+            | LdsMessage::WriteCodeStripe { obj, .. }
             | LdsMessage::AckCodeElem { obj, .. }
             | LdsMessage::QueryCodeElem { obj, .. }
             | LdsMessage::SendHelperElem { obj, .. }
@@ -372,6 +414,7 @@ impl DataSize for LdsMessage {
     fn data_size(&self) -> usize {
         match self {
             LdsMessage::PutData { value, .. } => value.len(),
+            LdsMessage::PutStripe { stripe, .. } => stripe.len(),
             LdsMessage::InvokeWrite { value, .. } => value.len(),
             LdsMessage::DataResp { payload, .. } => match payload {
                 ReadPayload::Value(v) => v.len(),
@@ -379,6 +422,7 @@ impl DataSize for LdsMessage {
                 ReadPayload::None => 0,
             },
             LdsMessage::WriteCodeElem { element, .. } => element.data.len(),
+            LdsMessage::WriteCodeStripe { part, .. } => part.data.len(),
             LdsMessage::SendHelperElem { helper, .. } => helper.data.len(),
             LdsMessage::RepairShare { payload, .. } => match payload {
                 RepairPayload::Element { helper, .. } => helper.data.len(),
@@ -400,6 +444,7 @@ impl DataSize for LdsMessage {
             LdsMessage::QueryTag { .. } => "QUERY-TAG",
             LdsMessage::TagResp { .. } => "TAG-RESP",
             LdsMessage::PutData { .. } => "PUT-DATA",
+            LdsMessage::PutStripe { .. } => "PUT-STRIPE",
             LdsMessage::AckPutData { .. } => "ACK-PUT-DATA",
             LdsMessage::BcastSend { .. } => "BCAST-SEND",
             LdsMessage::BcastDeliver { .. } => "COMMIT-TAG",
@@ -410,6 +455,7 @@ impl DataSize for LdsMessage {
             LdsMessage::PutTag { .. } => "PUT-TAG",
             LdsMessage::AckPutTag { .. } => "ACK-PUT-TAG",
             LdsMessage::WriteCodeElem { .. } => "WRITE-CODE-ELEM",
+            LdsMessage::WriteCodeStripe { .. } => "WRITE-CODE-STRIPE",
             LdsMessage::AckCodeElem { .. } => "ACK-CODE-ELEM",
             LdsMessage::QueryCodeElem { .. } => "QUERY-CODE-ELEM",
             LdsMessage::SendHelperElem { .. } => "SEND-HELPER-ELEM",
@@ -572,6 +618,37 @@ mod tests {
             element: Share::new(0, vec![1, 2, 3])
         }
         .is_metadata());
+    }
+
+    #[test]
+    fn stripe_messages_carry_data_and_route_by_object() {
+        let obj = ObjectId(4);
+        let op = OpId::new(ClientId(2), 1);
+        let tag = Tag::new(3, ClientId(2));
+        let put = LdsMessage::PutStripe {
+            obj,
+            op,
+            tag,
+            seq: 1,
+            count: 4,
+            stripe: Value::new(vec![0u8; 64]),
+        };
+        assert_eq!(put.data_size(), 64);
+        assert_eq!(put.kind(), "PUT-STRIPE");
+        assert_eq!(put.object(), obj);
+        assert!(!put.is_metadata() && !put.batchable() && !put.fanout());
+
+        let wcs = LdsMessage::WriteCodeStripe {
+            obj,
+            tag,
+            seq: 0,
+            count: 4,
+            part: Share::new(5, vec![0u8; 10]),
+        };
+        assert_eq!(wcs.data_size(), 10);
+        assert_eq!(wcs.kind(), "WRITE-CODE-STRIPE");
+        assert_eq!(wcs.object(), obj);
+        assert!(!wcs.is_metadata() && !wcs.batchable() && !wcs.fanout());
     }
 
     #[test]

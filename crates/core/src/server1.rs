@@ -14,9 +14,10 @@ use crate::backend::BackendCodec;
 use crate::membership::Membership;
 use crate::messages::{LdsMessage, ProtocolEvent, ReadPayload, RepairPayload};
 use crate::params::SystemParams;
+use crate::stripe;
 use crate::tag::{ObjectId, OpId, Tag};
 use crate::value::Value;
-use lds_codes::{HelperData, Share};
+use lds_codes::{BufPool, HelperData, PoolStats, Share};
 use lds_sim::{Context, Process, ProcessId};
 use std::collections::{btree_map, BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
@@ -26,7 +27,7 @@ use std::sync::Arc;
 /// All options default to the paper-faithful behavior; the cluster runtime's
 /// high-throughput profile enables them to trade paper-exact cost accounting
 /// for fewer messages per operation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct L1Options {
     /// If true, the COMMIT-TAG broadcast is sent directly to all L1 servers
     /// instead of through the `f1 + 1` relay set. This loses tolerance to the
@@ -57,6 +58,51 @@ pub struct L1Options {
     /// with its committed tag advanced to it (the pre-existing "broadcast
     /// raced ahead" path), rather than waiting for the commit quorum.
     pub inline_self_broadcast: bool,
+    /// Values of at least this many bytes take the chunk-striped data path:
+    /// the writer streams them as per-stripe [`LdsMessage::PutStripe`]
+    /// messages and the server's `write-to-L2` offload encodes stripe by
+    /// stripe into pooled scratch buffers, keeping peak encode memory at
+    /// O(stripe × n2) instead of O(value × n2). `0` disables striping
+    /// (the paper-faithful monolithic path).
+    pub stripe_threshold: usize,
+    /// Stripe size in bytes for the striped data path. Ignored while
+    /// [`L1Options::stripe_threshold`] is `0`.
+    pub stripe_size: usize,
+}
+
+impl Default for L1Options {
+    fn default() -> Self {
+        L1Options {
+            direct_broadcast: false,
+            cache_committed_value: false,
+            frugal_offload: false,
+            inline_self_broadcast: false,
+            stripe_threshold: 0,
+            stripe_size: stripe::DEFAULT_STRIPE_SIZE,
+        }
+    }
+}
+
+/// An in-progress chunk-striped write: the stripes of one logical
+/// [`LdsMessage::PutStripe`] stream, collected until all `count` have
+/// arrived and the completed value can run through the normal
+/// `put-data-resp` action.
+///
+/// Assemblies are **never pruned**: the writer sends every stripe of a write
+/// to every L1 server unconditionally, so each assembly completes after
+/// exactly `count` deliveries and removes itself. Dropping one early (e.g.
+/// because its tag went stale while in flight) could strand later stripes as
+/// a permanent partial entry and lose the writer's ack.
+#[derive(Debug, Clone)]
+struct StripeAssembly {
+    /// Expected number of stripes.
+    count: u32,
+    /// Received stripes by sequence number (order-independent).
+    parts: BTreeMap<u32, Value>,
+    /// The writer process to acknowledge.
+    from: ProcessId,
+    /// The write operation id.
+    op: OpId,
 }
 
 /// A reader registered in Γ, waiting to be served.
@@ -230,6 +276,13 @@ pub struct L1Server {
     backend: Arc<dyn BackendCodec>,
     options: L1Options,
     objects: HashMap<ObjectId, ObjectState>,
+    /// In-progress chunk-striped writes, keyed by object then tag.
+    stripes: HashMap<ObjectId, BTreeMap<Tag, StripeAssembly>>,
+    /// Scratch-buffer pool for the striped `write-to-L2` encode path. The
+    /// per-stripe frame scratch and the `n2` element output buffers all come
+    /// from here, so its peak-round accounting *is* the offload's peak
+    /// allocation.
+    pool: BufPool,
     /// `Some` while this server is a replacement reconstructing metadata.
     rebuild: Option<L1Rebuild>,
 }
@@ -261,6 +314,8 @@ impl L1Server {
             backend,
             options,
             objects: HashMap::new(),
+            stripes: HashMap::new(),
+            pool: BufPool::new(),
             rebuild: None,
         }
     }
@@ -346,6 +401,25 @@ impl L1Server {
             .values()
             .map(ObjectState::metadata_entries)
             .sum()
+    }
+
+    /// Number of stripe parts currently buffered in incomplete striped-write
+    /// assemblies, across all objects.
+    pub fn pending_stripe_parts(&self) -> usize {
+        self.stripes
+            .values()
+            .flat_map(|by_tag| by_tag.values())
+            .map(|a| a.parts.len())
+            .sum()
+    }
+
+    /// Scratch-pool statistics for the striped `write-to-L2` path.
+    ///
+    /// `peak_round_bytes` is the peak number of buffer bytes simultaneously
+    /// checked out of the pool — i.e. the offload's peak encode allocation
+    /// (one frame scratch plus `n2` element outputs per stripe).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     fn state(&mut self, obj: ObjectId) -> &mut ObjectState {
@@ -542,6 +616,43 @@ impl L1Server {
             st.write_counter.entry(tag).or_insert(0);
         }
         let n1 = self.backend.n1();
+        if self.options.stripe_threshold > 0 && value.len() >= self.options.stripe_threshold {
+            // Chunk-striped offload: encode stripe by stripe into pooled
+            // scratch buffers and stream each stripe's n2 encodes as
+            // WRITE-CODE-STRIPE messages. Peak allocation is one frame
+            // scratch plus n2 element outputs per stripe — O(stripe × n2)
+            // instead of O(value × n2) — and the L2 servers reassemble the
+            // parts under the single tag.
+            let backend = Arc::clone(&self.backend);
+            let l2 = self.membership.l2.clone();
+            let stripe_size = self.options.stripe_size;
+            let result = stripe::encode_elements_striped(
+                &*backend,
+                value,
+                stripe_size,
+                &mut self.pool,
+                |i, seq, count, part| {
+                    ctx.send(
+                        l2[i],
+                        LdsMessage::WriteCodeStripe {
+                            obj,
+                            tag,
+                            seq,
+                            count,
+                            part,
+                        },
+                    );
+                },
+            );
+            match result {
+                Ok(()) => return,
+                Err(err) => {
+                    // Fall through to the monolithic path (which has its own
+                    // per-element fallback) rather than losing the offload.
+                    debug_assert!(false, "striped write-to-L2 encoding failure: {err}");
+                }
+            }
+        }
         // Encode all n2 elements in one call, straight into the buffers the
         // messages will own: the MBR backend frames the value once for the
         // whole batch (instead of once per element — the dominant redundant
@@ -643,6 +754,47 @@ impl L1Server {
             st.acked.insert(tag);
             ctx.send(from, LdsMessage::AckPutData { obj, op, tag });
         }
+    }
+
+    /// One stripe of a chunk-striped write arrived. Stripes are buffered
+    /// (order-independently) per (object, tag); once all `count` are present
+    /// the reassembled value runs through the normal `put-data-resp` action,
+    /// so commit broadcasting, reader service, acks and `write-to-L2` treat
+    /// the logical write exactly like a monolithic PUT-DATA.
+    ///
+    /// Reassembly is zero-copy in-process: the writer's stripes are
+    /// `Arc`-slice views of one source buffer, which [`Value::concat`]
+    /// rejoins without copying when they are contiguous.
+    #[allow(clippy::too_many_arguments)]
+    fn on_put_stripe(
+        &mut self,
+        from: ProcessId,
+        obj: ObjectId,
+        op: OpId,
+        tag: Tag,
+        seq: u32,
+        count: u32,
+        stripe: Value,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let by_tag = self.stripes.entry(obj).or_default();
+        let assembly = by_tag.entry(tag).or_insert_with(|| StripeAssembly {
+            count,
+            parts: BTreeMap::new(),
+            from,
+            op,
+        });
+        assembly.parts.insert(seq, stripe);
+        if assembly.parts.len() < assembly.count as usize {
+            return;
+        }
+        let assembly = by_tag.remove(&tag).expect("assembly present");
+        if by_tag.is_empty() {
+            self.stripes.remove(&obj);
+        }
+        let parts: Vec<Value> = assembly.parts.into_values().collect();
+        let value = Value::concat(&parts);
+        self.on_put_data(assembly.from, obj, assembly.op, tag, value, ctx);
     }
 
     // ------------------------------------------------------------------
@@ -756,7 +908,7 @@ impl L1Server {
         let mut regenerated = None;
         for (t, helpers) in by_tag.iter().rev() {
             if helpers.len() >= repair_threshold {
-                if let Ok(share) = backend.regenerate_l1(my_index, helpers) {
+                if let Ok(share) = stripe::regenerate_l1(&*backend, my_index, helpers) {
                     regenerated = Some((*t, share));
                     break;
                 }
@@ -979,6 +1131,14 @@ impl Process<LdsMessage, ProtocolEvent> for L1Server {
                 tag,
                 value,
             } => self.on_put_data(from, obj, op, tag, value, ctx),
+            LdsMessage::PutStripe {
+                obj,
+                op,
+                tag,
+                seq,
+                count,
+                stripe,
+            } => self.on_put_stripe(from, obj, op, tag, seq, count, stripe, ctx),
             LdsMessage::BcastSend { obj, tag, origin } => self.on_bcast_send(obj, tag, origin, ctx),
             LdsMessage::BcastDeliver { obj, tag, origin } => {
                 self.on_bcast_deliver(obj, tag, origin, ctx)
@@ -1710,6 +1870,219 @@ mod tests {
             },
         );
         assert!(matches!(out[0].1, LdsMessage::TagResp { tag: t, .. } if t == tag));
+    }
+
+    #[test]
+    fn striped_put_assembles_out_of_order_and_acts_like_put_data() {
+        let mut s = make_server(0);
+        let obj = ObjectId(0);
+        let op = OpId::default();
+        let tag = Tag::new(1, crate::tag::ClientId(3));
+        let writer = ProcessId(77);
+        let source = Value::new((0u16..300).map(|b| b as u8).collect());
+        let spans = stripe::stripe_spans(source.len(), 128);
+        let count = spans.len() as u32;
+        assert_eq!(count, 3);
+
+        // Deliver the stripes out of order; nothing happens until the last.
+        let mut order: Vec<usize> = (0..spans.len()).collect();
+        order.rotate_left(1);
+        let mut all_out = Vec::new();
+        for (delivered, &i) in order.iter().enumerate() {
+            assert_eq!(s.pending_stripe_parts(), delivered);
+            all_out.extend(step(
+                &mut s,
+                writer,
+                LdsMessage::PutStripe {
+                    obj,
+                    op,
+                    tag,
+                    seq: i as u32,
+                    count,
+                    stripe: source.slice(spans[i].clone()),
+                },
+            ));
+            if delivered + 1 < order.len() {
+                assert!(all_out.is_empty(), "incomplete assembly stays silent");
+            }
+        }
+        assert_eq!(s.pending_stripe_parts(), 0, "completed assembly is dropped");
+        // The completed write behaves exactly like a monolithic PUT-DATA:
+        // broadcasts to the f1+1 relays, value stored whole.
+        assert_eq!(
+            all_out
+                .iter()
+                .filter(|(_, m)| matches!(m, LdsMessage::BcastSend { .. }))
+                .count(),
+            2
+        );
+        assert_eq!(s.live_list_entries(), 1);
+        assert_eq!(s.temporary_storage_bytes(), 300);
+
+        // Committing then serves readers and acks as usual.
+        let mut commit_out = Vec::new();
+        for origin in 0..3 {
+            commit_out.extend(step(
+                &mut s,
+                ProcessId(origin),
+                LdsMessage::BcastDeliver {
+                    obj,
+                    tag,
+                    origin: ProcessId(origin),
+                },
+            ));
+        }
+        assert!(commit_out
+            .iter()
+            .any(|(to, m)| *to == writer && matches!(m, LdsMessage::AckPutData { .. })));
+        let out = step(
+            &mut s,
+            ProcessId(80),
+            LdsMessage::QueryData {
+                obj,
+                op: OpId::default(),
+                treq: tag,
+            },
+        );
+        match &out[0].1 {
+            LdsMessage::DataResp {
+                payload: ReadPayload::Value(v),
+                ..
+            } => assert_eq!(v.as_bytes(), source.as_bytes()),
+            other => panic!("expected value response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn striped_offload_streams_stripe_parts_from_the_pool() {
+        let (params, membership, backend) = setup();
+        let mut s = L1Server::new(
+            0,
+            params,
+            membership,
+            backend,
+            L1Options {
+                stripe_threshold: 1,
+                stripe_size: 64,
+                ..L1Options::default()
+            },
+        );
+        let obj = ObjectId(0);
+        let tag = Tag::new(1, crate::tag::ClientId(3));
+        step(
+            &mut s,
+            ProcessId(77),
+            LdsMessage::PutData {
+                obj,
+                op: OpId::default(),
+                tag,
+                value: Value::new(vec![7u8; 200]),
+            },
+        );
+        let mut all_out = Vec::new();
+        for origin in 0..3 {
+            all_out.extend(step(
+                &mut s,
+                ProcessId(origin),
+                LdsMessage::BcastDeliver {
+                    obj,
+                    tag,
+                    origin: ProcessId(origin),
+                },
+            ));
+        }
+        // 200 bytes at stripe 64 → 4 stripes × n2 = 5 L2 servers.
+        let parts: Vec<_> = all_out
+            .iter()
+            .filter_map(|(_, m)| match m {
+                LdsMessage::WriteCodeStripe { count, .. } => Some(*count),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(parts.len(), 20);
+        assert!(parts.iter().all(|&c| c == 4));
+        assert!(
+            !all_out
+                .iter()
+                .any(|(_, m)| matches!(m, LdsMessage::WriteCodeElem { .. })),
+            "striped offload replaces the monolithic element messages"
+        );
+        let stats = s.pool_stats();
+        assert!(stats.reused > 0, "frame scratch is reused across stripes");
+        // Peak = one stripe's frame scratch + its n2 element encodes, far
+        // below a whole-value encode (whose scratch alone is ~210 bytes).
+        assert!(
+            stats.peak_round_bytes <= 400,
+            "peak {} exceeds the per-stripe bound",
+            stats.peak_round_bytes
+        );
+    }
+
+    /// Acceptance criterion: a 16 MiB write through the striped path
+    /// completes with peak encode allocation proportional to
+    /// `stripe_size × n2`, not `value × n2`. The replication backend keeps
+    /// the test fast (its element is a plain copy), while the pool
+    /// instrumentation measures exactly what the MBR path would allocate
+    /// per round: every scratch and output buffer comes from the pool.
+    #[test]
+    fn sixteen_mib_striped_write_has_bounded_peak_allocation() {
+        let params = SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let l1: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let l2: Vec<ProcessId> = (4..9).map(ProcessId).collect();
+        let membership = Membership::new(l1, l2);
+        let backend = make_backend(BackendKind::Replication, &params).unwrap();
+        let mut s = L1Server::new(
+            0,
+            params,
+            membership,
+            backend,
+            L1Options {
+                stripe_threshold: 1 << 20,
+                ..L1Options::default()
+            },
+        );
+        let obj = ObjectId(0);
+        let tag = Tag::new(1, crate::tag::ClientId(1));
+        const VALUE_LEN: usize = 16 << 20;
+        step(
+            &mut s,
+            ProcessId(77),
+            LdsMessage::PutData {
+                obj,
+                op: OpId::default(),
+                tag,
+                value: Value::new(vec![0xabu8; VALUE_LEN]),
+            },
+        );
+        let mut all_out = Vec::new();
+        for origin in 0..3 {
+            all_out.extend(step(
+                &mut s,
+                ProcessId(origin),
+                LdsMessage::BcastDeliver {
+                    obj,
+                    tag,
+                    origin: ProcessId(origin),
+                },
+            ));
+        }
+        let stripes = VALUE_LEN / stripe::DEFAULT_STRIPE_SIZE; // 64
+        let parts = all_out
+            .iter()
+            .filter(|(_, m)| matches!(m, LdsMessage::WriteCodeStripe { .. }))
+            .count();
+        assert_eq!(parts, stripes * 5);
+        let stats = s.pool_stats();
+        assert!(stats.reused > 0);
+        // Peak ≈ stripe × n2 (plus the unused frame scratch); the monolithic
+        // path would hold value × n2 = 80 MiB here.
+        let bound = 2 * stripe::DEFAULT_STRIPE_SIZE * 5;
+        assert!(
+            stats.peak_round_bytes <= bound,
+            "peak {} exceeds stripe-proportional bound {}",
+            stats.peak_round_bytes,
+            bound
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@
 use crate::backend::BackendCodec;
 use crate::membership::Membership;
 use crate::messages::{LdsMessage, ProtocolEvent, RepairPayload};
+use crate::stripe;
 use crate::tag::{ObjectId, Tag};
 use lds_codes::{HelperData, Share};
 use lds_sim::{Context, Process, ProcessId};
@@ -63,6 +64,21 @@ impl Default for L2Options {
             ack_code_elem: true,
         }
     }
+}
+
+/// In-progress assembly of one striped coded element (the parts of a
+/// [`LdsMessage::WriteCodeStripe`] stream for one `(obj, tag)`).
+///
+/// Assemblies are **never pruned**: every stripe of a write is sent
+/// unconditionally, so each assembly completes and removes itself; dropping
+/// one early could strand later-arriving stripes and withhold the single
+/// `ACK-CODE-ELEM` the offloading L1 server counts on. Memory is bounded by
+/// the number of in-flight striped writes.
+struct ElementAssembly {
+    /// Total number of stripes announced by the stream.
+    count: u32,
+    /// Parts received so far, keyed by stripe sequence (arrival order free).
+    parts: BTreeMap<u32, Share>,
 }
 
 /// Accumulated state of a replacement server while it regenerates from its
@@ -94,6 +110,8 @@ pub struct L2Server {
     options: L2Options,
     /// Per-object `(tag, coded element)` — exactly one pair per object.
     objects: HashMap<ObjectId, (Tag, Share)>,
+    /// Striped elements still being assembled, per object and tag.
+    assemblies: HashMap<ObjectId, BTreeMap<Tag, ElementAssembly>>,
     /// `Some` while this server is a replacement regenerating from helpers.
     rebuild: Option<L2Rebuild>,
 }
@@ -118,6 +136,7 @@ impl L2Server {
             backend,
             options,
             objects: HashMap::new(),
+            assemblies: HashMap::new(),
             rebuild: None,
         }
     }
@@ -182,6 +201,81 @@ impl L2Server {
         self.objects.len()
     }
 
+    /// Striped-element parts currently buffered across all in-progress
+    /// assemblies (diagnostics; 0 in steady state).
+    pub fn pending_stripe_parts(&self) -> usize {
+        self.assemblies
+            .values()
+            .flat_map(BTreeMap::values)
+            .map(|a| a.parts.len())
+            .sum()
+    }
+
+    /// Stores `element` for `obj` if `tag` is the highest seen, acking the
+    /// write when configured — the single commit point shared by the
+    /// monolithic `WRITE-CODE-ELEM` and the completion of a striped stream.
+    fn commit_element(
+        &mut self,
+        from: ProcessId,
+        obj: ObjectId,
+        tag: Tag,
+        element: Share,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let entry = self.entry(obj);
+        if tag > entry.0 {
+            *entry = (tag, element);
+        }
+        if self.options.ack_code_elem {
+            ctx.send(from, LdsMessage::AckCodeElem { obj, tag });
+        }
+    }
+
+    /// Accumulates one stripe of a striped coded element; on the last part,
+    /// assembles and commits the element exactly as one `WRITE-CODE-ELEM`
+    /// (one ack per logical element, so L1 offload accounting is unchanged).
+    /// Processed even while rebuilding, like the monolithic write path.
+    #[allow(clippy::too_many_arguments)]
+    fn on_write_code_stripe(
+        &mut self,
+        from: ProcessId,
+        obj: ObjectId,
+        tag: Tag,
+        seq: u32,
+        count: u32,
+        part: Share,
+        ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
+    ) {
+        let assembly = self
+            .assemblies
+            .entry(obj)
+            .or_default()
+            .entry(tag)
+            .or_insert_with(|| ElementAssembly {
+                count,
+                parts: BTreeMap::new(),
+            });
+        debug_assert_eq!(assembly.count, count, "stripe count fixed per (obj, tag)");
+        assembly.parts.insert(seq, part);
+        if assembly.parts.len() < assembly.count as usize {
+            return;
+        }
+        let assembly = self
+            .assemblies
+            .get_mut(&obj)
+            .and_then(|by_tag| by_tag.remove(&tag))
+            .expect("assembly present");
+        if let Some(by_tag) = self.assemblies.get(&obj) {
+            if by_tag.is_empty() {
+                self.assemblies.remove(&obj);
+            }
+        }
+        let index = self.membership.n1() + self.index;
+        let parts: Vec<Share> = assembly.parts.into_values().collect();
+        let element = stripe::assemble_share(index, parts);
+        self.commit_element(from, obj, tag, element, ctx);
+    }
+
     fn entry(&mut self, obj: ObjectId) -> &mut (Tag, Share) {
         let index = self.index;
         let backend = Arc::clone(&self.backend);
@@ -212,10 +306,7 @@ impl L2Server {
             if *tag == Tag::initial() {
                 continue; // replacements start from the initial element anyway
             }
-            match self
-                .backend
-                .helper_for_l2(element, self.index, failed_index)
-            {
+            match stripe::helper_for_l2(&*self.backend, element, self.index, failed_index) {
                 Ok(helper) => {
                     ctx.send(
                         failed,
@@ -302,7 +393,7 @@ impl L2Server {
                 // (and across repairs) instead of one inversion per arrival
                 // order.
                 helpers.sort_by_key(|h| h.helper_index);
-                match self.backend.regenerate_l2(self.index, &helpers) {
+                match stripe::regenerate_l2(&*self.backend, self.index, &helpers) {
                     Ok(share) => {
                         objects_restored += 1;
                         let entry = self.entry(obj);
@@ -343,14 +434,16 @@ impl Process<LdsMessage, ProtocolEvent> for L2Server {
             // Processed even while rebuilding — this is how a replacement
             // catches up on writes that are in flight during its repair.
             LdsMessage::WriteCodeElem { obj, tag, element } => {
-                let entry = self.entry(obj);
-                if tag > entry.0 {
-                    *entry = (tag, element);
-                }
-                if self.options.ack_code_elem {
-                    ctx.send(from, LdsMessage::AckCodeElem { obj, tag });
-                }
+                self.commit_element(from, obj, tag, element, ctx);
             }
+            // Striped write-to-L2: assemble, then commit as one element.
+            LdsMessage::WriteCodeStripe {
+                obj,
+                tag,
+                seq,
+                count,
+                part,
+            } => self.on_write_code_stripe(from, obj, tag, seq, count, part, ctx),
             // regenerate-from-L2-resp: compute helper data for the requesting
             // L1 server's code index and send it back with the stored tag.
             LdsMessage::QueryCodeElem { obj, reader, op } => {
@@ -363,7 +456,8 @@ impl Process<LdsMessage, ProtocolEvent> for L2Server {
                     return; // not an L1 server; ignore
                 };
                 let (tag, element) = self.entry(obj).clone();
-                match self.backend.helper_for_l1(&element, self.index, l1_index) {
+                // Stripe-aware: a striped element yields a striped helper.
+                match stripe::helper_for_l1(&*self.backend, &element, self.index, l1_index) {
                     Ok(helper) => ctx.send(
                         from,
                         LdsMessage::SendHelperElem {
@@ -469,6 +563,79 @@ mod tests {
         assert_eq!(s.stored_tag(obj), t2);
         assert_eq!(s.storage_bytes(), e2.data.len());
         assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn striped_stream_assembles_into_one_element_with_one_ack() {
+        let (membership, backend) = setup();
+        let mut s = L2Server::new(1, membership.clone(), Arc::clone(&backend));
+        let obj = ObjectId(2);
+        let tag = Tag::new(1, ClientId(1));
+        let value = Value::new((0..100u8).collect());
+        const STRIPE: usize = 32;
+
+        // Collect the parts for L2 index 1 from the striped encoder.
+        let mut pool = lds_codes::BufPool::new();
+        let mut parts = Vec::new();
+        crate::stripe::encode_elements_striped(&*backend, &value, STRIPE, &mut pool, {
+            let parts = &mut parts;
+            move |l2, seq, count, part| {
+                if l2 == 1 {
+                    parts.push((seq, count, part));
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(parts.len(), 4);
+
+        // Deliver out of order: only the final part triggers the ack.
+        parts.rotate_left(1);
+        let mut acks = 0;
+        for (i, (seq, count, part)) in parts.into_iter().enumerate() {
+            let out = step(
+                &mut s,
+                membership.l1[0],
+                LdsMessage::WriteCodeStripe {
+                    obj,
+                    tag,
+                    seq,
+                    count,
+                    part,
+                },
+            );
+            if i < 3 {
+                assert!(out.is_empty(), "no ack before the stream completes");
+                assert!(s.pending_stripe_parts() > 0);
+            } else {
+                assert!(matches!(out[0].1, LdsMessage::AckCodeElem { tag: t, .. } if t == tag));
+                acks += 1;
+            }
+        }
+        assert_eq!(acks, 1, "one logical element, one ack");
+        assert_eq!(
+            s.pending_stripe_parts(),
+            0,
+            "assembly removed on completion"
+        );
+        assert_eq!(s.stored_tag(obj), tag);
+
+        // The stored striped element answers queries with a striped helper
+        // that regenerates exactly like the monolithic element's would.
+        let out = step(
+            &mut s,
+            membership.l1[0],
+            LdsMessage::QueryCodeElem {
+                obj,
+                reader: ProcessId(50),
+                op: crate::tag::OpId::default(),
+            },
+        );
+        match &out[0].1 {
+            LdsMessage::SendHelperElem { helper, .. } => {
+                assert!(helper.layout.is_some(), "striped element, striped helper");
+            }
+            other => panic!("expected helper response, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! Chunk-striped encode/decode over a [`BackendCodec`].
+//!
+//! The large-value streaming path splits a value into fixed-size stripes and
+//! encodes each stripe independently, so the L1 offload's peak scratch is
+//! O(stripe × n2) instead of O(value × n2) and the encode of stripe `s`
+//! overlaps with the delivery of stripe `s − 1`. A striped coded element is
+//! simply the concatenation of the per-stripe encodes with a
+//! [`Share::layout`] recording the stripe boundaries — self-describing, so
+//! every consumer (helper computation, regeneration, decode) can split the
+//! element back into its stripes and run the ordinary backend operation
+//! stripe-wise. One tag still covers the whole logical write; striping never
+//! appears in the protocol's metadata.
+//!
+//! All functions here accept monolithic inputs (`layout == None`) and fall
+//! through to the direct backend call, so callers need no mode switch.
+
+use crate::backend::BackendCodec;
+use crate::value::Value;
+use lds_codes::{BufPool, CodeError, HelperData, Share};
+use std::ops::Range;
+
+/// Default stripe size for the chunk-striped write path: 256 KiB keeps one
+/// stripe's frame and its `n2` element outputs comfortably inside the L2
+/// cache while still amortising per-stripe overheads.
+pub const DEFAULT_STRIPE_SIZE: usize = 256 * 1024;
+
+/// Splits `0..len` into consecutive spans of at most `stripe_size` bytes.
+/// Always yields at least one span, so the empty value is representable
+/// (`len == 0` → a single `0..0` span).
+///
+/// # Panics
+///
+/// Panics if `stripe_size == 0`.
+pub fn stripe_spans(len: usize, stripe_size: usize) -> Vec<Range<usize>> {
+    assert!(stripe_size > 0, "stripe_size must be positive");
+    (0..len.div_ceil(stripe_size).max(1))
+        .map(|s| s * stripe_size..((s + 1) * stripe_size).min(len))
+        .collect()
+}
+
+/// Encodes `value` stripe by stripe, emitting each L2 server's per-stripe
+/// coded part as soon as it is computed — the shape that lets delivery
+/// overlap with the encode of the next stripe.
+///
+/// Scratch discipline: per stripe the function takes `n2` element buffers
+/// plus one frame scratch from `pool`, detaches the element buffers into the
+/// emitted [`Share`]s (they become message payloads), and puts the frame
+/// scratch back for the next stripe. The pool's
+/// [`peak_round_bytes`](lds_codes::PoolStats::peak_round_bytes) therefore
+/// measures exactly one stripe's simultaneous scratch.
+///
+/// `emit` receives `(l2_index, seq, count, part)` with `seq ∈ 0..count` and
+/// parts emitted in stripe order.
+///
+/// # Errors
+///
+/// As for [`BackendCodec::encode_l2_elements_into`]; already-emitted parts
+/// are not recalled.
+pub fn encode_elements_striped<F>(
+    backend: &dyn BackendCodec,
+    value: &Value,
+    stripe_size: usize,
+    pool: &mut BufPool,
+    mut emit: F,
+) -> Result<(), CodeError>
+where
+    F: FnMut(usize, u32, u32, Share),
+{
+    let spans = stripe_spans(value.len(), stripe_size);
+    let count = spans.len() as u32;
+    let n1 = backend.n1();
+    let n2 = backend.n2();
+    for (seq, span) in spans.into_iter().enumerate() {
+        let stripe = value.slice(span);
+        let mut scratch = pool.take();
+        let mut bufs: Vec<Vec<u8>> = (0..n2).map(|_| pool.take()).collect();
+        if let Err(err) = backend.encode_l2_elements_scratch(&stripe, &mut bufs, &mut scratch) {
+            for buf in bufs {
+                pool.put(buf);
+            }
+            pool.put(scratch);
+            return Err(err);
+        }
+        for (i, buf) in bufs.into_iter().enumerate() {
+            pool.detach(buf.len());
+            emit(i, seq as u32, count, Share::new(n1 + i, buf));
+        }
+        pool.put(scratch);
+    }
+    Ok(())
+}
+
+/// Assembles the per-stripe parts of one L2 server's element (in stripe
+/// order) into a single share. A single part stays monolithic; several parts
+/// become a striped share whose layout records the stripe boundaries.
+pub fn assemble_share(index: usize, parts: Vec<Share>) -> Share {
+    if parts.len() == 1 {
+        let mut parts = parts;
+        let mut only = parts.pop().expect("one part");
+        only.index = index;
+        return only;
+    }
+    let layout: Vec<usize> = parts.iter().map(|p| p.data.len()).collect();
+    let mut data = Vec::with_capacity(layout.iter().sum());
+    for part in &parts {
+        data.extend_from_slice(&part.data);
+    }
+    Share::striped(index, data, layout)
+}
+
+/// Stripe count shared by a set of striped shares/helpers, or `None` when
+/// every input is monolithic.
+fn common_stripes<'a, I>(layouts: I) -> Result<Option<usize>, CodeError>
+where
+    I: Iterator<Item = Option<&'a Vec<usize>>>,
+{
+    let mut stripes: Option<usize> = None;
+    for layout in layouts {
+        let this = layout.map(Vec::len);
+        match (stripes, this) {
+            (None, t) => stripes = t,
+            (Some(a), Some(b)) if a != b => {
+                return Err(CodeError::MalformedShare(format!(
+                    "inconsistent stripe counts {a} vs {b}"
+                )));
+            }
+            (Some(_), Some(_)) => {}
+            (Some(a), None) => {
+                return Err(CodeError::MalformedShare(format!(
+                    "monolithic share mixed into a {a}-stripe set"
+                )));
+            }
+        }
+    }
+    Ok(stripes)
+}
+
+/// Stripe-aware [`BackendCodec::helper_for_l1`]: a helper computed from a
+/// striped element is the concatenation of the per-stripe helpers, with its
+/// own layout.
+///
+/// # Errors
+///
+/// As for the backend call.
+pub fn helper_for_l1(
+    backend: &dyn BackendCodec,
+    l2_element: &Share,
+    l2_index: usize,
+    l1_index: usize,
+) -> Result<HelperData, CodeError> {
+    match &l2_element.layout {
+        None => backend.helper_for_l1(l2_element, l2_index, l1_index),
+        Some(_) => {
+            let mut data = Vec::new();
+            let mut layout = Vec::new();
+            let mut indices = None;
+            for seg in l2_element.segments() {
+                let part = Share::new(l2_element.index, seg.to_vec());
+                let helper = backend.helper_for_l1(&part, l2_index, l1_index)?;
+                layout.push(helper.data.len());
+                data.extend_from_slice(&helper.data);
+                indices.get_or_insert((helper.helper_index, helper.failed_index));
+            }
+            let (hi, fi) = indices.expect("striped element has at least one segment");
+            Ok(HelperData::striped(hi, fi, data, layout))
+        }
+    }
+}
+
+/// Stripe-aware [`BackendCodec::regenerate_l1`].
+///
+/// # Errors
+///
+/// As for the backend call, plus [`CodeError::MalformedShare`] when helper
+/// stripe structures disagree.
+pub fn regenerate_l1(
+    backend: &dyn BackendCodec,
+    l1_index: usize,
+    helpers: &[HelperData],
+) -> Result<Share, CodeError> {
+    match common_stripes(helpers.iter().map(|h| h.layout.as_ref()))? {
+        None => backend.regenerate_l1(l1_index, helpers),
+        Some(stripes) => {
+            let segmented: Vec<Vec<&[u8]>> = helpers.iter().map(HelperData::segments).collect();
+            let mut parts = Vec::with_capacity(stripes);
+            for s in 0..stripes {
+                let stripe_helpers: Vec<HelperData> = helpers
+                    .iter()
+                    .zip(&segmented)
+                    .map(|(h, segs)| {
+                        HelperData::new(h.helper_index, h.failed_index, segs[s].to_vec())
+                    })
+                    .collect();
+                parts.push(backend.regenerate_l1(l1_index, &stripe_helpers)?);
+            }
+            let index = parts[0].index;
+            Ok(assemble_share(index, parts))
+        }
+    }
+}
+
+/// Stripe-aware [`BackendCodec::helper_for_l2`] (online L2 repair).
+///
+/// # Errors
+///
+/// As for the backend call.
+pub fn helper_for_l2(
+    backend: &dyn BackendCodec,
+    l2_element: &Share,
+    l2_index: usize,
+    failed_l2_index: usize,
+) -> Result<HelperData, CodeError> {
+    match &l2_element.layout {
+        None => backend.helper_for_l2(l2_element, l2_index, failed_l2_index),
+        Some(_) => {
+            let mut data = Vec::new();
+            let mut layout = Vec::new();
+            let mut indices = None;
+            for seg in l2_element.segments() {
+                let part = Share::new(l2_element.index, seg.to_vec());
+                let helper = backend.helper_for_l2(&part, l2_index, failed_l2_index)?;
+                layout.push(helper.data.len());
+                data.extend_from_slice(&helper.data);
+                indices.get_or_insert((helper.helper_index, helper.failed_index));
+            }
+            let (hi, fi) = indices.expect("striped element has at least one segment");
+            Ok(HelperData::striped(hi, fi, data, layout))
+        }
+    }
+}
+
+/// Stripe-aware [`BackendCodec::regenerate_l2`] (online L2 repair).
+///
+/// # Errors
+///
+/// As for the backend call, plus [`CodeError::MalformedShare`] when helper
+/// stripe structures disagree.
+pub fn regenerate_l2(
+    backend: &dyn BackendCodec,
+    l2_index: usize,
+    helpers: &[HelperData],
+) -> Result<Share, CodeError> {
+    match common_stripes(helpers.iter().map(|h| h.layout.as_ref()))? {
+        None => backend.regenerate_l2(l2_index, helpers),
+        Some(stripes) => {
+            let segmented: Vec<Vec<&[u8]>> = helpers.iter().map(HelperData::segments).collect();
+            let mut parts = Vec::with_capacity(stripes);
+            for s in 0..stripes {
+                let stripe_helpers: Vec<HelperData> = helpers
+                    .iter()
+                    .zip(&segmented)
+                    .map(|(h, segs)| {
+                        HelperData::new(h.helper_index, h.failed_index, segs[s].to_vec())
+                    })
+                    .collect();
+                parts.push(backend.regenerate_l2(l2_index, &stripe_helpers)?);
+            }
+            let index = parts[0].index;
+            Ok(assemble_share(index, parts))
+        }
+    }
+}
+
+/// Stripe-aware [`BackendCodec::decode_from_l1_into`]: decodes each stripe
+/// from the corresponding segments of the (striped) C1 elements and
+/// concatenates the per-stripe values — "readers reassemble stripes".
+///
+/// # Errors
+///
+/// As for the backend call, plus [`CodeError::MalformedShare`] when share
+/// stripe structures disagree.
+pub fn decode_from_l1_into(
+    backend: &dyn BackendCodec,
+    shares: &[Share],
+    out: &mut Vec<u8>,
+) -> Result<(), CodeError> {
+    match common_stripes(shares.iter().map(|s| s.layout.as_ref()))? {
+        None => backend.decode_from_l1_into(shares, out),
+        Some(stripes) => {
+            let segmented: Vec<Vec<&[u8]>> = shares.iter().map(Share::segments).collect();
+            out.clear();
+            let mut stripe_out = Vec::new();
+            for s in 0..stripes {
+                let stripe_shares: Vec<Share> = shares
+                    .iter()
+                    .zip(&segmented)
+                    .map(|(share, segs)| Share::new(share.index, segs[s].to_vec()))
+                    .collect();
+                backend.decode_from_l1_into(&stripe_shares, &mut stripe_out)?;
+                out.extend_from_slice(&stripe_out);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{make_backend, BackendKind};
+    use crate::params::SystemParams;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn spans_cover_the_value_exactly() {
+        assert_eq!(stripe_spans(0, 64), vec![0..0]);
+        assert_eq!(stripe_spans(63, 64), vec![0..63]);
+        assert_eq!(stripe_spans(64, 64), vec![0..64]);
+        assert_eq!(stripe_spans(65, 64), vec![0..64, 64..65]);
+        let spans = stripe_spans(3 * 64 + 7, 64);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans.last().unwrap().clone(), 192..199);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe_size must be positive")]
+    fn zero_stripe_size_panics() {
+        let _ = stripe_spans(10, 0);
+    }
+
+    fn sample_value(len: usize) -> Value {
+        Value::new((0..len).map(|i| (i * 37 % 251) as u8).collect())
+    }
+
+    /// The satellite property test: a striped write/read roundtrips
+    /// byte-identically with the monolithic path across all four backends at
+    /// the edge sizes around the stripe boundary.
+    #[test]
+    fn striped_roundtrip_matches_monolithic_across_backends() {
+        const STRIPE: usize = 64;
+        let p = SystemParams::for_failures(1, 1, 3, 5).unwrap(); // n1=5, n2=7
+        for kind in [
+            BackendKind::Mbr,
+            BackendKind::MsrPoint,
+            BackendKind::ProductMatrixMsr,
+            BackendKind::Replication,
+        ] {
+            let backend = make_backend(kind, &p).unwrap();
+            let mut pool = BufPool::new();
+            for len in [0usize, 1, STRIPE - 1, STRIPE, STRIPE + 1, 3 * STRIPE + 7] {
+                let value = sample_value(len);
+
+                // Striped write path → per-L2 assembled elements.
+                let mut parts: BTreeMap<usize, Vec<Share>> = BTreeMap::new();
+                encode_elements_striped(&*backend, &value, STRIPE, &mut pool, |l2, seq, _, p| {
+                    let slot = parts.entry(l2).or_default();
+                    assert_eq!(slot.len(), seq as usize, "parts arrive in stripe order");
+                    slot.push(p);
+                })
+                .unwrap();
+                let elements: Vec<Share> = parts
+                    .into_iter()
+                    .map(|(l2, parts)| assemble_share(backend.n1() + l2, parts))
+                    .collect();
+                assert_eq!(elements.len(), backend.n2());
+
+                // Striped read path: regenerate k C1 elements, then decode.
+                let mut c1 = Vec::new();
+                for l1 in 0..backend.decode_threshold() {
+                    let helpers: Vec<HelperData> = elements
+                        .iter()
+                        .enumerate()
+                        .take(backend.repair_threshold())
+                        .map(|(i, e)| helper_for_l1(&*backend, e, i, l1).unwrap())
+                        .collect();
+                    c1.push(regenerate_l1(&*backend, l1, &helpers).unwrap());
+                }
+                let mut decoded = Vec::new();
+                decode_from_l1_into(&*backend, &c1, &mut decoded).unwrap();
+                assert_eq!(decoded, value.as_bytes(), "{kind} len={len}");
+
+                // Byte-identical with the monolithic path: a small value
+                // (single stripe) produces exactly the monolithic elements.
+                if len <= STRIPE {
+                    let mut mono: Vec<Vec<u8>> = vec![Vec::new(); backend.n2()];
+                    backend.encode_l2_elements_into(&value, &mut mono).unwrap();
+                    for (e, m) in elements.iter().zip(&mono) {
+                        assert_eq!(&e.data, m, "{kind} len={len}");
+                        assert!(e.layout.is_none(), "single stripe stays monolithic");
+                    }
+                }
+            }
+            // The frame scratch is recycled across stripes and rounds stay
+            // bounded by one stripe's worth of buffers.
+            let stats = pool.stats();
+            assert!(stats.reused > 0, "{kind}: frame scratch must be reused");
+        }
+    }
+
+    #[test]
+    fn striped_l2_repair_regenerates_the_striped_element() {
+        const STRIPE: usize = 32;
+        let p = SystemParams::for_failures(1, 1, 3, 5).unwrap();
+        let value = sample_value(3 * STRIPE + 5);
+        for kind in [BackendKind::Mbr, BackendKind::Replication] {
+            let backend = make_backend(kind, &p).unwrap();
+            let mut pool = BufPool::new();
+            let mut parts: BTreeMap<usize, Vec<Share>> = BTreeMap::new();
+            encode_elements_striped(&*backend, &value, STRIPE, &mut pool, |l2, _, _, p| {
+                parts.entry(l2).or_default().push(p);
+            })
+            .unwrap();
+            let elements: Vec<Share> = parts
+                .into_iter()
+                .map(|(l2, parts)| assemble_share(backend.n1() + l2, parts))
+                .collect();
+            let failed = 2usize;
+            let helpers: Vec<HelperData> = (0..backend.n2())
+                .filter(|&i| i != failed)
+                .take(backend.repair_threshold())
+                .map(|i| helper_for_l2(&*backend, &elements[i], i, failed).unwrap())
+                .collect();
+            let regenerated = regenerate_l2(&*backend, failed, &helpers).unwrap();
+            assert_eq!(regenerated, elements[failed], "{kind}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_stripe_structures_are_rejected() {
+        let p = SystemParams::for_failures(1, 1, 3, 5).unwrap();
+        let backend = make_backend(BackendKind::Replication, &p).unwrap();
+        let striped = Share::striped(5, vec![1, 2], vec![1, 1]);
+        let mono = Share::new(6, vec![1, 2]);
+        let mut out = Vec::new();
+        assert!(decode_from_l1_into(&*backend, &[striped, mono], &mut out).is_err());
+    }
+}

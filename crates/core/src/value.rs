@@ -1,15 +1,28 @@
 //! Object values.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
 use std::sync::Arc;
 
-/// An object value: an immutable byte string with cheap clones.
+/// An object value: an immutable byte string with cheap clones **and cheap
+/// sub-slices**.
 ///
 /// Values are cloned along many protocol paths (temporary storage on every L1
 /// server, responses to registered readers, …), so the bytes are held behind
-/// an [`Arc`]. Equality and hashing compare contents.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
-pub struct Value(Arc<Vec<u8>>);
+/// an [`Arc`]. The value is a `[start, end)` view into that shared buffer,
+/// which is what lets the chunk-striped write path carve a large value into
+/// stripes without copying a single byte ([`Value::slice`]) and lets stripe
+/// reassembly rejoin contiguous views for free ([`Value::concat`]).
+///
+/// Equality and hashing compare contents (the visible bytes), not the
+/// identity or bounds of the backing buffer.
+#[derive(Clone, Default)]
+pub struct Value {
+    bytes: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
 
 impl Value {
     /// The distinguished initial value `v0` (empty).
@@ -19,28 +32,99 @@ impl Value {
 
     /// Creates a value from bytes.
     pub fn new(bytes: Vec<u8>) -> Self {
-        Value(Arc::new(bytes))
+        let end = bytes.len();
+        Value {
+            bytes: Arc::new(bytes),
+            start: 0,
+            end,
+        }
     }
 
     /// The value's bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        &self.bytes[self.start..self.end]
     }
 
     /// Length in bytes — the unit the paper's costs are normalised by.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// Whether the value is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
+    }
+
+    /// A zero-copy sub-view of this value (`range` is relative to the
+    /// current view). The returned value shares the backing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the value's bounds.
+    pub fn slice(&self, range: Range<usize>) -> Value {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for value of {} bytes",
+            self.len()
+        );
+        Value {
+            bytes: Arc::clone(&self.bytes),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Concatenates values. When every part is a contiguous view of the
+    /// *same* backing buffer — the shape produced by slicing one value into
+    /// stripes — the result is a single zero-copy view; otherwise the bytes
+    /// are copied into a fresh buffer.
+    pub fn concat(parts: &[Value]) -> Value {
+        match parts {
+            [] => Value::initial(),
+            [first, rest @ ..] => {
+                let contiguous = rest
+                    .iter()
+                    .try_fold(first, |prev, next| {
+                        (Arc::ptr_eq(&prev.bytes, &next.bytes) && prev.end == next.start)
+                            .then_some(next)
+                    })
+                    .is_some();
+                if contiguous {
+                    let last = parts.last().expect("parts is non-empty");
+                    return Value {
+                        bytes: Arc::clone(&first.bytes),
+                        start: first.start,
+                        end: last.end,
+                    };
+                }
+                let total: usize = parts.iter().map(Value::len).sum();
+                let mut joined = Vec::with_capacity(total);
+                for part in parts {
+                    joined.extend_from_slice(part.as_bytes());
+                }
+                Value::new(joined)
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
     }
 }
 
 impl fmt::Debug for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Value({} bytes)", self.0.len())
+        write!(f, "Value({} bytes)", self.len())
     }
 }
 
@@ -52,7 +136,12 @@ impl From<Vec<u8>> for Value {
 
 impl From<Arc<Vec<u8>>> for Value {
     fn from(bytes: Arc<Vec<u8>>) -> Self {
-        Value(bytes)
+        let end = bytes.len();
+        Value {
+            bytes,
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -104,5 +193,55 @@ mod tests {
         assert_eq!(from_slice, from_vec);
         assert_eq!(from_slice.as_ref(), b"xy");
         assert!(format!("{from_slice:?}").contains("2 bytes"));
+    }
+
+    #[test]
+    fn slices_are_zero_copy_views() {
+        let v = Value::new((0u8..100).collect());
+        let mid = v.slice(10..20);
+        assert_eq!(mid.as_bytes(), &(10u8..20).collect::<Vec<_>>()[..]);
+        // Slicing a slice composes.
+        let inner = mid.slice(2..5);
+        assert_eq!(inner.as_bytes(), &[12, 13, 14]);
+        assert!(v.slice(40..40).is_empty());
+        // A sub-view equals a freshly built value with the same content.
+        assert_eq!(inner, Value::new(vec![12, 13, 14]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let _ = Value::new(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn concat_of_contiguous_slices_is_zero_copy() {
+        let v = Value::new((0u8..50).collect());
+        let parts: Vec<Value> = vec![v.slice(0..20), v.slice(20..40), v.slice(40..50)];
+        let joined = Value::concat(&parts);
+        assert_eq!(joined, v);
+        // Zero-copy: the rejoin points into the original buffer.
+        assert_eq!(joined.as_bytes().as_ptr(), v.as_bytes().as_ptr());
+    }
+
+    #[test]
+    fn concat_of_unrelated_values_copies() {
+        let a = Value::from("ab");
+        let b = Value::from("cd");
+        assert_eq!(Value::concat(&[a, b]), Value::from("abcd"));
+        assert_eq!(Value::concat(&[]), Value::initial());
+        // Same buffer but non-contiguous parts also copy (and reorder works).
+        let v = Value::new((0u8..10).collect());
+        let swapped = Value::concat(&[v.slice(5..10), v.slice(0..5)]);
+        assert_eq!(swapped.as_bytes(), &[5, 6, 7, 8, 9, 0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hashing_follows_content_not_view_bounds() {
+        use std::collections::HashSet;
+        let v = Value::new(vec![7, 7, 7, 7]);
+        let mut set = HashSet::new();
+        set.insert(v.slice(0..2));
+        assert!(set.contains(&Value::new(vec![7, 7])));
     }
 }

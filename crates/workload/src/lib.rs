@@ -49,7 +49,7 @@ pub mod repair;
 pub mod runner;
 pub mod throughput;
 
-pub use generator::{ClosedLoopWorkload, ValueGenerator};
+pub use generator::{ClosedLoopWorkload, ValueGenerator, ZipfianGenerator};
 pub use measure::{CostMeasurement, CostReport};
 pub use repair::RepairBandwidth;
 pub use runner::{RunReport, RunnerConfig, SimRunner};

@@ -243,8 +243,11 @@ impl SimRunner {
         &self.readers
     }
 
-    /// Schedules a write of `value` to the default object at `time`.
-    pub fn invoke_write(&mut self, writer: ProcessId, time: f64, value: Vec<u8>) {
+    /// Schedules a write of `value` to the default object at `time`. Accepts
+    /// anything convertible into a [`Value`] — `Vec<u8>` is framed once,
+    /// already-framed `Value`s (e.g. from a reuse-friendly
+    /// [`crate::ValueGenerator`]) are passed through without copying.
+    pub fn invoke_write(&mut self, writer: ProcessId, time: f64, value: impl Into<Value>) {
         self.invoke_write_obj(writer, time, ObjectId(0), value);
     }
 
@@ -254,14 +257,14 @@ impl SimRunner {
         writer: ProcessId,
         time: f64,
         obj: ObjectId,
-        value: Vec<u8>,
+        value: impl Into<Value>,
     ) {
         self.sim.inject_at(
             time,
             writer,
             LdsMessage::InvokeWrite {
                 obj,
-                value: Value::new(value),
+                value: value.into(),
             },
         );
     }

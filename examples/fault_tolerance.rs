@@ -32,14 +32,18 @@ fn main() {
     let mut values = ValueGenerator::new(2048, 5);
 
     for obj in 0..8u64 {
-        client.write(ObjectId(obj), &values.next_value()).unwrap();
+        client
+            .write(ObjectId(obj), values.next_value().as_bytes())
+            .unwrap();
     }
     println!("wrote 8 objects of 2 KiB");
 
     // Spend the failure budget: one crash in each layer.
     admin.kill(ServerRef::l1(0)).unwrap();
     admin.kill(ServerRef::l2(2)).unwrap();
-    client.write(ObjectId(0), &values.next_value()).unwrap();
+    client
+        .write(ObjectId(0), values.next_value().as_bytes())
+        .unwrap();
     let readback = client.read(ObjectId(3)).unwrap();
     println!(
         "after f1 + f2 crashes: operations still complete ({}-byte read)",

@@ -18,8 +18,12 @@ fn params() -> SystemParams {
     SystemParams::for_failures(1, 1, 2, 3).unwrap()
 }
 
-/// The two store profiles every stress test runs under: paper-faithful
-/// messaging and the high-throughput knob set, both sharded.
+/// The store profiles every stress test runs under: paper-faithful
+/// messaging, the high-throughput knob set, and the high-throughput set with
+/// the large-value data paths forced on — a tiny stripe threshold makes
+/// every test value take the chunk-striped PUT-STRIPE/WriteCodeStripe path,
+/// and the tag-validated read cache is enabled — so the atomicity assertions
+/// cover the striped and cached flows too.
 fn stress_profiles(backend: BackendKind) -> Vec<(&'static str, StoreHandle)> {
     vec![
         (
@@ -38,6 +42,18 @@ fn stress_profiles(backend: BackendKind) -> Vec<(&'static str, StoreHandle)> {
                 .params(params())
                 .backend(backend)
                 .high_throughput(2)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "striped+cached",
+            StoreBuilder::new()
+                .params(params())
+                .backend(backend)
+                .high_throughput(2)
+                .stripe_threshold(4)
+                .stripe_size(4)
+                .read_cache(8)
                 .build()
                 .unwrap(),
         ),
@@ -396,6 +412,82 @@ fn greedy_pipelined_client_cannot_starve_a_blocking_one() {
     );
     assert_eq!(blocking.read(ObjectId(7)).unwrap(), b"blocking 24".to_vec());
     drop(blocking);
+    store.shutdown();
+}
+
+/// Large values round-trip byte-identically through the chunk-striped data
+/// path on every backend, at stripe-boundary edge sizes — including one
+/// below the threshold (monolithic) and one that is not a stripe multiple.
+#[test]
+fn large_values_roundtrip_through_the_striped_path_on_every_backend() {
+    const STRIPE: usize = 1 << 12;
+    for backend in [
+        BackendKind::Mbr,
+        BackendKind::MsrPoint,
+        BackendKind::ProductMatrixMsr,
+        BackendKind::Replication,
+    ] {
+        let store = StoreBuilder::new()
+            .params(params())
+            .backend(backend)
+            .stripe_threshold(STRIPE)
+            .stripe_size(STRIPE)
+            .build()
+            .unwrap();
+        let mut writer = store.client();
+        let mut reader = store.client();
+        for (obj, len) in [
+            (1u64, STRIPE - 1),  // below threshold: monolithic path
+            (2, STRIPE),         // exactly one stripe
+            (3, 5 * STRIPE + 7), // several stripes + ragged tail
+            (4, 16 * STRIPE),    // 64 KiB, stripe-aligned
+        ] {
+            let value: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            writer.write(ObjectId(obj), &value).unwrap();
+            assert_eq!(
+                reader.read(ObjectId(obj)).unwrap(),
+                value,
+                "{backend:?}: {len}-byte value corrupted through the striped path"
+            );
+        }
+        store.shutdown();
+    }
+}
+
+/// The tag-validated read cache serves repeat reads of an unchanged object
+/// without the data-transfer phase, misses when another client overwrites
+/// (the quorum-confirmed tag no longer matches), and re-validates afterwards
+/// — reads always return the latest committed value.
+#[test]
+fn read_cache_hits_skip_data_transfer_and_stay_coherent() {
+    let store = StoreBuilder::new()
+        .params(params())
+        .read_cache(4)
+        .build()
+        .unwrap();
+    let mut a = store.client();
+    let mut b = store.client();
+    a.write(ObjectId(1), b"generation one").unwrap();
+    // a's completed write seeded its cache with the committed (tag, value):
+    // a quiescent re-read confirms the tag by quorum and hits.
+    assert_eq!(a.read(ObjectId(1)).unwrap(), b"generation one");
+    assert!(
+        a.cache_hits() >= 1,
+        "quiescent re-read should hit the cache"
+    );
+    // Another client overwrites: a's cached tag is stale, so its next read
+    // misses the cache and fetches the new value — never the cached one.
+    b.write(ObjectId(1), b"generation two").unwrap();
+    let hits_before_miss = a.cache_hits();
+    assert_eq!(a.read(ObjectId(1)).unwrap(), b"generation two");
+    assert_eq!(
+        a.cache_hits(),
+        hits_before_miss,
+        "a read after a foreign overwrite must not be served from cache"
+    );
+    // The miss refreshed the cache at the new tag: the next read hits again.
+    assert_eq!(a.read(ObjectId(1)).unwrap(), b"generation two");
+    assert!(a.cache_hits() > hits_before_miss);
     store.shutdown();
 }
 
