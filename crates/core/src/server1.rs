@@ -649,6 +649,11 @@ impl L1Server {
                 Err(err) => {
                     // Fall through to the monolithic path (which has its own
                     // per-element fallback) rather than losing the offload.
+                    // Stripes emitted before the failure are not recalled;
+                    // the L2 servers drop a partial assembly from this sender
+                    // when the monolithic WRITE-CODE-ELEM for the same
+                    // (obj, tag) arrives behind it on the same channel, so no
+                    // stranded partial stream survives the fallback.
                     debug_assert!(false, "striped write-to-L2 encoding failure: {err}");
                 }
             }
@@ -777,6 +782,13 @@ impl L1Server {
         stripe: Value,
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
+        // A malformed header can never reassemble the value; drop it (in
+        // release builds too) rather than buffer a part that would complete
+        // a corrupt assembly or strand it forever.
+        if count == 0 || seq >= count {
+            debug_assert!(false, "malformed stripe header: seq {seq}, count {count}");
+            return;
+        }
         let by_tag = self.stripes.entry(obj).or_default();
         let assembly = by_tag.entry(tag).or_insert_with(|| StripeAssembly {
             count,
@@ -784,6 +796,13 @@ impl L1Server {
             from,
             op,
         });
+        if assembly.count != count {
+            // The stripe count is fixed per logical write (the tag binds the
+            // stream to one writer and one value); a disagreeing part would
+            // reassemble a corrupt value, so reject it like any other
+            // malformed message.
+            return;
+        }
         assembly.parts.insert(seq, stripe);
         if assembly.parts.len() < assembly.count as usize {
             return;
@@ -2083,6 +2102,64 @@ mod tests {
             stats.peak_round_bytes,
             bound
         );
+    }
+
+    #[test]
+    fn put_stripe_with_disagreeing_count_is_rejected() {
+        let mut s = make_server(0);
+        let obj = ObjectId(0);
+        let tag = Tag::new(1, crate::tag::ClientId(1));
+        let writer = ProcessId(77);
+        let op = OpId::default();
+        let out = step(
+            &mut s,
+            writer,
+            LdsMessage::PutStripe {
+                obj,
+                op,
+                tag,
+                seq: 0,
+                count: 2,
+                stripe: Value::from("he"),
+            },
+        );
+        assert!(out.is_empty());
+        assert_eq!(s.pending_stripe_parts(), 1);
+        // A part whose count disagrees with the open assembly is dropped
+        // instead of corrupting (or prematurely completing) it.
+        let out = step(
+            &mut s,
+            writer,
+            LdsMessage::PutStripe {
+                obj,
+                op,
+                tag,
+                seq: 1,
+                count: 3,
+                stripe: Value::from("xx"),
+            },
+        );
+        assert!(out.is_empty());
+        assert_eq!(s.pending_stripe_parts(), 1);
+        // The well-formed final part completes the stream and runs the
+        // normal put-data action (commit broadcast to the f1+1 relays).
+        let out = step(
+            &mut s,
+            writer,
+            LdsMessage::PutStripe {
+                obj,
+                op,
+                tag,
+                seq: 1,
+                count: 2,
+                stripe: Value::from("llo"),
+            },
+        );
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, LdsMessage::BcastSend { .. })));
+        assert_eq!(s.pending_stripe_parts(), 0);
+        assert_eq!(s.temporary_storage_bytes(), 5);
     }
 
     #[test]

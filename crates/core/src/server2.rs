@@ -67,13 +67,19 @@ impl Default for L2Options {
 }
 
 /// In-progress assembly of one striped coded element (the parts of a
-/// [`LdsMessage::WriteCodeStripe`] stream for one `(obj, tag)`).
+/// [`LdsMessage::WriteCodeStripe`] stream for one `(obj, tag, sender)`).
 ///
-/// Assemblies are **never pruned**: every stripe of a write is sent
-/// unconditionally, so each assembly completes and removes itself; dropping
-/// one early could strand later-arriving stripes and withhold the single
-/// `ACK-CODE-ELEM` the offloading L1 server counts on. Memory is bounded by
-/// the number of in-flight striped writes.
+/// Keying by the *sender* mirrors the monolithic path, where every offloading
+/// L1 server delivers its own `WRITE-CODE-ELEM` and receives its own ack:
+/// without `frugal_offload`, all `n1` servers stream the same `(obj, tag)`
+/// concurrently, and a shared assembly would interleave their streams —
+/// completing once with mixed parts (acking only one sender) and stranding
+/// the leftovers forever. Per-sender assemblies each complete after exactly
+/// `count` deliveries and remove themselves, so each offloader's
+/// `writeCounter` advances and memory stays bounded by the number of
+/// in-flight striped offloads. The only early pruning is a monolithic
+/// `WRITE-CODE-ELEM` from the same sender for the same tag, which supersedes
+/// a partial stream left by the L1 striped-encode fallback.
 struct ElementAssembly {
     /// Total number of stripes announced by the stream.
     count: u32,
@@ -110,8 +116,8 @@ pub struct L2Server {
     options: L2Options,
     /// Per-object `(tag, coded element)` — exactly one pair per object.
     objects: HashMap<ObjectId, (Tag, Share)>,
-    /// Striped elements still being assembled, per object and tag.
-    assemblies: HashMap<ObjectId, BTreeMap<Tag, ElementAssembly>>,
+    /// Striped elements still being assembled, per object, tag and sender.
+    assemblies: HashMap<ObjectId, BTreeMap<(Tag, ProcessId), ElementAssembly>>,
     /// `Some` while this server is a replacement regenerating from helpers.
     rebuild: Option<L2Rebuild>,
 }
@@ -233,8 +239,9 @@ impl L2Server {
 
     /// Accumulates one stripe of a striped coded element; on the last part,
     /// assembles and commits the element exactly as one `WRITE-CODE-ELEM`
-    /// (one ack per logical element, so L1 offload accounting is unchanged).
-    /// Processed even while rebuilding, like the monolithic write path.
+    /// (one ack per logical element *per sender*, so each offloading L1
+    /// server's accounting is unchanged). Processed even while rebuilding,
+    /// like the monolithic write path.
     #[allow(clippy::too_many_arguments)]
     fn on_write_code_stripe(
         &mut self,
@@ -246,16 +253,30 @@ impl L2Server {
         part: Share,
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
     ) {
+        // A malformed header can never assemble a correct element; dropping
+        // it (in release builds too) beats buffering parts that would either
+        // complete a corrupt assembly or strand it forever.
+        if count == 0 || seq >= count {
+            debug_assert!(false, "malformed stripe header: seq {seq}, count {count}");
+            return;
+        }
         let assembly = self
             .assemblies
             .entry(obj)
             .or_default()
-            .entry(tag)
+            .entry((tag, from))
             .or_insert_with(|| ElementAssembly {
                 count,
                 parts: BTreeMap::new(),
             });
-        debug_assert_eq!(assembly.count, count, "stripe count fixed per (obj, tag)");
+        if assembly.count != count {
+            // The stripe count is fixed per stream; a disagreeing part would
+            // silently assemble a corrupt element, so reject it. (Reachable
+            // only through a misbehaving sender — one L1 server encodes one
+            // value with one stripe size — hence no debug_assert: tolerated
+            // like any other malformed message.)
+            return;
+        }
         assembly.parts.insert(seq, part);
         if assembly.parts.len() < assembly.count as usize {
             return;
@@ -263,10 +284,10 @@ impl L2Server {
         let assembly = self
             .assemblies
             .get_mut(&obj)
-            .and_then(|by_tag| by_tag.remove(&tag))
+            .and_then(|by_key| by_key.remove(&(tag, from)))
             .expect("assembly present");
-        if let Some(by_tag) = self.assemblies.get(&obj) {
-            if by_tag.is_empty() {
+        if let Some(by_key) = self.assemblies.get(&obj) {
+            if by_key.is_empty() {
                 self.assemblies.remove(&obj);
             }
         }
@@ -274,6 +295,19 @@ impl L2Server {
         let parts: Vec<Share> = assembly.parts.into_values().collect();
         let element = stripe::assemble_share(index, parts);
         self.commit_element(from, obj, tag, element, ctx);
+    }
+
+    /// Discards a partial striped assembly for `(obj, tag)` from `sender`:
+    /// a monolithic `WRITE-CODE-ELEM` from the same sender for the same tag
+    /// supersedes its stream (the L1 striped-encode fallback re-sends the
+    /// whole element monolithically after an encode failure mid-stream).
+    fn drop_assembly(&mut self, obj: ObjectId, tag: Tag, sender: ProcessId) {
+        if let Some(by_key) = self.assemblies.get_mut(&obj) {
+            by_key.remove(&(tag, sender));
+            if by_key.is_empty() {
+                self.assemblies.remove(&obj);
+            }
+        }
     }
 
     fn entry(&mut self, obj: ObjectId) -> &mut (Tag, Share) {
@@ -434,6 +468,7 @@ impl Process<LdsMessage, ProtocolEvent> for L2Server {
             // Processed even while rebuilding — this is how a replacement
             // catches up on writes that are in flight during its repair.
             LdsMessage::WriteCodeElem { obj, tag, element } => {
+                self.drop_assembly(obj, tag, from);
                 self.commit_element(from, obj, tag, element, ctx);
             }
             // Striped write-to-L2: assemble, then commit as one element.
@@ -636,6 +671,210 @@ mod tests {
             }
             other => panic!("expected helper response, got {other:?}"),
         }
+    }
+
+    /// Collects the striped parts addressed to L2 index `l2_index` for
+    /// `value` at stripe size `stripe`.
+    fn striped_parts(
+        backend: &Arc<dyn BackendCodec>,
+        value: &Value,
+        stripe: usize,
+        l2_index: usize,
+    ) -> Vec<(u32, u32, Share)> {
+        let mut pool = lds_codes::BufPool::new();
+        let mut parts = Vec::new();
+        crate::stripe::encode_elements_striped(&**backend, value, stripe, &mut pool, {
+            let parts = &mut parts;
+            move |l2, seq, count, part| {
+                if l2 == l2_index {
+                    parts.push((seq, count, part));
+                }
+            }
+        })
+        .unwrap();
+        parts
+    }
+
+    #[test]
+    fn interleaved_streams_from_two_senders_assemble_independently() {
+        let (membership, backend) = setup();
+        let mut s = L2Server::new(1, membership.clone(), Arc::clone(&backend));
+        let obj = ObjectId(4);
+        let tag = Tag::new(2, ClientId(1));
+        let value = Value::new((0..100u8).collect());
+        let parts = striped_parts(&backend, &value, 32, 1);
+        assert_eq!(parts.len(), 4);
+
+        // Without frugal_offload every L1 server offloads, so two senders
+        // stream the same (obj, tag) concurrently — interleaved part by
+        // part. Each stream must assemble independently and earn its own
+        // ack, exactly as two monolithic WRITE-CODE-ELEMs would.
+        let senders = [membership.l1[0], membership.l1[1]];
+        let mut acks = Vec::new();
+        for (seq, count, part) in parts {
+            for &sender in &senders {
+                let out = step(
+                    &mut s,
+                    sender,
+                    LdsMessage::WriteCodeStripe {
+                        obj,
+                        tag,
+                        seq,
+                        count,
+                        part: part.clone(),
+                    },
+                );
+                for (to, msg) in out {
+                    if matches!(msg, LdsMessage::AckCodeElem { tag: t, .. } if t == tag) {
+                        acks.push(to);
+                    }
+                }
+            }
+        }
+        assert_eq!(acks, senders.to_vec(), "one ack per offloading sender");
+        assert_eq!(
+            s.pending_stripe_parts(),
+            0,
+            "both assemblies completed and were removed"
+        );
+        assert_eq!(s.stored_tag(obj), tag);
+    }
+
+    #[test]
+    fn monolithic_element_supersedes_partial_stream_from_same_sender() {
+        let (membership, backend) = setup();
+        let mut s = L2Server::new(1, membership.clone(), Arc::clone(&backend));
+        let obj = ObjectId(5);
+        let tag = Tag::new(3, ClientId(2));
+        let value = Value::new((0..100u8).collect());
+        let parts = striped_parts(&backend, &value, 32, 1);
+
+        // The L1 striped-encode fallback: a few stripes go out, the encode
+        // fails, and the whole element is re-sent monolithically behind them
+        // on the same channel. A second sender's partial stream is unrelated
+        // and must survive.
+        for (seq, count, part) in parts.iter().take(2).cloned() {
+            step(
+                &mut s,
+                membership.l1[0],
+                LdsMessage::WriteCodeStripe {
+                    obj,
+                    tag,
+                    seq,
+                    count,
+                    part,
+                },
+            );
+            step(
+                &mut s,
+                membership.l1[1],
+                LdsMessage::WriteCodeStripe {
+                    obj,
+                    tag,
+                    seq,
+                    count,
+                    part: parts[seq as usize].2.clone(),
+                },
+            );
+        }
+        assert_eq!(s.pending_stripe_parts(), 4);
+        let element = backend.encode_l2_element(&value, 1).unwrap();
+        let out = step(
+            &mut s,
+            membership.l1[0],
+            LdsMessage::WriteCodeElem { obj, tag, element },
+        );
+        assert!(matches!(out[0].1, LdsMessage::AckCodeElem { tag: t, .. } if t == tag));
+        assert_eq!(s.stored_tag(obj), tag);
+        assert_eq!(
+            s.pending_stripe_parts(),
+            2,
+            "sender 0's partial stream is dropped; sender 1's survives"
+        );
+
+        // Sender 1 finishes its stream and still earns its own ack.
+        let mut acks = 0;
+        for (seq, count, part) in parts.into_iter().skip(2) {
+            let out = step(
+                &mut s,
+                membership.l1[1],
+                LdsMessage::WriteCodeStripe {
+                    obj,
+                    tag,
+                    seq,
+                    count,
+                    part,
+                },
+            );
+            acks += out
+                .iter()
+                .filter(|(_, m)| matches!(m, LdsMessage::AckCodeElem { .. }))
+                .count();
+        }
+        assert_eq!(acks, 1);
+        assert_eq!(s.pending_stripe_parts(), 0);
+    }
+
+    #[test]
+    fn stripe_with_disagreeing_count_is_rejected() {
+        let (membership, backend) = setup();
+        let mut s = L2Server::new(1, membership.clone(), Arc::clone(&backend));
+        let obj = ObjectId(6);
+        let tag = Tag::new(1, ClientId(3));
+        let value = Value::new((0..100u8).collect());
+        let parts = striped_parts(&backend, &value, 32, 1);
+        let sender = membership.l1[0];
+
+        let (seq, count, part) = parts[0].clone();
+        step(
+            &mut s,
+            sender,
+            LdsMessage::WriteCodeStripe {
+                obj,
+                tag,
+                seq,
+                count,
+                part,
+            },
+        );
+        assert_eq!(s.pending_stripe_parts(), 1);
+        // A part whose count disagrees with the open assembly is dropped
+        // instead of corrupting (or prematurely completing) it.
+        let out = step(
+            &mut s,
+            sender,
+            LdsMessage::WriteCodeStripe {
+                obj,
+                tag,
+                seq: 1,
+                count: count - 1,
+                part: parts[1].2.clone(),
+            },
+        );
+        assert!(out.is_empty());
+        assert_eq!(s.pending_stripe_parts(), 1);
+        // The well-formed remainder of the stream still completes.
+        let mut acks = 0;
+        for (seq, count, part) in parts.into_iter().skip(1) {
+            let out = step(
+                &mut s,
+                sender,
+                LdsMessage::WriteCodeStripe {
+                    obj,
+                    tag,
+                    seq,
+                    count,
+                    part,
+                },
+            );
+            acks += out
+                .iter()
+                .filter(|(_, m)| matches!(m, LdsMessage::AckCodeElem { .. }))
+                .count();
+        }
+        assert_eq!(acks, 1);
+        assert_eq!(s.pending_stripe_parts(), 0);
+        assert_eq!(s.stored_tag(obj), tag);
     }
 
     #[test]
