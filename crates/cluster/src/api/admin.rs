@@ -15,7 +15,9 @@ use crate::node::Cluster;
 use crate::repair::{RepairLayer, RepairReport};
 use crate::sharded::ShardedCluster;
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Addresses one server process of a deployment: layer + layer index, plus
 /// the cluster shard on sharded topologies (defaults to shard 0).
@@ -136,8 +138,155 @@ pub struct MetricsSnapshot {
     pub live_l1: usize,
     /// Live L2 servers (out of `clusters × n2`).
     pub live_l2: usize,
-    /// Successful online repairs since the store started.
+    /// Successful online repairs since the store started (exact even after
+    /// the bounded report log started evicting).
     pub repairs_completed: usize,
+    /// [`RepairReport`]s evicted from the bounded log behind
+    /// [`Admin::repair_reports`] (see
+    /// [`StoreBuilder::repair_log_cap`](crate::api::StoreBuilder::repair_log_cap)).
+    pub repair_reports_dropped: u64,
+    /// Suspicion transitions the heartbeat monitor raised (self-healing
+    /// deployments only; zero otherwise — likewise for every `heal_*`
+    /// field below).
+    pub heal_suspicions_raised: u64,
+    /// Repair attempts the auto-repair supervisor started.
+    pub heal_repairs_attempted: u64,
+    /// Supervisor attempts that completed successfully.
+    pub heal_repairs_succeeded: u64,
+    /// Supervisor attempts that failed and entered (or escalated) an
+    /// exponential backoff.
+    pub heal_repairs_backed_off: u64,
+    /// Times the supervisor parked a target because its layer had fewer
+    /// live helpers than the repair quorum (more than `f` down).
+    pub heal_parked_events: u64,
+    /// The current backoff delay per target still waiting one out.
+    pub heal_backoffs: Vec<(ServerRef, Duration)>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format: one
+    /// `# HELP` and one `# TYPE` line per metric family, `lds_`-prefixed
+    /// names, labelled samples for the per-layer and per-target families.
+    ///
+    /// ```rust
+    /// use lds_cluster::api::StoreBuilder;
+    ///
+    /// let store = StoreBuilder::new().build().unwrap();
+    /// let text = store.admin().metrics().to_prometheus();
+    /// assert!(text.contains("# TYPE lds_live_servers gauge"));
+    /// assert!(text.contains("lds_live_servers{layer=\"l1\"} 4"));
+    /// store.shutdown();
+    /// ```
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut family = |name: &str, kind: &str, help: &str, samples: &[(String, f64)]| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, value) in samples {
+                let _ = writeln!(out, "{name}{labels} {value}");
+            }
+        };
+        let plain = |v: f64| vec![(String::new(), v)];
+        family(
+            "lds_clusters",
+            "gauge",
+            "Independent cluster shards in the deployment.",
+            &plain(self.clusters as f64),
+        );
+        family(
+            "lds_l1_metadata_entries",
+            "gauge",
+            "Per-tag metadata entries across every L1 server.",
+            &plain(self.l1_metadata_entries as f64),
+        );
+        family(
+            "lds_l1_temporary_bytes",
+            "gauge",
+            "Bytes of values in L1 temporary storage.",
+            &plain(self.l1_temporary_bytes as f64),
+        );
+        family(
+            "lds_l1_inbox_depth",
+            "gauge",
+            "Messages queued across every L1 worker-shard inbox.",
+            &plain(self.l1_inbox_depth as f64),
+        );
+        family(
+            "lds_l1_inbox_depth_max",
+            "gauge",
+            "Largest queue length any single L1 worker-shard inbox reached.",
+            &plain(self.max_l1_inbox_depth as f64),
+        );
+        family(
+            "lds_admitted_ops",
+            "gauge",
+            "Client operations currently admitted (bounded-inbox mode).",
+            &plain(self.admitted_ops as f64),
+        );
+        family(
+            "lds_live_servers",
+            "gauge",
+            "Live servers per layer.",
+            &[
+                ("{layer=\"l1\"}".into(), self.live_l1 as f64),
+                ("{layer=\"l2\"}".into(), self.live_l2 as f64),
+            ],
+        );
+        family(
+            "lds_repairs_completed",
+            "counter",
+            "Successful online repairs since the store started.",
+            &plain(self.repairs_completed as f64),
+        );
+        family(
+            "lds_repair_reports_dropped",
+            "counter",
+            "Repair reports evicted from the bounded history log.",
+            &plain(self.repair_reports_dropped as f64),
+        );
+        family(
+            "lds_heal_suspicions_raised",
+            "counter",
+            "Suspicion transitions raised by the heartbeat monitor.",
+            &plain(self.heal_suspicions_raised as f64),
+        );
+        family(
+            "lds_heal_repairs_attempted",
+            "counter",
+            "Repair attempts started by the auto-repair supervisor.",
+            &plain(self.heal_repairs_attempted as f64),
+        );
+        family(
+            "lds_heal_repairs_succeeded",
+            "counter",
+            "Supervisor repair attempts that completed successfully.",
+            &plain(self.heal_repairs_succeeded as f64),
+        );
+        family(
+            "lds_heal_repairs_backed_off",
+            "counter",
+            "Supervisor repair attempts that failed into exponential backoff.",
+            &plain(self.heal_repairs_backed_off as f64),
+        );
+        family(
+            "lds_heal_parked",
+            "counter",
+            "Times the supervisor parked a repair for lack of a quorum.",
+            &plain(self.heal_parked_events as f64),
+        );
+        let backoffs: Vec<(String, f64)> = self
+            .heal_backoffs
+            .iter()
+            .map(|(target, delay)| (format!("{{target=\"{target}\"}}"), delay.as_secs_f64()))
+            .collect();
+        family(
+            "lds_heal_backoff_seconds",
+            "gauge",
+            "Current backoff delay per repair target still waiting one out.",
+            &backoffs,
+        );
+        out
+    }
 }
 
 /// The consolidated control plane of a store: one handle for crash
@@ -285,6 +434,33 @@ impl Admin {
             .repair_server(server.layer, server.index)?)
     }
 
+    /// [`Admin::repair`] with an explicit per-call deadline instead of the
+    /// deployment-wide
+    /// [`StoreBuilder::repair_timeout`](crate::api::StoreBuilder::repair_timeout).
+    /// On [`crate::RepairError::Timeout`] the claim is released and the
+    /// target returns to the crashed state, so a later retry (with a more
+    /// generous deadline) can succeed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Admin::repair`], plus [`StoreError::InvalidConfig`] for a zero
+    /// timeout.
+    pub fn repair_with_timeout(
+        &self,
+        server: ServerRef,
+        timeout: Duration,
+    ) -> Result<RepairReport, StoreError> {
+        self.check_index(server)?;
+        if timeout.is_zero() {
+            return Err(StoreError::InvalidConfig(
+                "repair timeout must be non-zero".into(),
+            ));
+        }
+        Ok(self
+            .cluster(server)?
+            .repair_server_with(server.layer, server.index, Some(timeout))?)
+    }
+
     /// Whether `server` is live (never killed, or killed and successfully
     /// repaired).
     ///
@@ -301,14 +477,22 @@ impl Admin {
     /// Liveness of every server of every cluster shard — the observation a
     /// failure detector feeds back into [`Admin::repair`] (see
     /// [`Liveness::crashed`]).
+    ///
+    /// On a self-healing deployment
+    /// ([`StoreBuilder::self_heal`](crate::api::StoreBuilder::self_heal))
+    /// this reports the heartbeat monitor's *suspicion* view: a server is
+    /// live here iff its beats are fresh, so a crash shows up only after the
+    /// detection latency (`beat_interval × suspicion_intervals`) and a
+    /// repaired server reappears on its first beat. [`Admin::is_live`]
+    /// always reads the engine's crash-injection ground truth.
     pub fn liveness(&self) -> Liveness {
         let per_cluster = |cluster: &Cluster| {
             let params = cluster.params();
             let l1 = (0..params.n1())
-                .map(|j| cluster.server_is_live(RepairLayer::L1, j))
+                .map(|j| cluster.server_is_live_observed(RepairLayer::L1, j))
                 .collect();
             let l2 = (0..params.n2())
-                .map(|i| cluster.server_is_live(RepairLayer::L2, i))
+                .map(|i| cluster.server_is_live_observed(RepairLayer::L2, i))
                 .collect();
             (l1, l2)
         };
@@ -380,8 +564,15 @@ impl Admin {
             live_l1: 0,
             live_l2: 0,
             repairs_completed: 0,
+            repair_reports_dropped: 0,
+            heal_suspicions_raised: 0,
+            heal_repairs_attempted: 0,
+            heal_repairs_succeeded: 0,
+            heal_repairs_backed_off: 0,
+            heal_parked_events: 0,
+            heal_backoffs: Vec::new(),
         };
-        for cluster in clusters {
+        for (c, cluster) in clusters.into_iter().enumerate() {
             let params = cluster.params();
             snapshot.l1_metadata_entries += cluster.total_l1_metadata_entries();
             snapshot.l1_temporary_bytes += cluster.total_l1_temporary_bytes();
@@ -402,7 +593,23 @@ impl Admin {
                     snapshot.live_l2 += 1;
                 }
             }
-            snapshot.repairs_completed += cluster.repair_log().len();
+            snapshot.repairs_completed += cluster.repairs_completed() as usize;
+            snapshot.repair_reports_dropped += cluster.repair_reports_dropped();
+            if let Some(heal) = cluster.heal_state() {
+                snapshot.heal_suspicions_raised += heal.suspicions_raised();
+                snapshot.heal_repairs_attempted += heal.repairs_attempted();
+                snapshot.heal_repairs_succeeded += heal.repairs_succeeded();
+                snapshot.heal_repairs_backed_off += heal.repairs_backed_off();
+                snapshot.heal_parked_events += heal.parked_events();
+                for ((layer, index), delay) in heal.backoff_snapshot() {
+                    let target = ServerRef {
+                        cluster: c,
+                        layer,
+                        index,
+                    };
+                    snapshot.heal_backoffs.push((target, delay));
+                }
+            }
         }
         snapshot
     }

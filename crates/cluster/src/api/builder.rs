@@ -2,12 +2,15 @@
 //! topology and profile.
 
 use crate::api::{StoreError, StoreHandle, Topo};
+use crate::heal::{HealConfig, HealRuntime};
 use crate::node::{Cluster, ClusterOptions};
 use crate::sharded::ShardedCluster;
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
 use lds_core::server1::L1Options;
 use lds_core::server2::L2Options;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Fluent, validating builder for a running LDS store.
 ///
@@ -62,6 +65,9 @@ pub struct StoreBuilder {
     pipeline_depth: usize,
     inbox_cap: Option<usize>,
     read_cache_entries: usize,
+    repair_timeout: Duration,
+    repair_log_cap: usize,
+    heal: Option<HealConfig>,
     l1: L1Options,
     l2: L2Options,
 }
@@ -81,6 +87,9 @@ impl Default for StoreBuilder {
             pipeline_depth: 16,
             inbox_cap: None,
             read_cache_entries: 0,
+            repair_timeout: crate::node::DEFAULT_REPAIR_TIMEOUT,
+            repair_log_cap: crate::node::DEFAULT_REPAIR_LOG_CAP,
+            heal: None,
             l1: L1Options::default(),
             l2: L2Options::default(),
         }
@@ -225,6 +234,48 @@ impl StoreBuilder {
         self
     }
 
+    /// How long an online repair ([`crate::api::Admin::repair`], or one
+    /// driven by the self-healing supervisor) may run before the claim is
+    /// released and [`crate::RepairError::Timeout`] is returned (default
+    /// 60 s). Must be non-zero (validated at `build()`). A single repair can
+    /// still opt out per call with
+    /// [`Admin::repair_with_timeout`](crate::api::Admin::repair_with_timeout).
+    pub fn repair_timeout(mut self, timeout: Duration) -> StoreBuilder {
+        self.repair_timeout = timeout;
+        self
+    }
+
+    /// Bounds the repair-report history behind
+    /// [`Admin::repair_reports`](crate::api::Admin::repair_reports) to the
+    /// most recent `cap` reports per cluster shard (default 1024; `0` keeps
+    /// no history at all). Evictions are counted in
+    /// [`MetricsSnapshot::repair_reports_dropped`](crate::api::MetricsSnapshot::repair_reports_dropped),
+    /// and
+    /// [`MetricsSnapshot::repairs_completed`](crate::api::MetricsSnapshot::repairs_completed)
+    /// stays exact regardless.
+    pub fn repair_log_cap(mut self, cap: usize) -> StoreBuilder {
+        self.repair_log_cap = cap;
+        self
+    }
+
+    /// Enables the self-healing control plane with default tuning (see
+    /// [`HealConfig`]): a heartbeat monitor that feeds per-server suspicion
+    /// into [`Admin::liveness`](crate::api::Admin::liveness), and an
+    /// auto-repair supervisor that drives online repairs of suspected
+    /// servers with jittered exponential backoff — no operator
+    /// [`Admin::repair`](crate::api::Admin::repair) call needed.
+    pub fn self_heal(mut self) -> StoreBuilder {
+        self.heal = Some(HealConfig::default());
+        self
+    }
+
+    /// [`self_heal`](StoreBuilder::self_heal) with explicit tuning
+    /// (validated at `build()`).
+    pub fn self_heal_with(mut self, config: HealConfig) -> StoreBuilder {
+        self.heal = Some(config);
+        self
+    }
+
     /// Bounded-inbox mode: at most `cap` client operations admitted
     /// concurrently per L1 key partition (per cluster shard). A saturated
     /// partition makes [`crate::api::Store::try_submit_write`] /
@@ -274,6 +325,14 @@ impl StoreBuilder {
                 "stripe_size must be at least 1 when striping is enabled".into(),
             ));
         }
+        if self.repair_timeout.is_zero() {
+            return Err(StoreError::InvalidConfig(
+                "repair_timeout must be non-zero".into(),
+            ));
+        }
+        if let Some(config) = &self.heal {
+            config.validate().map_err(StoreError::InvalidConfig)?;
+        }
         let options = ClusterOptions {
             l1_shards: self.l1_shards,
             l2_shards: self.l2_shards,
@@ -282,6 +341,8 @@ impl StoreBuilder {
             pipeline_depth: self.pipeline_depth,
             inbox_cap: self.inbox_cap,
             read_cache_entries: self.read_cache_entries,
+            repair_timeout: self.repair_timeout,
+            repair_log_cap: self.repair_log_cap,
         };
         let topo = if self.clusters > 1 {
             Topo::Sharded(ShardedCluster::launch(
@@ -293,9 +354,19 @@ impl StoreBuilder {
         } else {
             Topo::Single(Cluster::launch(params, self.backend, options)?)
         };
+        let heal = self.heal.map(|config| {
+            let shards: Vec<Arc<Cluster>> = match &topo {
+                Topo::Single(c) => vec![Arc::clone(c)],
+                Topo::Sharded(s) => (0..s.shard_count())
+                    .map(|c| Arc::clone(s.shard(c)))
+                    .collect(),
+            };
+            HealRuntime::launch(shards, config)
+        });
         Ok(StoreHandle {
             topo,
             backend: self.backend,
+            heal,
         })
     }
 }

@@ -59,6 +59,9 @@ pub(crate) enum Topo {
 pub struct StoreHandle {
     pub(crate) topo: Topo,
     pub(crate) backend: BackendKind,
+    /// The self-healing control plane, when built with
+    /// [`StoreBuilder::self_heal`](crate::api::StoreBuilder::self_heal).
+    pub(crate) heal: Option<Arc<crate::heal::HealRuntime>>,
 }
 
 impl std::fmt::Debug for StoreHandle {
@@ -141,9 +144,14 @@ impl StoreHandle {
     }
 
     /// Stops every server thread of every cluster and waits for them to
-    /// exit. Outstanding client operations fail with
+    /// exit. On a self-healing deployment the monitor and supervisor are
+    /// stopped (and in-flight auto-repairs drained) first, so no repair
+    /// races the teardown. Outstanding client operations fail with
     /// [`StoreError::Disconnected`](crate::api::StoreError::Disconnected).
     pub fn shutdown(&self) {
+        if let Some(heal) = &self.heal {
+            heal.stop();
+        }
         match &self.topo {
             Topo::Single(c) => c.shutdown(),
             Topo::Sharded(s) => s.shutdown(),

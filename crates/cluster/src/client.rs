@@ -746,6 +746,8 @@ impl ClusterClient {
                 Ok(())
             }
             Envelope::Stop => Err(ClientError::Disconnected),
+            // Clients are never heartbeat-monitored; tolerate stray probes.
+            Envelope::Ping => Ok(()),
         }
     }
 

@@ -1,0 +1,40 @@
+//! The heartbeat/suspicion monitor thread (see the [module docs](super)).
+
+use super::HealConfig;
+use crate::node::Cluster;
+use crate::repair::RepairLayer;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Pings every server of every cluster shard once per beat interval and
+/// re-evaluates each server's suspicion flag from its beat age. Runs until
+/// `stop` is raised.
+///
+/// The ping forces even an idle (recv-blocked) server through its node loop,
+/// which is what refreshes the beat; a crashed server's pings are dropped at
+/// the router, so its beat ages past the threshold and it becomes suspected.
+/// A repaired replacement publishes into the same beat slot, so suspicion
+/// clears on its first wake-up — no repair-completion callback is needed.
+pub(super) fn run_monitor(clusters: &[Arc<Cluster>], config: &HealConfig, stop: &AtomicBool) {
+    let threshold_micros =
+        config.beat_interval.as_micros() as u64 * u64::from(config.suspicion_intervals);
+    while !stop.load(Ordering::Relaxed) {
+        for cluster in clusters {
+            let Some(state) = cluster.heal_state() else {
+                continue;
+            };
+            let params = cluster.params();
+            let now = cluster.now_micros();
+            let servers = (0..params.n1())
+                .map(|j| (RepairLayer::L1, j))
+                .chain((0..params.n2()).map(|i| (RepairLayer::L2, i)));
+            for (layer, index) in servers {
+                let pid = cluster.server_pid(layer, index);
+                cluster.ping_server(pid);
+                let age = now.saturating_sub(cluster.beat_micros(pid));
+                state.set_suspected(pid, age > threshold_micros);
+            }
+        }
+        std::thread::sleep(config.beat_interval);
+    }
+}

@@ -23,6 +23,12 @@
 //!   from live helpers — at MBR repair bandwidth for L2 coded elements —
 //!   catches up in-flight writes, and restores the failure budget, all under
 //!   concurrent client traffic (see the [`repair`] module);
+//! * with the **self-healing control plane**
+//!   ([`api::StoreBuilder::self_heal`]) the deployment detects crashes
+//!   itself — a heartbeat monitor turns stale beats into per-server
+//!   suspicion feeding [`api::Admin::liveness`] — and repairs itself: a
+//!   supervisor drives online repairs under a concurrency budget with
+//!   jittered exponential backoff (see the [`heal`] module);
 //! * node wake-ups flush all outgoing traffic in one pass, coalescing
 //!   same-destination metadata — notably the per-write **COMMIT-TAG
 //!   broadcasts** — into one multi-message envelope per peer per flush
@@ -101,6 +107,7 @@
 
 pub mod api;
 pub mod client;
+pub mod heal;
 pub mod node;
 pub mod repair;
 pub mod router;
@@ -111,6 +118,7 @@ pub use api::{
     StoreError, StoreHandle, Topology,
 };
 pub use client::{ClientError, ClusterClient, Completion, OpOutcome, OpTicket, WouldBlock};
+pub use heal::HealConfig;
 pub use node::{msgs_per_op_bound, Cluster, ClusterOptions};
 pub use repair::{RepairError, RepairLayer, RepairReport};
 pub use router::shard_of;

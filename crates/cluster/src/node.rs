@@ -77,7 +77,25 @@ pub struct ClusterOptions {
     /// skipped entirely — atomicity is unaffected because tag discovery and
     /// the put-tag write-back still run in full.
     pub read_cache_entries: usize,
+    /// How long a repair coordinator waits for the replacement to report
+    /// completion before returning the target to the crashed state with
+    /// [`crate::RepairError::Timeout`] (default 60 s). Must be non-zero;
+    /// [`crate::api::StoreBuilder::repair_timeout`] validates this at
+    /// `build()` time.
+    pub repair_timeout: Duration,
+    /// Maximum [`crate::RepairReport`]s retained in the cluster's repair
+    /// log (default 1024). Under continuous self-healing the log would
+    /// otherwise grow without bound; the oldest reports are dropped first
+    /// and the drop count is surfaced through
+    /// [`crate::api::MetricsSnapshot::repair_reports_dropped`].
+    pub repair_log_cap: usize,
 }
+
+/// Default for [`ClusterOptions::repair_timeout`].
+pub(crate) const DEFAULT_REPAIR_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default for [`ClusterOptions::repair_log_cap`].
+pub(crate) const DEFAULT_REPAIR_LOG_CAP: usize = 1024;
 
 impl Default for ClusterOptions {
     fn default() -> Self {
@@ -89,6 +107,8 @@ impl Default for ClusterOptions {
             pipeline_depth: 16,
             inbox_cap: None,
             read_cache_entries: 0,
+            repair_timeout: DEFAULT_REPAIR_TIMEOUT,
+            repair_log_cap: DEFAULT_REPAIR_LOG_CAP,
         }
     }
 }
@@ -116,6 +136,8 @@ impl ClusterOptions {
             pipeline_depth: 32,
             inbox_cap: None,
             read_cache_entries: 0,
+            repair_timeout: DEFAULT_REPAIR_TIMEOUT,
+            repair_log_cap: DEFAULT_REPAIR_LOG_CAP,
         }
     }
 }
@@ -343,6 +365,39 @@ struct ShardStats {
     metadata_entries: AtomicUsize,
 }
 
+/// Bounded history of successful repairs: a ring buffer capped at
+/// [`ClusterOptions::repair_log_cap`] that counts what it evicts, so a
+/// perpetually self-healing deployment cannot leak memory through its
+/// report log while `repairs_completed` stays exact.
+#[derive(Debug)]
+struct RepairLog {
+    reports: VecDeque<RepairReport>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl RepairLog {
+    fn new(cap: usize) -> Self {
+        RepairLog {
+            reports: VecDeque::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, report: RepairReport) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.reports.len() >= self.cap {
+            self.reports.pop_front();
+            self.dropped += 1;
+        }
+        self.reports.push_back(report);
+    }
+}
+
 /// Drives one server automaton from its inbox until a stop request arrives.
 ///
 /// The outgoing/events buffers are allocated once and reused for every step.
@@ -358,6 +413,7 @@ fn run_node<P>(
     router: Router,
     inbox: Inbox,
     started: Instant,
+    beat: Arc<AtomicU64>,
     publish: impl Fn(&P),
 ) where
     P: Process<LdsMessage, ProtocolEvent>,
@@ -385,6 +441,10 @@ fn run_node<P>(
         };
         match envelope {
             Envelope::Stop => return true,
+            // A heartbeat probe: the wake-up itself is the beat (the caller
+            // refreshes the beat timestamp each iteration); no protocol work
+            // and no depth accounting.
+            Envelope::Ping => {}
             Envelope::Protocol { from, msg } => {
                 depth.sub(1);
                 step(from, msg);
@@ -401,8 +461,11 @@ fn run_node<P>(
 
     'run: loop {
         // Only blocked (idle) shards publish stats, so probing them never
-        // contends with the protocol hot path.
+        // contends with the protocol hot path. The beat timestamp proves
+        // this shard reached its inbox again: the heartbeat monitor's pings
+        // force even idle (blocked) shards through here once per interval.
         publish(&process);
+        beat.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
         let first = match inbox.rx.recv() {
             Ok(e) => e,
             Err(_) => break 'run,
@@ -467,9 +530,20 @@ pub struct Cluster {
     /// Servers with a repair currently in progress (claimed by exactly one
     /// coordinator at a time — see [`crate::api::Admin::repair`]).
     repairing: Mutex<HashSet<ProcessId>>,
-    /// Reports of every successful repair, in completion order (exposed
-    /// through [`crate::api::Admin::repair_reports`]).
-    repair_log: Mutex<Vec<RepairReport>>,
+    /// Reports of the most recent successful repairs, in completion order
+    /// (exposed through [`crate::api::Admin::repair_reports`]). Bounded by
+    /// [`ClusterOptions::repair_log_cap`]: the oldest reports are dropped
+    /// first and counted.
+    repair_log: Mutex<RepairLog>,
+    /// Per-server liveness beats, indexed by pid (`0..n1 + n2`):
+    /// microseconds since [`Cluster::started`] at the last time any worker
+    /// shard of that server reached its inbox. The `Arc`s survive repair —
+    /// a replacement publishes into the same slot.
+    beats: Vec<Arc<AtomicU64>>,
+    /// Suspicion/repair bookkeeping of the self-healing control plane,
+    /// attached once by [`crate::api::StoreBuilder`] when the `self_heal`
+    /// profile is on (see [`crate::heal`]).
+    heal: std::sync::OnceLock<Arc<crate::heal::HealState>>,
     next_client: AtomicU64,
     started: Instant,
     options: ClusterOptions,
@@ -494,10 +568,15 @@ fn spawn_l1_shards(
     options: &ClusterOptions,
     router: &Router,
     started: Instant,
+    beat: &Arc<AtomicU64>,
     stats: &[Arc<ShardStats>],
     inboxes: Vec<Inbox>,
     rebuild: Option<(usize, ProcessId)>,
 ) -> Vec<JoinHandle<()>> {
+    // A fresh (or replacement) server counts as beating from the moment it
+    // spawns, so the heartbeat monitor never suspects a server for the gap
+    // between spawn and its first wake-up.
+    beat.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
     let mut handles = Vec::with_capacity(inboxes.len());
     for (s, inbox) in inboxes.into_iter().enumerate() {
         let server = match rebuild {
@@ -520,18 +599,27 @@ fn spawn_l1_shards(
         };
         let stats = Arc::clone(&stats[s]);
         let router = router.clone();
+        let beat = Arc::clone(beat);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("lds-l1-{j}.{s}"))
                 .spawn(move || {
-                    run_node(server, pid, router, inbox, started, move |p: &L1Server| {
-                        stats
-                            .temp_bytes
-                            .store(p.temporary_storage_bytes(), Ordering::Relaxed);
-                        stats
-                            .metadata_entries
-                            .store(p.metadata_entries(), Ordering::Relaxed);
-                    })
+                    run_node(
+                        server,
+                        pid,
+                        router,
+                        inbox,
+                        started,
+                        beat,
+                        move |p: &L1Server| {
+                            stats
+                                .temp_bytes
+                                .store(p.temporary_storage_bytes(), Ordering::Relaxed);
+                            stats
+                                .metadata_entries
+                                .store(p.metadata_entries(), Ordering::Relaxed);
+                        },
+                    )
                 })
                 .expect("spawn L1 thread"),
         );
@@ -549,9 +637,11 @@ fn spawn_l2_shards(
     options: &ClusterOptions,
     router: &Router,
     started: Instant,
+    beat: &Arc<AtomicU64>,
     inboxes: Vec<Inbox>,
     rebuild: Option<(usize, ProcessId)>,
 ) -> Vec<JoinHandle<()>> {
+    beat.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
     let mut handles = Vec::with_capacity(inboxes.len());
     for (s, inbox) in inboxes.into_iter().enumerate() {
         let server = match rebuild {
@@ -566,10 +656,11 @@ fn spawn_l2_shards(
             ),
         };
         let router = router.clone();
+        let beat = Arc::clone(beat);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("lds-l2-{i}.{s}"))
-                .spawn(move || run_node(server, pid, router, inbox, started, |_| {}))
+                .spawn(move || run_node(server, pid, router, inbox, started, beat, |_| {}))
                 .expect("spawn L2 thread"),
         );
     }
@@ -644,6 +735,9 @@ impl Cluster {
         let mut handles: HashMap<ProcessId, Vec<JoinHandle<()>>> = HashMap::new();
         let mut l1_stats = Vec::with_capacity(params.n1());
         let mut l1_inboxes = Vec::with_capacity(params.n1());
+        let beats: Vec<Arc<AtomicU64>> = (0..params.n1() + params.n2())
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
 
         for (j, &pid) in l1.iter().enumerate() {
             let gauges: Vec<Arc<DepthGauge>> = (0..options.l1_shards)
@@ -664,6 +758,7 @@ impl Cluster {
                     &options,
                     &router,
                     started,
+                    &beats[pid.0],
                     &stats,
                     inboxes,
                     None,
@@ -684,6 +779,7 @@ impl Cluster {
                     &options,
                     &router,
                     started,
+                    &beats[pid.0],
                     inboxes,
                     None,
                 ),
@@ -703,7 +799,9 @@ impl Cluster {
             handles: Mutex::new(handles),
             killed: Mutex::new(HashMap::new()),
             repairing: Mutex::new(HashSet::new()),
-            repair_log: Mutex::new(Vec::new()),
+            repair_log: Mutex::new(RepairLog::new(options.repair_log_cap)),
+            beats,
+            heal: std::sync::OnceLock::new(),
             next_client: AtomicU64::new(1),
             started,
             options,
@@ -875,14 +973,40 @@ impl Cluster {
         layer: RepairLayer,
         index: usize,
     ) -> Result<RepairReport, RepairError> {
-        let report = crate::repair::repair_server(self, layer, index)?;
+        self.repair_server_with(layer, index, None)
+    }
+
+    /// [`Cluster::repair_server`] with an optional per-call timeout override
+    /// of [`ClusterOptions::repair_timeout`] (`None` uses the configured
+    /// value). Behind [`crate::api::Admin::repair_with_timeout`].
+    pub(crate) fn repair_server_with(
+        &self,
+        layer: RepairLayer,
+        index: usize,
+        timeout: Option<Duration>,
+    ) -> Result<RepairReport, RepairError> {
+        let timeout = timeout.unwrap_or(self.options.repair_timeout);
+        let report = crate::repair::repair_server(self, layer, index, timeout)?;
         self.repair_log.lock().push(report.clone());
         Ok(report)
     }
 
-    /// Successful repairs of this cluster so far, in completion order.
+    /// The most recent successful repairs of this cluster (up to
+    /// [`ClusterOptions::repair_log_cap`]), in completion order.
     pub(crate) fn repair_log(&self) -> Vec<RepairReport> {
-        self.repair_log.lock().clone()
+        self.repair_log.lock().reports.iter().cloned().collect()
+    }
+
+    /// Reports evicted from the bounded repair log so far.
+    pub(crate) fn repair_reports_dropped(&self) -> u64 {
+        self.repair_log.lock().dropped
+    }
+
+    /// Successful repairs since launch — retained reports plus evicted ones,
+    /// so the count stays exact however small the log cap is.
+    pub(crate) fn repairs_completed(&self) -> u64 {
+        let log = self.repair_log.lock();
+        log.dropped + log.reports.len() as u64
     }
 
     /// Kills the L1 server with code index `index` (crash failure): every
@@ -1025,6 +1149,79 @@ impl Cluster {
         ProcessId(self.params.n1() + self.params.n2() + n as usize)
     }
 
+    // ------------------------------------------------------------------
+    // Crate-internal hooks for the self-healing control plane (`heal`).
+    // ------------------------------------------------------------------
+
+    /// Attaches the self-healing bookkeeping (suspicion flags, heal
+    /// counters, per-target backoffs). Set at most once, by the builder,
+    /// before any monitor thread starts; later calls are ignored.
+    pub(crate) fn attach_heal(&self, state: Arc<crate::heal::HealState>) {
+        let _ = self.heal.set(state);
+    }
+
+    /// The attached self-healing state, if the deployment was built with
+    /// the `self_heal` profile.
+    pub(crate) fn heal_state(&self) -> Option<&Arc<crate::heal::HealState>> {
+        self.heal.get()
+    }
+
+    /// The process id of the server with layer index `index`.
+    pub(crate) fn server_pid(&self, layer: RepairLayer, index: usize) -> ProcessId {
+        match layer {
+            RepairLayer::L1 => self.membership.l1[index],
+            RepairLayer::L2 => self.membership.l2[index],
+        }
+    }
+
+    /// Microseconds since cluster start — the clock the beat slots use.
+    pub(crate) fn now_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// The last beat published by any worker shard of `pid` (microseconds
+    /// since cluster start).
+    pub(crate) fn beat_micros(&self, pid: ProcessId) -> u64 {
+        self.beats[pid.0].load(Ordering::Relaxed)
+    }
+
+    /// Sends a liveness probe to every worker shard of `pid` (dropped if the
+    /// server crashed — exactly how its beat goes stale).
+    pub(crate) fn ping_server(&self, pid: ProcessId) {
+        self.router.send_ping(pid);
+    }
+
+    /// Whether `server` is live *as observed*: the heartbeat monitor's
+    /// (non-)suspicion when the self-healing control plane is attached, the
+    /// engine's crash-injection ground truth otherwise. This is what
+    /// [`crate::api::Admin::liveness`] reports; [`crate::api::Admin::is_live`]
+    /// always reads the ground truth.
+    pub(crate) fn server_is_live_observed(&self, layer: RepairLayer, index: usize) -> bool {
+        match self.heal.get() {
+            Some(state) => !state.is_suspected(self.server_pid(layer, index)),
+            None => self.server_is_live(layer, index),
+        }
+    }
+
+    /// Live (never-killed or repaired) servers in `layer`, by ground truth.
+    pub(crate) fn layer_live_count(&self, layer: RepairLayer) -> usize {
+        let peers = match layer {
+            RepairLayer::L1 => &self.membership.l1,
+            RepairLayer::L2 => &self.membership.l2,
+        };
+        let killed = self.killed.lock();
+        peers.iter().filter(|p| !killed.contains_key(p)).count()
+    }
+
+    /// Live helpers a repair in `layer` needs (1 metadata peer for L1, the
+    /// backend's repair threshold for L2).
+    pub(crate) fn repair_quorum(&self, layer: RepairLayer) -> usize {
+        match layer {
+            RepairLayer::L1 => 1,
+            RepairLayer::L2 => self.backend.repair_threshold(),
+        }
+    }
+
     /// Re-registers and respawns the killed server `pid` as a rebuilding
     /// replacement, reusing its depth gauges and stats slots.
     pub(crate) fn respawn_rebuilding(
@@ -1048,6 +1245,7 @@ impl Cluster {
                     &self.options,
                     &self.router,
                     self.started,
+                    &self.beats[pid.0],
                     &self.l1_stats[index],
                     inboxes,
                     Some((expected_dones, report_to)),
@@ -1065,6 +1263,7 @@ impl Cluster {
                     &self.options,
                     &self.router,
                     self.started,
+                    &self.beats[pid.0],
                     inboxes,
                     Some((expected_dones, report_to)),
                 );

@@ -47,7 +47,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Which layer a repaired server belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RepairLayer {
     /// Edge layer (metadata reconstruction from peers).
     L1,
@@ -150,9 +150,6 @@ impl fmt::Display for RepairError {
 
 impl std::error::Error for RepairError {}
 
-/// How long the coordinator waits for the replacement to report completion.
-const REPAIR_TIMEOUT: Duration = Duration::from_secs(60);
-
 /// Exclusive claim on repairing one server: exactly one coordinator may
 /// drive a given pid's repair at a time (a second concurrent `repair_*`
 /// would re-register the pid and orphan the first replacement's inboxes).
@@ -207,10 +204,14 @@ impl Drop for RepairClaim<'_> {
 }
 
 /// Drives one online repair end to end (see the [module docs](self)).
+/// `timeout` bounds how long the coordinator waits for the replacement to
+/// report completion (from [`crate::ClusterOptions::repair_timeout`], or a
+/// per-call override via [`crate::api::Admin::repair_with_timeout`]).
 pub(crate) fn repair_server(
     cluster: &Cluster,
     layer: RepairLayer,
     index: usize,
+    timeout: Duration,
 ) -> Result<RepairReport, RepairError> {
     let membership = cluster.membership().clone();
     let (pid, peers, shards) = match layer {
@@ -289,7 +290,7 @@ pub(crate) fn repair_server(
     }
 
     // 5. Await one completion report per replacement shard.
-    let deadline = Instant::now() + REPAIR_TIMEOUT;
+    let deadline = Instant::now() + timeout;
     let mut reports = 0usize;
     let mut objects = 0u64;
     let mut fallback_bytes = 0u64;
@@ -334,6 +335,9 @@ pub(crate) fn repair_server(
                 }
             }
             Envelope::Stop => break 'wait,
+            // Heartbeat probes are not addressed to coordinators, but the
+            // aux pid namespace is shared — ignore them defensively.
+            Envelope::Ping => {}
         }
     }
     cluster.router().deregister(coordinator);

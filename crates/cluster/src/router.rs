@@ -62,6 +62,11 @@ pub enum Envelope {
     /// Ask the receiving node thread to stop (used for shutdown and for
     /// simulating crash failures).
     Stop,
+    /// A liveness probe from the heartbeat monitor (see the `heal` module):
+    /// wakes a blocked node thread so it refreshes its beat timestamp.
+    /// Carries no protocol payload, steps no automaton, and is not counted
+    /// by the inbox depth gauges.
+    Ping,
 }
 
 impl Envelope {
@@ -70,7 +75,7 @@ impl Envelope {
         match self {
             Envelope::Protocol { .. } => 1,
             Envelope::Batch { msgs, .. } => msgs.len(),
-            Envelope::Stop => 0,
+            Envelope::Stop | Envelope::Ping => 0,
         }
     }
 }
@@ -308,6 +313,19 @@ impl Router {
         if let Some(route) = snapshot.get(&to) {
             for shard in route.shards.iter() {
                 let _ = shard.tx.send(Envelope::Stop);
+            }
+        }
+    }
+
+    /// Sends a liveness probe to every shard of a process; silently dropped
+    /// if the destination is not registered (crashed) — which is exactly how
+    /// a dead server's beat timestamp goes stale. Pings bypass the depth
+    /// gauges: they carry no protocol work and must not perturb admission.
+    pub fn send_ping(&self, to: ProcessId) {
+        let snapshot = Arc::clone(&self.shared.table.lock());
+        if let Some(route) = snapshot.get(&to) {
+            for shard in route.shards.iter() {
+                let _ = shard.tx.send(Envelope::Ping);
             }
         }
     }
@@ -629,7 +647,7 @@ mod tests {
                         }
                         total += msgs.len();
                     }
-                    Envelope::Stop => panic!("unexpected stop"),
+                    Envelope::Stop | Envelope::Ping => panic!("unexpected control envelope"),
                 }
             }
             assert!(envelopes <= 1, "one envelope per shard per flush");
@@ -785,6 +803,21 @@ mod tests {
             }
             assert!(saw_done, "every shard {s} sees the fan-out done marker");
         }
+    }
+
+    #[test]
+    fn pings_reach_every_shard_without_touching_gauges() {
+        let router = Router::new();
+        let inboxes = router.register_sharded(ProcessId(6), 2);
+        router.send_ping(ProcessId(6));
+        for inbox in &inboxes {
+            assert!(matches!(inbox.rx.recv().unwrap(), Envelope::Ping));
+            assert_eq!(inbox.depth.current(), 0, "pings bypass the gauges");
+        }
+        assert_eq!(Envelope::Ping.message_count(), 0);
+        // A ping to a deregistered (crashed) process is silently dropped.
+        router.deregister(ProcessId(6));
+        router.send_ping(ProcessId(6));
     }
 
     #[test]

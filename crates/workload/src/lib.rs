@@ -20,7 +20,10 @@
 //! * [`throughput`] — latency/ops-per-second accounting for the wall-clock
 //!   cluster benchmark (`exp_throughput`) and the cluster stress tests;
 //! * [`repair`] — repair-bandwidth accounting for the online node-repair
-//!   benchmark (`exp_repair`).
+//!   benchmark (`exp_repair`);
+//! * [`chaos`] — deterministic, budget-aware kill schedules for the
+//!   self-healing chaos harness (seeded, never exceeding a layer's crash
+//!   budget given the current down-set).
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod generator;
 pub mod measure;
 pub mod multi_object;
@@ -49,6 +53,7 @@ pub mod repair;
 pub mod runner;
 pub mod throughput;
 
+pub use chaos::{ChaosLayer, ChaosSchedule, ChaosScheduleConfig, ChaosTarget};
 pub use generator::{ClosedLoopWorkload, ValueGenerator, ZipfianGenerator};
 pub use measure::{CostMeasurement, CostReport};
 pub use repair::RepairBandwidth;

@@ -1,0 +1,320 @@
+//! The seeded chaos harness for the **self-healing control plane**: a
+//! deterministic, budget-aware kill schedule crashes servers of both layers
+//! of a sharded deployment while pipelined writers and readers keep
+//! streaming — and *nobody calls `Admin::repair`*. The heartbeat monitor
+//! must detect every crash, the auto-repair supervisor must regenerate
+//! every victim, every accepted operation must complete, atomicity must
+//! hold throughout, and the failure budget must be whole again at the end.
+
+use lds_cluster::api::{ObjectId, ServerRef, Store, StoreBuilder, StoreHandle};
+use lds_cluster::{HealConfig, OpOutcome, RepairLayer};
+use lds_core::backend::BackendKind;
+use lds_core::params::SystemParams;
+use lds_core::tag::Tag;
+use lds_workload::chaos::{ChaosLayer, ChaosSchedule, ChaosScheduleConfig, ChaosTarget};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fixed default seed so CI replays the same schedule; override with
+/// `LDS_CHAOS_SEED` to explore other interleavings locally.
+const CHAOS_SEED: u64 = 0xC4A0_5EED;
+
+const CLUSTERS: usize = 2;
+const TOTAL_KILLS: usize = 22;
+
+fn chaos_seed() -> u64 {
+    std::env::var("LDS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CHAOS_SEED)
+}
+
+fn params() -> SystemParams {
+    SystemParams::for_failures(1, 1, 2, 3).unwrap() // n1=4, n2=5, k=2, d=3
+}
+
+fn server_ref(target: &ChaosTarget) -> ServerRef {
+    let layer = match target.layer {
+        ChaosLayer::L1 => RepairLayer::L1,
+        ChaosLayer::L2 => RepairLayer::L2,
+    };
+    ServerRef {
+        cluster: target.cluster,
+        layer,
+        index: target.index,
+    }
+}
+
+/// Pipelined writers (disjoint objects, self-describing `o{obj}-s{seq}`
+/// values, per-object tag monotonicity asserted) plus a pipelined reader
+/// asserting per-object tag and writer-sequence monotonicity — the
+/// atomicity watchdogs that run underneath the kill schedule. Any failed
+/// operation panics the owning thread and fails the test at join time.
+#[allow(clippy::type_complexity)]
+fn spawn_workload(
+    store: &StoreHandle,
+    writers: u64,
+    objects_per_writer: u64,
+) -> (Vec<std::thread::JoinHandle<()>>, Arc<AtomicBool>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let store = store.clone();
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut client = store.client_with_depth(8);
+            client.set_timeout(Duration::from_secs(30));
+            let objects: Vec<u64> = (0..objects_per_writer).map(|o| 10 * (w + 1) + o).collect();
+            let mut last_tag: HashMap<u64, Tag> = HashMap::new();
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for &obj in &objects {
+                    client.submit_write(ObjectId(obj), format!("o{obj}-s{seq}").as_bytes());
+                }
+                for completion in client.wait_all().expect("writes survive the chaos window") {
+                    let OpOutcome::Write { tag } = completion.outcome else {
+                        panic!("writer harvested a read");
+                    };
+                    if let Some(prev) = last_tag.insert(completion.obj, tag) {
+                        assert!(
+                            tag > prev,
+                            "write tags went backwards on {}",
+                            completion.obj
+                        );
+                    }
+                }
+                seq += 1;
+            }
+        }));
+    }
+    {
+        let store = store.clone();
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut client = store.client_with_depth(4);
+            client.set_timeout(Duration::from_secs(30));
+            let mut last_tag: HashMap<u64, Tag> = HashMap::new();
+            let mut last_seq: HashMap<u64, u64> = HashMap::new();
+            while !stop.load(Ordering::Relaxed) {
+                for w in 0..writers {
+                    client.submit_read(ObjectId(10 * (w + 1)));
+                }
+                for completion in client.wait_all().expect("reads survive the chaos window") {
+                    let OpOutcome::Read { tag, value } = completion.outcome else {
+                        panic!("reader harvested a write");
+                    };
+                    if let Some(prev) = last_tag.insert(completion.obj, tag) {
+                        assert!(
+                            tag >= prev,
+                            "read tags went backwards on {}",
+                            completion.obj
+                        );
+                    }
+                    if value.is_empty() {
+                        continue; // initial value
+                    }
+                    let text = String::from_utf8(value).unwrap();
+                    let seq: u64 = text.split("-s").nth(1).unwrap().parse().unwrap();
+                    let prev = last_seq.entry(completion.obj).or_insert(0);
+                    assert!(
+                        seq >= *prev,
+                        "writer sequence went backwards on {}: {seq} < {prev}",
+                        completion.obj
+                    );
+                    *prev = seq;
+                }
+            }
+        }));
+    }
+    (handles, stop)
+}
+
+#[test]
+fn self_healing_store_survives_a_seeded_kill_schedule() {
+    let seed = chaos_seed();
+    let p = params();
+    let store = StoreBuilder::new()
+        .params(p)
+        .backend(BackendKind::Mbr)
+        .clusters(CLUSTERS)
+        .repair_timeout(Duration::from_secs(10))
+        .self_heal_with(HealConfig {
+            beat_interval: Duration::from_millis(15),
+            suspicion_intervals: 4,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(1),
+            max_concurrent_repairs: 2,
+            jitter_seed: seed,
+        })
+        .build()
+        .unwrap();
+    let admin = store.admin();
+
+    // A settled population plus the workload's own objects, so repairs
+    // always have committed state to regenerate.
+    let mut setup = store.client_with_depth(8);
+    for obj in 100..116u64 {
+        setup.submit_write(ObjectId(obj), &vec![obj as u8; 512]);
+    }
+    setup.wait_all().unwrap();
+    for w in 1..=2u64 {
+        for o in 0..3u64 {
+            setup
+                .write(
+                    ObjectId(10 * w + o),
+                    format!("o{}-s0", 10 * w + o).as_bytes(),
+                )
+                .unwrap();
+        }
+    }
+    let (handles, stop) = spawn_workload(&store, 2, 3);
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut schedule = ChaosSchedule::new(ChaosScheduleConfig {
+        seed,
+        clusters: CLUSTERS,
+        n1: p.n1(),
+        f1: p.f1(),
+        n2: p.n2(),
+        f2: p.f2(),
+        total_kills: TOTAL_KILLS,
+        min_gap_ms: 30,
+        max_gap_ms: 90,
+    });
+    let mut down: Vec<ChaosTarget> = Vec::new();
+    let mut kills_per_layer: HashMap<ChaosLayer, usize> = HashMap::new();
+    let schedule_deadline = Instant::now() + Duration::from_secs(180);
+    while !schedule.is_done() {
+        assert!(
+            Instant::now() < schedule_deadline,
+            "kill schedule stalled: the supervisor is not restoring budget \
+             ({} of {TOTAL_KILLS} kills injected)",
+            schedule.kills_emitted()
+        );
+        // Ground truth refresh: servers the supervisor already repaired
+        // leave the down-set and become kill candidates again. Nobody but
+        // this loop kills, so the refreshed set can only over-count downs —
+        // the budget check below stays conservative.
+        down.retain(|t| !admin.is_live(server_ref(t)).unwrap());
+        let Some(kill) = schedule.next_kill(&down) else {
+            // Every layer at its budget: wait for the self-heal loop.
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        };
+        std::thread::sleep(Duration::from_millis(kill.gap_ms));
+        admin.kill(server_ref(&kill)).unwrap();
+        *kills_per_layer.entry(kill.layer).or_insert(0) += 1;
+        down.push(kill);
+        // The invariant the schedule promises: never more than f crashed
+        // servers per layer per cluster shard, by engine ground truth.
+        for cluster in 0..CLUSTERS {
+            let dead_l1 = (0..p.n1())
+                .filter(|&j| !admin.is_live(ServerRef::l1(j).in_cluster(cluster)).unwrap())
+                .count();
+            let dead_l2 = (0..p.n2())
+                .filter(|&i| !admin.is_live(ServerRef::l2(i).in_cluster(cluster)).unwrap())
+                .count();
+            assert!(
+                dead_l1 <= p.f1() && dead_l2 <= p.f2(),
+                "failure budget exceeded on cluster {cluster}: {dead_l1} L1 / {dead_l2} L2 down"
+            );
+        }
+    }
+    assert!(
+        schedule.kills_emitted() >= 20,
+        "the harness must inject at least 20 kills"
+    );
+    assert!(
+        kills_per_layer.get(&ChaosLayer::L1).copied().unwrap_or(0) > 0
+            && kills_per_layer.get(&ChaosLayer::L2).copied().unwrap_or(0) > 0,
+        "the schedule must exercise both layers, got {kills_per_layer:?}"
+    );
+
+    // The whole point: with zero manual repair calls, the monitor +
+    // supervisor must restore every server. Ground truth (engine live
+    // counts) AND the suspicion-fed detector view must both report whole —
+    // `liveness()` alone is trivially all-live for one detection window
+    // after a kill. The bound is generous against detection latency
+    // (60 ms) + backoff (max 1 s) + repair time.
+    let heal_deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let m = admin.metrics();
+        if m.live_l1 == CLUSTERS * p.n1()
+            && m.live_l2 == CLUSTERS * p.n2()
+            && admin.liveness().all_live()
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < heal_deadline,
+            "self-heal did not restore the failure budget: still down {:?}",
+            admin.liveness().crashed()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Every accepted op completed (a failed op panics its thread here).
+    stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        handle
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e));
+    }
+
+    // Committed state survived ≥ 20 kills.
+    let mut client = store.client();
+    client.set_timeout(Duration::from_secs(30));
+    for obj in 100..116u64 {
+        assert_eq!(
+            client.read(ObjectId(obj)).expect("read after the storm"),
+            vec![obj as u8; 512],
+            "settled object {obj} lost its committed value"
+        );
+    }
+    for w in 1..=2u64 {
+        for o in 0..3u64 {
+            let obj = 10 * w + o;
+            let value = client.read(ObjectId(obj)).expect("read after the storm");
+            assert!(
+                String::from_utf8(value)
+                    .unwrap()
+                    .starts_with(&format!("o{obj}-s")),
+                "object {obj} lost its committed value"
+            );
+        }
+    }
+
+    // The supervisor's reap (where successes are counted) trails the actual
+    // repair by up to a beat interval — poll briefly instead of racing it.
+    let kills = schedule.kills_emitted() as u64;
+    let metrics_deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let m = admin.metrics();
+        if m.heal_repairs_succeeded >= kills || Instant::now() >= metrics_deadline {
+            assert!(
+                m.heal_suspicions_raised >= kills,
+                "every kill must raise a suspicion: {} < {kills}",
+                m.heal_suspicions_raised
+            );
+            assert!(
+                m.heal_repairs_succeeded >= kills,
+                "every kill must be healed by the supervisor: {} < {kills}",
+                m.heal_repairs_succeeded
+            );
+            assert!(m.heal_repairs_attempted >= m.heal_repairs_succeeded);
+            assert!(
+                m.repairs_completed as u64 >= kills,
+                "engine repair count disagrees: {} < {kills}",
+                m.repairs_completed
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    drop(client);
+    drop(setup);
+    store.shutdown();
+}

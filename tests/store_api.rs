@@ -6,10 +6,11 @@
 use lds_cluster::api::{
     ObjectId, ServerRef, Store, StoreBuilder, StoreError, StoreHandle, Topology,
 };
-use lds_cluster::{OpOutcome, RepairError};
+use lds_cluster::{HealConfig, OpOutcome, RepairError};
 use lds_core::backend::BackendKind;
 use lds_core::tag::Tag;
 use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 // ---------------------------------------------------------------------
@@ -58,10 +59,48 @@ fn builder_rejects_zero_sized_knobs() {
         ("l2_shards", StoreBuilder::new().l2_shards(0).build()),
         ("depth", StoreBuilder::new().pipeline_depth(0).build()),
         ("inbox_cap", StoreBuilder::new().inbox_cap(0).build()),
+        (
+            "repair_timeout",
+            StoreBuilder::new().repair_timeout(Duration::ZERO).build(),
+        ),
     ] {
         assert!(
             matches!(result, Err(StoreError::InvalidConfig(_))),
             "zero {label} must be rejected at build() time: {result:?}"
+        );
+    }
+}
+
+#[test]
+fn builder_rejects_invalid_heal_configs() {
+    let bad = [
+        HealConfig {
+            beat_interval: Duration::ZERO,
+            ..HealConfig::default()
+        },
+        HealConfig {
+            suspicion_intervals: 0,
+            ..HealConfig::default()
+        },
+        HealConfig {
+            backoff_base: Duration::ZERO,
+            ..HealConfig::default()
+        },
+        HealConfig {
+            backoff_base: Duration::from_secs(10),
+            backoff_max: Duration::from_secs(1),
+            ..HealConfig::default()
+        },
+        HealConfig {
+            max_concurrent_repairs: 0,
+            ..HealConfig::default()
+        },
+    ];
+    for config in bad {
+        let result = StoreBuilder::new().self_heal_with(config).build();
+        assert!(
+            matches!(result, Err(StoreError::InvalidConfig(_))),
+            "invalid heal config must be rejected at build() time: {result:?}"
         );
     }
 }
@@ -283,6 +322,152 @@ fn admin_metrics_and_liveness_reflect_the_deployment() {
     assert_eq!(admin.repair_reports().len(), 1);
     assert_eq!(admin.metrics().repairs_completed, 1);
     drop(client);
+    store.shutdown();
+}
+
+/// The repair-claim exclusivity contract, at the `Admin` level: two racing
+/// `Admin::repair` calls on the same crashed server admit exactly one
+/// coordinator (the loser observes `RepairInProgress`), and after a timed-out
+/// attempt the claim is released so a retry succeeds.
+#[test]
+fn racing_admin_repairs_admit_exactly_one_coordinator() {
+    let store = StoreBuilder::new()
+        .backend(BackendKind::Mbr)
+        .build()
+        .unwrap();
+    let admin = store.admin();
+    // A settled population keeps the repair busy long enough that both
+    // racers overlap: the winner is still streaming helper data while the
+    // loser asks for the claim.
+    let mut setup = store.client_with_depth(8);
+    for obj in 0..48u64 {
+        setup.submit_write(ObjectId(obj), &vec![obj as u8; 2048]);
+    }
+    setup.wait_all().unwrap();
+    let victim = ServerRef::l2(1);
+    admin.kill(victim).unwrap();
+
+    // A zero per-call timeout is rejected up front…
+    assert!(matches!(
+        admin.repair_with_timeout(victim, Duration::ZERO),
+        Err(StoreError::InvalidConfig(_))
+    ));
+    // …and an expired deadline times the repair out deterministically,
+    // releasing the claim and leaving the server crashed.
+    assert!(matches!(
+        admin.repair_with_timeout(victim, Duration::from_nanos(1)),
+        Err(StoreError::Repair(RepairError::Timeout))
+    ));
+    assert_eq!(admin.is_live(victim), Ok(false));
+
+    // Post-timeout retry, raced from two threads: exactly one wins.
+    let barrier = Arc::new(Barrier::new(2));
+    let racers: Vec<_> = (0..2)
+        .map(|_| {
+            let admin = admin.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                admin.repair(victim)
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = racers.into_iter().map(|h| h.join().unwrap()).collect();
+    let wins = outcomes.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(
+        wins, 1,
+        "exactly one racer may hold the claim: {outcomes:?}"
+    );
+    assert!(
+        outcomes
+            .iter()
+            .any(|r| matches!(r, Err(StoreError::Repair(RepairError::RepairInProgress)))),
+        "the loser must observe the held claim: {outcomes:?}"
+    );
+    assert_eq!(admin.is_live(victim), Ok(true));
+    assert_eq!(admin.metrics().repairs_completed, 1);
+    drop(setup);
+    store.shutdown();
+}
+
+/// The bounded repair-report history: with `repair_log_cap(2)`, a third
+/// repair evicts the oldest report; the eviction is counted and the exact
+/// completed-repairs counter is unaffected.
+#[test]
+fn repair_report_history_is_bounded_and_counts_evictions() {
+    let store = StoreBuilder::new()
+        .backend(BackendKind::Mbr)
+        .repair_log_cap(2)
+        .build()
+        .unwrap();
+    let admin = store.admin();
+    let mut client = store.client();
+    for obj in 0..4u64 {
+        client
+            .write(ObjectId(obj), b"make repairs move bytes")
+            .unwrap();
+    }
+    for round in 0..3 {
+        let victim = ServerRef::l2(round % 2);
+        admin.kill(victim).unwrap();
+        admin.repair(victim).unwrap();
+    }
+    let metrics = admin.metrics();
+    assert_eq!(admin.repair_reports().len(), 2, "history capped at 2");
+    assert_eq!(metrics.repair_reports_dropped, 1, "one report evicted");
+    assert_eq!(metrics.repairs_completed, 3, "the exact count survives");
+    drop(client);
+    store.shutdown();
+}
+
+/// The Prometheus text exposition is well-formed: every sample's family has
+/// exactly one `# TYPE` line (declared before its samples), no family is
+/// declared twice, and every value parses as a float.
+#[test]
+fn prometheus_exposition_is_well_formed() {
+    let store = StoreBuilder::new().self_heal().clusters(2).build().unwrap();
+    let text = store.admin().metrics().to_prometheus();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps = 0usize;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE line names a family").to_string();
+            let kind = parts.next().expect("TYPE line declares a kind").to_string();
+            assert!(
+                matches!(kind.as_str(), "gauge" | "counter"),
+                "unexpected kind {kind} for {name}"
+            );
+            assert!(
+                types.insert(name.clone(), kind).is_none(),
+                "family {name} declared twice"
+            );
+        } else if line.starts_with("# HELP ") {
+            helps += 1;
+        } else if !line.is_empty() {
+            let name = line
+                .split(['{', ' '])
+                .next()
+                .expect("sample line starts with a family name");
+            assert!(
+                types.contains_key(name),
+                "sample {line:?} has no preceding # TYPE for {name}"
+            );
+            let value = line.rsplit(' ').next().unwrap();
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("unparseable sample value in {line:?}"));
+        }
+    }
+    assert_eq!(
+        helps,
+        types.len(),
+        "every family carries exactly one HELP line"
+    );
+    assert!(
+        types.contains_key("lds_live_servers") && types.contains_key("lds_heal_repairs_succeeded"),
+        "expected families missing: {types:?}"
+    );
     store.shutdown();
 }
 
