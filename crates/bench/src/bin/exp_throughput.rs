@@ -674,6 +674,14 @@ fn render_json(results: &[PointResult], smoke: bool) -> String {
     out.push_str(&format!("    \"schema_version\": {SCHEMA_VERSION},\n"));
     out.push_str(&format!("    \"generated\": \"{}\",\n", today_utc()));
     out.push_str(&format!("    \"host_cores\": {},\n", host_cores()));
+    out.push_str("    \"transport\": \"inproc\",\n");
+    out.push_str(
+        "    \"transport_note\": \"All recorded numbers run on the default fault-free \
+         InProcTransport, whose is_faulty=false flag keeps the router's per-send path \
+         identical to the pre-transport-seam runtime (no per-message virtual call). The \
+         seeded SimTransport (StoreBuilder::fault_plan) exists for the adversarial test \
+         suites, not for benchmarking.\",\n",
+    );
     out.push_str(
         "    \"params\": \"f1=1 f2=1 k=2 d=3 (n1=4, n2=5) per cluster; one deployment per \
          point, clients on their own threads; every point warm-writes its object pool \

@@ -161,6 +161,11 @@ pub struct MetricsSnapshot {
     pub heal_parked_events: u64,
     /// The current backoff delay per target still waiting one out.
     pub heal_backoffs: Vec<(ServerRef, Duration)>,
+    /// Faults injected by the transport under every cluster shard's router —
+    /// all zero on the default in-process transport; non-zero only with a
+    /// [`StoreBuilder::fault_plan`](crate::api::StoreBuilder::fault_plan)
+    /// (see [`FaultCounters`](crate::transport::FaultCounters)).
+    pub transport_faults: crate::transport::FaultCounters,
 }
 
 impl MetricsSnapshot {
@@ -284,6 +289,19 @@ impl MetricsSnapshot {
             "gauge",
             "Current backoff delay per repair target still waiting one out.",
             &backoffs,
+        );
+        let faults = &self.transport_faults;
+        family(
+            "lds_transport_faults",
+            "counter",
+            "Faults injected by the fault-injecting transport, by kind.",
+            &[
+                ("{kind=\"dropped\"}".into(), faults.dropped as f64),
+                ("{kind=\"duplicated\"}".into(), faults.duplicated as f64),
+                ("{kind=\"delayed\"}".into(), faults.delayed as f64),
+                ("{kind=\"reordered\"}".into(), faults.reordered as f64),
+                ("{kind=\"partitioned\"}".into(), faults.partitioned as f64),
+            ],
         );
         out
     }
@@ -571,6 +589,7 @@ impl Admin {
             heal_repairs_backed_off: 0,
             heal_parked_events: 0,
             heal_backoffs: Vec::new(),
+            transport_faults: crate::transport::FaultCounters::default(),
         };
         for (c, cluster) in clusters.into_iter().enumerate() {
             let params = cluster.params();
@@ -595,6 +614,12 @@ impl Admin {
             }
             snapshot.repairs_completed += cluster.repairs_completed() as usize;
             snapshot.repair_reports_dropped += cluster.repair_reports_dropped();
+            let faults = cluster.fault_counters();
+            snapshot.transport_faults.dropped += faults.dropped;
+            snapshot.transport_faults.duplicated += faults.duplicated;
+            snapshot.transport_faults.delayed += faults.delayed;
+            snapshot.transport_faults.reordered += faults.reordered;
+            snapshot.transport_faults.partitioned += faults.partitioned;
             if let Some(heal) = cluster.heal_state() {
                 snapshot.heal_suspicions_raised += heal.suspicions_raised();
                 snapshot.heal_repairs_attempted += heal.repairs_attempted();

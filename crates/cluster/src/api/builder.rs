@@ -5,6 +5,7 @@ use crate::api::{StoreError, StoreHandle, Topo};
 use crate::heal::{HealConfig, HealRuntime};
 use crate::node::{Cluster, ClusterOptions};
 use crate::sharded::ShardedCluster;
+use crate::transport::FaultPlan;
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
 use lds_core::server1::L1Options;
@@ -68,6 +69,7 @@ pub struct StoreBuilder {
     repair_timeout: Duration,
     repair_log_cap: usize,
     heal: Option<HealConfig>,
+    fault_plan: Option<FaultPlan>,
     l1: L1Options,
     l2: L2Options,
 }
@@ -90,6 +92,7 @@ impl Default for StoreBuilder {
             repair_timeout: crate::node::DEFAULT_REPAIR_TIMEOUT,
             repair_log_cap: crate::node::DEFAULT_REPAIR_LOG_CAP,
             heal: None,
+            fault_plan: None,
             l1: L1Options::default(),
             l2: L2Options::default(),
         }
@@ -276,6 +279,20 @@ impl StoreBuilder {
         self
     }
 
+    /// Installs a seeded fault-injecting transport under every cluster
+    /// shard's router (a test/bench profile — see the
+    /// [`transport`](crate::transport) module): the plan's per-link
+    /// drop/duplicate/delay/reorder rules and scheduled partitions are
+    /// applied to every protocol message and liveness ping. The plan is
+    /// validated against the derived [`SystemParams`] at `build()`.
+    /// Injected-fault counters surface in
+    /// [`MetricsSnapshot`](crate::api::MetricsSnapshot). Without this call
+    /// the store runs the default fault-free in-process transport.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> StoreBuilder {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Bounded-inbox mode: at most `cap` client operations admitted
     /// concurrently per L1 key partition (per cluster shard). A saturated
     /// partition makes [`crate::api::Store::try_submit_write`] /
@@ -333,6 +350,9 @@ impl StoreBuilder {
         if let Some(config) = &self.heal {
             config.validate().map_err(StoreError::InvalidConfig)?;
         }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(&params).map_err(StoreError::InvalidConfig)?;
+        }
         let options = ClusterOptions {
             l1_shards: self.l1_shards,
             l2_shards: self.l2_shards,
@@ -345,14 +365,20 @@ impl StoreBuilder {
             repair_log_cap: self.repair_log_cap,
         };
         let topo = if self.clusters > 1 {
-            Topo::Sharded(ShardedCluster::launch(
+            Topo::Sharded(ShardedCluster::launch_with_plan(
                 self.clusters,
                 params,
                 self.backend,
                 options,
+                self.fault_plan.as_ref(),
             )?)
         } else {
-            Topo::Single(Cluster::launch(params, self.backend, options)?)
+            Topo::Single(Cluster::launch_with_plan(
+                params,
+                self.backend,
+                options,
+                self.fault_plan.as_ref(),
+            )?)
         };
         let heal = self.heal.map(|config| {
             let shards: Vec<Arc<Cluster>> = match &topo {

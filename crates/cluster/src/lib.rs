@@ -112,6 +112,7 @@ pub mod node;
 pub mod repair;
 pub mod router;
 pub mod sharded;
+pub mod transport;
 
 pub use api::{
     Admin, Liveness, MetricsSnapshot, ObjectId, ServerRef, Store, StoreBuilder, StoreClient,
@@ -123,3 +124,7 @@ pub use node::{msgs_per_op_bound, Cluster, ClusterOptions};
 pub use repair::{RepairError, RepairLayer, RepairReport};
 pub use router::shard_of;
 pub use sharded::{cluster_of, ShardedClient, ShardedCluster};
+pub use transport::{
+    Decision, Endpoint, FaultCounters, FaultPlan, FaultRule, InProcTransport, PartitionDirection,
+    PartitionSpec, SimTransport, Transport,
+};

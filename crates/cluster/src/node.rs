@@ -718,6 +718,18 @@ impl Cluster {
         backend_kind: BackendKind,
         options: ClusterOptions,
     ) -> Result<Arc<Cluster>, lds_codes::CodeError> {
+        Cluster::launch_with_plan(params, backend_kind, options, None)
+    }
+
+    /// [`Cluster::launch`] with an optional fault plan: when present the
+    /// router is built over a seeded [`SimTransport`](crate::transport::
+    /// SimTransport) instead of the default fault-free in-process transport.
+    pub(crate) fn launch_with_plan(
+        params: SystemParams,
+        backend_kind: BackendKind,
+        options: ClusterOptions,
+        fault_plan: Option<&crate::transport::FaultPlan>,
+    ) -> Result<Arc<Cluster>, lds_codes::CodeError> {
         assert!(options.l1_shards > 0, "l1_shards must be at least 1");
         assert!(options.l2_shards > 0, "l2_shards must be at least 1");
         let backend = make_backend(backend_kind, &params)?;
@@ -730,7 +742,12 @@ impl Cluster {
             .map(ProcessId)
             .collect();
         let membership = Membership::new(l1.clone(), l2.clone());
-        let router = Router::new();
+        let router = match fault_plan {
+            None => Router::new(),
+            Some(plan) => {
+                Router::with_transport(Arc::new(crate::transport::SimTransport::new(plan, &params)))
+            }
+        };
         let started = Instant::now();
         let mut handles: HashMap<ProcessId, Vec<JoinHandle<()>>> = HashMap::new();
         let mut l1_stats = Vec::with_capacity(params.n1());
@@ -1108,7 +1125,9 @@ impl Cluster {
         self.backend.kind()
     }
 
-    /// Stops every server thread and waits for them to exit.
+    /// Stops every server thread and waits for them to exit, then stops the
+    /// transport's background machinery (a fault-injecting transport runs a
+    /// delay pump; pending held messages are discarded).
     pub fn shutdown(&self) {
         for &pid in self.membership.l1.iter().chain(self.membership.l2.iter()) {
             self.router.send_stop(pid);
@@ -1119,6 +1138,14 @@ impl Cluster {
                 let _ = handle.join();
             }
         }
+        drop(handles);
+        self.router.transport().shutdown();
+    }
+
+    /// Counters of every fault the cluster's transport has injected so far
+    /// (all zero on the default in-process transport).
+    pub fn fault_counters(&self) -> crate::transport::FaultCounters {
+        self.router.transport().fault_counters()
     }
 
     // ------------------------------------------------------------------

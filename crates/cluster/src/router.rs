@@ -29,6 +29,7 @@
 //!   probes; the channels themselves stay unbounded so server-to-server
 //!   traffic can never deadlock on a full peer inbox.
 
+use crate::transport::{Decision, InProcTransport, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lds_core::messages::LdsMessage;
 use lds_core::tag::ObjectId;
@@ -36,7 +37,7 @@ use lds_sim::ProcessId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// A message in flight inside the cluster.
 #[derive(Debug, Clone)]
@@ -158,6 +159,38 @@ struct Shared {
     /// new epoch and then locks always reads the matching (or newer) table.
     table: Mutex<Arc<Table>>,
     epoch: AtomicU64,
+    /// The transport adjudicating every protocol message and ping (see the
+    /// [`transport`](crate::transport) module). `Stop` envelopes bypass it.
+    transport: Arc<dyn Transport>,
+}
+
+/// A re-injection path into the router for messages a [`Transport`] held
+/// back (delays/reorders). Deliveries through it bypass the transport's
+/// `decide` — a held message is routed against the *current* snapshot and
+/// cannot be faulted a second time. Holds the router state weakly so a
+/// transport's pump thread never keeps a shut-down router alive.
+pub struct DirectSender {
+    shared: Weak<Shared>,
+}
+
+impl DirectSender {
+    pub(crate) fn deliver(&self, from: ProcessId, to: ProcessId, msg: LdsMessage) {
+        if let Some(shared) = self.shared.upgrade() {
+            let snapshot = Arc::clone(&shared.table.lock());
+            RouterHandle::route(&snapshot, from, to, msg);
+        }
+    }
+
+    pub(crate) fn deliver_ping(&self, to: ProcessId) {
+        if let Some(shared) = self.shared.upgrade() {
+            let snapshot = Arc::clone(&shared.table.lock());
+            if let Some(route) = snapshot.get(&to) {
+                for shard in route.shards.iter() {
+                    let _ = shard.tx.send(Envelope::Ping);
+                }
+            }
+        }
+    }
 }
 
 /// The shard within `shards` workers that owns `obj`.
@@ -191,14 +224,29 @@ impl Default for Router {
 }
 
 impl Router {
-    /// Creates an empty router.
+    /// Creates an empty router over the default fault-free
+    /// [`InProcTransport`].
     pub fn new() -> Self {
-        Router {
-            shared: Arc::new(Shared {
-                table: Mutex::new(Arc::new(HashMap::new())),
-                epoch: AtomicU64::new(0),
-            }),
-        }
+        Router::with_transport(Arc::new(InProcTransport))
+    }
+
+    /// Creates an empty router over `transport`, handing the transport a
+    /// [`DirectSender`] for re-injecting held messages.
+    pub fn with_transport(transport: Arc<dyn Transport>) -> Self {
+        let shared = Arc::new(Shared {
+            table: Mutex::new(Arc::new(HashMap::new())),
+            epoch: AtomicU64::new(0),
+            transport,
+        });
+        shared.transport.attach(DirectSender {
+            shared: Arc::downgrade(&shared),
+        });
+        Router { shared }
+    }
+
+    /// The transport under this router.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.shared.transport
     }
 
     fn mutate(&self, f: impl FnOnce(&mut Table)) {
@@ -216,8 +264,9 @@ impl Router {
     pub fn handle(&self) -> RouterHandle {
         let snapshot = Arc::clone(&self.shared.table.lock());
         RouterHandle {
-            shared: Arc::clone(&self.shared),
             epoch: self.shared.epoch.load(Ordering::Acquire),
+            faulty: self.shared.transport.is_faulty(),
+            shared: Arc::clone(&self.shared),
             snapshot,
             groups: Vec::new(),
             vec_pool: Vec::new(),
@@ -304,7 +353,11 @@ impl Router {
     /// sends; loops should use a [`RouterHandle`].
     pub fn send(&self, from: ProcessId, to: ProcessId, msg: LdsMessage) {
         let snapshot = Arc::clone(&self.shared.table.lock());
-        RouterHandle::route(&snapshot, from, to, msg);
+        if self.shared.transport.is_faulty() {
+            RouterHandle::dispatch(&self.shared.transport, &snapshot, from, to, msg);
+        } else {
+            RouterHandle::route(&snapshot, from, to, msg);
+        }
     }
 
     /// Sends a stop request to every shard of a process.
@@ -322,6 +375,18 @@ impl Router {
     /// a dead server's beat timestamp goes stale. Pings bypass the depth
     /// gauges: they carry no protocol work and must not perturb admission.
     pub fn send_ping(&self, to: ProcessId) {
+        let transport = &self.shared.transport;
+        if transport.is_faulty() {
+            match transport.decide_ping(to) {
+                Decision::Drop => return,
+                Decision::Delay(delay) => {
+                    transport.hold_ping(to, delay);
+                    return;
+                }
+                // A duplicated ping is just a ping: beats are idempotent.
+                Decision::Deliver | Decision::Duplicate => {}
+            }
+        }
         let snapshot = Arc::clone(&self.shared.table.lock());
         if let Some(route) = snapshot.get(&to) {
             for shard in route.shards.iter() {
@@ -349,6 +414,11 @@ impl Router {
 pub struct RouterHandle {
     shared: Arc<Shared>,
     epoch: u64,
+    /// Cached [`Transport::is_faulty`]: when `false` (the default
+    /// [`InProcTransport`]) sends skip the transport entirely — one
+    /// predictable branch keeps the hot path exactly what it was before the
+    /// transport seam existed.
+    faulty: bool,
     snapshot: Arc<Table>,
     /// Scratch for [`RouterHandle::send_batch`]: per-destination-shard
     /// message groups of the flush in progress (linear scan — a flush rarely
@@ -408,11 +478,34 @@ impl RouterHandle {
         }
     }
 
+    /// Routes one message through a faulty transport's decision.
+    fn dispatch(
+        transport: &Arc<dyn Transport>,
+        table: &Table,
+        from: ProcessId,
+        to: ProcessId,
+        msg: LdsMessage,
+    ) {
+        match transport.decide(from, to, &msg) {
+            Decision::Deliver => Self::route(table, from, to, msg),
+            Decision::Drop => {}
+            Decision::Duplicate => {
+                Self::route(table, from, to, msg.clone());
+                Self::route(table, from, to, msg);
+            }
+            Decision::Delay(delay) => transport.hold(from, to, msg, delay),
+        }
+    }
+
     /// Sends a protocol message; silently drops it if the destination is not
     /// registered (crashed).
     pub fn send(&mut self, from: ProcessId, to: ProcessId, msg: LdsMessage) {
         self.refresh();
-        Self::route(&self.snapshot, from, to, msg);
+        if self.faulty {
+            Self::dispatch(&self.shared.transport, &self.snapshot, from, to, msg);
+        } else {
+            Self::route(&self.snapshot, from, to, msg);
+        }
     }
 
     /// Sends a batch of protocol messages, checking the routing epoch once
@@ -438,6 +531,27 @@ impl RouterHandle {
         debug_assert!(self.groups.is_empty());
         let mut groups = std::mem::take(&mut self.groups);
         for (to, msg) in msgs {
+            let msg = if self.faulty {
+                // Each message of the flush is adjudicated individually,
+                // before grouping: a dropped or delayed message never joins
+                // a batch envelope, and a duplicate is routed immediately
+                // (it may overtake the batched original — exactly what a
+                // real network duplicate could do).
+                match self.shared.transport.decide(from, to, &msg) {
+                    Decision::Deliver => msg,
+                    Decision::Drop => continue,
+                    Decision::Delay(delay) => {
+                        self.shared.transport.hold(from, to, msg, delay);
+                        continue;
+                    }
+                    Decision::Duplicate => {
+                        Self::route(&self.snapshot, from, to, msg.clone());
+                        msg
+                    }
+                }
+            } else {
+                msg
+            };
             if !msg.batchable() {
                 // Data, fan-out and repair-stream messages dispatch
                 // immediately, in send order: a repair helper's
@@ -818,6 +932,124 @@ mod tests {
         // A ping to a deregistered (crashed) process is silently dropped.
         router.deregister(ProcessId(6));
         router.send_ping(ProcessId(6));
+    }
+
+    #[test]
+    fn faulty_transport_duplicates_and_drops_through_every_send_path() {
+        use crate::transport::{FaultPlan, FaultRule, SimTransport};
+        let params = lds_core::params::SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        // Deterministic: every INVOKE-READ is duplicated, every QUERY-TAG
+        // dropped.
+        let plan = FaultPlan::seeded(1)
+            .rule(
+                FaultRule::new()
+                    .classes(&["INVOKE-READ"])
+                    .duplicate_prob(1.0),
+            )
+            .rule(FaultRule::new().classes(&["QUERY-TAG"]).drop_prob(1.0));
+        let router = Router::with_transport(Arc::new(SimTransport::new(&plan, &params)));
+        let inbox = router.register(ProcessId(1));
+        let mut handle = router.handle();
+        handle.send(
+            ProcessId(2),
+            ProcessId(1),
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
+        assert_eq!(inbox.depth.current(), 2, "duplicate delivered twice");
+        handle.send_batch(
+            ProcessId(2),
+            vec![
+                (
+                    ProcessId(1),
+                    LdsMessage::QueryTag {
+                        obj: ObjectId(0),
+                        op: lds_core::tag::OpId::new(lds_core::tag::ClientId(9), 1),
+                    },
+                ),
+                (ProcessId(1), LdsMessage::InvokeRead { obj: ObjectId(0) }),
+            ],
+        );
+        let mut got = 0;
+        while let Some(envelope) = inbox.rx.try_recv() {
+            got += envelope.message_count();
+            match &envelope {
+                Envelope::Protocol { msg, .. } => {
+                    assert!(matches!(msg, LdsMessage::InvokeRead { .. }));
+                }
+                Envelope::Batch { msgs, .. } => {
+                    assert!(msgs
+                        .iter()
+                        .all(|m| matches!(m, LdsMessage::InvokeRead { .. })));
+                }
+                other => panic!("unexpected envelope {other:?}"),
+            }
+        }
+        // 2 from the single send + 2 from the batched INVOKE-READ; the
+        // QUERY-TAG never arrives.
+        assert_eq!(got, 4);
+        let counters = router.transport().fault_counters();
+        assert_eq!((counters.duplicated, counters.dropped), (2, 1));
+        router.transport().shutdown();
+    }
+
+    #[test]
+    fn delayed_messages_are_reinjected_by_the_pump() {
+        use crate::transport::{FaultPlan, FaultRule, SimTransport};
+        use std::time::Duration;
+        let params = lds_core::params::SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let plan = FaultPlan::seeded(1).rule(
+            FaultRule::new()
+                .delay_prob(1.0)
+                .delay_window(Duration::from_millis(5), Duration::from_millis(15)),
+        );
+        let router = Router::with_transport(Arc::new(SimTransport::new(&plan, &params)));
+        let inbox = router.register(ProcessId(1));
+        router.send(
+            ProcessId(2),
+            ProcessId(1),
+            LdsMessage::InvokeRead { obj: ObjectId(0) },
+        );
+        assert!(
+            inbox.rx.try_recv().is_none(),
+            "a delayed message is not delivered inline"
+        );
+        let envelope = inbox
+            .rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("pump re-injects the held message");
+        assert!(matches!(envelope, Envelope::Protocol { .. }));
+        assert_eq!(router.transport().fault_counters().delayed, 1);
+        router.transport().shutdown();
+    }
+
+    #[test]
+    fn stop_envelopes_bypass_even_a_drop_everything_transport() {
+        use crate::transport::{FaultPlan, FaultRule, SimTransport};
+        let params = lds_core::params::SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let plan = FaultPlan::seeded(1).rule(FaultRule::new().drop_prob(1.0));
+        let router = Router::with_transport(Arc::new(SimTransport::new(&plan, &params)));
+        let inboxes = router.register_sharded(ProcessId(3), 2);
+        router.send_stop(ProcessId(3));
+        for inbox in &inboxes {
+            assert!(matches!(inbox.rx.recv().unwrap(), Envelope::Stop));
+        }
+        router.transport().shutdown();
+    }
+
+    #[test]
+    fn partitioned_pings_are_blocked_so_beats_go_stale() {
+        use crate::transport::{Endpoint, FaultPlan, PartitionSpec, SimTransport};
+        let params = lds_core::params::SystemParams::for_failures(1, 1, 2, 3).unwrap();
+        let plan = FaultPlan::seeded(1).partition(PartitionSpec::isolate(&[Endpoint::L1(0)]));
+        let router = Router::with_transport(Arc::new(SimTransport::new(&plan, &params)));
+        let isolated = router.register(ProcessId(0));
+        let healthy = router.register(ProcessId(1));
+        router.send_ping(ProcessId(0));
+        router.send_ping(ProcessId(1));
+        assert!(isolated.rx.try_recv().is_none(), "ping into the partition");
+        assert!(matches!(healthy.rx.try_recv(), Some(Envelope::Ping)));
+        assert_eq!(router.transport().fault_counters().partitioned, 1);
+        router.transport().shutdown();
     }
 
     #[test]

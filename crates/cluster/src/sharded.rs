@@ -153,9 +153,32 @@ impl ShardedCluster {
         backend_kind: BackendKind,
         options: ClusterOptions,
     ) -> Result<Arc<ShardedCluster>, lds_codes::CodeError> {
+        ShardedCluster::launch_with_plan(clusters, params, backend_kind, options, None)
+    }
+
+    /// [`ShardedCluster::launch`] with an optional fault plan. Every cluster
+    /// shard gets its own fault-injecting transport with an independent
+    /// fault stream: shard `c` runs the plan reseeded with a golden-ratio
+    /// offset of `c`, so identical shards do not inject identical faults in
+    /// lockstep (shard 0 keeps the plan's original seed).
+    pub(crate) fn launch_with_plan(
+        clusters: usize,
+        params: SystemParams,
+        backend_kind: BackendKind,
+        options: ClusterOptions,
+        fault_plan: Option<&crate::transport::FaultPlan>,
+    ) -> Result<Arc<ShardedCluster>, lds_codes::CodeError> {
         assert!(clusters > 0, "at least one cluster shard is required");
         let shards = (0..clusters)
-            .map(|_| Cluster::launch(params, backend_kind, options))
+            .map(|c| {
+                let shard_plan = fault_plan.map(|plan| {
+                    plan.reseeded(
+                        plan.seed
+                            .wrapping_add((c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    )
+                });
+                Cluster::launch_with_plan(params, backend_kind, options, shard_plan.as_ref())
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Arc::new(ShardedCluster { shards, options }))
     }

@@ -23,7 +23,10 @@
 //!   benchmark (`exp_repair`);
 //! * [`chaos`] — deterministic, budget-aware kill schedules for the
 //!   self-healing chaos harness (seeded, never exceeding a layer's crash
-//!   budget given the current down-set).
+//!   budget given the current down-set);
+//! * [`seed`] — the one place seeded tests read `LDS_CHAOS_SEED` from, plus
+//!   the [`seed::ReproGuard`] that prints a one-line repro command when a
+//!   seeded test fails.
 //!
 //! # Example
 //!
@@ -51,6 +54,7 @@ pub mod measure;
 pub mod multi_object;
 pub mod repair;
 pub mod runner;
+pub mod seed;
 pub mod throughput;
 
 pub use chaos::{ChaosLayer, ChaosSchedule, ChaosScheduleConfig, ChaosTarget};
@@ -58,4 +62,5 @@ pub use generator::{ClosedLoopWorkload, ValueGenerator, ZipfianGenerator};
 pub use measure::{CostMeasurement, CostReport};
 pub use repair::RepairBandwidth;
 pub use runner::{RunReport, RunnerConfig, SimRunner};
+pub use seed::{chaos_seed, repro_guard, ReproGuard};
 pub use throughput::{LatencyRecorder, ThroughputSummary};

@@ -1,0 +1,90 @@
+//! Shared seed plumbing for the seeded chaos / adversarial test suites.
+//!
+//! Every seeded test in the repository reads its seed the same way — through
+//! [`chaos_seed`] — so a failure seen anywhere (CI fault matrix, a rotating
+//! seed, a local run) can be reproduced by exporting one environment
+//! variable. To make that loop one copy-paste, tests hold a [`ReproGuard`]:
+//! if the test panics, the guard prints a single
+//! `LDS_CHAOS_SEED=… cargo test …` line on its way out of scope.
+//!
+//! ```rust
+//! use lds_workload::seed::{chaos_seed, repro_guard};
+//!
+//! let seed = chaos_seed(0xC4A0_5EED);
+//! let _repro = repro_guard(seed, "partition");
+//! // ... seeded assertions; on panic the guard prints the repro line ...
+//! ```
+
+/// Environment variable overriding the seed of every seeded test.
+pub const CHAOS_SEED_ENV: &str = "LDS_CHAOS_SEED";
+
+/// Returns the seed a seeded test should run with: the value of the
+/// `LDS_CHAOS_SEED` environment variable when set and parseable (decimal, or
+/// hex with an `0x` prefix), otherwise `default`.
+pub fn chaos_seed(default: u64) -> u64 {
+    match std::env::var(CHAOS_SEED_ENV) {
+        Ok(raw) => parse_seed(raw.trim()).unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        raw.replace('_', "").parse().ok()
+    }
+}
+
+/// Prints a one-line reproduction command if the holding test panics.
+///
+/// Constructed by [`repro_guard`] at the top of a seeded test; on a clean
+/// pass it drops silently, on an assertion failure its `Drop` runs while the
+/// thread is panicking and prints the exact command to re-run the failing
+/// test with the failing seed.
+#[derive(Debug)]
+pub struct ReproGuard {
+    seed: u64,
+    test: String,
+}
+
+/// Arms a [`ReproGuard`] for the integration test binary named `test`
+/// running with `seed`.
+pub fn repro_guard(seed: u64, test: &str) -> ReproGuard {
+    ReproGuard {
+        seed,
+        test: test.to_string(),
+    }
+}
+
+impl Drop for ReproGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "repro: {}={} cargo test --release --test {} -- --nocapture",
+                CHAOS_SEED_ENV, self.seed, self.test
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_hex_and_underscores() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xC4A0_5EED"), Some(0xC4A0_5EED));
+        assert_eq!(parse_seed("0Xff"), Some(255));
+        assert_eq!(parse_seed("1_000"), Some(1000));
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed(""), None);
+    }
+
+    #[test]
+    fn guard_is_silent_on_success() {
+        let _guard = repro_guard(7, "chaos");
+        // Dropping without a panic must not print or panic itself.
+    }
+}

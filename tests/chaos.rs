@@ -5,13 +5,20 @@
 //! must detect every crash, the auto-repair supervisor must regenerate
 //! every victim, every accepted operation must complete, atomicity must
 //! hold throughout, and the failure budget must be whole again at the end.
+//!
+//! On top of the crash storm the deployment runs under a mild seeded
+//! [`FaultPlan`]: COMMIT-TAG broadcasts are occasionally duplicated and tag
+//! queries occasionally delayed a few milliseconds, so the exact message
+//! schedule the protocol survives is adversarial *and* the injected-fault
+//! counters in the metrics snapshot are exercised end to end.
 
 use lds_cluster::api::{ObjectId, ServerRef, Store, StoreBuilder, StoreHandle};
-use lds_cluster::{HealConfig, OpOutcome, RepairLayer};
+use lds_cluster::{FaultPlan, FaultRule, HealConfig, OpOutcome, RepairLayer};
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
 use lds_core::tag::Tag;
 use lds_workload::chaos::{ChaosLayer, ChaosSchedule, ChaosScheduleConfig, ChaosTarget};
+use lds_workload::seed::{chaos_seed, repro_guard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -23,13 +30,6 @@ const CHAOS_SEED: u64 = 0xC4A0_5EED;
 
 const CLUSTERS: usize = 2;
 const TOTAL_KILLS: usize = 22;
-
-fn chaos_seed() -> u64 {
-    std::env::var("LDS_CHAOS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(CHAOS_SEED)
-}
 
 fn params() -> SystemParams {
     SystemParams::for_failures(1, 1, 2, 3).unwrap() // n1=4, n2=5, k=2, d=3
@@ -133,12 +133,31 @@ fn spawn_workload(
 
 #[test]
 fn self_healing_store_survives_a_seeded_kill_schedule() {
-    let seed = chaos_seed();
+    let seed = chaos_seed(CHAOS_SEED);
+    let _repro = repro_guard(seed, "chaos");
     let p = params();
+    // Mild link-level adversity underneath the crash storm. Duplicating a
+    // COMMIT-TAG must be idempotent (tags max-merge); a few milliseconds of
+    // delay on the tag-query round trip reorders metadata traffic without
+    // ever approaching the 60 ms heartbeat-staleness threshold (and no rule
+    // matches PING, so the failure detector sees only real crashes).
+    let plan = FaultPlan::seeded(seed)
+        .rule(
+            FaultRule::new()
+                .classes(&["COMMIT-TAG"])
+                .duplicate_prob(0.1),
+        )
+        .rule(
+            FaultRule::new()
+                .classes(&["QUERY-TAG", "TAG-RESP"])
+                .delay_prob(0.2)
+                .delay_window(Duration::ZERO, Duration::from_millis(3)),
+        );
     let store = StoreBuilder::new()
         .params(p)
         .backend(BackendKind::Mbr)
         .clusters(CLUSTERS)
+        .fault_plan(plan)
         .repair_timeout(Duration::from_secs(10))
         .self_heal_with(HealConfig {
             beat_interval: Duration::from_millis(15),
@@ -313,6 +332,17 @@ fn self_healing_store_survives_a_seeded_kill_schedule() {
         }
         std::thread::sleep(Duration::from_millis(25));
     }
+
+    // The fault plan really ran: the sim transport injected duplicates
+    // and/or delays, and — since the plan has no drop rules and no
+    // partitions — lost nothing.
+    let faults = admin.metrics().transport_faults;
+    assert!(
+        faults.duplicated + faults.delayed > 0,
+        "the seeded fault plan injected nothing: {faults:?}"
+    );
+    assert_eq!(faults.dropped, 0, "a dup/delay-only plan must not drop");
+    assert_eq!(faults.partitioned, 0, "no partitions were scheduled");
 
     drop(client);
     drop(setup);

@@ -1,0 +1,523 @@
+//! Adversarial protocol tests on the seeded fault-injection transport: the
+//! cluster runs under a declarative [`FaultPlan`] — scheduled partitions,
+//! duplicated stripe streams, delayed/reordered commit broadcasts, lossy
+//! links — and every test asserts the LDS guarantees hold anyway:
+//! atomicity (per-object monotone tags, no lost acked write), liveness
+//! within the `f1`/`f2` failure budget, bounded metadata, and a self-heal
+//! control plane that distinguishes *slow* from *dead*.
+//!
+//! Every test is seeded through `lds_workload::seed::chaos_seed`; on a
+//! failure the [`repro_guard`] prints the one-line `LDS_CHAOS_SEED=…`
+//! command that replays it. The CI fault matrix rotates seeds and selects
+//! plan families via `LDS_FAULT_PLAN` (see [`fault_matrix_point`]).
+
+use lds_cluster::api::{ObjectId, ServerRef, Store, StoreBuilder};
+use lds_cluster::{
+    Endpoint, FaultPlan, FaultRule, HealConfig, OpOutcome, PartitionDirection, PartitionSpec,
+};
+use lds_core::backend::BackendKind;
+use lds_core::params::SystemParams;
+use lds_core::tag::Tag;
+use lds_workload::seed::{chaos_seed, repro_guard};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Same default seed as the chaos harness, so one exported `LDS_CHAOS_SEED`
+/// replays the whole adversarial suite.
+const DEFAULT_SEED: u64 = 0xC4A0_5EED;
+
+fn params() -> SystemParams {
+    SystemParams::for_failures(1, 1, 2, 3).unwrap() // n1=4, n2=5, k=2, d=3
+}
+
+/// A symmetric partition isolating one server of each layer — exactly the
+/// `f1`/`f2` crash budget the paper tolerates — must not block a single
+/// operation: writes keep acking at the `n1 - f1` quorum, reads keep
+/// completing, tags stay monotone per object, and the only faults the
+/// transport records are partition drops.
+#[test]
+fn a_partitioned_minority_cannot_block_writes_or_reads() {
+    let seed = chaos_seed(DEFAULT_SEED);
+    let _repro = repro_guard(seed, "partition");
+    let plan = FaultPlan::seeded(seed)
+        .partition(PartitionSpec::isolate(&[Endpoint::L1(0), Endpoint::L2(4)]));
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Mbr)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
+
+    let mut client = store.client_with_depth(8);
+    client.set_timeout(Duration::from_secs(30));
+    let mut last_tag: HashMap<u64, Tag> = HashMap::new();
+    let rounds = 12u64;
+    for round in 0..rounds {
+        for obj in 0..4u64 {
+            client.submit_write(ObjectId(obj), format!("o{obj}-r{round}").as_bytes());
+        }
+        for completion in client.wait_all().expect("writes complete across the split") {
+            let OpOutcome::Write { tag } = completion.outcome else {
+                panic!("writer harvested a read");
+            };
+            if let Some(prev) = last_tag.insert(completion.obj, tag) {
+                assert!(
+                    tag > prev,
+                    "write tags went backwards on {}",
+                    completion.obj
+                );
+            }
+        }
+    }
+    let mut reader = store.client();
+    reader.set_timeout(Duration::from_secs(30));
+    for obj in 0..4u64 {
+        assert_eq!(
+            reader
+                .read(ObjectId(obj))
+                .expect("reads complete across the split"),
+            format!("o{obj}-r{}", rounds - 1).into_bytes(),
+            "an acked write was lost behind the partition"
+        );
+    }
+
+    let faults = store.admin().metrics().transport_faults;
+    assert!(
+        faults.partitioned > 0,
+        "the partition never blocked anything: {faults:?}"
+    );
+    assert_eq!(
+        faults.dropped + faults.duplicated + faults.delayed + faults.reordered,
+        0,
+        "a partition-only plan must not inject probabilistic faults: {faults:?}"
+    );
+    store.shutdown();
+}
+
+/// An outbound-only partition: the victim hears the cluster but its replies
+/// never leave — indistinguishable from a crash to everyone else, and still
+/// within the failure budget.
+#[test]
+fn an_outbound_only_partition_looks_like_a_crash_and_is_tolerated() {
+    let seed = chaos_seed(DEFAULT_SEED);
+    let _repro = repro_guard(seed, "partition");
+    let plan = FaultPlan::seeded(seed).partition(
+        PartitionSpec::isolate(&[Endpoint::L1(1)]).direction(PartitionDirection::Outbound),
+    );
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Mbr)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
+    let mut client = store.client();
+    client.set_timeout(Duration::from_secs(30));
+    for i in 0..10u64 {
+        let value = format!("muted-{i}").into_bytes();
+        client.write(ObjectId(3), &value).unwrap();
+        assert_eq!(client.read(ObjectId(3)).unwrap(), value);
+    }
+    let faults = store.admin().metrics().transport_faults;
+    assert!(
+        faults.partitioned > 0,
+        "the one-way split never blocked a reply: {faults:?}"
+    );
+    store.shutdown();
+}
+
+/// Duplicated stripe streams: every PUT-STRIPE / WRITE-CODE-STRIPE part and
+/// COMMIT-TAG may be delivered twice, so the per-`(obj, tag, sender)`
+/// assembly state sees repeated offsets and repeated finals. Values must
+/// still round-trip byte-identically and the duplicates must not leak
+/// assembly residue into L1 metadata or temporary storage.
+#[test]
+fn duplicated_stripe_streams_never_corrupt_values_or_leak_state() {
+    const STRIPE: usize = 1 << 10;
+    let seed = chaos_seed(DEFAULT_SEED);
+    let _repro = repro_guard(seed, "partition");
+    let plan = FaultPlan::seeded(seed).rule(
+        FaultRule::new()
+            .classes(&["PUT-STRIPE", "WRITE-CODE-STRIPE", "COMMIT-TAG"])
+            .duplicate_prob(0.3),
+    );
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Mbr)
+        .stripe_threshold(STRIPE)
+        .stripe_size(STRIPE)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
+    let mut writer = store.client();
+    let mut reader = store.client();
+    writer.set_timeout(Duration::from_secs(30));
+    reader.set_timeout(Duration::from_secs(30));
+    for round in 0..4usize {
+        for (obj, len) in [
+            (1u64, STRIPE - 1),   // below threshold: monolithic control
+            (2, 3 * STRIPE + 17), // several stripes + ragged tail
+            (3, 16 * STRIPE),     // 16 KiB, stripe-aligned
+        ] {
+            let value: Vec<u8> = (0..len)
+                .map(|i| ((i * 31 + round * 7 + obj as usize) % 251) as u8)
+                .collect();
+            writer.write(ObjectId(obj), &value).unwrap();
+            assert_eq!(
+                reader.read(ObjectId(obj)).unwrap(),
+                value,
+                "round {round}: {len}-byte value corrupted under duplicated stripes"
+            );
+        }
+    }
+    // Let in-flight duplicates land, then check nothing leaked.
+    std::thread::sleep(Duration::from_millis(200));
+    let m = store.admin().metrics();
+    assert!(
+        m.transport_faults.duplicated > 0,
+        "the duplicate rule never fired: {:?}",
+        m.transport_faults
+    );
+    assert!(
+        m.l1_metadata_entries < 200,
+        "duplicated stripe parts leaked metadata: {} entries for 12 writes",
+        m.l1_metadata_entries
+    );
+    // Temporary storage is bounded by committed values plus in-flight slack,
+    // never by the number of (duplicated) parts that flowed through.
+    let committed: usize = (STRIPE - 1) + (3 * STRIPE + 17) + 16 * STRIPE;
+    assert!(
+        m.l1_temporary_bytes <= 8 * committed,
+        "duplicated stripe parts leaked temporary bytes: {}",
+        m.l1_temporary_bytes
+    );
+    store.shutdown();
+}
+
+/// Every COMMIT-TAG and broadcast relay is held 1–5 ms, so data routinely
+/// overtakes the metadata that commits it. Sequential read-after-write must
+/// still observe the latest value and tags must never regress — the
+/// `QUERY-COMM-TAG` round and the gossip broadcast primitive have to absorb
+/// the reordering.
+#[test]
+fn commit_tags_reordered_behind_data_keep_reads_atomic() {
+    let seed = chaos_seed(DEFAULT_SEED);
+    let _repro = repro_guard(seed, "partition");
+    let plan = FaultPlan::seeded(seed).rule(
+        FaultRule::new()
+            .classes(&["COMMIT-TAG", "BCAST-SEND"])
+            .delay_prob(0.5)
+            .reorder_prob(0.5)
+            .delay_window(Duration::from_millis(1), Duration::from_millis(5)),
+    );
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Mbr)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
+    let mut writer = store.client_with_depth(1);
+    let mut reader = store.client_with_depth(1);
+    writer.set_timeout(Duration::from_secs(30));
+    reader.set_timeout(Duration::from_secs(30));
+    let mut last_read_tag: Option<Tag> = None;
+    for i in 0..30u64 {
+        let value = format!("commit-{i}").into_bytes();
+        writer.submit_write(ObjectId(9), &value);
+        let write = writer.wait_all().expect("write under delayed commits");
+        let OpOutcome::Write { tag: write_tag } = write[0].outcome else {
+            panic!("writer harvested a read");
+        };
+        reader.submit_read(ObjectId(9));
+        let read = reader.wait_all().expect("read under delayed commits");
+        let OpOutcome::Read { tag, value: seen } = &read[0].outcome else {
+            panic!("reader harvested a write");
+        };
+        assert_eq!(
+            *seen, value,
+            "read-after-write violated while COMMIT-TAG lagged the data"
+        );
+        assert!(
+            *tag >= write_tag,
+            "read returned an older tag than the acked write"
+        );
+        if let Some(prev) = last_read_tag.replace(*tag) {
+            assert!(*tag >= prev, "read tags regressed under reordering");
+        }
+    }
+    let faults = store.admin().metrics().transport_faults;
+    assert!(
+        faults.delayed > 0 && faults.reordered > 0,
+        "the delay/reorder rules never fired: {faults:?}"
+    );
+    store.shutdown();
+}
+
+/// One point of the CI fault matrix: `LDS_FAULT_PLAN` picks the plan family
+/// (`drop` | `delay` | `duplicate` | `partition`, defaulting to
+/// `duplicate`), `LDS_CHAOS_SEED` the seed — CI rotates both. The same
+/// workload and the same assertions run under every family: all operations
+/// complete, tags stay monotone, committed values survive, and the family's
+/// own fault counter is non-zero.
+#[test]
+fn fault_matrix_point() {
+    const STRIPE: usize = 512;
+    let seed = chaos_seed(DEFAULT_SEED);
+    let _repro = repro_guard(seed, "partition");
+    let family = std::env::var("LDS_FAULT_PLAN").unwrap_or_else(|_| "duplicate".to_string());
+    let plan = match family.as_str() {
+        // A fully lossy server — both directions, pings included. Crash-like
+        // and inside the f1 budget, so quorums must route around it.
+        "drop" => FaultPlan::seeded(seed)
+            .rule(FaultRule::new().only_to(&[Endpoint::L1(0)]).drop_prob(1.0))
+            .rule(
+                FaultRule::new()
+                    .only_from(&[Endpoint::L1(0)])
+                    .drop_prob(1.0),
+            ),
+        // Every link jittery, nothing lost.
+        "delay" => FaultPlan::seeded(seed).rule(
+            FaultRule::new()
+                .delay_prob(0.3)
+                .delay_window(Duration::ZERO, Duration::from_millis(3)),
+        ),
+        // At-least-once delivery on the idempotent stream messages.
+        "duplicate" => FaultPlan::seeded(seed).rule(
+            FaultRule::new()
+                .classes(&[
+                    "PUT-STRIPE",
+                    "WRITE-CODE-STRIPE",
+                    "COMMIT-TAG",
+                    "BCAST-SEND",
+                ])
+                .duplicate_prob(0.25),
+        ),
+        // A mid-run split that heals.
+        "partition" => FaultPlan::seeded(seed).partition(
+            PartitionSpec::isolate(&[Endpoint::L1(0), Endpoint::L2(0)])
+                .starting_at(Duration::from_millis(50))
+                .healing_at(Duration::from_millis(400)),
+        ),
+        other => panic!("unknown LDS_FAULT_PLAN {other:?}"),
+    };
+    let store = StoreBuilder::new()
+        .params(params())
+        .backend(BackendKind::Mbr)
+        .stripe_threshold(STRIPE)
+        .stripe_size(STRIPE)
+        .fault_plan(plan)
+        .build()
+        .unwrap();
+    let built = Instant::now();
+    let mut client = store.client_with_depth(4);
+    client.set_timeout(Duration::from_secs(30));
+    let mut last_tag: HashMap<u64, Tag> = HashMap::new();
+    let mut rounds = 0u64;
+    // At least 10 rounds, and keep going until the scheduled faults (the
+    // partition window ends at 400 ms) have had live traffic to act on — a
+    // fast machine must not outrun the plan.
+    while rounds < 10 || built.elapsed() < Duration::from_millis(600) {
+        let round = rounds;
+        for obj in 0..3u64 {
+            // Stripe-crossing values so every family has stream traffic.
+            let fill = (17 * round + obj) as u8;
+            client.submit_write(ObjectId(obj), &vec![fill; 2 * STRIPE + 13]);
+        }
+        for completion in client
+            .wait_all()
+            .expect("writes complete under the fault plan")
+        {
+            let OpOutcome::Write { tag } = completion.outcome else {
+                panic!("writer harvested a read");
+            };
+            if let Some(prev) = last_tag.insert(completion.obj, tag) {
+                assert!(
+                    tag > prev,
+                    "write tags went backwards on {}",
+                    completion.obj
+                );
+            }
+        }
+        rounds += 1;
+    }
+    for obj in 0..3u64 {
+        let fill = (17 * (rounds - 1) + obj) as u8;
+        assert_eq!(
+            client
+                .read(ObjectId(obj))
+                .expect("reads complete under the fault plan"),
+            vec![fill; 2 * STRIPE + 13],
+            "[{family}] an acked write was lost"
+        );
+    }
+    let faults = store.admin().metrics().transport_faults;
+    let fired = match family.as_str() {
+        "drop" => faults.dropped,
+        "delay" => faults.delayed,
+        "duplicate" => faults.duplicated,
+        "partition" => faults.partitioned,
+        _ => unreachable!(),
+    };
+    assert!(fired > 0, "[{family}] the plan never injected: {faults:?}");
+    store.shutdown();
+}
+
+/// Slow is not dead: a plan that only *delays* traffic — every liveness
+/// ping held 1–8 ms, metadata rounds jittered — must not trip the heartbeat
+/// monitor. No suspicion, no repair attempt, no repair report; the injected
+/// faults are visible only in the transport counters.
+#[test]
+fn delay_only_faults_never_trigger_auto_repair() {
+    let seed = chaos_seed(DEFAULT_SEED);
+    let _repro = repro_guard(seed, "partition");
+    let p = params();
+    let plan = FaultPlan::seeded(seed)
+        .rule(
+            FaultRule::new()
+                .classes(&["PING"])
+                .delay_prob(1.0)
+                .delay_window(Duration::from_millis(1), Duration::from_millis(8)),
+        )
+        .rule(
+            FaultRule::new()
+                .classes(&["QUERY-TAG", "TAG-RESP", "COMMIT-TAG"])
+                .delay_prob(0.5)
+                .delay_window(Duration::ZERO, Duration::from_millis(5)),
+        );
+    let store = StoreBuilder::new()
+        .params(p)
+        .backend(BackendKind::Mbr)
+        .fault_plan(plan)
+        .self_heal_with(HealConfig {
+            beat_interval: Duration::from_millis(30),
+            // 300 ms staleness: far above the 8 ms injected jitter, and with
+            // headroom for scheduler stalls of the delay pump itself on a
+            // loaded CI box — every ping rides through the pump here.
+            suspicion_intervals: 10,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(1),
+            max_concurrent_repairs: 2,
+            jitter_seed: seed,
+        })
+        .build()
+        .unwrap();
+    let admin = store.admin();
+    let mut client = store.client();
+    client.set_timeout(Duration::from_secs(30));
+    let deadline = Instant::now() + Duration::from_millis(1200);
+    let mut i = 0u64;
+    while Instant::now() < deadline {
+        let value = format!("jitter-{i}").into_bytes();
+        client.write(ObjectId(5), &value).unwrap();
+        assert_eq!(client.read(ObjectId(5)).unwrap(), value);
+        i += 1;
+    }
+    let m = admin.metrics();
+    assert!(
+        m.transport_faults.delayed > 0,
+        "the delay rules never fired: {:?}",
+        m.transport_faults
+    );
+    assert_eq!(
+        m.heal_suspicions_raised, 0,
+        "delay-only faults raised a false suspicion"
+    );
+    assert_eq!(
+        m.heal_repairs_attempted, 0,
+        "delay-only faults triggered a repair attempt"
+    );
+    assert!(
+        admin.repair_reports().is_empty(),
+        "delay-only faults produced a repair report"
+    );
+    assert_eq!(m.live_l1, p.n1());
+    assert_eq!(m.live_l2, p.n2());
+    store.shutdown();
+}
+
+/// Dead behind a split *is* dead: a real partition makes the victim's
+/// heartbeats stale (suspicion fires), but the supervisor refuses to repair
+/// a server that is merely unreachable. Once the server actually crashes
+/// mid-partition, the supervisor keeps attempting through the split and
+/// regenerates it after the heal — committed data intact.
+#[test]
+fn a_partitioned_then_killed_server_is_healed_after_the_split() {
+    let seed = chaos_seed(DEFAULT_SEED);
+    let _repro = repro_guard(seed, "partition");
+    let p = params();
+    let plan = FaultPlan::seeded(seed).partition(
+        PartitionSpec::isolate(&[Endpoint::L1(0)])
+            .starting_at(Duration::from_millis(250))
+            .healing_at(Duration::from_millis(2000)),
+    );
+    let store = StoreBuilder::new()
+        .params(p)
+        .backend(BackendKind::Mbr)
+        .fault_plan(plan)
+        .repair_timeout(Duration::from_secs(2))
+        .self_heal_with(HealConfig {
+            beat_interval: Duration::from_millis(15),
+            suspicion_intervals: 4,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_millis(250),
+            max_concurrent_repairs: 2,
+            jitter_seed: seed,
+        })
+        .build()
+        .unwrap();
+    let admin = store.admin();
+    let mut client = store.client();
+    client.set_timeout(Duration::from_secs(30));
+    // Committed state the repair must regenerate.
+    for obj in 0..4u64 {
+        client
+            .write(ObjectId(obj), &vec![obj as u8 + 1; 256])
+            .unwrap();
+    }
+
+    // The partition starts and the victim's beats go stale: suspicion fires.
+    let suspect_deadline = Instant::now() + Duration::from_secs(5);
+    while admin.metrics().heal_suspicions_raised == 0 {
+        assert!(
+            Instant::now() < suspect_deadline,
+            "the partition never made L1(0) suspect"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Suspected, but alive: the supervisor must not have repaired anything.
+    assert!(admin.is_live(ServerRef::l1(0)).unwrap());
+    assert_eq!(
+        admin.metrics().heal_repairs_succeeded,
+        0,
+        "the supervisor repaired a live, merely-partitioned server"
+    );
+
+    // Now it really dies — mid-partition (the kill signal is control-plane,
+    // never intercepted by the transport).
+    admin.kill(ServerRef::l1(0)).unwrap();
+    let heal_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = admin.metrics();
+        if m.heal_repairs_succeeded >= 1 && m.live_l1 == p.n1() && admin.liveness().all_live() {
+            break;
+        }
+        assert!(
+            Instant::now() < heal_deadline,
+            "the supervisor never healed the killed server after the split: {:?}",
+            admin.liveness().crashed()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        !admin.repair_reports().is_empty(),
+        "a successful supervisor repair must leave a report"
+    );
+    assert!(admin.metrics().transport_faults.partitioned > 0);
+    for obj in 0..4u64 {
+        assert_eq!(
+            client.read(ObjectId(obj)).expect("read after the heal"),
+            vec![obj as u8 + 1; 256],
+            "object {obj} lost its committed value across partition + crash + repair"
+        );
+    }
+    store.shutdown();
+}
