@@ -130,10 +130,37 @@ struct Point {
     wl: Workload,
 }
 
+/// Protocol-phase latency percentiles over one point's measured window
+/// (µs), from the cluster's always-on phase histograms diffed across the
+/// window: tag = the first quorum round (QUERY-TAG / QUERY-COMM-TAG), data
+/// = the transfer phase (PUT-DATA/PUT-STRIPE fan-out incl. the commit wait
+/// for writes, QUERY-DATA for reads), commit = the read's PUT-TAG
+/// write-back round.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhasePcts {
+    tag_p50: u64,
+    tag_p99: u64,
+    data_p50: u64,
+    data_p99: u64,
+    commit_p50: u64,
+    commit_p99: u64,
+}
+
 struct PointResult {
     point: Point,
     summary: ThroughputSummary,
     cache_hits: u64,
+    phases: PhasePcts,
+}
+
+/// The flight-recorder off/on A/B pair recorded into `_meta.obs_ab`: the
+/// same point run twice, tracing disabled (the default every other number
+/// in the file uses) and enabled, so the file itself documents what the
+/// cached-flag fast path costs when off — and what full tracing costs when
+/// on.
+struct ObsAb {
+    off: ThroughputSummary,
+    on: ThroughputSummary,
 }
 
 fn main() {
@@ -174,11 +201,12 @@ fn main() {
 
     let mut results = Vec::with_capacity(points.len());
     for point in points {
-        let (summary, cache_hits) = run_point(point);
+        let (summary, cache_hits, phases) = run_point(point, false);
         eprintln!(
             "{:>8} {:>18} {:>8}  clients={} depth={:>2} shards={} clusters={}  \
              vsize={:>8} theta={:.2} rf={:.2} stripe={} cache={}  \
-             {:>9.0} ops/s  p50={:>7.0}us p99={:>7.0}us  hits={}",
+             {:>9.0} ops/s  p50={:>7.0}us p99={:>7.0}us  hits={}  \
+             phases(tag/data/commit p50us)={}/{}/{}",
             point.axis,
             point.cfg.backend.to_string(),
             point.cfg.profile.label(),
@@ -195,16 +223,28 @@ fn main() {
             summary.p50_us,
             summary.p99_us,
             cache_hits,
+            phases.tag_p50,
+            phases.data_p50,
+            phases.commit_p50,
         );
         results.push(PointResult {
             point,
             summary,
             cache_hits,
+            phases,
         });
     }
 
+    let ab = run_obs_ab(ops_override, smoke);
+    eprintln!(
+        "  obs A/B: trace off {:.0} ops/s vs trace on {:.0} ops/s (on/off {:.3})",
+        ab.off.ops_per_sec,
+        ab.on.ops_per_sec,
+        ab.on.ops_per_sec / ab.off.ops_per_sec.max(1e-9),
+    );
+
     print_results(&results);
-    let json = render_json(&results, smoke);
+    let json = render_json(&results, smoke, &ab);
     std::fs::write(&out_path, &json).expect("write benchmark output");
     // Sanity-check what we just wrote so CI can rely on the file.
     let written = std::fs::read_to_string(&out_path).expect("re-read benchmark output");
@@ -435,7 +475,7 @@ fn full_points(ops_override: Option<usize>, multi_clusters: usize) -> Vec<Point>
 /// facade: the sweep's `clusters` axis is exactly the builder's
 /// `clusters(n)` axis, and the same [`lds_cluster::api::StoreHandle`] /
 /// generic [`drive_client`] pair covers both topologies.
-fn run_point(point: Point) -> (ThroughputSummary, u64) {
+fn run_point(point: Point, trace: bool) -> (ThroughputSummary, u64, PhasePcts) {
     let Point { cfg, wl, .. } = point;
     // The sweep's shard dimension is the L1 layer, where all mutable protocol
     // state lives; L2 servers are nearly stateless per message, so extra L2
@@ -447,7 +487,8 @@ fn run_point(point: Point) -> (ThroughputSummary, u64) {
     };
     let builder = builder
         .stripe_threshold(if wl.stripe { STRIPE_THRESHOLD } else { 0 })
-        .read_cache(if wl.read_cache { READ_CACHE_ENTRIES } else { 0 });
+        .read_cache(if wl.read_cache { READ_CACHE_ENTRIES } else { 0 })
+        .trace(trace);
     let store = builder
         .backend(cfg.backend)
         .clusters(cfg.clusters)
@@ -467,6 +508,12 @@ fn run_point(point: Point) -> (ThroughputSummary, u64) {
         warm.wait_all().expect("warm-up writes complete");
     }
 
+    // Phase histograms are cumulative since the store came up; diffing a
+    // snapshot taken here against one taken after the run isolates the
+    // measured window (warm-up samples cancel out).
+    let admin = store.admin();
+    let before = admin.metrics();
+
     let start = Instant::now();
     let mut handles = Vec::with_capacity(cfg.clients);
     for c in 0..cfg.clients {
@@ -485,8 +532,51 @@ fn run_point(point: Point) -> (ThroughputSummary, u64) {
         cache_hits += client_hits;
     }
     let elapsed = start.elapsed();
+
+    let after = admin.metrics();
+    let tag = after.phase_tag_latency.diff(&before.phase_tag_latency);
+    let data = after.phase_data_latency.diff(&before.phase_data_latency);
+    let commit = after
+        .phase_commit_latency
+        .diff(&before.phase_commit_latency);
+    let phases = PhasePcts {
+        tag_p50: tag.percentile(50.0),
+        tag_p99: tag.percentile(99.0),
+        data_p50: data.percentile(50.0),
+        data_p99: data.percentile(99.0),
+        commit_p50: commit.percentile(50.0),
+        commit_p99: commit.percentile(99.0),
+    };
     store.shutdown();
-    (rec.summarize(elapsed), cache_hits)
+    (rec.summarize(elapsed), cache_hits, phases)
+}
+
+/// Runs the `_meta.obs_ab` pair: one fixed tuned topology point with the
+/// flight recorder off, then on. Everything else in the file records with
+/// tracing off, so `off` is the apples-to-apples reference and `on / off`
+/// bounds what full tracing costs.
+fn run_obs_ab(ops_override: Option<usize>, smoke: bool) -> ObsAb {
+    let point = Point {
+        axis: "obs_ab",
+        cfg: Config {
+            backend: BackendKind::Mbr,
+            clients: 2,
+            depth: 4,
+            shards: 2,
+            clusters: 1,
+            profile: Profile::Tuned,
+        },
+        // More ops than the sweep points: the pair exists to resolve a
+        // few-percent delta, so it needs a longer window than a smoke point.
+        wl: Workload::base(
+            16,
+            64,
+            ops_override.unwrap_or(if smoke { 40 } else { 4000 }),
+        ),
+    };
+    let (off, _, _) = run_point(point, false);
+    let (on, _, _) = run_point(point, true);
+    ObsAb { off, on }
 }
 
 /// One closed-loop client: keeps the pipeline full (up to `depth`
@@ -641,7 +731,7 @@ fn host_cores() -> usize {
         .unwrap_or(1)
 }
 
-fn render_json(results: &[PointResult], smoke: bool) -> String {
+fn render_json(results: &[PointResult], smoke: bool, ab: &ObsAb) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"_meta\": {\n");
@@ -712,6 +802,26 @@ fn render_json(results: &[PointResult], smoke: bool) -> String {
          that skipped the data phase; latency measured submit->completion\",\n",
     );
     out.push_str(
+        "    \"phase_note\": \"phase_{tag,data,commit}_{p50,p99}_us come from the \
+         cluster's always-on log-bucketed phase histograms (<= 12.5% relative error), \
+         diffed across the measured window: tag = the first quorum round (QUERY-TAG / \
+         QUERY-COMM-TAG), data = the transfer phase (PUT-DATA/PUT-STRIPE fan-out incl. \
+         the write's commit wait, or QUERY-DATA for reads), commit = the read's PUT-TAG \
+         write-back round. Writes contribute tag+data samples, reads tag+data+commit \
+         (cache-hit reads skip data), so phase counts differ from op counts.\",\n",
+    );
+    out.push_str(&format!(
+        "    \"obs_ab\": {{ \"config\": \"mbr tuned clients=2 depth=4 shards=2 \
+         clusters=1, small uniform values\", \"trace_off_ops_per_sec\": {:.1}, \
+         \"trace_on_ops_per_sec\": {:.1}, \"on_over_off\": {:.3}, \"note\": \"every \
+         other number in this file runs with the flight recorder off (one cached-flag \
+         branch per recording site); this A/B pair re-runs one point with tracing off \
+         and on to document that overhead in-band\" }},\n",
+        ab.off.ops_per_sec,
+        ab.on.ops_per_sec,
+        ab.on.ops_per_sec / ab.off.ops_per_sec.max(1e-9),
+    ));
+    out.push_str(
         "    \"units\": \"ops_per_sec = completed operations per wall-clock second across \
          all clients; latencies in microseconds\"\n",
     );
@@ -752,7 +862,10 @@ fn render_json(results: &[PointResult], smoke: bool) -> String {
              \"value_size\": {}, \"theta\": {:.2}, \"read_fraction\": {:.2}, \
              \"stripe\": {}, \"read_cache\": {}, \"cache_hits\": {}, \
              \"ops\": {}, \"elapsed_s\": {:.4}, \"ops_per_sec\": {:.1}, \"p50_us\": {:.1}, \
-             \"p99_us\": {:.1}, \"mean_us\": {:.1} }}{}\n",
+             \"p99_us\": {:.1}, \"mean_us\": {:.1}, \
+             \"phase_tag_p50_us\": {}, \"phase_tag_p99_us\": {}, \
+             \"phase_data_p50_us\": {}, \"phase_data_p99_us\": {}, \
+             \"phase_commit_p50_us\": {}, \"phase_commit_p99_us\": {} }}{}\n",
             r.point.axis,
             r.point.cfg.backend,
             r.point.cfg.profile.label(),
@@ -772,6 +885,12 @@ fn render_json(results: &[PointResult], smoke: bool) -> String {
             r.summary.p50_us,
             r.summary.p99_us,
             r.summary.mean_us,
+            r.phases.tag_p50,
+            r.phases.tag_p99,
+            r.phases.data_p50,
+            r.phases.data_p99,
+            r.phases.commit_p50,
+            r.phases.commit_p99,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

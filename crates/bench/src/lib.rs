@@ -83,8 +83,15 @@ pub fn fmt3(x: f64) -> String {
 /// gain the workload axes `{value_size, theta, read_fraction, stripe,
 /// read_cache, cache_hits}` (PR 6 large-value striping + read cache +
 /// skewed workloads — other `BENCH_*.json` layouts are unchanged and carry
-/// the stamp forward).
-pub const SCHEMA_VERSION: u32 = 3;
+/// the stamp forward); 4 = `BENCH_CLUSTER.json` result rows gain the
+/// protocol-phase latency breakdown `{phase_tag_p50_us, phase_tag_p99_us,
+/// phase_data_p50_us, phase_data_p99_us, phase_commit_p50_us,
+/// phase_commit_p99_us}` (from the cluster's always-on phase histograms,
+/// diffed across the measured window) and `_meta` gains `obs_ab`, a
+/// flight-recorder off/on A/B point documenting the disabled-tracing
+/// overhead (other `BENCH_*.json` layouts are unchanged and carry the
+/// stamp forward).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm —
 /// no date crate offline). Stamped into the `_meta.generated` field of every

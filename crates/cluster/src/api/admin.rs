@@ -12,10 +12,13 @@
 
 use crate::api::{StoreError, Topo, Topology};
 use crate::node::Cluster;
+use crate::obs::{HistSnapshot, TraceDump};
 use crate::repair::{RepairLayer, RepairReport};
 use crate::sharded::ShardedCluster;
+use crate::transport::MESSAGE_CLASSES;
 use std::fmt;
 use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -166,9 +169,65 @@ pub struct MetricsSnapshot {
     /// [`StoreBuilder::fault_plan`](crate::api::StoreBuilder::fault_plan)
     /// (see [`FaultCounters`](crate::transport::FaultCounters)).
     pub transport_faults: crate::transport::FaultCounters,
+    /// Reads served from a client's tag-validated cache (data-transfer
+    /// phase skipped). Folded in when each read completes, so a burst still
+    /// in flight lags by at most one completion per client handle.
+    pub cache_hits: u64,
+    /// Cache-enabled reads that ran the full data-transfer phase (zero when
+    /// no client has a cache, so [`MetricsSnapshot::cache_hit_ratio`] is
+    /// meaningful whenever `cache_hits + cache_misses > 0`).
+    pub cache_misses: u64,
+    /// Stripe assemblies opened at L1 (cross-sender PUT-STRIPE reassembly).
+    pub l1_assemblies_opened: u64,
+    /// Stripe assemblies fully reassembled at L1.
+    pub l1_assemblies_completed: u64,
+    /// Malformed or mismatched stripe parts dropped at L1.
+    pub l1_stripe_parts_dropped: u64,
+    /// Code-stripe assemblies opened at L2 (WRITE-CODE-STRIPE reassembly).
+    pub l2_assemblies_opened: u64,
+    /// Code-stripe assemblies fully reassembled at L2.
+    pub l2_assemblies_completed: u64,
+    /// Whole assemblies dropped at L2 (superseded or malformed).
+    pub l2_assemblies_dropped: u64,
+    /// Temporary-store entries garbage-collected below the committed tag.
+    pub gc_evicted_entries: u64,
+    /// Value bytes released by committed-tag garbage collection.
+    pub gc_evicted_bytes: u64,
+    /// Largest single-round scratch footprint any L1 shard's encode buffer
+    /// pool ever reached, in bytes (see
+    /// [`PoolStats`](lds_codes::PoolStats)).
+    pub peak_round_bytes: usize,
+    /// Messages received across every server shard, by protocol class
+    /// (names per [`MESSAGE_CLASSES`]; heartbeat pings last). Published at
+    /// shard idle, reset to zero by a repair (Prometheus-style).
+    pub messages_by_class: Vec<(&'static str, u64)>,
+    /// End-to-end write latency histogram, µs buckets (≤ 12.5 % relative
+    /// error — see [`crate::obs::hist`]).
+    pub write_latency: HistSnapshot,
+    /// End-to-end read latency histogram.
+    pub read_latency: HistSnapshot,
+    /// Tag-quorum phase latency (write QUERY-TAG or read QUERY-COMM-TAG
+    /// round, submission to first data-phase message).
+    pub phase_tag_latency: HistSnapshot,
+    /// Data-transfer phase latency (write PUT-DATA fan-out through the
+    /// commit-wait ack, or read QUERY-DATA through decode).
+    pub phase_data_latency: HistSnapshot,
+    /// Read commit phase latency (PUT-TAG write-back quorum).
+    pub phase_commit_latency: HistSnapshot,
 }
 
 impl MetricsSnapshot {
+    /// Fraction of cache-enabled reads served from the tag-validated cache
+    /// (`hits / (hits + misses)`); 0.0 when no cached read has completed.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
     /// Renders the snapshot in the Prometheus text exposition format: one
     /// `# HELP` and one `# TYPE` line per metric family, `lds_`-prefixed
     /// names, labelled samples for the per-layer and per-target families.
@@ -302,6 +361,121 @@ impl MetricsSnapshot {
                 ("{kind=\"reordered\"}".into(), faults.reordered as f64),
                 ("{kind=\"partitioned\"}".into(), faults.partitioned as f64),
             ],
+        );
+        family(
+            "lds_read_cache",
+            "counter",
+            "Completed reads by cache outcome (cache-enabled clients only).",
+            &[
+                ("{result=\"hit\"}".into(), self.cache_hits as f64),
+                ("{result=\"miss\"}".into(), self.cache_misses as f64),
+            ],
+        );
+        family(
+            "lds_read_cache_hit_ratio",
+            "gauge",
+            "Fraction of cache-enabled reads served from the read cache.",
+            &plain(self.cache_hit_ratio()),
+        );
+        family(
+            "lds_assemblies",
+            "counter",
+            "Stripe assemblies by layer and outcome.",
+            &[
+                (
+                    "{layer=\"l1\",event=\"opened\"}".into(),
+                    self.l1_assemblies_opened as f64,
+                ),
+                (
+                    "{layer=\"l1\",event=\"completed\"}".into(),
+                    self.l1_assemblies_completed as f64,
+                ),
+                (
+                    "{layer=\"l1\",event=\"parts_dropped\"}".into(),
+                    self.l1_stripe_parts_dropped as f64,
+                ),
+                (
+                    "{layer=\"l2\",event=\"opened\"}".into(),
+                    self.l2_assemblies_opened as f64,
+                ),
+                (
+                    "{layer=\"l2\",event=\"completed\"}".into(),
+                    self.l2_assemblies_completed as f64,
+                ),
+                (
+                    "{layer=\"l2\",event=\"dropped\"}".into(),
+                    self.l2_assemblies_dropped as f64,
+                ),
+            ],
+        );
+        family(
+            "lds_gc_evicted_entries",
+            "counter",
+            "Temporary-store entries evicted by committed-tag GC.",
+            &plain(self.gc_evicted_entries as f64),
+        );
+        family(
+            "lds_gc_evicted_bytes",
+            "counter",
+            "Value bytes released by committed-tag GC.",
+            &plain(self.gc_evicted_bytes as f64),
+        );
+        family(
+            "lds_pool_peak_round_bytes",
+            "gauge",
+            "Largest single-round scratch footprint any L1 encode pool reached.",
+            &plain(self.peak_round_bytes as f64),
+        );
+        let classes: Vec<(String, f64)> = self
+            .messages_by_class
+            .iter()
+            .map(|(name, count)| (format!("{{class=\"{name}\"}}"), *count as f64))
+            .collect();
+        family(
+            "lds_messages_total",
+            "counter",
+            "Messages received across every server shard, by protocol class.",
+            &classes,
+        );
+        // The latency families come last so `hist_family` can mutably borrow
+        // `out` after `family`'s last use.
+        let mut hist_family = |name: &str, help: &str, snap: &HistSnapshot| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (upper_us, count) in snap.nonzero_buckets() {
+                cumulative += count;
+                let le = upper_us as f64 * 1e-6;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", snap.sum as f64 * 1e-6);
+            let _ = writeln!(out, "{name}_count {cumulative}");
+        };
+        hist_family(
+            "lds_write_latency_seconds",
+            "End-to-end write latency.",
+            &self.write_latency,
+        );
+        hist_family(
+            "lds_read_latency_seconds",
+            "End-to-end read latency.",
+            &self.read_latency,
+        );
+        hist_family(
+            "lds_phase_tag_latency_seconds",
+            "Tag-quorum phase latency (writes and reads).",
+            &self.phase_tag_latency,
+        );
+        hist_family(
+            "lds_phase_data_latency_seconds",
+            "Data-transfer phase latency (write commit wait included).",
+            &self.phase_data_latency,
+        );
+        hist_family(
+            "lds_phase_commit_latency_seconds",
+            "Read commit (PUT-TAG round) phase latency.",
+            &self.phase_commit_latency,
         );
         out
     }
@@ -590,6 +764,23 @@ impl Admin {
             heal_parked_events: 0,
             heal_backoffs: Vec::new(),
             transport_faults: crate::transport::FaultCounters::default(),
+            cache_hits: 0,
+            cache_misses: 0,
+            l1_assemblies_opened: 0,
+            l1_assemblies_completed: 0,
+            l1_stripe_parts_dropped: 0,
+            l2_assemblies_opened: 0,
+            l2_assemblies_completed: 0,
+            l2_assemblies_dropped: 0,
+            gc_evicted_entries: 0,
+            gc_evicted_bytes: 0,
+            peak_round_bytes: 0,
+            messages_by_class: MESSAGE_CLASSES.iter().map(|&name| (name, 0u64)).collect(),
+            write_latency: HistSnapshot::empty(),
+            read_latency: HistSnapshot::empty(),
+            phase_tag_latency: HistSnapshot::empty(),
+            phase_data_latency: HistSnapshot::empty(),
+            phase_commit_latency: HistSnapshot::empty(),
         };
         for (c, cluster) in clusters.into_iter().enumerate() {
             let params = cluster.params();
@@ -620,6 +811,37 @@ impl Admin {
             snapshot.transport_faults.delayed += faults.delayed;
             snapshot.transport_faults.reordered += faults.reordered;
             snapshot.transport_faults.partitioned += faults.partitioned;
+            let internals = cluster.server_internals();
+            snapshot.l1_assemblies_opened += internals.l1_assemblies_opened;
+            snapshot.l1_assemblies_completed += internals.l1_assemblies_completed;
+            snapshot.l1_stripe_parts_dropped += internals.l1_stripe_parts_dropped;
+            snapshot.l2_assemblies_opened += internals.l2_assemblies_opened;
+            snapshot.l2_assemblies_completed += internals.l2_assemblies_completed;
+            snapshot.l2_assemblies_dropped += internals.l2_assemblies_dropped;
+            snapshot.gc_evicted_entries += internals.gc_evicted_entries;
+            snapshot.gc_evicted_bytes += internals.gc_evicted_bytes;
+            snapshot.peak_round_bytes = snapshot.peak_round_bytes.max(internals.peak_round_bytes);
+            for (slot, count) in snapshot
+                .messages_by_class
+                .iter_mut()
+                .zip(internals.msgs_by_class.iter())
+            {
+                slot.1 += count;
+            }
+            let obs = cluster.obs_metrics();
+            snapshot.cache_hits += obs.cache_hits.load(Ordering::Relaxed);
+            snapshot.cache_misses += obs.cache_misses.load(Ordering::Relaxed);
+            snapshot.write_latency.merge(&obs.write_us.snapshot());
+            snapshot.read_latency.merge(&obs.read_us.snapshot());
+            snapshot
+                .phase_tag_latency
+                .merge(&obs.phase_tag_us.snapshot());
+            snapshot
+                .phase_data_latency
+                .merge(&obs.phase_data_us.snapshot());
+            snapshot
+                .phase_commit_latency
+                .merge(&obs.phase_commit_us.snapshot());
             if let Some(heal) = cluster.heal_state() {
                 snapshot.heal_suspicions_raised += heal.suspicions_raised();
                 snapshot.heal_repairs_attempted += heal.repairs_attempted();
@@ -637,5 +859,23 @@ impl Admin {
             }
         }
         snapshot
+    }
+
+    /// Drains the flight recorder of every cluster shard into one
+    /// time-ordered [`TraceDump`] — empty unless the store was built with
+    /// [`StoreBuilder::trace`](crate::api::StoreBuilder::trace).
+    ///
+    /// Each call snapshots what the per-thread rings currently hold — the
+    /// rings are bounded, so each holds the *most recent* events per thread
+    /// (older ones are overwritten on wrap), which is exactly the
+    /// flight-recorder contract: ask after something went wrong and see what
+    /// led up to it. Export with [`TraceDump::to_jsonl`] or
+    /// [`TraceDump::tail_jsonl`].
+    pub fn trace_dump(&self) -> TraceDump {
+        let mut dump = TraceDump::default();
+        for cluster in self.shards() {
+            dump.merge(cluster.recorder().dump());
+        }
+        dump
     }
 }

@@ -70,6 +70,8 @@ pub struct StoreBuilder {
     repair_log_cap: usize,
     heal: Option<HealConfig>,
     fault_plan: Option<FaultPlan>,
+    trace: bool,
+    trace_events: usize,
     l1: L1Options,
     l2: L2Options,
 }
@@ -93,6 +95,8 @@ impl Default for StoreBuilder {
             repair_log_cap: crate::node::DEFAULT_REPAIR_LOG_CAP,
             heal: None,
             fault_plan: None,
+            trace: false,
+            trace_events: crate::obs::DEFAULT_TRACE_EVENTS,
             l1: L1Options::default(),
             l2: L2Options::default(),
         }
@@ -293,6 +297,26 @@ impl StoreBuilder {
         self
     }
 
+    /// Turns on the protocol flight recorder: every server shard, client
+    /// and heal thread records structured events (op lifecycle and phase
+    /// transitions, router sends, injected transport faults, stripe
+    /// assembly, GC, suspicion/repair) into bounded per-thread rings,
+    /// merged on demand by [`Admin::trace_dump`](crate::api::Admin::trace_dump).
+    /// Off by default — and when off, every recording site in the hot path
+    /// costs exactly one branch on a cached flag.
+    pub fn trace(mut self, on: bool) -> StoreBuilder {
+        self.trace = on;
+        self
+    }
+
+    /// Events retained per recording thread while tracing is on (default
+    /// [`crate::obs::DEFAULT_TRACE_EVENTS`]); older events are overwritten
+    /// ring-style. Only meaningful with [`trace`](StoreBuilder::trace).
+    pub fn trace_events(mut self, events: usize) -> StoreBuilder {
+        self.trace_events = events;
+        self
+    }
+
     /// Bounded-inbox mode: at most `cap` client operations admitted
     /// concurrently per L1 key partition (per cluster shard). A saturated
     /// partition makes [`crate::api::Store::try_submit_write`] /
@@ -363,6 +387,8 @@ impl StoreBuilder {
             read_cache_entries: self.read_cache_entries,
             repair_timeout: self.repair_timeout,
             repair_log_cap: self.repair_log_cap,
+            trace: self.trace,
+            trace_events: self.trace_events,
         };
         let topo = if self.clusters > 1 {
             Topo::Sharded(ShardedCluster::launch_with_plan(

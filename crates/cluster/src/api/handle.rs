@@ -272,4 +272,8 @@ impl Store for StoreClient {
     fn cache_hits(&self) -> u64 {
         delegate!(ref self, c => Store::cache_hits(c.as_ref()))
     }
+
+    fn cache_misses(&self) -> u64 {
+        delegate!(ref self, c => Store::cache_misses(c.as_ref()))
+    }
 }

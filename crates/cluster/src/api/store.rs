@@ -169,6 +169,13 @@ pub trait Store {
     /// phase was skipped. Always 0 unless the store was built with
     /// [`read_cache`](crate::api::StoreBuilder::read_cache).
     fn cache_hits(&self) -> u64;
+
+    /// Cache-enabled reads this handle could **not** serve from its cache
+    /// (absent, stale, or overtaken by a newer committed tag), so the full
+    /// data-transfer phase ran. Always 0 without
+    /// [`read_cache`](crate::api::StoreBuilder::read_cache);
+    /// `cache_hits + cache_misses` is then every completed cached read.
+    fn cache_misses(&self) -> u64;
 }
 
 /// Implements [`Store`] for an engine client type whose inherent methods
@@ -258,6 +265,10 @@ macro_rules! impl_store_for_engine_client {
 
             fn cache_hits(&self) -> u64 {
                 <$client>::cache_hits(self)
+            }
+
+            fn cache_misses(&self) -> u64 {
+                <$client>::cache_misses(self)
             }
         }
     };

@@ -26,6 +26,7 @@
 //! is where the throughput comes from.
 
 use crate::node::{Admission, Cluster};
+use crate::obs::{phase, EventKind, ObsMetrics, TraceHandle};
 use crate::router::{Envelope, Inbox, RouterHandle};
 use lds_core::messages::{LdsMessage, ProtocolEvent};
 use lds_core::reader::ReaderClient;
@@ -161,6 +162,23 @@ struct QueuedOp {
 struct InFlight {
     ticket: OpTicket,
     submitted: Instant,
+    /// Protocol phase the operation is in (see [`phase`]), advanced when
+    /// the automaton's outgoing messages cross a phase boundary.
+    phase: u64,
+    /// When the current phase started — each boundary records the elapsed
+    /// phase into the cluster's latency histograms.
+    phase_started: Instant,
+}
+
+impl InFlight {
+    fn new(ticket: OpTicket, submitted: Instant) -> InFlight {
+        InFlight {
+            ticket,
+            submitted,
+            phase: phase::TAG,
+            phase_started: Instant::now(),
+        }
+    }
 }
 
 /// A client of a running [`Cluster`] supporting blocking and pipelined
@@ -206,6 +224,15 @@ pub struct ClusterClient {
     /// Objects whose queued ops were skipped for admission in the current
     /// dispatch scan (preserves same-object FIFO across admission retries).
     scratch_deferred: HashSet<ObjectId>,
+    /// The cluster's always-on latency/cache metrics registry.
+    obs: Arc<ObsMetrics>,
+    /// This handle's flight-recorder ring (one branch per record when
+    /// tracing is off).
+    trace: TraceHandle,
+    /// Read-cache hit/miss counts already folded into `obs`, so repeated
+    /// flushes add only the delta.
+    flushed_cache_hits: u64,
+    flushed_cache_misses: u64,
 }
 
 impl ClusterClient {
@@ -229,6 +256,8 @@ impl ClusterClient {
         reader.set_cache_entries(options.read_cache_entries);
         let route = cluster.router().handle();
         let admission = cluster.admission();
+        let obs = Arc::clone(cluster.obs_metrics());
+        let trace = cluster.recorder().handle();
         ClusterClient {
             cluster,
             client_num: id.0,
@@ -252,6 +281,10 @@ impl ClusterClient {
             scratch_events: Vec::with_capacity(8),
             scratch_inbox: Vec::with_capacity(64),
             scratch_deferred: HashSet::new(),
+            obs,
+            trace,
+            flushed_cache_hits: 0,
+            flushed_cache_misses: 0,
         }
     }
 
@@ -278,6 +311,14 @@ impl ClusterClient {
     /// is non-zero.
     pub fn cache_hits(&self) -> u64 {
         self.reader.cache_hits()
+    }
+
+    /// Reads that ran the full data-transfer phase although this handle's
+    /// cache is enabled (the quorum-confirmed tag was newer than — or absent
+    /// from — the cache). Always 0 when the cache is disabled, so
+    /// `hits / (hits + misses)` is a meaningful hit ratio.
+    pub fn cache_misses(&self) -> u64 {
+        self.reader.cache_misses()
     }
 
     /// Operations submitted but not yet harvested: queued + in flight +
@@ -562,13 +603,17 @@ impl ClusterClient {
         let now = self.cluster.elapsed();
         {
             let mut ctx = Context::standalone(self.pid, now, &mut outgoing, &mut events);
-            let in_flight = InFlight { ticket, submitted };
+            let in_flight = InFlight::new(ticket, submitted);
             match kind {
                 OpKind::Write(value) => {
+                    self.trace
+                        .record(EventKind::OpSubmitted, obj.0, 0, ticket.0);
                     let op = self.writer.start_write(obj, value, &mut ctx);
                     self.write_ops.insert(op, in_flight);
                 }
                 OpKind::Read => {
+                    self.trace
+                        .record(EventKind::OpSubmitted, obj.0, 1, ticket.0);
                     let op = self.reader.start_read(obj, &mut ctx);
                     self.read_ops.insert(op, in_flight);
                 }
@@ -616,16 +661,17 @@ impl ClusterClient {
             }
             let q = self.queue.remove(i).expect("index checked");
             let mut ctx = Context::standalone(self.pid, now, &mut outgoing, &mut events);
-            let in_flight = InFlight {
-                ticket: q.ticket,
-                submitted: q.submitted,
-            };
+            let in_flight = InFlight::new(q.ticket, q.submitted);
             match q.kind {
                 OpKind::Write(value) => {
+                    self.trace
+                        .record(EventKind::OpSubmitted, q.obj.0, 0, q.ticket.0);
                     let op = self.writer.start_write(q.obj, value, &mut ctx);
                     self.write_ops.insert(op, in_flight);
                 }
                 OpKind::Read => {
+                    self.trace
+                        .record(EventKind::OpSubmitted, q.obj.0, 1, q.ticket.0);
                     let op = self.reader.start_read(q.obj, &mut ctx);
                     self.read_ops.insert(op, in_flight);
                 }
@@ -661,6 +707,7 @@ impl ClusterClient {
             // Anything else is not addressed to a client automaton.
             _ => {}
         }
+        self.note_phases(&outgoing);
         self.route.send_batch(self.pid, outgoing.drain(..));
         self.scratch_out = outgoing;
         let completed = !events.is_empty();
@@ -672,6 +719,86 @@ impl ClusterClient {
             // Freed slots / objects / admission budget: queued operations may
             // start now.
             self.try_dispatch();
+        }
+    }
+
+    /// Phase stamps: the first PUT-DATA/PUT-STRIPE (write) or QUERY-DATA /
+    /// PUT-TAG (read) an automaton step produced marks a phase boundary for
+    /// its operation — the elapsed phase is recorded into the cluster's
+    /// histograms and the transition traced. The writer fans PUT-DATA out to
+    /// every L1 server, so only the first message of a kind advances the
+    /// phase (later ones see the already-advanced state and do nothing).
+    fn note_phases(&mut self, outgoing: &[(ProcessId, LdsMessage)]) {
+        for (_, msg) in outgoing {
+            match msg {
+                // Write: tag-quorum round done, data transfer starts. The
+                // commit wait (PUT-DATA fan-out through ACK-PUT-DATA quorum)
+                // is part of the data phase — the client only observes the
+                // final ack.
+                LdsMessage::PutData { op, obj, .. } | LdsMessage::PutStripe { op, obj, .. } => {
+                    if let Some(f) = self.write_ops.get_mut(op) {
+                        if f.phase == phase::TAG {
+                            let now = Instant::now();
+                            let us =
+                                now.saturating_duration_since(f.phase_started).as_micros() as u64;
+                            self.obs.record_phase(phase::TAG, us);
+                            f.phase = phase::DATA;
+                            f.phase_started = now;
+                            self.trace
+                                .record(EventKind::OpPhase, obj.0, phase::DATA, f.ticket.0);
+                        }
+                    }
+                }
+                // Read: committed-tag quorum done, data transfer starts.
+                LdsMessage::QueryData { op, obj, .. } => {
+                    if let Some(f) = self.read_ops.get_mut(op) {
+                        if f.phase == phase::TAG {
+                            let now = Instant::now();
+                            let us =
+                                now.saturating_duration_since(f.phase_started).as_micros() as u64;
+                            self.obs.record_phase(phase::TAG, us);
+                            f.phase = phase::DATA;
+                            f.phase_started = now;
+                            self.trace
+                                .record(EventKind::OpPhase, obj.0, phase::DATA, f.ticket.0);
+                        }
+                    }
+                }
+                // Read: value decoded, tag write-back (commit) starts. A
+                // cache-hit read goes straight from the tag phase to the
+                // commit phase — it never transferred data, so only the tag
+                // sample is recorded.
+                LdsMessage::PutTag { op, obj, .. } => {
+                    if let Some(f) = self.read_ops.get_mut(op) {
+                        if f.phase == phase::TAG || f.phase == phase::DATA {
+                            let now = Instant::now();
+                            let us =
+                                now.saturating_duration_since(f.phase_started).as_micros() as u64;
+                            self.obs.record_phase(f.phase, us);
+                            f.phase = phase::COMMIT;
+                            f.phase_started = now;
+                            self.trace
+                                .record(EventKind::OpPhase, obj.0, phase::COMMIT, f.ticket.0);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Folds this handle's read-cache hit/miss counters into the shared
+    /// metrics registry (delta since the previous flush).
+    fn flush_cache_counters(&mut self) {
+        let hits = self.reader.cache_hits();
+        let misses = self.reader.cache_misses();
+        if hits != self.flushed_cache_hits || misses != self.flushed_cache_misses {
+            self.obs.add_cache_traffic(
+                hits - self.flushed_cache_hits,
+                misses - self.flushed_cache_misses,
+            );
+            self.flushed_cache_hits = hits;
+            self.flushed_cache_misses = misses;
         }
     }
 
@@ -695,11 +822,21 @@ impl ClusterClient {
                     // the data-transfer phase if the tag is still current.
                     self.reader.cache_insert(obj, tag, value);
                     self.last_tag = Some(tag);
+                    let latency = now.saturating_duration_since(f.submitted);
+                    // Close the open phase (normally the data phase, which
+                    // includes the commit wait) and the end-to-end sample.
+                    self.obs.record_phase(
+                        f.phase,
+                        now.saturating_duration_since(f.phase_started).as_micros() as u64,
+                    );
+                    let us = latency.as_micros() as u64;
+                    self.obs.write_us.record(us);
+                    self.trace.record(EventKind::OpCompleted, obj.0, 0, us);
                     self.completions.push(Completion {
                         ticket: f.ticket,
                         obj: obj.0,
                         outcome: OpOutcome::Write { tag },
-                        latency: now.saturating_duration_since(f.submitted),
+                        latency,
                     });
                 }
             }
@@ -716,6 +853,17 @@ impl ClusterClient {
                         admission.release(obj);
                     }
                     self.last_tag = Some(tag);
+                    let latency = now.saturating_duration_since(f.submitted);
+                    // Close the open phase (normally the commit phase: the
+                    // PUT-TAG write-back quorum) and the end-to-end sample.
+                    self.obs.record_phase(
+                        f.phase,
+                        now.saturating_duration_since(f.phase_started).as_micros() as u64,
+                    );
+                    let us = latency.as_micros() as u64;
+                    self.obs.read_us.record(us);
+                    self.trace.record(EventKind::OpCompleted, obj.0, 1, us);
+                    self.flush_cache_counters();
                     self.completions.push(Completion {
                         ticket: f.ticket,
                         obj: obj.0,
@@ -723,7 +871,7 @@ impl ClusterClient {
                             tag,
                             value: value.as_bytes().to_vec(),
                         },
-                        latency: now.saturating_duration_since(f.submitted),
+                        latency,
                     });
                 }
             }

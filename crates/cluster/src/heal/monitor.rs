@@ -2,7 +2,9 @@
 
 use super::HealConfig;
 use crate::node::Cluster;
+use crate::obs::{EventKind, TraceHandle};
 use crate::repair::RepairLayer;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -18,8 +20,12 @@ use std::sync::Arc;
 pub(super) fn run_monitor(clusters: &[Arc<Cluster>], config: &HealConfig, stop: &AtomicBool) {
     let threshold_micros =
         config.beat_interval.as_micros() as u64 * u64::from(config.suspicion_intervals);
+    // One flight-recorder handle per cluster shard, so suspicion
+    // *transitions* land in the right shard's trace.
+    let mut traces: Vec<TraceHandle> = clusters.iter().map(|c| c.recorder().handle()).collect();
+    let mut suspected: Vec<HashSet<(RepairLayer, usize)>> = vec![HashSet::new(); clusters.len()];
     while !stop.load(Ordering::Relaxed) {
-        for cluster in clusters {
+        for (ci, cluster) in clusters.iter().enumerate() {
             let Some(state) = cluster.heal_state() else {
                 continue;
             };
@@ -32,7 +38,14 @@ pub(super) fn run_monitor(clusters: &[Arc<Cluster>], config: &HealConfig, stop: 
                 let pid = cluster.server_pid(layer, index);
                 cluster.ping_server(pid);
                 let age = now.saturating_sub(cluster.beat_micros(pid));
-                state.set_suspected(pid, age > threshold_micros);
+                let suspect = age > threshold_micros;
+                state.set_suspected(pid, suspect);
+                let l = matches!(layer, RepairLayer::L2) as u64;
+                if suspect && suspected[ci].insert((layer, index)) {
+                    traces[ci].record(EventKind::HealSuspect, l, index as u64, 0);
+                } else if !suspect && suspected[ci].remove(&(layer, index)) {
+                    traces[ci].record(EventKind::HealClear, l, index as u64, 0);
+                }
             }
         }
         std::thread::sleep(config.beat_interval);

@@ -2,6 +2,7 @@
 
 use super::HealConfig;
 use crate::node::Cluster;
+use crate::obs::{EventKind, TraceHandle};
 use crate::repair::{RepairError, RepairLayer, RepairReport};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -11,6 +12,12 @@ use std::time::{Duration, Instant};
 
 /// One repair target: cluster-shard index plus the server's layer address.
 type TargetKey = (usize, RepairLayer, usize);
+
+/// The layer code of the repair-lifecycle trace events (see
+/// [`EventKind`]'s payload table).
+fn layer_code(layer: RepairLayer) -> u64 {
+    matches!(layer, RepairLayer::L2) as u64
+}
 
 /// Per-target retry state while a target keeps failing to repair.
 struct Backoff {
@@ -70,6 +77,9 @@ pub(super) fn run_supervisor(clusters: &[Arc<Cluster>], config: &HealConfig, sto
     let mut backoffs: HashMap<TargetKey, Backoff> = HashMap::new();
     let mut parked: HashSet<TargetKey> = HashSet::new();
     let mut rng = config.jitter_seed;
+    // One flight-recorder handle per cluster shard for the repair
+    // lifecycle events.
+    let mut traces: Vec<TraceHandle> = clusters.iter().map(|c| c.recorder().handle()).collect();
 
     loop {
         // Reap finished workers first, so their slots free up this scan.
@@ -85,6 +95,12 @@ pub(super) fn run_supervisor(clusters: &[Arc<Cluster>], config: &HealConfig, sto
             match outcome {
                 Ok(_) => {
                     state.count_success();
+                    traces[cluster_index].record(
+                        EventKind::RepairOk,
+                        layer_code(layer),
+                        index as u64,
+                        0,
+                    );
                     state.clear_backoff(layer, index);
                     backoffs.remove(&key);
                 }
@@ -114,6 +130,12 @@ pub(super) fn run_supervisor(clusters: &[Arc<Cluster>], config: &HealConfig, sto
                         next_attempt: Instant::now(),
                     });
                     let delay = backoff_delay(config, entry.failures, &mut rng);
+                    traces[cluster_index].record(
+                        EventKind::RepairBackoff,
+                        layer_code(layer),
+                        index as u64,
+                        delay.as_micros() as u64,
+                    );
                     entry.failures += 1;
                     entry.next_attempt = Instant::now() + delay;
                     state.set_backoff(layer, index, delay);
@@ -155,6 +177,12 @@ pub(super) fn run_supervisor(clusters: &[Arc<Cluster>], config: &HealConfig, sto
                 if cluster.layer_live_count(layer) < cluster.repair_quorum(layer) {
                     if parked.insert(key) {
                         state.count_park();
+                        traces[cluster_index].record(
+                            EventKind::RepairPark,
+                            layer_code(layer),
+                            index as u64,
+                            0,
+                        );
                     }
                     continue;
                 }
@@ -168,6 +196,12 @@ pub(super) fn run_supervisor(clusters: &[Arc<Cluster>], config: &HealConfig, sto
                     break 'scan;
                 }
                 state.count_attempt();
+                traces[cluster_index].record(
+                    EventKind::RepairStart,
+                    layer_code(layer),
+                    index as u64,
+                    0,
+                );
                 let cluster = Arc::clone(cluster);
                 let done_tx = done_tx.clone();
                 let handle = std::thread::Builder::new()

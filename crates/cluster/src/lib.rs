@@ -109,6 +109,7 @@ pub mod api;
 pub mod client;
 pub mod heal;
 pub mod node;
+pub mod obs;
 pub mod repair;
 pub mod router;
 pub mod sharded;
@@ -121,6 +122,7 @@ pub use api::{
 pub use client::{ClientError, ClusterClient, Completion, OpOutcome, OpTicket, WouldBlock};
 pub use heal::HealConfig;
 pub use node::{msgs_per_op_bound, Cluster, ClusterOptions};
+pub use obs::{EventKind, FlightRecorder, HistSnapshot, TraceDump, TraceEvent, TraceHandle};
 pub use repair::{RepairError, RepairLayer, RepairReport};
 pub use router::shard_of;
 pub use sharded::{cluster_of, ShardedClient, ShardedCluster};

@@ -22,14 +22,15 @@
 //! cross-shard stress tests).
 
 use crate::client::ClusterClient;
+use crate::obs::{EventKind, FlightRecorder, ObsMetrics, TraceHandle, DEFAULT_TRACE_EVENTS};
 use crate::repair::{RepairError, RepairLayer, RepairReport};
 use crate::router::{DepthGauge, Envelope, Inbox, Router};
 use lds_core::backend::{make_backend, BackendCodec, BackendKind};
 use lds_core::membership::Membership;
 use lds_core::messages::{LdsMessage, ProtocolEvent};
 use lds_core::params::SystemParams;
-use lds_core::server1::{L1Options, L1Server};
-use lds_core::server2::{L2Options, L2Server};
+use lds_core::server1::{L1ObsCounters, L1Options, L1Server};
+use lds_core::server2::{L2ObsCounters, L2Options, L2Server};
 use lds_core::tag::{ClientId, ObjectId};
 use lds_sim::{Context, Process, ProcessId, SimTime};
 use parking_lot::Mutex;
@@ -89,6 +90,16 @@ pub struct ClusterOptions {
     /// and the drop count is surfaced through
     /// [`crate::api::MetricsSnapshot::repair_reports_dropped`].
     pub repair_log_cap: usize,
+    /// Flight-recorder switch (default off). When on, every server shard,
+    /// client and heal thread records structured protocol events into its
+    /// own bounded ring ([`crate::obs::FlightRecorder`]), merged on demand
+    /// by [`crate::api::Admin::trace_dump`]. When off — the default — every
+    /// recording site pays exactly one cached-flag branch and no ring is
+    /// allocated.
+    pub trace: bool,
+    /// Events retained per recording thread while tracing is on (default
+    /// [`DEFAULT_TRACE_EVENTS`]).
+    pub trace_events: usize,
 }
 
 /// Default for [`ClusterOptions::repair_timeout`].
@@ -109,6 +120,8 @@ impl Default for ClusterOptions {
             read_cache_entries: 0,
             repair_timeout: DEFAULT_REPAIR_TIMEOUT,
             repair_log_cap: DEFAULT_REPAIR_LOG_CAP,
+            trace: false,
+            trace_events: DEFAULT_TRACE_EVENTS,
         }
     }
 }
@@ -138,6 +151,8 @@ impl ClusterOptions {
             read_cache_entries: 0,
             repair_timeout: DEFAULT_REPAIR_TIMEOUT,
             repair_log_cap: DEFAULT_REPAIR_LOG_CAP,
+            trace: false,
+            trace_events: DEFAULT_TRACE_EVENTS,
         }
     }
 }
@@ -359,10 +374,97 @@ impl Admission {
 
 /// Occupancy numbers one server shard publishes whenever its inbox drains
 /// (so reading them never contends with the protocol hot path).
+///
+/// The internals counters (assemblies, GC, message classes) follow the same
+/// idle-publish discipline: they are *absolute* values of the shard's server
+/// automaton, stored wholesale at each publish. A repaired (replacement)
+/// server starts its counters from zero — readers should treat dips as
+/// Prometheus-style counter resets.
 #[derive(Default)]
 struct ShardStats {
     temp_bytes: AtomicUsize,
     metadata_entries: AtomicUsize,
+    /// Peak single-round scratch bytes of the shard's encode buffer pool
+    /// (L1 only; zero on L2 shards).
+    peak_round_bytes: AtomicUsize,
+    assemblies_opened: AtomicU64,
+    assemblies_completed: AtomicU64,
+    /// L1: malformed/mismatched stripe *parts* dropped; L2: whole
+    /// assemblies dropped (GC'd or malformed).
+    assemblies_dropped: AtomicU64,
+    gc_evicted_entries: AtomicU64,
+    gc_evicted_bytes: AtomicU64,
+    /// Messages this shard received, by protocol class (dense
+    /// [`LdsMessage::class_index`] order; heartbeat pings in the final
+    /// slot).
+    msgs_by_class: [AtomicU64; LdsMessage::NUM_CLASSES],
+}
+
+/// Server-internals counters aggregated over every shard of every server,
+/// as last published at idle (see the per-shard `ShardStats` for reset
+/// semantics: counters restart at zero after a repair).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ServerInternals {
+    /// Stripe assemblies opened at L1 (cross-sender PUT-STRIPE reassembly).
+    pub l1_assemblies_opened: u64,
+    /// Stripe assemblies fully reassembled at L1.
+    pub l1_assemblies_completed: u64,
+    /// Malformed or mismatched stripe parts dropped at L1.
+    pub l1_stripe_parts_dropped: u64,
+    /// Code-stripe assemblies opened at L2 (WRITE-CODE-STRIPE reassembly).
+    pub l2_assemblies_opened: u64,
+    /// Code-stripe assemblies fully reassembled at L2.
+    pub l2_assemblies_completed: u64,
+    /// Whole assemblies dropped at L2 (superseded or malformed).
+    pub l2_assemblies_dropped: u64,
+    /// Temporary-store entries garbage-collected below the committed tag.
+    pub gc_evicted_entries: u64,
+    /// Value bytes released by committed-tag garbage collection.
+    pub gc_evicted_bytes: u64,
+    /// Largest single-round scratch footprint any L1 shard's encode buffer
+    /// pool ever reached, in bytes.
+    pub peak_round_bytes: usize,
+    /// Messages received across all server shards, by protocol class
+    /// (dense [`LdsMessage::class_index`] order, heartbeat pings last —
+    /// pair with [`crate::transport::MESSAGE_CLASSES`] for names).
+    pub msgs_by_class: [u64; LdsMessage::NUM_CLASSES],
+}
+
+/// Per-thread observability context threaded through [`run_node`]: this
+/// shard's flight-recorder handle plus locally accumulated message-class
+/// counts, published to the shard's stats slots only when the inbox drains
+/// (the same idle-publish discipline as the occupancy gauges — counting on
+/// the hot path is a plain array increment).
+pub(crate) struct NodeObs {
+    trace: TraceHandle,
+    class_counts: [u64; LdsMessage::NUM_CLASSES],
+    stats: Arc<ShardStats>,
+}
+
+impl NodeObs {
+    fn new(trace: TraceHandle, stats: Arc<ShardStats>) -> Self {
+        NodeObs {
+            trace,
+            class_counts: [0; LdsMessage::NUM_CLASSES],
+            stats,
+        }
+    }
+
+    #[inline]
+    fn count(&mut self, msg: &LdsMessage) {
+        self.class_counts[msg.class_index()] += 1;
+    }
+
+    #[inline]
+    fn count_ping(&mut self) {
+        self.class_counts[LdsMessage::NUM_CLASSES - 1] += 1;
+    }
+
+    fn publish_classes(&self) {
+        for (slot, &count) in self.stats.msgs_by_class.iter().zip(&self.class_counts) {
+            slot.store(count, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Bounded history of successful repairs: a ring buffer capped at
@@ -407,6 +509,7 @@ impl RepairLog {
 /// the COMMIT-TAG broadcasts of every write in it — coalesces into one
 /// multi-message envelope per peer (see
 /// [`crate::router::RouterHandle::send_batch`]).
+#[allow(clippy::too_many_arguments)]
 fn run_node<P>(
     mut process: P,
     pid: ProcessId,
@@ -414,7 +517,8 @@ fn run_node<P>(
     inbox: Inbox,
     started: Instant,
     beat: Arc<AtomicU64>,
-    publish: impl Fn(&P),
+    mut obs: NodeObs,
+    mut publish: impl FnMut(&P, &mut NodeObs),
 ) where
     P: Process<LdsMessage, ProtocolEvent>,
 {
@@ -431,6 +535,7 @@ fn run_node<P>(
         depth: &DepthGauge,
         outgoing: &mut Vec<(ProcessId, LdsMessage)>,
         events: &mut Vec<(SimTime, ProcessId, ProtocolEvent)>,
+        obs: &mut NodeObs,
         envelope: Envelope,
     ) -> bool {
         let mut step = |from: ProcessId, msg: LdsMessage| {
@@ -444,14 +549,16 @@ fn run_node<P>(
             // A heartbeat probe: the wake-up itself is the beat (the caller
             // refreshes the beat timestamp each iteration); no protocol work
             // and no depth accounting.
-            Envelope::Ping => {}
+            Envelope::Ping => obs.count_ping(),
             Envelope::Protocol { from, msg } => {
                 depth.sub(1);
+                obs.count(&msg);
                 step(from, msg);
             }
             Envelope::Batch { from, msgs } => {
                 depth.sub(msgs.len());
                 for msg in msgs {
+                    obs.count(&msg);
                     step(from, msg);
                 }
             }
@@ -464,7 +571,8 @@ fn run_node<P>(
         // contends with the protocol hot path. The beat timestamp proves
         // this shard reached its inbox again: the heartbeat monitor's pings
         // force even idle (blocked) shards through here once per interval.
-        publish(&process);
+        publish(&process, &mut obs);
+        obs.publish_classes();
         beat.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
         let first = match inbox.rx.recv() {
             Ok(e) => e,
@@ -480,6 +588,7 @@ fn run_node<P>(
             &inbox.depth,
             &mut outgoing,
             &mut events,
+            &mut obs,
             first,
         );
         if !stop {
@@ -493,6 +602,7 @@ fn run_node<P>(
                     &inbox.depth,
                     &mut outgoing,
                     &mut events,
+                    &mut obs,
                     envelope,
                 ) {
                     stop = true;
@@ -500,12 +610,23 @@ fn run_node<P>(
                 }
             }
         }
+        if obs.trace.enabled() {
+            for (dest, msg) in &outgoing {
+                obs.trace.record(
+                    EventKind::RouterSend,
+                    msg.class_index() as u64,
+                    pid.0 as u64,
+                    dest.0 as u64,
+                );
+            }
+        }
         handle.send_batch(pid, outgoing.drain(..));
         if stop {
             break 'run;
         }
     }
-    publish(&process);
+    publish(&process, &mut obs);
+    obs.publish_classes();
     router.deregister(pid);
 }
 
@@ -550,11 +671,21 @@ pub struct Cluster {
     /// Per L1 server, per shard occupancy stats. The `Arc`s survive repair:
     /// a replacement server publishes into the same slots.
     l1_stats: Vec<Vec<Arc<ShardStats>>>,
+    /// Per L2 server, per shard internals stats (same slot-reuse discipline
+    /// as `l1_stats`).
+    l2_stats: Vec<Vec<Arc<ShardStats>>>,
     /// Per L1 server, per shard inbox depth gauges. Reused (reset) across
     /// repair so the admission state keeps reading live gauges.
     l1_inboxes: Arc<Vec<Vec<Arc<DepthGauge>>>>,
     /// Backpressure admission state (bounded-inbox mode only).
     admission: Option<Admission>,
+    /// Structured-event flight recorder shared by every thread of the
+    /// cluster (server shards, clients, transport, heal). Disabled — and
+    /// ring-free — unless [`ClusterOptions::trace`] is set.
+    recorder: Arc<FlightRecorder>,
+    /// Always-on latency histograms and cache counters, recorded by
+    /// clients and snapshotted through [`crate::api::Admin::metrics`].
+    obs: Arc<ObsMetrics>,
 }
 
 /// Spawns the worker-shard threads of one L1 server (fresh or replacement).
@@ -570,6 +701,7 @@ fn spawn_l1_shards(
     started: Instant,
     beat: &Arc<AtomicU64>,
     stats: &[Arc<ShardStats>],
+    recorder: &Arc<FlightRecorder>,
     inboxes: Vec<Inbox>,
     rebuild: Option<(usize, ProcessId)>,
 ) -> Vec<JoinHandle<()>> {
@@ -598,12 +730,18 @@ fn spawn_l1_shards(
             ),
         };
         let stats = Arc::clone(&stats[s]);
+        let trace = recorder.handle();
         let router = router.clone();
         let beat = Arc::clone(beat);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("lds-l1-{j}.{s}"))
                 .spawn(move || {
+                    let obs = NodeObs::new(trace, Arc::clone(&stats));
+                    // Previously published internals counters, so tracing
+                    // can emit per-wake-up *deltas* as coarse events (the
+                    // hot path itself is never touched).
+                    let mut prev = L1ObsCounters::default();
                     run_node(
                         server,
                         pid,
@@ -611,13 +749,59 @@ fn spawn_l1_shards(
                         inbox,
                         started,
                         beat,
-                        move |p: &L1Server| {
+                        obs,
+                        move |p: &L1Server, obs: &mut NodeObs| {
                             stats
                                 .temp_bytes
                                 .store(p.temporary_storage_bytes(), Ordering::Relaxed);
                             stats
                                 .metadata_entries
                                 .store(p.metadata_entries(), Ordering::Relaxed);
+                            stats
+                                .peak_round_bytes
+                                .store(p.pool_stats().peak_round_bytes, Ordering::Relaxed);
+                            let c = p.obs_counters();
+                            stats
+                                .assemblies_opened
+                                .store(c.assemblies_opened, Ordering::Relaxed);
+                            stats
+                                .assemblies_completed
+                                .store(c.assemblies_completed, Ordering::Relaxed);
+                            stats
+                                .assemblies_dropped
+                                .store(c.assembly_parts_dropped, Ordering::Relaxed);
+                            stats
+                                .gc_evicted_entries
+                                .store(c.gc_evicted_entries, Ordering::Relaxed);
+                            stats
+                                .gc_evicted_bytes
+                                .store(c.gc_evicted_bytes, Ordering::Relaxed);
+                            if obs.trace.enabled() {
+                                let p = pid.0 as u64;
+                                let opened = c.assemblies_opened - prev.assemblies_opened;
+                                if opened > 0 {
+                                    obs.trace.record(EventKind::StripeOpen, p, opened, 0);
+                                }
+                                let done = c.assemblies_completed - prev.assemblies_completed;
+                                if done > 0 {
+                                    obs.trace.record(EventKind::StripeComplete, p, done, 0);
+                                }
+                                let dropped =
+                                    c.assembly_parts_dropped - prev.assembly_parts_dropped;
+                                if dropped > 0 {
+                                    obs.trace.record(EventKind::StripeDrop, p, dropped, 0);
+                                }
+                                let gc = c.gc_evicted_entries - prev.gc_evicted_entries;
+                                if gc > 0 {
+                                    obs.trace.record(
+                                        EventKind::GcEvict,
+                                        p,
+                                        gc,
+                                        c.gc_evicted_bytes - prev.gc_evicted_bytes,
+                                    );
+                                }
+                                prev = c;
+                            }
                         },
                     )
                 })
@@ -638,6 +822,8 @@ fn spawn_l2_shards(
     router: &Router,
     started: Instant,
     beat: &Arc<AtomicU64>,
+    stats: &[Arc<ShardStats>],
+    recorder: &Arc<FlightRecorder>,
     inboxes: Vec<Inbox>,
     rebuild: Option<(usize, ProcessId)>,
 ) -> Vec<JoinHandle<()>> {
@@ -655,12 +841,54 @@ fn spawn_l2_shards(
                 report_to,
             ),
         };
+        let stats = Arc::clone(&stats[s]);
+        let trace = recorder.handle();
         let router = router.clone();
         let beat = Arc::clone(beat);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("lds-l2-{i}.{s}"))
-                .spawn(move || run_node(server, pid, router, inbox, started, beat, |_| {}))
+                .spawn(move || {
+                    let obs = NodeObs::new(trace, Arc::clone(&stats));
+                    let mut prev = L2ObsCounters::default();
+                    run_node(
+                        server,
+                        pid,
+                        router,
+                        inbox,
+                        started,
+                        beat,
+                        obs,
+                        move |p: &L2Server, obs: &mut NodeObs| {
+                            let c = p.obs_counters();
+                            stats
+                                .assemblies_opened
+                                .store(c.assemblies_opened, Ordering::Relaxed);
+                            stats
+                                .assemblies_completed
+                                .store(c.assemblies_completed, Ordering::Relaxed);
+                            stats
+                                .assemblies_dropped
+                                .store(c.assemblies_dropped, Ordering::Relaxed);
+                            if obs.trace.enabled() {
+                                let p = pid.0 as u64;
+                                let opened = c.assemblies_opened - prev.assemblies_opened;
+                                if opened > 0 {
+                                    obs.trace.record(EventKind::StripeOpen, p, opened, 0);
+                                }
+                                let done = c.assemblies_completed - prev.assemblies_completed;
+                                if done > 0 {
+                                    obs.trace.record(EventKind::StripeComplete, p, done, 0);
+                                }
+                                let dropped = c.assemblies_dropped - prev.assemblies_dropped;
+                                if dropped > 0 {
+                                    obs.trace.record(EventKind::StripeDrop, p, dropped, 0);
+                                }
+                                prev = c;
+                            }
+                        },
+                    )
+                })
                 .expect("spawn L2 thread"),
         );
     }
@@ -737,6 +965,8 @@ impl Cluster {
         // the canonical quorums) so the first client operation runs at
         // steady-state speed.
         backend.warm_plans();
+        let recorder = FlightRecorder::new(options.trace, options.trace_events);
+        let obs = ObsMetrics::new();
         let l1: Vec<ProcessId> = (0..params.n1()).map(ProcessId).collect();
         let l2: Vec<ProcessId> = (params.n1()..params.n1() + params.n2())
             .map(ProcessId)
@@ -745,12 +975,17 @@ impl Cluster {
         let router = match fault_plan {
             None => Router::new(),
             Some(plan) => {
-                Router::with_transport(Arc::new(crate::transport::SimTransport::new(plan, &params)))
+                let transport = Arc::new(crate::transport::SimTransport::new(plan, &params));
+                if recorder.enabled() {
+                    transport.attach_trace(recorder.handle());
+                }
+                Router::with_transport(transport)
             }
         };
         let started = Instant::now();
         let mut handles: HashMap<ProcessId, Vec<JoinHandle<()>>> = HashMap::new();
         let mut l1_stats = Vec::with_capacity(params.n1());
+        let mut l2_stats = Vec::with_capacity(params.n2());
         let mut l1_inboxes = Vec::with_capacity(params.n1());
         let beats: Vec<Arc<AtomicU64>> = (0..params.n1() + params.n2())
             .map(|_| Arc::new(AtomicU64::new(0)))
@@ -777,6 +1012,7 @@ impl Cluster {
                     started,
                     &beats[pid.0],
                     &stats,
+                    &recorder,
                     inboxes,
                     None,
                 ),
@@ -785,6 +1021,9 @@ impl Cluster {
             l1_inboxes.push(gauges);
         }
         for (i, &pid) in l2.iter().enumerate() {
+            let stats: Vec<Arc<ShardStats>> = (0..options.l2_shards)
+                .map(|_| Arc::new(ShardStats::default()))
+                .collect();
             let inboxes = router.register_sharded(pid, options.l2_shards);
             handles.insert(
                 pid,
@@ -797,10 +1036,13 @@ impl Cluster {
                     &router,
                     started,
                     &beats[pid.0],
+                    &stats,
+                    &recorder,
                     inboxes,
                     None,
                 ),
             );
+            l2_stats.push(stats);
         }
 
         let l1_inboxes = Arc::new(l1_inboxes);
@@ -823,8 +1065,11 @@ impl Cluster {
             started,
             options,
             l1_stats,
+            l2_stats,
             l1_inboxes,
             admission,
+            recorder,
+            obs,
         }))
     }
 
@@ -857,6 +1102,46 @@ impl Cluster {
 
     pub(crate) fn admission(&self) -> Option<Admission> {
         self.admission.clone()
+    }
+
+    /// The cluster's flight recorder (disabled unless started with
+    /// [`ClusterOptions::trace`]).
+    pub(crate) fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// The cluster's always-on latency/cache metrics registry.
+    pub(crate) fn obs_metrics(&self) -> &Arc<ObsMetrics> {
+        &self.obs
+    }
+
+    /// Server-internals counters aggregated across every shard of both
+    /// layers, as last published at idle. Counters of a repaired server
+    /// restart from zero (Prometheus-style reset).
+    pub(crate) fn server_internals(&self) -> ServerInternals {
+        let mut out = ServerInternals::default();
+        for stats in self.l1_stats.iter().flatten() {
+            out.l1_assemblies_opened += stats.assemblies_opened.load(Ordering::Relaxed);
+            out.l1_assemblies_completed += stats.assemblies_completed.load(Ordering::Relaxed);
+            out.l1_stripe_parts_dropped += stats.assemblies_dropped.load(Ordering::Relaxed);
+            out.gc_evicted_entries += stats.gc_evicted_entries.load(Ordering::Relaxed);
+            out.gc_evicted_bytes += stats.gc_evicted_bytes.load(Ordering::Relaxed);
+            out.peak_round_bytes = out
+                .peak_round_bytes
+                .max(stats.peak_round_bytes.load(Ordering::Relaxed));
+            for (total, slot) in out.msgs_by_class.iter_mut().zip(&stats.msgs_by_class) {
+                *total += slot.load(Ordering::Relaxed);
+            }
+        }
+        for stats in self.l2_stats.iter().flatten() {
+            out.l2_assemblies_opened += stats.assemblies_opened.load(Ordering::Relaxed);
+            out.l2_assemblies_completed += stats.assemblies_completed.load(Ordering::Relaxed);
+            out.l2_assemblies_dropped += stats.assemblies_dropped.load(Ordering::Relaxed);
+            for (total, slot) in out.msgs_by_class.iter_mut().zip(&stats.msgs_by_class) {
+                *total += slot.load(Ordering::Relaxed);
+            }
+        }
+        out
     }
 
     /// Bytes of values held in the temporary storage of L1 server `index`
@@ -1274,6 +1559,7 @@ impl Cluster {
                     self.started,
                     &self.beats[pid.0],
                     &self.l1_stats[index],
+                    &self.recorder,
                     inboxes,
                     Some((expected_dones, report_to)),
                 );
@@ -1291,6 +1577,8 @@ impl Cluster {
                     &self.router,
                     self.started,
                     &self.beats[pid.0],
+                    &self.l2_stats[index],
+                    &self.recorder,
                     inboxes,
                     Some((expected_dones, report_to)),
                 );

@@ -1,0 +1,301 @@
+//! Log-bucketed latency histograms: fixed buckets, atomic recording, no
+//! allocation on the hot path, mergeable snapshots.
+//!
+//! The bucket layout is HDR-style: values `0..16` (microseconds) get one
+//! bucket each, and every power-of-two octave above that is split into 8
+//! sub-buckets of equal width. The relative quantization error is therefore
+//! bounded by 1/8 = 12.5% everywhere above the linear range and zero inside
+//! it, with a fixed total of [`NUM_BUCKETS`] buckets covering the whole
+//! `u64` microsecond domain (no overflow bucket needed; the top octaves
+//! saturate their bound arithmetic instead).
+//!
+//! [`Histogram::record`] is two relaxed `fetch_add`s — safe to call from any
+//! thread, never allocates, never locks. [`HistSnapshot`] is the frozen
+//! read-side view: mergeable across shards (element-wise add), diffable
+//! against an earlier snapshot (to exclude warmup windows from benchmark
+//! numbers), and queryable for nearest-rank percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One bucket per value in the exact linear range `0..LINEAR_BUCKETS`.
+pub const LINEAR_BUCKETS: usize = 16;
+
+/// Sub-buckets per power-of-two octave above the linear range.
+pub const SUB_BUCKETS: usize = 8;
+
+/// Octaves above the linear range: values with a top bit in `4..64`.
+const OCTAVES: usize = 60;
+
+/// Total bucket count. Every `u64` value maps into exactly one bucket.
+pub const NUM_BUCKETS: usize = LINEAR_BUCKETS + OCTAVES * SUB_BUCKETS;
+
+/// The bucket index recording value `v` (microseconds).
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_BUCKETS as u64 {
+        v as usize
+    } else {
+        // Top set bit is in 4..64; octave k counts from the first
+        // non-linear octave, the 3 bits below the top bit pick the
+        // sub-bucket.
+        let top = 63 - v.leading_zeros() as usize;
+        let k = top - 4;
+        let offset = ((v >> (top - 3)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        LINEAR_BUCKETS + k * SUB_BUCKETS + offset
+    }
+}
+
+/// The smallest value that maps into bucket `i` (saturating in the top
+/// octaves where the exact bound exceeds `u64`).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < LINEAR_BUCKETS {
+        i as u64
+    } else {
+        let k = (i - LINEAR_BUCKETS) / SUB_BUCKETS;
+        let offset = ((i - LINEAR_BUCKETS) % SUB_BUCKETS) as u128;
+        let base = 1u128 << (k + 4);
+        let width = 1u128 << (k + 1);
+        u64::try_from(base + offset * width).unwrap_or(u64::MAX)
+    }
+}
+
+/// The exclusive upper bound of bucket `i` (saturating at `u64::MAX`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower_bound(i + 1)
+    }
+}
+
+/// A fixed-bucket concurrent histogram of microsecond values.
+///
+/// Construction allocates the bucket array once; recording is wait-free
+/// (two relaxed atomic adds) and safe from any number of threads.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (microseconds). Wait-free, no allocation.
+    #[inline]
+    pub fn record(&self, value_us: u64) {
+        self.buckets[bucket_index(value_us)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value_us, Ordering::Relaxed);
+    }
+
+    /// A frozen copy of the current counts.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: per-bucket counts plus the sum of recorded values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Vec<u64>,
+    /// Sum of every recorded value (microseconds).
+    pub sum: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// A snapshot with no recorded values.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Element-wise accumulation of `other` into `self` (commutative and
+    /// associative — merging per-shard snapshots in any order yields the
+    /// same totals).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// The values recorded *since* `earlier` was taken from the same
+    /// histogram (saturating per bucket, so a mismatched pair cannot
+    /// underflow).
+    pub fn diff(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter())
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
+    /// Nearest-rank percentile (`p` in `0..=100`), reported as the midpoint
+    /// of the bucket holding that rank — exact in the linear range, within
+    /// 12.5% above it. Returns 0 for an empty snapshot.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = bucket_lower_bound(i);
+                let hi = bucket_upper_bound(i);
+                return lo + (hi - lo) / 2;
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    /// The non-empty buckets as `(exclusive upper bound in µs, count)`
+    /// pairs in increasing bound order — the sparse form a Prometheus
+    /// histogram exposition is built from.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        for v in 0..LINEAR_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bounds_round_trip() {
+        for i in 0..NUM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            let hi = bucket_upper_bound(i);
+            if hi != u64::MAX && hi > lo {
+                assert_eq!(bucket_index(hi - 1), i, "last value of bucket {i}");
+                assert_eq!(bucket_index(hi), i + 1, "first value past bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_strictly_increasing_until_saturation() {
+        let mut prev = 0u64;
+        for i in 1..NUM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            if lo == u64::MAX {
+                break;
+            }
+            assert!(lo > prev, "bucket {i} bound {lo} after {prev}");
+            prev = lo;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for shift in 4..40u32 {
+            let v = (1u64 << shift) + (1u64 << (shift - 1)) + 3;
+            let i = bucket_index(v);
+            let width = bucket_upper_bound(i) - bucket_lower_bound(i);
+            assert!(
+                (width as f64) / (v as f64) <= 0.125 + 1e-9,
+                "bucket width {width} too wide for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_count_sum_percentile() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 1000, 1000, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.sum, 1 + 2 + 3 + 3000 + 1_000_000);
+        // p50 falls in the bucket containing 1000 (within 12.5%).
+        let p50 = s.percentile(50.0) as f64;
+        assert!((p50 - 1000.0).abs() / 1000.0 <= 0.125, "p50 = {p50}");
+        // p100 falls in the bucket containing the max.
+        let p100 = s.percentile(100.0) as f64;
+        assert!((p100 - 1e6).abs() / 1e6 <= 0.125, "p100 = {p100}");
+    }
+
+    #[test]
+    fn merge_and_diff() {
+        let h1 = Histogram::new();
+        let h2 = Histogram::new();
+        h1.record(5);
+        h1.record(100);
+        h2.record(5);
+        let early = h1.snapshot();
+        h1.record(7);
+        let late = h1.snapshot();
+        let window = late.diff(&early);
+        assert_eq!(window.count(), 1);
+        assert_eq!(window.sum, 7);
+        let mut merged = h1.snapshot();
+        merged.merge(&h2.snapshot());
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.sum, 5 + 100 + 7 + 5);
+    }
+
+    #[test]
+    fn nonzero_buckets_are_sparse_and_ordered() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(42);
+        h.record(42);
+        h.record(1 << 30);
+        let nz = h.snapshot().nonzero_buckets();
+        assert_eq!(nz.len(), 3);
+        assert_eq!(nz.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+        assert!(nz.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Observability: the flight recorder and the histogram metrics registry.
+//!
+//! Two instruments with different cost models:
+//!
+//! * The **metrics registry** ([`ObsMetrics`]) is always on. It holds
+//!   log-bucketed latency [`Histogram`]s (per-phase and end-to-end client
+//!   latencies) plus the read-cache hit/miss counters; recording is a pair
+//!   of relaxed atomic adds per sample, so the registry needs no off
+//!   switch. Snapshots fold into [`crate::MetricsSnapshot`] and the
+//!   Prometheus exposition.
+//! * The **flight recorder** ([`FlightRecorder`]) is opt-in
+//!   ([`crate::api::StoreBuilder::trace`]). When off, every recording site
+//!   pays exactly one cached-flag branch — the same trick the router uses
+//!   for its transport `faulty` flag. When on, each thread appends
+//!   structured events to its own bounded ring; [`crate::api::Admin::
+//!   trace_dump`] merges the rings into a time-ordered JSONL-exportable
+//!   [`TraceDump`].
+//!
+//! The event taxonomy (what is recorded where) is documented on
+//! [`EventKind`]; ARCHITECTURE.md's "Observability" section walks the
+//! design.
+
+pub mod hist;
+pub mod recorder;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use recorder::{
+    EventKind, FlightRecorder, TraceDump, TraceEvent, TraceHandle, DEFAULT_TRACE_EVENTS,
+};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Client-op phase codes carried by [`EventKind::OpPhase`] events and used
+/// to pick the phase histogram.
+pub mod phase {
+    /// Tag discovery: the first quorum round (`QUERY-TAG` / `QUERY-COMM-TAG`).
+    pub const TAG: u64 = 0;
+    /// Data transfer: `PUT-DATA`/`PUT-STRIPE` out (writes) or `QUERY-DATA`
+    /// in flight (reads).
+    pub const DATA: u64 = 1;
+    /// Commit: the read's `PUT-TAG` write-back round. A write's commit wait
+    /// is folded into its data phase — the client only observes the final
+    /// `ACK-PUT-DATA`, which the servers send after commit.
+    pub const COMMIT: u64 = 2;
+}
+
+/// The always-on per-cluster metrics registry: end-to-end and per-phase
+/// client latency histograms plus read-cache traffic counters. Shared by
+/// every client of a [`crate::Cluster`]; recording is wait-free.
+pub struct ObsMetrics {
+    /// End-to-end write latency (µs), submit to completion.
+    pub write_us: Histogram,
+    /// End-to-end read latency (µs).
+    pub read_us: Histogram,
+    /// Tag-discovery phase latency (µs), writes and reads combined.
+    pub phase_tag_us: Histogram,
+    /// Data-transfer phase latency (µs). For writes this includes the
+    /// commit wait (see [`phase::COMMIT`]).
+    pub phase_data_us: Histogram,
+    /// Read commit (`PUT-TAG` round) latency (µs).
+    pub phase_commit_us: Histogram,
+    /// Read-cache hits folded in from completed client reads.
+    pub cache_hits: AtomicU64,
+    /// Read-cache misses folded in from completed client reads.
+    pub cache_misses: AtomicU64,
+}
+
+impl ObsMetrics {
+    /// An empty registry.
+    pub fn new() -> Arc<ObsMetrics> {
+        Arc::new(ObsMetrics {
+            write_us: Histogram::new(),
+            read_us: Histogram::new(),
+            phase_tag_us: Histogram::new(),
+            phase_data_us: Histogram::new(),
+            phase_commit_us: Histogram::new(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Records one phase sample (µs) into the histogram `code` names.
+    #[inline]
+    pub fn record_phase(&self, code: u64, us: u64) {
+        match code {
+            phase::DATA => self.phase_data_us.record(us),
+            phase::COMMIT => self.phase_commit_us.record(us),
+            _ => self.phase_tag_us.record(us),
+        }
+    }
+
+    /// Adds read-cache traffic observed by one client.
+    #[inline]
+    pub fn add_cache_traffic(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_codes_route_to_their_histograms() {
+        let m = ObsMetrics::new();
+        m.record_phase(phase::TAG, 10);
+        m.record_phase(phase::DATA, 20);
+        m.record_phase(phase::DATA, 30);
+        m.record_phase(phase::COMMIT, 40);
+        assert_eq!(m.phase_tag_us.snapshot().count(), 1);
+        assert_eq!(m.phase_data_us.snapshot().count(), 2);
+        assert_eq!(m.phase_commit_us.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn cache_traffic_accumulates() {
+        let m = ObsMetrics::new();
+        m.add_cache_traffic(3, 1);
+        m.add_cache_traffic(0, 2);
+        assert_eq!(m.cache_hits.load(Ordering::Relaxed), 3);
+        assert_eq!(m.cache_misses.load(Ordering::Relaxed), 3);
+    }
+}

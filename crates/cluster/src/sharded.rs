@@ -413,6 +413,12 @@ impl ShardedClient {
         self.clients.iter().map(ClusterClient::cache_hits).sum()
     }
 
+    /// Cache-enabled reads that ran the full data-transfer phase (summed
+    /// across shards; the complement of [`ShardedClient::cache_hits`]).
+    pub fn cache_misses(&self) -> u64 {
+        self.clients.iter().map(ClusterClient::cache_misses).sum()
+    }
+
     // ------------------------------------------------------------------
     // Pipelined API (mirrors `ClusterClient`).
     // ------------------------------------------------------------------

@@ -13,8 +13,9 @@
 //! router's [`DirectSender`] — re-injection bypasses `decide`, so a delayed
 //! message cannot be faulted twice.
 
-use super::plan::{Endpoint, FaultPlan, PartitionDirection};
+use super::plan::{Endpoint, FaultPlan, PartitionDirection, MESSAGE_CLASSES};
 use super::{Decision, FaultCounters, Transport};
+use crate::obs::{EventKind, TraceHandle};
 use crate::router::DirectSender;
 use lds_core::messages::LdsMessage;
 use lds_core::params::SystemParams;
@@ -206,6 +207,10 @@ pub struct SimTransport {
     counters: Counters,
     pump: std::sync::Arc<Pump>,
     worker: Mutex<Option<JoinHandle<()>>>,
+    /// Flight-recorder handle for injected faults, attached by the cluster
+    /// when tracing is on. Locked only when a fault actually fires — clean
+    /// deliveries never touch it.
+    trace: Mutex<Option<TraceHandle>>,
 }
 
 impl SimTransport {
@@ -252,6 +257,27 @@ impl SimTransport {
             counters: Counters::default(),
             pump: std::sync::Arc::new(Pump::default()),
             worker: Mutex::new(None),
+            trace: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a flight-recorder handle: every injected fault is recorded
+    /// as a [`EventKind::TransportFault`] event.
+    pub fn attach_trace(&self, handle: TraceHandle) {
+        *self.trace.lock().expect("trace slot poisoned") = Some(handle);
+    }
+
+    /// Records one injected fault (`decision` per the [`EventKind`] payload
+    /// table: 0 drop, 1 duplicate, 2 delay, 3 partition). Cold path — only
+    /// reached when a fault fires.
+    fn trace_fault(&self, decision: u64, to: ProcessId, kind: &str) {
+        let mut slot = self.trace.lock().expect("trace slot poisoned");
+        if let Some(trace) = slot.as_mut() {
+            let class = MESSAGE_CLASSES
+                .iter()
+                .position(|c| *c == kind)
+                .unwrap_or(MESSAGE_CLASSES.len()) as u64;
+            trace.record(EventKind::TransportFault, decision, class, to.0 as u64);
         }
     }
 
@@ -277,6 +303,7 @@ impl SimTransport {
             for partition in &self.partitions {
                 if partition.active(elapsed) && partition.blocks(from, to) {
                     self.counters.partitioned.fetch_add(1, Ordering::Relaxed);
+                    self.trace_fault(3, to, kind);
                     return Decision::Drop;
                 }
             }
@@ -288,15 +315,20 @@ impl SimTransport {
             let r = self.draw();
             return if r < rule.t_drop {
                 self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault(0, to, kind);
                 Decision::Drop
             } else if r < rule.t_dup {
                 self.counters.duplicated.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault(1, to, kind);
                 Decision::Duplicate
             } else if r < rule.t_delay {
                 self.counters.delayed.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault(2, to, kind);
                 Decision::Delay(self.sample_delay(rule, r))
             } else if r < rule.t_reorder {
                 self.counters.reordered.fetch_add(1, Ordering::Relaxed);
+                // A reorder manifests as a (short) delayed redelivery.
+                self.trace_fault(2, to, kind);
                 Decision::Delay(self.sample_delay(rule, r))
             } else {
                 Decision::Deliver

@@ -1,0 +1,126 @@
+//! Property tests for the log-bucketed histogram: bucket-boundary
+//! correctness, merge associativity, and count/percentile sanity — plus a
+//! concurrent-recording smoke test.
+
+use lds_cluster::obs::hist::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, NUM_BUCKETS,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in a bucket whose bounds contain it.
+    #[test]
+    fn value_lands_inside_its_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v, "lower bound of bucket {i}");
+        // The top buckets saturate their upper bound at u64::MAX, which is
+        // inclusive there (every u64 maps somewhere).
+        let hi = bucket_upper_bound(i);
+        prop_assert!(v < hi || hi == u64::MAX, "upper bound of bucket {i}");
+    }
+
+    /// The quantization error is bounded: the bucket holding `v` is never
+    /// wider than `v/8` (outside the exact linear range).
+    #[test]
+    fn relative_error_is_bounded(v in 16u64..(1 << 50)) {
+        let i = bucket_index(v);
+        let width = bucket_upper_bound(i) - bucket_lower_bound(i);
+        prop_assert!(width as f64 <= v as f64 * 0.125 + 1.0, "width {width} at {v}");
+    }
+
+    /// Merging snapshots is associative and commutative: any merge order
+    /// over three recorded populations yields identical totals.
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..40),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..40),
+        zs in proptest::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let snap = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (snap(&xs), snap(&ys), snap(&zs));
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut right = b.clone();
+        right.merge(&c);
+        let mut right_total = a.clone();
+        right_total.merge(&right);
+        // c ∪ b ∪ a (commuted)
+        let mut commuted = c;
+        commuted.merge(&b);
+        commuted.merge(&a);
+        prop_assert_eq!(&left, &right_total);
+        prop_assert_eq!(&left, &commuted);
+        prop_assert_eq!(left.count(), (xs.len() + ys.len() + zs.len()) as u64);
+    }
+
+    /// Count and sum are exact; percentiles bracket the true order
+    /// statistics within the bucket error bound.
+    #[test]
+    fn count_and_percentiles_are_sane(
+        mut vals in proptest::collection::vec(0u64..10_000_000, 1..60),
+        p in 0.0f64..100.0,
+    ) {
+        let h = Histogram::new();
+        let mut sum = 0u64;
+        for &v in &vals {
+            h.record(v);
+            sum += v;
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), vals.len() as u64);
+        prop_assert_eq!(s.sum, sum);
+        // The reported percentile is within one bucket of the true
+        // nearest-rank order statistic.
+        vals.sort_unstable();
+        let rank = ((p / 100.0) * vals.len() as f64).ceil().max(1.0) as usize;
+        let truth = vals[rank - 1];
+        let got = s.percentile(p);
+        let bucket = bucket_index(truth);
+        prop_assert!(
+            got >= bucket_lower_bound(bucket) && got <= bucket_upper_bound(bucket),
+            "p{p} = {got} not in bucket of true value {truth}"
+        );
+    }
+}
+
+/// Concurrent recording from many threads loses nothing: the snapshot's
+/// count and sum equal the totals every thread recorded.
+#[test]
+fn concurrent_recording_is_lossless() {
+    use std::sync::Arc;
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // A spread of values crossing many octaves.
+                    h.record((i * 37 + t as u64) % 1_048_576);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count(), (THREADS as u64) * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS as u64)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (i * 37 + t) % 1_048_576))
+        .sum();
+    assert_eq!(s.sum, expected_sum);
+}

@@ -408,6 +408,43 @@ impl LdsMessage {
     pub fn is_metadata(&self) -> bool {
         self.data_size() == 0
     }
+
+    /// Dense per-class index of this message, aligned with the class-name
+    /// order of the cluster transport's `MESSAGE_CLASSES` (which appends
+    /// `"PING"` — a non-protocol liveness probe — as the final class,
+    /// [`LdsMessage::NUM_CLASSES`]`- 1`). Observability counters index by
+    /// this instead of comparing the [`DataSize::kind`] strings.
+    pub fn class_index(&self) -> usize {
+        match self {
+            LdsMessage::InvokeWrite { .. } => 0,
+            LdsMessage::InvokeRead { .. } => 1,
+            LdsMessage::QueryTag { .. } => 2,
+            LdsMessage::TagResp { .. } => 3,
+            LdsMessage::PutData { .. } => 4,
+            LdsMessage::PutStripe { .. } => 5,
+            LdsMessage::AckPutData { .. } => 6,
+            LdsMessage::BcastSend { .. } => 7,
+            LdsMessage::BcastDeliver { .. } => 8,
+            LdsMessage::QueryCommTag { .. } => 9,
+            LdsMessage::CommTagResp { .. } => 10,
+            LdsMessage::QueryData { .. } => 11,
+            LdsMessage::DataResp { .. } => 12,
+            LdsMessage::PutTag { .. } => 13,
+            LdsMessage::AckPutTag { .. } => 14,
+            LdsMessage::WriteCodeElem { .. } => 15,
+            LdsMessage::WriteCodeStripe { .. } => 16,
+            LdsMessage::AckCodeElem { .. } => 17,
+            LdsMessage::QueryCodeElem { .. } => 18,
+            LdsMessage::SendHelperElem { .. } => 19,
+            LdsMessage::RepairHelp { .. } => 20,
+            LdsMessage::RepairShare { .. } => 21,
+            LdsMessage::RepairDone { .. } => 22,
+        }
+    }
+
+    /// Number of message classes: every [`LdsMessage::class_index`] value
+    /// plus the transport-level `"PING"` probe at index `NUM_CLASSES - 1`.
+    pub const NUM_CLASSES: usize = 24;
 }
 
 impl DataSize for LdsMessage {

@@ -135,6 +135,10 @@ pub struct ReaderClient {
     cache: ReadCache,
     /// Number of reads whose data-transfer phase was skipped on a cache hit.
     cache_hits: u64,
+    /// Number of reads that consulted an *enabled* cache and had to pay the
+    /// data transfer anyway (absent object or stale tag). Disabled caches
+    /// count nothing, so `hits / (hits + misses)` is a meaningful ratio.
+    cache_misses: u64,
 }
 
 impl ReaderClient {
@@ -162,6 +166,7 @@ impl ReaderClient {
             served_from_l1: 0,
             cache: ReadCache::default(),
             cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -175,6 +180,13 @@ impl ReaderClient {
     /// quorum-committed tag matched a cached entry.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// Number of reads that consulted an enabled cache and missed (absent
+    /// object or stale tag), paying the full data transfer. Always zero
+    /// while the cache is disabled.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
     }
 
     /// Records a known committed `(tag, value)` pair for `obj` in the read
@@ -321,6 +333,9 @@ impl ReaderClient {
             };
             ctx.send_all(self.membership.l1.iter().copied(), msg);
             return;
+        }
+        if self.cache.entries > 0 {
+            self.cache_misses += 1;
         }
         current.phase = ReadPhase::GetData;
         let msg = LdsMessage::QueryData {

@@ -213,18 +213,27 @@ impl ObjectState {
     /// PUT-DATA entries whose ack is still outstanding are acknowledged on
     /// the way out — the tag is superseded by a committed higher tag, which
     /// is exactly the `put-data-resp` stale-tag case.
+    ///
+    /// Returns `(entries, bytes)` pruned, for the server's eviction
+    /// counters.
     fn gc_below(
         &mut self,
         obj: ObjectId,
         below: Tag,
         ctx: &mut Context<'_, LdsMessage, ProtocolEvent>,
-    ) {
+    ) -> (u64, u64) {
         let kept = self.list.split_off(&below);
-        self.list = kept;
+        let stale_list = std::mem::replace(&mut self.list, kept);
+        let mut entries = stale_list.len() as u64;
+        let bytes: u64 = stale_list
+            .values()
+            .filter_map(|v| v.as_ref().map(|v| v.len() as u64))
+            .sum();
         self.list.entry(below).or_insert(None);
 
         let kept = self.pending_write.split_off(&below);
         let stale = std::mem::replace(&mut self.pending_write, kept);
+        entries += stale.len() as u64;
         for (tag, (writer, op)) in stale {
             if !self.acked.contains(&tag) {
                 ctx.send(writer, LdsMessage::AckPutData { obj, op, tag });
@@ -232,17 +241,24 @@ impl ObjectState {
         }
 
         let kept = self.commit_count.split_off(&below);
-        self.commit_count = kept;
+        entries += (std::mem::replace(&mut self.commit_count, kept)).len() as u64;
         let kept = self.acked.split_off(&below);
-        self.acked = kept;
+        entries += (std::mem::replace(&mut self.acked, kept)).len() as u64;
         let kept = self.write_counter.split_off(&below);
-        self.write_counter = kept;
+        entries += (std::mem::replace(&mut self.write_counter, kept)).len() as u64;
         let kept = self.offloaded.split_off(&below);
-        self.offloaded = kept;
+        entries += (std::mem::replace(&mut self.offloaded, kept)).len() as u64;
         let kept = self.relayed.split_off(&below);
-        self.relayed = kept;
+        entries += std::mem::replace(&mut self.relayed, kept)
+            .values()
+            .map(|s| s.len() as u64)
+            .sum::<u64>();
         let kept = self.consumed.split_off(&below);
-        self.consumed = kept;
+        entries += std::mem::replace(&mut self.consumed, kept)
+            .values()
+            .map(|s| s.len() as u64)
+            .sum::<u64>();
+        (entries, bytes)
     }
 }
 
@@ -267,6 +283,25 @@ struct L1Rebuild {
     bytes_by_helper: BTreeMap<ProcessId, u64>,
 }
 
+/// Monotonic observability counters an L1 server accumulates as it runs.
+/// Plain `u64`s bumped inside the sans-IO handlers — the hosting runtime
+/// reads them between protocol steps (e.g. when a worker shard idles) and
+/// publishes deltas to its metrics registry.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct L1ObsCounters {
+    /// Striped-write assemblies opened (first part of a new (object, tag)).
+    pub assemblies_opened: u64,
+    /// Assemblies that received all their parts and reassembled.
+    pub assemblies_completed: u64,
+    /// Stripe parts rejected without being buffered (malformed header or a
+    /// stripe-count disagreement with the open assembly).
+    pub assembly_parts_dropped: u64,
+    /// Per-tag metadata entries pruned by committed-tag garbage collection.
+    pub gc_evicted_entries: u64,
+    /// Bytes of temporarily stored values released by garbage collection.
+    pub gc_evicted_bytes: u64,
+}
+
 /// The L1 server automaton.
 pub struct L1Server {
     /// This server's code index `j` (0-based position in the L1 list).
@@ -283,6 +318,8 @@ pub struct L1Server {
     /// from here, so its peak-round accounting *is* the offload's peak
     /// allocation.
     pool: BufPool,
+    /// Monotonic counters for the observability registry.
+    obs: L1ObsCounters,
     /// `Some` while this server is a replacement reconstructing metadata.
     rebuild: Option<L1Rebuild>,
 }
@@ -316,6 +353,7 @@ impl L1Server {
             objects: HashMap::new(),
             stripes: HashMap::new(),
             pool: BufPool::new(),
+            obs: L1ObsCounters::default(),
             rebuild: None,
         }
     }
@@ -420,6 +458,12 @@ impl L1Server {
     /// (one frame scratch plus `n2` element outputs per stripe).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// The server's monotonic observability counters (stripe assembly
+    /// lifecycle, garbage-collection evictions).
+    pub fn obs_counters(&self) -> L1ObsCounters {
+        self.obs
     }
 
     fn state(&mut self, obj: ObjectId) -> &mut ObjectState {
@@ -540,12 +584,13 @@ impl L1Server {
         st.tc = new_tc;
         let value = st.list.get(&new_tc).cloned().flatten();
 
-        match value {
+        let (gc_entries, gc_bytes) = match value {
             Some(v) => {
                 // Serve every registered reader whose requested tag is covered.
                 Self::serve_registered(st, obj, new_tc, &v, ctx);
-                st.gc_below(obj, new_tc, ctx);
+                let gc = st.gc_below(obj, new_tc, ctx);
                 self.write_to_l2(obj, new_tc, &v, ctx);
+                gc
             }
             None => {
                 // Record the committed tag as (t_c, ⊥) even when the value has
@@ -560,9 +605,11 @@ impl L1Server {
                         Self::serve_registered(st, obj, t_bar, &v_bar, ctx);
                     }
                 }
-                st.gc_below(obj, new_tc, ctx);
+                st.gc_below(obj, new_tc, ctx)
             }
-        }
+        };
+        self.obs.gc_evicted_entries += gc_entries;
+        self.obs.gc_evicted_bytes += gc_bytes;
     }
 
     fn serve_registered(
@@ -786,27 +833,34 @@ impl L1Server {
         // release builds too) rather than buffer a part that would complete
         // a corrupt assembly or strand it forever.
         if count == 0 || seq >= count {
+            self.obs.assembly_parts_dropped += 1;
             debug_assert!(false, "malformed stripe header: seq {seq}, count {count}");
             return;
         }
         let by_tag = self.stripes.entry(obj).or_default();
+        let opened = !by_tag.contains_key(&tag);
         let assembly = by_tag.entry(tag).or_insert_with(|| StripeAssembly {
             count,
             parts: BTreeMap::new(),
             from,
             op,
         });
+        if opened {
+            self.obs.assemblies_opened += 1;
+        }
         if assembly.count != count {
             // The stripe count is fixed per logical write (the tag binds the
             // stream to one writer and one value); a disagreeing part would
             // reassemble a corrupt value, so reject it like any other
             // malformed message.
+            self.obs.assembly_parts_dropped += 1;
             return;
         }
         assembly.parts.insert(seq, stripe);
         if assembly.parts.len() < assembly.count as usize {
             return;
         }
+        self.obs.assemblies_completed += 1;
         let assembly = by_tag.remove(&tag).expect("assembly present");
         if by_tag.is_empty() {
             self.stripes.remove(&obj);

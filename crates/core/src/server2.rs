@@ -106,6 +106,22 @@ struct L2Rebuild {
     fallback_bytes: u64,
 }
 
+/// Monotonic observability counters an L2 server accumulates as it runs
+/// (the L2 counterpart of `L1ObsCounters`): striped element-assembly
+/// lifecycle, read by the hosting runtime between protocol steps.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct L2ObsCounters {
+    /// Element assemblies opened (first stripe of a new (object, tag,
+    /// sender) stream).
+    pub assemblies_opened: u64,
+    /// Assemblies that received all their parts and committed an element.
+    pub assemblies_completed: u64,
+    /// Assemblies discarded: superseded by a monolithic `WRITE-CODE-ELEM`
+    /// from the same sender, plus stripe parts rejected unbuffered
+    /// (malformed header or stripe-count disagreement).
+    pub assemblies_dropped: u64,
+}
+
 /// The L2 server automaton.
 pub struct L2Server {
     /// This server's index `i` (0-based position in the L2 list; its code
@@ -118,6 +134,8 @@ pub struct L2Server {
     objects: HashMap<ObjectId, (Tag, Share)>,
     /// Striped elements still being assembled, per object, tag and sender.
     assemblies: HashMap<ObjectId, BTreeMap<(Tag, ProcessId), ElementAssembly>>,
+    /// Monotonic counters for the observability registry.
+    obs: L2ObsCounters,
     /// `Some` while this server is a replacement regenerating from helpers.
     rebuild: Option<L2Rebuild>,
 }
@@ -143,6 +161,7 @@ impl L2Server {
             options,
             objects: HashMap::new(),
             assemblies: HashMap::new(),
+            obs: L2ObsCounters::default(),
             rebuild: None,
         }
     }
@@ -217,6 +236,12 @@ impl L2Server {
             .sum()
     }
 
+    /// The server's monotonic observability counters (element-assembly
+    /// lifecycle).
+    pub fn obs_counters(&self) -> L2ObsCounters {
+        self.obs
+    }
+
     /// Stores `element` for `obj` if `tag` is the highest seen, acking the
     /// write when configured — the single commit point shared by the
     /// monolithic `WRITE-CODE-ELEM` and the completion of a striped stream.
@@ -257,30 +282,35 @@ impl L2Server {
         // it (in release builds too) beats buffering parts that would either
         // complete a corrupt assembly or strand it forever.
         if count == 0 || seq >= count {
+            self.obs.assemblies_dropped += 1;
             debug_assert!(false, "malformed stripe header: seq {seq}, count {count}");
             return;
         }
-        let assembly = self
-            .assemblies
-            .entry(obj)
-            .or_default()
+        let by_key = self.assemblies.entry(obj).or_default();
+        let opened = !by_key.contains_key(&(tag, from));
+        let assembly = by_key
             .entry((tag, from))
             .or_insert_with(|| ElementAssembly {
                 count,
                 parts: BTreeMap::new(),
             });
+        if opened {
+            self.obs.assemblies_opened += 1;
+        }
         if assembly.count != count {
             // The stripe count is fixed per stream; a disagreeing part would
             // silently assemble a corrupt element, so reject it. (Reachable
             // only through a misbehaving sender — one L1 server encodes one
             // value with one stripe size — hence no debug_assert: tolerated
             // like any other malformed message.)
+            self.obs.assemblies_dropped += 1;
             return;
         }
         assembly.parts.insert(seq, part);
         if assembly.parts.len() < assembly.count as usize {
             return;
         }
+        self.obs.assemblies_completed += 1;
         let assembly = self
             .assemblies
             .get_mut(&obj)
@@ -303,7 +333,9 @@ impl L2Server {
     /// whole element monolithically after an encode failure mid-stream).
     fn drop_assembly(&mut self, obj: ObjectId, tag: Tag, sender: ProcessId) {
         if let Some(by_key) = self.assemblies.get_mut(&obj) {
-            by_key.remove(&(tag, sender));
+            if by_key.remove(&(tag, sender)).is_some() {
+                self.obs.assemblies_dropped += 1;
+            }
             if by_key.is_empty() {
                 self.assemblies.remove(&obj);
             }

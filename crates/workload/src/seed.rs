@@ -42,10 +42,25 @@ fn parse_seed(raw: &str) -> Option<u64> {
 /// pass it drops silently, on an assertion failure its `Drop` runs while the
 /// thread is panicking and prints the exact command to re-run the failing
 /// test with the failing seed.
-#[derive(Debug)]
+///
+/// When the store under test has its flight recorder on, arm the guard with
+/// [`ReproGuard::with_trace`] and the failure printout also carries the
+/// recorder's tail — the last events (faults injected, repair lifecycle,
+/// op phases) leading up to the assertion, as JSONL.
 pub struct ReproGuard {
     seed: u64,
     test: String,
+    trace: Option<Box<dyn Fn() -> Option<String> + Send>>,
+}
+
+impl std::fmt::Debug for ReproGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReproGuard")
+            .field("seed", &self.seed)
+            .field("test", &self.test)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
 }
 
 /// Arms a [`ReproGuard`] for the integration test binary named `test`
@@ -54,6 +69,25 @@ pub fn repro_guard(seed: u64, test: &str) -> ReproGuard {
     ReproGuard {
         seed,
         test: test.to_string(),
+        trace: None,
+    }
+}
+
+impl ReproGuard {
+    /// Attaches a flight-recorder tail hook, called only if the test
+    /// panics. The hook returns the tail as JSONL (one event per line), or
+    /// `None` when there is nothing to dump (e.g. tracing was off). Taking
+    /// a closure — not a recorder — keeps this crate decoupled from the
+    /// engine crate:
+    ///
+    /// ```rust,ignore
+    /// let admin = store.admin();
+    /// let _repro = repro_guard(seed, "chaos")
+    ///     .with_trace(move || Some(admin.trace_dump().tail_jsonl(64)));
+    /// ```
+    pub fn with_trace(mut self, hook: impl Fn() -> Option<String> + Send + 'static) -> ReproGuard {
+        self.trace = Some(Box::new(hook));
+        self
     }
 }
 
@@ -64,6 +98,12 @@ impl Drop for ReproGuard {
                 "repro: {}={} cargo test --release --test {} -- --nocapture",
                 CHAOS_SEED_ENV, self.seed, self.test
             );
+            if let Some(tail) = self.trace.as_ref().and_then(|hook| hook()) {
+                if !tail.is_empty() {
+                    eprintln!("flight recorder tail (JSONL):");
+                    eprint!("{tail}");
+                }
+            }
         }
     }
 }

@@ -13,7 +13,7 @@
 //! counters in the metrics snapshot are exercised end to end.
 
 use lds_cluster::api::{ObjectId, ServerRef, Store, StoreBuilder, StoreHandle};
-use lds_cluster::{FaultPlan, FaultRule, HealConfig, OpOutcome, RepairLayer};
+use lds_cluster::{EventKind, FaultPlan, FaultRule, HealConfig, OpOutcome, RepairLayer};
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
 use lds_core::tag::Tag;
@@ -158,6 +158,7 @@ fn self_healing_store_survives_a_seeded_kill_schedule() {
         .backend(BackendKind::Mbr)
         .clusters(CLUSTERS)
         .fault_plan(plan)
+        .trace(true)
         .repair_timeout(Duration::from_secs(10))
         .self_heal_with(HealConfig {
             beat_interval: Duration::from_millis(15),
@@ -170,6 +171,13 @@ fn self_healing_store_survives_a_seeded_kill_schedule() {
         .build()
         .unwrap();
     let admin = store.admin();
+    // Re-arm the guard with the flight recorder: a failure now prints the
+    // repro line *and* the last events (kills seen, faults injected, repair
+    // lifecycle) leading up to the assertion.
+    let _repro = {
+        let admin = admin.clone();
+        _repro.with_trace(move || Some(admin.trace_dump().tail_jsonl(64)))
+    };
 
     // A settled population plus the workload's own objects, so repairs
     // always have committed state to regenerate.
@@ -343,6 +351,30 @@ fn self_healing_store_survives_a_seeded_kill_schedule() {
     );
     assert_eq!(faults.dropped, 0, "a dup/delay-only plan must not drop");
     assert_eq!(faults.partitioned, 0, "no partitions were scheduled");
+
+    // The flight recorder saw the storm end to end: injected transport
+    // faults and the full repair lifecycle survive in the dump (rings are
+    // bounded, but `trace_events` defaults far above this test's volume of
+    // fault/repair events — only high-rate send events wrap).
+    let dump = admin.trace_dump();
+    let count = |kind: EventKind| dump.events().iter().filter(|e| e.kind == kind).count();
+    assert!(
+        count(EventKind::TransportFault) > 0,
+        "the trace must carry the injected transport faults"
+    );
+    assert!(
+        count(EventKind::HealSuspect) > 0
+            && count(EventKind::RepairStart) > 0
+            && count(EventKind::RepairOk) > 0,
+        "the trace must carry the repair lifecycle (suspect -> start -> ok)"
+    );
+
+    // Deliberate-failure knob: `LDS_CHAOS_FAIL=1 cargo test --test chaos`
+    // exercises the failure path end to end — the ReproGuard prints the
+    // seed line plus the flight-recorder tail armed above.
+    if std::env::var("LDS_CHAOS_FAIL").is_ok_and(|v| v == "1") {
+        panic!("deliberate failure requested via LDS_CHAOS_FAIL=1");
+    }
 
     drop(client);
     drop(setup);

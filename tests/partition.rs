@@ -13,7 +13,8 @@
 
 use lds_cluster::api::{ObjectId, ServerRef, Store, StoreBuilder};
 use lds_cluster::{
-    Endpoint, FaultPlan, FaultRule, HealConfig, OpOutcome, PartitionDirection, PartitionSpec,
+    Endpoint, EventKind, FaultPlan, FaultRule, HealConfig, OpOutcome, PartitionDirection,
+    PartitionSpec,
 };
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
@@ -45,8 +46,15 @@ fn a_partitioned_minority_cannot_block_writes_or_reads() {
         .params(params())
         .backend(BackendKind::Mbr)
         .fault_plan(plan)
+        .trace(true)
         .build()
         .unwrap();
+    // On failure the guard prints the repro seed line plus the last trace
+    // events (messages blocked at the split included).
+    let _repro = {
+        let admin = store.admin();
+        _repro.with_trace(move || Some(admin.trace_dump().tail_jsonl(64)))
+    };
 
     let mut client = store.client_with_depth(8);
     client.set_timeout(Duration::from_secs(30));
@@ -91,6 +99,22 @@ fn a_partitioned_minority_cannot_block_writes_or_reads() {
         0,
         "a partition-only plan must not inject probabilistic faults: {faults:?}"
     );
+    // The recorder saw the same story: partition fault events (kind code 3)
+    // and nothing but partitions among the transport faults.
+    let dump = store.admin().trace_dump();
+    let partition_faults = dump
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::TransportFault)
+        .collect::<Vec<_>>();
+    assert!(
+        !partition_faults.is_empty(),
+        "the trace must carry the partition's blocked messages"
+    );
+    assert!(
+        partition_faults.iter().all(|e| e.a == 3),
+        "a partition-only plan must trace only partition faults"
+    );
     store.shutdown();
 }
 
@@ -108,8 +132,13 @@ fn an_outbound_only_partition_looks_like_a_crash_and_is_tolerated() {
         .params(params())
         .backend(BackendKind::Mbr)
         .fault_plan(plan)
+        .trace(true)
         .build()
         .unwrap();
+    let _repro = {
+        let admin = store.admin();
+        _repro.with_trace(move || Some(admin.trace_dump().tail_jsonl(64)))
+    };
     let mut client = store.client();
     client.set_timeout(Duration::from_secs(30));
     for i in 0..10u64 {

@@ -435,7 +435,7 @@ fn prometheus_exposition_is_well_formed() {
             let name = parts.next().expect("TYPE line names a family").to_string();
             let kind = parts.next().expect("TYPE line declares a kind").to_string();
             assert!(
-                matches!(kind.as_str(), "gauge" | "counter"),
+                matches!(kind.as_str(), "gauge" | "counter" | "histogram"),
                 "unexpected kind {kind} for {name}"
             );
             assert!(
@@ -449,8 +449,15 @@ fn prometheus_exposition_is_well_formed() {
                 .split(['{', ' '])
                 .next()
                 .expect("sample line starts with a family name");
+            // Histogram families expose their samples under the
+            // `_bucket`/`_sum`/`_count` suffixes of the declared name.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .filter_map(|s| name.strip_suffix(s))
+                .find(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+                .unwrap_or(name);
             assert!(
-                types.contains_key(name),
+                types.contains_key(family),
                 "sample {line:?} has no preceding # TYPE for {name}"
             );
             let value = line.rsplit(' ').next().unwrap();
