@@ -3,9 +3,9 @@
 
 use crate::api::{StoreError, StoreHandle, Topo};
 use crate::heal::{HealConfig, HealRuntime};
-use crate::node::{Cluster, ClusterOptions};
+use crate::node::{Cluster, ClusterOptions, HostScope};
 use crate::sharded::ShardedCluster;
-use crate::transport::FaultPlan;
+use crate::transport::{FaultPlan, Transport};
 use lds_core::backend::BackendKind;
 use lds_core::params::SystemParams;
 use lds_core::server1::L1Options;
@@ -52,7 +52,7 @@ use std::time::Duration;
 /// let err = StoreBuilder::new().failures(1, 1).code(5, 3).build().unwrap_err();
 /// assert!(matches!(err, StoreError::InvalidConfig(_)));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct StoreBuilder {
     f1: usize,
     f2: usize,
@@ -70,10 +70,31 @@ pub struct StoreBuilder {
     repair_log_cap: usize,
     heal: Option<HealConfig>,
     fault_plan: Option<FaultPlan>,
+    transport: Option<Arc<dyn Transport>>,
+    host_scope: Option<HostScope>,
     trace: bool,
     trace_events: usize,
     l1: L1Options,
     l2: L2Options,
+}
+
+impl std::fmt::Debug for StoreBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreBuilder")
+            .field("f1", &self.f1)
+            .field("f2", &self.f2)
+            .field("k", &self.k)
+            .field("d", &self.d)
+            .field("backend", &self.backend)
+            .field("clusters", &self.clusters)
+            .field("l1_shards", &self.l1_shards)
+            .field("l2_shards", &self.l2_shards)
+            .field("pipeline_depth", &self.pipeline_depth)
+            .field("heal", &self.heal)
+            .field("transport", &self.transport.as_ref().map(|_| "custom"))
+            .field("host_scope", &self.host_scope)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for StoreBuilder {
@@ -95,6 +116,8 @@ impl Default for StoreBuilder {
             repair_log_cap: crate::node::DEFAULT_REPAIR_LOG_CAP,
             heal: None,
             fault_plan: None,
+            transport: None,
+            host_scope: None,
             trace: false,
             trace_events: crate::obs::DEFAULT_TRACE_EVENTS,
             l1: L1Options::default(),
@@ -297,6 +320,28 @@ impl StoreBuilder {
         self
     }
 
+    /// Runs the cluster over an explicit [`Transport`] — the real-network
+    /// path: an [`TcpTransport`](crate::transport::TcpTransport) carries
+    /// every message whose destination pid lives on a peer daemon, while
+    /// locally-hosted pids keep the in-process fast path. Almost always
+    /// paired with [`host_scope`](StoreBuilder::host_scope) so this process
+    /// spawns only its own share of the membership. Mutually exclusive with
+    /// [`fault_plan`](StoreBuilder::fault_plan) and with `clusters > 1`
+    /// (validated at `build()`).
+    pub fn transport(mut self, transport: Arc<dyn Transport>) -> StoreBuilder {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Restricts this process to hosting only the servers named by `scope`
+    /// (a multi-daemon deployment slice — see
+    /// [`HostScope`](crate::node::HostScope)). Requires
+    /// [`transport`](StoreBuilder::transport); validated at `build()`.
+    pub fn host_scope(mut self, scope: HostScope) -> StoreBuilder {
+        self.host_scope = Some(scope);
+        self
+    }
+
     /// Turns on the protocol flight recorder: every server shard, client
     /// and heal thread records structured events (op lifecycle and phase
     /// transitions, router sends, injected transport faults, stripe
@@ -377,6 +422,37 @@ impl StoreBuilder {
         if let Some(plan) = &self.fault_plan {
             plan.validate(&params).map_err(StoreError::InvalidConfig)?;
         }
+        if self.transport.is_some() {
+            if self.fault_plan.is_some() {
+                return Err(StoreError::InvalidConfig(
+                    "transport and fault_plan are mutually exclusive".into(),
+                ));
+            }
+            if self.clusters > 1 {
+                return Err(StoreError::InvalidConfig(
+                    "an explicit transport requires clusters == 1".into(),
+                ));
+            }
+        }
+        if let Some(scope) = &self.host_scope {
+            if self.transport.is_none() {
+                return Err(StoreError::InvalidConfig(
+                    "host_scope requires an explicit transport".into(),
+                ));
+            }
+            if scope.client_step == 0 {
+                return Err(StoreError::InvalidConfig(
+                    "host_scope client_step must be non-zero".into(),
+                ));
+            }
+            if scope.l1.iter().any(|&j| j >= params.n1())
+                || scope.l2.iter().any(|&i| i >= params.n2())
+            {
+                return Err(StoreError::InvalidConfig(
+                    "host_scope names a server index outside the membership".into(),
+                ));
+            }
+        }
         let options = ClusterOptions {
             l1_shards: self.l1_shards,
             l2_shards: self.l2_shards,
@@ -397,6 +473,22 @@ impl StoreBuilder {
                 self.backend,
                 options,
                 self.fault_plan.as_ref(),
+            )?)
+        } else if let Some(transport) = self.transport {
+            // Default scope: every server local (a single-daemon network
+            // deployment, e.g. a lone `ldsd` serving network clients).
+            let scope = self.host_scope.unwrap_or_else(|| HostScope {
+                l1: (0..params.n1()).collect(),
+                l2: (0..params.n2()).collect(),
+                client_base: 1,
+                client_step: 1,
+            });
+            Topo::Single(Cluster::launch_scoped(
+                params,
+                self.backend,
+                options,
+                transport,
+                scope,
             )?)
         } else {
             Topo::Single(Cluster::launch_with_plan(

@@ -36,6 +36,11 @@ pub(super) fn run_monitor(clusters: &[Arc<Cluster>], config: &HealConfig, stop: 
                 .chain((0..params.n2()).map(|i| (RepairLayer::L2, i)));
             for (layer, index) in servers {
                 let pid = cluster.server_pid(layer, index);
+                // On a scoped (multi-daemon) deployment each daemon monitors
+                // only the servers it hosts; peers monitor theirs.
+                if !cluster.hosts_server(pid) {
+                    continue;
+                }
                 cluster.ping_server(pid);
                 let age = now.saturating_sub(cluster.beat_micros(pid));
                 let suspect = age > threshold_micros;

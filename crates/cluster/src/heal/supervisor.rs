@@ -158,6 +158,11 @@ pub(super) fn run_supervisor(clusters: &[Arc<Cluster>], config: &HealConfig, sto
                 .chain((0..params.n2()).map(|i| (RepairLayer::L2, i)));
             for (layer, index) in servers {
                 let pid = cluster.server_pid(layer, index);
+                // Repairs are driven by the daemon hosting the server (the
+                // replacement's threads must spawn in its process).
+                if !cluster.hosts_server(pid) {
+                    continue;
+                }
                 if !state.is_suspected(pid) {
                     continue;
                 }

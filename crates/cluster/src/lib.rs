@@ -121,7 +121,7 @@ pub use api::{
 };
 pub use client::{ClientError, ClusterClient, Completion, OpOutcome, OpTicket, WouldBlock};
 pub use heal::HealConfig;
-pub use node::{msgs_per_op_bound, Cluster, ClusterOptions};
+pub use node::{msgs_per_op_bound, Cluster, ClusterOptions, HostScope};
 pub use obs::{EventKind, FlightRecorder, HistSnapshot, TraceDump, TraceEvent, TraceHandle};
 pub use repair::{RepairError, RepairLayer, RepairReport};
 pub use router::shard_of;

@@ -102,6 +102,31 @@ pub struct ClusterOptions {
     pub trace_events: usize,
 }
 
+/// Which slice of a deployment one process hosts, for multi-daemon
+/// deployments over a real-network transport (see
+/// [`TcpTransport`](crate::transport::TcpTransport)).
+///
+/// A scoped cluster spawns worker threads only for the listed server
+/// indices; every other pid of the shared membership lives on a peer daemon
+/// and is reached through the transport. Client (and auxiliary) process ids
+/// are allocated as `base + k·step` so they stay globally unique without
+/// coordination — daemon `d` of `D` uses `base = d + 1`, `step = D`
+/// ([`TcpTopology::client_base`](crate::transport::TcpTopology::client_base)).
+///
+/// The default in-process deployment is the trivial scope: every server
+/// local, `base = 1`, `step = 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostScope {
+    /// L1 server indices (`0..n1`) hosted by this process.
+    pub l1: Vec<usize>,
+    /// L2 server indices (`0..n2`) hosted by this process.
+    pub l2: Vec<usize>,
+    /// First client number this process allocates.
+    pub client_base: u64,
+    /// Stride between client numbers this process allocates.
+    pub client_step: u64,
+}
+
 /// Default for [`ClusterOptions::repair_timeout`].
 pub(crate) const DEFAULT_REPAIR_TIMEOUT: Duration = Duration::from_secs(60);
 
@@ -666,6 +691,12 @@ pub struct Cluster {
     /// profile is on (see [`crate::heal`]).
     heal: std::sync::OnceLock<Arc<crate::heal::HealState>>,
     next_client: AtomicU64,
+    /// Stride between allocated client numbers (1 in-process; the daemon
+    /// count on a multi-daemon deployment — see [`HostScope`]).
+    client_step: u64,
+    /// Server pids hosted by this process (`None` = all of them, the
+    /// in-process default).
+    hosted: Option<HashSet<ProcessId>>,
     started: Instant,
     options: ClusterOptions,
     /// Per L1 server, per shard occupancy stats. The `Arc`s survive repair:
@@ -958,6 +989,42 @@ impl Cluster {
         options: ClusterOptions,
         fault_plan: Option<&crate::transport::FaultPlan>,
     ) -> Result<Arc<Cluster>, lds_codes::CodeError> {
+        Cluster::launch_inner(params, backend_kind, options, fault_plan, None, None)
+    }
+
+    /// Launches a *partial* cluster over an explicit transport: only the
+    /// servers named by `scope` get worker threads here; the rest of the
+    /// shared membership lives on peer processes reached through
+    /// `transport`. Behind
+    /// [`StoreBuilder::transport`](crate::api::StoreBuilder::transport).
+    pub(crate) fn launch_scoped(
+        params: SystemParams,
+        backend_kind: BackendKind,
+        options: ClusterOptions,
+        transport: Arc<dyn crate::transport::Transport>,
+        scope: HostScope,
+    ) -> Result<Arc<Cluster>, lds_codes::CodeError> {
+        Cluster::launch_inner(
+            params,
+            backend_kind,
+            options,
+            None,
+            Some(transport),
+            Some(scope),
+        )
+    }
+
+    /// The single launch implementation behind [`Cluster::launch_with_plan`]
+    /// (every server local) and [`Cluster::launch_scoped`] (a [`HostScope`]
+    /// slice over an explicit transport).
+    fn launch_inner(
+        params: SystemParams,
+        backend_kind: BackendKind,
+        options: ClusterOptions,
+        fault_plan: Option<&crate::transport::FaultPlan>,
+        transport: Option<Arc<dyn crate::transport::Transport>>,
+        scope: Option<HostScope>,
+    ) -> Result<Arc<Cluster>, lds_codes::CodeError> {
         assert!(options.l1_shards > 0, "l1_shards must be at least 1");
         assert!(options.l2_shards > 0, "l2_shards must be at least 1");
         let backend = make_backend(backend_kind, &params)?;
@@ -972,9 +1039,10 @@ impl Cluster {
             .map(ProcessId)
             .collect();
         let membership = Membership::new(l1.clone(), l2.clone());
-        let router = match fault_plan {
-            None => Router::new(),
-            Some(plan) => {
+        let router = match (&transport, fault_plan) {
+            (Some(transport), _) => Router::with_transport(Arc::clone(transport)),
+            (None, None) => Router::new(),
+            (None, Some(plan)) => {
                 let transport = Arc::new(crate::transport::SimTransport::new(plan, &params));
                 if recorder.enabled() {
                     transport.attach_trace(recorder.handle());
@@ -982,6 +1050,25 @@ impl Cluster {
                 Router::with_transport(transport)
             }
         };
+        // Which server pids this process hosts (None = all — the
+        // in-process default), and how client numbers are strided.
+        let (hosted, client_base, client_step) = match &scope {
+            None => (None, 1, 1),
+            Some(scope) => {
+                let mut set = HashSet::new();
+                for &j in &scope.l1 {
+                    assert!(j < params.n1(), "scoped L1 index {j} out of range");
+                    set.insert(l1[j]);
+                }
+                for &i in &scope.l2 {
+                    assert!(i < params.n2(), "scoped L2 index {i} out of range");
+                    set.insert(l2[i]);
+                }
+                assert!(scope.client_step > 0, "client_step must be non-zero");
+                (Some(set), scope.client_base, scope.client_step)
+            }
+        };
+        let is_hosted = |pid: ProcessId| hosted.as_ref().is_none_or(|set| set.contains(&pid));
         let started = Instant::now();
         let mut handles: HashMap<ProcessId, Vec<JoinHandle<()>>> = HashMap::new();
         let mut l1_stats = Vec::with_capacity(params.n1());
@@ -998,25 +1085,30 @@ impl Cluster {
             let stats: Vec<Arc<ShardStats>> = (0..options.l1_shards)
                 .map(|_| Arc::new(ShardStats::default()))
                 .collect();
-            let inboxes = router.register_sharded_with(pid, &gauges);
-            handles.insert(
-                pid,
-                spawn_l1_shards(
-                    j,
+            // Remote servers (scoped deployments) keep their stats/gauge
+            // slots — indexed by layer position everywhere — but get no
+            // inbox and no threads here.
+            if is_hosted(pid) {
+                let inboxes = router.register_sharded_with(pid, &gauges);
+                handles.insert(
                     pid,
-                    params,
-                    &membership,
-                    &backend,
-                    &options,
-                    &router,
-                    started,
-                    &beats[pid.0],
-                    &stats,
-                    &recorder,
-                    inboxes,
-                    None,
-                ),
-            );
+                    spawn_l1_shards(
+                        j,
+                        pid,
+                        params,
+                        &membership,
+                        &backend,
+                        &options,
+                        &router,
+                        started,
+                        &beats[pid.0],
+                        &stats,
+                        &recorder,
+                        inboxes,
+                        None,
+                    ),
+                );
+            }
             l1_stats.push(stats);
             l1_inboxes.push(gauges);
         }
@@ -1024,24 +1116,26 @@ impl Cluster {
             let stats: Vec<Arc<ShardStats>> = (0..options.l2_shards)
                 .map(|_| Arc::new(ShardStats::default()))
                 .collect();
-            let inboxes = router.register_sharded(pid, options.l2_shards);
-            handles.insert(
-                pid,
-                spawn_l2_shards(
-                    i,
+            if is_hosted(pid) {
+                let inboxes = router.register_sharded(pid, options.l2_shards);
+                handles.insert(
                     pid,
-                    &membership,
-                    &backend,
-                    &options,
-                    &router,
-                    started,
-                    &beats[pid.0],
-                    &stats,
-                    &recorder,
-                    inboxes,
-                    None,
-                ),
-            );
+                    spawn_l2_shards(
+                        i,
+                        pid,
+                        &membership,
+                        &backend,
+                        &options,
+                        &router,
+                        started,
+                        &beats[pid.0],
+                        &stats,
+                        &recorder,
+                        inboxes,
+                        None,
+                    ),
+                );
+            }
             l2_stats.push(stats);
         }
 
@@ -1061,7 +1155,9 @@ impl Cluster {
             repair_log: Mutex::new(RepairLog::new(options.repair_log_cap)),
             beats,
             heal: std::sync::OnceLock::new(),
-            next_client: AtomicU64::new(1),
+            next_client: AtomicU64::new(client_base),
+            client_step,
+            hosted,
             started,
             options,
             l1_stats,
@@ -1226,7 +1322,9 @@ impl Cluster {
     /// Creates a client handle that keeps at most `depth` operations in
     /// flight.
     pub fn client_with_depth(self: &Arc<Self>, depth: usize) -> ClusterClient {
-        let client_number = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let client_number = self
+            .next_client
+            .fetch_add(self.client_step, Ordering::Relaxed);
         let client_id = ClientId(client_number);
         // Client process ids live above all server ids.
         let pid = ProcessId(self.params.n1() + self.params.n2() + client_number as usize);
@@ -1415,7 +1513,11 @@ impl Cluster {
     /// delay pump; pending held messages are discarded).
     pub fn shutdown(&self) {
         for &pid in self.membership.l1.iter().chain(self.membership.l2.iter()) {
-            self.router.send_stop(pid);
+            // Scoped deployments stop only their own servers; peers own
+            // (and stop) theirs.
+            if self.hosts_server(pid) {
+                self.router.send_stop(pid);
+            }
         }
         let mut handles = self.handles.lock();
         for (_, server_handles) in handles.drain() {
@@ -1457,8 +1559,17 @@ impl Cluster {
     /// Allocates a fresh process id above all server and client ids (repair
     /// coordinators draw from the same number space as clients).
     pub(crate) fn alloc_aux_pid(&self) -> ProcessId {
-        let n = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let n = self
+            .next_client
+            .fetch_add(self.client_step, Ordering::Relaxed);
         ProcessId(self.params.n1() + self.params.n2() + n as usize)
+    }
+
+    /// Whether this process hosts the worker threads of server `pid`
+    /// (always true on an in-process deployment; a scoped multi-daemon
+    /// deployment hosts only its [`HostScope`] slice).
+    pub(crate) fn hosts_server(&self, pid: ProcessId) -> bool {
+        self.hosted.as_ref().is_none_or(|set| set.contains(&pid))
     }
 
     // ------------------------------------------------------------------

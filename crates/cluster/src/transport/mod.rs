@@ -12,7 +12,8 @@
 //!        Transport ──► InProcTransport   (default: deliver, zero overhead)
 //!                  ──► SimTransport      (seeded fault plan: drop / dup /
 //!                  │                      delay / reorder / partition)
-//!                  ──► TcpTransport      (future: real network)
+//!                  ──► TcpTransport      (real network: per-peer TCP links
+//!                                         for a multi-daemon deployment)
 //! ```
 //!
 //! The default [`InProcTransport`] answers [`Decision::Deliver`] for
@@ -29,12 +30,14 @@
 
 mod plan;
 mod sim;
+mod tcp;
 
 pub use crate::router::DirectSender;
 pub use plan::{
     Endpoint, FaultPlan, FaultRule, PartitionDirection, PartitionSpec, MESSAGE_CLASSES,
 };
 pub use sim::SimTransport;
+pub use tcp::{TcpTopology, TcpTransport};
 
 use lds_core::messages::LdsMessage;
 use lds_sim::ProcessId;

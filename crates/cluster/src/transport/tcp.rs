@@ -1,0 +1,590 @@
+//! The real-network transport: per-peer TCP links under the router.
+//!
+//! A [`TcpTransport`] connects one daemon to every other daemon of a static
+//! membership. It sits behind the same [`Transport`] seam as the in-process
+//! and fault-injection transports:
+//!
+//! ```text
+//!               sender thread (node loop / client)
+//!                         │ decide(from, to, &msg)
+//!                         ▼
+//!    local pid? ──yes──► Decision::Deliver (in-process inbox, unchanged)
+//!        │no
+//!        ▼
+//!    enqueue on the owner daemon's link ──► Decision::Drop (consumed here)
+//!                         │
+//!                  writer thread (one per peer)
+//!                  encode → TcpStream, reconnect with backoff
+//!                         │
+//!                  ═══════╪══════ network ══════════════
+//!                         ▼
+//!                  reader thread (one per accepted conn)
+//!                  frame → decode → DirectSender::deliver
+//!                         │
+//!                         ▼
+//!                  destination inbox on the remote router
+//! ```
+//!
+//! Ownership of a destination pid is decided by [`TcpTopology::owner_of`]:
+//! server pids map through the configured membership, client and auxiliary
+//! pids are striped across daemons by their allocation residue (each daemon
+//! allocates client numbers `base + k·step` with `base = index + 1`,
+//! `step = daemons`), and [`ProcessId::EXTERNAL`] is always local.
+//!
+//! Failure semantics are honest about what TCP gives us: a link that is down
+//! or backed up **drops** messages (counted in
+//! [`FaultCounters::dropped`]) rather than blocking the protocol's sender
+//! threads — the LDS protocol is designed for lossy asynchronous networks,
+//! and the quorum logic, not the transport, provides reliability. Writer
+//! threads reconnect with exponential backoff, so a restarted peer daemon
+//! re-joins the mesh without any coordination.
+
+use super::{Decision, FaultCounters, Transport};
+use crate::router::DirectSender;
+use lds_core::messages::LdsMessage;
+use lds_core::wire::{self, Frame, WireError, HEADER_LEN};
+use lds_sim::ProcessId;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Per-peer outgoing queue bound, in messages. A link that is down or slow
+/// beyond this backlog starts dropping (counted); the protocol's quorums
+/// tolerate the loss.
+const LINK_QUEUE_CAP: usize = 8192;
+
+/// First reconnect delay; doubles up to [`RECONNECT_MAX`].
+const RECONNECT_BASE: Duration = Duration::from_millis(50);
+
+/// Ceiling on the reconnect backoff.
+const RECONNECT_MAX: Duration = Duration::from_secs(2);
+
+/// How often a blocked writer/acceptor re-checks the stop flag.
+const STOP_POLL: Duration = Duration::from_millis(100);
+
+/// The static placement of a deployment's processes onto daemons.
+///
+/// Shared verbatim by every daemon of a deployment (each knows its own
+/// `index`); the pid → daemon rules are documented at the top of this
+/// source file.
+#[derive(Debug, Clone)]
+pub struct TcpTopology {
+    /// Number of L1 servers (`pids 0..n1`).
+    pub n1: usize,
+    /// Number of L2 servers (`pids n1..n1+n2`).
+    pub n2: usize,
+    /// This daemon's index in `peers`.
+    pub index: usize,
+    /// Every daemon's mesh listen address, indexed by daemon.
+    pub peers: Vec<SocketAddr>,
+    /// Owning daemon of each server pid (`len == n1 + n2`).
+    pub server_owner: Vec<usize>,
+}
+
+impl TcpTopology {
+    /// Number of daemons in the mesh.
+    pub fn daemons(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The daemon that hosts `pid`'s inbox.
+    pub fn owner_of(&self, pid: ProcessId) -> usize {
+        if pid == ProcessId::EXTERNAL {
+            return self.index;
+        }
+        let servers = self.n1 + self.n2;
+        if pid.0 < servers {
+            return self.server_owner[pid.0];
+        }
+        // Clients and auxiliary pids: daemon `d` allocates numbers
+        // `d + 1 + k·daemons` above the server range.
+        (pid.0 - servers - 1) % self.daemons()
+    }
+
+    /// Whether `pid` lives on this daemon.
+    pub fn is_local(&self, pid: ProcessId) -> bool {
+        self.owner_of(pid) == self.index
+    }
+
+    /// The first client number this daemon allocates (see
+    /// [`HostScope`](crate::node::HostScope)).
+    pub fn client_base(&self) -> u64 {
+        self.index as u64 + 1
+    }
+
+    /// The stride between client numbers this daemon allocates.
+    pub fn client_step(&self) -> u64 {
+        self.daemons() as u64
+    }
+}
+
+/// One outgoing unit on a peer link.
+enum Outgoing {
+    Msg {
+        from: ProcessId,
+        to: ProcessId,
+        msg: LdsMessage,
+    },
+    Ping {
+        to: ProcessId,
+    },
+}
+
+/// A peer link's sender side: unbounded channel + explicit depth bound.
+struct Link {
+    tx: crossbeam::channel::Sender<Outgoing>,
+    depth: Arc<AtomicUsize>,
+}
+
+/// Counters shared by every link and reader thread.
+#[derive(Default)]
+struct Counters {
+    /// Messages lost: queue overflow, link down mid-write, or undecodable
+    /// inbound frames.
+    dropped: AtomicU64,
+    /// Successful (re)connects across all peer links.
+    connects: AtomicU64,
+    /// Frames received and delivered into the local router.
+    delivered: AtomicU64,
+}
+
+/// The TCP transport: real per-peer network links behind the
+/// [`Transport`] seam (threading model at the top of this source file).
+pub struct TcpTransport {
+    topo: TcpTopology,
+    links: Vec<Option<Link>>,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+    /// Accepted inbound streams, tracked so shutdown can unblock their
+    /// reader threads.
+    inbound: Arc<Mutex<Vec<TcpStream>>>,
+    listener: TcpListener,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// Binds the mesh listener at `topo.peers[topo.index]` and starts one
+    /// writer thread per remote peer. Reader threads start when the router
+    /// installs the transport ([`Transport::attach`]).
+    ///
+    /// Binding eagerly means an unusable listen address is a construction
+    /// error the daemon can report, not a background failure.
+    pub fn bind(topo: TcpTopology) -> std::io::Result<TcpTransport> {
+        assert_eq!(
+            topo.server_owner.len(),
+            topo.n1 + topo.n2,
+            "server_owner must cover every server pid"
+        );
+        assert!(topo.index < topo.peers.len(), "daemon index out of range");
+        let listener = TcpListener::bind(topo.peers[topo.index])?;
+        let counters = Arc::new(Counters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut links = Vec::with_capacity(topo.peers.len());
+        let mut threads = Vec::new();
+        for (peer, &addr) in topo.peers.iter().enumerate() {
+            if peer == topo.index {
+                links.push(None);
+                continue;
+            }
+            let (tx, rx) = crossbeam::channel::unbounded::<Outgoing>();
+            let depth = Arc::new(AtomicUsize::new(0));
+            let handle = std::thread::Builder::new()
+                .name(format!("lds-tcp-writer-{peer}"))
+                .spawn({
+                    let depth = Arc::clone(&depth);
+                    let counters = Arc::clone(&counters);
+                    let stop = Arc::clone(&stop);
+                    let me = topo.index as u64;
+                    move || run_writer(addr, me, rx, depth, counters, stop)
+                })
+                .expect("spawn tcp writer thread");
+            links.push(Some(Link { tx, depth }));
+            threads.push(handle);
+        }
+        Ok(TcpTransport {
+            topo,
+            links,
+            counters,
+            stop,
+            inbound: Arc::new(Mutex::new(Vec::new())),
+            listener,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The placement this transport routes by.
+    pub fn topology(&self) -> &TcpTopology {
+        &self.topo
+    }
+
+    /// The address the mesh listener actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("listener has a local address")
+    }
+
+    /// Frames received from peers and delivered into the local router.
+    pub fn frames_delivered(&self) -> u64 {
+        self.counters.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Successful (re)connects across all peer links.
+    pub fn connects(&self) -> u64 {
+        self.counters.connects.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues one unit for the writer thread of daemon `owner`.
+    fn enqueue(&self, owner: usize, item: Outgoing) {
+        let Some(link) = &self.links[owner] else {
+            // Addressed to ourselves — the router delivers locally.
+            return;
+        };
+        if link.depth.load(Ordering::Relaxed) >= LINK_QUEUE_CAP {
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        link.depth.fetch_add(1, Ordering::Relaxed);
+        if link.tx.send(item).is_err() {
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn is_faulty(&self) -> bool {
+        // Not a fault *injector*, but every message must be adjudicated so
+        // remote-bound traffic can be intercepted.
+        true
+    }
+
+    fn decide(&self, from: ProcessId, to: ProcessId, msg: &LdsMessage) -> Decision {
+        if self.topo.is_local(to) {
+            return Decision::Deliver;
+        }
+        self.enqueue(
+            self.topo.owner_of(to),
+            Outgoing::Msg {
+                from,
+                to,
+                msg: msg.clone(),
+            },
+        );
+        // Consumed by the network path; nothing to route locally.
+        Decision::Drop
+    }
+
+    fn decide_ping(&self, to: ProcessId) -> Decision {
+        if self.topo.is_local(to) {
+            return Decision::Deliver;
+        }
+        self.enqueue(self.topo.owner_of(to), Outgoing::Ping { to });
+        Decision::Drop
+    }
+
+    fn attach(&self, sender: DirectSender) {
+        let listener = self
+            .listener
+            .try_clone()
+            .expect("clone mesh listener for accept thread");
+        let sender = Arc::new(sender);
+        let counters = Arc::clone(&self.counters);
+        let stop = Arc::clone(&self.stop);
+        let inbound = Arc::clone(&self.inbound);
+        let handle = std::thread::Builder::new()
+            .name("lds-tcp-accept".into())
+            .spawn(move || run_acceptor(listener, sender, counters, stop, inbound))
+            .expect("spawn tcp accept thread");
+        self.threads.lock().push(handle);
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        FaultCounters {
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            ..FaultCounters::default()
+        }
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.local_addr());
+        // Unblock reader threads parked on half-open inbound streams.
+        for stream in self.inbound.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("index", &self.topo.index)
+            .field("peers", &self.topo.peers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Writer-thread body: connect (with backoff) → `Hello` → drain the queue,
+/// encoding into one reusable buffer. A failed write abandons the current
+/// message (counted) and reconnects.
+fn run_writer(
+    addr: SocketAddr,
+    me: u64,
+    rx: crossbeam::channel::Receiver<Outgoing>,
+    depth: Arc<AtomicUsize>,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut backoff = RECONNECT_BASE;
+    let mut buf = Vec::with_capacity(4096);
+    'outer: while !stop.load(Ordering::Relaxed) {
+        let mut stream = match TcpStream::connect_timeout(&addr, RECONNECT_MAX) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                stream
+            }
+            Err(_) => {
+                // Peer not up (yet): drain nothing, retry with backoff. The
+                // queue keeps absorbing traffic up to its cap meanwhile.
+                let waited = std::time::Instant::now();
+                while waited.elapsed() < backoff {
+                    if stop.load(Ordering::Relaxed) {
+                        break 'outer;
+                    }
+                    std::thread::sleep(STOP_POLL.min(backoff));
+                }
+                backoff = (backoff * 2).min(RECONNECT_MAX);
+                continue;
+            }
+        };
+        buf.clear();
+        if wire::encode_frame(&Frame::Hello { daemon: me }, &mut buf).is_err()
+            || stream.write_all(&buf).is_err()
+        {
+            backoff = (backoff * 2).min(RECONNECT_MAX);
+            continue;
+        }
+        counters.connects.fetch_add(1, Ordering::Relaxed);
+        backoff = RECONNECT_BASE;
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break 'outer;
+            }
+            let item = match rx.recv_timeout(STOP_POLL) {
+                Ok(item) => item,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break 'outer,
+            };
+            depth.fetch_sub(1, Ordering::Relaxed);
+            buf.clear();
+            let frame = match item {
+                Outgoing::Msg { from, to, msg } => Frame::Msg {
+                    from: from.0 as u64,
+                    to: to.0 as u64,
+                    msg,
+                },
+                Outgoing::Ping { to } => Frame::Ping { to: to.0 as u64 },
+            };
+            if wire::encode_frame(&frame, &mut buf).is_err() {
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if stream.write_all(&buf).is_err() {
+                // Link died under us: this message is lost, reconnect.
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+                continue 'outer;
+            }
+        }
+    }
+}
+
+/// Accept-thread body: every inbound connection gets its own reader thread.
+/// Readers are detached (they exit when their stream dies); shutdown
+/// unblocks them by closing the tracked streams.
+fn run_acceptor(
+    listener: TcpListener,
+    sender: Arc<DirectSender>,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+    inbound: Arc<Mutex<Vec<TcpStream>>>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Ok(tracked) = stream.try_clone() {
+            inbound.lock().push(tracked);
+        }
+        let sender = Arc::clone(&sender);
+        let counters = Arc::clone(&counters);
+        let stop = Arc::clone(&stop);
+        // Reader threads self-terminate on stream close; shutdown closes
+        // every tracked stream, so none outlives the transport.
+        let _ = std::thread::Builder::new()
+            .name("lds-tcp-reader".into())
+            .spawn(move || run_reader(stream, sender, counters, stop));
+    }
+}
+
+/// Reads one frame (header + body) from `stream`, or `None` on EOF/error.
+fn read_frame(stream: &mut TcpStream, body: &mut Vec<u8>) -> Option<Result<Frame, WireError>> {
+    let mut header = [0u8; HEADER_LEN];
+    if stream.read_exact(&mut header).is_err() {
+        return None;
+    }
+    let len = match wire::frame_len(header) {
+        Ok(len) => len,
+        Err(e) => return Some(Err(e)),
+    };
+    body.resize(len, 0);
+    if stream.read_exact(body).is_err() {
+        return None;
+    }
+    Some(wire::decode_frame(body))
+}
+
+/// Reader-thread body: validate the `Hello`, then deliver every decoded
+/// frame into the local router. Any decode error poisons the connection
+/// (framing is lost), so the stream is dropped and the peer reconnects.
+fn run_reader(
+    mut stream: TcpStream,
+    sender: Arc<DirectSender>,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut body = Vec::with_capacity(4096);
+    match read_frame(&mut stream, &mut body) {
+        Some(Ok(Frame::Hello { .. })) => {}
+        // Shutdown's throwaway self-connection lands here too: no Hello,
+        // just EOF.
+        _ => return,
+    }
+    while !stop.load(Ordering::Relaxed) {
+        match read_frame(&mut stream, &mut body) {
+            Some(Ok(Frame::Msg { from, to, msg })) => {
+                counters.delivered.fetch_add(1, Ordering::Relaxed);
+                sender.deliver(ProcessId(from as usize), ProcessId(to as usize), msg);
+            }
+            Some(Ok(Frame::Ping { to })) => {
+                counters.delivered.fetch_add(1, Ordering::Relaxed);
+                sender.deliver_ping(ProcessId(to as usize));
+            }
+            Some(Ok(_)) => {
+                // RPC frames do not belong on the mesh port.
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Err(_)) => {
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::Router;
+    use lds_core::tag::ObjectId;
+
+    fn loopback(port: u16) -> SocketAddr {
+        SocketAddr::from(([127, 0, 0, 1], port))
+    }
+
+    /// Two routers over two TcpTransports on loopback: a message sent to a
+    /// pid owned by the other daemon crosses the wire and lands in its
+    /// inbox.
+    #[test]
+    fn message_crosses_the_wire() {
+        // Bind both listeners on ephemeral ports first, then build the
+        // shared topology from the resolved addresses.
+        let probe_a = TcpListener::bind(loopback(0)).unwrap();
+        let probe_b = TcpListener::bind(loopback(0)).unwrap();
+        let addr_a = probe_a.local_addr().unwrap();
+        let addr_b = probe_b.local_addr().unwrap();
+        drop((probe_a, probe_b));
+        let topo = |index| TcpTopology {
+            n1: 1,
+            n2: 1,
+            index,
+            peers: vec![addr_a, addr_b],
+            server_owner: vec![0, 1],
+        };
+        let ta = Arc::new(TcpTransport::bind(topo(0)).unwrap());
+        let tb = Arc::new(TcpTransport::bind(topo(1)).unwrap());
+        let ra = Router::with_transport(ta.clone() as Arc<dyn Transport>);
+        let rb = Router::with_transport(tb.clone() as Arc<dyn Transport>);
+        let _inbox_a = ra.register(ProcessId(0));
+        let inbox_b = rb.register(ProcessId(1));
+
+        let msg = LdsMessage::InvokeRead { obj: ObjectId(42) };
+        let mut handle = ra.handle();
+        // The writer link may still be connecting; the queue absorbs the
+        // send either way.
+        handle.send(ProcessId(0), ProcessId(1), msg.clone());
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut got = None;
+        while std::time::Instant::now() < deadline {
+            if let Some(envelope) = inbox_b.rx.try_recv() {
+                got = Some(envelope);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let envelope = got.expect("message should cross the wire within 10s");
+        match envelope {
+            crate::router::Envelope::Protocol { from, msg: m } => {
+                assert_eq!(from, ProcessId(0));
+                assert_eq!(m, msg);
+            }
+            other => panic!("unexpected envelope {other:?}"),
+        }
+        assert!(tb.frames_delivered() >= 1);
+        ta.shutdown();
+        tb.shutdown();
+    }
+
+    #[test]
+    fn ownership_rules() {
+        let topo = TcpTopology {
+            n1: 2,
+            n2: 3,
+            index: 1,
+            peers: vec![loopback(1), loopback(2), loopback(3)],
+            server_owner: vec![0, 1, 1, 2, 2],
+        };
+        assert_eq!(topo.owner_of(ProcessId(0)), 0);
+        assert_eq!(topo.owner_of(ProcessId(2)), 1);
+        assert_eq!(topo.owner_of(ProcessId(4)), 2);
+        // Client pids: daemon d allocates numbers d + 1 + k·3 above the
+        // server range (5 servers).
+        assert_eq!(topo.owner_of(ProcessId(5 + 1)), 0);
+        assert_eq!(topo.owner_of(ProcessId(5 + 2)), 1);
+        assert_eq!(topo.owner_of(ProcessId(5 + 3)), 2);
+        assert_eq!(topo.owner_of(ProcessId(5 + 4)), 0);
+        assert!(topo.is_local(ProcessId::EXTERNAL));
+        assert_eq!(topo.client_base(), 2);
+        assert_eq!(topo.client_step(), 3);
+    }
+}

@@ -46,6 +46,7 @@ pub mod server2;
 pub mod stripe;
 pub mod tag;
 pub mod value;
+pub mod wire;
 pub mod writer;
 
 pub use backend::{BackendCodec, BackendKind};

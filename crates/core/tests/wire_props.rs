@@ -1,0 +1,315 @@
+//! Property tests for the wire codec: every `LdsMessage` class roundtrips
+//! byte-exactly at edge payload sizes, and truncated or corrupted frames
+//! decode to errors — never panics.
+
+use lds_codes::share::{HelperData, Share};
+use lds_core::messages::{LdsMessage, ReadPayload, RepairPayload};
+use lds_core::tag::{ClientId, ObjectId, OpId, Tag};
+use lds_core::value::Value;
+use lds_core::wire::{
+    decode_framed, encode_frame, Frame, Request, Response, WireError, HEADER_LEN,
+};
+use lds_sim::ProcessId;
+use proptest::prelude::*;
+
+/// Number of `LdsMessage` classes the constructor below covers (the PING
+/// pseudo-class is transport-only and has no message body).
+const CLASSES: usize = 23;
+
+/// Deterministically builds one message of class `class` from generated
+/// primitives, exercising every field of every variant. `bytes` lands in
+/// whatever payload slot the class has (value, stripe, share, helper), so
+/// driving its length through edge sizes exercises the codec's
+/// length-prefix handling per class.
+fn message_for(class: usize, a: u64, b: u64, bytes: Vec<u8>, flag: bool) -> LdsMessage {
+    let obj = ObjectId(a ^ 0x9E37);
+    let op = OpId::new(ClientId(b), a);
+    let tag = Tag::new(a, ClientId(b ^ 1));
+    let layout = flag.then(|| vec![bytes.len()]);
+    let share = Share {
+        index: (b % 97) as usize,
+        data: bytes.clone(),
+        layout: layout.clone(),
+    };
+    let helper = HelperData {
+        helper_index: (a % 89) as usize,
+        failed_index: (b % 83) as usize,
+        data: bytes.clone(),
+        layout,
+    };
+    match class {
+        0 => LdsMessage::InvokeWrite {
+            obj,
+            value: Value::new(bytes),
+        },
+        1 => LdsMessage::InvokeRead { obj },
+        2 => LdsMessage::QueryTag { obj, op },
+        3 => LdsMessage::TagResp { obj, op, tag },
+        4 => LdsMessage::PutData {
+            obj,
+            op,
+            tag,
+            value: Value::new(bytes),
+        },
+        5 => LdsMessage::PutStripe {
+            obj,
+            op,
+            tag,
+            seq: (a % 7) as u32,
+            count: (a % 7 + 1) as u32,
+            stripe: Value::new(bytes),
+        },
+        6 => LdsMessage::AckPutData { obj, op, tag },
+        7 => LdsMessage::BcastSend {
+            obj,
+            tag,
+            origin: ProcessId(b as usize % 1024),
+        },
+        8 => LdsMessage::BcastDeliver {
+            obj,
+            tag,
+            origin: ProcessId(a as usize % 1024),
+        },
+        9 => LdsMessage::QueryCommTag { obj, op },
+        10 => LdsMessage::CommTagResp { obj, op, tag },
+        11 => LdsMessage::QueryData { obj, op, treq: tag },
+        12 => LdsMessage::DataResp {
+            obj,
+            op,
+            tag: flag.then_some(tag),
+            payload: match a % 3 {
+                0 => ReadPayload::Value(Value::new(bytes)),
+                1 => ReadPayload::Coded(share),
+                _ => ReadPayload::None,
+            },
+        },
+        13 => LdsMessage::PutTag { obj, op, tag },
+        14 => LdsMessage::AckPutTag { obj, op },
+        15 => LdsMessage::WriteCodeElem {
+            obj,
+            tag,
+            element: share,
+        },
+        16 => LdsMessage::WriteCodeStripe {
+            obj,
+            tag,
+            seq: (b % 5) as u32,
+            count: (b % 5 + 1) as u32,
+            part: share,
+        },
+        17 => LdsMessage::AckCodeElem { obj, tag },
+        18 => LdsMessage::QueryCodeElem {
+            obj,
+            reader: ProcessId(a as usize % 1024),
+            op,
+        },
+        19 => LdsMessage::SendHelperElem {
+            obj,
+            reader: ProcessId(b as usize % 1024),
+            op,
+            tag,
+            helper,
+        },
+        20 => LdsMessage::RepairHelp {
+            obj,
+            failed: ProcessId(a as usize % 1024),
+        },
+        21 => LdsMessage::RepairShare {
+            obj,
+            payload: if flag {
+                RepairPayload::Element {
+                    tag,
+                    element_len: a,
+                    helper,
+                }
+            } else {
+                RepairPayload::Meta {
+                    tc: tag,
+                    entries: vec![
+                        (tag, Some(Value::new(bytes))),
+                        (Tag::new(b, ClientId(a)), None),
+                    ],
+                }
+            },
+        },
+        22 => LdsMessage::RepairDone {
+            obj,
+            objects: a,
+            bytes_by_helper: vec![(ProcessId(b as usize % 1024), a), (ProcessId(7), b)],
+            fallback_bytes: b,
+        },
+        _ => unreachable!("class out of range"),
+    }
+}
+
+/// Edge payload sizes: empty, tiny, symbol-odd, and around typical stripe
+/// boundaries.
+const EDGE_SIZES: &[usize] = &[0, 1, 3, 16, 255, 256, 1024, 4096];
+
+#[test]
+fn every_class_roundtrips_at_edge_sizes() {
+    for class in 0..CLASSES {
+        for &size in EDGE_SIZES {
+            let payload: Vec<u8> = (0..size).map(|i| (i * 31 + class) as u8).collect();
+            for flag in [false, true] {
+                let msg = message_for(class, 0xDEAD_BEEF, 0x1234, payload.clone(), flag);
+                let frame = Frame::Msg {
+                    from: 3,
+                    to: 11,
+                    msg: msg.clone(),
+                };
+                let mut buf = Vec::new();
+                encode_frame(&frame, &mut buf).unwrap();
+                let (decoded, consumed) = decode_framed(&buf).unwrap();
+                assert_eq!(consumed, buf.len(), "class {class} size {size}");
+                assert_eq!(decoded, frame, "class {class} size {size}");
+                // Byte-exact: re-encoding the decoded frame reproduces the
+                // original bytes.
+                let mut buf2 = Vec::new();
+                encode_frame(&decoded, &mut buf2).unwrap();
+                assert_eq!(buf, buf2, "class {class} size {size} not byte-stable");
+            }
+        }
+    }
+}
+
+#[test]
+fn large_payload_roundtrips() {
+    // One megabyte through the data-bearing classes.
+    let payload = vec![0xA5u8; 1 << 20];
+    for class in [0usize, 4, 5, 12, 15, 16, 19, 21] {
+        let msg = message_for(class, 1, 2, payload.clone(), true);
+        let frame = Frame::Msg {
+            from: 0,
+            to: 1,
+            msg,
+        };
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf).unwrap();
+        let (decoded, _) = decode_framed(&buf).unwrap();
+        assert_eq!(decoded, frame, "class {class}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Any generated message of any class survives encode → decode →
+    /// re-encode byte-exactly.
+    #[test]
+    fn random_messages_roundtrip(
+        class in 0usize..CLASSES,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..300),
+        flag in any::<bool>(),
+    ) {
+        let msg = message_for(class, a, b, bytes, flag);
+        let frame = Frame::Msg { from: a % 64, to: b % 64, msg };
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf).unwrap();
+        let (decoded, consumed) = decode_framed(&buf).unwrap();
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(&decoded, &frame);
+        let mut buf2 = Vec::new();
+        encode_frame(&decoded, &mut buf2).unwrap();
+        prop_assert_eq!(buf, buf2);
+    }
+
+    /// Every strict prefix of a valid frame decodes to `Truncated` — never
+    /// a panic, never a bogus success.
+    #[test]
+    fn truncated_frames_error(
+        class in 0usize..CLASSES,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in any::<u64>(),
+    ) {
+        let msg = message_for(class, a, b, bytes, false);
+        let frame = Frame::Msg { from: 1, to: 2, msg };
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf).unwrap();
+        let cut = (cut as usize) % buf.len();
+        prop_assert_eq!(decode_framed(&buf[..cut]), Err(WireError::Truncated));
+    }
+
+    /// Flipping any single byte of a valid frame never panics the decoder:
+    /// it either still decodes (a payload byte changed) or returns a
+    /// `WireError`.
+    #[test]
+    fn corrupted_frames_never_panic(
+        class in 0usize..CLASSES,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        pos in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let msg = message_for(class, a, b, bytes, true);
+        let frame = Frame::Msg { from: 1, to: 2, msg };
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf).unwrap();
+        let pos = (pos as usize) % buf.len();
+        buf[pos] ^= xor;
+        // Corrupting the length prefix may announce more bytes than exist
+        // (Truncated), fewer (TrailingBytes), or an oversize length; body
+        // corruption may hit a discriminant. All must return, not panic.
+        let _ = decode_framed(&buf);
+    }
+
+    /// RPC frames roundtrip for every request/response shape.
+    #[test]
+    fn rpc_frames_roundtrip(
+        id in any::<u64>(),
+        which in 0usize..6,
+        obj in any::<u64>(),
+        idx in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let req = match which {
+            0 => Request::Write { obj: ObjectId(obj), value: bytes.clone() },
+            1 => Request::Read { obj: ObjectId(obj) },
+            2 => Request::Kill { layer: (idx % 2) as u8, index: idx },
+            3 => Request::Repair { layer: (idx % 2) as u8, index: idx },
+            4 => Request::Liveness,
+            _ => Request::Shutdown,
+        };
+        let resp = match which {
+            0 => Response::Written { tag: Tag::new(obj, ClientId(idx)) },
+            1 => Response::Value { bytes: bytes.clone() },
+            2 => Response::Killed,
+            3 => Response::Repaired { objects: idx },
+            4 => Response::Liveness { live_l1: obj, live_l2: idx },
+            _ => Response::Error { message: format!("err {idx}") },
+        };
+        for frame in [Frame::Request { id, req }, Frame::Response { id, resp }] {
+            let mut buf = Vec::new();
+            encode_frame(&frame, &mut buf).unwrap();
+            let (decoded, consumed) = decode_framed(&buf).unwrap();
+            prop_assert_eq!(consumed, buf.len());
+            prop_assert_eq!(decoded, frame);
+        }
+    }
+}
+
+#[test]
+fn unknown_class_is_an_error() {
+    let frame = Frame::Msg {
+        from: 0,
+        to: 1,
+        msg: LdsMessage::InvokeRead { obj: ObjectId(0) },
+    };
+    let mut buf = Vec::new();
+    encode_frame(&frame, &mut buf).unwrap();
+    // The class byte sits after header + kind + from + to.
+    let class_at = HEADER_LEN + 1 + 8 + 8;
+    for bad in [23u8, 42, 255] {
+        let mut corrupt = buf.clone();
+        corrupt[class_at] = bad;
+        assert_eq!(
+            decode_framed(&corrupt),
+            Err(WireError::UnknownClass { class: bad })
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! # ldsd
+//!
+//! The standalone LDS server daemon: one OS process hosting its share of a
+//! deployment's L1/L2 servers, meshed with its peers over real TCP.
+//!
+//! A deployment is described by one TOML config file per daemon
+//! ([`config::Config`]); the `[membership]` section pins every server pid
+//! to a daemon's mesh address, and each daemon derives its own slice
+//! (which servers to spawn, which client-id residues to allocate) from
+//! where its `listen` address appears in that table. Three listeners per
+//! daemon:
+//!
+//! * **mesh** (`daemon.listen`) — server ↔ server protocol traffic,
+//!   carried by the cluster runtime's
+//!   [`TcpTransport`] under the router;
+//! * **client RPC** (`daemon.client_listen`) — [`NetClient`] connections
+//!   speaking request/response frames of the same [`wire`] codec;
+//! * **HTTP** (`daemon.http_listen`) — `GET /metrics` (Prometheus text
+//!   exposition) and `GET /health`.
+//!
+//! The binary (`ldsd --config path.toml`) wraps [`Daemon::start`]; the
+//! library surface exists so tests, benches and examples can run whole
+//! multi-daemon deployments in one process while still crossing real
+//! sockets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+mod http;
+pub mod net_client;
+mod rpc;
+
+pub use config::{Config, ConfigError};
+pub use net_client::{NetClient, NetError};
+pub use rpc::layer_byte;
+
+use lds_cluster::transport::{TcpTransport, Transport};
+use lds_cluster::{StoreBuilder, StoreError, StoreHandle};
+use lds_core::wire::{self, Frame, WireError, HEADER_LEN};
+use std::fmt;
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A failure to start (or run) a daemon.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DaemonError {
+    /// The configuration was rejected (see [`Config::parse`]).
+    Config(ConfigError),
+    /// A listener could not be bound or a socket failed; `context` names
+    /// which one.
+    Io {
+        /// Which listener/socket operation failed.
+        context: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The store runtime refused the derived deployment.
+    Store(StoreError),
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Config(e) => write!(f, "config error: {e}"),
+            DaemonError::Io { context, source } => write!(f, "{context}: {source}"),
+            DaemonError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<ConfigError> for DaemonError {
+    fn from(e: ConfigError) -> DaemonError {
+        DaemonError::Config(e)
+    }
+}
+
+impl From<StoreError> for DaemonError {
+    fn from(e: StoreError) -> DaemonError {
+        DaemonError::Store(e)
+    }
+}
+
+/// One running daemon: its hosted slice of the cluster, the mesh
+/// transport, the client RPC listener and the HTTP endpoint.
+pub struct Daemon {
+    config: Arc<Config>,
+    store: Arc<StoreHandle>,
+    rpc: Option<rpc::RpcServer>,
+    http: Option<http::HttpServer>,
+    shutdown_rx: crossbeam::channel::Receiver<()>,
+}
+
+impl Daemon {
+    /// Builds and starts every component of the daemon, in dependency
+    /// order; any failure tears down cleanly and reports one error.
+    pub fn start(config: Config) -> Result<Daemon, DaemonError> {
+        let config = Arc::new(config);
+        let transport =
+            Arc::new(
+                TcpTransport::bind(config.topology()).map_err(|source| DaemonError::Io {
+                    context: "bind mesh listener",
+                    source,
+                })?,
+            );
+        let mut builder = StoreBuilder::new()
+            .failures(config.cluster.f1, config.cluster.f2)
+            .code(config.cluster.k, config.cluster.d)
+            .backend(config.cluster.backend)
+            .pipeline_depth(config.cluster.pipeline_depth)
+            .transport(transport as Arc<dyn Transport>)
+            .host_scope(config.host_scope());
+        if config.heal.enabled {
+            builder = builder.self_heal_with(config.heal.to_heal_config());
+        }
+        let store = Arc::new(builder.build()?);
+
+        let http = http::HttpServer::start(config.daemon.http_listen, Arc::clone(&store)).map_err(
+            |source| {
+                store.shutdown();
+                DaemonError::Io {
+                    context: "bind http listener",
+                    source,
+                }
+            },
+        )?;
+
+        let (shutdown_tx, shutdown_rx) = crossbeam::channel::unbounded();
+        let rpc = rpc::RpcServer::start(
+            config.daemon.client_listen,
+            Arc::clone(&store),
+            Arc::clone(&config),
+            shutdown_tx,
+        );
+        let rpc = match rpc {
+            Ok(rpc) => rpc,
+            Err(source) => {
+                http.stop();
+                store.shutdown();
+                return Err(DaemonError::Io {
+                    context: "bind client rpc listener",
+                    source,
+                });
+            }
+        };
+
+        Ok(Daemon {
+            config,
+            store,
+            rpc: Some(rpc),
+            http: Some(http),
+            shutdown_rx,
+        })
+    }
+
+    /// The configuration this daemon runs under.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The client RPC address actually bound.
+    pub fn client_addr(&self) -> SocketAddr {
+        self.rpc.as_ref().expect("rpc runs until stop").local_addr()
+    }
+
+    /// The HTTP address actually bound.
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http
+            .as_ref()
+            .expect("http runs until stop")
+            .local_addr()
+    }
+
+    /// The hosted store (for in-process tests and benches that want the
+    /// local facade next to the network one).
+    pub fn store(&self) -> &Arc<StoreHandle> {
+        &self.store
+    }
+
+    /// Blocks until a client asks this daemon to shut down
+    /// ([`NetClient::shutdown`]), checking `deadline` so embedders can
+    /// bound the wait. Returns `true` when a shutdown request arrived.
+    pub fn wait_shutdown(&self, timeout: Duration) -> bool {
+        match self.shutdown_rx.recv_timeout(timeout) {
+            Ok(()) => true,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => false,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => true,
+        }
+    }
+
+    /// Stops every component in reverse start order: RPC first (no new
+    /// requests), then HTTP, then the store runtime (which also shuts the
+    /// mesh transport down).
+    pub fn stop(mut self) {
+        if let Some(rpc) = self.rpc.take() {
+            rpc.stop();
+        }
+        if let Some(http) = self.http.take() {
+            http.stop();
+        }
+        self.store.shutdown();
+    }
+}
+
+impl fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Daemon")
+            .field("index", &self.config.daemon_index)
+            .field("listen", &self.config.daemon.listen)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Reads one `[len][kind][body]` frame off `stream`, or `None` on
+/// EOF/error. Shared by the RPC server and [`NetClient`].
+pub(crate) fn read_frame(
+    stream: &mut TcpStream,
+    body: &mut Vec<u8>,
+) -> Option<Result<Frame, WireError>> {
+    let mut header = [0u8; HEADER_LEN];
+    if stream.read_exact(&mut header).is_err() {
+        return None;
+    }
+    let len = match wire::frame_len(header) {
+        Ok(len) => len,
+        Err(e) => return Some(Err(e)),
+    };
+    body.resize(len, 0);
+    if stream.read_exact(body).is_err() {
+        return None;
+    }
+    Some(wire::decode_frame(body))
+}

@@ -1,0 +1,401 @@
+//! The daemon's client-facing RPC server.
+//!
+//! Clients speak the same wire codec as the mesh (`lds_core::wire`), but
+//! over a separate listener and with [`Frame::Request`]/[`Frame::Response`]
+//! instead of raw protocol messages. A connection starts with a `Hello`
+//! exchange (the client sends `daemon = u64::MAX`, the daemon answers with
+//! its index), then carries any number of concurrently outstanding requests;
+//! responses are matched by request id, not by order.
+//!
+//! Per connection the daemon runs two threads:
+//!
+//! * a **reader** that decodes frames off the socket and queues
+//!   `(id, Request)` pairs;
+//! * a **worker** that owns a pipelined [`StoreClient`] plus an [`Admin`]
+//!   handle, drains the queue (data ops become `submit_*` calls, admin ops
+//!   run inline), polls completions and writes responses back.
+//!
+//! Admin requests targeting a server hosted by a *different* daemon answer
+//! with a [`Response::Error`] naming the owner — repairs must run where the
+//! replacement's threads live.
+
+use crate::config::Config;
+use lds_cluster::repair::RepairLayer;
+use lds_cluster::{Admin, OpOutcome, OpTicket, ServerRef, Store, StoreClient, StoreHandle};
+use lds_core::wire::{self, Frame, Request, Response};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked accept/worker loops re-check the stop flag.
+const STOP_POLL: Duration = Duration::from_millis(100);
+
+/// Worker back-off while waiting for in-flight store completions.
+const POLL_PAUSE: Duration = Duration::from_millis(1);
+
+/// One decoded event from a connection's reader thread.
+enum Event {
+    /// A well-formed request frame.
+    Request(u64, Request),
+    /// The stream died or framing was lost; the worker should exit.
+    Closed,
+}
+
+/// The running RPC server; stopped via [`RpcServer::stop`].
+pub(crate) struct RpcServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl RpcServer {
+    /// Binds `addr` and starts the accept loop. `shutdown_tx` fires when a
+    /// client sends [`Request::Shutdown`].
+    pub(crate) fn start(
+        addr: SocketAddr,
+        store: Arc<StoreHandle>,
+        config: Arc<Config>,
+        shutdown_tx: crossbeam::channel::Sender<()>,
+    ) -> std::io::Result<RpcServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = std::thread::Builder::new()
+            .name("ldsd-rpc-accept".into())
+            .spawn({
+                let stop = Arc::clone(&stop);
+                let conns = Arc::clone(&conns);
+                let threads = Arc::clone(&threads);
+                move || run_acceptor(listener, store, config, shutdown_tx, stop, conns, threads)
+            })?;
+        Ok(RpcServer {
+            addr,
+            stop,
+            conns,
+            threads,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address actually bound (resolves `:0`).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every live connection and joins all threads.
+    pub(crate) fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        for stream in self.conns.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for thread in self.threads.lock().drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_acceptor(
+    listener: TcpListener,
+    store: Arc<StoreHandle>,
+    config: Arc<Config>,
+    shutdown_tx: crossbeam::channel::Sender<()>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Ok(tracked) = stream.try_clone() {
+            conns.lock().push(tracked);
+        }
+        let worker = std::thread::Builder::new()
+            .name("ldsd-rpc-conn".into())
+            .spawn({
+                let store = Arc::clone(&store);
+                let config = Arc::clone(&config);
+                let shutdown_tx = shutdown_tx.clone();
+                let stop = Arc::clone(&stop);
+                move || run_connection(stream, store, config, shutdown_tx, stop)
+            });
+        if let Ok(worker) = worker {
+            threads.lock().push(worker);
+        }
+    }
+}
+
+/// Reader-thread body: decode frames into `tx` until the stream dies.
+fn run_reader(mut stream: TcpStream, tx: crossbeam::channel::Sender<Event>) {
+    let mut body = Vec::with_capacity(4096);
+    loop {
+        match crate::read_frame(&mut stream, &mut body) {
+            Some(Ok(Frame::Request { id, req })) => {
+                if tx.send(Event::Request(id, req)).is_err() {
+                    return;
+                }
+            }
+            // A late Hello is harmless; anything else on the RPC port —
+            // or a decode error, which loses framing — ends the session.
+            Some(Ok(Frame::Hello { .. })) => {}
+            _ => {
+                let _ = tx.send(Event::Closed);
+                return;
+            }
+        }
+    }
+}
+
+/// Worker-thread body: handshake, then serve until the peer goes away.
+fn run_connection(
+    mut stream: TcpStream,
+    store: Arc<StoreHandle>,
+    config: Arc<Config>,
+    shutdown_tx: crossbeam::channel::Sender<()>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut body = Vec::with_capacity(4096);
+    // The handshake happens on the worker so a half-open connection cannot
+    // occupy a reader pair: no Hello, no session.
+    match crate::read_frame(&mut stream, &mut body) {
+        Some(Ok(Frame::Hello { .. })) => {}
+        _ => return,
+    }
+    let mut buf = Vec::with_capacity(4096);
+    let hello = Frame::Hello {
+        daemon: config.daemon_index as u64,
+    };
+    if wire::encode_frame(&hello, &mut buf).is_err() || stream.write_all(&buf).is_err() {
+        return;
+    }
+
+    let (tx, rx) = crossbeam::channel::unbounded::<Event>();
+    let reader = match stream.try_clone() {
+        Ok(read_half) => std::thread::Builder::new()
+            .name("ldsd-rpc-reader".into())
+            .spawn(move || run_reader(read_half, tx)),
+        Err(_) => return,
+    };
+
+    let mut client = store.client_with_depth(config.cluster.pipeline_depth);
+    let admin = store.admin();
+    let mut pending: HashMap<OpTicket, u64> = HashMap::new();
+    let mut open = true;
+    'serve: while open || !pending.is_empty() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // Ingest requests: block when idle, drain opportunistically while
+        // store operations are in flight.
+        let mut progressed = false;
+        loop {
+            let event = if pending.is_empty() && open {
+                match rx.recv_timeout(STOP_POLL) {
+                    Ok(event) => Some(event),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Some(Event::Closed),
+                }
+            } else {
+                rx.try_recv()
+            };
+            match event {
+                Some(Event::Request(id, req)) => {
+                    progressed = true;
+                    match handle_request(id, req, &mut client, &admin, &config, &mut pending) {
+                        Action::NoResponseYet => {}
+                        Action::Respond(resp) => {
+                            if !write_response(&mut stream, &mut buf, id, resp) {
+                                break 'serve;
+                            }
+                        }
+                        Action::ShutdownDaemon(resp) => {
+                            let _ = write_response(&mut stream, &mut buf, id, resp);
+                            let _ = shutdown_tx.send(());
+                            break 'serve;
+                        }
+                    }
+                }
+                Some(Event::Closed) => {
+                    open = false;
+                    break;
+                }
+                None => break,
+            }
+        }
+        // Harvest store completions for in-flight data operations.
+        if !pending.is_empty() {
+            match client.poll() {
+                Ok(completions) => {
+                    for completion in completions {
+                        let Some(id) = pending.remove(&completion.ticket) else {
+                            continue;
+                        };
+                        progressed = true;
+                        let resp = match completion.outcome {
+                            OpOutcome::Write { tag } => Response::Written { tag },
+                            OpOutcome::Read { value, .. } => Response::Value { bytes: value },
+                        };
+                        if !write_response(&mut stream, &mut buf, id, resp) {
+                            break 'serve;
+                        }
+                    }
+                }
+                Err(error) => {
+                    // The store is gone (shutdown under us): fail every
+                    // outstanding request once, then drop the session.
+                    let message = error.to_string();
+                    for (_, id) in pending.drain() {
+                        let resp = Response::Error {
+                            message: message.clone(),
+                        };
+                        if !write_response(&mut stream, &mut buf, id, resp) {
+                            break;
+                        }
+                    }
+                    break 'serve;
+                }
+            }
+            if !progressed {
+                std::thread::sleep(POLL_PAUSE);
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    if let Ok(reader) = reader {
+        let _ = reader.join();
+    }
+}
+
+/// What the worker does right after handling one request.
+enum Action {
+    /// A data op was submitted; the response comes from a later completion.
+    NoResponseYet,
+    /// Answer immediately.
+    Respond(Response),
+    /// Answer, then bring the whole daemon down.
+    ShutdownDaemon(Response),
+}
+
+fn handle_request(
+    id: u64,
+    req: Request,
+    client: &mut StoreClient,
+    admin: &Admin,
+    config: &Config,
+    pending: &mut HashMap<OpTicket, u64>,
+) -> Action {
+    match req {
+        Request::Write { obj, value } => {
+            let ticket = client.submit_write(obj, &value);
+            pending.insert(ticket, id);
+            Action::NoResponseYet
+        }
+        Request::Read { obj } => {
+            let ticket = client.submit_read(obj);
+            pending.insert(ticket, id);
+            Action::NoResponseYet
+        }
+        Request::Kill { layer, index } => Action::Respond(admin_op(layer, index, config, |s| {
+            admin.kill(s).map(|()| Response::Killed)
+        })),
+        Request::Repair { layer, index } => Action::Respond(admin_op(layer, index, config, |s| {
+            admin.repair(s).map(|report| Response::Repaired {
+                objects: report.objects,
+            })
+        })),
+        Request::Liveness => {
+            let liveness = admin.liveness();
+            let count =
+                |layers: &[Vec<bool>]| layers.iter().flatten().filter(|&&live| live).count() as u64;
+            Action::Respond(Response::Liveness {
+                live_l1: count(&liveness.l1),
+                live_l2: count(&liveness.l2),
+            })
+        }
+        Request::Shutdown => Action::ShutdownDaemon(Response::ShuttingDown),
+        // The wire enum is non-exhaustive: a newer client may send a
+        // request this daemon does not know.
+        _ => Action::Respond(Response::Error {
+            message: "unsupported request".into(),
+        }),
+    }
+}
+
+/// Runs one admin operation against a locally hosted server, or explains
+/// which daemon owns it.
+fn admin_op(
+    layer: u8,
+    index: u64,
+    config: &Config,
+    op: impl FnOnce(ServerRef) -> Result<Response, lds_cluster::StoreError>,
+) -> Response {
+    let index = index as usize;
+    let (server, pid, bound) = match layer {
+        0 => (ServerRef::l1(index), index, config.n1()),
+        1 => (ServerRef::l2(index), config.n1() + index, config.n2()),
+        _ => {
+            return Response::Error {
+                message: format!("unknown layer {layer} (0 = L1, 1 = L2)"),
+            }
+        }
+    };
+    if index >= bound {
+        return Response::Error {
+            message: format!("{server} out of range (layer has {bound} servers)"),
+        };
+    }
+    let owner = config.owner_of_server(pid);
+    if owner != config.daemon_index {
+        return Response::Error {
+            message: format!(
+                "{server} is hosted by daemon {owner} at {}; send admin requests there",
+                config.daemon_addrs[owner]
+            ),
+        };
+    }
+    match op(server) {
+        Ok(resp) => resp,
+        Err(error) => Response::Error {
+            message: error.to_string(),
+        },
+    }
+}
+
+/// Encodes and writes one response frame; `false` when the stream is dead.
+fn write_response(stream: &mut TcpStream, buf: &mut Vec<u8>, id: u64, resp: Response) -> bool {
+    buf.clear();
+    if wire::encode_frame(&Frame::Response { id, resp }, buf).is_err() {
+        return false;
+    }
+    stream.write_all(buf).is_ok()
+}
+
+/// The layer byte of a [`RepairLayer`] as used by [`Request::Kill`] /
+/// [`Request::Repair`].
+pub fn layer_byte(layer: RepairLayer) -> u8 {
+    matches!(layer, RepairLayer::L2) as u8
+}

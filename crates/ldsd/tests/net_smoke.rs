@@ -1,0 +1,277 @@
+//! Multi-process smoke test: a 3-daemon localhost cluster built from TOML
+//! configs, driven by network clients in this (separate) process.
+//!
+//! Covers the deployment path end to end: config parsing at daemon startup,
+//! the TCP mesh between daemons, blocking and pipelined Store traffic over
+//! the client RPC port, admin kill + online repair whose helper traffic
+//! genuinely crosses the wire, a `/metrics` scrape from every daemon with a
+//! Prometheus exposition-format check, and a clean shutdown-RPC teardown
+//! with a bounded kill fallback.
+
+use ldsd::NetClient;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// `lds_core::tag::ObjectId` re-exported through the cluster facade.
+use lds_cluster::ObjectId;
+
+const DAEMONS: usize = 3;
+/// f1 = 1, f2 = 1, k = 2, d = 3 → n1 = 4, n2 = 5.
+const N1: usize = 4;
+const N2: usize = 5;
+
+/// Kills the child daemons even when an assertion unwinds.
+struct ChildGuard(Vec<Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Reserves `count` distinct loopback ports by binding (then dropping)
+/// ephemeral listeners.
+fn free_ports(count: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..count)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect()
+}
+
+/// The config file of daemon `index`, covering the full membership.
+fn config_text(index: usize, mesh: &[u16], rpc: &[u16], http: &[u16]) -> String {
+    let mut text = format!(
+        "[daemon]\n\
+         listen = \"127.0.0.1:{}\"\n\
+         client_listen = \"127.0.0.1:{}\"\n\
+         http_listen = \"127.0.0.1:{}\"\n\
+         \n\
+         [cluster]\n\
+         f1 = 1\n\
+         f2 = 1\n\
+         k = 2\n\
+         d = 3\n\
+         backend = \"mbr\"\n\
+         pipeline_depth = 16\n\
+         \n\
+         # Auto-heal off: this test drives kill/repair explicitly.\n\
+         [heal]\n\
+         enabled = false\n\
+         \n\
+         [membership]\n",
+        mesh[index], rpc[index], http[index]
+    );
+    for pid in 0..N1 + N2 {
+        text.push_str(&format!("{pid} = \"127.0.0.1:{}\"\n", mesh[pid % DAEMONS]));
+    }
+    text
+}
+
+/// One bounded-deadline HTTP GET against a daemon's metrics port.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect http");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: lds\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read http response");
+    response
+}
+
+/// Asserts `body` is valid Prometheus text exposition format.
+fn assert_prometheus_exposition(body: &str) {
+    let mut samples = 0;
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "comment lines must be HELP or TYPE: {line:?}"
+            );
+            continue;
+        }
+        // `metric_name{labels} value` or `metric_name value`.
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .expect("sample lines are `name value`");
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+            "metric names start with a letter: {line:?}"
+        );
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name in {line:?}"
+        );
+        assert!(
+            value_part.trim().parse::<f64>().is_ok(),
+            "sample value must be a number: {line:?}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition should contain at least one sample");
+    assert!(
+        body.contains("# TYPE"),
+        "exposition should carry TYPE metadata"
+    );
+}
+
+#[test]
+fn three_daemon_cluster_over_tcp() {
+    let ports = free_ports(3 * DAEMONS);
+    let (mesh, rest) = ports.split_at(DAEMONS);
+    let (rpc, http) = rest.split_at(DAEMONS);
+
+    let dir: PathBuf = std::env::temp_dir().join(format!("ldsd-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut children = ChildGuard(Vec::new());
+    for index in 0..DAEMONS {
+        let path = dir.join(format!("daemon{index}.toml"));
+        std::fs::write(&path, config_text(index, mesh, rpc, http)).unwrap();
+        let child = Command::new(env!("CARGO_BIN_EXE_ldsd"))
+            .arg("--config")
+            .arg(&path)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .stdin(Stdio::null())
+            .spawn()
+            .expect("spawn ldsd");
+        children.0.push(child);
+    }
+
+    let rpc_addr = |index: usize| SocketAddr::from(([127, 0, 0, 1], rpc[index]));
+    let connect = |index: usize| {
+        NetClient::connect_retry(rpc_addr(index), Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("connect to daemon {index}: {e}"))
+    };
+    let mut via_d0 = connect(0);
+    let mut via_d1 = connect(1);
+    assert_eq!(via_d0.daemon_index(), 0);
+    assert_eq!(via_d1.daemon_index(), 1);
+
+    // Blocking writes through daemon 0, read back through daemon 1: the
+    // value must cross the mesh, and per-writer tags must stay monotone.
+    let tag_a = via_d0.write(ObjectId(7), b"over the wire").unwrap();
+    assert_eq!(via_d1.read(ObjectId(7)).unwrap(), b"over the wire");
+    let tag_b = via_d0.write(ObjectId(7), b"second version").unwrap();
+    assert!(
+        tag_b > tag_a,
+        "tags must grow per writer: {tag_a} then {tag_b}"
+    );
+    assert_eq!(via_d1.read(ObjectId(7)).unwrap(), b"second version");
+
+    // Pipelined: a burst of writes through daemon 0, harvested out of
+    // submission order, then read back through daemon 1.
+    let writes: Vec<(u64, u64)> = (0..8u64)
+        .map(|obj| {
+            let id = via_d0
+                .submit_write(ObjectId(100 + obj), format!("value-{obj}").as_bytes())
+                .unwrap();
+            (obj, id)
+        })
+        .collect();
+    for &(_, id) in writes.iter().rev() {
+        via_d0.wait_written(id).unwrap();
+    }
+    let reads: Vec<(u64, u64)> = (0..8u64)
+        .map(|obj| (obj, via_d1.submit_read(ObjectId(100 + obj)).unwrap()))
+        .collect();
+    for &(obj, id) in &reads {
+        assert_eq!(
+            via_d1.wait_value(id).unwrap(),
+            format!("value-{obj}").as_bytes()
+        );
+    }
+
+    // Kill an L2 server hosted by daemon 2 (pid N1 + 1 = 5, 5 % 3 == 2),
+    // then keep serving degraded: f2 = 1 tolerates the crash.
+    let mut via_d2 = connect(2);
+    let (_, live_l2) = via_d2.liveness().unwrap();
+    assert_eq!(live_l2 as usize, N2);
+    via_d2.kill(1, 1).unwrap();
+    let (_, live_l2) = via_d2.liveness().unwrap();
+    assert_eq!(live_l2 as usize, N2 - 1, "daemon 2 should see its L2 down");
+    via_d0.write(ObjectId(7), b"degraded write").unwrap();
+    assert_eq!(via_d1.read(ObjectId(7)).unwrap(), b"degraded write");
+
+    // Admin requests must be routed to the hosting daemon.
+    let misdirected = via_d0.repair(1, 1);
+    let rendered = format!("{}", misdirected.expect_err("daemon 0 does not host L2[1]"));
+    assert!(
+        rendered.contains("daemon 2"),
+        "error names the owner: {rendered}"
+    );
+
+    // Online repair on the hosting daemon; its helper reads cross the mesh.
+    let objects = via_d2.repair(1, 1).unwrap();
+    assert!(objects >= 1, "the replacement regenerates stored objects");
+    let (_, live_l2) = via_d2.liveness().unwrap();
+    assert_eq!(live_l2 as usize, N2);
+    assert_eq!(via_d1.read(ObjectId(7)).unwrap(), b"degraded write");
+
+    // Scrape /metrics from every daemon and validate the exposition.
+    for index in 0..DAEMONS {
+        let response = http_get(SocketAddr::from(([127, 0, 0, 1], http[index])), "/metrics");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("http head/body split");
+        assert!(
+            head.starts_with("HTTP/1.1 200"),
+            "daemon {index} metrics: {head}"
+        );
+        assert_prometheus_exposition(body);
+        assert!(
+            body.contains("lds_"),
+            "daemon {index} should expose lds_* metrics"
+        );
+        let health = http_get(SocketAddr::from(([127, 0, 0, 1], http[index])), "/health");
+        assert!(
+            health.starts_with("HTTP/1.1 200"),
+            "daemon {index} health: {health}"
+        );
+    }
+
+    // Clean teardown via the shutdown RPC, with a bounded kill fallback.
+    via_d0.shutdown().unwrap();
+    via_d1.shutdown().unwrap();
+    via_d2.shutdown().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    for (index, child) in children.0.iter_mut().enumerate() {
+        loop {
+            match child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "daemon {index} exit: {status}");
+                    break;
+                }
+                None if Instant::now() >= deadline => {
+                    child.kill().expect("kill stuck daemon");
+                    panic!("daemon {index} ignored the shutdown RPC for 20s");
+                }
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
